@@ -1,0 +1,129 @@
+// Characterize RPSL usage (the paper's §4 analyses) over an IRR corpus.
+//
+// Usage:
+//   characterize_irr              — generate a synthetic Internet and analyze it
+//   characterize_irr <dir>        — analyze <dir>/{apnic,...,altdb}.db dumps
+//
+// Prints the §4 censuses: per-IRR object counts (Table 1 shape), defined vs
+// referenced objects (Table 2), the rules-per-aut-num CCDF (Figure 1), and
+// the route-object / as-set / error censuses.
+
+#include <cstdio>
+#include <iostream>
+
+#include "rpslyzer/rpslyzer.hpp"
+#include "rpslyzer/stats/census.hpp"
+#include "rpslyzer/synth/generator.hpp"
+
+namespace {
+
+using namespace rpslyzer;
+
+Rpslyzer load(int argc, char** argv) {
+  if (argc > 1) {
+    std::cout << "Loading IRR dumps from " << argv[1] << " ...\n";
+    return Rpslyzer::from_files(argv[1], std::filesystem::path(argv[1]) / "relationships.txt");
+  }
+  std::cout << "Generating a synthetic Internet (pass a directory to analyze real dumps)...\n";
+  synth::InternetGenerator generator;
+  std::vector<std::pair<std::string, std::string>> ordered;
+  for (const auto& name : synth::irr_names()) {
+    ordered.emplace_back(name, generator.irr_dumps().at(name));
+  }
+  return Rpslyzer::from_texts(ordered, generator.caida_serial1());
+}
+
+void print_percent(const char* label, std::size_t part, std::size_t whole) {
+  std::printf("  %-52s %8zu (%5.1f%%)\n", label, part,
+              whole == 0 ? 0.0 : 100.0 * double(part) / double(whole));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Rpslyzer lyzer = load(argc, argv);
+  const ir::Ir& ir = lyzer.ir();
+  irr::Index index(ir);
+
+  std::cout << "\n=== Per-IRR census (Table 1 shape) ===\n";
+  std::printf("  %-10s %10s %9s %9s %9s %9s\n", "IRR", "bytes", "aut-num", "route",
+              "import", "export");
+  for (const auto& counts : lyzer.irr_counts()) {
+    std::printf("  %-10s %10zu %9zu %9zu %9zu %9zu\n", counts.name.c_str(), counts.bytes,
+                counts.aut_nums, counts.routes, counts.imports, counts.exports);
+  }
+
+  std::cout << "\n=== Rules per aut-num (Figure 1) ===\n";
+  auto rules = stats::RulesPerAutNum::compute(ir);
+  print_percent("aut-nums with zero rules", rules.zero_rule_aut_nums, rules.aut_num_count);
+  print_percent("aut-nums with >= 10 rules", rules.ten_plus_rule_aut_nums,
+                rules.aut_num_count);
+  print_percent("aut-nums with > 1000 rules", rules.thousand_plus_rule_aut_nums,
+                rules.aut_num_count);
+  std::cout << "  CCDF (rules >= x):\n";
+  auto ccdf = stats::RulesPerAutNum::ccdf(rules.all);
+  std::size_t printed = 0;
+  for (const auto& [x, p] : ccdf) {
+    if (printed++ % std::max<std::size_t>(1, ccdf.size() / 12) != 0) continue;
+    std::printf("    x=%-6zu P=%.4f\n", x, p);
+  }
+
+  std::cout << "\n=== Defined vs referenced (Table 2) ===\n";
+  auto refs = stats::ReferenceCensus::compute(ir);
+  std::printf("  %-14s %9s %9s %9s %9s\n", "class", "defined", "overall", "peering",
+              "filter");
+  auto row = [](const char* name, const stats::ReferenceCensus::PerClass& c) {
+    std::printf("  %-14s %9zu %9zu %9zu %9zu\n", name, c.defined, c.referenced_overall,
+                c.referenced_in_peering, c.referenced_in_filter);
+  };
+  row("aut-num", refs.aut_nums);
+  row("as-set", refs.as_sets);
+  row("route-set", refs.route_sets);
+  row("peering-set", refs.peering_sets);
+  row("filter-set", refs.filter_sets);
+
+  std::cout << "\n=== Rule shapes (§4 prose) ===\n";
+  auto shapes = stats::ShapeCensus::compute(ir);
+  print_percent("peerings that are a single ASN or ANY", shapes.peerings_single_asn_or_any,
+                shapes.peerings_total);
+  print_percent("filters that are an as-set", shapes.filters_as_set, shapes.filters_total);
+  print_percent("filters that are an ASN", shapes.filters_asn, shapes.filters_total);
+  print_percent("ASes with all rules BGPq4-compatible",
+                shapes.ases_all_rules_bgpq4_compatible, shapes.ases_with_rules);
+
+  std::cout << "\n=== Route objects (§4 prose) ===\n";
+  auto routes = stats::RouteObjectStats::compute(ir);
+  std::printf("  route objects (unique prefix-origin pairs)   %8zu\n", routes.route_objects);
+  std::printf("  unique prefixes                              %8zu\n", routes.unique_prefixes);
+  print_percent("prefixes with multiple route objects",
+                routes.prefixes_with_multiple_objects, routes.unique_prefixes);
+  print_percent("... with different origins", routes.prefixes_with_multiple_origins,
+                routes.prefixes_with_multiple_objects);
+  print_percent("prefixes with multiple maintainers",
+                routes.prefixes_with_multiple_maintainers, routes.unique_prefixes);
+
+  std::cout << "\n=== as-set opacity (§4 prose) ===\n";
+  auto sets = stats::AsSetStats::compute(ir, index);
+  print_percent("empty as-sets", sets.empty, sets.total);
+  print_percent("single-member as-sets", sets.single_member, sets.total);
+  print_percent("recursive as-sets", sets.recursive, sets.total);
+  print_percent("... in loops", sets.in_loops, sets.recursive);
+  print_percent("... with depth >= 5", sets.depth_5_plus, sets.recursive);
+  std::printf("  as-sets containing the keyword ANY           %8zu\n", sets.with_any_keyword);
+
+  std::cout << "\n=== RPSL errors (§4 prose) ===\n";
+  auto errors = stats::ErrorCensus::compute(lyzer.diagnostics(), ir);
+  std::printf("  syntax errors                                %8zu\n", errors.syntax_errors);
+  std::printf("  invalid as-set names                         %8zu\n",
+              errors.invalid_as_set_names);
+  std::printf("  invalid route-set names                      %8zu\n",
+              errors.invalid_route_set_names);
+
+  std::cout << "\n=== Misuse patterns (Appendix E) ===\n";
+  auto patterns = stats::MisusePatterns::compute(ir);
+  std::printf("  ASes with 'import: from X accept X' rules    %8zu\n",
+              patterns.import_customer.size());
+  std::printf("  ASes with 'export: to P announce self' rules %8zu\n",
+              patterns.export_self.size());
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate the repository's recorded outputs: full test run and every
+# table/figure/microbench, as cited by EXPERIMENTS.md.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $b =====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+  fi
+done

@@ -1,0 +1,182 @@
+// Reference backtracking engine for AS-path regexes.
+//
+// Direct AST interpretation with memoization keyed on (node, position).
+// Supports the full language, including the "same pattern" operators
+// (~*, ~+, ~{m,n}) that require all repeated ASes to be identical — those
+// cannot be captured by a finite predicate NFA, which is why the paper's
+// tool skips them (Appendix B notes they could be supported symbolically;
+// this engine does exactly that).
+
+#include <unordered_map>
+#include <vector>
+
+#include "rpslyzer/aspath/engine.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::aspath {
+
+namespace {
+
+using ir::AsPathRegexNode;
+
+class Evaluator {
+ public:
+  Evaluator(const MatchEnv& env) : env_(env) {}
+
+  bool unsupported() const noexcept { return unsupported_; }
+
+  /// All positions reachable by matching `node` starting at `pos`.
+  const std::vector<std::size_t>& ends(const AsPathRegexNode& node, std::size_t pos) {
+    auto key = std::make_pair(&node, pos);
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    // Insert a placeholder first: the grammar has no left recursion at the
+    // same position except via zero-width repeats, which we cut below.
+    memo_.emplace(key, std::vector<std::size_t>{});
+    std::vector<std::size_t> result = compute(node, pos);
+    // Re-find: nested ends() calls during compute may have rehashed the map.
+    auto& slot = memo_[key];
+    slot = std::move(result);
+    return slot;
+  }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::pair<const AsPathRegexNode*, std::size_t>& k) const {
+      return std::hash<const void*>{}(k.first) ^ (k.second * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  const MatchEnv& env_;
+  bool unsupported_ = false;
+  std::unordered_map<std::pair<const AsPathRegexNode*, std::size_t>, std::vector<std::size_t>,
+                     KeyHash>
+      memo_;
+
+  static void add_unique(std::vector<std::size_t>& v, std::size_t e) {
+    for (std::size_t x : v) {
+      if (x == e) return;
+    }
+    v.push_back(e);
+  }
+
+  std::vector<std::size_t> compute(const AsPathRegexNode& node, std::size_t pos) {
+    return std::visit(
+        util::overloaded{
+            [&](const ir::ReEmpty&) { return std::vector<std::size_t>{pos}; },
+            [&](const ir::ReBeginAnchor&) {
+              return pos == 0 ? std::vector<std::size_t>{pos} : std::vector<std::size_t>{};
+            },
+            [&](const ir::ReEndAnchor&) {
+              return pos == env_.path.size() ? std::vector<std::size_t>{pos}
+                                             : std::vector<std::size_t>{};
+            },
+            [&](const ir::ReTokenNode& t) {
+              if (pos < env_.path.size() && token_matches(t.token, env_.path[pos], env_)) {
+                return std::vector<std::size_t>{pos + 1};
+              }
+              return std::vector<std::size_t>{};
+            },
+            [&](const ir::ReConcat& c) {
+              std::vector<std::size_t> current{pos};
+              for (const auto& part : c.parts) {
+                std::vector<std::size_t> next;
+                for (std::size_t p : current) {
+                  for (std::size_t e : ends(*part, p)) add_unique(next, e);
+                }
+                current = std::move(next);
+                if (current.empty()) break;
+              }
+              return current;
+            },
+            [&](const ir::ReAlt& a) {
+              std::vector<std::size_t> out;
+              for (const auto& option : a.options) {
+                for (std::size_t e : ends(*option, pos)) add_unique(out, e);
+              }
+              return out;
+            },
+            [&](const ir::ReRepeatNode& r) { return compute_repeat(r, pos); },
+        },
+        node.node);
+  }
+
+  std::vector<std::size_t> compute_repeat(const ir::ReRepeatNode& r, std::size_t pos) {
+    if (r.repeat.same_pattern) return compute_same_pattern(r, pos);
+    std::vector<std::size_t> out;
+    std::vector<std::size_t> current{pos};
+    std::vector<bool> visited(env_.path.size() + 1, false);
+    visited[pos] = true;
+    std::uint32_t iteration = 0;
+    const std::uint32_t hard_cap =
+        static_cast<std::uint32_t>(env_.path.size()) + r.repeat.min + 1;
+    while (!current.empty() && iteration <= hard_cap) {
+      if (iteration >= r.repeat.min && (!r.repeat.max || iteration <= *r.repeat.max)) {
+        for (std::size_t p : current) add_unique(out, p);
+      }
+      if (r.repeat.max && iteration == *r.repeat.max) break;
+      std::vector<std::size_t> next;
+      for (std::size_t p : current) {
+        for (std::size_t e : ends(*r.inner, p)) {
+          if (e == p) {
+            // A zero-width inner match can be pumped any number of times,
+            // so every count in [min, max] is reachable at `p`.
+            add_unique(out, p);
+            continue;
+          }
+          // Advance only through new positions to guarantee termination.
+          if (e <= env_.path.size() && !visited[e]) {
+            visited[e] = true;
+            next.push_back(e);
+          }
+        }
+      }
+      current = std::move(next);
+      ++iteration;
+    }
+    return out;
+  }
+
+  /// Same-pattern repetition: every repetition must consume exactly one AS,
+  /// all equal. Defined for single-token operands (the shape operators use
+  /// in the wild: <[AS64512-AS65535]~*> and friends).
+  std::vector<std::size_t> compute_same_pattern(const ir::ReRepeatNode& r, std::size_t pos) {
+    const auto* token_node = std::get_if<ir::ReTokenNode>(&r.inner->node);
+    if (token_node == nullptr) {
+      unsupported_ = true;
+      return {};
+    }
+    std::vector<std::size_t> out;
+    if (r.repeat.min == 0) out.push_back(pos);
+    if (pos >= env_.path.size()) return out;
+    const Asn first = env_.path[pos];
+    if (!token_matches(token_node->token, first, env_)) return out;
+    std::size_t run = pos;
+    std::uint32_t count = 0;
+    while (run < env_.path.size() && env_.path[run] == first) {
+      ++run;
+      ++count;
+      if (count >= r.repeat.min && (!r.repeat.max || count <= *r.repeat.max)) {
+        add_unique(out, run);
+      }
+      if (r.repeat.max && count == *r.repeat.max) break;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+RegexMatch match_backtrack(const ir::AsPathRegex& regex, const MatchEnv& env) {
+  Evaluator eval(env);
+  // Search semantics: try every start position.
+  for (std::size_t start = 0; start <= env.path.size(); ++start) {
+    if (!eval.ends(*regex.root, start).empty()) {
+      if (eval.unsupported()) return RegexMatch::kUnsupported;
+      return RegexMatch::kMatch;
+    }
+    if (eval.unsupported()) return RegexMatch::kUnsupported;
+  }
+  return RegexMatch::kNoMatch;
+}
+
+}  // namespace rpslyzer::aspath

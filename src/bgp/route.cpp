@@ -1,0 +1,110 @@
+#include "rpslyzer/bgp/route.hpp"
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::bgp {
+
+const char* to_string(RouteIssue issue) noexcept {
+  switch (issue) {
+    case RouteIssue::kOk:
+      return "ok";
+    case RouteIssue::kSingleAs:
+      return "single-as";
+    case RouteIssue::kHasAsSet:
+      return "as-set";
+    case RouteIssue::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+std::vector<Asn> strip_prepends(const std::vector<Asn>& path) {
+  std::vector<Asn> out;
+  out.reserve(path.size());
+  for (Asn asn : path) {
+    if (out.empty() || out.back() != asn) out.push_back(asn);
+  }
+  return out;
+}
+
+std::optional<std::vector<Asn>> parse_path(std::string_view text, bool& has_as_set) {
+  has_as_set = false;
+  std::vector<Asn> path;
+  // AS_SET segments appear as "{1,2,3}" (bgpdump) — detect and flag.
+  if (text.find('{') != std::string_view::npos) {
+    has_as_set = true;
+    return std::nullopt;
+  }
+  for (auto token : util::split_ws(text)) {
+    // Accept both bare numbers and "AS123" spellings.
+    if (util::istarts_with(token, "AS")) token.remove_prefix(2);
+    auto asn = util::parse_u32(token);
+    if (!asn) return std::nullopt;
+    path.push_back(*asn);
+  }
+  if (path.empty()) return std::nullopt;
+  return strip_prepends(path);
+}
+
+std::optional<ParsedRoute> parse_table_dump_line(std::string_view line) {
+  line = util::trim(line);
+  if (line.empty() || line.front() == '#' || line.front() == '%') return std::nullopt;
+
+  std::string_view prefix_field;
+  std::string_view path_field;
+  auto fields = util::split(line, '|');
+  if (!fields.empty() && util::iequals(util::trim(fields[0]), "TABLE_DUMP2")) {
+    // bgpdump -m: TABLE_DUMP2|ts|B|peer-ip|peer-asn|prefix|path|origin|...
+    if (fields.size() < 7) {
+      return ParsedRoute{{}, RouteIssue::kMalformed};
+    }
+    prefix_field = util::trim(fields[5]);
+    path_field = util::trim(fields[6]);
+  } else if (fields.size() >= 2) {
+    prefix_field = util::trim(fields[0]);
+    path_field = util::trim(fields[1]);
+  } else {
+    return ParsedRoute{{}, RouteIssue::kMalformed};
+  }
+
+  auto prefix = net::Prefix::parse(prefix_field);
+  if (!prefix) return ParsedRoute{{}, RouteIssue::kMalformed};
+
+  bool has_as_set = false;
+  auto path = parse_path(path_field, has_as_set);
+  if (has_as_set) return ParsedRoute{{*prefix, {}}, RouteIssue::kHasAsSet};
+  if (!path) return ParsedRoute{{*prefix, {}}, RouteIssue::kMalformed};
+
+  ParsedRoute out{{*prefix, std::move(*path)}, RouteIssue::kOk};
+  if (out.route.path.size() < 2) out.issue = RouteIssue::kSingleAs;
+  return out;
+}
+
+std::vector<Route> parse_table_dump(std::string_view text, DumpStats* stats) {
+  std::vector<Route> routes;
+  for (auto line : util::split(text, '\n')) {
+    auto parsed = parse_table_dump_line(line);
+    if (!parsed) continue;
+    if (stats != nullptr) {
+      ++stats->total_lines;
+      switch (parsed->issue) {
+        case RouteIssue::kOk:
+          ++stats->routes;
+          break;
+        case RouteIssue::kSingleAs:
+          ++stats->single_as;
+          break;
+        case RouteIssue::kHasAsSet:
+          ++stats->with_as_set;
+          break;
+        case RouteIssue::kMalformed:
+          ++stats->malformed;
+          break;
+      }
+    }
+    if (parsed->issue == RouteIssue::kOk) routes.push_back(std::move(parsed->route));
+  }
+  return routes;
+}
+
+}  // namespace rpslyzer::bgp

@@ -1,0 +1,64 @@
+#pragma once
+// RPSLyzer: the end-to-end pipeline (§3 + §5).
+//
+//   Rpslyzer lyzer = Rpslyzer::from_texts(irr_dumps, caida_serial1);
+//   verify::Verifier verifier = lyzer.verifier();
+//   auto hops = verifier.verify_route(route);
+//
+// Owns the parsed corpus (IR), the query index, relationship data, and
+// accumulated diagnostics; hands out verifiers and JSON exports.
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "rpslyzer/ir/json_io.hpp"
+#include "rpslyzer/irr/index.hpp"
+#include "rpslyzer/irr/loader.hpp"
+#include "rpslyzer/relations/relations.hpp"
+#include "rpslyzer/verify/verifier.hpp"
+
+namespace rpslyzer {
+
+class Rpslyzer {
+ public:
+  /// Parse in-memory dumps (IRR name -> text, merged in the given map's
+  /// iteration order, which must be priority order — or use the overload
+  /// with an explicit order) plus CAIDA serial-1 relationship text.
+  static Rpslyzer from_texts(const std::vector<std::pair<std::string, std::string>>& dumps,
+                             const std::string& caida_serial1);
+
+  /// Load "<irr>.db" files for the 13 Table-1 IRRs from `irr_directory`
+  /// plus `relationships` (CAIDA serial-1). Missing files are tolerated.
+  static Rpslyzer from_files(const std::filesystem::path& irr_directory,
+                             const std::filesystem::path& relationships);
+
+  const ir::Ir& ir() const noexcept { return *ir_; }
+  const irr::Index& index() const noexcept { return *index_; }
+  const relations::AsRelations& relations() const noexcept { return relations_; }
+  const util::Diagnostics& diagnostics() const noexcept { return diagnostics_; }
+  const std::vector<irr::IrrCounts>& irr_counts() const noexcept { return irr_counts_; }
+  std::size_t raw_route_objects() const noexcept { return raw_route_objects_; }
+
+  /// A verifier bound to this corpus.
+  verify::Verifier verifier(verify::VerifyOptions options = {}) const {
+    return verify::Verifier(*index_, relations_, options);
+  }
+
+  /// Export the IR to JSON (§3's integration story).
+  json::Value export_ir() const { return ir::to_json(*ir_); }
+
+ private:
+  Rpslyzer() = default;
+
+  // Pointer members keep Index's reference into Ir stable across moves.
+  std::unique_ptr<ir::Ir> ir_;
+  std::unique_ptr<irr::Index> index_;
+  relations::AsRelations relations_;
+  util::Diagnostics diagnostics_;
+  std::vector<irr::IrrCounts> irr_counts_;
+  std::size_t raw_route_objects_ = 0;
+};
+
+}  // namespace rpslyzer

@@ -1,0 +1,59 @@
+#include "rpslyzer/rpslyzer.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace rpslyzer {
+
+Rpslyzer Rpslyzer::from_texts(const std::vector<std::pair<std::string, std::string>>& dumps,
+                              const std::string& caida_serial1) {
+  Rpslyzer lyzer;
+  lyzer.ir_ = std::make_unique<ir::Ir>();
+  std::set<std::pair<net::Prefix, ir::Asn>> seen_routes;
+  for (const auto& [name, text] : dumps) {
+    irr::IrrCounts counts;
+    counts.name = name;
+    ir::Ir parsed = irr::parse_dump(text, name, lyzer.diagnostics_, &counts);
+    lyzer.raw_route_objects_ += parsed.routes.size();
+    lyzer.ir_->aut_nums.merge(parsed.aut_nums);
+    lyzer.ir_->as_sets.merge(parsed.as_sets);
+    lyzer.ir_->route_sets.merge(parsed.route_sets);
+    lyzer.ir_->peering_sets.merge(parsed.peering_sets);
+    lyzer.ir_->filter_sets.merge(parsed.filter_sets);
+    for (auto& route : parsed.routes) {
+      if (seen_routes.emplace(route.prefix, route.origin).second) {
+        lyzer.ir_->routes.push_back(std::move(route));
+      }
+    }
+    lyzer.irr_counts_.push_back(std::move(counts));
+  }
+  lyzer.relations_ = relations::AsRelations::parse(caida_serial1, lyzer.diagnostics_);
+  lyzer.index_ = std::make_unique<irr::Index>(*lyzer.ir_);
+  return lyzer;
+}
+
+Rpslyzer Rpslyzer::from_files(const std::filesystem::path& irr_directory,
+                              const std::filesystem::path& relationships) {
+  Rpslyzer lyzer;
+  irr::LoadResult loaded = irr::load_irrs(irr::table1_sources(irr_directory));
+  lyzer.ir_ = std::make_unique<ir::Ir>(std::move(loaded.ir));
+  lyzer.diagnostics_ = std::move(loaded.diagnostics);
+  lyzer.irr_counts_ = std::move(loaded.counts);
+  lyzer.raw_route_objects_ = loaded.raw_route_objects;
+
+  std::ifstream in(relationships, std::ios::binary);
+  if (in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    lyzer.relations_ =
+        relations::AsRelations::parse(std::move(buffer).str(), lyzer.diagnostics_);
+  } else {
+    lyzer.diagnostics_.warning(util::DiagnosticKind::kOther,
+                               "relationship file unavailable: " + relationships.string());
+  }
+  lyzer.index_ = std::make_unique<irr::Index>(*lyzer.ir_);
+  return lyzer;
+}
+
+}  // namespace rpslyzer

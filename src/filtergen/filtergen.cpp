@@ -1,0 +1,157 @@
+#include "rpslyzer/filtergen/filtergen.hpp"
+
+#include <algorithm>
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::filtergen {
+
+namespace {
+
+/// ge/le interval implied by an entry for coverage comparisons: an exact
+/// entry admits only its own length.
+std::pair<std::uint8_t, std::uint8_t> interval_of(const FilterEntry& e) {
+  if (e.exact()) return {e.prefix.length(), e.prefix.length()};
+  return {e.ge, e.le};
+}
+
+FilterEntry entry_for(const net::Prefix& prefix, const net::RangeOp& op) {
+  FilterEntry e;
+  e.prefix = prefix;
+  auto interval = net::length_interval(op, prefix.length(), prefix.family());
+  if (op.is_none() || !interval) {
+    // kNone: exact. An empty interval cannot happen for prefixes taken
+    // from route objects (length <= family max), but fall back to exact.
+    return e;
+  }
+  if (interval->first == prefix.length() && interval->second == prefix.length()) return e;
+  e.ge = interval->first;
+  e.le = interval->second;
+  return e;
+}
+
+}  // namespace
+
+std::vector<FilterEntry> aggregate(std::vector<FilterEntry> entries) {
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  std::vector<FilterEntry> out;
+  for (const FilterEntry& entry : entries) {
+    bool covered = false;
+    for (const FilterEntry& kept : out) {
+      if (!kept.prefix.covers(entry.prefix)) continue;
+      auto [klo, khi] = interval_of(kept);
+      auto [elo, ehi] = interval_of(entry);
+      if (klo <= elo && ehi <= khi) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) out.push_back(entry);
+  }
+  return out;
+}
+
+std::optional<GeneratedFilter> generate(const irr::Index& index, std::string_view object,
+                                        const FilterOptions& options) {
+  GeneratedFilter out;
+  std::vector<ir::Asn> members;
+  if (auto asn = ir::parse_as_ref(object)) {
+    members.push_back(*asn);
+  } else if (const irr::FlattenedAsSet* flat = index.flattened(object)) {
+    members.assign(flat->asns.begin(), flat->asns.end());
+    out.missing_sets = flat->missing_sets;
+  } else {
+    return std::nullopt;
+  }
+  out.member_ases = members.size();
+
+  for (ir::Asn asn : members) {
+    for (const net::Prefix& prefix : index.origins_of(asn)) {
+      if ((prefix.family() == options.family)) {
+        ++out.route_objects;
+        out.entries.push_back(entry_for(prefix, options.range_op));
+      }
+    }
+  }
+  if (out.entries.empty() && out.member_ases == 1 && !index.has_routes(members.front()) &&
+      index.as_set(object) == nullptr) {
+    // A bare ASN with no registrations at all: unknown object (bgpq4
+    // reports an empty list error).
+    return std::nullopt;
+  }
+  std::sort(out.entries.begin(), out.entries.end());
+  out.entries.erase(std::unique(out.entries.begin(), out.entries.end()), out.entries.end());
+  if (options.aggregate) out.entries = aggregate(std::move(out.entries));
+  return out;
+}
+
+std::string render_cisco_prefix_list(const GeneratedFilter& filter, std::string_view name) {
+  std::string out;
+  if (filter.entries.empty()) {
+    out += "! empty prefix-list " + std::string(name) + "\n";
+    return out;
+  }
+  std::size_t seq = 5;
+  for (const FilterEntry& e : filter.entries) {
+    out += "ip prefix-list " + std::string(name) + " seq " + std::to_string(seq) +
+           " permit " + e.prefix.to_string();
+    if (!e.exact()) {
+      if (e.ge > e.prefix.length()) out += " ge " + std::to_string(e.ge);
+      if (e.le >= e.ge && e.le != e.prefix.length()) out += " le " + std::to_string(e.le);
+    }
+    out += "\n";
+    seq += 5;
+  }
+  return out;
+}
+
+std::string render_juniper_route_filter(const GeneratedFilter& filter,
+                                        std::string_view policy_name) {
+  std::string out = "policy-statement " + std::string(policy_name) + " {\n    term irr {\n";
+  out += "        from {\n";
+  for (const FilterEntry& e : filter.entries) {
+    out += "            route-filter " + e.prefix.to_string();
+    if (e.exact()) {
+      out += " exact;";
+    } else if (e.ge == e.prefix.length()) {
+      out += " upto /" + std::to_string(e.le) + ";";
+    } else {
+      out += " prefix-length-range /" + std::to_string(e.ge) + "-/" + std::to_string(e.le) +
+             ";";
+    }
+    out += "\n";
+  }
+  out += "        }\n        then accept;\n    }\n    then reject;\n}\n";
+  return out;
+}
+
+std::string render_bird_prefix_set(const GeneratedFilter& filter, std::string_view name) {
+  std::string out = "define " + std::string(name) + " = [";
+  bool first = true;
+  for (const FilterEntry& e : filter.entries) {
+    out += first ? " " : ", ";
+    first = false;
+    out += e.prefix.to_string();
+    if (!e.exact()) {
+      out += "{" + std::to_string(e.ge) + "," + std::to_string(e.le) + "}";
+    }
+  }
+  out += first ? "];" : " ];";
+  out += "\n";
+  return out;
+}
+
+std::string render_plain(const GeneratedFilter& filter) {
+  std::string out;
+  for (const FilterEntry& e : filter.entries) {
+    out += e.prefix.to_string();
+    if (!e.exact()) {
+      out += "^" + std::to_string(e.ge) + "-" + std::to_string(e.le);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rpslyzer::filtergen

@@ -1,0 +1,72 @@
+#pragma once
+// Router filter generation from IRR data — the BGPq4 use case the paper
+// opens with (§1: transit providers require customers to register routes
+// "so that they can input them into tools like IRRToolSet or BGPq4 to
+// automatically generate route filters"). Resolving an ASN or as-set to a
+// prefix list is exactly the single-term resolution BGPq4 performs; this
+// module reproduces it on top of the RPSLyzer index, including prefix
+// aggregation and the common router syntaxes.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpslyzer/irr/index.hpp"
+
+namespace rpslyzer::filtergen {
+
+/// One entry of a generated filter: a prefix, optionally allowing a range
+/// of more-specific lengths (ge/le in router syntax).
+struct FilterEntry {
+  net::Prefix prefix;
+  std::uint8_t ge = 0;  // 0 = exact-length only
+  std::uint8_t le = 0;
+
+  bool exact() const noexcept { return ge == 0 && le == 0; }
+  friend bool operator==(const FilterEntry&, const FilterEntry&) = default;
+  friend auto operator<=>(const FilterEntry&, const FilterEntry&) = default;
+};
+
+struct FilterOptions {
+  net::Family family = net::Family::kIpv4;
+  /// Aggregate adjacent/covered prefixes into ge/le ranges (bgpq4 -A).
+  bool aggregate = false;
+  /// Apply a range operator to every resolved prefix (bgpq4 -R / -m are
+  /// length filters; this is the RPSL-side equivalent, e.g. ^+ or ^24-32).
+  net::RangeOp range_op = net::RangeOp::none();
+};
+
+/// The resolved filter plus provenance counters.
+struct GeneratedFilter {
+  std::vector<FilterEntry> entries;  // sorted, deduplicated
+  std::size_t member_ases = 0;       // flattened ASNs consulted
+  std::size_t route_objects = 0;     // registrations in the chosen family
+  std::vector<std::string> missing_sets;  // undefined as-sets hit during flattening
+};
+
+/// Resolve an ASN or as-set name to a prefix filter, like `bgpq4 AS-FOO`.
+/// nullopt when the object is unknown (no as-set and no route objects).
+std::optional<GeneratedFilter> generate(const irr::Index& index, std::string_view object,
+                                        const FilterOptions& options = {});
+
+/// Collapse exact entries into ge/le ranges where a covering entry admits
+/// everything a covered entry would (bgpq4's aggregation).
+std::vector<FilterEntry> aggregate(std::vector<FilterEntry> entries);
+
+// --- rendering -------------------------------------------------------------
+
+/// Cisco IOS: `ip prefix-list <name> permit 10.0.0.0/8 le 24` lines.
+std::string render_cisco_prefix_list(const GeneratedFilter& filter, std::string_view name);
+
+/// Juniper: `route-filter 10.0.0.0/8 upto /24;` policy terms.
+std::string render_juniper_route_filter(const GeneratedFilter& filter,
+                                        std::string_view policy_name);
+
+/// BIRD 2: `prefix set` literal `[ 10.0.0.0/8{8,24}, ... ]`.
+std::string render_bird_prefix_set(const GeneratedFilter& filter, std::string_view name);
+
+/// Plain one-prefix-per-line text.
+std::string render_plain(const GeneratedFilter& filter);
+
+}  // namespace rpslyzer::filtergen

@@ -1,0 +1,119 @@
+#pragma once
+// AST for RPSL AS-path regular expressions (RFC 2622 §5.6 "Filters" /
+// POSIX-style AS regexps such as <^AS13911 AS6327+$>).
+//
+// Tokens range over ASNs, AS-sets, the wildcard '.', the dynamic PeerAS
+// keyword, ASN ranges, and character-class style sets `[AS1 AS2-AS5 AS-FOO]`
+// with optional complement `[^...]`. Unary postfix operators are *, +, ?,
+// {m}, {m,n}, {m,} and their "same pattern" tilde variants (~*, ~+, ...).
+// The tilde variants require every repetition to match the *same* token,
+// which the paper lists among the constructs it skips (Appendix B); we parse
+// them and let the engine decide whether to evaluate or skip.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rpslyzer/util/box.hpp"
+
+namespace rpslyzer::ir {
+
+using Asn = std::uint32_t;
+
+/// One atom inside a character-class set.
+struct ReSetItem {
+  enum class Kind : std::uint8_t { kAsn, kAsnRange, kAsSet, kPeerAs };
+  Kind kind = Kind::kAsn;
+  Asn asn = 0;          // kAsn; kAsnRange lower bound
+  Asn asn_hi = 0;       // kAsnRange upper bound
+  std::string as_set;   // kAsSet
+
+  friend bool operator==(const ReSetItem&, const ReSetItem&) = default;
+};
+
+/// A single AS-matching token.
+struct ReToken {
+  enum class Kind : std::uint8_t {
+    kAsn,      // AS64500
+    kAsSet,    // AS-FOO (matches any member)
+    kAny,      // .
+    kPeerAs,   // PeerAS (bound to the neighbor at evaluation time)
+    kSet,      // [ ... ] possibly complemented
+  };
+  Kind kind = Kind::kAny;
+  Asn asn = 0;
+  std::string as_set;
+  bool complemented = false;        // kSet: [^ ... ]
+  std::vector<ReSetItem> items;     // kSet members
+
+  friend bool operator==(const ReToken&, const ReToken&) = default;
+};
+
+struct AsPathRegexNode;
+using AsPathRegexBox = util::Box<AsPathRegexNode>;
+
+/// Postfix repetition operator.
+struct ReRepeat {
+  std::uint32_t min = 0;
+  std::optional<std::uint32_t> max;  // nullopt = unbounded
+  bool same_pattern = false;         // tilde variant (~*, ~+, ~{m,n})
+
+  friend bool operator==(const ReRepeat&, const ReRepeat&) = default;
+};
+
+/// Regex AST node.
+struct ReEmpty {
+  friend bool operator==(const ReEmpty&, const ReEmpty&) = default;
+};
+struct ReTokenNode {
+  ReToken token;
+  friend bool operator==(const ReTokenNode&, const ReTokenNode&) = default;
+};
+struct ReBeginAnchor {
+  friend bool operator==(const ReBeginAnchor&, const ReBeginAnchor&) = default;
+};
+struct ReEndAnchor {
+  friend bool operator==(const ReEndAnchor&, const ReEndAnchor&) = default;
+};
+struct ReConcat {
+  std::vector<AsPathRegexBox> parts;
+  friend bool operator==(const ReConcat&, const ReConcat&) = default;
+};
+struct ReAlt {
+  std::vector<AsPathRegexBox> options;
+  friend bool operator==(const ReAlt&, const ReAlt&) = default;
+};
+struct ReRepeatNode {
+  AsPathRegexBox inner;
+  ReRepeat repeat;
+  friend bool operator==(const ReRepeatNode&, const ReRepeatNode&) = default;
+};
+
+struct AsPathRegexNode {
+  std::variant<ReEmpty, ReTokenNode, ReBeginAnchor, ReEndAnchor, ReConcat, ReAlt, ReRepeatNode>
+      node;
+  friend bool operator==(const AsPathRegexNode&, const AsPathRegexNode&) = default;
+};
+
+/// A full AS-path regex as written in a filter (`<...>`), keeping the source
+/// text for diagnostics and reports.
+struct AsPathRegex {
+  AsPathRegexBox root;
+  std::string text;
+
+  friend bool operator==(const AsPathRegex& a, const AsPathRegex& b) {
+    return a.root == b.root;  // text is cosmetic
+  }
+};
+
+/// True if the regex uses constructs the paper's tool skips (ASN ranges or
+/// same-pattern repetition), so the verifier can classify the rule as Skip.
+bool uses_skipped_constructs(const AsPathRegex& regex);
+
+/// Render the AST back to (normalized) regex text.
+std::string to_string(const AsPathRegexNode& node);
+std::string to_string(const AsPathRegex& regex);
+
+}  // namespace rpslyzer::ir

@@ -1,0 +1,47 @@
+#pragma once
+// JSON (de)serialization of the intermediate representation.
+//
+// The paper's tool "can export [the IR] to JSON files for integration with
+// other tools that leverage RPSL information" (§3). The format here is a
+// stable, self-describing schema; `from_json` round-trips everything
+// `to_json` emits (property-tested).
+
+#include "rpslyzer/ir/objects.hpp"
+#include "rpslyzer/json/json.hpp"
+
+namespace rpslyzer::ir {
+
+json::Value to_json(const Afi& v);
+json::Value to_json(const AsExpr& v);
+json::Value to_json(const Peering& v);
+json::Value to_json(const Action& v);
+json::Value to_json(const AsPathRegexNode& v);
+json::Value to_json(const AsPathRegex& v);
+json::Value to_json(const Filter& v);
+json::Value to_json(const Entry& v);
+json::Value to_json(const Rule& v);
+json::Value to_json(const AutNum& v);
+json::Value to_json(const AsSet& v);
+json::Value to_json(const RouteSet& v);
+json::Value to_json(const PeeringSet& v);
+json::Value to_json(const FilterSet& v);
+json::Value to_json(const RouteObject& v);
+json::Value to_json(const Ir& v);
+
+Afi afi_from_json(const json::Value& v);
+AsExpr as_expr_from_json(const json::Value& v);
+Peering peering_from_json(const json::Value& v);
+Action action_from_json(const json::Value& v);
+AsPathRegex aspath_regex_from_json(const json::Value& v);
+Filter filter_from_json(const json::Value& v);
+Entry entry_from_json(const json::Value& v);
+Rule rule_from_json(const json::Value& v);
+AutNum aut_num_from_json(const json::Value& v);
+AsSet as_set_from_json(const json::Value& v);
+RouteSet route_set_from_json(const json::Value& v);
+PeeringSet peering_set_from_json(const json::Value& v);
+FilterSet filter_set_from_json(const json::Value& v);
+RouteObject route_object_from_json(const json::Value& v);
+Ir ir_from_json(const json::Value& v);
+
+}  // namespace rpslyzer::ir

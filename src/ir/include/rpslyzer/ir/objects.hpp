@@ -1,0 +1,151 @@
+#pragma once
+// RPSL object classes RPSLyzer models (§3): aut-num, as-set, route-set,
+// peering-set, filter-set, and route/route6, plus the Ir container that
+// aggregates a parsed corpus.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rpslyzer/ir/policy.hpp"
+#include "rpslyzer/net/prefix_set.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::ir {
+
+/// aut-num: an AS's policies. `imports`/`exports` hold every (mp-)import/
+/// (mp-)export attribute in declaration order, which matters for reports.
+struct AutNum {
+  Asn asn = 0;
+  std::string as_name;               // as-name attribute
+  std::vector<Rule> imports;
+  std::vector<Rule> exports;
+  std::vector<std::string> member_of;  // as-sets joined via mbrs-by-ref
+  std::vector<std::string> mnt_by;
+  std::string source;                // IRR this definition was taken from
+
+  friend bool operator==(const AutNum&, const AutNum&) = default;
+};
+
+/// One member of an as-set: a plain ASN, another set's name, or the
+/// (erroneous but observed, §4) keyword ANY.
+struct AsSetMember {
+  enum class Kind : std::uint8_t { kAsn, kSet, kAny };
+  Kind kind = Kind::kAsn;
+  Asn asn = 0;
+  std::string name;
+
+  static AsSetMember of_asn(Asn a) { return {Kind::kAsn, a, {}}; }
+  static AsSetMember of_set(std::string n) { return {Kind::kSet, 0, std::move(n)}; }
+  static AsSetMember any() { return {Kind::kAny, 0, {}}; }
+
+  friend bool operator==(const AsSetMember&, const AsSetMember&) = default;
+};
+
+struct AsSet {
+  std::string name;
+  std::vector<AsSetMember> members;
+  std::vector<std::string> mbrs_by_ref;  // maintainer names, or "ANY"
+  std::vector<std::string> mnt_by;
+  std::string source;
+
+  friend bool operator==(const AsSet&, const AsSet&) = default;
+};
+
+/// One member of a route-set: an address prefix (with optional range op), or
+/// a reference to a route-set / as-set / ASN, optionally with a range
+/// operator applied to the whole referenced set, or RS-ANY/AS-ANY.
+struct RouteSetMember {
+  enum class Kind : std::uint8_t { kPrefix, kRouteSet, kAsSet, kAsn, kAny };
+  Kind kind = Kind::kPrefix;
+  net::PrefixRange prefix;  // kPrefix
+  std::string name;         // kRouteSet / kAsSet
+  Asn asn = 0;              // kAsn
+  net::RangeOp op;          // operator on the reference (kRouteSet/kAsSet/kAsn)
+
+  friend bool operator==(const RouteSetMember&, const RouteSetMember&) = default;
+};
+
+struct RouteSet {
+  std::string name;
+  std::vector<RouteSetMember> members;      // from members:
+  std::vector<RouteSetMember> mp_members;   // from mp-members: (IPv6)
+  std::vector<std::string> mbrs_by_ref;
+  std::vector<std::string> mnt_by;
+  std::string source;
+
+  friend bool operator==(const RouteSet&, const RouteSet&) = default;
+};
+
+struct PeeringSet {
+  std::string name;
+  std::vector<Peering> peerings;     // peering: attributes
+  std::vector<Peering> mp_peerings;  // mp-peering: attributes
+  std::string source;
+
+  friend bool operator==(const PeeringSet&, const PeeringSet&) = default;
+};
+
+struct FilterSet {
+  std::string name;
+  Filter filter;      // filter: attribute
+  Filter mp_filter;   // mp-filter: attribute (FilterUnknown{} when absent)
+  bool has_filter = false;
+  bool has_mp_filter = false;
+  std::string source;
+
+  friend bool operator==(const FilterSet&, const FilterSet&) = default;
+};
+
+/// route / route6: a prefix-origin registration.
+struct RouteObject {
+  net::Prefix prefix;
+  Asn origin = 0;
+  std::vector<std::string> member_of;  // route-sets joined via mbrs-by-ref
+  std::vector<std::string> mnt_by;
+  std::string source;
+
+  friend bool operator==(const RouteObject&, const RouteObject&) = default;
+};
+
+/// Case-insensitive name → object map (RPSL names are case-insensitive).
+template <typename T>
+using NameMap = std::map<std::string, T, util::ILess>;
+
+/// The intermediate representation of a full corpus: every routing-related
+/// object from one or more IRRs after merge. Mirrors the Rust `Ir` struct
+/// the paper exports (§3, footnote 2).
+struct Ir {
+  std::map<Asn, AutNum> aut_nums;
+  NameMap<AsSet> as_sets;
+  NameMap<RouteSet> route_sets;
+  NameMap<PeeringSet> peering_sets;
+  NameMap<FilterSet> filter_sets;
+  std::vector<RouteObject> routes;
+
+  std::size_t object_count() const noexcept {
+    return aut_nums.size() + as_sets.size() + route_sets.size() + peering_sets.size() +
+           filter_sets.size() + routes.size();
+  }
+
+  friend bool operator==(const Ir&, const Ir&) = default;
+};
+
+/// RFC 2622 set-name validity: an as-set name is a colon-separated sequence
+/// of components, at least one of which must start with "AS-"; the others
+/// may be plain AS numbers (hierarchical names, e.g. "AS1:AS-CUSTOMERS").
+bool valid_as_set_name(std::string_view name);
+
+/// Same for route-sets with the "RS-" prefix.
+bool valid_route_set_name(std::string_view name);
+
+/// peering-set names use "PRNG-", filter-set names use "FLTR-".
+bool valid_peering_set_name(std::string_view name);
+bool valid_filter_set_name(std::string_view name);
+
+/// Parse "AS1234" (case-insensitive) into an ASN.
+std::optional<Asn> parse_as_ref(std::string_view text) noexcept;
+
+}  // namespace rpslyzer::ir

@@ -1,0 +1,302 @@
+#pragma once
+// Policy ASTs: peerings, actions, filters, and import/export rules.
+//
+// This is the heart of the intermediate representation the paper describes
+// in §3: every import/export attribute is decomposed into an interpretable
+// tree that the verifier evaluates and that can be exported to JSON.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rpslyzer/ir/aspath_regex.hpp"
+#include "rpslyzer/net/prefix_set.hpp"
+#include "rpslyzer/util/box.hpp"
+
+namespace rpslyzer::ir {
+
+// ---------------------------------------------------------------------------
+// Address family (RFC 4012 afi specifiers: "afi ipv4.unicast", "afi any").
+// ---------------------------------------------------------------------------
+
+struct Afi {
+  enum class Ip : std::uint8_t { kAny, kIpv4, kIpv6 };
+  enum class Cast : std::uint8_t { kAny, kUnicast, kMulticast };
+
+  Ip ip = Ip::kAny;
+  Cast cast = Cast::kAny;
+
+  static constexpr Afi any() noexcept { return {}; }
+  static constexpr Afi ipv4_unicast() noexcept { return {Ip::kIpv4, Cast::kUnicast}; }
+  static constexpr Afi ipv6_unicast() noexcept { return {Ip::kIpv6, Cast::kUnicast}; }
+
+  /// Does a unicast route in family `f` fall under this afi?
+  bool covers_unicast(net::Family f) const noexcept {
+    if (cast == Cast::kMulticast) return false;
+    switch (ip) {
+      case Ip::kAny:
+        return true;
+      case Ip::kIpv4:
+        return f == net::Family::kIpv4;
+      case Ip::kIpv6:
+        return f == net::Family::kIpv6;
+    }
+    return false;
+  }
+
+  std::string to_string() const;
+  friend bool operator==(const Afi&, const Afi&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// AS expressions (the <peering> grammar's operand: ASN, as-set, AS-ANY,
+// parenthesized AND/OR/EXCEPT combinations).
+// ---------------------------------------------------------------------------
+
+struct AsExpr;
+using AsExprBox = util::Box<AsExpr>;
+
+struct AsExprAsn {
+  Asn asn = 0;
+  friend bool operator==(const AsExprAsn&, const AsExprAsn&) = default;
+};
+struct AsExprSet {
+  std::string name;  // as-set name, possibly hierarchical (AS1:AS-FOO)
+  friend bool operator==(const AsExprSet&, const AsExprSet&) = default;
+};
+struct AsExprAny {  // AS-ANY / ANY
+  friend bool operator==(const AsExprAny&, const AsExprAny&) = default;
+};
+struct AsExprAnd {
+  AsExprBox left, right;
+  friend bool operator==(const AsExprAnd&, const AsExprAnd&) = default;
+};
+struct AsExprOr {
+  AsExprBox left, right;
+  friend bool operator==(const AsExprOr&, const AsExprOr&) = default;
+};
+struct AsExprExcept {
+  AsExprBox left, right;
+  friend bool operator==(const AsExprExcept&, const AsExprExcept&) = default;
+};
+
+struct AsExpr {
+  std::variant<AsExprAsn, AsExprSet, AsExprAny, AsExprAnd, AsExprOr, AsExprExcept> node;
+  friend bool operator==(const AsExpr&, const AsExpr&) = default;
+};
+
+std::string to_string(const AsExpr& e);
+
+// ---------------------------------------------------------------------------
+// Peerings.
+// ---------------------------------------------------------------------------
+
+/// <peering> ::= <as-expression> [<mp-router-expr-1>] [at <mp-router-expr-2>]
+///             | <peering-set-name>
+/// Router expressions identify concrete BGP sessions; route verification
+/// against AS-level BGP paths cannot see routers, so we keep them as parsed
+/// text for export/inspection but do not constrain matching on them (same
+/// choice the paper makes implicitly by verifying AS pairs).
+struct PeeringSpec {
+  AsExpr as_expr;
+  std::string remote_router;  // textual router expression, may be empty
+  std::string local_router;   // after "at", may be empty
+  friend bool operator==(const PeeringSpec&, const PeeringSpec&) = default;
+};
+
+struct PeeringSetRef {
+  std::string name;  // prng-... set name
+  friend bool operator==(const PeeringSetRef&, const PeeringSetRef&) = default;
+};
+
+struct Peering {
+  std::variant<PeeringSpec, PeeringSetRef> node;
+  friend bool operator==(const Peering&, const Peering&) = default;
+};
+
+std::string to_string(const Peering& p);
+
+// ---------------------------------------------------------------------------
+// Actions ("action pref=200; community .= {64628:20};").
+// ---------------------------------------------------------------------------
+
+/// One action statement. We keep actions structured enough to answer the
+/// paper's characterization questions (which attribute, which operator)
+/// without interpreting arithmetic — verification never needs action
+/// semantics, only filters and peerings.
+struct Action {
+  enum class Kind : std::uint8_t {
+    kAssign,      // attr <op> value, e.g. pref = 200, community .= {...}
+    kMethodCall,  // attr.method(args), e.g. community.delete(a, b)
+  };
+  Kind kind = Kind::kAssign;
+  std::string attribute;  // "pref", "med", "community", "aspath", ...
+  std::string op;         // "=", ".=", "+=", ... (kAssign only)
+  std::string method;     // "append", "delete", ... (kMethodCall only)
+  std::string value;      // raw right-hand side or argument list text
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+std::string to_string(const Action& a);
+
+// ---------------------------------------------------------------------------
+// Filters.
+// ---------------------------------------------------------------------------
+
+struct Filter;
+using FilterBox = util::Box<Filter>;
+
+struct FilterAny {  // ANY
+  friend bool operator==(const FilterAny&, const FilterAny&) = default;
+};
+struct FilterPeerAs {  // PeerAS: prefixes originated by the session neighbor
+  friend bool operator==(const FilterPeerAs&, const FilterPeerAs&) = default;
+};
+struct FilterFltrMartian {  // fltr-martian built-in
+  friend bool operator==(const FilterFltrMartian&, const FilterFltrMartian&) = default;
+};
+struct FilterAsNum {  // AS64500^+ : prefixes of route objects with that origin
+  Asn asn = 0;
+  net::RangeOp op;
+  friend bool operator==(const FilterAsNum&, const FilterAsNum&) = default;
+};
+struct FilterAsSet {  // AS-FOO^- : prefixes originated by members
+  std::string name;
+  net::RangeOp op;
+  friend bool operator==(const FilterAsSet&, const FilterAsSet&) = default;
+};
+struct FilterRouteSet {  // RS-BAR^+ (range op on a set is the non-standard
+  std::string name;      // syntax the paper supports, Appendix B)
+  net::RangeOp op;
+  friend bool operator==(const FilterRouteSet&, const FilterRouteSet&) = default;
+};
+struct FilterFilterSet {  // fltr-... reference
+  std::string name;
+  friend bool operator==(const FilterFilterSet&, const FilterFilterSet&) = default;
+};
+struct FilterPrefixes {  // { 1.2.3.0/24^+, ... } with optional set-level op
+  net::PrefixSet prefixes;
+  net::RangeOp op;  // operator applied to the whole set (rare; paper skips)
+  friend bool operator==(const FilterPrefixes&, const FilterPrefixes&) = default;
+};
+struct FilterAsPath {  // <^AS1 .* AS2$>
+  AsPathRegex regex;
+  friend bool operator==(const FilterAsPath&, const FilterAsPath&) = default;
+};
+struct FilterCommunity {  // community(65535:666) / community.contains(...)
+  std::string method;     // empty for community(...), else method name
+  std::vector<std::string> args;
+  friend bool operator==(const FilterCommunity&, const FilterCommunity&) = default;
+};
+struct FilterAnd {
+  FilterBox left, right;
+  friend bool operator==(const FilterAnd&, const FilterAnd&) = default;
+};
+struct FilterOr {
+  FilterBox left, right;
+  friend bool operator==(const FilterOr&, const FilterOr&) = default;
+};
+struct FilterNot {
+  FilterBox inner;
+  friend bool operator==(const FilterNot&, const FilterNot&) = default;
+};
+struct FilterUnknown {  // unparseable text; recorded, evaluated as Skip
+  std::string text;
+  friend bool operator==(const FilterUnknown&, const FilterUnknown&) = default;
+};
+
+struct Filter {
+  std::variant<FilterAny, FilterPeerAs, FilterFltrMartian, FilterAsNum, FilterAsSet,
+               FilterRouteSet, FilterFilterSet, FilterPrefixes, FilterAsPath, FilterCommunity,
+               FilterAnd, FilterOr, FilterNot, FilterUnknown>
+      node;
+  friend bool operator==(const Filter&, const Filter&) = default;
+};
+
+std::string to_string(const Filter& f);
+
+// ---------------------------------------------------------------------------
+// Rules (import/export attributes) and Structured Policy (RFC 2622 §6.6).
+// ---------------------------------------------------------------------------
+
+struct PeeringAction {
+  Peering peering;
+  std::vector<Action> actions;
+  friend bool operator==(const PeeringAction&, const PeeringAction&) = default;
+};
+
+/// An import/export *factor* (RFC 2622 §6): one or more "from/to <peering>
+/// [action ...]" clauses sharing a single accept/announce filter.
+struct PolicyFactor {
+  std::vector<PeeringAction> peerings;
+  Filter filter;
+  friend bool operator==(const PolicyFactor&, const PolicyFactor&) = default;
+};
+
+struct Entry;
+using EntryBox = util::Box<Entry>;
+
+/// An import/export *term*: a single factor, or a brace-enclosed sequence of
+/// factors `{ factor; factor; ... }`.
+struct EntryTerm {
+  std::vector<PolicyFactor> factors;
+  friend bool operator==(const EntryTerm&, const EntryTerm&) = default;
+};
+
+/// Structured Policy combinators (RFC 2622 §6.6). Right-recursive per the
+/// RFC grammar: <term> EXCEPT <expression>. Both operands carry their own
+/// afi lists (RFC 4012 puts an afi list before each block).
+struct EntryRefine {
+  EntryBox left, right;
+  friend bool operator==(const EntryRefine&, const EntryRefine&) = default;
+};
+struct EntryExcept {
+  EntryBox left, right;
+  friend bool operator==(const EntryExcept&, const EntryExcept&) = default;
+};
+
+struct Entry {
+  /// afi specifiers preceding this term ("afi ipv4.unicast, ipv6.unicast").
+  /// Empty = unspecified: plain import/export means IPv4 unicast, the mp-
+  /// variants default to any (RFC 4012).
+  std::vector<Afi> afis;
+  std::variant<EntryTerm, EntryRefine, EntryExcept> node;
+
+  /// Does any afi of this entry cover a unicast route in family `f`?
+  /// `mp` tells how to interpret an empty afi list.
+  bool covers_unicast(net::Family f, bool mp) const noexcept {
+    if (afis.empty()) return mp || f == net::Family::kIpv4;
+    for (const auto& afi : afis) {
+      if (afi.covers_unicast(f)) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+std::string to_string(const Entry& e, bool is_import);
+
+/// One import/export (or mp-import/mp-export) attribute of an aut-num.
+struct Rule {
+  enum class Direction : std::uint8_t { kImport, kExport };
+  Direction direction = Direction::kImport;
+  bool mp = false;        // declared with the multiprotocol attribute name
+  std::string protocol;   // "protocol <p>" qualifier, if present
+  std::string into;       // "into <p>" qualifier, if present
+  Entry entry;            // the (possibly structured) policy expression
+  std::string text;       // original attribute value, for reports
+
+  bool is_import() const noexcept { return direction == Direction::kImport; }
+  friend bool operator==(const Rule& a, const Rule& b) {
+    return a.direction == b.direction && a.mp == b.mp && a.protocol == b.protocol &&
+           a.into == b.into && a.entry == b.entry;
+  }
+};
+
+std::string to_string(const Rule& r);
+
+}  // namespace rpslyzer::ir

@@ -1,0 +1,70 @@
+#include "rpslyzer/ir/objects.hpp"
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::ir {
+
+namespace {
+
+using util::iequals;
+using util::istarts_with;
+
+bool valid_set_component_word(std::string_view w) {
+  // A set-name component: letters, digits, '-' and '_' after the prefix.
+  if (w.empty()) return false;
+  for (char c : w) {
+    if (!util::is_alnum(c) && c != '-' && c != '_') return false;
+  }
+  return true;
+}
+
+/// Validates a hierarchical set name: components separated by ':', at least
+/// one component carrying the class prefix; other components must be the
+/// prefix-carrying kind or a plain ASN (RFC 2622 §5).
+bool valid_hierarchical_name(std::string_view name, std::string_view class_prefix) {
+  if (name.empty()) return false;
+  bool has_prefixed_component = false;
+  for (auto component : util::split(name, ':')) {
+    if (component.empty()) return false;
+    if (istarts_with(component, class_prefix)) {
+      if (component.size() <= class_prefix.size() || !valid_set_component_word(component))
+        return false;
+      has_prefixed_component = true;
+    } else if (istarts_with(component, "AS")) {
+      // Either an ASN like AS123 or invalid.
+      if (!parse_as_ref(component)) return false;
+    } else {
+      return false;
+    }
+  }
+  return has_prefixed_component;
+}
+
+}  // namespace
+
+bool valid_as_set_name(std::string_view name) {
+  // "AS-ANY" is reserved and must not name a real set (§4 reports one such
+  // anomaly in the wild).
+  if (iequals(name, "AS-ANY")) return false;
+  return valid_hierarchical_name(name, "AS-");
+}
+
+bool valid_route_set_name(std::string_view name) {
+  if (iequals(name, "RS-ANY")) return false;
+  return valid_hierarchical_name(name, "RS-");
+}
+
+bool valid_peering_set_name(std::string_view name) {
+  return valid_hierarchical_name(name, "PRNG-");
+}
+
+bool valid_filter_set_name(std::string_view name) {
+  return valid_hierarchical_name(name, "FLTR-");
+}
+
+std::optional<Asn> parse_as_ref(std::string_view text) noexcept {
+  if (text.size() < 3 || !istarts_with(text, "AS")) return std::nullopt;
+  return util::parse_u32(text.substr(2));
+}
+
+}  // namespace rpslyzer::ir

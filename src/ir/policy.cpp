@@ -1,0 +1,174 @@
+#include "rpslyzer/ir/policy.hpp"
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::ir {
+
+namespace {
+using util::overloaded;
+}  // namespace
+
+std::string Afi::to_string() const {
+  std::string out;
+  switch (ip) {
+    case Ip::kAny:
+      out = "any";
+      break;
+    case Ip::kIpv4:
+      out = "ipv4";
+      break;
+    case Ip::kIpv6:
+      out = "ipv6";
+      break;
+  }
+  switch (cast) {
+    case Cast::kAny:
+      break;  // bare "any"/"ipv4"/"ipv6"
+    case Cast::kUnicast:
+      out += ".unicast";
+      break;
+    case Cast::kMulticast:
+      out += ".multicast";
+      break;
+  }
+  return out;
+}
+
+std::string to_string(const AsExpr& e) {
+  return std::visit(
+      overloaded{
+          [](const AsExprAsn& a) { return "AS" + std::to_string(a.asn); },
+          [](const AsExprSet& s) { return s.name; },
+          [](const AsExprAny&) { return std::string("AS-ANY"); },
+          [](const AsExprAnd& n) {
+            return "(" + to_string(*n.left) + " AND " + to_string(*n.right) + ")";
+          },
+          [](const AsExprOr& n) {
+            return "(" + to_string(*n.left) + " OR " + to_string(*n.right) + ")";
+          },
+          [](const AsExprExcept& n) {
+            return "(" + to_string(*n.left) + " EXCEPT " + to_string(*n.right) + ")";
+          },
+      },
+      e.node);
+}
+
+std::string to_string(const Peering& p) {
+  return std::visit(overloaded{
+                        [](const PeeringSpec& s) {
+                          std::string out = to_string(s.as_expr);
+                          if (!s.remote_router.empty()) out += " " + s.remote_router;
+                          if (!s.local_router.empty()) out += " at " + s.local_router;
+                          return out;
+                        },
+                        [](const PeeringSetRef& r) { return r.name; },
+                    },
+                    p.node);
+}
+
+std::string to_string(const Action& a) {
+  if (a.kind == Action::Kind::kMethodCall) {
+    return a.attribute + "." + a.method + "(" + a.value + ")";
+  }
+  return a.attribute + " " + a.op + " " + a.value;
+}
+
+std::string to_string(const Filter& f) {
+  return std::visit(
+      overloaded{
+          [](const FilterAny&) { return std::string("ANY"); },
+          [](const FilterPeerAs&) { return std::string("PeerAS"); },
+          [](const FilterFltrMartian&) { return std::string("fltr-martian"); },
+          [](const FilterAsNum& n) { return "AS" + std::to_string(n.asn) + n.op.to_string(); },
+          [](const FilterAsSet& s) { return s.name + s.op.to_string(); },
+          [](const FilterRouteSet& s) { return s.name + s.op.to_string(); },
+          [](const FilterFilterSet& s) { return s.name; },
+          [](const FilterPrefixes& p) { return p.prefixes.to_string() + p.op.to_string(); },
+          [](const FilterAsPath& p) { return to_string(p.regex); },
+          [](const FilterCommunity& c) {
+            std::string out = "community";
+            if (!c.method.empty()) out += "." + c.method;
+            out += "(";
+            bool first = true;
+            for (const auto& arg : c.args) {
+              if (!first) out += ", ";
+              first = false;
+              out += arg;
+            }
+            out += ")";
+            return out;
+          },
+          [](const FilterAnd& n) {
+            return "(" + to_string(*n.left) + " AND " + to_string(*n.right) + ")";
+          },
+          [](const FilterOr& n) {
+            return "(" + to_string(*n.left) + " OR " + to_string(*n.right) + ")";
+          },
+          [](const FilterNot& n) { return "NOT " + to_string(*n.inner); },
+          [](const FilterUnknown& u) { return "<unparsed: " + u.text + ">"; },
+      },
+      f.node);
+}
+
+namespace {
+
+std::string factor_to_string(const PolicyFactor& s, bool is_import) {
+  std::string out;
+  for (const auto& pa : s.peerings) {
+    out += is_import ? "from " : "to ";
+    out += to_string(pa.peering);
+    if (!pa.actions.empty()) {
+      out += " action ";
+      for (const auto& a : pa.actions) out += to_string(a) + "; ";
+    }
+    out += " ";
+  }
+  out += is_import ? "accept " : "announce ";
+  out += to_string(s.filter);
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const Entry& e, bool is_import) {
+  std::string prefix;
+  if (!e.afis.empty()) {
+    prefix = "afi ";
+    bool first = true;
+    for (const auto& afi : e.afis) {
+      if (!first) prefix += ", ";
+      first = false;
+      prefix += afi.to_string();
+    }
+    prefix += " ";
+  }
+  return std::visit(
+      overloaded{
+          [&](const EntryTerm& t) {
+            if (t.factors.size() == 1) return prefix + factor_to_string(t.factors[0], is_import);
+            std::string out = prefix + "{ ";
+            for (const auto& f : t.factors) out += factor_to_string(f, is_import) + "; ";
+            return out + "}";
+          },
+          [&](const EntryRefine& r) {
+            return prefix + "{" + to_string(*r.left, is_import) + "} REFINE {" +
+                   to_string(*r.right, is_import) + "}";
+          },
+          [&](const EntryExcept& x) {
+            return prefix + "{" + to_string(*x.left, is_import) + "} EXCEPT {" +
+                   to_string(*x.right, is_import) + "}";
+          },
+      },
+      e.node);
+}
+
+std::string to_string(const Rule& r) {
+  std::string attr = r.mp ? (r.is_import() ? "mp-import" : "mp-export")
+                          : (r.is_import() ? "import" : "export");
+  std::string quals;
+  if (!r.protocol.empty()) quals += "protocol " + r.protocol + " ";
+  if (!r.into.empty()) quals += "into " + r.into + " ";
+  return attr + ": " + quals + to_string(r.entry, r.is_import());
+}
+
+}  // namespace rpslyzer::ir

@@ -1,0 +1,62 @@
+#pragma once
+// IRR dump loading and multi-IRR merging.
+//
+// The paper parses 13 IRRs and resolves conflicts by priority: authoritative
+// regional/national registries first, then RADB, then other databases,
+// ordered by size within each group (§4, Table 1). Loading here takes an
+// ordered source list; the first definition of an object key wins.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rpslyzer/ir/objects.hpp"
+#include "rpslyzer/util/diagnostics.hpp"
+
+namespace rpslyzer::irr {
+
+/// One IRR dump: a name (e.g. "RIPE") and where its RPSL text lives.
+struct IrrSource {
+  std::string name;
+  std::filesystem::path path;
+};
+
+/// Per-IRR census used for Table 1.
+struct IrrCounts {
+  std::string name;
+  std::size_t bytes = 0;
+  std::size_t objects = 0;       // raw objects lexed (any class)
+  std::size_t aut_nums = 0;
+  std::size_t routes = 0;        // route + route6
+  std::size_t imports = 0;       // import + mp-import attributes
+  std::size_t exports = 0;       // export + mp-export attributes
+  std::size_t as_sets = 0;
+  std::size_t route_sets = 0;
+  std::size_t peering_sets = 0;
+  std::size_t filter_sets = 0;
+};
+
+struct LoadResult {
+  ir::Ir ir;                      // merged, priority-resolved corpus
+  std::vector<IrrCounts> counts;  // per source, in priority order
+  util::Diagnostics diagnostics;
+  std::size_t raw_route_objects = 0;  // before (prefix, origin) dedup
+};
+
+/// Parse one dump text into a fresh Ir. `counts` may be null.
+ir::Ir parse_dump(std::string_view text, std::string_view source,
+                  util::Diagnostics& diagnostics, IrrCounts* counts = nullptr);
+
+/// Merge `src` into `dst` with first-wins priority (dst's existing objects
+/// are kept). Route objects are deduplicated by (prefix, origin).
+void merge_into(ir::Ir& dst, ir::Ir&& src);
+
+/// Load and merge dump files in priority order. Missing files raise a
+/// diagnostic and are skipped (the paper tolerates unavailable dumps, §4).
+LoadResult load_irrs(const std::vector<IrrSource>& sources);
+
+/// The paper's 13 IRRs in priority order (Table 1): names only; callers
+/// supply the directory holding "<name>.db" files.
+std::vector<IrrSource> table1_sources(const std::filesystem::path& directory);
+
+}  // namespace rpslyzer::irr

@@ -1,0 +1,137 @@
+#include "rpslyzer/irr/loader.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "rpslyzer/rpsl/object_lexer.hpp"
+#include "rpslyzer/rpsl/object_parser.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::irr {
+
+namespace {
+
+void count_rules(const ir::AutNum& an, IrrCounts& counts) {
+  counts.imports += an.imports.size();
+  counts.exports += an.exports.size();
+}
+
+}  // namespace
+
+ir::Ir parse_dump(std::string_view text, std::string_view source,
+                  util::Diagnostics& diagnostics, IrrCounts* counts) {
+  ir::Ir ir;
+  auto raw_objects = rpsl::lex_objects(text, source, diagnostics);
+  if (counts != nullptr) {
+    counts->bytes = text.size();
+    counts->objects += raw_objects.size();
+  }
+  for (const auto& raw : raw_objects) {
+    rpsl::ParsedObject parsed = rpsl::parse_object(raw, diagnostics);
+    std::visit(util::overloaded{
+                   [](std::monostate) {},
+                   [&](ir::AutNum& an) {
+                     if (counts != nullptr) {
+                       ++counts->aut_nums;
+                       count_rules(an, *counts);
+                     }
+                     ir.aut_nums.emplace(an.asn, std::move(an));
+                   },
+                   [&](ir::AsSet& s) {
+                     if (counts != nullptr) ++counts->as_sets;
+                     ir.as_sets.emplace(s.name, std::move(s));
+                   },
+                   [&](ir::RouteSet& s) {
+                     if (counts != nullptr) ++counts->route_sets;
+                     ir.route_sets.emplace(s.name, std::move(s));
+                   },
+                   [&](ir::PeeringSet& s) {
+                     if (counts != nullptr) ++counts->peering_sets;
+                     ir.peering_sets.emplace(s.name, std::move(s));
+                   },
+                   [&](ir::FilterSet& s) {
+                     if (counts != nullptr) ++counts->filter_sets;
+                     ir.filter_sets.emplace(s.name, std::move(s));
+                   },
+                   [&](ir::RouteObject& r) {
+                     if (counts != nullptr) ++counts->routes;
+                     ir.routes.push_back(std::move(r));
+                   },
+               },
+               parsed);
+  }
+  return ir;
+}
+
+void merge_into(ir::Ir& dst, ir::Ir&& src) {
+  // map::merge keeps dst's entry on key conflict — exactly first-wins.
+  dst.aut_nums.merge(src.aut_nums);
+  dst.as_sets.merge(src.as_sets);
+  dst.route_sets.merge(src.route_sets);
+  dst.peering_sets.merge(src.peering_sets);
+  dst.filter_sets.merge(src.filter_sets);
+
+  // Routes: dedup by (prefix, origin); the first (higher-priority) object
+  // is kept. Rebuild the key set each call would be quadratic over many
+  // merges, so callers merging repeatedly should prefer load_irrs (which
+  // maintains the key set across merges); this standalone path recomputes.
+  std::set<std::pair<net::Prefix, ir::Asn>> seen;
+  for (const auto& r : dst.routes) seen.emplace(r.prefix, r.origin);
+  for (auto& r : src.routes) {
+    if (seen.emplace(r.prefix, r.origin).second) dst.routes.push_back(std::move(r));
+  }
+  src.routes.clear();
+}
+
+LoadResult load_irrs(const std::vector<IrrSource>& sources) {
+  LoadResult result;
+  std::set<std::pair<net::Prefix, ir::Asn>> seen_routes;
+  for (const auto& source : sources) {
+    IrrCounts counts;
+    counts.name = source.name;
+
+    std::ifstream in(source.path, std::ios::binary);
+    if (!in) {
+      result.diagnostics.warning(util::DiagnosticKind::kOther,
+                                 "IRR dump unavailable: " + source.path.string(),
+                                 source.name, {source.name, 0});
+      result.counts.push_back(std::move(counts));
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = std::move(buffer).str();
+
+    ir::Ir parsed = parse_dump(text, source.name, result.diagnostics, &counts);
+    result.raw_route_objects += parsed.routes.size();
+
+    result.ir.aut_nums.merge(parsed.aut_nums);
+    result.ir.as_sets.merge(parsed.as_sets);
+    result.ir.route_sets.merge(parsed.route_sets);
+    result.ir.peering_sets.merge(parsed.peering_sets);
+    result.ir.filter_sets.merge(parsed.filter_sets);
+    for (auto& r : parsed.routes) {
+      if (seen_routes.emplace(r.prefix, r.origin).second) {
+        result.ir.routes.push_back(std::move(r));
+      }
+    }
+    result.counts.push_back(std::move(counts));
+  }
+  return result;
+}
+
+std::vector<IrrSource> table1_sources(const std::filesystem::path& directory) {
+  // Table 1 order: authoritative regional and national registries, RADB,
+  // then other databases.
+  static const char* kNames[] = {"APNIC", "AFRINIC", "ARIN",   "LACNIC", "RIPE",
+                                 "IDNIC", "JPIRR",   "RADB",   "NTTCOM", "LEVEL3",
+                                 "TC",    "REACH",   "ALTDB"};
+  std::vector<IrrSource> sources;
+  for (const char* name : kNames) {
+    sources.push_back({name, directory / (util::lower(name) + ".db")});
+  }
+  return sources;
+}
+
+}  // namespace rpslyzer::irr

@@ -1,0 +1,98 @@
+#pragma once
+// Minimal JSON document model, writer and parser.
+//
+// RPSLyzer exports its intermediate representation to JSON "for integration
+// with other tools that leverage RPSL information" (§3). This module is the
+// self-contained substrate for that export: a value type, a compact/pretty
+// writer, and a strict RFC 8259 parser used to round-trip the IR in tests.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace rpslyzer::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+// std::map keeps object keys ordered, which makes exports deterministic and
+// diffable — important for the golden-file tests.
+using Object = std::map<std::string, Value, std::less<>>;
+
+/// Thrown by the parser on malformed input and by typed accessors on
+/// type mismatch.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+/// Integers are kept distinct from doubles so ASNs and counters survive a
+/// round-trip exactly.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::uint64_t i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+  bool is_int() const noexcept { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_double() const noexcept { return std::holds_alternative<double>(data_); }
+  bool is_number() const noexcept { return is_int() || is_double(); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(data_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object member access; throws JsonError if not an object or key missing.
+  const Value& at(std::string_view key) const;
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const noexcept;
+  /// Array element access; throws JsonError when out of range.
+  const Value& at(std::size_t index) const;
+
+  /// Insert-or-assign into an object value (converts null to object first).
+  Value& operator[](std::string_view key);
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> data_;
+};
+
+/// Serialize compactly (no whitespace).
+std::string dump(const Value& v);
+
+/// Serialize with 2-space indentation.
+std::string dump_pretty(const Value& v);
+
+/// Parse a complete JSON document; throws JsonError on malformed input or
+/// trailing garbage.
+Value parse(std::string_view text);
+
+}  // namespace rpslyzer::json

@@ -1,0 +1,121 @@
+#include "rpslyzer/lint/classify.hpp"
+
+#include "rpslyzer/stats/bgpq4.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::lint {
+
+namespace {
+
+using util::overloaded;
+
+bool entry_uses_sets(const ir::Entry& entry);
+
+bool filter_uses_sets(const ir::Filter& filter) {
+  return std::visit(overloaded{
+                        [](const ir::FilterAsSet&) { return true; },
+                        [](const ir::FilterRouteSet&) { return true; },
+                        [](const ir::FilterFilterSet&) { return true; },
+                        [](const ir::FilterAnd& f) {
+                          return filter_uses_sets(*f.left) || filter_uses_sets(*f.right);
+                        },
+                        [](const ir::FilterOr& f) {
+                          return filter_uses_sets(*f.left) || filter_uses_sets(*f.right);
+                        },
+                        [](const ir::FilterNot& f) { return filter_uses_sets(*f.inner); },
+                        [](const auto&) { return false; },
+                    },
+                    filter.node);
+}
+
+bool entry_uses_sets(const ir::Entry& entry) {
+  return std::visit(
+      overloaded{
+          [](const ir::EntryTerm& term) {
+            for (const auto& factor : term.factors) {
+              if (filter_uses_sets(factor.filter)) return true;
+              for (const auto& pa : factor.peerings) {
+                const auto* spec = std::get_if<ir::PeeringSpec>(&pa.peering.node);
+                if (spec != nullptr &&
+                    std::holds_alternative<ir::AsExprSet>(spec->as_expr.node)) {
+                  return true;
+                }
+                if (std::holds_alternative<ir::PeeringSetRef>(pa.peering.node)) return true;
+              }
+            }
+            return false;
+          },
+          [](const ir::EntryExcept& e) {
+            return entry_uses_sets(*e.left) || entry_uses_sets(*e.right);
+          },
+          [](const ir::EntryRefine& e) {
+            return entry_uses_sets(*e.left) || entry_uses_sets(*e.right);
+          },
+      },
+      entry.node);
+}
+
+}  // namespace
+
+const char* to_string(UsageClass c) noexcept {
+  switch (c) {
+    case UsageClass::kAbsent:
+      return "absent";
+    case UsageClass::kSilent:
+      return "silent";
+    case UsageClass::kMinimal:
+      return "minimal";
+    case UsageClass::kBasic:
+      return "basic";
+    case UsageClass::kExpressive:
+      return "expressive";
+    case UsageClass::kPolicyRich:
+      return "policy-rich";
+  }
+  return "unknown";
+}
+
+Classification classify(const ir::AutNum* aut_num) {
+  Classification out;
+  if (aut_num == nullptr) {
+    out.usage = UsageClass::kAbsent;
+    return out;
+  }
+  out.rules = aut_num->imports.size() + aut_num->exports.size();
+  for (const auto* rules : {&aut_num->imports, &aut_num->exports}) {
+    for (const auto& rule : *rules) {
+      if (!stats::bgpq4_compatible(rule)) ++out.compound_rules;
+      if (!out.uses_sets && entry_uses_sets(rule.entry)) out.uses_sets = true;
+    }
+  }
+  if (out.rules == 0) {
+    out.usage = UsageClass::kSilent;
+  } else if (out.rules > 200) {
+    out.usage = UsageClass::kPolicyRich;
+  } else if (out.compound_rules > 0) {
+    out.usage = UsageClass::kExpressive;
+  } else if (out.rules <= 2) {
+    out.usage = UsageClass::kMinimal;
+  } else {
+    out.usage = UsageClass::kBasic;
+  }
+  return out;
+}
+
+std::map<ir::Asn, Classification> classify_all(const ir::Ir& ir,
+                                               const std::vector<ir::Asn>& universe) {
+  std::map<ir::Asn, Classification> out;
+  for (const auto& [asn, an] : ir.aut_nums) out.emplace(asn, classify(&an));
+  for (ir::Asn asn : universe) {
+    if (!out.contains(asn)) out.emplace(asn, classify(nullptr));
+  }
+  return out;
+}
+
+std::map<UsageClass, std::size_t> histogram(const std::map<ir::Asn, Classification>& all) {
+  std::map<UsageClass, std::size_t> out;
+  for (const auto& [asn, c] : all) ++out[c.usage];
+  return out;
+}
+
+}  // namespace rpslyzer::lint

@@ -1,0 +1,67 @@
+#pragma once
+// RPSL linter — the paper's first named piece of future work (§7: "further
+// RPSL tooling such as linters"). Each check flags a concrete §4/§5 finding
+// so operators can fix their objects before the issues surface as
+// unrecorded or unverified routes.
+
+#include <string>
+#include <vector>
+
+#include "rpslyzer/irr/index.hpp"
+
+namespace rpslyzer::lint {
+
+enum class LintCode : std::uint8_t {
+  // aut-num findings.
+  kNoRules,                 // aut-num declares no policy at all (§4: 35.2%)
+  kExportSelfShape,         // transit "to P announce <self>" (§5.1.1)
+  kImportCustomerShape,     // "from C accept C" / accept PeerAS (§5.1.1)
+  kRuleReferencesMissingSet,     // as/route/peering/filter-set not in any IRR
+  kRuleReferencesZeroRouteAs,    // filter AS never originates route objects
+  kSkippedConstruct,        // community filter / ASN-range regex / ~ operators
+  kUnparseableFilter,       // filter text the parser could not interpret
+  // as-set findings (§4's opacity census).
+  kEmptyAsSet,
+  kSingleMemberAsSet,
+  kAsSetContainsAny,
+  kAsSetLoop,
+  kAsSetDeepNesting,        // flattening depth >= 5
+  kAsSetMissingMember,      // member set not defined in any IRR
+  kReservedSetName,         // a set named AS-ANY / RS-ANY
+  // route-set findings.
+  kRouteSetUnreferenced,    // defined but never used by any rule
+  // route-object findings.
+  kAnnouncedPrefixUnregistered,  // aut-num rules imply origination, but no
+                                 // route object exists (needs BGP data; the
+                                 // static variant checks filter self-refs)
+  kMultiOriginPrefix,            // same prefix registered under 2+ origins
+};
+
+const char* to_string(LintCode code) noexcept;
+
+enum class LintSeverity : std::uint8_t { kInfo, kWarning, kError };
+
+struct LintFinding {
+  LintCode code;
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string object;   // "aut-num:AS64500", "as-set:AS-FOO", ...
+  std::string message;  // human-readable explanation with a recommendation
+};
+
+struct LintOptions {
+  bool check_aut_nums = true;
+  bool check_as_sets = true;
+  bool check_route_sets = true;
+  bool check_route_objects = true;
+  /// Suppress the (noisy) info-level findings.
+  bool include_info = true;
+};
+
+/// Lint a whole corpus. Findings are ordered by object key.
+std::vector<LintFinding> lint(const ir::Ir& ir, const irr::Index& index,
+                              const LintOptions& options = {});
+
+/// Render findings as "level object: message" lines.
+std::string render(const std::vector<LintFinding>& findings);
+
+}  // namespace rpslyzer::lint

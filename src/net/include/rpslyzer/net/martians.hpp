@@ -1,0 +1,15 @@
+#pragma once
+// The `fltr-martian` built-in: reserved, private, and otherwise unroutable
+// address space. RPSL policies commonly reject these ("accept NOT
+// fltr-martian", Appendix A example #4).
+
+#include "rpslyzer/net/prefix.hpp"
+
+namespace rpslyzer::net {
+
+/// True if `p` falls inside well-known martian/bogon space or has a length
+/// conventionally rejected in the DFZ (IPv4 longer than /24 when covered by
+/// no martian, is NOT treated as a martian here — only address-space rules).
+bool is_martian(const Prefix& p) noexcept;
+
+}  // namespace rpslyzer::net

@@ -1,0 +1,129 @@
+#pragma once
+// IP prefixes and RPSL range operators.
+//
+// RFC 2622 §2 defines range operators on address prefixes:
+//   ^-     exclusive more-specifics,
+//   ^+     inclusive more-specifics,
+//   ^n     more-specifics of exactly length n,
+//   ^n-m   more-specifics of lengths n through m.
+// This module implements their semantics, including composition (an operator
+// applied to an already-ranged prefix), which the resolver needs for the
+// non-standard "route-set followed by range operator" syntax the paper
+// supports (Appendix B).
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rpslyzer/net/ip.hpp"
+
+namespace rpslyzer::net {
+
+/// A CIDR prefix. The stored address is always masked to the prefix length,
+/// so equal prefixes compare equal bytewise.
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+  constexpr Prefix(IpAddress addr, std::uint8_t len) noexcept
+      : addr_(addr.masked(normalize_len(addr.family(), len))),
+        len_(normalize_len(addr.family(), len)) {}
+
+  /// Parse "a.b.c.d/len" or "hex:groups::/len". A bare address parses as a
+  /// host prefix (/32 or /128). Returns nullopt on malformed input or
+  /// out-of-range length.
+  static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  constexpr IpAddress address() const noexcept { return addr_; }
+  constexpr std::uint8_t length() const noexcept { return len_; }
+  constexpr Family family() const noexcept { return addr_.family(); }
+  constexpr bool is_v4() const noexcept { return addr_.is_v4(); }
+  constexpr std::uint8_t max_length() const noexcept { return max_prefix_len(family()); }
+
+  /// True if `other` is equal to or more specific than this prefix.
+  constexpr bool covers(const Prefix& other) const noexcept {
+    return family() == other.family() && len_ <= other.len_ &&
+           other.addr_.masked(len_) == addr_;
+  }
+
+  /// True if the address falls inside this prefix.
+  constexpr bool contains(const IpAddress& addr) const noexcept {
+    return family() == addr.family() && addr.masked(len_) == addr_;
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix& a, const Prefix& b) noexcept {
+    if (auto c = a.addr_ <=> b.addr_; c != 0) return c;
+    return a.len_ <=> b.len_;
+  }
+  friend constexpr bool operator==(const Prefix&, const Prefix&) noexcept = default;
+
+ private:
+  static constexpr std::uint8_t normalize_len(Family f, std::uint8_t len) noexcept {
+    const std::uint8_t max = max_prefix_len(f);
+    return len > max ? max : len;
+  }
+
+  IpAddress addr_{};
+  std::uint8_t len_ = 0;
+};
+
+/// An RPSL range operator.
+struct RangeOp {
+  enum class Kind : std::uint8_t {
+    kNone,   // no operator: exact-prefix match
+    kMinus,  // ^- : strictly more specific
+    kPlus,   // ^+ : this prefix or more specific
+    kExact,  // ^n : more specifics of exactly length n (n may equal len)
+    kRange,  // ^n-m
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint8_t n = 0;  // kExact: the length; kRange: lower bound
+  std::uint8_t m = 0;  // kRange: upper bound
+
+  static constexpr RangeOp none() noexcept { return {}; }
+  static constexpr RangeOp minus() noexcept { return {Kind::kMinus, 0, 0}; }
+  static constexpr RangeOp plus() noexcept { return {Kind::kPlus, 0, 0}; }
+  static constexpr RangeOp exact(std::uint8_t n) noexcept { return {Kind::kExact, n, n}; }
+  static constexpr RangeOp range(std::uint8_t n, std::uint8_t m) noexcept {
+    return {Kind::kRange, n, m};
+  }
+
+  constexpr bool is_none() const noexcept { return kind == Kind::kNone; }
+
+  /// Parse the text after '^': "-", "+", "n", or "n-m".
+  static std::optional<RangeOp> parse(std::string_view text) noexcept;
+
+  /// Render including the leading '^' ("" for kNone).
+  std::string to_string() const;
+
+  friend constexpr bool operator==(const RangeOp&, const RangeOp&) noexcept = default;
+};
+
+/// The inclusive [lo, hi] prefix-length interval a range operator selects
+/// when applied to a base prefix of length `len` in family `family`;
+/// nullopt when the selection is empty (e.g. ^8 applied to a /16).
+std::optional<std::pair<std::uint8_t, std::uint8_t>> length_interval(
+    const RangeOp& op, std::uint8_t len, Family family) noexcept;
+
+/// True if route prefix `p` matches `base` under range operator `op`
+/// (RFC 2622 semantics: p must be inside base and its length must fall in
+/// the operator's interval).
+bool matches(const Prefix& base, const RangeOp& op, const Prefix& p) noexcept;
+
+/// The length interval selected by applying `outer` to the set
+/// "base^inner" where base has length `len` (the composition case: a range
+/// operator attached to a set reference that already carries per-member
+/// operators, Appendix B's non-standard syntax). RFC 2622 reduces the
+/// composition to a single interval; nullopt when empty.
+std::optional<std::pair<std::uint8_t, std::uint8_t>> composed_interval(
+    const RangeOp& inner, const RangeOp& outer, std::uint8_t len, Family family) noexcept;
+
+/// True if `p` matches "base^inner" with `outer` applied on top.
+bool matches_composed(const Prefix& base, const RangeOp& inner, const RangeOp& outer,
+                      const Prefix& p) noexcept;
+
+}  // namespace rpslyzer::net

@@ -1,0 +1,61 @@
+#pragma once
+// Address-prefix sets: the `{ 1.2.3.0/24^+, ... }` construct in RPSL filters
+// and the member lists of route-set objects.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpslyzer/net/prefix.hpp"
+
+namespace rpslyzer::net {
+
+/// One element of an address-prefix set: a prefix plus an optional range
+/// operator ("1.2.3.0/24^25-32").
+struct PrefixRange {
+  Prefix prefix;
+  RangeOp op;
+
+  /// Parse "prefix[^op]".
+  static std::optional<PrefixRange> parse(std::string_view text) noexcept;
+
+  /// Does route prefix `p` fall into this element?
+  bool matches(const Prefix& p) const noexcept { return net::matches(prefix, op, p); }
+
+  /// Same with an extra operator applied on top (set-level operator).
+  bool matches_with(const RangeOp& outer, const Prefix& p) const noexcept {
+    return net::matches_composed(prefix, op, outer, p);
+  }
+
+  std::string to_string() const { return prefix.to_string() + op.to_string(); }
+
+  friend bool operator==(const PrefixRange&, const PrefixRange&) noexcept = default;
+};
+
+/// A flat set of prefix ranges with linear matching. Policy filters in the
+/// wild hold at most a handful of inline prefixes, so a vector scan wins
+/// over a trie here; large collections (route objects) use PrefixTrie or the
+/// per-origin sorted index instead.
+class PrefixSet {
+ public:
+  PrefixSet() = default;
+  explicit PrefixSet(std::vector<PrefixRange> ranges) : ranges_(std::move(ranges)) {}
+
+  void add(PrefixRange r) { ranges_.push_back(r); }
+  const std::vector<PrefixRange>& ranges() const noexcept { return ranges_; }
+  bool empty() const noexcept { return ranges_.empty(); }
+  std::size_t size() const noexcept { return ranges_.size(); }
+
+  bool matches(const Prefix& p) const noexcept;
+  bool matches_with(const RangeOp& outer, const Prefix& p) const noexcept;
+
+  std::string to_string() const;
+
+  friend bool operator==(const PrefixSet&, const PrefixSet&) noexcept = default;
+
+ private:
+  std::vector<PrefixRange> ranges_;
+};
+
+}  // namespace rpslyzer::net

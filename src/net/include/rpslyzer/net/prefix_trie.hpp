@@ -1,0 +1,98 @@
+#pragma once
+// Binary prefix trie with per-family roots.
+//
+// Used for martian lookups and coverage queries ("is this route prefix
+// covered by any prefix in the set, possibly with a range operator?").
+// Header-only template so payload types stay flexible.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rpslyzer/net/prefix.hpp"
+
+namespace rpslyzer::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  /// Insert (or overwrite) the value stored at `prefix`.
+  void insert(const Prefix& prefix, T value) {
+    Node* node = &root(prefix.family());
+    for (std::uint8_t i = 0; i < prefix.length(); ++i) {
+      auto& child = prefix.address().bit(i) ? node->one : node->zero;
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    node->value = std::move(value);
+  }
+
+  /// Value stored exactly at `prefix`, if any.
+  const T* exact(const Prefix& prefix) const noexcept {
+    const Node* node = &root(prefix.family());
+    for (std::uint8_t i = 0; i < prefix.length(); ++i) {
+      node = (prefix.address().bit(i) ? node->one : node->zero).get();
+      if (node == nullptr) return nullptr;
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  /// Longest stored prefix covering `prefix` (including itself); returns the
+  /// covering prefix and its value.
+  std::optional<std::pair<Prefix, const T*>> longest_match(const Prefix& prefix) const {
+    const Node* node = &root(prefix.family());
+    const T* best = node->value ? &*node->value : nullptr;
+    std::uint8_t best_len = 0;
+    std::uint8_t i = 0;
+    for (; i < prefix.length(); ++i) {
+      node = (prefix.address().bit(i) ? node->one : node->zero).get();
+      if (node == nullptr) break;
+      if (node->value) {
+        best = &*node->value;
+        best_len = static_cast<std::uint8_t>(i + 1);
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Prefix(prefix.address(), best_len), best);
+  }
+
+  /// Visit every stored (covering) prefix on the path to `prefix`, most
+  /// general first. `visit(covering_prefix, value)` returns false to stop.
+  template <typename Visit>
+  void for_each_cover(const Prefix& prefix, Visit visit) const {
+    const Node* node = &root(prefix.family());
+    if (node->value && !visit(Prefix(prefix.address(), 0), *node->value)) return;
+    for (std::uint8_t i = 0; i < prefix.length(); ++i) {
+      node = (prefix.address().bit(i) ? node->one : node->zero).get();
+      if (node == nullptr) return;
+      if (node->value &&
+          !visit(Prefix(prefix.address(), static_cast<std::uint8_t>(i + 1)), *node->value)) {
+        return;
+      }
+    }
+  }
+
+  /// Number of stored values.
+  std::size_t size() const noexcept { return count(&v4_root_) + count(&v6_root_); }
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+    std::optional<T> value;
+  };
+
+  Node& root(Family f) noexcept { return f == Family::kIpv4 ? v4_root_ : v6_root_; }
+  const Node& root(Family f) const noexcept { return f == Family::kIpv4 ? v4_root_ : v6_root_; }
+
+  static std::size_t count(const Node* node) noexcept {
+    if (node == nullptr) return 0;
+    return (node->value ? 1 : 0) + count(node->zero.get()) + count(node->one.get());
+  }
+
+  Node v4_root_;
+  Node v6_root_;
+};
+
+}  // namespace rpslyzer::net

@@ -1,0 +1,152 @@
+#include "rpslyzer/net/ip.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::net {
+
+namespace {
+
+std::optional<std::uint32_t> parse_v4_value(std::string_view text) noexcept {
+  auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (auto part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    auto octet = util::parse_u32(part);
+    if (!octet || *octet > 255) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  return value;
+}
+
+std::optional<std::uint16_t> parse_hex_group(std::string_view text) noexcept {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+std::optional<IpAddress> parse_v6(std::string_view text) noexcept {
+  // Split at "::" if present; each side is a colon-separated group list.
+  std::array<std::uint16_t, 8> groups{};
+  std::size_t double_colon = text.find("::");
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+
+  auto parse_groups = [](std::string_view part,
+                         std::vector<std::uint16_t>& out) noexcept -> bool {
+    if (part.empty()) return true;
+    auto fields = util::split(part, ':');
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      std::string_view field = fields[i];
+      if (field.find('.') != std::string_view::npos) {
+        // Embedded IPv4 tail, must be the last field.
+        if (i + 1 != fields.size()) return false;
+        auto v4 = parse_v4_value(field);
+        if (!v4) return false;
+        out.push_back(static_cast<std::uint16_t>(*v4 >> 16));
+        out.push_back(static_cast<std::uint16_t>(*v4 & 0xFFFF));
+        return true;
+      }
+      auto group = parse_hex_group(field);
+      if (!group) return false;
+      out.push_back(*group);
+    }
+    return true;
+  };
+
+  if (double_colon == std::string_view::npos) {
+    if (!parse_groups(text, head) || head.size() != 8) return std::nullopt;
+    for (std::size_t i = 0; i < 8; ++i) groups[i] = head[i];
+  } else {
+    std::string_view left = text.substr(0, double_colon);
+    std::string_view right = text.substr(double_colon + 2);
+    // Reject a second "::".
+    if (right.find("::") != std::string_view::npos) return std::nullopt;
+    if (!parse_groups(left, head) || !parse_groups(right, tail)) return std::nullopt;
+    if (head.size() + tail.size() > 7) return std::nullopt;  // "::" covers >= 1 group
+    for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+    for (std::size_t i = 0; i < tail.size(); ++i) groups[8 - tail.size() + i] = tail[i];
+  }
+
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[static_cast<std::size_t>(i)];
+  return IpAddress::v6(hi, lo);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  auto v4 = parse_v4_value(text);
+  if (!v4) return std::nullopt;
+  return IpAddress::v4(*v4);
+}
+
+std::string IpAddress::to_string() const {
+  char buf[48];
+  if (is_v4()) {
+    const std::uint32_t v = v4_value();
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (v >> 24) & 0xFF, (v >> 16) & 0xFF,
+                  (v >> 8) & 0xFF, v & 0xFF);
+    return buf;
+  }
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 4; ++i)
+    groups[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(hi_ >> (48 - 16 * i));
+  for (int i = 0; i < 4; ++i)
+    groups[static_cast<std::size_t>(4 + i)] = static_cast<std::uint16_t>(lo_ >> (48 - 16 * i));
+
+  // RFC 5952: compress the longest run of zero groups (length >= 2).
+  int best_start = -1;
+  int best_len = 0;
+  int run_start = -1;
+  int run_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (groups[static_cast<std::size_t>(i)] == 0) {
+      if (run_start < 0) run_start = i;
+      ++run_len;
+      if (run_len > best_len) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_start = -1;
+      run_len = 0;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out.push_back(':');
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace rpslyzer::net

@@ -1,0 +1,62 @@
+#include "rpslyzer/net/martians.hpp"
+
+#include <array>
+
+namespace rpslyzer::net {
+
+namespace {
+
+Prefix p4(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d,
+          std::uint8_t len) {
+  return Prefix(IpAddress::v4((a << 24) | (b << 16) | (c << 8) | d), len);
+}
+
+// IPv4 martians per RFC 6890 and conventional bogon lists.
+const std::array<Prefix, 13>& v4_martians() {
+  static const std::array<Prefix, 13> table = {
+      p4(0, 0, 0, 0, 8),        // "this" network
+      p4(10, 0, 0, 0, 8),       // RFC 1918
+      p4(100, 64, 0, 0, 10),    // CGNAT
+      p4(127, 0, 0, 0, 8),      // loopback
+      p4(169, 254, 0, 0, 16),   // link local
+      p4(172, 16, 0, 0, 12),    // RFC 1918
+      p4(192, 0, 0, 0, 24),     // IETF protocol assignments
+      p4(192, 0, 2, 0, 24),     // TEST-NET-1
+      p4(192, 168, 0, 0, 16),   // RFC 1918
+      p4(198, 18, 0, 0, 15),    // benchmarking
+      p4(198, 51, 100, 0, 24),  // TEST-NET-2
+      p4(203, 0, 113, 0, 24),   // TEST-NET-3
+      p4(224, 0, 0, 0, 3),      // multicast + class E
+  };
+  return table;
+}
+
+// IPv6 martians: everything outside 2000::/3 plus documentation/ULA space.
+const std::array<Prefix, 3>& v6_martians() {
+  static const std::array<Prefix, 3> table = {
+      Prefix(IpAddress::v6(0xfc00'0000'0000'0000ULL, 0), 7),   // ULA
+      Prefix(IpAddress::v6(0xfe80'0000'0000'0000ULL, 0), 10),  // link local
+      Prefix(IpAddress::v6(0x2001'0db8'0000'0000ULL, 0), 32),  // documentation
+  };
+  return table;
+}
+
+}  // namespace
+
+bool is_martian(const Prefix& p) noexcept {
+  if (p.is_v4()) {
+    for (const auto& m : v4_martians()) {
+      if (m.covers(p)) return true;
+    }
+    return false;
+  }
+  // Global unicast is 2000::/3; anything else is martian.
+  static const Prefix global_unicast(IpAddress::v6(0x2000'0000'0000'0000ULL, 0), 3);
+  if (!global_unicast.covers(p)) return true;
+  for (const auto& m : v6_martians()) {
+    if (m.covers(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace rpslyzer::net

@@ -1,0 +1,139 @@
+#include "rpslyzer/net/prefix.hpp"
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  text = util::trim(text);
+  if (text.empty()) return std::nullopt;
+  const std::size_t slash = text.rfind('/');
+  std::string_view addr_part = (slash == std::string_view::npos) ? text : text.substr(0, slash);
+  auto addr = IpAddress::parse(addr_part);
+  if (!addr) return std::nullopt;
+  std::uint8_t len = max_prefix_len(addr->family());
+  if (slash != std::string_view::npos) {
+    auto parsed = util::parse_u8(text.substr(slash + 1));
+    if (!parsed || *parsed > max_prefix_len(addr->family())) return std::nullopt;
+    len = *parsed;
+  }
+  return Prefix(*addr, len);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+std::optional<RangeOp> RangeOp::parse(std::string_view text) noexcept {
+  text = util::trim(text);
+  if (text == "-") return minus();
+  if (text == "+") return plus();
+  const std::size_t dash = text.find('-');
+  if (dash == std::string_view::npos) {
+    auto n = util::parse_u8(text);
+    if (!n) return std::nullopt;
+    return exact(*n);
+  }
+  auto n = util::parse_u8(text.substr(0, dash));
+  auto m = util::parse_u8(text.substr(dash + 1));
+  if (!n || !m || *n > *m) return std::nullopt;
+  return range(*n, *m);
+}
+
+std::string RangeOp::to_string() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "";
+    case Kind::kMinus:
+      return "^-";
+    case Kind::kPlus:
+      return "^+";
+    case Kind::kExact:
+      return "^" + std::to_string(n);
+    case Kind::kRange:
+      return "^" + std::to_string(n) + "-" + std::to_string(m);
+  }
+  return "";
+}
+
+std::optional<std::pair<std::uint8_t, std::uint8_t>> length_interval(const RangeOp& op,
+                                                                     std::uint8_t len,
+                                                                     Family family) noexcept {
+  const std::uint8_t max = max_prefix_len(family);
+  if (len > max) return std::nullopt;
+  std::uint8_t lo = 0;
+  std::uint8_t hi = 0;
+  switch (op.kind) {
+    case RangeOp::Kind::kNone:
+      lo = hi = len;
+      break;
+    case RangeOp::Kind::kMinus:
+      if (len == max) return std::nullopt;  // a host prefix has no more specifics
+      lo = static_cast<std::uint8_t>(len + 1);
+      hi = max;
+      break;
+    case RangeOp::Kind::kPlus:
+      lo = len;
+      hi = max;
+      break;
+    case RangeOp::Kind::kExact:
+    case RangeOp::Kind::kRange:
+      // "More specifics of length n to m": lengths below the base prefix
+      // length select nothing, so clamp the lower bound up to `len`.
+      lo = op.n > len ? op.n : len;
+      hi = op.m < max ? op.m : max;
+      break;
+  }
+  if (lo > hi) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+bool matches(const Prefix& base, const RangeOp& op, const Prefix& p) noexcept {
+  if (!base.covers(p)) return false;
+  auto interval = length_interval(op, base.length(), base.family());
+  return interval && p.length() >= interval->first && p.length() <= interval->second;
+}
+
+std::optional<std::pair<std::uint8_t, std::uint8_t>> composed_interval(
+    const RangeOp& inner, const RangeOp& outer, std::uint8_t len, Family family) noexcept {
+  auto in = length_interval(inner, len, family);
+  if (!in) return std::nullopt;
+  if (outer.is_none()) return in;
+  const std::uint8_t max = max_prefix_len(family);
+  const auto [ilo, ihi] = *in;
+  std::uint8_t lo = 0;
+  std::uint8_t hi = 0;
+  switch (outer.kind) {
+    case RangeOp::Kind::kNone:
+      return in;  // handled above; keep the compiler satisfied
+    case RangeOp::Kind::kPlus:
+      // More-specific-or-self of any selected element: lengths from the
+      // shortest selected element down to host routes.
+      lo = ilo;
+      hi = max;
+      break;
+    case RangeOp::Kind::kMinus:
+      // Strictly more specific than some selected element; the loosest
+      // constraint comes from the shortest element.
+      if (ilo == max) return std::nullopt;
+      lo = static_cast<std::uint8_t>(ilo + 1);
+      hi = max;
+      break;
+    case RangeOp::Kind::kExact:
+    case RangeOp::Kind::kRange:
+      lo = outer.n > ilo ? outer.n : ilo;
+      hi = outer.m < max ? outer.m : max;
+      break;
+  }
+  if (lo > hi) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+bool matches_composed(const Prefix& base, const RangeOp& inner, const RangeOp& outer,
+                      const Prefix& p) noexcept {
+  if (!base.covers(p)) return false;
+  auto interval = composed_interval(inner, outer, base.length(), base.family());
+  return interval && p.length() >= interval->first && p.length() <= interval->second;
+}
+
+}  // namespace rpslyzer::net

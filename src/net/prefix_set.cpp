@@ -1,0 +1,48 @@
+#include "rpslyzer/net/prefix_set.hpp"
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::net {
+
+std::optional<PrefixRange> PrefixRange::parse(std::string_view text) noexcept {
+  text = util::trim(text);
+  const std::size_t caret = text.find('^');
+  RangeOp op = RangeOp::none();
+  if (caret != std::string_view::npos) {
+    auto parsed = RangeOp::parse(text.substr(caret + 1));
+    if (!parsed) return std::nullopt;
+    op = *parsed;
+    text = text.substr(0, caret);
+  }
+  auto prefix = Prefix::parse(text);
+  if (!prefix) return std::nullopt;
+  return PrefixRange{*prefix, op};
+}
+
+bool PrefixSet::matches(const Prefix& p) const noexcept {
+  for (const auto& r : ranges_) {
+    if (r.matches(p)) return true;
+  }
+  return false;
+}
+
+bool PrefixSet::matches_with(const RangeOp& outer, const Prefix& p) const noexcept {
+  for (const auto& r : ranges_) {
+    if (r.matches_with(outer, p)) return true;
+  }
+  return false;
+}
+
+std::string PrefixSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& r : ranges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += r.to_string();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rpslyzer::net

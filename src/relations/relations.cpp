@@ -1,0 +1,234 @@
+#include "rpslyzer/relations/relations.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::relations {
+
+namespace {
+
+bool vec_contains(const std::vector<Asn>& v, Asn x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+const char* to_string(Relationship r) noexcept {
+  switch (r) {
+    case Relationship::kProvider:
+      return "provider";
+    case Relationship::kCustomer:
+      return "customer";
+    case Relationship::kPeer:
+      return "peer";
+    case Relationship::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+AsRelations AsRelations::parse(std::string_view text, util::Diagnostics& diagnostics) {
+  AsRelations rel;
+  std::size_t line_no = 0;
+  for (auto line : util::split(text, '\n')) {
+    ++line_no;
+    line = util::trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      // "# inferred clique: 174 209 ..." / "# input clique: ...".
+      const std::size_t colon = line.find(':');
+      if (colon != std::string_view::npos &&
+          (line.find("clique") != std::string_view::npos)) {
+        std::vector<Asn> clique;
+        for (auto token : util::split_ws(line.substr(colon + 1))) {
+          if (auto asn = util::parse_u32(token)) clique.push_back(*asn);
+        }
+        if (!clique.empty()) rel.set_clique(std::move(clique));
+      }
+      continue;
+    }
+    auto fields = util::split(line, '|');
+    if (fields.size() < 3) {
+      diagnostics.error(util::DiagnosticKind::kSyntaxError,
+                        "malformed relationship line: '" + std::string(line) + "'", {},
+                        {"relationships", line_no});
+      continue;
+    }
+    auto a = util::parse_u32(util::trim(fields[0]));
+    auto b = util::parse_u32(util::trim(fields[1]));
+    std::string_view rel_field = util::trim(fields[2]);
+    if (!a || !b || rel_field.empty()) {
+      diagnostics.error(util::DiagnosticKind::kSyntaxError,
+                        "malformed relationship line: '" + std::string(line) + "'", {},
+                        {"relationships", line_no});
+      continue;
+    }
+    if (rel_field == "-1") {
+      rel.add_provider_customer(*a, *b);
+    } else if (rel_field == "0") {
+      rel.add_peer_peer(*a, *b);
+    } else {
+      diagnostics.error(util::DiagnosticKind::kSyntaxError,
+                        "unknown relationship type: '" + std::string(rel_field) + "'", {},
+                        {"relationships", line_no});
+    }
+  }
+  return rel;
+}
+
+void AsRelations::add_provider_customer(Asn provider, Asn customer) {
+  if (vec_contains(customers_[provider], customer)) return;
+  customers_[provider].push_back(customer);
+  providers_[customer].push_back(provider);
+  ++link_count_;
+  invalidate_cache();
+}
+
+void AsRelations::add_peer_peer(Asn a, Asn b) {
+  if (vec_contains(peers_[a], b)) return;
+  peers_[a].push_back(b);
+  peers_[b].push_back(a);
+  ++link_count_;
+  invalidate_cache();
+}
+
+void AsRelations::set_clique(std::vector<Asn> clique) {
+  std::sort(clique.begin(), clique.end());
+  clique.erase(std::unique(clique.begin(), clique.end()), clique.end());
+  declared_clique_ = std::move(clique);
+  invalidate_cache();
+}
+
+Relationship AsRelations::between(Asn a, Asn b) const {
+  if (auto it = customers_.find(a); it != customers_.end() && vec_contains(it->second, b)) {
+    return Relationship::kProvider;
+  }
+  if (auto it = providers_.find(a); it != providers_.end() && vec_contains(it->second, b)) {
+    return Relationship::kCustomer;
+  }
+  if (auto it = peers_.find(a); it != peers_.end() && vec_contains(it->second, b)) {
+    return Relationship::kPeer;
+  }
+  return Relationship::kNone;
+}
+
+namespace {
+
+std::span<const Asn> lookup(const std::unordered_map<Asn, std::vector<Asn>>& map, Asn asn) {
+  auto it = map.find(asn);
+  if (it == map.end()) return {};
+  return it->second;
+}
+
+}  // namespace
+
+std::span<const Asn> AsRelations::providers_of(Asn asn) const { return lookup(providers_, asn); }
+std::span<const Asn> AsRelations::customers_of(Asn asn) const { return lookup(customers_, asn); }
+std::span<const Asn> AsRelations::peers_of(Asn asn) const { return lookup(peers_, asn); }
+
+std::vector<Asn> AsRelations::customer_cone(Asn asn) const {
+  std::vector<Asn> cone;
+  std::unordered_set<Asn> seen{asn};
+  std::queue<Asn> frontier;
+  frontier.push(asn);
+  while (!frontier.empty()) {
+    Asn current = frontier.front();
+    frontier.pop();
+    for (Asn customer : customers_of(current)) {
+      if (seen.insert(customer).second) {
+        cone.push_back(customer);
+        frontier.push(customer);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+const std::vector<Asn>& AsRelations::tier1() const {
+  if (tier1_cached_) return tier1_cache_;
+  tier1_cached_ = true;
+  if (!declared_clique_.empty()) {
+    tier1_cache_ = declared_clique_;
+    return tier1_cache_;
+  }
+  // Greedy clique over provider-free ASes: candidates sorted by peer degree
+  // (descending); each is added if it peers with every member so far.
+  std::vector<Asn> candidates;
+  for (const auto& [asn, peer_list] : peers_) {
+    if (providers_of(asn).empty() && !peer_list.empty()) candidates.push_back(asn);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](Asn a, Asn b) {
+    const std::size_t da = peers_of(a).size();
+    const std::size_t db = peers_of(b).size();
+    return da != db ? da > db : a < b;
+  });
+  std::vector<Asn> clique;
+  for (Asn candidate : candidates) {
+    bool peers_with_all = true;
+    for (Asn member : clique) {
+      if (!are_peers(candidate, member)) {
+        peers_with_all = false;
+        break;
+      }
+    }
+    if (peers_with_all) clique.push_back(candidate);
+  }
+  std::sort(clique.begin(), clique.end());
+  tier1_cache_ = std::move(clique);
+  return tier1_cache_;
+}
+
+bool AsRelations::is_tier1(Asn asn) const {
+  const auto& clique = tier1();
+  return std::binary_search(clique.begin(), clique.end(), asn);
+}
+
+std::vector<Asn> AsRelations::all_ases() const {
+  std::unordered_set<Asn> set;
+  for (const auto& [asn, list] : providers_) {
+    set.insert(asn);
+    set.insert(list.begin(), list.end());
+  }
+  for (const auto& [asn, list] : peers_) {
+    set.insert(asn);
+    set.insert(list.begin(), list.end());
+  }
+  std::vector<Asn> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string AsRelations::to_serial1() const {
+  std::string out;
+  const auto& clique = tier1();
+  if (!clique.empty()) {
+    out += "# inferred clique:";
+    for (Asn asn : clique) out += " " + std::to_string(asn);
+    out += "\n";
+  }
+  // Deterministic order: sorted (a, b) pairs, p2c before p2p.
+  std::vector<std::pair<Asn, Asn>> p2c;
+  for (const auto& [provider, customer_list] : customers_) {
+    for (Asn customer : customer_list) p2c.emplace_back(provider, customer);
+  }
+  std::sort(p2c.begin(), p2c.end());
+  for (const auto& [provider, customer] : p2c) {
+    out += std::to_string(provider) + "|" + std::to_string(customer) + "|-1\n";
+  }
+  std::vector<std::pair<Asn, Asn>> p2p;
+  for (const auto& [a, peer_list] : peers_) {
+    for (Asn b : peer_list) {
+      if (a < b) p2p.emplace_back(a, b);
+    }
+  }
+  std::sort(p2p.begin(), p2p.end());
+  for (const auto& [a, b] : p2p) {
+    out += std::to_string(a) + "|" + std::to_string(b) + "|0\n";
+  }
+  return out;
+}
+
+}  // namespace rpslyzer::relations

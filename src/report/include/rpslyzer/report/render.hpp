@@ -1,0 +1,40 @@
+#pragma once
+// ASCII rendering of the paper's stacked-bar figures: each x position is an
+// entity (AS, AS pair, or route) and the column shows the composition of
+// its verification statuses, entities ordered by correctness — a terminal
+// rendition of Figures 2, 3, and 4.
+
+#include <string>
+#include <vector>
+
+#include "rpslyzer/report/aggregate.hpp"
+
+namespace rpslyzer::report {
+
+/// One character per status for the chart body.
+char status_char(Status s) noexcept;
+
+/// "V=verified s=skip U=unrecorded ..." legend line.
+std::string render_legend();
+
+/// Render entities as a `width`x`height` stacked chart. Entities are
+/// downsampled into `width` columns (slices merged), ordered by
+/// correctness (verified share, then relaxed, safelisted, skip,
+/// unrecorded shares — the paper's x-axis ordering).
+std::string render_stacked(std::vector<StatusCounts> entities, std::size_t width = 72,
+                           std::size_t height = 16);
+
+/// One-line composition summary "verified 29.3% | skip 0.0% | ...".
+std::string render_composition(const StatusCounts& totals);
+
+/// Simple two-column table helper used by the bench binaries.
+std::string render_table(const std::vector<std::pair<std::string, std::string>>& rows,
+                         std::size_t key_width = 44);
+
+/// CSV export of a stacked-figure series: one row per entity (ordered by
+/// correctness like the charts), columns = per-status fractions. Header:
+/// "index,verified,skip,unrecorded,relaxed,safelisted,unverified,total".
+/// Feed this to any plotting tool to redraw Figures 2-4.
+std::string to_csv(std::vector<StatusCounts> entities);
+
+}  // namespace rpslyzer::report

@@ -1,0 +1,139 @@
+#include "rpslyzer/report/render.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rpslyzer::report {
+
+char status_char(Status s) noexcept {
+  switch (s) {
+    case Status::kVerified:
+      return 'V';
+    case Status::kSkip:
+      return 's';
+    case Status::kUnrecorded:
+      return 'U';
+    case Status::kRelaxed:
+      return 'r';
+    case Status::kSafelisted:
+      return 'S';
+    case Status::kUnverified:
+      return 'X';
+  }
+  return '?';
+}
+
+std::string render_legend() {
+  return "V=verified  s=skip  U=unrecorded  r=relaxed  S=safelisted  X=unverified";
+}
+
+namespace {
+
+/// Correctness key for the x-axis ordering (descending).
+std::array<double, kStatusCount> order_key(const StatusCounts& c) {
+  auto f = c.fractions();
+  // verified, relaxed, safelisted, skip, unrecorded, unverified.
+  return {f[static_cast<std::size_t>(Status::kVerified)],
+          f[static_cast<std::size_t>(Status::kRelaxed)],
+          f[static_cast<std::size_t>(Status::kSafelisted)],
+          f[static_cast<std::size_t>(Status::kSkip)],
+          f[static_cast<std::size_t>(Status::kUnrecorded)],
+          f[static_cast<std::size_t>(Status::kUnverified)]};
+}
+
+}  // namespace
+
+std::string render_stacked(std::vector<StatusCounts> entities, std::size_t width,
+                           std::size_t height) {
+  if (entities.empty() || width == 0 || height == 0) return "(no data)\n";
+  std::sort(entities.begin(), entities.end(), [](const StatusCounts& a, const StatusCounts& b) {
+    return order_key(a) > order_key(b);
+  });
+  if (width > entities.size()) width = entities.size();
+
+  // Merge entities into `width` slices.
+  std::vector<StatusCounts> columns(width);
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    const std::size_t column = i * width / entities.size();
+    columns[column].merge(entities[i]);
+  }
+
+  // Paint each column bottom-up in status order.
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t x = 0; x < width; ++x) {
+    auto fractions = columns[x].fractions();
+    // Stack order bottom-to-top: verified, relaxed, safelisted, skip,
+    // unrecorded, unverified (roughly the figures' color order).
+    const Status order[] = {Status::kVerified,   Status::kRelaxed, Status::kSafelisted,
+                            Status::kSkip,       Status::kUnrecorded,
+                            Status::kUnverified};
+    std::size_t row = 0;  // rows filled from the bottom
+    double carried = 0.0;
+    for (Status s : order) {
+      carried += fractions[static_cast<std::size_t>(s)] * static_cast<double>(height);
+      while (row < height && static_cast<double>(row) + 0.5 <= carried) {
+        grid[height - 1 - row][x] = status_char(s);
+        ++row;
+      }
+    }
+    // Rounding slack: fill any leftover rows with the top-most status seen.
+    while (row < height) {
+      grid[height - 1 - row][x] = grid[row == 0 ? height - 1 : height - row][x];
+      ++row;
+    }
+  }
+
+  std::string out;
+  for (const auto& line : grid) out += "|" + line + "|\n";
+  out += "+" + std::string(width, '-') + "+\n";
+  out += render_legend() + "\n";
+  return out;
+}
+
+std::string render_composition(const StatusCounts& totals) {
+  const std::size_t sum = totals.total();
+  std::string out;
+  char buf[64];
+  const Status order[] = {Status::kVerified,   Status::kSkip,       Status::kUnrecorded,
+                          Status::kRelaxed,    Status::kSafelisted, Status::kUnverified};
+  for (Status s : order) {
+    const double pct =
+        sum == 0 ? 0.0
+                 : 100.0 * static_cast<double>(totals.of(s)) / static_cast<double>(sum);
+    std::snprintf(buf, sizeof buf, "%s %.1f%%", verify::to_string(s), pct);
+    if (!out.empty()) out += " | ";
+    out += buf;
+  }
+  return out;
+}
+
+std::string to_csv(std::vector<StatusCounts> entities) {
+  std::sort(entities.begin(), entities.end(), [](const StatusCounts& a, const StatusCounts& b) {
+    return order_key(a) > order_key(b);
+  });
+  std::string out = "index,verified,skip,unrecorded,relaxed,safelisted,unverified,total\n";
+  char buf[160];
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    auto f = entities[i].fractions();
+    std::snprintf(buf, sizeof buf, "%zu,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%zu\n", i,
+                  f[std::size_t(Status::kVerified)], f[std::size_t(Status::kSkip)],
+                  f[std::size_t(Status::kUnrecorded)], f[std::size_t(Status::kRelaxed)],
+                  f[std::size_t(Status::kSafelisted)],
+                  f[std::size_t(Status::kUnverified)], entities[i].total());
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_table(const std::vector<std::pair<std::string, std::string>>& rows,
+                         std::size_t key_width) {
+  std::string out;
+  for (const auto& [key, value] : rows) {
+    std::string padded = key;
+    if (padded.size() < key_width) padded.append(key_width - padded.size(), ' ');
+    out += "  " + padded + " " + value + "\n";
+  }
+  return out;
+}
+
+}  // namespace rpslyzer::report

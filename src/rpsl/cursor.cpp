@@ -1,0 +1,111 @@
+#include "rpslyzer/rpsl/cursor.hpp"
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::rpsl {
+
+bool is_atom_char(char c) noexcept {
+  return util::is_alnum(c) || c == '_' || c == '.' || c == ':' || c == '/' || c == '^' ||
+         c == '+' || c == '-';
+}
+
+namespace {
+
+bool is_word_char(char c) noexcept { return util::is_alnum(c) || c == '_' || c == '-'; }
+
+}  // namespace
+
+void Cursor::skip_ws() noexcept {
+  while (pos_ < text_.size() && util::is_space(text_[pos_])) ++pos_;
+}
+
+char Cursor::peek() noexcept {
+  skip_ws();
+  return pos_ < text_.size() ? text_[pos_] : '\0';
+}
+
+bool Cursor::eat_char(char c) noexcept {
+  if (peek() == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool Cursor::peek_keyword(std::string_view keyword) noexcept {
+  skip_ws();
+  if (pos_ + keyword.size() > text_.size()) return false;
+  if (!util::iequals(text_.substr(pos_, keyword.size()), keyword)) return false;
+  const std::size_t after = pos_ + keyword.size();
+  return after >= text_.size() || !is_word_char(text_[after]);
+}
+
+bool Cursor::eat_keyword(std::string_view keyword) noexcept {
+  if (!peek_keyword(keyword)) return false;
+  pos_ += keyword.size();
+  return true;
+}
+
+std::string_view Cursor::peek_atom() noexcept {
+  skip_ws();
+  std::size_t end = pos_;
+  while (end < text_.size() && is_atom_char(text_[end])) ++end;
+  return text_.substr(pos_, end - pos_);
+}
+
+std::string_view Cursor::next_atom() noexcept {
+  std::string_view atom = peek_atom();
+  pos_ += atom.size();
+  return atom;
+}
+
+std::string_view Cursor::take_until_char(char stop) noexcept {
+  skip_ws();
+  const std::size_t start = pos_;
+  int depth = 0;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '{' || c == '(') {
+      ++depth;
+    } else if (c == '}' || c == ')') {
+      if (depth == 0) break;  // do not escape an enclosing block
+      --depth;
+    } else if (c == stop && depth == 0) {
+      break;
+    }
+    ++pos_;
+  }
+  return text_.substr(start, pos_ - start);
+}
+
+std::optional<std::string_view> Cursor::take_delimited(char open, char close) noexcept {
+  if (peek() != open) return std::nullopt;
+  const std::size_t start = pos_ + 1;
+  int depth = 0;
+  for (std::size_t i = pos_; i < text_.size(); ++i) {
+    if (text_[i] == open) {
+      ++depth;
+    } else if (text_[i] == close) {
+      --depth;
+      if (depth == 0) {
+        pos_ = i + 1;
+        return text_.substr(start, i - start);
+      }
+    }
+  }
+  return std::nullopt;  // unbalanced
+}
+
+std::optional<std::string_view> Cursor::take_braced() noexcept {
+  return take_delimited('{', '}');
+}
+
+std::optional<std::string_view> Cursor::take_parenthesized() noexcept {
+  return take_delimited('(', ')');
+}
+
+std::optional<std::string_view> Cursor::take_angled() noexcept {
+  return take_delimited('<', '>');
+}
+
+}  // namespace rpslyzer::rpsl

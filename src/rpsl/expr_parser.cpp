@@ -1,0 +1,507 @@
+#include "rpslyzer/rpsl/expr_parser.hpp"
+
+#include "rpslyzer/ir/objects.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::rpsl {
+
+namespace {
+
+using util::iequals;
+using util::istarts_with;
+using util::trim;
+
+/// Split an atom into (body, range op). "AS-FOO^24-32" -> ("AS-FOO", ^24-32).
+/// Returns nullopt when the suffix after '^' is not a valid range operator.
+std::optional<std::pair<std::string_view, net::RangeOp>> split_range_op(std::string_view atom) {
+  const std::size_t caret = atom.find('^');
+  if (caret == std::string_view::npos) return std::make_pair(atom, net::RangeOp::none());
+  auto op = net::RangeOp::parse(atom.substr(caret + 1));
+  if (!op) return std::nullopt;
+  return std::make_pair(atom.substr(0, caret), *op);
+}
+
+bool is_keyword_boundary(char c) noexcept { return !(util::is_alnum(c) || c == '_' || c == '-'); }
+
+}  // namespace
+
+std::string_view take_until_keywords(Cursor& cur, std::initializer_list<std::string_view> keywords,
+                                     char stop_char) {
+  cur.skip_ws();
+  std::string_view text = cur.remaining();
+  std::size_t i = 0;
+  int depth = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '{' || c == '(') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}' || c == ')') {
+      if (depth == 0) break;
+      --depth;
+      ++i;
+      continue;
+    }
+    if (depth == 0) {
+      if (c == stop_char) break;
+      // Keyword check only at word boundaries.
+      const bool at_boundary = i == 0 || is_keyword_boundary(text[i - 1]);
+      if (at_boundary) {
+        bool hit = false;
+        for (auto kw : keywords) {
+          if (i + kw.size() <= text.size() && iequals(text.substr(i, kw.size()), kw) &&
+              (i + kw.size() == text.size() || is_keyword_boundary(text[i + kw.size()]))) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) break;
+      }
+    }
+    ++i;
+  }
+  cur.seek(cur.pos() + i);
+  return trim(text.substr(0, i));
+}
+
+// ---------------------------------------------------------------------------
+// AS expressions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::optional<ir::AsExpr> parse_as_expr_or(Cursor& cur, const ParseContext& ctx);
+
+std::optional<ir::AsExpr> parse_as_expr_primary(Cursor& cur, const ParseContext& ctx) {
+  if (cur.peek() == '(') {
+    const std::size_t mark = cur.pos();
+    auto inside = cur.take_parenthesized();
+    if (!inside) {
+      ctx.syntax_error("unbalanced parentheses in AS expression");
+      return std::nullopt;
+    }
+    Cursor inner(*inside);
+    auto expr = parse_as_expr_or(inner, ctx);
+    if (!expr || !inner.at_end()) {
+      cur.seek(mark);
+      ctx.syntax_error("invalid parenthesized AS expression: '" + std::string(*inside) + "'");
+      return std::nullopt;
+    }
+    return expr;
+  }
+  const std::size_t mark = cur.pos();
+  std::string_view atom = cur.next_atom();
+  if (atom.empty()) return std::nullopt;
+  if (iequals(atom, "AS-ANY") || iequals(atom, "ANY")) return ir::AsExpr{ir::AsExprAny{}};
+  if (auto asn = ir::parse_as_ref(atom)) return ir::AsExpr{ir::AsExprAsn{*asn}};
+  if (ir::valid_as_set_name(atom)) return ir::AsExpr{ir::AsExprSet{std::string(atom)}};
+  cur.seek(mark);
+  return std::nullopt;
+}
+
+// AND and EXCEPT bind tighter than OR and share a precedence level
+// (RFC 2622 §5.6, "EXCEPT has the same precedence as AND").
+std::optional<ir::AsExpr> parse_as_expr_and(Cursor& cur, const ParseContext& ctx) {
+  auto left = parse_as_expr_primary(cur, ctx);
+  if (!left) return std::nullopt;
+  while (true) {
+    if (cur.eat_keyword("AND")) {
+      auto right = parse_as_expr_primary(cur, ctx);
+      if (!right) {
+        ctx.syntax_error("missing right operand of AND in AS expression");
+        return std::nullopt;
+      }
+      left = ir::AsExpr{ir::AsExprAnd{std::move(*left), std::move(*right)}};
+    } else if (cur.eat_keyword("EXCEPT")) {
+      auto right = parse_as_expr_primary(cur, ctx);
+      if (!right) {
+        ctx.syntax_error("missing right operand of EXCEPT in AS expression");
+        return std::nullopt;
+      }
+      left = ir::AsExpr{ir::AsExprExcept{std::move(*left), std::move(*right)}};
+    } else {
+      return left;
+    }
+  }
+}
+
+std::optional<ir::AsExpr> parse_as_expr_or(Cursor& cur, const ParseContext& ctx) {
+  auto left = parse_as_expr_and(cur, ctx);
+  if (!left) return std::nullopt;
+  while (cur.eat_keyword("OR")) {
+    auto right = parse_as_expr_and(cur, ctx);
+    if (!right) {
+      ctx.syntax_error("missing right operand of OR in AS expression");
+      return std::nullopt;
+    }
+    left = ir::AsExpr{ir::AsExprOr{std::move(*left), std::move(*right)}};
+  }
+  return left;
+}
+
+}  // namespace
+
+std::optional<ir::AsExpr> parse_as_expr(Cursor& cur, const ParseContext& ctx) {
+  return parse_as_expr_or(cur, ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Peerings
+// ---------------------------------------------------------------------------
+
+std::optional<ir::Peering> parse_peering(Cursor& cur, const ParseContext& ctx) {
+  // A peering-set reference is a name with a PRNG- component.
+  std::string_view atom = cur.peek_atom();
+  if (!atom.empty() && ir::valid_peering_set_name(atom)) {
+    cur.next_atom();
+    return ir::Peering{ir::PeeringSetRef{std::string(atom)}};
+  }
+
+  auto as_expr = parse_as_expr(cur, ctx);
+  if (!as_expr) {
+    ctx.syntax_error("invalid peering: '" + std::string(cur.peek_atom()) + "'");
+    return std::nullopt;
+  }
+
+  ir::PeeringSpec spec;
+  spec.as_expr = std::move(*as_expr);
+  // Optional router expressions. We capture them as raw text: AS-level
+  // verification cannot observe routers (see policy.hpp).
+  spec.remote_router =
+      std::string(take_until_keywords(cur, {"at", "action", "accept", "announce", "from", "to"}));
+  if (cur.eat_keyword("at")) {
+    spec.local_router =
+        std::string(take_until_keywords(cur, {"action", "accept", "announce", "from", "to"}));
+  }
+  return ir::Peering{std::move(spec)};
+}
+
+// ---------------------------------------------------------------------------
+// Actions
+// ---------------------------------------------------------------------------
+
+std::vector<ir::Action> parse_actions(Cursor& cur, const ParseContext& ctx) {
+  std::vector<ir::Action> actions;
+  while (true) {
+    if (cur.at_end() || cur.peek() == ';' || cur.peek() == '}') break;
+    if (cur.peek_keyword("from") || cur.peek_keyword("to") || cur.peek_keyword("accept") ||
+        cur.peek_keyword("announce")) {
+      break;
+    }
+
+    std::string_view head = cur.next_atom();
+    if (head.empty()) {
+      ctx.syntax_error("invalid action statement near '" +
+                       std::string(cur.remaining().substr(0, 20)) + "'");
+      // Skip to the next ';' to resynchronize.
+      take_until_keywords(cur, {"from", "to", "accept", "announce"});
+      cur.eat_char(';');
+      continue;
+    }
+
+    ir::Action action;
+    // "community.delete" style method call, or "community." glued to "=".
+    std::size_t dot = head.find('.');
+    std::string_view attribute = dot == std::string_view::npos ? head : head.substr(0, dot);
+    std::string_view tail = dot == std::string_view::npos ? std::string_view{}
+                                                          : head.substr(dot + 1);
+    action.attribute = util::lower(attribute);
+
+    if (cur.peek() == '(') {
+      // Method call: attr.method(args).
+      action.kind = ir::Action::Kind::kMethodCall;
+      action.method = util::lower(tail);
+      auto args = cur.take_parenthesized();
+      if (!args) {
+        ctx.syntax_error("unbalanced parentheses in action '" + std::string(head) + "'");
+        break;
+      }
+      action.value = std::string(trim(*args));
+    } else {
+      action.kind = ir::Action::Kind::kAssign;
+      std::string op;
+      if (!tail.empty()) {
+        // The atom swallowed the '.' of a ".=" operator ("community.=").
+        op = "." + std::string(tail);
+      } else if (dot != std::string_view::npos) {
+        op = ".";
+      }
+      // Operator characters directly following: =, .=, +=, -=, *=, /=.
+      while (true) {
+        const char c = cur.peek();
+        if (c == '=' || (op.empty() && (c == '.' || c == '+' || c == '-' || c == '*' ||
+                                        c == '/'))) {
+          op.push_back(c);
+          cur.seek(cur.pos() + 1);
+          if (c == '=') break;
+        } else {
+          break;
+        }
+      }
+      if (op.empty() || op.back() != '=') {
+        ctx.syntax_error("action statement missing operator: '" + std::string(head) + "'");
+        take_until_keywords(cur, {"from", "to", "accept", "announce"});
+        cur.eat_char(';');
+        continue;
+      }
+      action.op = op;
+      if (cur.peek() == '{') {
+        auto braced = cur.take_braced();
+        action.value = "{" + std::string(braced ? trim(*braced) : std::string_view{}) + "}";
+      } else {
+        action.value =
+            std::string(take_until_keywords(cur, {"from", "to", "accept", "announce"}));
+      }
+    }
+    actions.push_back(std::move(action));
+    if (!cur.eat_char(';')) break;  // last statement may omit the terminator
+  }
+  return actions;
+}
+
+// ---------------------------------------------------------------------------
+// Afi lists
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::optional<ir::Afi> parse_afi_token(std::string_view token) {
+  ir::Afi afi;
+  std::string_view ip = token;
+  std::string_view cast;
+  if (const std::size_t dot = token.find('.'); dot != std::string_view::npos) {
+    ip = token.substr(0, dot);
+    cast = token.substr(dot + 1);
+  }
+  if (iequals(ip, "any")) {
+    afi.ip = ir::Afi::Ip::kAny;
+  } else if (iequals(ip, "ipv4")) {
+    afi.ip = ir::Afi::Ip::kIpv4;
+  } else if (iequals(ip, "ipv6")) {
+    afi.ip = ir::Afi::Ip::kIpv6;
+  } else {
+    return std::nullopt;
+  }
+  if (cast.empty() || iequals(cast, "any")) {
+    afi.cast = ir::Afi::Cast::kAny;
+  } else if (iequals(cast, "unicast")) {
+    afi.cast = ir::Afi::Cast::kUnicast;
+  } else if (iequals(cast, "multicast")) {
+    afi.cast = ir::Afi::Cast::kMulticast;
+  } else {
+    return std::nullopt;
+  }
+  return afi;
+}
+
+}  // namespace
+
+std::vector<ir::Afi> parse_afi_list(Cursor& cur, const ParseContext& ctx) {
+  std::vector<ir::Afi> afis;
+  while (true) {
+    std::string_view token = cur.next_atom();
+    auto afi = parse_afi_token(token);
+    if (!afi) {
+      ctx.syntax_error("invalid afi: '" + std::string(token) + "'");
+      break;
+    }
+    afis.push_back(*afi);
+    if (!cur.eat_char(',')) break;
+  }
+  return afis;
+}
+
+// ---------------------------------------------------------------------------
+// Filters
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ir::Filter parse_filter_or(Cursor& cur, const ParseContext& ctx, bool& ok);
+
+ir::Filter unknown_filter(const ParseContext& ctx, std::string_view text, bool& ok,
+                          const std::string& why) {
+  ctx.syntax_error(why);
+  ok = false;
+  return ir::Filter{ir::FilterUnknown{std::string(trim(text))}};
+}
+
+/// Range operator directly following a closing brace or name ("}^24-32").
+net::RangeOp parse_trailing_op(Cursor& cur, const ParseContext& ctx, bool& ok) {
+  if (cur.peek() != '^') return net::RangeOp::none();
+  std::string_view atom = cur.next_atom();  // "^24-32", "^+", ...
+  auto op = net::RangeOp::parse(atom.substr(1));
+  if (!op) {
+    ctx.syntax_error("invalid range operator: '" + std::string(atom) + "'");
+    ok = false;
+    return net::RangeOp::none();
+  }
+  return *op;
+}
+
+ir::Filter parse_filter_primary(Cursor& cur, const ParseContext& ctx, bool& ok) {
+  const char c = cur.peek();
+
+  if (c == '(') {
+    auto inside = cur.take_parenthesized();
+    if (!inside) return unknown_filter(ctx, cur.remaining(), ok, "unbalanced '(' in filter");
+    Cursor inner(*inside);
+    ir::Filter f = parse_filter_or(inner, ctx, ok);
+    if (!inner.at_end()) {
+      return unknown_filter(ctx, *inside, ok, "trailing text in parenthesized filter");
+    }
+    return f;
+  }
+
+  if (c == '{') {
+    auto inside = cur.take_braced();
+    if (!inside) return unknown_filter(ctx, cur.remaining(), ok, "unbalanced '{' in filter");
+    net::PrefixSet set;
+    std::string_view body = trim(*inside);
+    if (!body.empty()) {
+      for (auto part : util::split(body, ',')) {
+        part = trim(part);
+        if (part.empty()) {
+          ctx.syntax_error("broken comma-separated prefix list");
+          ok = false;
+          continue;
+        }
+        auto range = net::PrefixRange::parse(part);
+        if (!range) {
+          ctx.syntax_error("invalid prefix in set: '" + std::string(part) + "'");
+          ok = false;
+          continue;
+        }
+        set.add(*range);
+      }
+    }
+    // Non-standard but observed: a range operator on the whole set.
+    net::RangeOp op = parse_trailing_op(cur, ctx, ok);
+    return ir::Filter{ir::FilterPrefixes{std::move(set), op}};
+  }
+
+  if (c == '<') {
+    auto inside = cur.take_angled();
+    if (!inside) return unknown_filter(ctx, cur.remaining(), ok, "unbalanced '<' in filter");
+    auto regex = parse_aspath_regex(*inside, ctx);
+    if (!regex) {
+      ok = false;
+      return ir::Filter{ir::FilterUnknown{"<" + std::string(*inside) + ">"}};
+    }
+    return ir::Filter{ir::FilterAsPath{std::move(*regex)}};
+  }
+
+  std::string_view atom = cur.next_atom();
+  if (atom.empty()) {
+    return unknown_filter(ctx, cur.remaining(), ok,
+                          "expected filter near '" + std::string(cur.remaining().substr(0, 20)) +
+                              "'");
+  }
+
+  if (iequals(atom, "ANY") || iequals(atom, "AS-ANY") || iequals(atom, "RS-ANY")) {
+    return ir::Filter{ir::FilterAny{}};
+  }
+  if (iequals(atom, "PeerAS")) return ir::Filter{ir::FilterPeerAs{}};
+  if (iequals(atom, "fltr-martian")) return ir::Filter{ir::FilterFltrMartian{}};
+
+  // community(...) and community.method(...).
+  if (istarts_with(atom, "community")) {
+    std::string_view rest = atom.substr(9);
+    std::string method;
+    if (!rest.empty()) {
+      if (rest.front() != '.') {
+        return unknown_filter(ctx, atom, ok, "invalid community filter: '" + std::string(atom) +
+                                                 "'");
+      }
+      method = util::lower(rest.substr(1));
+    }
+    if (cur.peek() != '(') {
+      return unknown_filter(ctx, atom, ok, "community filter missing '('");
+    }
+    auto args_text = cur.take_parenthesized();
+    if (!args_text) return unknown_filter(ctx, atom, ok, "unbalanced '(' in community filter");
+    ir::FilterCommunity community;
+    community.method = std::move(method);
+    for (auto part : util::split(*args_text, ',')) {
+      part = trim(part);
+      if (!part.empty()) community.args.emplace_back(part);
+    }
+    return ir::Filter{std::move(community)};
+  }
+
+  auto split = split_range_op(atom);
+  if (!split) {
+    return unknown_filter(ctx, atom, ok,
+                          "invalid range operator on '" + std::string(atom) + "'");
+  }
+  auto [body, op] = *split;
+  if (auto asn = ir::parse_as_ref(body)) return ir::Filter{ir::FilterAsNum{*asn, op}};
+  if (ir::valid_as_set_name(body)) return ir::Filter{ir::FilterAsSet{std::string(body), op}};
+  if (ir::valid_route_set_name(body)) {
+    // Range operators on route-sets are the non-standard syntax the paper
+    // explicitly supports (Appendix B).
+    return ir::Filter{ir::FilterRouteSet{std::string(body), op}};
+  }
+  if (ir::valid_filter_set_name(body)) {
+    if (!op.is_none()) {
+      return unknown_filter(ctx, atom, ok, "range operator on filter-set is not meaningful");
+    }
+    return ir::Filter{ir::FilterFilterSet{std::string(body)}};
+  }
+  // A bare prefix (or prefix^op) is also a valid (if unusual) filter term.
+  if (auto range = net::PrefixRange::parse(atom)) {
+    net::PrefixSet set;
+    set.add(*range);
+    return ir::Filter{ir::FilterPrefixes{std::move(set), net::RangeOp::none()}};
+  }
+  return unknown_filter(ctx, atom, ok,
+                        "unrecognized filter term: '" + std::string(atom) + "'");
+}
+
+ir::Filter parse_filter_not(Cursor& cur, const ParseContext& ctx, bool& ok) {
+  if (cur.eat_keyword("NOT")) {
+    return ir::Filter{ir::FilterNot{parse_filter_not(cur, ctx, ok)}};
+  }
+  return parse_filter_primary(cur, ctx, ok);
+}
+
+ir::Filter parse_filter_and(Cursor& cur, const ParseContext& ctx, bool& ok) {
+  ir::Filter left = parse_filter_not(cur, ctx, ok);
+  while (cur.eat_keyword("AND")) {
+    ir::Filter right = parse_filter_not(cur, ctx, ok);
+    left = ir::Filter{ir::FilterAnd{std::move(left), std::move(right)}};
+  }
+  return left;
+}
+
+ir::Filter parse_filter_or(Cursor& cur, const ParseContext& ctx, bool& ok) {
+  ir::Filter left = parse_filter_and(cur, ctx, ok);
+  while (cur.eat_keyword("OR")) {
+    ir::Filter right = parse_filter_and(cur, ctx, ok);
+    left = ir::Filter{ir::FilterOr{std::move(left), std::move(right)}};
+  }
+  return left;
+}
+
+}  // namespace
+
+ir::Filter parse_filter(std::string_view text, const ParseContext& ctx) {
+  text = trim(text);
+  if (text.empty()) {
+    ctx.syntax_error("empty filter");
+    return ir::Filter{ir::FilterUnknown{""}};
+  }
+  Cursor cur(text);
+  bool ok = true;
+  ir::Filter f = parse_filter_or(cur, ctx, ok);
+  if (!cur.at_end()) {
+    ctx.syntax_error("trailing text in filter: '" + std::string(cur.remaining()) + "'");
+    return ir::Filter{ir::FilterUnknown{std::string(text)}};
+  }
+  if (!ok) return ir::Filter{ir::FilterUnknown{std::string(text)}};
+  return f;
+}
+
+}  // namespace rpslyzer::rpsl

@@ -1,0 +1,78 @@
+#pragma once
+// A text cursor for parsing RPSL policy expressions.
+//
+// RPSL policy syntax is word-oriented with a few punctuation characters, but
+// "atoms" (names, prefixes, range-operator suffixes) have a wide character
+// set ('.', ':', '/', '^', '-', '+'). A cursor with keyword lookahead is
+// simpler and more forgiving than a fixed tokenizer, which matters for
+// accommodating the non-standard syntax the paper discusses (Appendix B).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rpslyzer::rpsl {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) noexcept : text_(text) {}
+
+  bool at_end() noexcept {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  void seek(std::size_t pos) noexcept { pos_ = pos; }
+  std::string_view remaining() const noexcept { return text_.substr(pos_); }
+
+  /// Peek the next non-space character without consuming ('\0' at end).
+  char peek() noexcept;
+
+  /// Consume `c` if it is the next non-space character.
+  bool eat_char(char c) noexcept;
+
+  /// Case-insensitive keyword match with a word boundary after it; consumes
+  /// on success. A "word" boundary is any char outside [A-Za-z0-9_-].
+  bool eat_keyword(std::string_view keyword) noexcept;
+
+  /// Like eat_keyword but never consumes.
+  bool peek_keyword(std::string_view keyword) noexcept;
+
+  /// Consume and return the next atom: a maximal run of characters from
+  /// [A-Za-z0-9_.:/^+-] (covers names, ASNs, prefixes with range operators,
+  /// IPv6 addresses). Empty if the next character is punctuation.
+  std::string_view next_atom() noexcept;
+
+  /// Peek the next atom without consuming.
+  std::string_view peek_atom() noexcept;
+
+  /// Consume everything up to (not including) the first unnested occurrence
+  /// of `stop` at brace/paren nesting level zero; returns the consumed text.
+  /// If `stop` never occurs, consumes to the end.
+  std::string_view take_until_char(char stop) noexcept;
+
+  /// Consume a balanced '{...}' block (assumes the next char is '{');
+  /// returns the inside text without the braces. Nested braces are kept.
+  std::optional<std::string_view> take_braced() noexcept;
+
+  /// Consume a balanced '(...)' block; returns the inside text.
+  std::optional<std::string_view> take_parenthesized() noexcept;
+
+  /// Consume text up to the matching '>' (assumes next char is '<');
+  /// returns the inside text.
+  std::optional<std::string_view> take_angled() noexcept;
+
+  void skip_ws() noexcept;
+
+ private:
+  std::optional<std::string_view> take_delimited(char open, char close) noexcept;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Is `c` an atom character (see Cursor::next_atom)?
+bool is_atom_char(char c) noexcept;
+
+}  // namespace rpslyzer::rpsl

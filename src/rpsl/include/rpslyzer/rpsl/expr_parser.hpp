@@ -1,0 +1,70 @@
+#pragma once
+// Parsers for RPSL policy expressions: AS expressions, peerings, actions,
+// filters, and AS-path regular expressions (RFC 2622 §5, RFC 4012).
+//
+// All parsers are tolerant: on malformed input they record a diagnostic and
+// produce a recoverable node (FilterUnknown, empty action list, ...) so that
+// one bad rule never aborts a 7-GiB dump parse — the behaviour the paper
+// relies on to census syntax errors (§4).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpslyzer/ir/policy.hpp"
+#include "rpslyzer/rpsl/cursor.hpp"
+#include "rpslyzer/util/diagnostics.hpp"
+
+namespace rpslyzer::rpsl {
+
+/// Shared state for expression parsing: where we are (for diagnostics) and
+/// where problems are reported.
+struct ParseContext {
+  util::Diagnostics* diagnostics = nullptr;
+  std::string object_key;  // "aut-num:AS123" etc.
+  std::string source;      // IRR name
+  std::size_t line = 0;
+
+  void error(util::DiagnosticKind kind, std::string message) const {
+    if (diagnostics != nullptr) {
+      diagnostics->error(kind, std::move(message), object_key, {source, line});
+    }
+  }
+  void syntax_error(std::string message) const {
+    error(util::DiagnosticKind::kSyntaxError, std::move(message));
+  }
+};
+
+/// Parse an AS expression (ASN | as-set | AS-ANY | AND/OR/EXCEPT | parens).
+/// Returns nullopt (cursor position unspecified) when the next tokens do not
+/// begin an AS expression.
+std::optional<ir::AsExpr> parse_as_expr(Cursor& cur, const ParseContext& ctx);
+
+/// Parse a <peering>: AS expression with optional router expressions, or a
+/// peering-set reference. Consumes up to (not including) "action", the
+/// accept/announce keyword, ';' or end of text.
+std::optional<ir::Peering> parse_peering(Cursor& cur, const ParseContext& ctx);
+
+/// Parse an action list after the "action" keyword: statements separated by
+/// ';', ending before from/to/accept/announce or end of text.
+std::vector<ir::Action> parse_actions(Cursor& cur, const ParseContext& ctx);
+
+/// Parse a complete policy filter expression from `text`.
+ir::Filter parse_filter(std::string_view text, const ParseContext& ctx);
+
+/// Parse the inside of an AS-path regex literal (the text between '<' and
+/// '>'). Returns nullopt and records a diagnostic on malformed regexes.
+std::optional<ir::AsPathRegex> parse_aspath_regex(std::string_view inside,
+                                                  const ParseContext& ctx);
+
+/// Parse an afi list after the "afi" keyword ("ipv4.unicast, ipv6.unicast").
+std::vector<ir::Afi> parse_afi_list(Cursor& cur, const ParseContext& ctx);
+
+/// Consume text until one of `keywords` (case-insensitive, word-bounded) or
+/// the character `stop_char` appears at nesting depth zero; the stopper is
+/// not consumed. Used for router expressions and loose value scans.
+std::string_view take_until_keywords(Cursor& cur, std::initializer_list<std::string_view> keywords,
+                                     char stop_char = ';');
+
+}  // namespace rpslyzer::rpsl

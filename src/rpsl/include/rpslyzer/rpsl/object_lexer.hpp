@@ -1,0 +1,50 @@
+#pragma once
+// The RPSL object lexer: splits whois-style IRR dump text into objects and
+// attribute-value pairs (RFC 2622 §2 "RPSL is object oriented...").
+//
+// Handles:
+//  * objects separated by blank lines;
+//  * "attribute: value" lines; the first attribute names the object class;
+//  * continuation lines starting with whitespace or '+' (an empty '+' line
+//    continues with an empty line of text);
+//  * '#' end-of-line comments;
+//  * '%' full-line server remarks (RIPE-style dumps interleave them);
+//  * line-number tracking for diagnostics.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpslyzer/util/diagnostics.hpp"
+
+namespace rpslyzer::rpsl {
+
+/// One attribute of a raw RPSL object. `value` has comments stripped and
+/// continuation lines joined with single spaces.
+struct RawAttribute {
+  std::string name;   // lowercased attribute name
+  std::string value;  // joined, comment-stripped, trimmed value
+  std::size_t line = 0;
+};
+
+/// One RPSL object as read from a dump, before interpretation.
+struct RawObject {
+  std::string class_name;  // lowercased first attribute name
+  std::string key;         // first attribute's value (the object's name)
+  std::vector<RawAttribute> attributes;
+  std::string source;      // IRR name this object came from
+  std::size_t line = 0;    // line of the first attribute
+
+  /// First value of attribute `name` (lowercase), or empty view.
+  std::string_view first(std::string_view name) const noexcept;
+  /// All values of attribute `name` in order.
+  std::vector<std::string_view> all(std::string_view name) const;
+};
+
+/// Split a full dump into raw objects. `source` labels diagnostics and the
+/// resulting objects. Malformed lines (no colon before any attribute ends)
+/// raise diagnostics but do not abort the dump.
+std::vector<RawObject> lex_objects(std::string_view text, std::string_view source,
+                                   util::Diagnostics& diagnostics);
+
+}  // namespace rpslyzer::rpsl

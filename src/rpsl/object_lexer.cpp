@@ -1,0 +1,157 @@
+#include "rpslyzer/rpsl/object_lexer.hpp"
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::rpsl {
+
+namespace {
+
+using util::trim;
+
+/// Strip a '#' comment, respecting nothing else: RPSL has no string literals
+/// in attribute values, so the first '#' always begins a comment.
+std::string_view strip_comment(std::string_view line) noexcept {
+  const std::size_t hash = line.find('#');
+  return hash == std::string_view::npos ? line : line.substr(0, hash);
+}
+
+bool is_attribute_start(std::string_view line) noexcept {
+  // An attribute line starts with a letter (or '*' for some legacy dumps)
+  // and contains a colon.
+  if (line.empty()) return false;
+  const char c = line.front();
+  return util::is_alpha(c) || c == '*';
+}
+
+/// Valid attribute names: letters, digits, '-', '_' (we also accept a legacy
+/// leading '*').
+bool valid_attribute_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!util::is_alnum(c) && c != '-' && c != '_' && c != '*') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view RawObject::first(std::string_view name) const noexcept {
+  for (const auto& attr : attributes) {
+    if (attr.name == name) return attr.value;
+  }
+  return {};
+}
+
+std::vector<std::string_view> RawObject::all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& attr : attributes) {
+    if (attr.name == name) out.push_back(attr.value);
+  }
+  return out;
+}
+
+std::vector<RawObject> lex_objects(std::string_view text, std::string_view source,
+                                   util::Diagnostics& diagnostics) {
+  std::vector<RawObject> objects;
+  RawObject current;
+  bool in_object = false;
+
+  auto finish_object = [&] {
+    if (in_object && !current.attributes.empty()) {
+      current.class_name = current.attributes.front().name;
+      current.key = current.attributes.front().value;
+      objects.push_back(std::move(current));
+    }
+    current = RawObject{};
+    current.source = std::string(source);
+    in_object = false;
+  };
+  current.source = std::string(source);
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    // Extract one line (the final line may lack a trailing newline).
+    if (pos == text.size()) break;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    // Server remarks never terminate an object; they are interleaved noise.
+    if (!line.empty() && line.front() == '%') continue;
+
+    std::string_view content = strip_comment(line);
+    if (trim(content).empty()) {
+      // A blank (or comment-only) line ends the current object. Note an
+      // all-comment line ('#...') also separates objects in practice.
+      if (trim(line).empty()) {
+        finish_object();
+      }
+      // A line that only held a comment keeps the object open.
+      continue;
+    }
+
+    const char first_char = content.front();
+    if (first_char == ' ' || first_char == '\t' || first_char == '+') {
+      // Continuation of the previous attribute's value.
+      std::string_view cont = content;
+      if (first_char == '+') cont.remove_prefix(1);
+      cont = trim(cont);
+      if (!in_object || current.attributes.empty()) {
+        diagnostics.error(util::DiagnosticKind::kSyntaxError,
+                          "continuation line outside any attribute", {},
+                          {std::string(source), line_no});
+        continue;
+      }
+      if (!cont.empty()) {
+        auto& value = current.attributes.back().value;
+        if (!value.empty()) value.push_back(' ');
+        value.append(cont);
+      }
+      continue;
+    }
+
+    if (!is_attribute_start(content)) {
+      diagnostics.error(util::DiagnosticKind::kSyntaxError,
+                        "line does not start an attribute: '" + std::string(trim(content)) + "'",
+                        in_object ? current.key : std::string{},
+                        {std::string(source), line_no});
+      continue;
+    }
+
+    const std::size_t colon = content.find(':');
+    if (colon == std::string_view::npos) {
+      diagnostics.error(util::DiagnosticKind::kSyntaxError,
+                        "attribute line missing ':': '" + std::string(trim(content)) + "'",
+                        in_object ? current.key : std::string{},
+                        {std::string(source), line_no});
+      continue;
+    }
+
+    std::string name = util::lower(trim(content.substr(0, colon)));
+    if (!valid_attribute_name(name)) {
+      diagnostics.error(util::DiagnosticKind::kSyntaxError,
+                        "invalid attribute name: '" + name + "'",
+                        in_object ? current.key : std::string{},
+                        {std::string(source), line_no});
+      continue;
+    }
+
+    RawAttribute attr;
+    attr.name = std::move(name);
+    attr.value = std::string(trim(content.substr(colon + 1)));
+    attr.line = line_no;
+    if (!in_object) {
+      in_object = true;
+      current.line = line_no;
+    }
+    current.attributes.push_back(std::move(attr));
+  }
+  finish_object();
+  return objects;
+}
+
+}  // namespace rpslyzer::rpsl

@@ -1,0 +1,316 @@
+// Parser for AS-path regular expressions (RFC 2622 §5.6).
+//
+// The regex alphabet is AS tokens, not characters: ASNs, AS-set names, the
+// wildcard '.', PeerAS, and character-class style sets "[AS1 AS3-AS5
+// AS-FOO]" with optional '^' complement. Postfix operators are *, +, ?,
+// {m}, {m,n}, {m,} and the "same pattern" tilde variants (~* etc.), with
+// '|' alternation, juxtaposition for concatenation, and '^'/'$' anchors.
+
+#include "rpslyzer/ir/objects.hpp"
+#include "rpslyzer/rpsl/expr_parser.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::rpsl {
+
+namespace {
+
+using ir::AsPathRegexBox;
+using ir::AsPathRegexNode;
+using util::iequals;
+
+class RegexParser {
+ public:
+  RegexParser(std::string_view text, const ParseContext& ctx) : text_(text), ctx_(ctx) {}
+
+  std::optional<AsPathRegexNode> parse() {
+    auto node = parse_alt();
+    if (!node) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters in AS-path regex");
+      return std::nullopt;
+    }
+    return node;
+  }
+
+  bool failed() const noexcept { return failed_; }
+
+ private:
+  std::string_view text_;
+  const ParseContext& ctx_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+
+  void fail(const std::string& why) {
+    if (!failed_) {
+      ctx_.syntax_error("AS-path regex '" + std::string(text_) + "': " + why);
+    }
+    failed_ = true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && util::is_space(text_[pos_])) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  /// Peek without skipping whitespace (postfix operators must be adjacent).
+  char peek_raw() const noexcept { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool eat(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static bool is_name_char(char c) noexcept {
+    return util::is_alnum(c) || c == '_' || c == ':' || c == '-';
+  }
+
+  std::string_view next_name() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() && is_name_char(text_[end])) ++end;
+    std::string_view name = text_.substr(pos_, end - pos_);
+    pos_ = end;
+    return name;
+  }
+
+  // --- grammar ---
+
+  std::optional<AsPathRegexNode> parse_alt() {
+    auto first = parse_concat();
+    if (!first) return std::nullopt;
+    if (peek() != '|') return first;
+    ir::ReAlt alt;
+    alt.options.emplace_back(std::move(*first));
+    while (eat('|')) {
+      auto next = parse_concat();
+      if (!next) return std::nullopt;
+      alt.options.emplace_back(std::move(*next));
+    }
+    return AsPathRegexNode{std::move(alt)};
+  }
+
+  std::optional<AsPathRegexNode> parse_concat() {
+    ir::ReConcat concat;
+    while (true) {
+      const char c = peek();
+      if (c == '\0' || c == '|' || c == ')') break;
+      auto part = parse_repeat();
+      if (!part) return std::nullopt;
+      concat.parts.emplace_back(std::move(*part));
+    }
+    if (concat.parts.empty()) return AsPathRegexNode{ir::ReEmpty{}};
+    if (concat.parts.size() == 1) return std::move(*concat.parts.front());
+    return AsPathRegexNode{std::move(concat)};
+  }
+
+  std::optional<AsPathRegexNode> parse_repeat() {
+    auto inner = parse_primary();
+    if (!inner) return std::nullopt;
+    while (true) {
+      auto repeat = try_parse_postfix();
+      if (failed_) return std::nullopt;
+      if (!repeat) return inner;
+      inner = AsPathRegexNode{ir::ReRepeatNode{AsPathRegexBox(std::move(*inner)), *repeat}};
+    }
+  }
+
+  std::optional<ir::ReRepeat> try_parse_postfix() {
+    // Postfix operators attach without whitespace in practice, but the RFC
+    // examples are loose; accept whitespace before them too.
+    const std::size_t mark = pos_;
+    bool same_pattern = false;
+    char c = peek();
+    if (c == '~') {
+      same_pattern = true;
+      ++pos_;
+      c = peek_raw();
+    }
+    switch (c) {
+      case '*':
+        ++pos_;
+        return ir::ReRepeat{0, std::nullopt, same_pattern};
+      case '+':
+        ++pos_;
+        return ir::ReRepeat{1, std::nullopt, same_pattern};
+      case '?':
+        ++pos_;
+        return ir::ReRepeat{0, 1, same_pattern};
+      case '{': {
+        ++pos_;
+        auto m = parse_int();
+        if (!m) {
+          fail("invalid repetition count");
+          return std::nullopt;
+        }
+        ir::ReRepeat r;
+        r.min = *m;
+        r.max = *m;
+        r.same_pattern = same_pattern;
+        if (eat(',')) {
+          if (peek() == '}') {
+            r.max = std::nullopt;
+          } else {
+            auto n = parse_int();
+            if (!n || *n < r.min) {
+              fail("invalid repetition range");
+              return std::nullopt;
+            }
+            r.max = *n;
+          }
+        }
+        if (!eat('}')) {
+          fail("unterminated repetition");
+          return std::nullopt;
+        }
+        return r;
+      }
+      default:
+        pos_ = mark;  // the '~' (if any) was not a postfix operator
+        if (same_pattern) fail("dangling '~'");
+        return std::nullopt;
+    }
+  }
+
+  std::optional<std::uint32_t> parse_int() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() && util::is_digit(text_[end])) ++end;
+    if (end == pos_) return std::nullopt;
+    auto value = util::parse_u32(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return value;
+  }
+
+  std::optional<AsPathRegexNode> parse_primary() {
+    const char c = peek();
+    if (c == '^') {
+      ++pos_;
+      return AsPathRegexNode{ir::ReBeginAnchor{}};
+    }
+    if (c == '$') {
+      ++pos_;
+      return AsPathRegexNode{ir::ReEndAnchor{}};
+    }
+    if (c == '.') {
+      ++pos_;
+      ir::ReToken any;
+      any.kind = ir::ReToken::Kind::kAny;
+      return AsPathRegexNode{ir::ReTokenNode{std::move(any)}};
+    }
+    if (c == '(') {
+      ++pos_;
+      auto inner = parse_alt();
+      if (!inner) return std::nullopt;
+      if (!eat(')')) {
+        fail("unbalanced '('");
+        return std::nullopt;
+      }
+      return inner;
+    }
+    if (c == '[') {
+      ++pos_;
+      return parse_set();
+    }
+    std::string_view name = next_name();
+    if (name.empty()) {
+      fail(std::string("unexpected character '") + c + "'");
+      return std::nullopt;
+    }
+    ir::ReToken token;
+    if (auto asn = ir::parse_as_ref(name)) {
+      token.kind = ir::ReToken::Kind::kAsn;
+      token.asn = *asn;
+    } else if (iequals(name, "PeerAS")) {
+      token.kind = ir::ReToken::Kind::kPeerAs;
+    } else if (ir::valid_as_set_name(name) || iequals(name, "AS-ANY")) {
+      // AS-ANY inside a regex behaves like the wildcard.
+      if (iequals(name, "AS-ANY")) {
+        token.kind = ir::ReToken::Kind::kAny;
+      } else {
+        token.kind = ir::ReToken::Kind::kAsSet;
+        token.as_set = std::string(name);
+      }
+    } else {
+      fail("invalid AS token '" + std::string(name) + "'");
+      return std::nullopt;
+    }
+    return AsPathRegexNode{ir::ReTokenNode{std::move(token)}};
+  }
+
+  std::optional<AsPathRegexNode> parse_set() {
+    ir::ReToken token;
+    token.kind = ir::ReToken::Kind::kSet;
+    if (peek() == '^') {
+      ++pos_;
+      token.complemented = true;
+    }
+    while (true) {
+      const char c = peek();
+      if (c == ']') {
+        ++pos_;
+        break;
+      }
+      if (c == '\0') {
+        fail("unterminated '['");
+        return std::nullopt;
+      }
+      std::string_view name = next_name();
+      if (name.empty()) {
+        fail(std::string("unexpected character in set: '") + c + "'");
+        return std::nullopt;
+      }
+      ir::ReSetItem item;
+      // "AS<m>-AS<n>" is an ASN range (a construct the paper's tool lists
+      // as skipped; we parse it and let the engine decide).
+      const std::size_t dash = name.find("-AS");
+      if (dash != std::string_view::npos && dash > 2) {
+        auto lo = ir::parse_as_ref(name.substr(0, dash));
+        auto hi = ir::parse_as_ref(name.substr(dash + 1));
+        if (lo && hi && *lo <= *hi) {
+          item.kind = ir::ReSetItem::Kind::kAsnRange;
+          item.asn = *lo;
+          item.asn_hi = *hi;
+          token.items.push_back(std::move(item));
+          continue;
+        }
+      }
+      if (auto asn = ir::parse_as_ref(name)) {
+        item.kind = ir::ReSetItem::Kind::kAsn;
+        item.asn = *asn;
+      } else if (iequals(name, "PeerAS")) {
+        item.kind = ir::ReSetItem::Kind::kPeerAs;
+      } else if (ir::valid_as_set_name(name)) {
+        item.kind = ir::ReSetItem::Kind::kAsSet;
+        item.as_set = std::string(name);
+      } else {
+        fail("invalid AS token in set: '" + std::string(name) + "'");
+        return std::nullopt;
+      }
+      token.items.push_back(std::move(item));
+    }
+    return AsPathRegexNode{ir::ReTokenNode{std::move(token)}};
+  }
+};
+
+}  // namespace
+
+std::optional<ir::AsPathRegex> parse_aspath_regex(std::string_view inside,
+                                                  const ParseContext& ctx) {
+  RegexParser parser(inside, ctx);
+  auto node = parser.parse();
+  if (!node) return std::nullopt;
+  ir::AsPathRegex regex;
+  *regex.root = std::move(*node);
+  regex.text = std::string(util::trim(inside));
+  return regex;
+}
+
+}  // namespace rpslyzer::rpsl

@@ -1,0 +1,37 @@
+#include "rpslyzer/stats/bgpq4.hpp"
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::stats {
+
+bool bgpq4_compatible(const ir::Filter& filter) {
+  return std::visit(
+      util::overloaded{
+          [](const ir::FilterAny&) { return true; },
+          [](const ir::FilterPeerAs&) { return true; },
+          [](const ir::FilterFltrMartian&) { return false; },
+          [](const ir::FilterAsNum&) { return true; },
+          [](const ir::FilterAsSet&) { return true; },
+          [](const ir::FilterRouteSet&) { return true; },
+          [](const ir::FilterFilterSet&) { return false; },
+          [](const ir::FilterPrefixes&) { return true; },
+          [](const ir::FilterAsPath&) { return false; },
+          [](const ir::FilterCommunity&) { return false; },
+          [](const ir::FilterAnd&) { return false; },
+          [](const ir::FilterOr&) { return false; },
+          [](const ir::FilterNot&) { return false; },
+          [](const ir::FilterUnknown&) { return false; },
+      },
+      filter.node);
+}
+
+bool bgpq4_compatible(const ir::Rule& rule) {
+  const auto* term = std::get_if<ir::EntryTerm>(&rule.entry.node);
+  if (term == nullptr) return false;  // Structured Policies are unsupported
+  for (const auto& factor : term->factors) {
+    if (!bgpq4_compatible(factor.filter)) return false;
+  }
+  return true;
+}
+
+}  // namespace rpslyzer::stats

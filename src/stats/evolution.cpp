@@ -1,0 +1,87 @@
+#include "rpslyzer/stats/evolution.hpp"
+
+#include <set>
+
+namespace rpslyzer::stats {
+
+namespace {
+
+/// Generic map diff into added/removed/changed key lists.
+template <typename Map, typename Key>
+void diff_maps(const Map& before, const Map& after, std::vector<Key>& added,
+               std::vector<Key>& removed, std::vector<Key>& changed) {
+  for (const auto& [key, value] : after) {
+    auto it = before.find(key);
+    if (it == before.end()) {
+      added.push_back(key);
+    } else if (!(it->second == value)) {
+      changed.push_back(key);
+    }
+  }
+  for (const auto& [key, value] : before) {
+    if (!after.contains(key)) removed.push_back(key);
+  }
+}
+
+std::size_t rule_count(const ir::Ir& ir) {
+  std::size_t n = 0;
+  for (const auto& [asn, an] : ir.aut_nums) n += an.imports.size() + an.exports.size();
+  return n;
+}
+
+}  // namespace
+
+IrDiff IrDiff::compute(const ir::Ir& before, const ir::Ir& after) {
+  IrDiff diff;
+
+  // aut-nums: distinguish rule churn from any other attribute change.
+  for (const auto& [asn, an] : after.aut_nums) {
+    auto it = before.aut_nums.find(asn);
+    if (it == before.aut_nums.end()) {
+      diff.aut_nums_added.push_back(asn);
+    } else if (it->second.imports != an.imports || it->second.exports != an.exports) {
+      diff.aut_nums_rules_changed.push_back(asn);
+    }
+  }
+  for (const auto& [asn, an] : before.aut_nums) {
+    if (!after.aut_nums.contains(asn)) diff.aut_nums_removed.push_back(asn);
+  }
+  diff.rules_before = rule_count(before);
+  diff.rules_after = rule_count(after);
+
+  diff_maps(before.as_sets, after.as_sets, diff.as_sets_added, diff.as_sets_removed,
+            diff.as_sets_changed);
+  diff_maps(before.route_sets, after.route_sets, diff.route_sets_added,
+            diff.route_sets_removed, diff.route_sets_changed);
+
+  std::set<std::pair<net::Prefix, ir::Asn>> before_routes;
+  for (const auto& route : before.routes) before_routes.emplace(route.prefix, route.origin);
+  std::set<std::pair<net::Prefix, ir::Asn>> after_routes;
+  for (const auto& route : after.routes) after_routes.emplace(route.prefix, route.origin);
+  for (const auto& key : after_routes) {
+    if (!before_routes.contains(key)) ++diff.routes_added;
+  }
+  for (const auto& key : before_routes) {
+    if (!after_routes.contains(key)) ++diff.routes_removed;
+  }
+  return diff;
+}
+
+std::string IrDiff::summary() const {
+  auto triple = [](std::size_t added, std::size_t removed, std::size_t changed) {
+    return "+" + std::to_string(added) + " -" + std::to_string(removed) + " ~" +
+           std::to_string(changed);
+  };
+  std::string out;
+  out += "aut-nums: " + triple(aut_nums_added.size(), aut_nums_removed.size(),
+                               aut_nums_rules_changed.size());
+  out += "; rules: " + std::to_string(rules_before) + " -> " + std::to_string(rules_after);
+  out += "; as-sets: " +
+         triple(as_sets_added.size(), as_sets_removed.size(), as_sets_changed.size());
+  out += "; route-sets: " + triple(route_sets_added.size(), route_sets_removed.size(),
+                                   route_sets_changed.size());
+  out += "; routes: +" + std::to_string(routes_added) + " -" + std::to_string(routes_removed);
+  return out;
+}
+
+}  // namespace rpslyzer::stats

@@ -1,0 +1,18 @@
+#pragma once
+// BGPq4 compatibility classification (§4): "BGPq4 does not support filters
+// comprising filter-set, AS-path regex, BGP communities, Composite Policy
+// Filters (with AND, OR, or NOT), or Structured Policies (with refine or
+// except)."
+
+#include "rpslyzer/ir/policy.hpp"
+
+namespace rpslyzer::stats {
+
+/// Can BGPq4 resolve this filter? (single-term: ANY, ASN, as-set,
+/// route-set, prefix set, PeerAS.)
+bool bgpq4_compatible(const ir::Filter& filter);
+
+/// Can BGPq4 handle this whole rule? (simple policy + compatible filter.)
+bool bgpq4_compatible(const ir::Rule& rule);
+
+}  // namespace rpslyzer::stats

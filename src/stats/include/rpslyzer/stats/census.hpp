@@ -1,0 +1,145 @@
+#pragma once
+// §4 characterization analyses ("RPSL Use in the Wild").
+//
+// Each struct computes one of the paper's reported censuses: rules per
+// aut-num (Figure 1), defined-vs-referenced objects (Table 2), peering and
+// filter shapes, route-object multiplicity, as-set opacity, the RPSL error
+// census, and the Appendix E misuse-pattern extraction.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rpslyzer/irr/index.hpp"
+#include "rpslyzer/util/diagnostics.hpp"
+
+namespace rpslyzer::stats {
+
+using ir::Asn;
+
+// ---------------------------------------------------------------------------
+// Figure 1: CCDF of rules per aut-num.
+// ---------------------------------------------------------------------------
+
+struct RulesPerAutNum {
+  /// rule count -> number of aut-nums with exactly that many rules.
+  std::map<std::size_t, std::size_t> all;
+  /// Same, counting only BGPq4-compatible rules per aut-num.
+  std::map<std::size_t, std::size_t> bgpq4_compatible;
+
+  std::size_t aut_num_count = 0;
+  std::size_t zero_rule_aut_nums = 0;        // paper: 35.2%
+  std::size_t ten_plus_rule_aut_nums = 0;    // paper: 10.9%
+  std::size_t thousand_plus_rule_aut_nums = 0;  // paper: 0.13% (101)
+
+  static RulesPerAutNum compute(const ir::Ir& ir);
+
+  /// CCDF points (x, P[rules >= x]) for a histogram.
+  static std::vector<std::pair<std::size_t, double>> ccdf(
+      const std::map<std::size_t, std::size_t>& histogram);
+};
+
+// ---------------------------------------------------------------------------
+// Table 2: objects defined and referenced in rules.
+// ---------------------------------------------------------------------------
+
+struct ReferenceCensus {
+  struct PerClass {
+    std::size_t defined = 0;
+    std::size_t referenced_overall = 0;
+    std::size_t referenced_in_peering = 0;
+    std::size_t referenced_in_filter = 0;
+  };
+  PerClass aut_nums;      // referenced = distinct ASNs appearing in rules
+  PerClass as_sets;
+  PerClass route_sets;
+  PerClass peering_sets;
+  PerClass filter_sets;
+
+  static ReferenceCensus compute(const ir::Ir& ir);
+};
+
+// ---------------------------------------------------------------------------
+// §4 prose: peering and filter shapes.
+// ---------------------------------------------------------------------------
+
+struct ShapeCensus {
+  // Peerings.
+  std::size_t peerings_total = 0;
+  std::size_t peerings_single_asn_or_any = 0;  // paper: 98.4%
+  // Filters, by top-level shape.
+  std::size_t filters_total = 0;
+  std::size_t filters_as_set = 0;    // paper: 43.4%
+  std::size_t filters_asn = 0;       // paper: 24.1%
+  std::size_t filters_route_set = 0;
+  std::size_t filters_any = 0;
+  std::size_t filters_prefix_set = 0;
+  std::size_t filters_as_path = 0;
+  std::size_t filters_compound = 0;  // AND/OR/NOT at the top
+  std::size_t filters_other = 0;
+  // Rules and ASes.
+  std::size_t rules_total = 0;
+  std::size_t rules_bgpq4_compatible = 0;
+  std::size_t ases_with_rules = 0;
+  std::size_t ases_all_rules_bgpq4_compatible = 0;  // paper: 94.5% of ASes with rules
+
+  static ShapeCensus compute(const ir::Ir& ir);
+};
+
+// ---------------------------------------------------------------------------
+// §4 prose: route objects require management.
+// ---------------------------------------------------------------------------
+
+struct RouteObjectStats {
+  std::size_t route_objects = 0;          // unique (prefix, origin) pairs
+  std::size_t unique_prefixes = 0;
+  std::size_t prefixes_with_multiple_objects = 0;   // paper: 24.7%
+  std::size_t prefixes_with_multiple_origins = 0;   // paper: 58.1% of the above
+  std::size_t prefixes_with_multiple_maintainers = 0;  // paper: 67.3%
+
+  static RouteObjectStats compute(const ir::Ir& ir);
+};
+
+// ---------------------------------------------------------------------------
+// §4 prose: opaqueness of as-sets.
+// ---------------------------------------------------------------------------
+
+struct AsSetStats {
+  std::size_t total = 0;
+  std::size_t empty = 0;             // paper: 14.5%
+  std::size_t single_member = 0;     // paper: 32.7% (one member AS)
+  std::size_t with_any_keyword = 0;  // paper: 3
+  std::size_t huge = 0;              // >10,000 flattened members; paper: 772
+  std::size_t recursive = 0;         // contain other as-sets; paper: 13,602
+  std::size_t in_loops = 0;          // paper: 3050 (22.4% of recursive)
+  std::size_t depth_5_plus = 0;      // paper: 3129 (23.0% of recursive)
+
+  static AsSetStats compute(const ir::Ir& ir, const irr::Index& index);
+};
+
+// ---------------------------------------------------------------------------
+// §4 prose: RPSL errors.
+// ---------------------------------------------------------------------------
+
+struct ErrorCensus {
+  std::size_t syntax_errors = 0;        // paper: 663
+  std::size_t invalid_as_set_names = 0;    // paper: 12
+  std::size_t invalid_route_set_names = 0;  // paper: 17
+
+  static ErrorCensus compute(const util::Diagnostics& diagnostics, const ir::Ir& ir);
+};
+
+// ---------------------------------------------------------------------------
+// Appendix E: misuse-pattern extraction (the operator-survey population).
+// ---------------------------------------------------------------------------
+
+struct MisusePatterns {
+  /// ASes with an "import: from X accept X" rule (import-customer shape).
+  std::set<Asn> import_customer;
+  /// ASes with an "export: to <peer> announce <self>" rule (export-self).
+  std::set<Asn> export_self;
+
+  static MisusePatterns compute(const ir::Ir& ir);
+};
+
+}  // namespace rpslyzer::stats

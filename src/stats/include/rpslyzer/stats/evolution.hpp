@@ -1,0 +1,46 @@
+#pragma once
+// Snapshot-to-snapshot evolution tracking — §7 future work ("tracking the
+// evolution of RPSL policy usage over time"). IRRs expose no history, so
+// studies scrape periodic dumps ([16, 20] in the paper); this diff engine
+// turns two parsed snapshots into the churn series such a study needs.
+
+#include <string>
+#include <vector>
+
+#include "rpslyzer/ir/objects.hpp"
+
+namespace rpslyzer::stats {
+
+/// Structural difference between two parsed corpora ("before" -> "after").
+struct IrDiff {
+  // aut-nums.
+  std::vector<ir::Asn> aut_nums_added;
+  std::vector<ir::Asn> aut_nums_removed;
+  /// aut-num present in both with a different rule set.
+  std::vector<ir::Asn> aut_nums_rules_changed;
+  std::size_t rules_before = 0;
+  std::size_t rules_after = 0;
+
+  // Sets (names).
+  std::vector<std::string> as_sets_added, as_sets_removed, as_sets_changed;
+  std::vector<std::string> route_sets_added, route_sets_removed, route_sets_changed;
+
+  // route/route6 objects, keyed by (prefix, origin).
+  std::size_t routes_added = 0;
+  std::size_t routes_removed = 0;
+
+  bool empty() const noexcept {
+    return aut_nums_added.empty() && aut_nums_removed.empty() &&
+           aut_nums_rules_changed.empty() && as_sets_added.empty() &&
+           as_sets_removed.empty() && as_sets_changed.empty() && route_sets_added.empty() &&
+           route_sets_removed.empty() && route_sets_changed.empty() && routes_added == 0 &&
+           routes_removed == 0;
+  }
+
+  static IrDiff compute(const ir::Ir& before, const ir::Ir& after);
+
+  /// Human-readable churn summary ("aut-nums: +3 -1 ~2; rules: 120 -> 141; ...").
+  std::string summary() const;
+};
+
+}  // namespace rpslyzer::stats

@@ -1,0 +1,175 @@
+#include "rpslyzer/synth/bgp_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace rpslyzer::synth {
+
+namespace {
+
+/// Selection key: lower is better (type, length, next-hop ASN).
+struct Key {
+  RouteType type;
+  std::uint32_t length;
+  Asn parent;
+
+  friend bool operator<(const Key& a, const Key& b) {
+    if (a.type != b.type) return a.type < b.type;
+    if (a.length != b.length) return a.length < b.length;
+    return a.parent < b.parent;
+  }
+};
+
+}  // namespace
+
+RouteTree RouteTree::compute(const Topology& topo, Asn origin) {
+  RouteTree tree;
+  tree.topo_ = &topo;
+  tree.origin_ = origin;
+  if (topo.find(origin) == nullptr) return tree;
+
+  auto better = [&](const Entry& candidate, const Entry& current) {
+    return Key{candidate.type, candidate.length, candidate.parent} <
+           Key{current.type, current.length, current.parent};
+  };
+
+  auto& entries = tree.entries_;
+  entries[origin] = Entry{RouteType::kSelf, 0, 0};
+
+  // Phase A — uphill: customer-learned routes climb provider chains.
+  // Dijkstra over (length, asn) with only self/customer-type sources.
+  {
+    using Item = std::pair<std::uint32_t, Asn>;  // (length, asn)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    queue.push({0, origin});
+    while (!queue.empty()) {
+      auto [length, asn] = queue.top();
+      queue.pop();
+      auto it = entries.find(asn);
+      if (it == entries.end() || it->second.length != length) continue;
+      if (it->second.type != RouteType::kSelf && it->second.type != RouteType::kCustomer) {
+        continue;
+      }
+      for (Asn provider : topo.find(asn)->providers) {
+        Entry candidate{RouteType::kCustomer, length + 1, asn};
+        auto existing = entries.find(provider);
+        if (existing == entries.end() || better(candidate, existing->second)) {
+          entries[provider] = candidate;
+          queue.push({candidate.length, provider});
+        }
+      }
+    }
+  }
+
+  // Phase B — one peer hop: peers of ASes holding self/customer routes.
+  {
+    std::vector<std::pair<Asn, Entry>> additions;
+    for (const auto& [asn, entry] : entries) {
+      if (entry.type != RouteType::kSelf && entry.type != RouteType::kCustomer) continue;
+      for (Asn peer : topo.find(asn)->peers) {
+        Entry candidate{RouteType::kPeer, entry.length + 1, asn};
+        auto existing = entries.find(peer);
+        if (existing == entries.end()) {
+          additions.emplace_back(peer, candidate);
+        } else if (better(candidate, existing->second)) {
+          existing->second = candidate;
+        }
+      }
+    }
+    for (auto& [asn, entry] : additions) {
+      auto existing = entries.find(asn);
+      if (existing == entries.end() || better(entry, existing->second)) {
+        entries[asn] = entry;
+      }
+    }
+  }
+
+  // Phase C — downhill: anything propagates to customers, recursively.
+  {
+    using Item = std::pair<std::uint32_t, Asn>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    for (const auto& [asn, entry] : entries) queue.push({entry.length, asn});
+    while (!queue.empty()) {
+      auto [length, asn] = queue.top();
+      queue.pop();
+      auto it = entries.find(asn);
+      if (it == entries.end() || it->second.length != length) continue;
+      for (Asn customer : topo.find(asn)->customers) {
+        Entry candidate{RouteType::kProvider, length + 1, asn};
+        auto existing = entries.find(customer);
+        if (existing == entries.end() || better(candidate, existing->second)) {
+          entries[customer] = candidate;
+          queue.push({candidate.length, customer});
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+bool RouteTree::reachable(Asn asn) const { return entries_.contains(asn); }
+
+RouteType RouteTree::type(Asn asn) const {
+  auto it = entries_.find(asn);
+  return it == entries_.end() ? RouteType::kNone : it->second.type;
+}
+
+std::vector<Asn> RouteTree::path_from(Asn asn) const {
+  std::vector<Asn> path;
+  auto it = entries_.find(asn);
+  while (it != entries_.end()) {
+    path.push_back(asn);
+    if (it->second.type == RouteType::kSelf) return path;
+    if (path.size() > entries_.size()) return {};  // defensive: no cycles expected
+    asn = it->second.parent;
+    it = entries_.find(asn);
+  }
+  return {};
+}
+
+std::vector<std::string> render_collector_dumps(const Topology& topo,
+                                                const std::vector<Asn>& collector_peers) {
+  std::vector<std::string> dumps(collector_peers.size());
+  for (const auto& origin_as : topo.ases()) {
+    RouteTree tree = RouteTree::compute(topo, origin_as.asn);
+    for (std::size_t c = 0; c < collector_peers.size(); ++c) {
+      const Asn peer = collector_peers[c];
+      if (!tree.reachable(peer)) continue;
+      std::vector<Asn> path = tree.path_from(peer);
+      if (path.empty()) continue;
+      std::string path_text;
+      for (Asn asn : path) {
+        if (!path_text.empty()) path_text.push_back(' ');
+        path_text += std::to_string(asn);
+      }
+      for (const auto& prefix : origin_as.prefixes) {
+        dumps[c] += prefix.to_string() + "|" + path_text + "\n";
+      }
+    }
+  }
+  return dumps;
+}
+
+std::vector<Asn> default_collector_peers(const Topology& topo, std::size_t count) {
+  // Spread across tiers. Real collector peers range from Tier-1s to edge
+  // networks; edge vantage points are what observe downhill hops, so they
+  // get the largest share.
+  std::vector<Asn> peers;
+  auto take = [&](Tier tier, std::size_t how_many) {
+    for (Asn asn : topo.tier_members(tier)) {
+      if (how_many == 0 || peers.size() >= count) break;
+      peers.push_back(asn);
+      --how_many;
+    }
+  };
+  take(Tier::kTier1, count >= 4 ? 1 : 0);
+  take(Tier::kTier2, count / 4);
+  take(Tier::kTier3, count / 4);
+  take(Tier::kStub, count);  // fill the remainder with edge vantage points
+  take(Tier::kTier2, count);  // top up if the topology lacks stubs
+  take(Tier::kTier1, count);
+  if (peers.size() > count) peers.resize(count);
+  return peers;
+}
+
+}  // namespace rpslyzer::synth

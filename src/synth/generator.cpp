@@ -1,0 +1,40 @@
+#include "rpslyzer/synth/generator.hpp"
+
+#include <fstream>
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::synth {
+
+InternetGenerator::InternetGenerator(SynthConfig config)
+    : config_(config.scaled()), topology_(Topology::generate(config_)) {
+  RpslGenerator rpsl(topology_, config_);
+  dumps_ = rpsl.generate();
+  plan_ = rpsl.plan();
+  collector_peers_ = default_collector_peers(topology_, config_.collectors);
+}
+
+std::vector<std::string> InternetGenerator::bgp_dumps() const {
+  return render_collector_dumps(topology_, collector_peers_);
+}
+
+std::size_t InternetGenerator::write_to(const std::filesystem::path& directory) const {
+  std::filesystem::create_directories(directory);
+  std::size_t files = 0;
+  auto write = [&](const std::filesystem::path& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    ++files;
+  };
+  for (const auto& [irr, text] : dumps_) {
+    write(directory / (util::lower(irr) + ".db"), text);
+  }
+  write(directory / "relationships.txt", caida_serial1());
+  const auto dumps = bgp_dumps();
+  for (std::size_t i = 0; i < dumps.size(); ++i) {
+    write(directory / ("collector-" + std::to_string(i) + ".dump"), dumps[i]);
+  }
+  return files;
+}
+
+}  // namespace rpslyzer::synth

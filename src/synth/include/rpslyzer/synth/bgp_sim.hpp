@@ -1,0 +1,54 @@
+#pragma once
+// Gao-Rexford route propagation over the synthetic topology, producing
+// per-collector table dumps (the substitution for RIPE RIS / RouteViews).
+//
+// Export policy: routes learned from customers (or originated) are exported
+// to everyone; routes learned from peers or providers are exported only to
+// customers. Selection prefers customer > peer > provider routes, then
+// shorter paths, then the lowest next-hop ASN — the standard valley-free
+// model [24].
+
+#include <string>
+#include <vector>
+
+#include "rpslyzer/synth/topology.hpp"
+
+namespace rpslyzer::synth {
+
+/// How an AS learned its best route toward some origin.
+enum class RouteType : std::uint8_t { kSelf, kCustomer, kPeer, kProvider, kNone };
+
+/// The best-route tree for one origin AS: for every AS that has a route,
+/// its (type, path length, parent).
+class RouteTree {
+ public:
+  static RouteTree compute(const Topology& topo, Asn origin);
+
+  bool reachable(Asn asn) const;
+  RouteType type(Asn asn) const;
+  /// AS path in BGP order as announced by `asn` to a collector:
+  /// [asn, ..., origin]. Empty when unreachable.
+  std::vector<Asn> path_from(Asn asn) const;
+
+ private:
+  struct Entry {
+    RouteType type = RouteType::kNone;
+    std::uint32_t length = 0;  // number of AS hops from the origin
+    Asn parent = 0;            // neighbor the route was learned from
+  };
+
+  const Topology* topo_ = nullptr;
+  Asn origin_ = 0;
+  std::unordered_map<Asn, Entry> entries_;
+};
+
+/// Render per-collector table dumps in the simple "prefix|path" format.
+/// `collector_peers[i]` is the AS peering with collector i; every announced
+/// prefix reachable at that AS yields one line.
+std::vector<std::string> render_collector_dumps(const Topology& topo,
+                                                const std::vector<Asn>& collector_peers);
+
+/// Pick collector-peer ASes spread across tiers (deterministic).
+std::vector<Asn> default_collector_peers(const Topology& topo, std::size_t count);
+
+}  // namespace rpslyzer::synth

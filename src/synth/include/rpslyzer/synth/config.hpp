@@ -1,0 +1,129 @@
+#pragma once
+// Configuration for the synthetic Internet (the substitution for the
+// paper's IRR dumps, CAIDA relationships, and BGP collector data —
+// DESIGN.md §1). Probabilities are calibrated to the fractions §4 and §5
+// report so the reproduced figures have the paper's shape.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rpslyzer::synth {
+
+struct SynthConfig {
+  std::uint32_t seed = 42;
+
+  // Topology sizes (multiplied by `scale`).
+  double scale = 1.0;
+  std::size_t tier1_count = 8;    // provider-free clique
+  std::size_t tier2_count = 48;   // regional transit
+  std::size_t tier3_count = 220;  // small transit
+  std::size_t stub_count = 1100;  // edge networks
+
+  // Connectivity.
+  std::size_t tier2_providers_min = 2, tier2_providers_max = 3;
+  std::size_t tier3_providers_min = 1, tier3_providers_max = 3;
+  std::size_t stub_providers_min = 1, stub_providers_max = 2;
+  // Transit peering is dense on the real Internet; routes cross exactly one
+  // peer link (valley-free), and which link varies per (origin, collector),
+  // so these mostly-undeclared lateral pairs dominate the observed-pair
+  // census (Figure 3's 63% pairs with unverified routes).
+  double tier2_peer_density = 0.30;   // probability per tier2 pair
+  double tier3_peer_density = 0.35;   // probability per tier3 pair
+  double tier23_peer_density = 0.08;  // probability per tier2 x tier3 pair
+  /// Lateral (IXP-style) peer links among tier3 + stub networks, as a
+  /// multiple of their count. These mostly-undeclared peerings drive the
+  /// paper's dominant unverified case (§5.2: 98.98% of unverified checks
+  /// are undeclared relationships).
+  double edge_peer_links_factor = 3.0;
+
+  // Addressing.
+  double extra_prefix_probability = 0.5;  // chance of a 2nd/3rd prefix
+  double v6_adoption = 0.35;              // AS announces an IPv6 prefix too
+
+  // RPSL adoption (§4: 27.2% of ASes missing aut-nums, 35.2% of aut-nums
+  // with zero rules).
+  double p_missing_aut_num = 0.25;
+  double p_zero_rules = 0.33;
+  /// Fraction of an AS's provider/customer neighbors covered by its rules
+  /// (undeclared peerings drive the paper's dominant unverified case).
+  double neighbor_coverage = 0.55;
+  /// Rule coverage for peer links: transit networks document some peers,
+  /// edge networks hardly any (IXP peerings are notoriously undeclared).
+  double peer_coverage_transit = 0.30;
+  double peer_coverage_stub = 0.12;
+  /// Stubs defining a (typically single-member) as-set and announcing it.
+  double stub_cone_set_probability = 0.4;
+  /// A couple of "policy-rich" networks emit per-session rule variants,
+  /// reproducing Figure 1's heavy tail (101 aut-nums above 1000 rules).
+  std::size_t policy_rich_ases = 2;
+  std::size_t policy_rich_copies = 30;
+
+  // Filter-style mix for transit ASes (§5.1.1: 64.4% of transit ASes use
+  // "export self"; 29.8% use "import customer").
+  double p_export_self_misuse = 0.62;
+  double p_import_customer_misuse = 0.30;
+  double p_import_peeras = 0.10;          // PeerAS filters (Appendix A)
+  double p_only_provider_policies = 0.01;  // §5.1.2: 46 ASes (0.44%)
+
+  // Route-object hygiene (§4/§5: missing route objects explain 6.2% of
+  // special-cased ASes; route objects are ~3x announced prefixes; 24.7% of
+  // prefixes have multiple route objects).
+  double p_missing_route_object = 0.08;
+  double p_no_route_objects = 0.03;  // AS registers nothing (zero-route AS)
+  double stale_route_factor = 2.1;   // extra unannounced registrations per AS
+  double p_multi_origin = 0.25;      // also registered under the provider
+  double p_second_irr_copy = 0.15;   // object duplicated in a lower-priority IRR
+
+  // Set structure (§4: 14.5% empty, 32.7% single member, 25.5% recursive,
+  // of which 22.4% in loops and 23.0% depth >= 5).
+  double p_recursive_as_set = 0.75;   // transit set references customer sets
+  double p_as_set_loop = 0.05;        // back-edge injection
+  std::size_t decorative_empty_sets = 60;
+  std::size_t decorative_singleton_sets = 90;
+  std::size_t as_sets_with_any = 3;
+  /// Deep member chains (AS-CHAIN-i-0 -> ... -> AS-CHAIN-i-5), every third
+  /// one closed into a loop — the §4 depth/loop census.
+  std::size_t decorative_chain_sets = 10;
+  std::size_t decorative_chain_length = 6;
+  /// route-set adoption (Table 2: fewer route-sets referenced than as-sets).
+  double p_route_set_filter = 0.06;
+  /// route-sets defined but never referenced by any rule (Table 2's point:
+  /// route-sets are underused relative to how many exist).
+  double p_unused_route_set = 0.12;
+  /// Rules referencing an as-set that exists in no IRR (Figure 5's
+  /// "missing set object" unrecorded category).
+  double p_missing_set_reference = 0.012;
+
+  // Compound rules and skip-class constructs (§5: 114 skipped rules out of
+  // 822k; keep the fraction tiny but non-zero).
+  double p_compound_rule = 0.04;     // regex / NOT / refine flavored rules
+  std::size_t community_filter_rules = 3;
+  std::size_t asn_range_regex_rules = 2;
+  std::size_t same_pattern_regex_rules = 2;
+
+  // Error injection (§4: 663 syntax errors, 12/17 invalid set names).
+  std::size_t syntax_error_objects = 40;
+  std::size_t invalid_as_set_names = 3;
+  std::size_t invalid_route_set_names = 4;
+  bool inject_as_any_set = true;  // the empty as-set named AS-ANY
+
+  // BGP collection.
+  std::size_t collectors = 40;
+
+  /// Apply `scale` to the topology sizes.
+  SynthConfig scaled() const {
+    SynthConfig c = *this;
+    auto apply = [&](std::size_t v) {
+      auto scaled = static_cast<std::size_t>(static_cast<double>(v) * c.scale);
+      return scaled == 0 ? std::size_t{1} : scaled;
+    };
+    c.tier1_count = apply(c.tier1_count);
+    c.tier2_count = apply(c.tier2_count);
+    c.tier3_count = apply(c.tier3_count);
+    c.stub_count = apply(c.stub_count);
+    c.scale = 1.0;  // idempotent: scaling an already-scaled config is a no-op
+    return c;
+  }
+};
+
+}  // namespace rpslyzer::synth

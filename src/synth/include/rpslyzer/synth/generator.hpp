@@ -1,0 +1,44 @@
+#pragma once
+// Facade over the synthetic-Internet substrates: one call produces the IRR
+// dumps, the CAIDA-format relationship file, and the BGP collector dumps
+// that substitute for the paper's input datasets (DESIGN.md §1).
+
+#include <filesystem>
+
+#include "rpslyzer/synth/bgp_sim.hpp"
+#include "rpslyzer/synth/rpsl_gen.hpp"
+
+namespace rpslyzer::synth {
+
+class InternetGenerator {
+ public:
+  explicit InternetGenerator(SynthConfig config = {});
+
+  const Topology& topology() const noexcept { return topology_; }
+  const relations::AsRelations& relations() const noexcept { return topology_.relations(); }
+  const RpslPlan& plan() const noexcept { return plan_; }
+  const SynthConfig& config() const noexcept { return config_; }
+
+  /// IRR name -> RPSL dump text (13 entries, Table 1 order via irr_names()).
+  const std::map<std::string, std::string>& irr_dumps() const noexcept { return dumps_; }
+
+  /// CAIDA serial-1 relationship text (including the clique comment).
+  std::string caida_serial1() const { return topology_.relations().to_serial1(); }
+
+  /// Per-collector BGP table dumps ("prefix|path" lines).
+  std::vector<std::string> bgp_dumps() const;
+  const std::vector<Asn>& collector_peers() const noexcept { return collector_peers_; }
+
+  /// Write everything under `directory`: <irr>.db files, relationships.txt,
+  /// and collector-<n>.dump files. Returns the number of files written.
+  std::size_t write_to(const std::filesystem::path& directory) const;
+
+ private:
+  SynthConfig config_;
+  Topology topology_;
+  RpslPlan plan_;
+  std::map<std::string, std::string> dumps_;
+  std::vector<Asn> collector_peers_;
+};
+
+}  // namespace rpslyzer::synth

@@ -1,0 +1,56 @@
+#pragma once
+// RPSL emission for the synthetic Internet: renders aut-num, as-set,
+// route-set, peering-set, filter-set and route/route6 objects as whois-
+// format text spread over the paper's 13 IRRs (Table 1), with the §4/§5
+// phenomena injected: adoption gaps, filter misuses, set pathologies,
+// stale/multi-origin route objects, and syntax errors.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "rpslyzer/synth/topology.hpp"
+
+namespace rpslyzer::synth {
+
+/// Ground truth about what was injected — used by tests and EXPERIMENTS.md
+/// to sanity-check that analyses recover the planted phenomena.
+struct RpslPlan {
+  std::set<Asn> missing_aut_num;
+  std::set<Asn> zero_rules;            // aut-num exists but has no rules
+  std::set<Asn> export_self_misuse;    // transit announcing only itself
+  std::set<Asn> import_customer_misuse;
+  std::set<Asn> only_provider_policies;
+  std::set<Asn> uses_cone_as_set;
+  std::set<Asn> uses_route_set;
+  std::set<Asn> ases_with_missing_route_objects;
+  std::set<Asn> zero_route_ases;        // no route objects at all
+  std::set<Asn> missing_set_reference;  // rules referencing undefined sets
+  std::set<Asn> policy_rich;            // Figure 1's heavy tail
+  std::size_t rules_emitted = 0;
+  std::size_t skip_class_rules = 0;
+  std::size_t route_objects_emitted = 0;  // including duplicates and stale
+  std::size_t syntax_errors_injected = 0;
+};
+
+class RpslGenerator {
+ public:
+  RpslGenerator(const Topology& topo, const SynthConfig& config);
+
+  /// Generate all dumps; deterministic for a given config.
+  /// Key: IRR name (APNIC...ALTDB), value: RPSL dump text.
+  std::map<std::string, std::string> generate();
+
+  const RpslPlan& plan() const noexcept { return plan_; }
+
+ private:
+  const Topology& topo_;
+  SynthConfig config_;
+  std::mt19937 rng_;
+  RpslPlan plan_;
+};
+
+/// The 13 IRR names in Table 1 priority order.
+const std::vector<std::string>& irr_names();
+
+}  // namespace rpslyzer::synth

@@ -1,0 +1,73 @@
+#pragma once
+// Synthetic AS-level topology: a Tier-1 clique, two transit tiers, and
+// stubs, wired with Gao-Rexford style provider/customer/peer relationships
+// and allocated real-looking address space.
+
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "rpslyzer/net/prefix.hpp"
+#include "rpslyzer/relations/relations.hpp"
+#include "rpslyzer/synth/config.hpp"
+
+namespace rpslyzer::synth {
+
+using Asn = relations::Asn;
+
+enum class Tier : std::uint8_t { kTier1, kTier2, kTier3, kStub };
+
+struct SynthAs {
+  Asn asn = 0;
+  Tier tier = Tier::kStub;
+  std::vector<Asn> providers;
+  std::vector<Asn> customers;
+  std::vector<Asn> peers;
+  std::vector<net::Prefix> prefixes;  // announced address space
+
+  bool is_transit() const noexcept { return !customers.empty(); }
+  std::size_t degree() const noexcept {
+    return providers.size() + customers.size() + peers.size();
+  }
+};
+
+class Topology {
+ public:
+  /// Deterministic for a given config (including seed).
+  static Topology generate(const SynthConfig& config);
+
+  const std::vector<SynthAs>& ases() const noexcept { return ases_; }
+  const SynthAs* find(Asn asn) const;
+  const relations::AsRelations& relations() const noexcept { return relations_; }
+  std::size_t size() const noexcept { return ases_.size(); }
+
+  /// All ASes of a tier, in generation order.
+  std::vector<Asn> tier_members(Tier tier) const;
+
+  /// Total announced prefixes.
+  std::size_t prefix_count() const noexcept;
+
+ private:
+  std::vector<SynthAs> ases_;
+  std::unordered_map<Asn, std::size_t> by_asn_;
+  relations::AsRelations relations_;
+};
+
+/// Sequential IPv4 /16 (and sub-/20) allocator that skips martian space.
+class PrefixAllocator {
+ public:
+  /// A fresh /16 for transit ASes.
+  net::Prefix next_v4_16();
+  /// A /20 slice (four per /16) for stubs.
+  net::Prefix next_v4_20();
+  /// A fresh IPv6 /32 under 2a00::/12-like synthetic space.
+  net::Prefix next_v6_32();
+
+ private:
+  std::uint32_t next16_ = 11u << 24;  // start at 11.0.0.0
+  std::uint32_t slice_base_ = 0;      // /16 currently being sliced into /20s
+  int slice_index_ = 4;               // 4 = exhausted
+  std::uint32_t v6_counter_ = 0;
+};
+
+}  // namespace rpslyzer::synth

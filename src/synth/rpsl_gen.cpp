@@ -1,0 +1,577 @@
+#include "rpslyzer/synth/rpsl_gen.hpp"
+
+#include <algorithm>
+
+namespace rpslyzer::synth {
+
+namespace {
+
+bool chance(std::mt19937& rng, double p) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+}
+
+std::size_t pick(std::mt19937& rng, std::size_t lo, std::size_t hi) {
+  if (hi <= lo) return lo;
+  return std::uniform_int_distribution<std::size_t>(lo, hi)(rng);
+}
+
+/// Weighted IRR choice. Weights loosely follow Table 1's per-class counts.
+struct IrrWeights {
+  std::vector<std::pair<std::string, double>> weights;
+
+  std::string pick_irr(std::mt19937& rng) const {
+    double total = 0;
+    for (const auto& [name, w] : weights) total += w;
+    double roll = std::uniform_real_distribution<double>(0.0, total)(rng);
+    for (const auto& [name, w] : weights) {
+      if (roll < w) return name;
+      roll -= w;
+    }
+    return weights.back().first;
+  }
+};
+
+const IrrWeights& aut_num_weights() {
+  static const IrrWeights w{{
+      {"RIPE", 49.0}, {"APNIC", 26.0}, {"RADB", 12.0},  {"TC", 5.3},
+      {"ARIN", 3.9},  {"IDNIC", 2.9},  {"AFRINIC", 2.9}, {"LACNIC", 2.3},
+      {"ALTDB", 2.1}, {"JPIRR", 0.6},  {"NTTCOM", 0.7},  {"LEVEL3", 0.4},
+      {"REACH", 0.1},
+  }};
+  return w;
+}
+
+const IrrWeights& route_weights() {
+  static const IrrWeights w{{
+      {"RADB", 48.0},  {"APNIC", 29.0}, {"RIPE", 16.0},  {"NTTCOM", 11.0},
+      {"AFRINIC", 3.1}, {"ARIN", 2.8},  {"LEVEL3", 2.4}, {"TC", 0.8},
+      {"ALTDB", 0.9},  {"REACH", 0.6},  {"LACNIC", 0.4}, {"JPIRR", 0.4},
+      {"IDNIC", 0.2},
+  }};
+  return w;
+}
+
+const IrrWeights& set_weights() {
+  static const IrrWeights w{{
+      {"RIPE", 40.0}, {"RADB", 30.0}, {"APNIC", 18.0}, {"ARIN", 4.0},
+      {"TC", 3.0},    {"ALTDB", 2.5}, {"LEVEL3", 1.5}, {"NTTCOM", 1.0},
+  }};
+  return w;
+}
+
+/// Simple attribute-value object renderer.
+class ObjText {
+ public:
+  ObjText& attr(std::string_view name, std::string_view value) {
+    text_ += std::string(name) + ": " + std::string(value) + "\n";
+    return *this;
+  }
+  std::string finish() { return std::move(text_) + "\n"; }
+
+ private:
+  std::string text_;
+};
+
+std::string as_ref(Asn asn) { return "AS" + std::to_string(asn); }
+
+}  // namespace
+
+const std::vector<std::string>& irr_names() {
+  static const std::vector<std::string> names = {"APNIC",  "AFRINIC", "ARIN",  "LACNIC",
+                                                 "RIPE",   "IDNIC",   "JPIRR", "RADB",
+                                                 "NTTCOM", "LEVEL3",  "TC",    "REACH",
+                                                 "ALTDB"};
+  return names;
+}
+
+RpslGenerator::RpslGenerator(const Topology& topo, const SynthConfig& config)
+    : topo_(topo), config_(config.scaled()), rng_(config.seed ^ 0x5eed1234u) {}
+
+std::map<std::string, std::string> RpslGenerator::generate() {
+  std::map<std::string, std::string> dumps;
+  for (const auto& name : irr_names()) dumps[name];  // ensure all 13 exist
+
+  auto emit = [&](const std::string& irr, std::string text) { dumps[irr] += text; };
+
+  // --- plan per-AS behaviours --------------------------------------------
+  struct AsPlan {
+    bool has_aut_num = true;
+    bool zero_rules = false;
+    bool export_self = false;
+    bool import_customer = false;
+    bool import_peeras = false;
+    bool only_providers = false;
+    bool cone_set = false;         // defines AS<asn>:AS-CUST or AS-<asn>-CONE
+    bool route_set = false;        // defines and uses RS-AS<asn>
+    bool hierarchical_name = false;
+    std::string home_irr;
+  };
+  std::map<Asn, AsPlan> plans;
+  for (const auto& as : topo_.ases()) {
+    AsPlan plan;
+    plan.home_irr = aut_num_weights().pick_irr(rng_);
+    if (chance(rng_, config_.p_missing_aut_num)) {
+      plan.has_aut_num = false;
+      plan_.missing_aut_num.insert(as.asn);
+    } else if (chance(rng_, config_.p_zero_rules) || plan.home_irr == "LACNIC") {
+      // The LACNIC dump carries no import/export rules (§4, Table 1).
+      plan.zero_rules = true;
+      plan_.zero_rules.insert(as.asn);
+    }
+    if (as.is_transit()) {
+      plan.export_self = chance(rng_, config_.p_export_self_misuse);
+      plan.import_customer = chance(rng_, config_.p_import_customer_misuse);
+      plan.import_peeras = !plan.import_customer && chance(rng_, config_.p_import_peeras);
+      plan.only_providers = chance(rng_, config_.p_only_provider_policies);
+      plan.cone_set = !plan.export_self || chance(rng_, 0.3);
+      plan.hierarchical_name = chance(rng_, 0.5);
+    } else {
+      // Many edge networks maintain a (usually single-member) as-set and
+      // announce it — as-sets dominate the filter census (§4: 43.4%).
+      plan.cone_set = chance(rng_, config_.stub_cone_set_probability);
+    }
+    plan.route_set = chance(rng_, config_.p_route_set_filter);
+    plans[as.asn] = plan;
+  }
+
+  // Figure 1's heavy tail: the first few rule-bearing tier2 networks emit
+  // per-session rule variants.
+  std::set<Asn> policy_rich;
+  for (Asn asn : topo_.tier_members(Tier::kTier2)) {
+    if (policy_rich.size() >= config_.policy_rich_ases) break;
+    const AsPlan& plan = plans.at(asn);
+    if (plan.has_aut_num && !plan.zero_rules) policy_rich.insert(asn);
+  }
+  plan_.policy_rich = policy_rich;
+
+  auto cone_set_name = [&](Asn asn) {
+    const AsPlan& plan = plans.at(asn);
+    return plan.hierarchical_name ? as_ref(asn) + ":AS-CUST" : "AS-" + std::to_string(asn) + "-CONE";
+  };
+  auto route_set_name = [&](Asn asn) { return "RS-" + as_ref(asn); };
+  auto maintainer = [&](Asn asn) { return "MAINT-" + as_ref(asn); };
+
+  // Track which skip-class rules remain to inject.
+  std::size_t community_rules_left = config_.community_filter_rules;
+  std::size_t range_regex_left = config_.asn_range_regex_rules;
+  std::size_t same_pattern_left = config_.same_pattern_regex_rules;
+
+  // --- aut-num objects ----------------------------------------------------
+  for (const auto& as : topo_.ases()) {
+    const AsPlan& plan = plans.at(as.asn);
+    if (!plan.has_aut_num) continue;
+
+    ObjText obj;
+    obj.attr("aut-num", as_ref(as.asn));
+    obj.attr("as-name", "SYNTH-" + std::to_string(as.asn));
+    obj.attr("mnt-by", maintainer(as.asn));
+
+    std::vector<std::pair<std::string, std::string>> emitted_rules;
+    auto rule = [&](std::string_view attr_name, const std::string& body) {
+      obj.attr(attr_name, body);
+      emitted_rules.emplace_back(std::string(attr_name), body);
+      ++plan_.rules_emitted;
+    };
+
+    if (!plan.zero_rules) {
+      // What does this AS announce to upstreams/peers? The plan records
+      // the choice only once a rule actually uses it (tier-1s, say, may
+      // have no provider/peer rules to hang the filter on).
+      enum class AnnounceKind { kSelf, kConeSet, kRouteSet, kPlainSelf };
+      AnnounceKind announce_kind;
+      std::string announce_filter;
+      if (as.is_transit() && plan.export_self) {
+        announce_kind = AnnounceKind::kSelf;
+        announce_filter = as_ref(as.asn);
+      } else if (plan.cone_set) {
+        announce_kind = AnnounceKind::kConeSet;
+        announce_filter = cone_set_name(as.asn);
+      } else if (plan.route_set) {
+        announce_kind = AnnounceKind::kRouteSet;
+        announce_filter = route_set_name(as.asn);
+      } else {
+        announce_kind = AnnounceKind::kPlainSelf;
+        announce_filter = as_ref(as.asn);
+      }
+      auto record_announce_use = [&] {
+        switch (announce_kind) {
+          case AnnounceKind::kSelf:
+            plan_.export_self_misuse.insert(as.asn);
+            break;
+          case AnnounceKind::kConeSet:
+            plan_.uses_cone_as_set.insert(as.asn);
+            break;
+          case AnnounceKind::kRouteSet:
+            plan_.uses_route_set.insert(as.asn);
+            break;
+          case AnnounceKind::kPlainSelf:
+            break;
+        }
+      };
+
+      auto declare = [&](Asn neighbor) {
+        // Partial neighbor coverage drives the dominant unverified case;
+        // the first provider is always declared (providers often mandate
+        // RPSL for filter generation, §1).
+        return chance(rng_, config_.neighbor_coverage) ||
+               (!as.providers.empty() && neighbor == as.providers.front());
+      };
+
+      // Neighbors left out of the rules: the raw material for the
+      // unrecorded/unverified and skip injections below.
+      std::vector<Asn> undeclared;
+
+      // Providers.
+      for (Asn provider : as.providers) {
+        if (!declare(provider)) {
+          undeclared.push_back(provider);
+          continue;
+        }
+        rule("import", "from " + as_ref(provider) + " accept ANY");
+        rule("export", "to " + as_ref(provider) + " announce " + announce_filter);
+        record_announce_use();
+      }
+      if (!plan.only_providers) {
+        // Customers.
+        for (Asn customer : as.customers) {
+          if (!chance(rng_, config_.neighbor_coverage)) {
+            undeclared.push_back(customer);
+            continue;
+          }
+          std::string accept_filter;
+          if (plan.import_customer) {
+            accept_filter = as_ref(customer);
+          } else if (plan.import_peeras) {
+            accept_filter = "PeerAS";
+          } else if (plans.at(customer).cone_set) {
+            accept_filter = cone_set_name(customer);
+          } else {
+            // "from C accept C" — still the import-customer shape even
+            // when C is a plain stub (strict RPSL only admits C's own
+            // route objects, §5.1.1).
+            accept_filter = as_ref(customer);
+          }
+          if (accept_filter == as_ref(customer) || accept_filter == "PeerAS") {
+            plan_.import_customer_misuse.insert(as.asn);
+          }
+          // A small minority of peerings use as-set names instead of ASNs
+          // (the AS8323 pattern in Appendix A; §4: 98.4% are single
+          // ASN/ANY, so keep this rare).
+          const bool set_peering =
+              plans.at(customer).cone_set && chance(rng_, 0.015);
+          const std::string peering_text =
+              set_peering ? cone_set_name(customer) : as_ref(customer);
+          rule("import", "from " + peering_text + " accept " + accept_filter);
+          rule("export", "to " + peering_text + " announce ANY");
+        }
+        // Peers: transit networks document some peers, edge networks
+        // hardly any — the dominant unverified case (§5.2).
+        const double peer_coverage = as.is_transit() ? config_.peer_coverage_transit
+                                                     : config_.peer_coverage_stub;
+        for (Asn peer : as.peers) {
+          if (!chance(rng_, peer_coverage)) {
+            undeclared.push_back(peer);
+            continue;
+          }
+          const std::string peer_filter =
+              plans.at(peer).cone_set ? cone_set_name(peer) : as_ref(peer);
+          rule("import", "from " + as_ref(peer) + " accept " + peer_filter);
+          rule("export", "to " + as_ref(peer) + " announce " + announce_filter);
+          record_announce_use();
+        }
+      } else if (!as.customers.empty()) {
+        plan_.only_provider_policies.insert(as.asn);
+      }
+
+      // A handful of rules reference as-sets defined in no IRR (Figure 5's
+      // "missing set object" category). The rule must name a neighbor not
+      // already covered by a strict rule, or a Verified match hides it.
+      if (!undeclared.empty() && chance(rng_, config_.p_missing_set_reference)) {
+        rule("import", "from " + as_ref(undeclared.front()) + " accept " +
+                           as_ref(as.asn) + ":AS-MISSING");
+        rule("export", "to " + as_ref(undeclared.front()) + " announce " +
+                           as_ref(as.asn) + ":AS-MISSING");
+        plan_.missing_set_reference.insert(as.asn);
+        undeclared.erase(undeclared.begin());
+      }
+
+      // Compound rules for flavor (a small fraction, §4).
+      if (chance(rng_, config_.p_compound_rule) && !as.providers.empty()) {
+        const Asn p = as.providers.front();
+        switch (pick(rng_, 0, 2)) {
+          case 0:
+            rule("mp-import",
+                 "afi any.unicast from " + as_ref(p) +
+                     " accept ANY AND NOT {0.0.0.0/0, ::0/0}");
+            break;
+          case 1:
+            rule("import", "from " + as_ref(p) +
+                               " action pref=100; community .= {65000:100}; accept ANY");
+            break;
+          default:
+            rule("mp-import", "afi any.unicast { from " + as_ref(p) +
+                                  " accept ANY; } REFINE afi any.unicast { from AS-ANY "
+                                  "accept NOT {0.0.0.0/0, ::0/0}; }");
+        }
+      }
+      // Skip-class rules, a handful across the corpus (Appendix B). They
+      // name an otherwise-undeclared neighbor so the skip is observable
+      // (a strict match on another rule would rank above it).
+      if (undeclared.empty()) {
+        // fall through: no free neighbor to hang the rule on
+      } else if (community_rules_left > 0 && as.is_transit() && chance(rng_, 0.2)) {
+        --community_rules_left;
+        ++plan_.skip_class_rules;
+        rule("import",
+             "from " + as_ref(undeclared.front()) + " accept community(65535:666)");
+      } else if (range_regex_left > 0 && as.is_transit() && chance(rng_, 0.2)) {
+        --range_regex_left;
+        ++plan_.skip_class_rules;
+        rule("import", "from " + as_ref(undeclared.front()) +
+                           " accept <^[AS64512-AS65535]+$>");
+      } else if (same_pattern_left > 0 && as.is_transit() && chance(rng_, 0.2)) {
+        --same_pattern_left;
+        ++plan_.skip_class_rules;
+        rule("import",
+             "from " + as_ref(undeclared.front()) + " accept <" + as_ref(as.asn) + "~+>");
+      }
+
+      // Policy-rich networks: duplicate the rule set with per-session
+      // preference variants (real aut-nums with thousands of rules look
+      // exactly like this — one rule per neighbor per router).
+      if (policy_rich.contains(as.asn)) {
+        const auto base_rules = emitted_rules;
+        for (std::size_t copy = 0; copy < config_.policy_rich_copies; ++copy) {
+          for (const auto& [attr_name, body] : base_rules) {
+            const std::string keyword = attr_name == "export" ? " announce " : " accept ";
+            const std::size_t pos = body.find(keyword);
+            if (pos == std::string::npos) continue;
+            rule(attr_name, body.substr(0, pos) + " action pref=" +
+                                std::to_string(100 + copy) + ";" + body.substr(pos));
+          }
+        }
+      }
+    }
+    emit(plan.home_irr, obj.finish());
+  }
+
+  // --- as-sets -------------------------------------------------------------
+  for (const auto& as : topo_.ases()) {
+    const AsPlan& plan = plans.at(as.asn);
+    if (!plan.cone_set) continue;
+    ObjText obj;
+    obj.attr("as-set", cone_set_name(as.asn));
+    std::string members = as_ref(as.asn);
+    for (Asn customer : as.customers) {
+      members += ", ";
+      if (plans.at(customer).cone_set && chance(rng_, config_.p_recursive_as_set)) {
+        members += cone_set_name(customer);
+      } else {
+        members += as_ref(customer);
+      }
+    }
+    // Loop injection: occasionally reference a provider's set (back edge).
+    if (!as.providers.empty() && chance(rng_, config_.p_as_set_loop)) {
+      const Asn provider = as.providers.front();
+      if (plans.at(provider).cone_set) members += ", " + cone_set_name(provider);
+    }
+    obj.attr("members", members);
+    obj.attr("mnt-by", maintainer(as.asn));
+    emit(set_weights().pick_irr(rng_), obj.finish());
+  }
+
+  // Decorative set pathologies (§4's opacity census).
+  for (std::size_t i = 0; i < config_.decorative_empty_sets; ++i) {
+    ObjText obj;
+    obj.attr("as-set", "AS-EMPTY-" + std::to_string(i));
+    obj.attr("mnt-by", "MAINT-DECOR");
+    emit(set_weights().pick_irr(rng_), obj.finish());
+  }
+  for (std::size_t i = 0; i < config_.decorative_singleton_sets; ++i) {
+    const auto& all = topo_.ases();
+    ObjText obj;
+    obj.attr("as-set", "AS-ONE-" + std::to_string(i));
+    obj.attr("members", as_ref(all[pick(rng_, 0, all.size() - 1)].asn));
+    emit(set_weights().pick_irr(rng_), obj.finish());
+  }
+  for (std::size_t i = 0; i < config_.as_sets_with_any; ++i) {
+    ObjText obj;
+    obj.attr("as-set", "AS-WILD-" + std::to_string(i));
+    obj.attr("members", "ANY");
+    emit(set_weights().pick_irr(rng_), obj.finish());
+  }
+  // Deep member chains, every third one closed into a loop (§4's depth and
+  // loop census: 23.0% of recursive sets have depth >= 5, 22.4% loop).
+  for (std::size_t i = 0; i < config_.decorative_chain_sets; ++i) {
+    const std::size_t length = std::max<std::size_t>(2, config_.decorative_chain_length);
+    for (std::size_t j = 0; j < length; ++j) {
+      ObjText obj;
+      obj.attr("as-set", "AS-CHAIN-" + std::to_string(i) + "-" + std::to_string(j));
+      std::string members = as_ref(topo_.ases()[(i + j) % topo_.ases().size()].asn);
+      if (j + 1 < length) {
+        members += ", AS-CHAIN-" + std::to_string(i) + "-" + std::to_string(j + 1);
+      } else if (i % 3 == 0) {
+        members += ", AS-CHAIN-" + std::to_string(i) + "-0";  // close the loop
+      }
+      obj.attr("members", members);
+      emit(set_weights().pick_irr(rng_), obj.finish());
+    }
+  }
+  if (config_.inject_as_any_set) {
+    // The §4 anomaly: an empty as-set named after the reserved keyword.
+    ObjText obj;
+    obj.attr("as-set", "AS-ANY");
+    emit("RADB", obj.finish());
+  }
+  for (std::size_t i = 0; i < config_.invalid_as_set_names; ++i) {
+    ObjText obj;
+    obj.attr("as-set", "BADSET" + std::to_string(i));  // missing AS- prefix
+    obj.attr("members", as_ref(topo_.ases().front().asn));
+    emit(set_weights().pick_irr(rng_), obj.finish());
+  }
+
+  // --- route-sets -----------------------------------------------------------
+  for (const auto& as : topo_.ases()) {
+    // Defined-but-unreferenced route-sets (Table 2's underuse point).
+    if (!plans.at(as.asn).route_set && chance(rng_, config_.p_unused_route_set)) {
+      ObjText extra;
+      extra.attr("route-set", route_set_name(as.asn) + ":RS-EXTRA");
+      extra.attr("members", as.prefixes.front().to_string());
+      extra.attr("mnt-by", maintainer(as.asn));
+      emit(set_weights().pick_irr(rng_), extra.finish());
+    }
+    if (!plans.at(as.asn).route_set) continue;
+    ObjText obj;
+    obj.attr("route-set", route_set_name(as.asn));
+    std::string members;
+    std::string mp_members;
+    for (const auto& prefix : as.prefixes) {
+      std::string& target = prefix.is_v4() ? members : mp_members;
+      if (!target.empty()) target += ", ";
+      target += prefix.to_string();
+      if (chance(rng_, 0.3)) target += "^+";  // range operators on members
+    }
+    if (!members.empty()) obj.attr("members", members);
+    if (!mp_members.empty()) obj.attr("mp-members", mp_members);
+    obj.attr("mnt-by", maintainer(as.asn));
+    emit(set_weights().pick_irr(rng_), obj.finish());
+  }
+  for (std::size_t i = 0; i < config_.invalid_route_set_names; ++i) {
+    ObjText obj;
+    obj.attr("route-set", "ROUTES-" + std::to_string(i));  // missing RS- prefix
+    obj.attr("members", "192.0.2.0/24");
+    emit(set_weights().pick_irr(rng_), obj.finish());
+  }
+
+  // --- peering-sets / filter-sets (rare, Table 2) ---------------------------
+  {
+    auto tier2 = topo_.tier_members(Tier::kTier2);
+    const std::size_t prng_count = std::min<std::size_t>(4, tier2.size());
+    for (std::size_t i = 0; i < prng_count; ++i) {
+      const SynthAs* as = topo_.find(tier2[i]);
+      ObjText obj;
+      obj.attr("peering-set", "PRNG-" + as_ref(as->asn));
+      for (Asn peer : as->peers) obj.attr("peering", as_ref(peer));
+      if (as->peers.empty() && !as->providers.empty()) {
+        obj.attr("peering", as_ref(as->providers.front()));
+      }
+      emit(set_weights().pick_irr(rng_), obj.finish());
+    }
+    const std::size_t fltr_count = std::min<std::size_t>(3, tier2.size());
+    for (std::size_t i = 0; i < fltr_count; ++i) {
+      const SynthAs* as = topo_.find(tier2[i]);
+      ObjText obj;
+      obj.attr("filter-set", "FLTR-" + as_ref(as->asn));
+      obj.attr("filter", "{ " + as->prefixes.front().to_string() + "^+ }");
+      emit(set_weights().pick_irr(rng_), obj.finish());
+    }
+  }
+
+  // --- route / route6 objects ------------------------------------------------
+  auto emit_route = [&](const net::Prefix& prefix, Asn origin, const std::string& mnt) {
+    ObjText obj;
+    obj.attr(prefix.is_v4() ? "route" : "route6", prefix.to_string());
+    obj.attr("origin", as_ref(origin));
+    obj.attr("mnt-by", mnt);
+    std::string irr = route_weights().pick_irr(rng_);
+    std::string text = obj.finish();
+    emit(irr, text);
+    ++plan_.route_objects_emitted;
+    if (chance(rng_, config_.p_second_irr_copy)) {
+      // The same registration duplicated in another database.
+      std::string second = route_weights().pick_irr(rng_);
+      if (second != irr) {
+        emit(second, text);
+        ++plan_.route_objects_emitted;
+      }
+    }
+  };
+
+  for (const auto& as : topo_.ases()) {
+    // Some networks register nothing at all — the "zero-route AS"
+    // unrecorded category (Figure 5) when rules reference them.
+    if (chance(rng_, config_.p_no_route_objects)) {
+      plan_.zero_route_ases.insert(as.asn);
+      plan_.ases_with_missing_route_objects.insert(as.asn);
+      continue;
+    }
+    bool missing_some = false;
+    for (const auto& prefix : as.prefixes) {
+      if (chance(rng_, config_.p_missing_route_object)) {
+        missing_some = true;
+        continue;  // unregistered announcement (the "missing routes" cases)
+      }
+      emit_route(prefix, as.asn, maintainer(as.asn));
+      // Multi-origin: the provider also registers the customer's prefix.
+      if (!as.providers.empty() && chance(rng_, config_.p_multi_origin)) {
+        const Asn provider = as.providers.front();
+        emit_route(prefix, provider, maintainer(provider));
+      }
+    }
+    if (missing_some) plan_.ases_with_missing_route_objects.insert(as.asn);
+    // Stale registrations: more-specific slices prepared for traffic
+    // engineering but never announced (the paper's 3x inflation).
+    const auto stale_count =
+        static_cast<std::size_t>(config_.stale_route_factor * double(as.prefixes.size()));
+    for (std::size_t i = 0; i < stale_count; ++i) {
+      const net::Prefix& base = as.prefixes[i % as.prefixes.size()];
+      if (!base.is_v4()) continue;
+      const std::uint8_t more = base.length() >= 24 ? 28 : std::uint8_t(base.length() + 8);
+      const std::uint32_t offset = static_cast<std::uint32_t>(i)
+                                   << (32 - more);  // distinct subnets
+      net::Prefix stale(net::IpAddress::v4(base.address().v4_value() + offset), more);
+      if (!base.covers(stale)) continue;
+      emit_route(stale, as.asn, maintainer(as.asn));
+    }
+  }
+
+  // --- syntax error injection -------------------------------------------------
+  for (std::size_t i = 0; i < config_.syntax_error_objects; ++i) {
+    std::string irr = set_weights().pick_irr(rng_);
+    switch (i % 4) {
+      case 0:
+        // Keyword typo inside a rule.
+        emit(irr, "aut-num: AS" + std::to_string(64000 + i) +
+                      "\nimport: fron AS100 accept ANY\n\n");
+        break;
+      case 1:
+        // Broken comma-separated list.
+        emit(irr, "as-set: AS-BROKEN-" + std::to_string(i) +
+                      "\nmembers: AS100,, AS200\n\n");
+        break;
+      case 2:
+        // Out-of-place text (no attribute line).
+        emit(irr, "route: 198.51.100.0/24\norigin: AS100\nthis line is misplaced\n\n");
+        break;
+      default:
+        // Misplaced comment / stray continuation.
+        emit(irr, "   stray continuation line\nas-set: AS-STRAY-" + std::to_string(i) +
+                      "\nmembers: AS100\n\n");
+    }
+    ++plan_.syntax_errors_injected;
+  }
+
+  return dumps;
+}
+
+}  // namespace rpslyzer::synth

@@ -1,0 +1,220 @@
+#include "rpslyzer/synth/topology.hpp"
+
+#include <algorithm>
+
+#include "rpslyzer/net/martians.hpp"
+
+namespace rpslyzer::synth {
+
+namespace {
+
+/// Uniform integer in [lo, hi].
+std::size_t pick(std::mt19937& rng, std::size_t lo, std::size_t hi) {
+  if (hi <= lo) return lo;
+  return std::uniform_int_distribution<std::size_t>(lo, hi)(rng);
+}
+
+bool chance(std::mt19937& rng, double p) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+}
+
+}  // namespace
+
+net::Prefix PrefixAllocator::next_v4_16() {
+  while (true) {
+    net::Prefix candidate(net::IpAddress::v4(next16_), 16);
+    next16_ += 1u << 16;
+    // Skip anything overlapping martian space in either direction.
+    if (!net::is_martian(candidate) && !net::is_martian(net::Prefix(candidate.address(), 8))) {
+      return candidate;
+    }
+  }
+}
+
+net::Prefix PrefixAllocator::next_v4_20() {
+  if (slice_index_ >= 4) {
+    slice_base_ = next_v4_16().address().v4_value();
+    slice_index_ = 0;
+  }
+  net::Prefix p(net::IpAddress::v4(slice_base_ +
+                                   (static_cast<std::uint32_t>(slice_index_) << 12)),
+                20);
+  ++slice_index_;
+  return p;
+}
+
+net::Prefix PrefixAllocator::next_v6_32() {
+  // 2a0x:yyyy::/32 — global unicast, clear of documentation space. The
+  // counter must land in the top 32 bits or the /32 mask would erase it.
+  const std::uint64_t group1 = 0x2a00ULL + (v6_counter_ >> 16);
+  const std::uint64_t group2 = v6_counter_ & 0xFFFF;
+  ++v6_counter_;
+  return net::Prefix(net::IpAddress::v6((group1 << 48) | (group2 << 32), 0), 32);
+}
+
+const SynthAs* Topology::find(Asn asn) const {
+  auto it = by_asn_.find(asn);
+  return it == by_asn_.end() ? nullptr : &ases_[it->second];
+}
+
+std::vector<Asn> Topology::tier_members(Tier tier) const {
+  std::vector<Asn> out;
+  for (const auto& as : ases_) {
+    if (as.tier == tier) out.push_back(as.asn);
+  }
+  return out;
+}
+
+std::size_t Topology::prefix_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& as : ases_) n += as.prefixes.size();
+  return n;
+}
+
+Topology Topology::generate(const SynthConfig& raw_config) {
+  const SynthConfig config = raw_config.scaled();
+  std::mt19937 rng(config.seed);
+  Topology topo;
+
+  auto add_as = [&](Asn asn, Tier tier) -> SynthAs& {
+    topo.by_asn_.emplace(asn, topo.ases_.size());
+    topo.ases_.push_back(SynthAs{asn, tier, {}, {}, {}, {}});
+    return topo.ases_.back();
+  };
+  auto as_of = [&](Asn asn) -> SynthAs& { return topo.ases_[topo.by_asn_.at(asn)]; };
+
+  auto link_p2c = [&](Asn provider, Asn customer) {
+    auto& p = as_of(provider);
+    auto& c = as_of(customer);
+    if (std::find(p.customers.begin(), p.customers.end(), customer) != p.customers.end()) {
+      return;
+    }
+    p.customers.push_back(customer);
+    c.providers.push_back(provider);
+    topo.relations_.add_provider_customer(provider, customer);
+  };
+  auto link_p2p = [&](Asn a, Asn b) {
+    auto& x = as_of(a);
+    if (std::find(x.peers.begin(), x.peers.end(), b) != x.peers.end()) return;
+    x.peers.push_back(b);
+    as_of(b).peers.push_back(a);
+    topo.relations_.add_peer_peer(a, b);
+  };
+
+  // --- ASN blocks per tier ---
+  std::vector<Asn> tier1, tier2, tier3, stubs;
+  for (std::size_t i = 0; i < config.tier1_count; ++i) tier1.push_back(100 + Asn(i));
+  for (std::size_t i = 0; i < config.tier2_count; ++i) tier2.push_back(1000 + Asn(i));
+  for (std::size_t i = 0; i < config.tier3_count; ++i) tier3.push_back(5000 + Asn(i));
+  for (std::size_t i = 0; i < config.stub_count; ++i) stubs.push_back(20000 + Asn(i));
+
+  for (Asn asn : tier1) add_as(asn, Tier::kTier1);
+  for (Asn asn : tier2) add_as(asn, Tier::kTier2);
+  for (Asn asn : tier3) add_as(asn, Tier::kTier3);
+  for (Asn asn : stubs) add_as(asn, Tier::kStub);
+
+  // --- wiring ---
+  // Tier-1: full peering clique.
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) link_p2p(tier1[i], tier1[j]);
+  }
+  topo.relations_.set_clique(tier1);
+
+  auto pick_distinct_providers = [&](const std::vector<Asn>& pool, std::size_t lo,
+                                     std::size_t hi) {
+    // Clamp to the pool: tiny scaled topologies may not have `lo` distinct
+    // candidates.
+    std::size_t want = pick(rng, std::min(lo, pool.size()), std::min(hi, pool.size()));
+    std::vector<Asn> chosen;
+    while (chosen.size() < want) {
+      Asn candidate = pool[pick(rng, 0, pool.size() - 1)];
+      if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    return chosen;
+  };
+
+  for (Asn asn : tier2) {
+    for (Asn p : pick_distinct_providers(tier1, config.tier2_providers_min,
+                                         config.tier2_providers_max)) {
+      link_p2c(p, asn);
+    }
+  }
+  for (std::size_t i = 0; i < tier2.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier2.size(); ++j) {
+      if (chance(rng, config.tier2_peer_density)) link_p2p(tier2[i], tier2[j]);
+    }
+  }
+  for (Asn asn : tier3) {
+    for (Asn p : pick_distinct_providers(tier2, config.tier3_providers_min,
+                                         config.tier3_providers_max)) {
+      link_p2c(p, asn);
+    }
+  }
+  for (std::size_t i = 0; i < tier3.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier3.size(); ++j) {
+      if (chance(rng, config.tier3_peer_density)) link_p2p(tier3[i], tier3[j]);
+    }
+  }
+  // Cross-tier transit peering (regional networks at exchanges).
+  for (Asn t2 : tier2) {
+    for (Asn t3 : tier3) {
+      if (chance(rng, config.tier23_peer_density) &&
+          topo.relations_.between(t2, t3) == relations::Relationship::kNone) {
+        link_p2p(t2, t3);
+      }
+    }
+  }
+  // Stubs attach to tier2 or tier3 providers.
+  std::vector<Asn> transit_pool = tier2;
+  transit_pool.insert(transit_pool.end(), tier3.begin(), tier3.end());
+  for (Asn asn : stubs) {
+    for (Asn p : pick_distinct_providers(transit_pool, config.stub_providers_min,
+                                         config.stub_providers_max)) {
+      link_p2c(p, asn);
+    }
+  }
+
+  // Lateral IXP-style peering among tier3 + stub networks: abundant on the
+  // real Internet, mostly undocumented in the RPSL — the raw material for
+  // the paper's dominant unverified case.
+  std::vector<Asn> edge_pool = tier3;
+  edge_pool.insert(edge_pool.end(), stubs.begin(), stubs.end());
+  if (edge_pool.size() >= 2) {
+    const auto edge_links = static_cast<std::size_t>(config.edge_peer_links_factor *
+                                                     double(edge_pool.size()));
+    for (std::size_t i = 0; i < edge_links; ++i) {
+      Asn a = edge_pool[pick(rng, 0, edge_pool.size() - 1)];
+      Asn b = edge_pool[pick(rng, 0, edge_pool.size() - 1)];
+      if (a == b) continue;
+      // Keep the graph valley-free: never peer a provider with its customer.
+      if (topo.relations_.between(a, b) != relations::Relationship::kNone) continue;
+      link_p2p(a, b);
+    }
+  }
+
+  // --- addressing ---
+  PrefixAllocator alloc;
+  for (auto& as : topo.ases_) {
+    const bool big = as.tier != Tier::kStub;
+    as.prefixes.push_back(big ? alloc.next_v4_16() : alloc.next_v4_20());
+    if (chance(rng, config.extra_prefix_probability)) {
+      as.prefixes.push_back(big ? alloc.next_v4_16() : alloc.next_v4_20());
+      if (big && chance(rng, config.extra_prefix_probability / 2)) {
+        as.prefixes.push_back(alloc.next_v4_16());
+      }
+    }
+    if (chance(rng, config.v6_adoption)) as.prefixes.push_back(alloc.next_v6_32());
+  }
+
+  // Deterministic neighbor ordering simplifies tests and tie-breaking.
+  for (auto& as : topo.ases_) {
+    std::sort(as.providers.begin(), as.providers.end());
+    std::sort(as.customers.begin(), as.customers.end());
+    std::sort(as.peers.begin(), as.peers.end());
+  }
+  return topo;
+}
+
+}  // namespace rpslyzer::synth

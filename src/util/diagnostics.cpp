@@ -1,0 +1,66 @@
+#include "rpslyzer/util/diagnostics.hpp"
+
+#include <iterator>
+
+namespace rpslyzer::util {
+
+void Diagnostics::error(DiagnosticKind kind, std::string message, std::string object_key,
+                        SourceLocation location) {
+  diagnostics_.push_back(Diagnostic{Severity::kError, kind, std::move(message),
+                                    std::move(object_key), std::move(location)});
+}
+
+void Diagnostics::warning(DiagnosticKind kind, std::string message, std::string object_key,
+                          SourceLocation location) {
+  diagnostics_.push_back(Diagnostic{Severity::kWarning, kind, std::move(message),
+                                    std::move(object_key), std::move(location)});
+}
+
+std::size_t Diagnostics::count(DiagnosticKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::size_t Diagnostics::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+void Diagnostics::merge(Diagnostics other) {
+  diagnostics_.insert(diagnostics_.end(), std::make_move_iterator(other.diagnostics_.begin()),
+                      std::make_move_iterator(other.diagnostics_.end()));
+}
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+const char* to_string(DiagnosticKind k) noexcept {
+  switch (k) {
+    case DiagnosticKind::kSyntaxError:
+      return "syntax-error";
+    case DiagnosticKind::kInvalidSetName:
+      return "invalid-set-name";
+    case DiagnosticKind::kInvalidAttribute:
+      return "invalid-attribute";
+    case DiagnosticKind::kUnknownObject:
+      return "unknown-object";
+    case DiagnosticKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace rpslyzer::util

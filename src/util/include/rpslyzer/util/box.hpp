@@ -1,0 +1,37 @@
+#pragma once
+// Box<T>: heap-allocated T with value semantics (deep copy, deep equality).
+// Used to break recursion in the policy ASTs (Filter contains Filter, Entry
+// contains Entry) while keeping the whole IR copyable and comparable.
+
+#include <memory>
+#include <utility>
+
+namespace rpslyzer::util {
+
+template <typename T>
+class Box {
+ public:
+  Box() : ptr_(std::make_unique<T>()) {}
+  Box(T value) : ptr_(std::make_unique<T>(std::move(value))) {}
+
+  Box(const Box& other) : ptr_(std::make_unique<T>(*other.ptr_)) {}
+  Box& operator=(const Box& other) {
+    if (this != &other) *ptr_ = *other.ptr_;
+    return *this;
+  }
+  Box(Box&&) noexcept = default;
+  Box& operator=(Box&&) noexcept = default;
+  ~Box() = default;
+
+  T& operator*() noexcept { return *ptr_; }
+  const T& operator*() const noexcept { return *ptr_; }
+  T* operator->() noexcept { return ptr_.get(); }
+  const T* operator->() const noexcept { return ptr_.get(); }
+
+  friend bool operator==(const Box& a, const Box& b) { return *a.ptr_ == *b.ptr_; }
+
+ private:
+  std::unique_ptr<T> ptr_;
+};
+
+}  // namespace rpslyzer::util

@@ -1,0 +1,69 @@
+#pragma once
+// Diagnostic collection for RPSL parsing.
+//
+// The paper reports RPSLyzer found "663 syntax errors, 12 invalid as-set
+// names, and 17 invalid route-set names" (§4); instead of aborting on bad
+// input, parsers record diagnostics and keep going, and the stats module
+// later aggregates them into the RPSL-error census.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rpslyzer::util {
+
+enum class Severity { kWarning, kError };
+
+/// What kind of problem a diagnostic describes; used by the §4 error census.
+enum class DiagnosticKind {
+  kSyntaxError,       // unparseable policy text, broken lists, stray tokens
+  kInvalidSetName,    // as-set/route-set name violating RFC 2622 naming rules
+  kInvalidAttribute,  // attribute value that fails domain validation
+  kUnknownObject,     // object class we do not model
+  kOther,
+};
+
+/// Where a diagnostic was raised: IRR source file + line.
+struct SourceLocation {
+  std::string source;    // IRR name or file path, e.g. "RIPE"
+  std::size_t line = 0;  // 1-based line within the source; 0 = unknown
+
+  friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  DiagnosticKind kind = DiagnosticKind::kSyntaxError;
+  std::string message;
+  std::string object_key;  // class:name of the object being parsed, if known
+  SourceLocation location;
+};
+
+/// Append-only diagnostic sink shared by the lexer and parsers.
+class Diagnostics {
+ public:
+  void add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+
+  void error(DiagnosticKind kind, std::string message, std::string object_key = {},
+             SourceLocation location = {});
+  void warning(DiagnosticKind kind, std::string message, std::string object_key = {},
+               SourceLocation location = {});
+
+  const std::vector<Diagnostic>& all() const noexcept { return diagnostics_; }
+  std::size_t count(DiagnosticKind kind) const noexcept;
+  std::size_t error_count() const noexcept;
+  bool empty() const noexcept { return diagnostics_.empty(); }
+  void clear() noexcept { diagnostics_.clear(); }
+
+  /// Merge another sink's diagnostics into this one (used when combining
+  /// per-IRR parses into one corpus).
+  void merge(Diagnostics other);
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+const char* to_string(Severity s) noexcept;
+const char* to_string(DiagnosticKind k) noexcept;
+
+}  // namespace rpslyzer::util

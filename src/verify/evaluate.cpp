@@ -1,0 +1,480 @@
+#include "evaluate.hpp"
+
+#include "rpslyzer/aspath/engine.hpp"
+#include "rpslyzer/net/martians.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::verify::internal {
+
+namespace {
+
+using util::overloaded;
+
+void append(std::vector<ReportItem>& dst, const std::vector<ReportItem>& src) {
+  for (const auto& item : src) {
+    bool dup = false;
+    for (const auto& existing : dst) {
+      if (existing == item) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) dst.push_back(item);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Peerings: {match, no-match, unrecorded}
+// ---------------------------------------------------------------------------
+
+enum class PeeringEvalClass : std::uint8_t { kMatch, kNoMatch, kUnrecorded };
+
+struct PeeringEval {
+  PeeringEvalClass cls = PeeringEvalClass::kNoMatch;
+  std::vector<ReportItem> items;
+};
+
+PeeringEval eval_as_expr(const ir::AsExpr& expr, const EvalContext& ctx) {
+  return std::visit(
+      overloaded{
+          [&](const ir::AsExprAsn& a) -> PeeringEval {
+            if (a.asn == ctx.peer) return {PeeringEvalClass::kMatch, {}};
+            return {PeeringEvalClass::kNoMatch, {{Reason::kMatchRemoteAsNum, a.asn, {}}}};
+          },
+          [&](const ir::AsExprSet& s) -> PeeringEval {
+            const irr::FlattenedAsSet* flat = ctx.index.flattened(s.name);
+            if (flat == nullptr) {
+              return {PeeringEvalClass::kUnrecorded, {{Reason::kUnrecordedAsSet, 0, s.name}}};
+            }
+            if (flat->contains_any || flat->contains(ctx.peer)) {
+              return {PeeringEvalClass::kMatch, {}};
+            }
+            return {PeeringEvalClass::kNoMatch, {{Reason::kMatchRemoteAsSet, 0, s.name}}};
+          },
+          [&](const ir::AsExprAny&) -> PeeringEval { return {PeeringEvalClass::kMatch, {}}; },
+          [&](const ir::AsExprAnd& n) -> PeeringEval {
+            PeeringEval l = eval_as_expr(*n.left, ctx);
+            PeeringEval r = eval_as_expr(*n.right, ctx);
+            PeeringEval out;
+            if (l.cls == PeeringEvalClass::kNoMatch || r.cls == PeeringEvalClass::kNoMatch) {
+              out.cls = PeeringEvalClass::kNoMatch;
+            } else if (l.cls == PeeringEvalClass::kUnrecorded ||
+                       r.cls == PeeringEvalClass::kUnrecorded) {
+              out.cls = PeeringEvalClass::kUnrecorded;
+            } else {
+              out.cls = PeeringEvalClass::kMatch;
+            }
+            append(out.items, l.items);
+            append(out.items, r.items);
+            return out;
+          },
+          [&](const ir::AsExprOr& n) -> PeeringEval {
+            PeeringEval l = eval_as_expr(*n.left, ctx);
+            if (l.cls == PeeringEvalClass::kMatch) return l;
+            PeeringEval r = eval_as_expr(*n.right, ctx);
+            if (r.cls == PeeringEvalClass::kMatch) return r;
+            PeeringEval out;
+            out.cls = (l.cls == PeeringEvalClass::kUnrecorded ||
+                       r.cls == PeeringEvalClass::kUnrecorded)
+                          ? PeeringEvalClass::kUnrecorded
+                          : PeeringEvalClass::kNoMatch;
+            append(out.items, l.items);
+            append(out.items, r.items);
+            return out;
+          },
+          [&](const ir::AsExprExcept& n) -> PeeringEval {
+            PeeringEval l = eval_as_expr(*n.left, ctx);
+            PeeringEval r = eval_as_expr(*n.right, ctx);
+            // left AND NOT right.
+            if (l.cls == PeeringEvalClass::kNoMatch) return l;
+            if (r.cls == PeeringEvalClass::kMatch) {
+              PeeringEval out{PeeringEvalClass::kNoMatch, {}};
+              append(out.items, l.items);
+              return out;
+            }
+            if (l.cls == PeeringEvalClass::kUnrecorded ||
+                r.cls == PeeringEvalClass::kUnrecorded) {
+              PeeringEval out{PeeringEvalClass::kUnrecorded, {}};
+              append(out.items, l.items);
+              append(out.items, r.items);
+              return out;
+            }
+            return {PeeringEvalClass::kMatch, {}};
+          },
+      },
+      expr.node);
+}
+
+PeeringEval eval_peering(const ir::Peering& peering, const EvalContext& ctx, int depth);
+
+PeeringEval eval_peering_set(std::string_view name, const EvalContext& ctx, int depth) {
+  // Peering-sets may (pathologically) reference peering-sets; bound the
+  // recursion like the set-flattening cycle guards elsewhere.
+  if (depth > 8) {
+    return {PeeringEvalClass::kNoMatch, {{Reason::kMatchRemotePeeringSet, 0, std::string(name)}}};
+  }
+  const ir::PeeringSet* set = ctx.index.peering_set(name);
+  if (set == nullptr) {
+    return {PeeringEvalClass::kUnrecorded,
+            {{Reason::kUnrecordedPeeringSet, 0, std::string(name)}}};
+  }
+  PeeringEval out{PeeringEvalClass::kNoMatch, {}};
+  bool unrecorded = false;
+  for (const auto* list : {&set->peerings, &set->mp_peerings}) {
+    for (const auto& p : *list) {
+      PeeringEval sub = eval_peering(p, ctx, depth + 1);
+      if (sub.cls == PeeringEvalClass::kMatch) return sub;
+      if (sub.cls == PeeringEvalClass::kUnrecorded) unrecorded = true;
+      append(out.items, sub.items);
+    }
+  }
+  if (unrecorded) {
+    out.cls = PeeringEvalClass::kUnrecorded;
+  } else if (out.items.empty()) {
+    out.items.push_back({Reason::kMatchRemotePeeringSet, 0, std::string(name)});
+  }
+  return out;
+}
+
+PeeringEval eval_peering(const ir::Peering& peering, const EvalContext& ctx, int depth = 0) {
+  return std::visit(
+      overloaded{
+          [&](const ir::PeeringSpec& spec) { return eval_as_expr(spec.as_expr, ctx); },
+          [&](const ir::PeeringSetRef& ref) {
+            return eval_peering_set(ref.name, ctx, depth);
+          },
+      },
+      peering.node);
+}
+
+// ---------------------------------------------------------------------------
+// Filters: {match, no-match, unrecorded, skip}
+// ---------------------------------------------------------------------------
+
+enum class FilterEvalClass : std::uint8_t { kMatch, kNoMatch, kUnrecorded, kSkip };
+
+struct FilterEval {
+  FilterEvalClass cls = FilterEvalClass::kNoMatch;
+  std::vector<ReportItem> items;
+};
+
+FilterEval from_lookup(irr::Lookup lookup, ReportItem on_fail, ReportItem on_unknown) {
+  switch (lookup) {
+    case irr::Lookup::kMatch:
+      return {FilterEvalClass::kMatch, {}};
+    case irr::Lookup::kNoMatch:
+      return {FilterEvalClass::kNoMatch, {std::move(on_fail)}};
+    case irr::Lookup::kUnknown:
+      return {FilterEvalClass::kUnrecorded, {std::move(on_unknown)}};
+  }
+  return {FilterEvalClass::kNoMatch, {}};
+}
+
+/// `positive` tracks boolean polarity: failed-term report items are only
+/// recorded in positive positions, where they are relaxation candidates.
+/// `depth` bounds filter-set reference chains (which may cycle in the wild).
+FilterEval eval_filter(const ir::Filter& filter, const EvalContext& ctx, bool positive,
+                       int depth = 0) {
+  return std::visit(
+      overloaded{
+          [&](const ir::FilterAny&) -> FilterEval { return {FilterEvalClass::kMatch, {}}; },
+          [&](const ir::FilterPeerAs&) -> FilterEval {
+            // PeerAS stands for the remote AS's number (RFC 2622 §5.6):
+            // routes whose prefix has a matching route object with that
+            // origin. Report failures as MatchFilterAsNum(peer) so the
+            // import-customer relaxation sees them.
+            return from_lookup(ctx.index.origin_matches(ctx.peer, net::RangeOp::none(),
+                                                        ctx.prefix),
+                               {Reason::kMatchFilterAsNum, ctx.peer, {}},
+                               {Reason::kUnrecordedZeroRouteAs, ctx.peer, {}});
+          },
+          [&](const ir::FilterFltrMartian&) -> FilterEval {
+            return {net::is_martian(ctx.prefix) ? FilterEvalClass::kMatch
+                                                : FilterEvalClass::kNoMatch,
+                    {}};
+          },
+          [&](const ir::FilterAsNum& f) -> FilterEval {
+            FilterEval out = from_lookup(ctx.index.origin_matches(f.asn, f.op, ctx.prefix),
+                                         {Reason::kMatchFilterAsNum, f.asn, {}},
+                                         {Reason::kUnrecordedZeroRouteAs, f.asn, {}});
+            if (!positive) out.items.clear();
+            return out;
+          },
+          [&](const ir::FilterAsSet& f) -> FilterEval {
+            FilterEval out = from_lookup(
+                ctx.index.as_set_originates(f.name, f.op, ctx.prefix),
+                {Reason::kMatchFilterAsSet, 0, f.name},
+                ctx.index.is_known(f.name)
+                    ? ReportItem{Reason::kUnrecordedZeroRouteAs, 0, f.name}
+                    : ReportItem{Reason::kUnrecordedAsSet, 0, f.name});
+            if (!positive) out.items.clear();
+            return out;
+          },
+          [&](const ir::FilterRouteSet& f) -> FilterEval {
+            return from_lookup(ctx.index.route_set_matches(f.name, f.op, ctx.prefix),
+                               {Reason::kMatchFilterRouteSet, 0, f.name},
+                               {Reason::kUnrecordedRouteSet, 0, f.name});
+          },
+          [&](const ir::FilterFilterSet& f) -> FilterEval {
+            if (depth > 16) {
+              // A filter-set reference cycle can never be resolved.
+              return {FilterEvalClass::kSkip, {{Reason::kSkipUnparsedFilter, 0, f.name}}};
+            }
+            const ir::FilterSet* set = ctx.index.filter_set(f.name);
+            if (set == nullptr) {
+              return {FilterEvalClass::kUnrecorded, {{Reason::kUnrecordedFilterSet, 0, f.name}}};
+            }
+            // Prefer the family-appropriate filter; fall back to the other.
+            const bool v6 = !ctx.prefix.is_v4();
+            const ir::Filter* chosen = nullptr;
+            if (v6 && set->has_mp_filter) {
+              chosen = &set->mp_filter;
+            } else if (set->has_filter) {
+              chosen = &set->filter;
+            } else if (set->has_mp_filter) {
+              chosen = &set->mp_filter;
+            }
+            if (chosen == nullptr) {
+              return {FilterEvalClass::kUnrecorded, {{Reason::kUnrecordedFilterSet, 0, f.name}}};
+            }
+            return eval_filter(*chosen, ctx, positive, depth + 1);
+          },
+          [&](const ir::FilterPrefixes& f) -> FilterEval {
+            if (!f.op.is_none() && ctx.options.paper_faithful_skips) {
+              // "We also do not handle two rules containing inline prefix
+              // sets followed by range operators" (Appendix B).
+              return {FilterEvalClass::kSkip, {{Reason::kSkipPrefixSetOp, 0, {}}}};
+            }
+            const bool hit = f.op.is_none() ? f.prefixes.matches(ctx.prefix)
+                                            : f.prefixes.matches_with(f.op, ctx.prefix);
+            if (hit) return {FilterEvalClass::kMatch, {}};
+            FilterEval out{FilterEvalClass::kNoMatch, {}};
+            if (positive) out.items.push_back({Reason::kMatchFilterPrefixes, 0, {}});
+            return out;
+          },
+          [&](const ir::FilterAsPath& f) -> FilterEval {
+            if (ctx.options.paper_faithful_skips && ir::uses_skipped_constructs(f.regex)) {
+              return {FilterEvalClass::kSkip, {{Reason::kSkipRegexConstruct, 0, {}}}};
+            }
+            aspath::MatchEnv env{ctx.path, ctx.peer, &ctx.index};
+            aspath::RegexMatch result = aspath::match_nfa(f.regex, env);
+            if (result == aspath::RegexMatch::kUnsupported) {
+              result = aspath::match_backtrack(f.regex, env);
+            }
+            switch (result) {
+              case aspath::RegexMatch::kMatch:
+                return {FilterEvalClass::kMatch, {}};
+              case aspath::RegexMatch::kNoMatch: {
+                FilterEval out{FilterEvalClass::kNoMatch, {}};
+                if (positive) out.items.push_back({Reason::kMatchFilterAsPath, 0, {}});
+                return out;
+              }
+              case aspath::RegexMatch::kUnsupported:
+                return {FilterEvalClass::kSkip, {{Reason::kSkipRegexConstruct, 0, {}}}};
+            }
+            return {FilterEvalClass::kSkip, {}};
+          },
+          [&](const ir::FilterCommunity&) -> FilterEval {
+            // Communities may be stripped in flight and are not visible in
+            // table dumps; the paper conservatively ignores such rules.
+            return {FilterEvalClass::kSkip, {{Reason::kSkipCommunityFilter, 0, {}}}};
+          },
+          [&](const ir::FilterAnd& f) -> FilterEval {
+            FilterEval l = eval_filter(*f.left, ctx, positive, depth);
+            FilterEval r = eval_filter(*f.right, ctx, positive, depth);
+            FilterEval out;
+            if (l.cls == FilterEvalClass::kNoMatch || r.cls == FilterEvalClass::kNoMatch) {
+              out.cls = FilterEvalClass::kNoMatch;
+            } else if (l.cls == FilterEvalClass::kSkip || r.cls == FilterEvalClass::kSkip) {
+              out.cls = FilterEvalClass::kSkip;
+            } else if (l.cls == FilterEvalClass::kUnrecorded ||
+                       r.cls == FilterEvalClass::kUnrecorded) {
+              out.cls = FilterEvalClass::kUnrecorded;
+            } else {
+              out.cls = FilterEvalClass::kMatch;
+            }
+            if (out.cls != FilterEvalClass::kMatch) {
+              append(out.items, l.items);
+              append(out.items, r.items);
+            }
+            return out;
+          },
+          [&](const ir::FilterOr& f) -> FilterEval {
+            FilterEval l = eval_filter(*f.left, ctx, positive, depth);
+            if (l.cls == FilterEvalClass::kMatch) return l;
+            FilterEval r = eval_filter(*f.right, ctx, positive, depth);
+            if (r.cls == FilterEvalClass::kMatch) return r;
+            FilterEval out;
+            if (l.cls == FilterEvalClass::kSkip || r.cls == FilterEvalClass::kSkip) {
+              out.cls = FilterEvalClass::kSkip;
+            } else if (l.cls == FilterEvalClass::kUnrecorded ||
+                       r.cls == FilterEvalClass::kUnrecorded) {
+              out.cls = FilterEvalClass::kUnrecorded;
+            } else {
+              out.cls = FilterEvalClass::kNoMatch;
+            }
+            append(out.items, l.items);
+            append(out.items, r.items);
+            return out;
+          },
+          [&](const ir::FilterNot& f) -> FilterEval {
+            FilterEval inner = eval_filter(*f.inner, ctx, !positive, depth);
+            FilterEval out;
+            switch (inner.cls) {
+              case FilterEvalClass::kMatch:
+                out.cls = FilterEvalClass::kNoMatch;
+                break;
+              case FilterEvalClass::kNoMatch:
+                out.cls = FilterEvalClass::kMatch;
+                break;
+              default:
+                out.cls = inner.cls;
+                append(out.items, inner.items);
+            }
+            return out;
+          },
+          [&](const ir::FilterUnknown&) -> FilterEval {
+            return {FilterEvalClass::kSkip, {{Reason::kSkipUnparsedFilter, 0, {}}}};
+          },
+      },
+      filter.node);
+}
+
+// ---------------------------------------------------------------------------
+// Entries (rules, possibly structured)
+// ---------------------------------------------------------------------------
+
+RuleOutcome eval_factor(const ir::PolicyFactor& factor, const EvalContext& ctx) {
+  // (1) Any of the factor's peerings must cover the remote AS.
+  PeeringEval best_peering{PeeringEvalClass::kNoMatch, {}};
+  for (const auto& pa : factor.peerings) {
+    PeeringEval p = eval_peering(pa.peering, ctx);
+    if (p.cls == PeeringEvalClass::kMatch) {
+      best_peering = std::move(p);
+      break;
+    }
+    if (p.cls == PeeringEvalClass::kUnrecorded &&
+        best_peering.cls != PeeringEvalClass::kUnrecorded) {
+      best_peering.cls = PeeringEvalClass::kUnrecorded;
+    }
+    append(best_peering.items, p.items);
+  }
+  if (best_peering.cls == PeeringEvalClass::kUnrecorded) {
+    return {EvalClass::kUnrecorded, std::move(best_peering.items)};
+  }
+  if (best_peering.cls == PeeringEvalClass::kNoMatch) {
+    return {EvalClass::kNoMatchPeering, std::move(best_peering.items)};
+  }
+
+  // (2) The filter must cover <P, A>.
+  FilterEval f = eval_filter(factor.filter, ctx, /*positive=*/true);
+  switch (f.cls) {
+    case FilterEvalClass::kMatch:
+      return {EvalClass::kMatch, {}};
+    case FilterEvalClass::kSkip:
+      return {EvalClass::kSkip, std::move(f.items)};
+    case FilterEvalClass::kUnrecorded:
+      return {EvalClass::kUnrecorded, std::move(f.items)};
+    case FilterEvalClass::kNoMatch: {
+      std::vector<ReportItem> items = std::move(f.items);
+      items.push_back({Reason::kMatchFilter, 0, {}});
+      return {EvalClass::kNoMatchFilter, std::move(items)};
+    }
+  }
+  return {EvalClass::kNoMatchFilter, {}};
+}
+
+RuleOutcome eval_entry(const ir::Entry& entry, bool mp, const EvalContext& ctx) {
+  if (!entry.covers_unicast(ctx.prefix.family(), mp)) {
+    return {EvalClass::kNotApplicable, {}};
+  }
+  return std::visit(
+      overloaded{
+          [&](const ir::EntryTerm& term) -> RuleOutcome {
+            RuleOutcome best{EvalClass::kNotApplicable, {}};
+            for (const auto& factor : term.factors) {
+              best = combine_best(std::move(best), eval_factor(factor, ctx));
+              if (best.cls == EvalClass::kMatch) break;
+            }
+            return best;
+          },
+          [&](const ir::EntryExcept& e) -> RuleOutcome {
+            // Exceptions take precedence: a route matching the RHS uses the
+            // RHS policy; an undetermined RHS leaves the whole rule
+            // undetermined; otherwise the LHS applies.
+            RuleOutcome rhs = eval_entry(*e.right, mp, ctx);
+            if (rhs.cls == EvalClass::kMatch || rhs.cls == EvalClass::kSkip ||
+                rhs.cls == EvalClass::kUnrecorded) {
+              return rhs;
+            }
+            return eval_entry(*e.left, mp, ctx);
+          },
+          [&](const ir::EntryRefine& e) -> RuleOutcome {
+            // A refinement matches only when both sides match; a definite
+            // non-match on either side decides, then skip/unrecorded.
+            RuleOutcome l = eval_entry(*e.left, mp, ctx);
+            RuleOutcome r = eval_entry(*e.right, mp, ctx);
+            auto rank = [](EvalClass c) {
+              switch (c) {
+                case EvalClass::kNotApplicable:
+                  return 0;
+                case EvalClass::kNoMatchPeering:
+                  return 1;
+                case EvalClass::kNoMatchFilter:
+                  return 2;
+                case EvalClass::kSkip:
+                  return 3;
+                case EvalClass::kUnrecorded:
+                  return 4;
+                case EvalClass::kMatch:
+                  return 5;
+              }
+              return 0;
+            };
+            RuleOutcome& weaker = rank(l.cls) <= rank(r.cls) ? l : r;
+            RuleOutcome& stronger = rank(l.cls) <= rank(r.cls) ? r : l;
+            if (weaker.cls == EvalClass::kMatch) return weaker;  // both match
+            append(weaker.items, stronger.items);
+            return weaker;
+          },
+      },
+      entry.node);
+}
+
+}  // namespace
+
+RuleOutcome combine_best(RuleOutcome a, RuleOutcome b) {
+  auto rank = [](EvalClass c) {
+    switch (c) {
+      case EvalClass::kMatch:
+        return 0;
+      case EvalClass::kSkip:
+        return 1;
+      case EvalClass::kUnrecorded:
+        return 2;
+      case EvalClass::kNoMatchFilter:
+        return 3;
+      case EvalClass::kNoMatchPeering:
+        return 4;
+      case EvalClass::kNotApplicable:
+        return 5;
+    }
+    return 5;
+  };
+  RuleOutcome& best = rank(a.cls) <= rank(b.cls) ? a : b;
+  RuleOutcome& rest = rank(a.cls) <= rank(b.cls) ? b : a;
+  // Mismatch explanations accumulate across rules (Appendix C shows every
+  // rule's MatchRemoteAsNum); determined statuses keep their own items.
+  if (best.cls == EvalClass::kNoMatchFilter || best.cls == EvalClass::kNoMatchPeering) {
+    if (rest.cls == EvalClass::kNoMatchFilter || rest.cls == EvalClass::kNoMatchPeering) {
+      append(best.items, rest.items);
+    }
+  }
+  return std::move(best);
+}
+
+RuleOutcome evaluate_rule(const ir::Rule& rule, const EvalContext& ctx) {
+  return eval_entry(rule.entry, rule.mp, ctx);
+}
+
+}  // namespace rpslyzer::verify::internal

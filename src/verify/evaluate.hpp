@@ -1,0 +1,48 @@
+#pragma once
+// Internal rule evaluation for the verifier: tri/four-state evaluation of
+// peerings, filters, and (structured) policy entries against one route.
+// Not installed; the public surface is verifier.hpp.
+
+#include <span>
+
+#include "rpslyzer/irr/index.hpp"
+#include "rpslyzer/verify/status.hpp"
+#include "rpslyzer/verify/verifier.hpp"
+
+namespace rpslyzer::verify::internal {
+
+/// How far one rule got toward matching, ordered by §5 priority for
+/// best-rule selection (earlier enumerator = better).
+enum class EvalClass : std::uint8_t {
+  kMatch,
+  kSkip,            // an unhandleable construct prevented a verdict
+  kUnrecorded,      // missing referenced objects prevented a verdict
+  kNoMatchFilter,   // peering matched, filter did not
+  kNoMatchPeering,  // peering did not cover the remote AS
+  kNotApplicable,   // wrong address family
+};
+
+struct RuleOutcome {
+  EvalClass cls = EvalClass::kNotApplicable;
+  std::vector<ReportItem> items;
+};
+
+/// Context shared by all evaluations of one check.
+struct EvalContext {
+  const irr::Index& index;
+  const VerifyOptions& options;
+  Asn self = 0;                     // the AS whose rule is evaluated
+  Asn peer = 0;                     // the remote AS of the session
+  net::Prefix prefix;               // the route's prefix P
+  std::span<const Asn> path;        // announced AS path (peer side first)
+  Asn origin = 0;                   // last element of the full path
+};
+
+/// Evaluate one rule (a full import/export attribute) against the context.
+RuleOutcome evaluate_rule(const ir::Rule& rule, const EvalContext& ctx);
+
+/// Pick the better of two outcomes under §5 ordering, merging items when
+/// both are mismatches (all rules' mismatch explanations are reported).
+RuleOutcome combine_best(RuleOutcome a, RuleOutcome b);
+
+}  // namespace rpslyzer::verify::internal

@@ -1,0 +1,99 @@
+#pragma once
+// Verification statuses and report items (§5 and Appendix C).
+//
+// Each import/export check classifies into one of six statuses, applied in
+// order: Verified ≻ Skip ≻ Unrecorded ≻ Relaxed ≻ Safelisted ≻ Unverified
+// — "if there are multiple matches, the best rule with the earliest
+// matching check is considered".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpslyzer::verify {
+
+using Asn = std::uint32_t;
+
+enum class Status : std::uint8_t {
+  kVerified,    // a strict match
+  kSkip,        // only unhandleable rules could have matched
+  kUnrecorded,  // RPSL objects/rules missing from the IRRs
+  kRelaxed,     // matched under a relaxed filter (§5.1.1)
+  kSafelisted,  // explained by a safelisted relationship (§5.1.2)
+  kUnverified,  // a mismatch
+};
+
+const char* to_string(Status s) noexcept;
+
+/// Machine-readable explanation items, mirroring the report printout of
+/// Appendix C (MatchRemoteAsNum, UnrecordedAsSet, SpecUphill, ...).
+enum class Reason : std::uint8_t {
+  // Mismatch explanations (Unverified / context for special cases).
+  kMatchRemoteAsNum,    // a rule's peering names a different remote ASN
+  kMatchRemoteAsSet,    // a rule's peering as-set lacks the remote AS
+  kMatchRemotePeeringSet,  // a peering-set's peerings lack the remote AS
+  kMatchFilter,         // peering matched, filter did not (generic)
+  kMatchFilterAsNum,    // ... the filter was this ASN
+  kMatchFilterAsSet,    // ... the filter was this as-set
+  kMatchFilterRouteSet,
+  kMatchFilterPrefixes,
+  kMatchFilterAsPath,
+  // Unrecorded reasons (Figure 5's categories).
+  kUnrecordedAutNum,
+  kUnrecordedNoRules,      // zero import (export) rules for the direction
+  kUnrecordedAsSet,
+  kUnrecordedRouteSet,
+  kUnrecordedPeeringSet,
+  kUnrecordedFilterSet,
+  kUnrecordedZeroRouteAs,  // filter references an AS with no route objects
+  // Relaxed filters (§5.1.1).
+  kRelaxedExportSelf,
+  kRelaxedImportCustomer,
+  kRelaxedMissingRoutes,
+  // Safelisted relationships (§5.1.2). The only-provider-policies case has
+  // two flavors in the Appendix C reports: the remote is a known customer
+  // (SpecCustomerOnlyProviderPolicies) or anything else that is not a
+  // provider (SpecOtherOnlyProviderPolicies).
+  kSpecCustomerOnlyProviderPolicies,
+  kSpecOtherOnlyProviderPolicies,
+  kSpecTier1Pair,
+  kSpecUphill,
+  // Skip reasons (Appendix B limitations).
+  kSkipRegexConstruct,   // ASN range / same-pattern operator in a regex
+  kSkipCommunityFilter,  // community(...) in a filter
+  kSkipPrefixSetOp,      // inline prefix set followed by a range operator
+  kSkipUnparsedFilter,   // filter text the parser could not interpret
+};
+
+const char* to_string(Reason r) noexcept;
+
+struct ReportItem {
+  Reason reason;
+  Asn asn = 0;       // remote/filter ASN when applicable
+  std::string name;  // set name when applicable
+
+  friend bool operator==(const ReportItem&, const ReportItem&) = default;
+};
+
+/// Render "MatchRemoteAsNum(58552)" / "UnrecordedAsSet(\"AS1299:...\")".
+std::string to_string(const ReportItem& item);
+
+/// The outcome of checking one import or export at one AS for one route.
+struct CheckResult {
+  Status status = Status::kUnverified;
+  std::vector<ReportItem> items;
+};
+
+/// One AS-pair hop of a route: `from` exported, `to` imported.
+struct HopCheck {
+  Asn from = 0;
+  Asn to = 0;
+  CheckResult export_result;
+  CheckResult import_result;
+};
+
+/// Render one hop like Appendix C ("OkImport { from: .., to: .. }",
+/// "MehExport { from, to, items: [...] }", "BadImport", "UnrecExport").
+std::string to_report_lines(const HopCheck& hop);
+
+}  // namespace rpslyzer::verify

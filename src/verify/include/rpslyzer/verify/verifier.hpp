@@ -1,0 +1,80 @@
+#pragma once
+// The route verification engine (§5).
+//
+// For each route <P, A> and each AS pair <Y, X> where Y imports the route
+// X exported, RPSLyzer checks X's export rules and Y's import rules: a
+// strict match requires (1) the remote AS to match the rule's peering and
+// (2) the prefix and AS-path to match the rule's filter, with the rule
+// covering P's address family. Non-matches classify into the §5 status
+// lattice, with the §5.1.1 relaxed filters and §5.1.2 safelisted
+// relationships applied in the paper's order.
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rpslyzer/bgp/route.hpp"
+#include "rpslyzer/irr/index.hpp"
+#include "rpslyzer/relations/relations.hpp"
+#include "rpslyzer/verify/status.hpp"
+
+namespace rpslyzer::verify {
+
+struct VerifyOptions {
+  /// Apply the §5.1.1 relaxed-filter checks (export self, import customer,
+  /// missing routes). Off = strict RFC semantics.
+  bool relaxations = true;
+  /// Apply the §5.1.2 safelists (only-provider-policies, Tier-1 pairs,
+  /// uphill customer→provider propagation).
+  bool safelists = true;
+  /// Mirror the paper's skip list (Appendix B): AS-path regexes with ASN
+  /// ranges or same-pattern operators, community filters, and inline
+  /// prefix sets with range operators are Skipped. When false, constructs
+  /// our engines can evaluate are evaluated instead (community filters
+  /// remain skipped — communities are unobservable in collector dumps).
+  bool paper_faithful_skips = true;
+};
+
+class Verifier {
+ public:
+  Verifier(const irr::Index& index, const relations::AsRelations& relations,
+           VerifyOptions options = {});
+
+  /// Check AS `from`'s export of `route` toward `to`. `announced_path` is
+  /// the AS path as announced by `from` (from..origin, BGP order).
+  CheckResult check_export(Asn from, Asn to, const bgp::Route& route,
+                           std::span<const Asn> announced_path) const;
+
+  /// Check AS `to`'s import of `route` from `from`.
+  CheckResult check_import(Asn to, Asn from, const bgp::Route& route,
+                           std::span<const Asn> announced_path) const;
+
+  /// Verify every AS pair of the route, origin side first (Appendix C
+  /// report order). Prepends must already be stripped (bgp::parse_* does).
+  std::vector<HopCheck> verify_route(const bgp::Route& route) const;
+
+  /// Appendix-C style multi-line report for one route.
+  std::string report(const bgp::Route& route) const;
+
+  const VerifyOptions& options() const noexcept { return options_; }
+
+  /// Does this AS only specify rules for its providers (§5.1.2)? Exposed
+  /// for the report module (Figure 6's breakdown).
+  bool only_provider_policies(Asn asn) const;
+
+ private:
+  CheckResult check(Asn self, Asn peer, bool is_import, const bgp::Route& route,
+                    std::span<const Asn> announced_path) const;
+
+  bool relax_export_self(Asn self, const net::Prefix& prefix) const;
+
+  const irr::Index& index_;
+  const relations::AsRelations& relations_;
+  VerifyOptions options_;
+
+  mutable std::unordered_map<Asn, bool> only_provider_cache_;
+  // Customer cones are only materialized for the export-self relaxation.
+  mutable std::unordered_map<Asn, std::vector<relations::Asn>> cone_cache_;
+};
+
+}  // namespace rpslyzer::verify

@@ -1,0 +1,49 @@
+#include "rpslyzer/verify/parallel.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace rpslyzer::verify {
+
+std::vector<std::vector<HopCheck>> verify_routes_parallel(
+    const irr::Index& index, const relations::AsRelations& relations,
+    const std::vector<bgp::Route>& routes, VerifyOptions options, unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::vector<HopCheck>> results(routes.size());
+  if (routes.empty()) return results;
+  if (threads == 1 || routes.size() < 2 * threads) {
+    Verifier verifier(index, relations, options);
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      results[i] = verifier.verify_route(routes[i]);
+    }
+    return results;
+  }
+
+  // Make all as-set flattening queries pure reads before sharing the index.
+  index.prewarm();
+  // Tier-1 computation caches lazily inside AsRelations; force it now.
+  relations.tier1();
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    // Verifier-level caches (customer cones, only-provider bits) are
+    // per-thread; they deduplicate quickly across a shard.
+    Verifier verifier(index, relations, options);
+    constexpr std::size_t kBatch = 64;
+    while (true) {
+      const std::size_t begin = next.fetch_add(kBatch);
+      if (begin >= routes.size()) break;
+      const std::size_t end = std::min(begin + kBatch, routes.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = verifier.verify_route(routes[i]);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return results;
+}
+
+}  // namespace rpslyzer::verify

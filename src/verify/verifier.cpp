@@ -1,0 +1,240 @@
+#include "rpslyzer/verify/verifier.hpp"
+
+#include <algorithm>
+
+#include "evaluate.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::verify {
+
+namespace {
+
+using internal::EvalClass;
+using internal::EvalContext;
+using internal::RuleOutcome;
+
+/// All remote ASNs named by plain-ASN peerings of this aut-num's rules.
+/// Returns false if any peering is not a plain ASN (sets and AS-ANY mean
+/// the AS maintains policies beyond a fixed provider list).
+bool collect_peering_asns(const ir::Entry& entry, std::vector<Asn>& out) {
+  return std::visit(
+      util::overloaded{
+          [&](const ir::EntryTerm& term) {
+            for (const auto& factor : term.factors) {
+              for (const auto& pa : factor.peerings) {
+                const auto* spec = std::get_if<ir::PeeringSpec>(&pa.peering.node);
+                if (spec == nullptr) return false;
+                const auto* asn = std::get_if<ir::AsExprAsn>(&spec->as_expr.node);
+                if (asn == nullptr) return false;
+                out.push_back(asn->asn);
+              }
+            }
+            return true;
+          },
+          [&](const ir::EntryExcept& e) {
+            return collect_peering_asns(*e.left, out) && collect_peering_asns(*e.right, out);
+          },
+          [&](const ir::EntryRefine& e) {
+            return collect_peering_asns(*e.left, out) && collect_peering_asns(*e.right, out);
+          },
+      },
+      entry.node);
+}
+
+}  // namespace
+
+Verifier::Verifier(const irr::Index& index, const relations::AsRelations& relations,
+                   VerifyOptions options)
+    : index_(index), relations_(relations), options_(options) {}
+
+bool Verifier::only_provider_policies(Asn asn) const {
+  if (auto it = only_provider_cache_.find(asn); it != only_provider_cache_.end()) {
+    return it->second;
+  }
+  bool result = false;
+  // §5.1.2 scopes this to transit ASes ("46 transit ASes only specify
+  // rules for their providers"); edge networks with provider-only rules
+  // are the normal case, not a safelist.
+  const ir::AutNum* an =
+      relations_.customers_of(asn).empty() ? nullptr : index_.aut_num(asn);
+  if (an != nullptr) {
+    std::vector<Asn> remotes;
+    bool simple = true;
+    for (const auto* rules : {&an->imports, &an->exports}) {
+      for (const auto& rule : *rules) {
+        if (!collect_peering_asns(rule.entry, remotes)) {
+          simple = false;
+          break;
+        }
+      }
+      if (!simple) break;
+    }
+    if (simple && !remotes.empty()) {
+      result = true;
+      for (Asn remote : remotes) {
+        if (!relations_.is_customer_of(asn, remote)) {
+          result = false;
+          break;
+        }
+      }
+    }
+  }
+  only_provider_cache_.emplace(asn, result);
+  return result;
+}
+
+bool Verifier::relax_export_self(Asn self, const net::Prefix& prefix) const {
+  // Appendix C semantics: "announce <self>" is relaxed to also cover route
+  // objects originated by the AS's customer cone.
+  auto it = cone_cache_.find(self);
+  if (it == cone_cache_.end()) {
+    it = cone_cache_.emplace(self, relations_.customer_cone(self)).first;
+  }
+  for (Asn member : it->second) {
+    if (index_.origin_matches(member, net::RangeOp::none(), prefix) == irr::Lookup::kMatch) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CheckResult Verifier::check(Asn self, Asn peer, bool is_import, const bgp::Route& route,
+                            std::span<const Asn> announced_path) const {
+  // Unrecorded (1): no aut-num object for the AS under check.
+  const ir::AutNum* an = index_.aut_num(self);
+  if (an == nullptr) {
+    return {Status::kUnrecorded, {{Reason::kUnrecordedAutNum, self, {}}}};
+  }
+  // Unrecorded (2): zero rules for the direction being checked.
+  const auto& rules = is_import ? an->imports : an->exports;
+  if (rules.empty()) {
+    return {Status::kUnrecorded, {{Reason::kUnrecordedNoRules, self, {}}}};
+  }
+
+  EvalContext ctx{index_, options_, self,
+                  peer,   route.prefix, announced_path,
+                  route.origin()};
+
+  RuleOutcome best{EvalClass::kNotApplicable, {}};
+  for (const auto& rule : rules) {
+    best = internal::combine_best(std::move(best), internal::evaluate_rule(rule, ctx));
+    if (best.cls == EvalClass::kMatch) break;
+  }
+
+  switch (best.cls) {
+    case EvalClass::kMatch:
+      return {Status::kVerified, {}};
+    case EvalClass::kSkip:
+      return {Status::kSkip, std::move(best.items)};
+    case EvalClass::kUnrecorded:
+      return {Status::kUnrecorded, std::move(best.items)};
+    default:
+      break;
+  }
+
+  // §5.1.1 relaxed filters, in paper order, applicable when some rule's
+  // peering matched but its filter did not.
+  if (options_.relaxations && best.cls == EvalClass::kNoMatchFilter) {
+    const Asn origin = route.origin();
+    bool has_self_filter = false;
+    bool has_peer_filter = false;
+    bool has_origin_filter = false;
+    for (const auto& item : best.items) {
+      if (item.reason == Reason::kMatchFilterAsNum) {
+        has_self_filter = has_self_filter || item.asn == self;
+        has_peer_filter = has_peer_filter || item.asn == peer;
+        has_origin_filter = has_origin_filter || item.asn == origin;
+      } else if (item.reason == Reason::kMatchFilterAsSet) {
+        has_origin_filter = has_origin_filter || index_.contains(item.name, origin);
+      }
+    }
+    // Export Self: a transit AS announcing "its own" routes almost always
+    // means its routes and its customers' (validated by operators, App. E).
+    if (!is_import && has_self_filter && relax_export_self(self, route.prefix)) {
+      best.items.push_back({Reason::kRelaxedExportSelf, 0, {}});
+      return {Status::kRelaxed, std::move(best.items)};
+    }
+    // Import Customer: "from C accept C" (or accept PeerAS) by C's provider
+    // means "accept anything C sends".
+    if (is_import && has_peer_filter && relations_.is_provider_of(self, peer)) {
+      best.items.push_back({Reason::kRelaxedImportCustomer, 0, {}});
+      return {Status::kRelaxed, std::move(best.items)};
+    }
+    // Missing routes: the filter names the AS-path's origin (or a set
+    // containing it) — the route object is simply not maintained.
+    if (has_origin_filter) {
+      best.items.push_back({Reason::kRelaxedMissingRoutes, 0, {}});
+      return {Status::kRelaxed, std::move(best.items)};
+    }
+  }
+
+  // §5.1.2 safelisted relationships, in paper order.
+  if (options_.safelists) {
+    const relations::Relationship to_peer = relations_.between(self, peer);
+    // Only Provider Policies: ASes that maintain rules solely for their
+    // providers (who may require them); imports from anyone that is not a
+    // provider pass. Appendix C distinguishes known customers from other
+    // non-provider remotes in the report items.
+    if (is_import && to_peer != relations::Relationship::kCustomer &&
+        only_provider_policies(self)) {
+      best.items.push_back({to_peer == relations::Relationship::kProvider
+                                ? Reason::kSpecCustomerOnlyProviderPolicies
+                                : Reason::kSpecOtherOnlyProviderPolicies,
+                            0,
+                            {}});
+      return {Status::kSafelisted, std::move(best.items)};
+    }
+    // Tier-1 Peering: Tier-1s exchange routes by definition.
+    if (relations_.is_tier1(self) && relations_.is_tier1(peer)) {
+      best.items.push_back({Reason::kSpecTier1Pair, 0, {}});
+      return {Status::kSafelisted, std::move(best.items)};
+    }
+    // Uphill: customers rely on providers to reach the Internet; providers
+    // import customer routes.
+    const bool uphill = is_import ? to_peer == relations::Relationship::kProvider
+                                  : to_peer == relations::Relationship::kCustomer;
+    if (uphill) {
+      best.items.push_back({Reason::kSpecUphill, 0, {}});
+      return {Status::kSafelisted, std::move(best.items)};
+    }
+  }
+
+  return {Status::kUnverified, std::move(best.items)};
+}
+
+CheckResult Verifier::check_export(Asn from, Asn to, const bgp::Route& route,
+                                   std::span<const Asn> announced_path) const {
+  return check(from, to, /*is_import=*/false, route, announced_path);
+}
+
+CheckResult Verifier::check_import(Asn to, Asn from, const bgp::Route& route,
+                                   std::span<const Asn> announced_path) const {
+  return check(to, from, /*is_import=*/true, route, announced_path);
+}
+
+std::vector<HopCheck> Verifier::verify_route(const bgp::Route& route) const {
+  std::vector<HopCheck> hops;
+  if (route.path.size() < 2) return hops;
+  // Walk from the origin toward the collector: pair (X = path[i+1] exports,
+  // Y = path[i] imports); the path X announces is path[i+1..].
+  for (std::size_t i = route.path.size() - 1; i-- > 0;) {
+    const Asn exporter = route.path[i + 1];
+    const Asn importer = route.path[i];
+    std::span<const Asn> announced(route.path.data() + i + 1, route.path.size() - i - 1);
+    HopCheck hop;
+    hop.from = exporter;
+    hop.to = importer;
+    hop.export_result = check_export(exporter, importer, route, announced);
+    hop.import_result = check_import(importer, exporter, route, announced);
+    hops.push_back(std::move(hop));
+  }
+  return hops;
+}
+
+std::string Verifier::report(const bgp::Route& route) const {
+  std::string out;
+  for (const HopCheck& hop : verify_route(route)) out += to_report_lines(hop);
+  return out;
+}
+
+}  // namespace rpslyzer::verify

@@ -1,0 +1,95 @@
+#include "rpslyzer/bgp/route.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpslyzer::bgp {
+namespace {
+
+TEST(BgpRoute, StripPrepends) {
+  EXPECT_EQ(strip_prepends({1, 1, 2, 3, 3, 3, 4}), (std::vector<Asn>{1, 2, 3, 4}));
+  EXPECT_EQ(strip_prepends({7}), (std::vector<Asn>{7}));
+  EXPECT_EQ(strip_prepends({}), (std::vector<Asn>{}));
+  // Non-consecutive repeats (poisoning) are kept.
+  EXPECT_EQ(strip_prepends({1, 2, 1}), (std::vector<Asn>{1, 2, 1}));
+}
+
+TEST(BgpRoute, ParsePath) {
+  bool as_set = false;
+  EXPECT_EQ(parse_path("3257 1299 6939", as_set), (std::vector<Asn>{3257, 1299, 6939}));
+  EXPECT_EQ(parse_path("AS1 AS2", as_set), (std::vector<Asn>{1, 2}));
+  EXPECT_EQ(parse_path("1 1 1 2", as_set), (std::vector<Asn>{1, 2}));
+  EXPECT_FALSE(parse_path("", as_set));
+  EXPECT_FALSE(parse_path("1 x 2", as_set));
+  EXPECT_FALSE(as_set);
+  EXPECT_FALSE(parse_path("1 {2,3} 4", as_set));
+  EXPECT_TRUE(as_set);
+}
+
+TEST(BgpRoute, ParseSimpleLine) {
+  auto parsed = parse_table_dump_line("103.162.114.0/23|3257 1299 6939 133840 56239 141893");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->issue, RouteIssue::kOk);
+  EXPECT_EQ(parsed->route.prefix.to_string(), "103.162.114.0/23");
+  EXPECT_EQ(parsed->route.path.size(), 6u);
+  EXPECT_EQ(parsed->route.origin(), 141893u);
+}
+
+TEST(BgpRoute, ParseTableDump2Line) {
+  auto parsed = parse_table_dump_line(
+      "TABLE_DUMP2|1687478400|B|192.0.2.1|3257|8.8.8.0/24|3257 15169|IGP|192.0.2.1|0|0||NAG||");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->issue, RouteIssue::kOk);
+  EXPECT_EQ(parsed->route.prefix.to_string(), "8.8.8.0/24");
+  EXPECT_EQ(parsed->route.path, (std::vector<Asn>{3257, 15169}));
+}
+
+TEST(BgpRoute, SingleAsRoutesFlagged) {
+  auto parsed = parse_table_dump_line("8.8.8.0/24|15169");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->issue, RouteIssue::kSingleAs);
+  // Prepending collapses to single-AS too.
+  parsed = parse_table_dump_line("8.8.8.0/24|15169 15169 15169");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->issue, RouteIssue::kSingleAs);
+}
+
+TEST(BgpRoute, AsSetRoutesFlagged) {
+  auto parsed = parse_table_dump_line("8.8.8.0/24|3257 {15169,15170}");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->issue, RouteIssue::kHasAsSet);
+}
+
+TEST(BgpRoute, MalformedLines) {
+  EXPECT_EQ(parse_table_dump_line("not-a-prefix|1 2")->issue, RouteIssue::kMalformed);
+  EXPECT_EQ(parse_table_dump_line("justoneword")->issue, RouteIssue::kMalformed);
+  EXPECT_EQ(parse_table_dump_line("8.8.8.0/24|")->issue, RouteIssue::kMalformed);
+  EXPECT_EQ(parse_table_dump_line("TABLE_DUMP2|1|B|x|1")->issue, RouteIssue::kMalformed);
+}
+
+TEST(BgpRoute, CommentsAndBlanksSkipped) {
+  EXPECT_FALSE(parse_table_dump_line(""));
+  EXPECT_FALSE(parse_table_dump_line("# comment"));
+  EXPECT_FALSE(parse_table_dump_line("% remark"));
+}
+
+TEST(BgpRoute, ParseWholeDumpWithStats) {
+  DumpStats stats;
+  auto routes = parse_table_dump(
+      "# collector rrc00\n"
+      "8.8.8.0/24|3257 15169\n"
+      "1.1.1.0/24|13335\n"
+      "9.9.9.0/24|1 {2,3}\n"
+      "bogus|1 2\n"
+      "2001:db8::/32|6939 64500\n",
+      &stats);
+  EXPECT_EQ(stats.total_lines, 5u);
+  EXPECT_EQ(stats.routes, 2u);
+  EXPECT_EQ(stats.single_as, 1u);
+  EXPECT_EQ(stats.with_as_set, 1u);
+  EXPECT_EQ(stats.malformed, 1u);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_FALSE(routes[1].prefix.is_v4());
+}
+
+}  // namespace
+}  // namespace rpslyzer::bgp

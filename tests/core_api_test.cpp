@@ -1,0 +1,74 @@
+#include "rpslyzer/rpslyzer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpslyzer {
+namespace {
+
+TEST(CoreApi, FromTextsMergesInGivenPriorityOrder) {
+  Rpslyzer lyzer = Rpslyzer::from_texts(
+      {
+          {"FIRST", "aut-num: AS1\nas-name: WINNER\n"},
+          {"SECOND", "aut-num: AS1\nas-name: LOSER\n\nroute: 10.0.0.0/8\norigin: AS1\n"},
+      },
+      "1|2|-1\n");
+  EXPECT_EQ(lyzer.ir().aut_nums.at(1).as_name, "WINNER");
+  EXPECT_EQ(lyzer.ir().routes.size(), 1u);
+  EXPECT_EQ(lyzer.relations().between(1, 2), relations::Relationship::kProvider);
+  ASSERT_EQ(lyzer.irr_counts().size(), 2u);
+  EXPECT_EQ(lyzer.irr_counts()[0].name, "FIRST");
+}
+
+TEST(CoreApi, DiagnosticsAccumulateAcrossSources) {
+  Rpslyzer lyzer = Rpslyzer::from_texts(
+      {
+          {"A", "aut-num: AS1\nimport: fron AS2 accept ANY\n"},
+          {"B", "as-set: BAD-NAME\n"},
+      },
+      "x|y|z\n");
+  EXPECT_GE(lyzer.diagnostics().count(util::DiagnosticKind::kSyntaxError), 2u);
+  EXPECT_GE(lyzer.diagnostics().count(util::DiagnosticKind::kInvalidSetName), 1u);
+}
+
+TEST(CoreApi, VerifierOptionsPropagate) {
+  Rpslyzer lyzer = Rpslyzer::from_texts(
+      {{"A", "aut-num: AS1\nimport: from AS3 accept AS4\n\nroute: 10.4.0.0/16\norigin: AS4\n"}},
+      "");
+  bgp::Route r{*net::Prefix::parse("10.99.0.0/16"), {1, 3, 4}};
+
+  verify::Verifier relaxed = lyzer.verifier();
+  EXPECT_EQ(relaxed.verify_route(r)[1].import_result.status, verify::Status::kRelaxed);
+
+  verify::VerifyOptions strict;
+  strict.relaxations = false;
+  strict.safelists = false;
+  verify::Verifier strict_verifier = lyzer.verifier(strict);
+  EXPECT_EQ(strict_verifier.verify_route(r)[1].import_result.status,
+            verify::Status::kUnverified);
+}
+
+TEST(CoreApi, ExportIrShape) {
+  Rpslyzer lyzer = Rpslyzer::from_texts(
+      {{"A", "aut-num: AS1\nimport: from AS2 accept ANY\n\nroute: 10.0.0.0/8\norigin: AS1\n"}},
+      "");
+  json::Value v = lyzer.export_ir();
+  EXPECT_EQ(v.at("aut-nums").as_object().size(), 1u);
+  EXPECT_EQ(v.at("routes").as_array().size(), 1u);
+  // And it reconstructs the identical corpus.
+  EXPECT_EQ(ir::ir_from_json(v), lyzer.ir());
+}
+
+TEST(CoreApi, EmptyInputs) {
+  Rpslyzer lyzer = Rpslyzer::from_texts({}, "");
+  EXPECT_EQ(lyzer.ir().object_count(), 0u);
+  EXPECT_TRUE(lyzer.relations().tier1().empty());
+  // Verifying against an empty corpus classifies everything unrecorded.
+  bgp::Route r{*net::Prefix::parse("10.0.0.0/8"), {1, 2}};
+  auto hops = lyzer.verifier().verify_route(r);
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].import_result.status, verify::Status::kUnrecorded);
+  EXPECT_EQ(hops[0].export_result.status, verify::Status::kUnrecorded);
+}
+
+}  // namespace
+}  // namespace rpslyzer

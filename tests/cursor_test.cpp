@@ -1,0 +1,165 @@
+#include "rpslyzer/rpsl/cursor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/rpsl/expr_parser.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::rpsl {
+namespace {
+
+TEST(Cursor, KeywordMatching) {
+  Cursor cur("  FROM AS1 accept");
+  EXPECT_TRUE(cur.peek_keyword("from"));
+  EXPECT_FALSE(cur.peek_keyword("fro"));  // word boundary required
+  EXPECT_TRUE(cur.eat_keyword("FROM"));
+  EXPECT_FALSE(cur.eat_keyword("accept"));  // AS1 comes first
+  EXPECT_EQ(cur.next_atom(), "AS1");
+  EXPECT_TRUE(cur.eat_keyword("ACCEPT"));
+  EXPECT_TRUE(cur.at_end());
+}
+
+TEST(Cursor, KeywordNotInsideWords) {
+  Cursor cur("fromage");
+  EXPECT_FALSE(cur.peek_keyword("from"));
+  Cursor cur2("accept-list");
+  EXPECT_FALSE(cur2.peek_keyword("accept"));
+}
+
+TEST(Cursor, AtomCharset) {
+  Cursor cur("AS8267:AS-Krakow-1014^24-32 , next");
+  EXPECT_EQ(cur.next_atom(), "AS8267:AS-Krakow-1014^24-32");
+  EXPECT_TRUE(cur.eat_char(','));
+  EXPECT_EQ(cur.next_atom(), "next");
+}
+
+TEST(Cursor, Ipv6AtomsAndPrefixes) {
+  Cursor cur("2001:db8::/32^+ AND");
+  EXPECT_EQ(cur.next_atom(), "2001:db8::/32^+");
+  EXPECT_TRUE(cur.eat_keyword("AND"));
+}
+
+TEST(Cursor, BalancedDelimiters) {
+  Cursor cur("{a, {b, c}, d} rest");
+  auto inside = cur.take_braced();
+  ASSERT_TRUE(inside);
+  EXPECT_EQ(*inside, "a, {b, c}, d");
+  EXPECT_EQ(cur.next_atom(), "rest");
+
+  Cursor cur2("(x (y) z)");
+  auto parens = cur2.take_parenthesized();
+  ASSERT_TRUE(parens);
+  EXPECT_EQ(*parens, "x (y) z");
+  EXPECT_TRUE(cur2.at_end());
+
+  Cursor cur3("<^AS1 .* $> tail");
+  auto angled = cur3.take_angled();
+  ASSERT_TRUE(angled);
+  EXPECT_EQ(*angled, "^AS1 .* $");
+}
+
+TEST(Cursor, UnbalancedDelimitersReturnNullopt) {
+  Cursor cur("{a, b");
+  EXPECT_FALSE(cur.take_braced());
+  Cursor cur2("(x");
+  EXPECT_FALSE(cur2.take_parenthesized());
+  // Not at the delimiter: also nullopt, cursor unmoved.
+  Cursor cur3("abc");
+  EXPECT_FALSE(cur3.take_braced());
+  EXPECT_EQ(cur3.next_atom(), "abc");
+}
+
+TEST(Cursor, TakeUntilCharRespectsNesting) {
+  Cursor cur("accept {1.2.3.0/24, 0.0.0.0/0}; rest");
+  std::string_view text = cur.take_until_char(';');
+  EXPECT_EQ(text, "accept {1.2.3.0/24, 0.0.0.0/0}");
+  EXPECT_TRUE(cur.eat_char(';'));
+  EXPECT_EQ(cur.next_atom(), "rest");
+
+  // Never escapes an enclosing block. (The raw text, untrimmed, is
+  // returned; downstream parsers trim.)
+  Cursor cur2("a b } outside");
+  EXPECT_EQ(cur2.take_until_char(';'), "a b ");
+  EXPECT_EQ(cur2.peek(), '}');
+}
+
+TEST(Cursor, SeekAndRemaining) {
+  Cursor cur("one two");
+  std::size_t mark = cur.pos();
+  EXPECT_EQ(cur.next_atom(), "one");
+  cur.seek(mark);
+  EXPECT_EQ(cur.next_atom(), "one");
+  EXPECT_EQ(util::trim(cur.remaining()), "two");
+}
+
+TEST(TakeUntilKeywords, StopsAtKeywordBoundary) {
+  Cursor cur("192.0.2.1 at 192.0.2.2 action pref=1");
+  util::Diagnostics diag;
+  std::string_view text = take_until_keywords(cur, {"at", "action"});
+  EXPECT_EQ(text, "192.0.2.1");
+  EXPECT_TRUE(cur.eat_keyword("at"));
+  text = take_until_keywords(cur, {"action"});
+  EXPECT_EQ(text, "192.0.2.2");
+}
+
+TEST(TakeUntilKeywords, IgnoresKeywordsInsideBlocks) {
+  Cursor cur("{ accept inside } accept outside");
+  std::string_view text = take_until_keywords(cur, {"accept"});
+  EXPECT_EQ(text, "{ accept inside }");
+}
+
+TEST(TakeUntilKeywords, StopCharWins) {
+  Cursor cur("value; accept");
+  std::string_view text = take_until_keywords(cur, {"accept"}, ';');
+  EXPECT_EQ(text, "value");
+  EXPECT_EQ(cur.peek(), ';');
+}
+
+TEST(AfiList, ParseVariants) {
+  util::Diagnostics diag;
+  ParseContext ctx{&diag, "t", "TEST", 1};
+  Cursor cur("ipv4.unicast, ipv6.unicast, any rest");
+  auto afis = parse_afi_list(cur, ctx);
+  ASSERT_EQ(afis.size(), 3u);
+  EXPECT_EQ(afis[0], ir::Afi::ipv4_unicast());
+  EXPECT_EQ(afis[2], ir::Afi::any());
+  EXPECT_EQ(cur.next_atom(), "rest");
+  EXPECT_TRUE(diag.empty());
+
+  Cursor bad("bogus.unicast");
+  parse_afi_list(bad, ctx);
+  EXPECT_FALSE(diag.empty());
+}
+
+TEST(AsExprParser, Precedence) {
+  util::Diagnostics diag;
+  ParseContext ctx{&diag, "t", "TEST", 1};
+  // AND binds tighter than OR.
+  Cursor cur("AS1 OR AS2 AND AS3");
+  auto expr = parse_as_expr(cur, ctx);
+  ASSERT_TRUE(expr);
+  const auto* orn = std::get_if<ir::AsExprOr>(&expr->node);
+  ASSERT_NE(orn, nullptr);
+  EXPECT_NE(std::get_if<ir::AsExprAnd>(&orn->right->node), nullptr);
+  // EXCEPT has AND's precedence (RFC 2622 §5.6).
+  Cursor cur2("AS1 EXCEPT AS2 OR AS3");
+  auto expr2 = parse_as_expr(cur2, ctx);
+  ASSERT_TRUE(expr2);
+  const auto* orn2 = std::get_if<ir::AsExprOr>(&expr2->node);
+  ASSERT_NE(orn2, nullptr);
+  EXPECT_NE(std::get_if<ir::AsExprExcept>(&orn2->left->node), nullptr);
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(AsExprParser, StopsBeforeNonExpressionTokens) {
+  util::Diagnostics diag;
+  ParseContext ctx{&diag, "t", "TEST", 1};
+  Cursor cur("AS1 accept ANY");
+  auto expr = parse_as_expr(cur, ctx);
+  ASSERT_TRUE(expr);
+  EXPECT_NE(std::get_if<ir::AsExprAsn>(&expr->node), nullptr);
+  EXPECT_TRUE(cur.peek_keyword("accept"));
+}
+
+}  // namespace
+}  // namespace rpslyzer::rpsl

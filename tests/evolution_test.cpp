@@ -1,0 +1,75 @@
+#include "rpslyzer/stats/evolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/irr/loader.hpp"
+
+namespace rpslyzer::stats {
+namespace {
+
+ir::Ir corpus(std::string_view text) {
+  util::Diagnostics diag;
+  return irr::parse_dump(text, "TEST", diag);
+}
+
+TEST(Evolution, IdenticalSnapshotsAreEmpty) {
+  const char* text =
+      "aut-num: AS1\nimport: from AS2 accept ANY\n\n"
+      "as-set: AS-X\nmembers: AS1\n\n"
+      "route: 10.0.0.0/8\norigin: AS1\n";
+  IrDiff diff = IrDiff::compute(corpus(text), corpus(text));
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.rules_before, diff.rules_after);
+}
+
+TEST(Evolution, DetectsAdditionsRemovalsAndRuleChurn) {
+  ir::Ir before = corpus(
+      "aut-num: AS1\nimport: from AS2 accept ANY\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n\n"
+      "aut-num: AS3\n\n"
+      "as-set: AS-GOES\nmembers: AS1\n\n"
+      "as-set: AS-STAYS\nmembers: AS1\n\n"
+      "route-set: RS-OLD\nmembers: 10.0.0.0/8\n\n"
+      "route: 10.0.0.0/8\norigin: AS1\n\n"
+      "route: 192.0.2.0/24\norigin: AS2\n");
+  ir::Ir after = corpus(
+      "aut-num: AS1\nimport: from AS2 accept ANY\nimport: from AS9 accept ANY\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n\n"
+      "aut-num: AS4\nexport: to AS1 announce AS4\n\n"
+      "as-set: AS-STAYS\nmembers: AS1, AS2\n\n"
+      "as-set: AS-NEW\nmembers: AS4\n\n"
+      "route: 10.0.0.0/8\norigin: AS1\n\n"
+      "route: 10.0.0.0/8\norigin: AS9\n\n"
+      "route: 198.51.100.0/24\norigin: AS4\n");
+
+  IrDiff diff = IrDiff::compute(before, after);
+  EXPECT_EQ(diff.aut_nums_added, (std::vector<ir::Asn>{4}));
+  EXPECT_EQ(diff.aut_nums_removed, (std::vector<ir::Asn>{3}));
+  EXPECT_EQ(diff.aut_nums_rules_changed, (std::vector<ir::Asn>{1}));
+  EXPECT_EQ(diff.rules_before, 2u);
+  EXPECT_EQ(diff.rules_after, 4u);
+
+  EXPECT_EQ(diff.as_sets_added, (std::vector<std::string>{"AS-NEW"}));
+  EXPECT_EQ(diff.as_sets_removed, (std::vector<std::string>{"AS-GOES"}));
+  EXPECT_EQ(diff.as_sets_changed, (std::vector<std::string>{"AS-STAYS"}));
+  EXPECT_EQ(diff.route_sets_removed, (std::vector<std::string>{"RS-OLD"}));
+
+  // Routes keyed by (prefix, origin): (10/8, AS9) and (198.51.100/24, AS4)
+  // added; (192.0.2/24, AS2) removed; (10/8, AS1) unchanged.
+  EXPECT_EQ(diff.routes_added, 2u);
+  EXPECT_EQ(diff.routes_removed, 1u);
+
+  EXPECT_EQ(diff.summary(),
+            "aut-nums: +1 -1 ~1; rules: 2 -> 4; as-sets: +1 -1 ~1; route-sets: +0 -1 ~0; "
+            "routes: +2 -1");
+}
+
+TEST(Evolution, NonRuleAttributeChangesAreNotRuleChurn) {
+  ir::Ir before = corpus("aut-num: AS1\nas-name: OLD\nimport: from AS2 accept ANY\n");
+  ir::Ir after = corpus("aut-num: AS1\nas-name: NEW\nimport: from AS2 accept ANY\n");
+  IrDiff diff = IrDiff::compute(before, after);
+  EXPECT_TRUE(diff.aut_nums_rules_changed.empty());
+}
+
+}  // namespace
+}  // namespace rpslyzer::stats

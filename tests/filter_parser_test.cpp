@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "rpslyzer/rpsl/expr_parser.hpp"
+
+namespace rpslyzer::rpsl {
+namespace {
+
+using namespace rpslyzer::ir;
+
+struct Fixture {
+  util::Diagnostics diag;
+  ParseContext ctx{&diag, "aut-num:AS64500", "TEST", 1};
+};
+
+Filter parse(Fixture& f, std::string_view text) { return parse_filter(text, f.ctx); }
+
+TEST(FilterParser, Any) {
+  Fixture f;
+  EXPECT_TRUE(std::holds_alternative<FilterAny>(parse(f, "ANY").node));
+  EXPECT_TRUE(std::holds_alternative<FilterAny>(parse(f, "any").node));
+  EXPECT_TRUE(std::holds_alternative<FilterAny>(parse(f, "AS-ANY").node));
+  EXPECT_TRUE(std::holds_alternative<FilterAny>(parse(f, "RS-ANY").node));
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(FilterParser, PeerAsAndMartian) {
+  Fixture f;
+  EXPECT_TRUE(std::holds_alternative<FilterPeerAs>(parse(f, "PeerAS").node));
+  EXPECT_TRUE(std::holds_alternative<FilterPeerAs>(parse(f, "peeras").node));
+  EXPECT_TRUE(std::holds_alternative<FilterFltrMartian>(parse(f, "fltr-martian").node));
+}
+
+TEST(FilterParser, AsNum) {
+  Fixture f;
+  Filter flt = parse(f, "AS64500");
+  const auto* n = std::get_if<FilterAsNum>(&flt.node);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->asn, 64500u);
+  EXPECT_TRUE(n->op.is_none());
+
+  flt = parse(f, "AS64500^+");
+  const auto* n2 = std::get_if<FilterAsNum>(&flt.node);
+  ASSERT_NE(n2, nullptr);
+  EXPECT_EQ(n2->op, net::RangeOp::plus());
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(FilterParser, AsSetWithRangeOp) {
+  Fixture f;
+  Filter flt = parse(f, "AS-HANABI^24-32");
+  const auto* s = std::get_if<FilterAsSet>(&flt.node);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name, "AS-HANABI");
+  EXPECT_EQ(s->op, net::RangeOp::range(24, 32));
+}
+
+TEST(FilterParser, HierarchicalAsSetName) {
+  Fixture f;
+  Filter flt = parse(f, "AS8267:AS-KRAKOW-1014");
+  const auto* s = std::get_if<FilterAsSet>(&flt.node);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name, "AS8267:AS-KRAKOW-1014");
+}
+
+TEST(FilterParser, RouteSetWithNonStandardRangeOp) {
+  // The paper's Appendix B: range operators applied to route-sets are
+  // non-standard but supported.
+  Fixture f;
+  Filter flt = parse(f, "RS-MYROUTES^24");
+  const auto* s = std::get_if<FilterRouteSet>(&flt.node);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name, "RS-MYROUTES");
+  EXPECT_EQ(s->op, net::RangeOp::exact(24));
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(FilterParser, FilterSetRef) {
+  Fixture f;
+  Filter flt = parse(f, "FLTR-BOGONS");
+  EXPECT_NE(std::get_if<FilterFilterSet>(&flt.node), nullptr);
+}
+
+TEST(FilterParser, PrefixSet) {
+  Fixture f;
+  Filter flt = parse(f, "{ 192.0.2.0/24^+, 2001:db8::/32^48 }");
+  const auto* p = std::get_if<FilterPrefixes>(&flt.node);
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->prefixes.size(), 2u);
+  EXPECT_EQ(p->prefixes.ranges()[0].prefix.to_string(), "192.0.2.0/24");
+  EXPECT_EQ(p->prefixes.ranges()[1].op, net::RangeOp::exact(48));
+  EXPECT_TRUE(p->op.is_none());
+}
+
+TEST(FilterParser, EmptyPrefixSet) {
+  Fixture f;
+  Filter flt = parse(f, "{}");
+  const auto* p = std::get_if<FilterPrefixes>(&flt.node);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->prefixes.empty());
+}
+
+TEST(FilterParser, PrefixSetWithSetLevelOp) {
+  Fixture f;
+  Filter flt = parse(f, "{ 0.0.0.0/0 }^24-32");
+  const auto* p = std::get_if<FilterPrefixes>(&flt.node);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->op, net::RangeOp::range(24, 32));
+}
+
+TEST(FilterParser, AsPathRegex) {
+  Fixture f;
+  Filter flt = parse(f, "<^AS13911 AS6327+$>");
+  const auto* r = std::get_if<FilterAsPath>(&flt.node);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(to_string(r->regex), "<^AS13911 AS6327+$>");
+  EXPECT_FALSE(uses_skipped_constructs(r->regex));
+}
+
+TEST(FilterParser, AsPathRegexWithSkippedConstructs) {
+  Fixture f;
+  Filter flt = parse(f, "<[AS64496-AS64511]>");
+  const auto* r = std::get_if<FilterAsPath>(&flt.node);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(uses_skipped_constructs(r->regex));
+
+  flt = parse(f, "<AS1~*>");
+  const auto* r2 = std::get_if<FilterAsPath>(&flt.node);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_TRUE(uses_skipped_constructs(r2->regex));
+}
+
+TEST(FilterParser, CommunityCall) {
+  Fixture f;
+  Filter flt = parse(f, "community(65535:666)");
+  const auto* c = std::get_if<FilterCommunity>(&flt.node);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->method.empty());
+  ASSERT_EQ(c->args.size(), 1u);
+  EXPECT_EQ(c->args[0], "65535:666");
+
+  flt = parse(f, "community.contains(65535:0, 65535:1)");
+  const auto* c2 = std::get_if<FilterCommunity>(&flt.node);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(c2->method, "contains");
+  EXPECT_EQ(c2->args.size(), 2u);
+}
+
+TEST(FilterParser, BooleanOperators) {
+  Fixture f;
+  Filter flt = parse(f, "ANY AND NOT {0.0.0.0/0, ::/0}");
+  const auto* a = std::get_if<FilterAnd>(&flt.node);
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(std::holds_alternative<FilterAny>(a->left->node));
+  const auto* n = std::get_if<FilterNot>(&a->right->node);
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(std::holds_alternative<FilterPrefixes>(n->inner->node));
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(FilterParser, PrecedenceOrBelowAnd) {
+  Fixture f;
+  // a OR b AND c == a OR (b AND c)
+  Filter flt = parse(f, "AS1 OR AS2 AND AS3");
+  const auto* o = std::get_if<FilterOr>(&flt.node);
+  ASSERT_NE(o, nullptr);
+  EXPECT_NE(std::get_if<FilterAsNum>(&o->left->node), nullptr);
+  EXPECT_NE(std::get_if<FilterAnd>(&o->right->node), nullptr);
+}
+
+TEST(FilterParser, ParenthesesOverridePrecedence) {
+  Fixture f;
+  Filter flt = parse(f, "(AS1 OR AS2) AND AS3");
+  const auto* a = std::get_if<FilterAnd>(&flt.node);
+  ASSERT_NE(a, nullptr);
+  EXPECT_NE(std::get_if<FilterOr>(&a->left->node), nullptr);
+}
+
+TEST(FilterParser, DoubleNegation) {
+  Fixture f;
+  Filter flt = parse(f, "NOT NOT AS1");
+  const auto* n = std::get_if<FilterNot>(&flt.node);
+  ASSERT_NE(n, nullptr);
+  EXPECT_NE(std::get_if<FilterNot>(&n->inner->node), nullptr);
+}
+
+TEST(FilterParser, Example199284Pieces) {
+  // Fragments of the AS199284 rule from the paper's Appendix A.
+  Fixture f;
+  Filter flt = parse(f, "{ 0.0.0.0/0^24 } AND NOT community(65535:666)");
+  EXPECT_NE(std::get_if<FilterAnd>(&flt.node), nullptr);
+
+  flt = parse(f, "NOT AS199284^+");
+  const auto* n = std::get_if<FilterNot>(&flt.node);
+  ASSERT_NE(n, nullptr);
+  const auto* inner = std::get_if<FilterAsNum>(&n->inner->node);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->op, net::RangeOp::plus());
+
+  flt = parse(f, "AS-IKS AND <AS-IKS+$>");
+  EXPECT_NE(std::get_if<FilterAnd>(&flt.node), nullptr);
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(FilterParser, BarePrefixFilter) {
+  Fixture f;
+  Filter flt = parse(f, "192.0.2.0/24^+");
+  const auto* p = std::get_if<FilterPrefixes>(&flt.node);
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->prefixes.size(), 1u);
+  EXPECT_EQ(p->prefixes.ranges()[0].op, net::RangeOp::plus());
+}
+
+TEST(FilterParser, ErrorsYieldUnknownWithDiagnostics) {
+  Fixture f;
+  Filter flt = parse(f, "THIS-IS-NOT-VALID");
+  EXPECT_NE(std::get_if<FilterUnknown>(&flt.node), nullptr);
+  EXPECT_FALSE(f.diag.empty());
+}
+
+TEST(FilterParser, BrokenPrefixListRecovers) {
+  Fixture f;
+  Filter flt = parse(f, "{ 192.0.2.0/24, , 198.51.100.0/24 }");
+  const auto* p = std::get_if<FilterPrefixes>(&flt.node);
+  // The broken list is reported but the filter falls back to Unknown since
+  // parsing was not clean.
+  EXPECT_EQ(p, nullptr);
+  EXPECT_NE(std::get_if<FilterUnknown>(&flt.node), nullptr);
+  EXPECT_GE(f.diag.all().size(), 1u);
+}
+
+TEST(FilterParser, TrailingGarbageYieldsUnknown) {
+  Fixture f;
+  Filter flt = parse(f, "ANY extra-stuff");
+  EXPECT_NE(std::get_if<FilterUnknown>(&flt.node), nullptr);
+  EXPECT_FALSE(f.diag.empty());
+}
+
+TEST(FilterParser, EmptyFilterIsError) {
+  Fixture f;
+  Filter flt = parse(f, "   ");
+  EXPECT_NE(std::get_if<FilterUnknown>(&flt.node), nullptr);
+  EXPECT_EQ(f.diag.all().size(), 1u);
+}
+
+TEST(FilterParser, ToStringRoundTripShape) {
+  Fixture f;
+  Filter flt = parse(f, "(AS1 OR AS-FOO^+) AND NOT {10.0.0.0/8^16-24}");
+  // Rendering and reparsing yields the same tree.
+  Filter again = parse(f, to_string(flt));
+  EXPECT_EQ(flt, again);
+}
+
+}  // namespace
+}  // namespace rpslyzer::rpsl

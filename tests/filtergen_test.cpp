@@ -1,0 +1,167 @@
+#include "rpslyzer/filtergen/filtergen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/irr/loader.hpp"
+
+namespace rpslyzer::filtergen {
+namespace {
+
+struct Fixture {
+  util::Diagnostics diag;
+  ir::Ir ir;
+  irr::Index index;
+
+  Fixture()
+      : ir(irr::parse_dump(
+            "as-set: AS-CONE\nmembers: AS64500, AS-SUB\n\n"
+            "as-set: AS-SUB\nmembers: AS64502\n\n"
+            "as-set: AS-DANGLING\nmembers: AS64500, AS-GONE\n\n"
+            "route: 10.0.0.0/8\norigin: AS64500\n\n"
+            "route: 10.1.0.0/16\norigin: AS64500\n\n"
+            "route: 192.0.2.0/24\norigin: AS64502\n\n"
+            "route6: 2001:db8::/32\norigin: AS64500\n",
+            "TEST", diag)),
+        index(ir) {}
+};
+
+Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+
+TEST(FilterGen, SingleAsn) {
+  auto filter = generate(fx().index, "AS64500");
+  ASSERT_TRUE(filter);
+  EXPECT_EQ(filter->member_ases, 1u);
+  EXPECT_EQ(filter->route_objects, 2u);  // v4 only by default
+  ASSERT_EQ(filter->entries.size(), 2u);
+  EXPECT_EQ(filter->entries[0].prefix.to_string(), "10.0.0.0/8");
+  EXPECT_TRUE(filter->entries[0].exact());
+}
+
+TEST(FilterGen, AsSetResolvesRecursively) {
+  auto filter = generate(fx().index, "AS-CONE");
+  ASSERT_TRUE(filter);
+  EXPECT_EQ(filter->member_ases, 2u);
+  ASSERT_EQ(filter->entries.size(), 3u);
+  EXPECT_EQ(filter->entries[2].prefix.to_string(), "192.0.2.0/24");
+}
+
+TEST(FilterGen, Ipv6Family) {
+  FilterOptions options;
+  options.family = net::Family::kIpv6;
+  auto filter = generate(fx().index, "AS-CONE", options);
+  ASSERT_TRUE(filter);
+  ASSERT_EQ(filter->entries.size(), 1u);
+  EXPECT_EQ(filter->entries[0].prefix.to_string(), "2001:db8::/32");
+}
+
+TEST(FilterGen, UnknownObject) {
+  EXPECT_FALSE(generate(fx().index, "AS-NOPE"));
+  EXPECT_FALSE(generate(fx().index, "AS99"));
+}
+
+TEST(FilterGen, MissingSubSetsReported) {
+  auto filter = generate(fx().index, "AS-DANGLING");
+  ASSERT_TRUE(filter);
+  ASSERT_EQ(filter->missing_sets.size(), 1u);
+  EXPECT_EQ(filter->missing_sets[0], "AS-GONE");
+  EXPECT_EQ(filter->entries.size(), 2u);  // AS64500's prefixes still resolve
+}
+
+TEST(FilterGen, RangeOperatorAppliesToEntries) {
+  FilterOptions options;
+  options.range_op = net::RangeOp::range(24, 32);
+  auto filter = generate(fx().index, "AS64500", options);
+  ASSERT_TRUE(filter);
+  // 10.0.0.0/8^24-32 -> ge 24 le 32; 10.1.0.0/16^24-32 likewise.
+  for (const auto& e : filter->entries) {
+    EXPECT_EQ(e.ge, 24);
+    EXPECT_EQ(e.le, 32);
+  }
+}
+
+TEST(FilterGen, PlusOperator) {
+  FilterOptions options;
+  options.range_op = net::RangeOp::plus();
+  auto filter = generate(fx().index, "AS64500", options);
+  ASSERT_TRUE(filter);
+  EXPECT_EQ(filter->entries[0].ge, 8);
+  EXPECT_EQ(filter->entries[0].le, 32);
+}
+
+TEST(FilterGen, Aggregation) {
+  // With ^+ the /16 inside the /8 is redundant.
+  FilterOptions options;
+  options.range_op = net::RangeOp::plus();
+  options.aggregate = true;
+  auto filter = generate(fx().index, "AS64500", options);
+  ASSERT_TRUE(filter);
+  ASSERT_EQ(filter->entries.size(), 1u);
+  EXPECT_EQ(filter->entries[0].prefix.to_string(), "10.0.0.0/8");
+
+  // Without an operator the exact /16 is NOT covered by the exact /8.
+  FilterOptions exact;
+  exact.aggregate = true;
+  auto unaggregated = generate(fx().index, "AS64500", exact);
+  ASSERT_TRUE(unaggregated);
+  EXPECT_EQ(unaggregated->entries.size(), 2u);
+}
+
+TEST(FilterGen, AggregateFunctionDirectly) {
+  std::vector<FilterEntry> entries;
+  entries.push_back({*net::Prefix::parse("10.0.0.0/8"), 8, 24});
+  entries.push_back({*net::Prefix::parse("10.5.0.0/16"), 16, 24});  // covered
+  entries.push_back({*net::Prefix::parse("10.6.0.0/16"), 16, 32});  // le exceeds cover
+  entries.push_back({*net::Prefix::parse("11.0.0.0/8"), 0, 0});     // disjoint
+  auto out = aggregate(entries);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].prefix.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(out[1].prefix.to_string(), "10.6.0.0/16");
+  EXPECT_EQ(out[2].prefix.to_string(), "11.0.0.0/8");
+}
+
+TEST(FilterGen, CiscoRendering) {
+  FilterOptions options;
+  options.range_op = net::RangeOp::range(9, 24);
+  auto filter = generate(fx().index, "AS64500", options);
+  ASSERT_TRUE(filter);
+  std::string config = render_cisco_prefix_list(*filter, "CONE-IN");
+  EXPECT_NE(config.find("ip prefix-list CONE-IN seq 5 permit 10.0.0.0/8 ge 9 le 24"),
+            std::string::npos);
+  // Exact entries render without ge/le.
+  auto exact = generate(fx().index, "AS64502");
+  std::string exact_config = render_cisco_prefix_list(*exact, "X");
+  EXPECT_NE(exact_config.find("permit 192.0.2.0/24\n"), std::string::npos);
+}
+
+TEST(FilterGen, JuniperRendering) {
+  FilterOptions options;
+  options.range_op = net::RangeOp::plus();
+  auto filter = generate(fx().index, "AS64502", options);
+  std::string config = render_juniper_route_filter(*filter, "from-cone");
+  EXPECT_NE(config.find("policy-statement from-cone {"), std::string::npos);
+  EXPECT_NE(config.find("route-filter 192.0.2.0/24 upto /32;"), std::string::npos);
+  auto exact = generate(fx().index, "AS64502");
+  EXPECT_NE(render_juniper_route_filter(*exact, "p").find("192.0.2.0/24 exact;"),
+            std::string::npos);
+}
+
+TEST(FilterGen, BirdRendering) {
+  auto filter = generate(fx().index, "AS64500");
+  std::string config = render_bird_prefix_set(*filter, "cone_v4");
+  EXPECT_EQ(config, "define cone_v4 = [ 10.0.0.0/8, 10.1.0.0/16 ];\n");
+  GeneratedFilter empty;
+  EXPECT_EQ(render_bird_prefix_set(empty, "e"), "define e = [];\n");
+}
+
+TEST(FilterGen, PlainRendering) {
+  FilterOptions options;
+  options.range_op = net::RangeOp::range(24, 32);
+  auto filter = generate(fx().index, "AS64502", options);
+  EXPECT_EQ(render_plain(*filter), "192.0.2.0/24^24-32\n");
+}
+
+}  // namespace
+}  // namespace rpslyzer::filtergen

@@ -1,0 +1,264 @@
+// End-to-end pipeline test: synthetic Internet -> RPSL text -> parse ->
+// index -> verify BGP dumps -> aggregate, checking that the phenomena the
+// generator planted are recovered by the analyses (the repo-level analogue
+// of the paper's §4/§5 experiments, at small scale).
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/report/aggregate.hpp"
+#include "rpslyzer/rpslyzer.hpp"
+#include "rpslyzer/stats/census.hpp"
+#include "rpslyzer/synth/generator.hpp"
+
+namespace rpslyzer {
+namespace {
+
+synth::SynthConfig small_config() {
+  synth::SynthConfig config;
+  config.seed = 7;
+  config.tier1_count = 4;
+  config.tier2_count = 10;
+  config.tier3_count = 30;
+  config.stub_count = 120;
+  config.collectors = 4;
+  config.decorative_empty_sets = 6;
+  config.decorative_singleton_sets = 10;
+  config.syntax_error_objects = 8;
+  return config;
+}
+
+struct Pipeline {
+  synth::InternetGenerator generator;
+  Rpslyzer lyzer;
+  std::vector<std::string> bgp;
+
+  explicit Pipeline(const synth::SynthConfig& config)
+      : generator(config),
+        lyzer([&] {
+          std::vector<std::pair<std::string, std::string>> ordered;
+          for (const auto& name : synth::irr_names()) {
+            ordered.emplace_back(name, generator.irr_dumps().at(name));
+          }
+          return Rpslyzer::from_texts(ordered, generator.caida_serial1());
+        }()),
+        bgp(generator.bgp_dumps()) {}
+};
+
+Pipeline& pipeline() {
+  static Pipeline p(small_config());
+  return p;
+}
+
+TEST(Integration, TopologyShape) {
+  const auto& topo = pipeline().generator.topology();
+  EXPECT_EQ(topo.size(), 4u + 10u + 30u + 120u);
+  // Everyone except Tier-1 has at least one provider.
+  for (const auto& as : topo.ases()) {
+    if (as.tier == synth::Tier::kTier1) {
+      EXPECT_TRUE(as.providers.empty());
+      EXPECT_EQ(as.peers.size(), 3u);  // clique of 4
+    } else {
+      EXPECT_FALSE(as.providers.empty());
+    }
+    EXPECT_FALSE(as.prefixes.empty());
+  }
+  // Tier-1 clique is the relationship DB's clique.
+  EXPECT_EQ(topo.relations().tier1().size(), 4u);
+}
+
+TEST(Integration, DumpsParseWithPlannedAdoptionGaps) {
+  const auto& p = pipeline();
+  const auto& plan = p.generator.plan();
+  const auto& ir = p.lyzer.ir();
+
+  // Every AS with a planned aut-num parses into the IR; missing ones don't.
+  for (const auto& as : p.generator.topology().ases()) {
+    const bool missing = plan.missing_aut_num.contains(as.asn);
+    EXPECT_EQ(ir.aut_nums.contains(as.asn), !missing) << as.asn;
+  }
+  // Planned zero-rule aut-nums really have no rules.
+  for (synth::Asn asn : plan.zero_rules) {
+    auto it = ir.aut_nums.find(asn);
+    ASSERT_NE(it, ir.aut_nums.end());
+    EXPECT_TRUE(it->second.imports.empty());
+    EXPECT_TRUE(it->second.exports.empty());
+  }
+  // Syntax errors were injected and diagnosed.
+  stats::ErrorCensus errors = stats::ErrorCensus::compute(p.lyzer.diagnostics(), ir);
+  EXPECT_GE(errors.syntax_errors, plan.syntax_errors_injected / 2);
+  EXPECT_GE(errors.invalid_as_set_names, 3u);
+  EXPECT_GE(errors.invalid_route_set_names, 4u);
+}
+
+TEST(Integration, Table1CountsAddUp) {
+  const auto& p = pipeline();
+  std::size_t aut_nums = 0;
+  std::size_t routes = 0;
+  std::size_t imports = 0;
+  for (const auto& counts : p.lyzer.irr_counts()) {
+    aut_nums += counts.aut_nums;
+    routes += counts.routes;
+    imports += counts.imports;
+  }
+  EXPECT_GT(aut_nums, 0u);
+  EXPECT_GT(imports, 0u);
+  // Raw route objects (with cross-IRR duplicates) vs deduped corpus.
+  EXPECT_EQ(routes, p.lyzer.raw_route_objects());
+  EXPECT_GE(p.lyzer.raw_route_objects(), p.lyzer.ir().routes.size());
+  // 13 IRRs reported even if some dumps are small.
+  EXPECT_EQ(p.lyzer.irr_counts().size(), 13u);
+}
+
+TEST(Integration, BgpDumpsFollowValleyFreePaths) {
+  const auto& p = pipeline();
+  const auto& relations = p.generator.relations();
+  std::size_t routes_seen = 0;
+  for (const auto& dump : p.bgp) {
+    for (const auto& route : bgp::parse_table_dump(dump)) {
+      ++routes_seen;
+      // Valley-free: once the path goes downhill (provider->customer) or
+      // flat (peer), it never goes uphill again. Walk origin -> collector.
+      bool seen_downhill_or_peer = false;
+      for (std::size_t i = route.path.size() - 1; i > 0; --i) {
+        const auto from = route.path[i];      // exporter
+        const auto to = route.path[i - 1];    // importer
+        auto rel = relations.between(from, to);
+        ASSERT_NE(rel, relations::Relationship::kNone)
+            << from << "->" << to << " not adjacent";
+        if (rel == relations::Relationship::kCustomer) {
+          // exporting to one's provider: uphill, must be before any turn
+          EXPECT_FALSE(seen_downhill_or_peer) << "valley in path";
+        } else {
+          seen_downhill_or_peer = true;
+        }
+      }
+    }
+  }
+  EXPECT_GT(routes_seen, 1000u);
+}
+
+TEST(Integration, VerificationRecoversPlantedPhenomena) {
+  const auto& p = pipeline();
+  verify::Verifier verifier = p.lyzer.verifier();
+  report::Aggregator agg;
+  for (const auto& dump : p.bgp) {
+    for (const auto& route : bgp::parse_table_dump(dump)) {
+      agg.add(route, verifier.verify_route(route));
+    }
+  }
+  ASSERT_GT(agg.total_checks(), 0u);
+
+  // All six statuses appear somewhere.
+  report::StatusCounts totals;
+  for (const auto& [asn, counts] : agg.as_combined()) totals.merge(counts);
+  EXPECT_GT(totals.of(verify::Status::kVerified), 0u);
+  EXPECT_GT(totals.of(verify::Status::kUnrecorded), 0u);
+  EXPECT_GT(totals.of(verify::Status::kRelaxed), 0u);
+  EXPECT_GT(totals.of(verify::Status::kSafelisted), 0u);
+  EXPECT_GT(totals.of(verify::Status::kUnverified), 0u);
+
+  // The paper's headline shape: sizable unrecorded share; verified beats
+  // unverified among covered interconnections is not guaranteed at this
+  // scale, but verified must be a substantial share.
+  const double verified_share =
+      double(totals.of(verify::Status::kVerified)) / double(totals.total());
+  EXPECT_GT(verified_share, 0.10);
+
+  // Per-AS unrecorded categories (Figure 5): missing aut-nums dominate.
+  std::size_t missing_autnum_ases = 0;
+  for (const auto& [asn, categories] : agg.unrecorded()) {
+    if (categories[size_t(report::UnrecordedCategory::kMissingAutNum)] > 0) {
+      ++missing_autnum_ases;
+      EXPECT_TRUE(p.generator.plan().missing_aut_num.contains(asn)) << asn;
+    }
+  }
+  EXPECT_GT(missing_autnum_ases, 0u);
+
+  // Special cases (Figure 6): export-self and import-customer fire only
+  // for ASes that planted those shapes.
+  std::size_t export_self_ases = 0;
+  std::size_t import_customer_ases = 0;
+  for (const auto& [asn, categories] : agg.special_cases()) {
+    if (categories[size_t(report::SpecialCategory::kExportSelf)] > 0) {
+      ++export_self_ases;
+      EXPECT_TRUE(p.generator.plan().export_self_misuse.contains(asn)) << asn;
+    }
+    if (categories[size_t(report::SpecialCategory::kImportCustomer)] > 0) {
+      ++import_customer_ases;
+      EXPECT_TRUE(p.generator.plan().import_customer_misuse.contains(asn)) << asn;
+    }
+  }
+  EXPECT_GT(export_self_ases, 0u);
+  EXPECT_GT(import_customer_ases, 0u);
+
+  // Appendix E extraction agrees with the plan (subset: only declared
+  // rules survive neighbor-coverage sampling).
+  stats::MisusePatterns patterns = stats::MisusePatterns::compute(p.lyzer.ir());
+  for (synth::Asn asn : patterns.export_self) {
+    const auto& topo_as = *p.generator.topology().find(asn);
+    if (topo_as.is_transit()) {
+      EXPECT_TRUE(p.generator.plan().export_self_misuse.contains(asn)) << asn;
+    }
+  }
+}
+
+TEST(Integration, StrictModeNeverUpgrades) {
+  // Disabling relaxations/safelists can only move checks toward
+  // Unverified — the §5.1 ablation.
+  const auto& p = pipeline();
+  verify::VerifyOptions strict;
+  strict.relaxations = false;
+  strict.safelists = false;
+  verify::Verifier relaxed_verifier = p.lyzer.verifier();
+  verify::Verifier strict_verifier = p.lyzer.verifier(strict);
+
+  std::size_t relaxed_unverified = 0;
+  std::size_t strict_unverified = 0;
+  std::size_t checked = 0;
+  for (const auto& route : bgp::parse_table_dump(p.bgp.front())) {
+    if (++checked > 500) break;
+    auto relaxed_hops = relaxed_verifier.verify_route(route);
+    auto strict_hops = strict_verifier.verify_route(route);
+    ASSERT_EQ(relaxed_hops.size(), strict_hops.size());
+    for (std::size_t i = 0; i < relaxed_hops.size(); ++i) {
+      for (auto which : {&verify::HopCheck::export_result, &verify::HopCheck::import_result}) {
+        const auto relaxed_status = (relaxed_hops[i].*which).status;
+        const auto strict_status = (strict_hops[i].*which).status;
+        if (relaxed_status == verify::Status::kUnverified) ++relaxed_unverified;
+        if (strict_status == verify::Status::kUnverified) ++strict_unverified;
+        // A strict Verified/Skip/Unrecorded must be identical in both.
+        if (strict_status == verify::Status::kVerified ||
+            strict_status == verify::Status::kSkip) {
+          EXPECT_EQ(relaxed_status, strict_status);
+        }
+        // Relaxed/Safelisted only exist with the special cases on.
+        EXPECT_NE(strict_status, verify::Status::kRelaxed);
+        EXPECT_NE(strict_status, verify::Status::kSafelisted);
+      }
+    }
+  }
+  EXPECT_GT(strict_unverified, relaxed_unverified);
+}
+
+TEST(Integration, IrJsonRoundTripOnRealCorpus) {
+  const auto& p = pipeline();
+  json::Value exported = p.lyzer.export_ir();
+  ir::Ir round_tripped = ir::ir_from_json(exported);
+  EXPECT_EQ(round_tripped, p.lyzer.ir());
+}
+
+TEST(Integration, WriteToDiskAndReload) {
+  const auto& p = pipeline();
+  const auto dir = std::filesystem::temp_directory_path() / "rpslyzer-itest";
+  std::filesystem::remove_all(dir);
+  const std::size_t files = p.generator.write_to(dir);
+  EXPECT_EQ(files, 13u + 1u + p.generator.collector_peers().size());
+
+  Rpslyzer reloaded = Rpslyzer::from_files(dir, dir / "relationships.txt");
+  EXPECT_EQ(reloaded.ir(), p.lyzer.ir());
+  EXPECT_EQ(reloaded.relations().tier1(), p.lyzer.relations().tier1());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rpslyzer

@@ -1,0 +1,95 @@
+#include "rpslyzer/net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpslyzer::net {
+namespace {
+
+TEST(IpAddress, ParseV4) {
+  auto a = IpAddress::parse("192.0.2.1");
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(a->is_v4());
+  EXPECT_EQ(a->v4_value(), 0xC0000201u);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(IpAddress, ParseV4Invalid) {
+  EXPECT_FALSE(IpAddress::parse("192.0.2"));
+  EXPECT_FALSE(IpAddress::parse("192.0.2.256"));
+  EXPECT_FALSE(IpAddress::parse("192.0.2.1.5"));
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d"));
+  EXPECT_FALSE(IpAddress::parse(""));
+  EXPECT_FALSE(IpAddress::parse("192.0.2.1 "));
+  EXPECT_FALSE(IpAddress::parse("0192.0.2.1"));  // >3 digits
+}
+
+TEST(IpAddress, ParseV6Full) {
+  auto a = IpAddress::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(a->is_v4());
+  EXPECT_EQ(a->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->lo(), 0x0000000000000001ULL);
+  EXPECT_EQ(a->to_string(), "2001:db8::1");
+}
+
+TEST(IpAddress, ParseV6Compressed) {
+  EXPECT_EQ(IpAddress::parse("::")->to_string(), "::");
+  EXPECT_EQ(IpAddress::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(IpAddress::parse("2001:db8::")->to_string(), "2001:db8::");
+  EXPECT_EQ(IpAddress::parse("fe80::1:2")->to_string(), "fe80::1:2");
+  // Longest zero-run wins the compression.
+  EXPECT_EQ(IpAddress::parse("1:0:0:2:0:0:0:3")->to_string(), "1:0:0:2::3");
+}
+
+TEST(IpAddress, ParseV6EmbeddedV4) {
+  auto a = IpAddress::parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->lo(), 0x0000ffffc0000201ULL);
+}
+
+TEST(IpAddress, ParseV6Invalid) {
+  EXPECT_FALSE(IpAddress::parse(":::"));
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7"));        // too few groups
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8:9"));    // too many groups
+  EXPECT_FALSE(IpAddress::parse("1::2::3"));              // two compressions
+  EXPECT_FALSE(IpAddress::parse("12345::"));              // group too wide
+  EXPECT_FALSE(IpAddress::parse("g::1"));                 // bad hex
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8::"));    // :: covering zero groups
+  EXPECT_FALSE(IpAddress::parse("::ffff:192.0.2.1:17"));  // v4 tail not last
+}
+
+TEST(IpAddress, Bit) {
+  auto a = IpAddress::v4(0x80000001u);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_TRUE(a.bit(31));
+  auto b = IpAddress::v6(0, 1);
+  EXPECT_TRUE(b.bit(127));
+  EXPECT_FALSE(b.bit(126));
+  auto c = IpAddress::v6(1ULL << 63, 0);
+  EXPECT_TRUE(c.bit(0));
+}
+
+TEST(IpAddress, Masked) {
+  auto a = *IpAddress::parse("192.0.2.255");
+  EXPECT_EQ(a.masked(24).to_string(), "192.0.2.0");
+  EXPECT_EQ(a.masked(0).to_string(), "0.0.0.0");
+  EXPECT_EQ(a.masked(32).to_string(), "192.0.2.255");
+
+  auto b = *IpAddress::parse("2001:db8:ffff:ffff:ffff:ffff:ffff:ffff");
+  EXPECT_EQ(b.masked(32).to_string(), "2001:db8::");
+  EXPECT_EQ(b.masked(64).to_string(), "2001:db8:ffff:ffff::");
+  EXPECT_EQ(b.masked(65).to_string(), "2001:db8:ffff:ffff:8000::");
+  EXPECT_EQ(b.masked(128), b);
+}
+
+TEST(IpAddress, Ordering) {
+  auto v4 = *IpAddress::parse("255.255.255.255");
+  auto v6 = *IpAddress::parse("::");
+  EXPECT_LT(v4, v6);  // families sort v4 < v6
+  EXPECT_LT(*IpAddress::parse("10.0.0.1"), *IpAddress::parse("10.0.0.2"));
+  EXPECT_LT(*IpAddress::parse("2001:db8::1"), *IpAddress::parse("2001:db8::2"));
+}
+
+}  // namespace
+}  // namespace rpslyzer::net

@@ -1,0 +1,111 @@
+// Round-trip property tests for the IR's JSON export (§3: the IR "can
+// export it to JSON files for integration with other tools").
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/ir/json_io.hpp"
+#include "rpslyzer/rpsl/object_lexer.hpp"
+#include "rpslyzer/rpsl/object_parser.hpp"
+
+namespace rpslyzer::ir {
+namespace {
+
+/// Parse RPSL text into an Ir via the real pipeline.
+Ir corpus(std::string_view text) {
+  util::Diagnostics diag;
+  Ir ir;
+  for (const auto& raw : rpsl::lex_objects(text, "TEST", diag)) {
+    rpsl::ParsedObject parsed = rpsl::parse_object(raw, diag);
+    std::visit(util::overloaded{
+                   [](std::monostate) {},
+                   [&](AutNum& an) { ir.aut_nums.emplace(an.asn, std::move(an)); },
+                   [&](AsSet& s) { ir.as_sets.emplace(s.name, std::move(s)); },
+                   [&](RouteSet& s) { ir.route_sets.emplace(s.name, std::move(s)); },
+                   [&](PeeringSet& s) { ir.peering_sets.emplace(s.name, std::move(s)); },
+                   [&](FilterSet& s) { ir.filter_sets.emplace(s.name, std::move(s)); },
+                   [&](RouteObject& r) { ir.routes.push_back(std::move(r)); },
+               },
+               parsed);
+  }
+  return ir;
+}
+
+/// Round-trip through serialized JSON text (not just the Value tree).
+Ir round_trip(const Ir& ir) {
+  return ir_from_json(json::parse(json::dump(to_json(ir))));
+}
+
+// Parameterized over RPSL snippets covering every IR node kind.
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, Lossless) {
+  Ir ir = corpus(GetParam());
+  ASSERT_GT(ir.object_count(), 0u) << GetParam();
+  EXPECT_EQ(round_trip(ir), ir) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JsonRoundTrip,
+    ::testing::Values(
+        "aut-num: AS1\nas-name: X\nimport: from AS2 accept ANY\n",
+        "aut-num: AS1\nexport: to AS2 announce AS-FOO^24-32\n",
+        "aut-num: AS1\nimport: from AS2 action pref=100; med=50; accept AS2\n",
+        "aut-num: AS1\nimport: from AS2 action community.delete(1:2, 3:4); accept ANY\n",
+        "aut-num: AS1\nimport: from AS-A OR AS-B EXCEPT AS3 accept ANY\n",
+        "aut-num: AS1\nimport: from PRNG-SET accept ANY\n",
+        "aut-num: AS1\nimport: from AS2 192.0.2.1 at 192.0.2.2 accept ANY\n",
+        "aut-num: AS1\nmp-import: afi ipv4.unicast, ipv6.unicast from AS2 accept ANY\n",
+        "aut-num: AS1\nimport: from AS2 accept <^AS2 (AS3|AS4)* AS5{1,3} [AS6 AS7-AS9 "
+        "AS-X]+ .? PeerAS~*$>\n",
+        "aut-num: AS1\nimport: from AS2 accept {10.0.0.0/8^+, 2001:db8::/32^33-48}\n",
+        "aut-num: AS1\nimport: from AS2 accept ANY AND NOT (AS3 OR fltr-martian)\n",
+        "aut-num: AS1\nimport: from AS2 accept community(65535:666)\n",
+        "aut-num: AS1\nimport: from AS2 accept FLTR-MARTIANS OR RS-ROUTES^+\n",
+        "aut-num: AS1\nimport: from AS2 accept PeerAS\n",
+        "aut-num: AS1\nimport: { from AS2 accept ANY; from AS3 accept AS3; } EXCEPT afi "
+        "ipv6.unicast { from AS4 accept ANY; }\n",
+        "aut-num: AS1\nmp-import: afi any.unicast { from AS2 accept ANY; } REFINE afi "
+        "ipv4.unicast { from AS-ANY accept NOT {0.0.0.0/0}; }\n",
+        "aut-num: AS1\nimport: protocol BGP4 into OSPF from AS2 accept ANY\n",
+        "aut-num: AS1\nimport: from AS2 accept THIS-IS-GARBAGE\n",  // FilterUnknown
+        "aut-num: AS1\nmember-of: AS-FOO, AS-BAR\nmnt-by: M1, M2\n",
+        "as-set: AS-X\nmembers: AS1, AS2:AS-SUB, ANY\nmbrs-by-ref: M1\nmnt-by: M2\n",
+        "as-set: AS-EMPTY\n",
+        "route-set: RS-X\nmembers: 10.0.0.0/8^16-24, RS-Y^+, AS-Z^24, AS5, "
+        "RS-ANY\nmp-members: 2001:db8::/32\nmbrs-by-ref: ANY\n",
+        "peering-set: PRNG-X\npeering: AS1 at 192.0.2.1\nmp-peering: AS-GROUP\n",
+        "filter-set: FLTR-X\nfilter: { 192.0.2.0/24^+ }\nmp-filter: NOT fltr-martian\n",
+        "route: 192.0.2.0/24\norigin: AS1\nmember-of: RS-X\nmnt-by: M\n",
+        "route6: 2001:db8::/32\norigin: AS1\n"));
+
+TEST(IrJson, CompositeCorpus) {
+  Ir ir = corpus(
+      "aut-num: AS1\nimport: from AS2 accept ANY\n\n"
+      "as-set: AS-X\nmembers: AS1\n\n"
+      "route-set: RS-X\nmembers: 10.0.0.0/8\n\n"
+      "peering-set: PRNG-X\npeering: AS1\n\n"
+      "filter-set: FLTR-X\nfilter: ANY\n\n"
+      "route: 192.0.2.0/24\norigin: AS1\n");
+  EXPECT_EQ(ir.object_count(), 6u);
+  EXPECT_EQ(round_trip(ir), ir);
+  // The export is a JSON object with all six top-level collections.
+  json::Value v = to_json(ir);
+  for (const char* key :
+       {"aut-nums", "as-sets", "route-sets", "peering-sets", "filter-sets", "routes"}) {
+    EXPECT_NE(v.find(key), nullptr) << key;
+  }
+}
+
+TEST(IrJson, EmptyIr) {
+  Ir ir;
+  EXPECT_EQ(round_trip(ir), ir);
+}
+
+TEST(IrJson, MalformedJsonRejected) {
+  EXPECT_THROW(ir_from_json(json::parse(R"({"aut-nums":{"notanumber":{}}})")),
+               json::JsonError);
+  EXPECT_THROW(ir_from_json(json::parse(R"({})")), json::JsonError);
+}
+
+}  // namespace
+}  // namespace rpslyzer::ir

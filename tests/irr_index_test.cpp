@@ -1,0 +1,319 @@
+#include "rpslyzer/irr/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/irr/loader.hpp"
+
+namespace rpslyzer::irr {
+namespace {
+
+using net::Prefix;
+using net::RangeOp;
+
+Prefix pfx(std::string_view text) {
+  auto p = Prefix::parse(text);
+  EXPECT_TRUE(p) << text;
+  return *p;
+}
+
+/// Parse a dump into an Ir for test setup.
+ir::Ir corpus(std::string_view text) {
+  util::Diagnostics diag;
+  ir::Ir ir = parse_dump(text, "TEST", diag);
+  EXPECT_TRUE(diag.empty());
+  return ir;
+}
+
+TEST(IrrLoader, CountsPerSource) {
+  util::Diagnostics diag;
+  IrrCounts counts;
+  counts.name = "X";
+  parse_dump(
+      "aut-num: AS1\nimport: from AS2 accept ANY\nmp-import: from AS2 accept ANY\n"
+      "export: to AS2 announce AS1\n\n"
+      "route: 10.0.0.0/8\norigin: AS1\n\n"
+      "route6: 2001:db8::/32\norigin: AS1\n\n"
+      "as-set: AS-X\nmembers: AS1\n\n"
+      "route-set: RS-X\nmembers: 10.0.0.0/8\n\n"
+      "peering-set: PRNG-X\npeering: AS1\n\n"
+      "filter-set: FLTR-X\nfilter: ANY\n\n"
+      "person: irrelevant\n",
+      "X", diag, &counts);
+  EXPECT_EQ(counts.objects, 8u);
+  EXPECT_EQ(counts.aut_nums, 1u);
+  EXPECT_EQ(counts.imports, 2u);  // import + mp-import
+  EXPECT_EQ(counts.exports, 1u);
+  EXPECT_EQ(counts.routes, 2u);  // route + route6
+  EXPECT_EQ(counts.as_sets, 1u);
+  EXPECT_EQ(counts.route_sets, 1u);
+  EXPECT_EQ(counts.peering_sets, 1u);
+  EXPECT_EQ(counts.filter_sets, 1u);
+}
+
+TEST(IrrLoader, MergePriorityFirstWins) {
+  util::Diagnostics diag;
+  ir::Ir high = parse_dump("aut-num: AS1\nas-name: FROM-HIGH\n", "HIGH", diag);
+  ir::Ir low = parse_dump(
+      "aut-num: AS1\nas-name: FROM-LOW\n\naut-num: AS2\nas-name: ONLY-LOW\n", "LOW", diag);
+  merge_into(high, std::move(low));
+  ASSERT_EQ(high.aut_nums.size(), 2u);
+  EXPECT_EQ(high.aut_nums.at(1).as_name, "FROM-HIGH");  // priority kept
+  EXPECT_EQ(high.aut_nums.at(2).as_name, "ONLY-LOW");
+}
+
+TEST(IrrLoader, MergeDedupsRoutesByPrefixOrigin) {
+  util::Diagnostics diag;
+  ir::Ir a = parse_dump("route: 10.0.0.0/8\norigin: AS1\n", "A", diag);
+  ir::Ir b = parse_dump(
+      "route: 10.0.0.0/8\norigin: AS1\n\nroute: 10.0.0.0/8\norigin: AS2\n", "B", diag);
+  merge_into(a, std::move(b));
+  // Same (prefix, origin) deduped; different origin kept (multi-origin
+  // prefixes are a §4 phenomenon, not an error).
+  EXPECT_EQ(a.routes.size(), 2u);
+}
+
+TEST(IrrLoader, Table1SourceOrder) {
+  auto sources = table1_sources("/tmp/irrs");
+  ASSERT_EQ(sources.size(), 13u);
+  EXPECT_EQ(sources.front().name, "APNIC");
+  EXPECT_EQ(sources[4].name, "RIPE");
+  EXPECT_EQ(sources[7].name, "RADB");
+  EXPECT_EQ(sources.back().name, "ALTDB");
+}
+
+TEST(IrrIndex, RouteOriginLookup) {
+  ir::Ir ir = corpus(
+      "route: 10.0.0.0/8\norigin: AS1\n\n"
+      "route: 10.1.0.0/16\norigin: AS1\n\n"
+      "route: 192.0.2.0/24\norigin: AS2\n");
+  Index index(ir);
+  EXPECT_EQ(index.origins_of(1).size(), 2u);
+  EXPECT_TRUE(index.has_routes(2));
+  EXPECT_FALSE(index.has_routes(3));
+  EXPECT_TRUE(index.asn_originates_exact(1, pfx("10.0.0.0/8")));
+  EXPECT_FALSE(index.asn_originates_exact(2, pfx("10.0.0.0/8")));
+
+  // Exact (no range op): only registered prefixes match.
+  EXPECT_EQ(index.origin_matches(1, RangeOp::none(), pfx("10.0.0.0/8")), Lookup::kMatch);
+  EXPECT_EQ(index.origin_matches(1, RangeOp::none(), pfx("10.0.0.0/9")), Lookup::kNoMatch);
+  // ^+ matches more specifics of a registered prefix.
+  EXPECT_EQ(index.origin_matches(1, RangeOp::plus(), pfx("10.200.1.0/24")), Lookup::kMatch);
+  EXPECT_EQ(index.origin_matches(1, RangeOp::minus(), pfx("10.0.0.0/8")), Lookup::kNoMatch);
+  // Zero-route AS: unknown, not a mismatch (unrecorded case 3 in §5).
+  EXPECT_EQ(index.origin_matches(3, RangeOp::none(), pfx("10.0.0.0/8")), Lookup::kUnknown);
+}
+
+TEST(IrrIndex, AsSetFlattening) {
+  ir::Ir ir = corpus(
+      "as-set: AS-TOP\nmembers: AS1, AS-MID\n\n"
+      "as-set: AS-MID\nmembers: AS2, AS-LEAF\n\n"
+      "as-set: AS-LEAF\nmembers: AS3\n");
+  Index index(ir);
+  const FlattenedAsSet* top = index.flattened("AS-TOP");
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->asns, (std::vector<ir::Asn>{1, 2, 3}));
+  EXPECT_EQ(top->depth, 2u);
+  EXPECT_FALSE(top->has_loop);
+  EXPECT_TRUE(top->missing_sets.empty());
+  EXPECT_TRUE(index.contains("AS-TOP", 3));
+  EXPECT_TRUE(index.contains("as-top", 3));  // names are case-insensitive
+  EXPECT_FALSE(index.contains("AS-LEAF", 1));
+  EXPECT_FALSE(index.is_known("AS-NOPE"));
+  EXPECT_EQ(index.flattened("AS-NOPE"), nullptr);
+}
+
+TEST(IrrIndex, AsSetLoops) {
+  ir::Ir ir = corpus(
+      "as-set: AS-A\nmembers: AS1, AS-B\n\n"
+      "as-set: AS-B\nmembers: AS2, AS-A\n");
+  Index index(ir);
+  const FlattenedAsSet* a = index.flattened("AS-A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->has_loop);
+  EXPECT_EQ(a->asns, (std::vector<ir::Asn>{1, 2}));
+  // B queried as a root must also see the full closure despite the cycle.
+  const FlattenedAsSet* b = index.flattened("AS-B");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->asns, (std::vector<ir::Asn>{1, 2}));
+  EXPECT_TRUE(b->has_loop);
+  // Repeat queries are stable.
+  EXPECT_EQ(index.flattened("AS-A")->asns, (std::vector<ir::Asn>{1, 2}));
+}
+
+TEST(IrrIndex, SelfLoop) {
+  ir::Ir ir = corpus("as-set: AS-SELF\nmembers: AS7, AS-SELF\n");
+  Index index(ir);
+  const FlattenedAsSet* s = index.flattened("AS-SELF");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->has_loop);
+  EXPECT_EQ(s->asns, (std::vector<ir::Asn>{7}));
+}
+
+TEST(IrrIndex, MissingSubSetsRecorded) {
+  ir::Ir ir = corpus("as-set: AS-TOP\nmembers: AS1, AS-GONE\n");
+  Index index(ir);
+  const FlattenedAsSet* top = index.flattened("AS-TOP");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->missing_sets.size(), 1u);
+  EXPECT_EQ(top->missing_sets[0], "AS-GONE");
+}
+
+TEST(IrrIndex, MembersByRefAsSet) {
+  ir::Ir ir = corpus(
+      "as-set: AS-COOP\nmembers: AS1\nmbrs-by-ref: MAINT-GOOD\n\n"
+      "aut-num: AS2\nmember-of: AS-COOP\nmnt-by: MAINT-GOOD\n\n"
+      "aut-num: AS3\nmember-of: AS-COOP\nmnt-by: MAINT-EVIL\n\n"
+      "aut-num: AS4\nmember-of: AS-OTHER\nmnt-by: MAINT-GOOD\n");
+  Index index(ir);
+  const FlattenedAsSet* coop = index.flattened("AS-COOP");
+  ASSERT_NE(coop, nullptr);
+  // AS2 joins (maintainer admitted); AS3 rejected (wrong maintainer);
+  // AS4 claims a different set.
+  EXPECT_EQ(coop->asns, (std::vector<ir::Asn>{1, 2}));
+}
+
+TEST(IrrIndex, MembersByRefAnyAdmitsAllClaims) {
+  ir::Ir ir = corpus(
+      "as-set: AS-OPEN\nmbrs-by-ref: ANY\n\n"
+      "aut-num: AS9\nmember-of: AS-OPEN\nmnt-by: WHOEVER\n");
+  Index index(ir);
+  EXPECT_EQ(index.flattened("AS-OPEN")->asns, (std::vector<ir::Asn>{9}));
+}
+
+TEST(IrrIndex, MemberOfIgnoredWithoutMbrsByRef) {
+  ir::Ir ir = corpus(
+      "as-set: AS-CLOSED\nmembers: AS1\n\n"
+      "aut-num: AS2\nmember-of: AS-CLOSED\nmnt-by: M\n");
+  Index index(ir);
+  EXPECT_EQ(index.flattened("AS-CLOSED")->asns, (std::vector<ir::Asn>{1}));
+}
+
+TEST(IrrIndex, AsSetOriginates) {
+  ir::Ir ir = corpus(
+      "as-set: AS-CONE\nmembers: AS1, AS2\n\n"
+      "route: 10.0.0.0/8\norigin: AS1\n\n"
+      "route: 192.0.2.0/24\norigin: AS2\n\n"
+      "as-set: AS-EMPTYISH\nmembers: AS3\n");
+  Index index(ir);
+  EXPECT_EQ(index.as_set_originates("AS-CONE", RangeOp::none(), pfx("192.0.2.0/24")),
+            Lookup::kMatch);
+  EXPECT_EQ(index.as_set_originates("AS-CONE", RangeOp::plus(), pfx("10.3.0.0/16")),
+            Lookup::kMatch);
+  EXPECT_EQ(index.as_set_originates("AS-CONE", RangeOp::none(), pfx("172.16.0.0/12")),
+            Lookup::kNoMatch);
+  // Undefined set.
+  EXPECT_EQ(index.as_set_originates("AS-GONE", RangeOp::none(), pfx("10.0.0.0/8")),
+            Lookup::kUnknown);
+  // Defined set whose members all lack route objects: missing information.
+  EXPECT_EQ(index.as_set_originates("AS-EMPTYISH", RangeOp::none(), pfx("10.0.0.0/8")),
+            Lookup::kUnknown);
+}
+
+TEST(IrrIndex, RouteSetPrefixMembers) {
+  ir::Ir ir = corpus(
+      "route-set: RS-X\nmembers: 192.0.2.0/24^+, 10.0.0.0/8\n");
+  Index index(ir);
+  EXPECT_EQ(index.route_set_matches("RS-X", RangeOp::none(), pfx("192.0.2.0/25")),
+            Lookup::kMatch);
+  EXPECT_EQ(index.route_set_matches("RS-X", RangeOp::none(), pfx("10.0.0.0/8")), Lookup::kMatch);
+  EXPECT_EQ(index.route_set_matches("RS-X", RangeOp::none(), pfx("10.0.0.0/9")),
+            Lookup::kNoMatch);
+  EXPECT_EQ(index.route_set_matches("RS-GONE", RangeOp::none(), pfx("10.0.0.0/8")),
+            Lookup::kUnknown);
+}
+
+TEST(IrrIndex, RouteSetOuterOpNonStandard) {
+  // Appendix B: "we allow a route-set to be followed by prefix-range
+  // operators ^n and ^n-m, and apply the range to all prefixes in the set."
+  ir::Ir ir = corpus("route-set: RS-X\nmembers: 10.0.0.0/8\n");
+  Index index(ir);
+  EXPECT_EQ(index.route_set_matches("RS-X", RangeOp::range(24, 32), pfx("10.1.2.0/24")),
+            Lookup::kMatch);
+  EXPECT_EQ(index.route_set_matches("RS-X", RangeOp::range(24, 32), pfx("10.0.0.0/8")),
+            Lookup::kNoMatch);
+  EXPECT_EQ(index.route_set_matches("RS-X", RangeOp::exact(16), pfx("10.55.0.0/16")),
+            Lookup::kMatch);
+}
+
+TEST(IrrIndex, RouteSetNestedAndCyclic) {
+  ir::Ir ir = corpus(
+      "route-set: RS-TOP\nmembers: RS-SUB, 192.0.2.0/24\n\n"
+      "route-set: RS-SUB\nmembers: 10.0.0.0/8^16, RS-TOP\n");
+  Index index(ir);
+  EXPECT_EQ(index.route_set_matches("RS-TOP", RangeOp::none(), pfx("10.7.0.0/16")),
+            Lookup::kMatch);
+  EXPECT_EQ(index.route_set_matches("RS-SUB", RangeOp::none(), pfx("192.0.2.0/24")),
+            Lookup::kMatch);
+  // The cycle terminates and unmatched prefixes come back NoMatch.
+  EXPECT_EQ(index.route_set_matches("RS-TOP", RangeOp::none(), pfx("172.16.0.0/12")),
+            Lookup::kNoMatch);
+}
+
+TEST(IrrIndex, RouteSetWithAsnAndAsSetMembers) {
+  ir::Ir ir = corpus(
+      "route-set: RS-MIX\nmembers: AS1, AS-CONE^+\n\n"
+      "as-set: AS-CONE\nmembers: AS2\n\n"
+      "route: 192.0.2.0/24\norigin: AS1\n\n"
+      "route: 10.0.0.0/8\norigin: AS2\n");
+  Index index(ir);
+  // AS1's registered prefix.
+  EXPECT_EQ(index.route_set_matches("RS-MIX", RangeOp::none(), pfx("192.0.2.0/24")),
+            Lookup::kMatch);
+  // AS-CONE^+ admits more specifics of AS2's prefix.
+  EXPECT_EQ(index.route_set_matches("RS-MIX", RangeOp::none(), pfx("10.9.0.0/16")),
+            Lookup::kMatch);
+  EXPECT_EQ(index.route_set_matches("RS-MIX", RangeOp::none(), pfx("172.16.0.0/12")),
+            Lookup::kNoMatch);
+}
+
+TEST(IrrIndex, RouteSetMembersByRef) {
+  ir::Ir ir = corpus(
+      "route-set: RS-COOP\nmbrs-by-ref: MAINT-A\n\n"
+      "route: 10.0.0.0/8\norigin: AS1\nmember-of: RS-COOP\nmnt-by: MAINT-A\n\n"
+      "route: 192.0.2.0/24\norigin: AS2\nmember-of: RS-COOP\nmnt-by: MAINT-B\n");
+  Index index(ir);
+  EXPECT_EQ(index.route_set_matches("RS-COOP", RangeOp::none(), pfx("10.0.0.0/8")),
+            Lookup::kMatch);
+  // Wrong maintainer: the claim is ignored.
+  EXPECT_EQ(index.route_set_matches("RS-COOP", RangeOp::none(), pfx("192.0.2.0/24")),
+            Lookup::kNoMatch);
+}
+
+TEST(IrrIndex, RouteSetZeroRouteAsnIsUnknown) {
+  ir::Ir ir = corpus("route-set: RS-X\nmembers: AS42\n");
+  Index index(ir);
+  EXPECT_EQ(index.route_set_matches("RS-X", RangeOp::none(), pfx("10.0.0.0/8")),
+            Lookup::kUnknown);
+}
+
+TEST(IrrIndex, RouteSetAnyMember) {
+  ir::Ir ir = corpus("route-set: RS-WILD\nmembers: RS-ANY\n");
+  Index index(ir);
+  EXPECT_EQ(index.route_set_matches("RS-WILD", RangeOp::none(), pfx("203.0.113.0/24")),
+            Lookup::kMatch);
+}
+
+TEST(IrrIndex, MpMembersMatchV6) {
+  ir::Ir ir = corpus("route-set: RS-V6\nmp-members: 2001:db8::/32^+\n");
+  Index index(ir);
+  EXPECT_EQ(index.route_set_matches("RS-V6", RangeOp::none(), pfx("2001:db8:1::/48")),
+            Lookup::kMatch);
+  EXPECT_EQ(index.route_set_matches("RS-V6", RangeOp::none(), pfx("2001:db9::/32")),
+            Lookup::kNoMatch);
+}
+
+TEST(IrrIndex, ObjectLookupsCaseInsensitive) {
+  ir::Ir ir = corpus(
+      "peering-set: PRNG-X\npeering: AS1\n\n"
+      "filter-set: FLTR-Y\nfilter: ANY\n\n"
+      "aut-num: AS5\n");
+  Index index(ir);
+  EXPECT_NE(index.peering_set("prng-x"), nullptr);
+  EXPECT_NE(index.filter_set("fltr-y"), nullptr);
+  EXPECT_EQ(index.peering_set("PRNG-Z"), nullptr);
+  EXPECT_NE(index.aut_num(5), nullptr);
+  EXPECT_EQ(index.aut_num(6), nullptr);
+}
+
+}  // namespace
+}  // namespace rpslyzer::irr

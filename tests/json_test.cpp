@@ -1,0 +1,91 @@
+#include "rpslyzer/json/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpslyzer::json {
+namespace {
+
+TEST(Json, DumpScalars) {
+  EXPECT_EQ(dump(Value(nullptr)), "null");
+  EXPECT_EQ(dump(Value(true)), "true");
+  EXPECT_EQ(dump(Value(false)), "false");
+  EXPECT_EQ(dump(Value(42)), "42");
+  EXPECT_EQ(dump(Value(-7)), "-7");
+  EXPECT_EQ(dump(Value("hi")), "\"hi\"");
+}
+
+TEST(Json, DumpEscapes) {
+  EXPECT_EQ(dump(Value("a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(dump(Value(std::string("\x01", 1))), "\"\\u0001\"");
+}
+
+TEST(Json, DumpContainers) {
+  Object o;
+  o["b"] = Value(1);
+  o["a"] = Value(Array{Value(1), Value("x")});
+  // Keys are sorted for deterministic output.
+  EXPECT_EQ(dump(Value(std::move(o))), R"({"a":[1,"x"],"b":1})");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("-12").as_int(), -12);
+  EXPECT_DOUBLE_EQ(parse("2.5e1").as_double(), 25.0);
+  EXPECT_EQ(parse("\"a b\"").as_string(), "a b");
+}
+
+TEST(Json, ParseNested) {
+  Value v = parse(R"({"as": [1, 2, {"deep": "yes"}], "n": null})");
+  EXPECT_EQ(v.at("as").at(2).at("deep").as_string(), "yes");
+  EXPECT_TRUE(v.at("n").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ParseStringEscapes) {
+  EXPECT_EQ(parse(R"("A\t")").as_string(), "A\t");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");  // UTF-8 é
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(parse(""), JsonError);
+  EXPECT_THROW(parse("{"), JsonError);
+  EXPECT_THROW(parse("[1,]"), JsonError);
+  EXPECT_THROW(parse("tru"), JsonError);
+  EXPECT_THROW(parse("1 2"), JsonError);
+  EXPECT_THROW(parse("\"unterminated"), JsonError);
+  EXPECT_THROW(parse("{\"a\":1,}"), JsonError);
+}
+
+TEST(Json, TypeErrors) {
+  Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), JsonError);
+  EXPECT_THROW(v.at("k"), JsonError);
+  EXPECT_THROW(v.at(5), JsonError);
+  EXPECT_THROW(parse("1.5").as_int(), JsonError);
+  EXPECT_EQ(parse("2.0").as_int(), 2);  // integral double converts
+}
+
+TEST(Json, RoundTrip) {
+  const std::string text =
+      R"({"a":[1,2.5,"x",null,true],"b":{"c":[],"d":{}},"e":-9007199254740991})";
+  Value v = parse(text);
+  EXPECT_EQ(dump(v), text);
+  // Pretty output parses back to the same document.
+  EXPECT_EQ(parse(dump_pretty(v)), v);
+}
+
+TEST(Json, Int64RoundTrip) {
+  Value v = parse("9223372036854775807");
+  EXPECT_EQ(v.as_int(), INT64_MAX);
+  EXPECT_EQ(dump(v), "9223372036854775807");
+}
+
+TEST(Json, OperatorBracketBuildsObjects) {
+  Value v;
+  v["x"]["y"] = Value(3);
+  EXPECT_EQ(v.at("x").at("y").as_int(), 3);
+}
+
+}  // namespace
+}  // namespace rpslyzer::json

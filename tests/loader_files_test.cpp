@@ -1,0 +1,92 @@
+// File-based loading: table1_sources ordering, missing-dump tolerance, and
+// cross-IRR priority resolution through actual files on disk.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/irr/loader.hpp"
+
+namespace rpslyzer::irr {
+namespace {
+
+class LoaderFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rpslyzer-loader-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write(const std::string& name, const std::string& text) {
+    std::ofstream out(dir_ / name, std::ios::binary);
+    out << text;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LoaderFiles, LoadsInPriorityOrderFirstWins) {
+  // APNIC outranks RIPE outranks RADB (Table 1 order).
+  write("apnic.db", "aut-num: AS1\nas-name: FROM-APNIC\n");
+  write("ripe.db",
+        "aut-num: AS1\nas-name: FROM-RIPE\n\n"
+        "aut-num: AS2\nas-name: RIPE-ONLY\n");
+  write("radb.db",
+        "aut-num: AS2\nas-name: FROM-RADB\n\n"
+        "route: 10.0.0.0/8\norigin: AS1\n");
+
+  LoadResult result = load_irrs(table1_sources(dir_));
+  ASSERT_EQ(result.ir.aut_nums.size(), 2u);
+  EXPECT_EQ(result.ir.aut_nums.at(1).as_name, "FROM-APNIC");
+  EXPECT_EQ(result.ir.aut_nums.at(1).source, "APNIC");
+  EXPECT_EQ(result.ir.aut_nums.at(2).as_name, "RIPE-ONLY");
+  EXPECT_EQ(result.ir.routes.size(), 1u);
+
+  // Per-IRR counts keep raw (pre-merge) numbers.
+  ASSERT_EQ(result.counts.size(), 13u);
+  EXPECT_EQ(result.counts[0].name, "APNIC");
+  EXPECT_EQ(result.counts[0].aut_nums, 1u);
+  EXPECT_EQ(result.counts[4].name, "RIPE");
+  EXPECT_EQ(result.counts[4].aut_nums, 2u);
+}
+
+TEST_F(LoaderFiles, MissingDumpsAreWarnedAndSkipped) {
+  write("ripe.db", "aut-num: AS1\n");
+  LoadResult result = load_irrs(table1_sources(dir_));
+  EXPECT_EQ(result.ir.aut_nums.size(), 1u);
+  // 12 missing-dump warnings, no hard errors.
+  std::size_t warnings = 0;
+  for (const auto& d : result.diagnostics.all()) {
+    if (d.severity == util::Severity::kWarning) ++warnings;
+  }
+  EXPECT_EQ(warnings, 12u);
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+}
+
+TEST_F(LoaderFiles, RouteDedupAcrossIrrsKeepsFirst) {
+  write("apnic.db", "route: 10.0.0.0/8\norigin: AS1\nmnt-by: APNIC-MNT\n");
+  write("radb.db",
+        "route: 10.0.0.0/8\norigin: AS1\nmnt-by: RADB-MNT\n\n"
+        "route: 10.0.0.0/8\norigin: AS2\n");
+  LoadResult result = load_irrs(table1_sources(dir_));
+  EXPECT_EQ(result.raw_route_objects, 3u);
+  ASSERT_EQ(result.ir.routes.size(), 2u);  // (10/8, AS1) deduped
+  // The higher-priority (APNIC) registration survives.
+  for (const auto& route : result.ir.routes) {
+    if (route.origin == 1) EXPECT_EQ(route.source, "APNIC");
+  }
+}
+
+TEST_F(LoaderFiles, EmptyDirectoryYieldsEmptyCorpus) {
+  LoadResult result = load_irrs(table1_sources(dir_));
+  EXPECT_EQ(result.ir.object_count(), 0u);
+  EXPECT_EQ(result.counts.size(), 13u);
+}
+
+}  // namespace
+}  // namespace rpslyzer::irr

@@ -1,0 +1,162 @@
+#include "rpslyzer/rpsl/object_lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpslyzer::rpsl {
+namespace {
+
+std::vector<RawObject> lex(std::string_view text, util::Diagnostics& diag) {
+  return lex_objects(text, "TEST", diag);
+}
+
+TEST(ObjectLexer, SingleObject) {
+  util::Diagnostics diag;
+  auto objects = lex(
+      "aut-num: AS64500\n"
+      "as-name: EXAMPLE\n"
+      "import: from AS64501 accept ANY\n",
+      diag);
+  ASSERT_EQ(objects.size(), 1u);
+  const RawObject& obj = objects[0];
+  EXPECT_EQ(obj.class_name, "aut-num");
+  EXPECT_EQ(obj.key, "AS64500");
+  EXPECT_EQ(obj.source, "TEST");
+  EXPECT_EQ(obj.line, 1u);
+  ASSERT_EQ(obj.attributes.size(), 3u);
+  EXPECT_EQ(obj.first("as-name"), "EXAMPLE");
+  EXPECT_EQ(obj.first("import"), "from AS64501 accept ANY");
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(ObjectLexer, MultipleObjectsBlankLineSeparated) {
+  util::Diagnostics diag;
+  auto objects = lex(
+      "route: 192.0.2.0/24\norigin: AS64500\n"
+      "\n\n"
+      "route: 198.51.100.0/24\norigin: AS64501\n",
+      diag);
+  ASSERT_EQ(objects.size(), 2u);
+  EXPECT_EQ(objects[0].key, "192.0.2.0/24");
+  EXPECT_EQ(objects[1].key, "198.51.100.0/24");
+  EXPECT_EQ(objects[1].line, 5u);
+}
+
+TEST(ObjectLexer, ContinuationLines) {
+  util::Diagnostics diag;
+  auto objects = lex(
+      "aut-num: AS64500\n"
+      "import: from AS64501\n"
+      "        action pref=100;\n"
+      "\taccept ANY\n"
+      "export: to AS64501\n"
+      "+ announce AS64500\n",
+      diag);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].first("import"), "from AS64501 action pref=100; accept ANY");
+  EXPECT_EQ(objects[0].first("export"), "to AS64501 announce AS64500");
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(ObjectLexer, CommentsStripped) {
+  util::Diagnostics diag;
+  auto objects = lex(
+      "aut-num: AS64500 # the key\n"
+      "import: from AS64501 # neighbor\n"
+      "        accept ANY # everything\n",
+      diag);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].key, "AS64500");
+  EXPECT_EQ(objects[0].first("import"), "from AS64501 accept ANY");
+}
+
+TEST(ObjectLexer, CommentOnlyLineKeepsObjectOpen) {
+  util::Diagnostics diag;
+  auto objects = lex(
+      "aut-num: AS64500\n"
+      "# interleaved comment\n"
+      "as-name: EXAMPLE\n",
+      diag);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].first("as-name"), "EXAMPLE");
+}
+
+TEST(ObjectLexer, PercentLinesIgnored) {
+  util::Diagnostics diag;
+  auto objects = lex(
+      "% This is the RIPE Database query service.\n"
+      "aut-num: AS64500\n"
+      "% Information related to 'AS64500'\n"
+      "as-name: EXAMPLE\n",
+      diag);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].attributes.size(), 2u);
+}
+
+TEST(ObjectLexer, RepeatedAttributesKeepOrder) {
+  util::Diagnostics diag;
+  auto objects = lex(
+      "aut-num: AS64500\n"
+      "import: from AS1 accept ANY\n"
+      "export: to AS1 announce AS64500\n"
+      "import: from AS2 accept AS2\n",
+      diag);
+  ASSERT_EQ(objects.size(), 1u);
+  auto imports = objects[0].all("import");
+  ASSERT_EQ(imports.size(), 2u);
+  EXPECT_EQ(imports[0], "from AS1 accept ANY");
+  EXPECT_EQ(imports[1], "from AS2 accept AS2");
+}
+
+TEST(ObjectLexer, AttributeNamesLowercased) {
+  util::Diagnostics diag;
+  auto objects = lex("AUT-NUM: AS64500\nAS-NAME: X\n", diag);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].class_name, "aut-num");
+  EXPECT_EQ(objects[0].first("as-name"), "X");
+}
+
+TEST(ObjectLexer, MalformedLinesRaiseDiagnostics) {
+  util::Diagnostics diag;
+  auto objects = lex(
+      "aut-num: AS64500\n"
+      "this line has no colon\n"
+      "as-name: OK\n",
+      diag);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].first("as-name"), "OK");
+  ASSERT_EQ(diag.all().size(), 1u);
+  EXPECT_EQ(diag.all()[0].kind, util::DiagnosticKind::kSyntaxError);
+  EXPECT_EQ(diag.all()[0].location.line, 2u);
+  EXPECT_EQ(diag.all()[0].location.source, "TEST");
+}
+
+TEST(ObjectLexer, ContinuationOutsideObjectIsError) {
+  util::Diagnostics diag;
+  auto objects = lex("   dangling continuation\nroute: 192.0.2.0/24\norigin: AS1\n", diag);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(diag.all().size(), 1u);
+}
+
+TEST(ObjectLexer, MissingTrailingNewline) {
+  util::Diagnostics diag;
+  auto objects = lex("route: 192.0.2.0/24\norigin: AS64500", diag);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].first("origin"), "AS64500");
+}
+
+TEST(ObjectLexer, CrLfLineEndings) {
+  util::Diagnostics diag;
+  auto objects = lex("route: 192.0.2.0/24\r\norigin: AS64500\r\n", diag);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].first("origin"), "AS64500");
+}
+
+TEST(ObjectLexer, EmptyInput) {
+  util::Diagnostics diag;
+  EXPECT_TRUE(lex("", diag).empty());
+  EXPECT_TRUE(lex("\n\n\n", diag).empty());
+  EXPECT_TRUE(lex("% remarks only\n", diag).empty());
+}
+
+}  // namespace
+}  // namespace rpslyzer::rpsl

@@ -1,0 +1,118 @@
+// Parallel verification must be byte-for-byte identical to the serial
+// engine: same statuses, same report items, same order.
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/rpslyzer.hpp"
+#include "rpslyzer/synth/generator.hpp"
+#include "rpslyzer/verify/parallel.hpp"
+
+namespace rpslyzer::verify {
+namespace {
+
+struct Pipeline {
+  synth::InternetGenerator generator;
+  Rpslyzer lyzer;
+  std::vector<bgp::Route> routes;
+
+  Pipeline()
+      : generator([] {
+          synth::SynthConfig config;
+          config.seed = 21;
+          config.tier1_count = 4;
+          config.tier2_count = 10;
+          config.tier3_count = 30;
+          config.stub_count = 150;
+          config.collectors = 6;
+          return config;
+        }()),
+        lyzer([&] {
+          std::vector<std::pair<std::string, std::string>> ordered;
+          for (const auto& name : synth::irr_names()) {
+            ordered.emplace_back(name, generator.irr_dumps().at(name));
+          }
+          return Rpslyzer::from_texts(ordered, generator.caida_serial1());
+        }()) {
+    for (const auto& dump : generator.bgp_dumps()) {
+      for (auto& route : bgp::parse_table_dump(dump)) routes.push_back(std::move(route));
+    }
+  }
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+bool same_check(const CheckResult& a, const CheckResult& b) {
+  return a.status == b.status && a.items == b.items;
+}
+
+TEST(ParallelVerify, MatchesSerialExactly) {
+  auto& p = pipeline();
+  ASSERT_GT(p.routes.size(), 1000u);
+
+  Verifier serial(p.lyzer.index(), p.lyzer.relations());
+  auto parallel =
+      verify_routes_parallel(p.lyzer.index(), p.lyzer.relations(), p.routes, {}, 4);
+  ASSERT_EQ(parallel.size(), p.routes.size());
+  for (std::size_t i = 0; i < p.routes.size(); ++i) {
+    auto expected = serial.verify_route(p.routes[i]);
+    ASSERT_EQ(parallel[i].size(), expected.size()) << i;
+    for (std::size_t h = 0; h < expected.size(); ++h) {
+      EXPECT_EQ(parallel[i][h].from, expected[h].from);
+      EXPECT_EQ(parallel[i][h].to, expected[h].to);
+      EXPECT_TRUE(same_check(parallel[i][h].export_result, expected[h].export_result))
+          << "route " << i << " hop " << h;
+      EXPECT_TRUE(same_check(parallel[i][h].import_result, expected[h].import_result))
+          << "route " << i << " hop " << h;
+    }
+  }
+}
+
+TEST(ParallelVerify, SingleThreadAndEmptyInput) {
+  auto& p = pipeline();
+  std::vector<bgp::Route> empty;
+  EXPECT_TRUE(verify_routes_parallel(p.lyzer.index(), p.lyzer.relations(), empty).empty());
+
+  std::vector<bgp::Route> few(p.routes.begin(), p.routes.begin() + 3);
+  auto one_thread =
+      verify_routes_parallel(p.lyzer.index(), p.lyzer.relations(), few, {}, 1);
+  EXPECT_EQ(one_thread.size(), 3u);
+}
+
+TEST(ParallelVerify, OptionsPropagate) {
+  auto& p = pipeline();
+  std::vector<bgp::Route> sample(p.routes.begin(),
+                                 p.routes.begin() + std::min<std::size_t>(500, p.routes.size()));
+  VerifyOptions strict;
+  strict.relaxations = false;
+  strict.safelists = false;
+  auto strict_results =
+      verify_routes_parallel(p.lyzer.index(), p.lyzer.relations(), sample, strict, 3);
+  for (const auto& hops : strict_results) {
+    for (const auto& hop : hops) {
+      EXPECT_NE(hop.import_result.status, Status::kRelaxed);
+      EXPECT_NE(hop.import_result.status, Status::kSafelisted);
+      EXPECT_NE(hop.export_result.status, Status::kRelaxed);
+      EXPECT_NE(hop.export_result.status, Status::kSafelisted);
+    }
+  }
+}
+
+TEST(IndexPrewarm, StabilizesTaint) {
+  // After prewarm, repeated flattening queries return stable pointers.
+  auto& p = pipeline();
+  p.lyzer.index().prewarm();
+  std::vector<const irr::FlattenedAsSet*> first;
+  for (const auto& [name, set] : p.lyzer.ir().as_sets) {
+    first.push_back(p.lyzer.index().flattened(name));
+  }
+  std::size_t i = 0;
+  for (const auto& [name, set] : p.lyzer.ir().as_sets) {
+    EXPECT_EQ(p.lyzer.index().flattened(name), first[i++]) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rpslyzer::verify

@@ -1,0 +1,218 @@
+#include "rpslyzer/net/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/net/martians.hpp"
+#include "rpslyzer/net/prefix_set.hpp"
+#include "rpslyzer/net/prefix_trie.hpp"
+
+namespace rpslyzer::net {
+namespace {
+
+Prefix pfx(std::string_view text) {
+  auto p = Prefix::parse(text);
+  EXPECT_TRUE(p) << text;
+  return *p;
+}
+
+TEST(Prefix, ParseAndNormalize) {
+  EXPECT_EQ(pfx("192.0.2.129/25").to_string(), "192.0.2.128/25");  // host bits masked
+  EXPECT_EQ(pfx("192.0.2.1").to_string(), "192.0.2.1/32");         // bare address
+  EXPECT_EQ(pfx("2001:db8::/32").to_string(), "2001:db8::/32");
+  EXPECT_EQ(pfx("::/0").to_string(), "::/0");
+}
+
+TEST(Prefix, ParseInvalid) {
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/33"));
+  EXPECT_FALSE(Prefix::parse("2001:db8::/129"));
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/"));
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/-1"));
+  EXPECT_FALSE(Prefix::parse("bogus/24"));
+  EXPECT_FALSE(Prefix::parse(""));
+}
+
+TEST(Prefix, Covers) {
+  EXPECT_TRUE(pfx("10.0.0.0/8").covers(pfx("10.1.0.0/16")));
+  EXPECT_TRUE(pfx("10.0.0.0/8").covers(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(pfx("10.1.0.0/16").covers(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(pfx("10.0.0.0/8").covers(pfx("11.0.0.0/16")));
+  EXPECT_FALSE(pfx("0.0.0.0/0").covers(pfx("::/0")));  // families differ
+  EXPECT_TRUE(pfx("::/0").covers(pfx("2001:db8::/32")));
+}
+
+TEST(Prefix, ContainsAddress) {
+  EXPECT_TRUE(pfx("192.0.2.0/24").contains(*IpAddress::parse("192.0.2.77")));
+  EXPECT_FALSE(pfx("192.0.2.0/24").contains(*IpAddress::parse("192.0.3.77")));
+}
+
+TEST(RangeOp, Parse) {
+  EXPECT_EQ(RangeOp::parse("-"), RangeOp::minus());
+  EXPECT_EQ(RangeOp::parse("+"), RangeOp::plus());
+  EXPECT_EQ(RangeOp::parse("24"), RangeOp::exact(24));
+  EXPECT_EQ(RangeOp::parse("24-32"), RangeOp::range(24, 32));
+  EXPECT_FALSE(RangeOp::parse("32-24"));  // inverted
+  EXPECT_FALSE(RangeOp::parse(""));
+  EXPECT_FALSE(RangeOp::parse("x"));
+}
+
+TEST(RangeOp, NoneMatchesExactOnly) {
+  auto base = pfx("10.0.0.0/16");
+  EXPECT_TRUE(matches(base, RangeOp::none(), pfx("10.0.0.0/16")));
+  EXPECT_FALSE(matches(base, RangeOp::none(), pfx("10.0.0.0/17")));
+  EXPECT_FALSE(matches(base, RangeOp::none(), pfx("10.0.0.0/15")));
+}
+
+TEST(RangeOp, MinusExcludesSelf) {
+  auto base = pfx("10.0.0.0/16");
+  EXPECT_FALSE(matches(base, RangeOp::minus(), pfx("10.0.0.0/16")));
+  EXPECT_TRUE(matches(base, RangeOp::minus(), pfx("10.0.0.0/17")));
+  EXPECT_TRUE(matches(base, RangeOp::minus(), pfx("10.0.1.1/32")));
+  // A host prefix has no strict more-specifics.
+  EXPECT_FALSE(matches(pfx("10.0.0.1/32"), RangeOp::minus(), pfx("10.0.0.1/32")));
+}
+
+TEST(RangeOp, PlusIncludesSelf) {
+  auto base = pfx("10.0.0.0/16");
+  EXPECT_TRUE(matches(base, RangeOp::plus(), pfx("10.0.0.0/16")));
+  EXPECT_TRUE(matches(base, RangeOp::plus(), pfx("10.0.128.0/17")));
+  EXPECT_FALSE(matches(base, RangeOp::plus(), pfx("10.0.0.0/15")));
+  EXPECT_FALSE(matches(base, RangeOp::plus(), pfx("11.0.0.0/24")));
+}
+
+TEST(RangeOp, ExactLength) {
+  auto base = pfx("10.0.0.0/16");
+  EXPECT_TRUE(matches(base, RangeOp::exact(24), pfx("10.0.55.0/24")));
+  EXPECT_FALSE(matches(base, RangeOp::exact(24), pfx("10.0.55.0/25")));
+  // ^16 applied to a /16 selects the prefix itself (RFC 2622 example).
+  EXPECT_TRUE(matches(base, RangeOp::exact(16), pfx("10.0.0.0/16")));
+  // ^8 applied to a /16 selects nothing.
+  EXPECT_FALSE(matches(base, RangeOp::exact(8), pfx("10.0.0.0/16")));
+  EXPECT_FALSE(matches(base, RangeOp::exact(8), pfx("10.0.0.0/8")));
+}
+
+TEST(RangeOp, RangeClampsLowerBound) {
+  auto base = pfx("10.0.0.0/16");
+  // ^8-24 on a /16 behaves like ^16-24.
+  EXPECT_TRUE(matches(base, RangeOp::range(8, 24), pfx("10.0.0.0/16")));
+  EXPECT_TRUE(matches(base, RangeOp::range(8, 24), pfx("10.0.55.0/24")));
+  EXPECT_FALSE(matches(base, RangeOp::range(8, 24), pfx("10.0.55.0/25")));
+}
+
+TEST(RangeOp, LengthIntervalEdgeCases) {
+  EXPECT_EQ(length_interval(RangeOp::minus(), 32, Family::kIpv4), std::nullopt);
+  EXPECT_EQ(length_interval(RangeOp::plus(), 128, Family::kIpv6),
+            std::make_pair(std::uint8_t{128}, std::uint8_t{128}));
+  // Upper bound clamps to the family maximum.
+  EXPECT_EQ(length_interval(RangeOp::range(24, 200), 16, Family::kIpv4),
+            std::make_pair(std::uint8_t{24}, std::uint8_t{32}));
+}
+
+TEST(RangeOp, Composition) {
+  auto base = pfx("10.0.0.0/8");
+  // {10/8^10-12}^14-16 == 10/8^14-16
+  EXPECT_TRUE(matches_composed(base, RangeOp::range(10, 12), RangeOp::range(14, 16),
+                               pfx("10.1.0.0/16")));
+  EXPECT_FALSE(matches_composed(base, RangeOp::range(10, 12), RangeOp::range(14, 16),
+                                pfx("10.64.0.0/12")));
+  // {10/8^14-16}^10-12 is empty.
+  EXPECT_EQ(composed_interval(RangeOp::range(14, 16), RangeOp::range(10, 12), 8, Family::kIpv4),
+            std::nullopt);
+  // ^+ on ^- stays exclusive of the base.
+  EXPECT_FALSE(matches_composed(base, RangeOp::minus(), RangeOp::plus(), pfx("10.0.0.0/8")));
+  EXPECT_TRUE(matches_composed(base, RangeOp::minus(), RangeOp::plus(), pfx("10.0.0.0/9")));
+  // ^- on ^- requires two levels deeper.
+  EXPECT_FALSE(matches_composed(base, RangeOp::minus(), RangeOp::minus(), pfx("10.0.0.0/9")));
+  EXPECT_TRUE(matches_composed(base, RangeOp::minus(), RangeOp::minus(), pfx("10.0.0.0/10")));
+  // Outer none keeps the inner interval.
+  EXPECT_TRUE(matches_composed(base, RangeOp::plus(), RangeOp::none(), pfx("10.0.0.0/8")));
+}
+
+TEST(PrefixRange, Parse) {
+  auto r = PrefixRange::parse("5.0.0.0/8^24-32");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->prefix.to_string(), "5.0.0.0/8");
+  EXPECT_EQ(r->op, RangeOp::range(24, 32));
+  EXPECT_TRUE(r->matches(pfx("5.5.5.0/24")));
+  EXPECT_FALSE(r->matches(pfx("5.5.0.0/16")));
+
+  EXPECT_FALSE(PrefixRange::parse("5.0.0.0/8^bogus"));
+  EXPECT_FALSE(PrefixRange::parse("^24"));
+  ASSERT_TRUE(PrefixRange::parse(" 10.0.0.0/8 "));  // whitespace tolerated
+}
+
+TEST(PrefixSet, Matching) {
+  PrefixSet set;
+  set.add(*PrefixRange::parse("10.0.0.0/8^+"));
+  set.add(*PrefixRange::parse("2001:db8::/32"));
+  EXPECT_TRUE(set.matches(pfx("10.2.3.0/24")));
+  EXPECT_TRUE(set.matches(pfx("2001:db8::/32")));
+  EXPECT_FALSE(set.matches(pfx("2001:db8::/48")));  // no op: exact only
+  EXPECT_FALSE(set.matches(pfx("11.0.0.0/8")));
+  EXPECT_EQ(set.to_string(), "{10.0.0.0/8^+, 2001:db8::/32}");
+}
+
+TEST(PrefixSet, MatchesWithOuterOp) {
+  PrefixSet set;
+  set.add(*PrefixRange::parse("10.0.0.0/8"));
+  // {10.0.0.0/8}^24 — the non-standard set-level operator.
+  EXPECT_TRUE(set.matches_with(RangeOp::exact(24), pfx("10.1.2.0/24")));
+  EXPECT_FALSE(set.matches_with(RangeOp::exact(24), pfx("10.0.0.0/8")));
+}
+
+TEST(PrefixTrie, ExactAndLongestMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  trie.insert(pfx("2001:db8::/32"), 6);
+
+  EXPECT_EQ(*trie.exact(pfx("10.0.0.0/8")), 8);
+  EXPECT_EQ(trie.exact(pfx("10.0.0.0/9")), nullptr);
+
+  auto lm = trie.longest_match(pfx("10.1.2.0/24"));
+  ASSERT_TRUE(lm);
+  EXPECT_EQ(lm->first.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(*lm->second, 16);
+
+  lm = trie.longest_match(pfx("10.200.0.0/16"));
+  ASSERT_TRUE(lm);
+  EXPECT_EQ(*lm->second, 8);
+
+  EXPECT_FALSE(trie.longest_match(pfx("11.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+TEST(PrefixTrie, ForEachCover) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 0);
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  std::vector<int> seen;
+  trie.for_each_cover(pfx("10.1.0.0/16"), [&](const Prefix&, int v) {
+    seen.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 8, 16}));
+}
+
+TEST(Martians, V4) {
+  EXPECT_TRUE(is_martian(pfx("10.1.2.0/24")));
+  EXPECT_TRUE(is_martian(pfx("192.168.0.0/16")));
+  EXPECT_TRUE(is_martian(pfx("127.0.0.1/32")));
+  EXPECT_TRUE(is_martian(pfx("224.0.0.0/4")));
+  EXPECT_TRUE(is_martian(pfx("240.0.0.0/4")));
+  EXPECT_FALSE(is_martian(pfx("8.8.8.0/24")));
+  EXPECT_FALSE(is_martian(pfx("193.0.0.0/8")));
+}
+
+TEST(Martians, V6) {
+  EXPECT_TRUE(is_martian(pfx("fc00::/8")));
+  EXPECT_TRUE(is_martian(pfx("fe80::/10")));
+  EXPECT_TRUE(is_martian(pfx("ff00::/8")));      // multicast: outside 2000::/3
+  EXPECT_TRUE(is_martian(pfx("::/0")));          // covers non-global space
+  EXPECT_TRUE(is_martian(pfx("2001:db8::/32")));  // documentation
+  EXPECT_FALSE(is_martian(pfx("2001:db7::/32")));
+  EXPECT_FALSE(is_martian(pfx("2600::/12")));
+}
+
+}  // namespace
+}  // namespace rpslyzer::net

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "rpslyzer/rpsl/expr_parser.hpp"
+
+namespace rpslyzer::rpsl {
+namespace {
+
+using namespace rpslyzer::ir;
+
+struct Fixture {
+  util::Diagnostics diag;
+  ParseContext ctx{&diag, "test", "TEST", 1};
+
+  std::optional<AsPathRegex> parse(std::string_view text) {
+    return parse_aspath_regex(text, ctx);
+  }
+};
+
+TEST(RegexParser, SingleTokens) {
+  Fixture f;
+  auto re = f.parse("AS64500");
+  ASSERT_TRUE(re);
+  const auto* token = std::get_if<ReTokenNode>(&re->root->node);
+  ASSERT_NE(token, nullptr);
+  EXPECT_EQ(token->token.kind, ReToken::Kind::kAsn);
+  EXPECT_EQ(token->token.asn, 64500u);
+
+  auto dot = f.parse(".");
+  ASSERT_TRUE(dot);
+  EXPECT_EQ(std::get_if<ReTokenNode>(&dot->root->node)->token.kind, ReToken::Kind::kAny);
+
+  auto peeras = f.parse("PeerAS");
+  ASSERT_TRUE(peeras);
+  EXPECT_EQ(std::get_if<ReTokenNode>(&peeras->root->node)->token.kind,
+            ReToken::Kind::kPeerAs);
+
+  auto set = f.parse("AS-FOO");
+  ASSERT_TRUE(set);
+  EXPECT_EQ(std::get_if<ReTokenNode>(&set->root->node)->token.as_set, "AS-FOO");
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RegexParser, AsAnyIsWildcard) {
+  Fixture f;
+  auto re = f.parse("AS-ANY");
+  ASSERT_TRUE(re);
+  EXPECT_EQ(std::get_if<ReTokenNode>(&re->root->node)->token.kind, ReToken::Kind::kAny);
+}
+
+TEST(RegexParser, EmptyRegex) {
+  Fixture f;
+  auto re = f.parse("   ");
+  ASSERT_TRUE(re);
+  EXPECT_TRUE(std::holds_alternative<ReEmpty>(re->root->node));
+}
+
+TEST(RegexParser, PostfixOperators) {
+  Fixture f;
+  struct Case {
+    const char* text;
+    std::uint32_t min;
+    std::optional<std::uint32_t> max;
+    bool same;
+  };
+  const Case cases[] = {
+      {"AS1*", 0, std::nullopt, false}, {"AS1+", 1, std::nullopt, false},
+      {"AS1?", 0, 1, false},            {"AS1{3}", 3, 3, false},
+      {"AS1{2,5}", 2, 5, false},        {"AS1{2,}", 2, std::nullopt, false},
+      {"AS1~*", 0, std::nullopt, true}, {"AS1~+", 1, std::nullopt, true},
+  };
+  for (const auto& c : cases) {
+    auto re = f.parse(c.text);
+    ASSERT_TRUE(re) << c.text;
+    const auto* repeat = std::get_if<ReRepeatNode>(&re->root->node);
+    ASSERT_NE(repeat, nullptr) << c.text;
+    EXPECT_EQ(repeat->repeat.min, c.min) << c.text;
+    EXPECT_EQ(repeat->repeat.max, c.max) << c.text;
+    EXPECT_EQ(repeat->repeat.same_pattern, c.same) << c.text;
+  }
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RegexParser, SetsAndRanges) {
+  Fixture f;
+  auto re = f.parse("[AS1 AS3-AS5 AS-FOO PeerAS]");
+  ASSERT_TRUE(re);
+  const auto* token = std::get_if<ReTokenNode>(&re->root->node);
+  ASSERT_NE(token, nullptr);
+  ASSERT_EQ(token->token.items.size(), 4u);
+  EXPECT_EQ(token->token.items[0].kind, ReSetItem::Kind::kAsn);
+  EXPECT_EQ(token->token.items[1].kind, ReSetItem::Kind::kAsnRange);
+  EXPECT_EQ(token->token.items[1].asn, 3u);
+  EXPECT_EQ(token->token.items[1].asn_hi, 5u);
+  EXPECT_EQ(token->token.items[2].kind, ReSetItem::Kind::kAsSet);
+  EXPECT_EQ(token->token.items[3].kind, ReSetItem::Kind::kPeerAs);
+  EXPECT_FALSE(token->token.complemented);
+
+  auto complemented = f.parse("[^AS1]");
+  ASSERT_TRUE(complemented);
+  EXPECT_TRUE(std::get_if<ReTokenNode>(&complemented->root->node)->token.complemented);
+}
+
+TEST(RegexParser, AsSetNameWithDashesIsNotARange) {
+  Fixture f;
+  auto re = f.parse("[AS-EAST-WEST]");
+  ASSERT_TRUE(re);
+  const auto& items = std::get_if<ReTokenNode>(&re->root->node)->token.items;
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].kind, ReSetItem::Kind::kAsSet);
+  EXPECT_EQ(items[0].as_set, "AS-EAST-WEST");
+}
+
+TEST(RegexParser, AnchorsAndConcat) {
+  Fixture f;
+  auto re = f.parse("^AS1 AS2$");
+  ASSERT_TRUE(re);
+  const auto* concat = std::get_if<ReConcat>(&re->root->node);
+  ASSERT_NE(concat, nullptr);
+  ASSERT_EQ(concat->parts.size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<ReBeginAnchor>(concat->parts[0]->node));
+  EXPECT_TRUE(std::holds_alternative<ReEndAnchor>(concat->parts[3]->node));
+}
+
+TEST(RegexParser, AlternationAndGrouping) {
+  Fixture f;
+  auto re = f.parse("(AS1|AS2 AS3)+");
+  ASSERT_TRUE(re);
+  const auto* repeat = std::get_if<ReRepeatNode>(&re->root->node);
+  ASSERT_NE(repeat, nullptr);
+  const auto* alt = std::get_if<ReAlt>(&repeat->inner->node);
+  ASSERT_NE(alt, nullptr);
+  ASSERT_EQ(alt->options.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<ReConcat>(alt->options[1]->node));
+}
+
+TEST(RegexParser, NestedRepeats) {
+  Fixture f;
+  auto re = f.parse("((AS1+)*)?");
+  ASSERT_TRUE(re);
+  EXPECT_NE(std::get_if<ReRepeatNode>(&re->root->node), nullptr);
+}
+
+TEST(RegexParser, Errors) {
+  Fixture f;
+  EXPECT_FALSE(f.parse("("));
+  EXPECT_FALSE(f.parse("AS1)"));
+  EXPECT_FALSE(f.parse("[AS1"));
+  EXPECT_FALSE(f.parse("AS1{,}"));
+  EXPECT_FALSE(f.parse("AS1{5,2}"));  // inverted range
+  EXPECT_FALSE(f.parse("AS1{2"));
+  EXPECT_FALSE(f.parse("AS1 ~ "));    // dangling tilde
+  EXPECT_FALSE(f.parse("lowercase-not-a-set"));
+  EXPECT_FALSE(f.diag.empty());
+}
+
+TEST(RegexParser, EmptyAlternationBranchesParse) {
+  // Empty alternatives are permitted ("(|AS1)", "|AS1|"): they match the
+  // empty sequence, like POSIX ERE.
+  Fixture f;
+  auto re = f.parse("(|AS1)");
+  ASSERT_TRUE(re);
+  const auto* alt = std::get_if<ReAlt>(&re->root->node);
+  ASSERT_NE(alt, nullptr);
+  EXPECT_TRUE(std::holds_alternative<ReEmpty>(alt->options[0]->node));
+  auto top = f.parse("|AS1|");
+  ASSERT_TRUE(top);
+  EXPECT_EQ(std::get_if<ReAlt>(&top->root->node)->options.size(), 3u);
+}
+
+TEST(RegexParser, ToStringRoundTrip) {
+  Fixture f;
+  const char* cases[] = {
+      "^AS13911 AS6327+$",
+      "^(AS1|AS2){1,3} [AS4 AS5-AS9 AS-X]* .$",
+      "[^AS64512-AS65535]~+",
+      "AS-FOO? PeerAS",
+  };
+  for (const char* text : cases) {
+    auto first = f.parse(text);
+    ASSERT_TRUE(first) << text;
+    std::string rendered = to_string(*first);
+    ASSERT_GE(rendered.size(), 2u);
+    // Strip the angle brackets added by to_string(AsPathRegex).
+    auto second = f.parse(rendered.substr(1, rendered.size() - 2));
+    ASSERT_TRUE(second) << rendered;
+    EXPECT_EQ(*first, *second) << text << " vs " << rendered;
+  }
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RegexParser, SkippedConstructDetection) {
+  Fixture f;
+  EXPECT_FALSE(uses_skipped_constructs(*f.parse("^AS1 AS2*$")));
+  EXPECT_TRUE(uses_skipped_constructs(*f.parse("[AS1-AS5]")));
+  EXPECT_TRUE(uses_skipped_constructs(*f.parse("AS1~*")));
+  EXPECT_TRUE(uses_skipped_constructs(*f.parse("(AS1 [AS2-AS3])+")));
+  EXPECT_TRUE(uses_skipped_constructs(*f.parse("AS1|AS2~+")));
+}
+
+}  // namespace
+}  // namespace rpslyzer::rpsl

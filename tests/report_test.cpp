@@ -1,0 +1,204 @@
+#include "rpslyzer/report/aggregate.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/report/render.hpp"
+
+namespace rpslyzer::report {
+namespace {
+
+using verify::CheckResult;
+using verify::HopCheck;
+using verify::Reason;
+
+bgp::Route route(std::vector<bgp::Asn> path) {
+  return bgp::Route{*net::Prefix::parse("10.0.0.0/8"), std::move(path)};
+}
+
+HopCheck hop(verify::Asn from, verify::Asn to, Status export_status, Status import_status,
+             std::vector<verify::ReportItem> export_items = {},
+             std::vector<verify::ReportItem> import_items = {}) {
+  HopCheck h;
+  h.from = from;
+  h.to = to;
+  h.export_result = CheckResult{export_status, std::move(export_items)};
+  h.import_result = CheckResult{import_status, std::move(import_items)};
+  return h;
+}
+
+TEST(StatusCounts, Basics) {
+  StatusCounts c;
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_FALSE(c.single_status());
+  c.add(Status::kVerified);
+  c.add(Status::kVerified);
+  Status which;
+  EXPECT_TRUE(c.single_status(&which));
+  EXPECT_EQ(which, Status::kVerified);
+  c.add(Status::kUnverified);
+  EXPECT_FALSE(c.single_status());
+  EXPECT_EQ(c.total(), 3u);
+  EXPECT_EQ(c.of(Status::kVerified), 2u);
+  auto f = c.fractions();
+  EXPECT_DOUBLE_EQ(f[static_cast<std::size_t>(Status::kVerified)], 2.0 / 3.0);
+}
+
+TEST(Aggregator, PerAsPerPairPerRoute) {
+  Aggregator agg;
+  agg.add(route({3, 2, 1}),
+          {hop(1, 2, Status::kVerified, Status::kUnrecorded),
+           hop(2, 3, Status::kSafelisted, Status::kVerified)});
+  agg.add(route({2, 1}), {hop(1, 2, Status::kVerified, Status::kUnrecorded)});
+
+  EXPECT_EQ(agg.total_checks(), 6u);
+  EXPECT_EQ(agg.total_routes(), 2u);
+
+  // AS1 exported twice (both verified).
+  EXPECT_EQ(agg.as_exports().at(1).of(Status::kVerified), 2u);
+  // AS2 imported twice (unrecorded) and exported once (safelisted).
+  EXPECT_EQ(agg.as_imports().at(2).of(Status::kUnrecorded), 2u);
+  EXPECT_EQ(agg.as_exports().at(2).of(Status::kSafelisted), 1u);
+  // Combined view merges both directions.
+  EXPECT_EQ(agg.as_combined().at(2).total(), 3u);
+
+  // Pair (1,2) import checks: 2 unrecorded.
+  EXPECT_EQ(agg.pair_imports().at({1, 2}).of(Status::kUnrecorded), 2u);
+  EXPECT_EQ(agg.pair_exports().at({1, 2}).of(Status::kVerified), 2u);
+
+  // Per-route: the first route saw 4 checks, the second 2.
+  ASSERT_EQ(agg.routes().size(), 2u);
+  EXPECT_EQ(agg.routes()[0].total(), 4u);
+  EXPECT_EQ(agg.routes()[1].total(), 2u);
+
+  // First-hop counts: 2 routes x (export + import).
+  EXPECT_EQ(agg.first_hops().total(), 4u);
+}
+
+TEST(Aggregator, UnrecordedBreakdown) {
+  Aggregator agg;
+  agg.add(route({2, 1}),
+          {hop(1, 2, Status::kUnrecorded, Status::kUnrecorded,
+               {{Reason::kUnrecordedAutNum, 1, {}}},
+               {{Reason::kUnrecordedAsSet, 0, "AS-GONE"}})});
+  const auto& unrecorded = agg.unrecorded();
+  EXPECT_EQ(unrecorded.at(1)[size_t(UnrecordedCategory::kMissingAutNum)], 1u);
+  EXPECT_EQ(unrecorded.at(2)[size_t(UnrecordedCategory::kMissingSet)], 1u);
+}
+
+TEST(Aggregator, SpecialBreakdownAndOppVariants) {
+  Aggregator agg;
+  agg.add(route({2, 1}),
+          {hop(1, 2, Status::kRelaxed, Status::kSafelisted,
+               {{Reason::kRelaxedExportSelf, 0, {}}},
+               {{Reason::kSpecOtherOnlyProviderPolicies, 0, {}}})});
+  agg.add(route({3, 1}),
+          {hop(1, 3, Status::kSafelisted, Status::kSafelisted,
+               {{Reason::kSpecUphill, 0, {}}},
+               {{Reason::kSpecCustomerOnlyProviderPolicies, 0, {}}})});
+  const auto& special = agg.special_cases();
+  EXPECT_EQ(special.at(1)[size_t(SpecialCategory::kExportSelf)], 1u);
+  EXPECT_EQ(special.at(1)[size_t(SpecialCategory::kUphill)], 1u);
+  // Both OPP flavors fold into one Figure 6 category.
+  EXPECT_EQ(special.at(2)[size_t(SpecialCategory::kOnlyProviderPolicies)], 1u);
+  EXPECT_EQ(special.at(3)[size_t(SpecialCategory::kOnlyProviderPolicies)], 1u);
+}
+
+TEST(Aggregator, UnverifiedPeeringVsFilter) {
+  Aggregator agg;
+  agg.add(route({2, 1}),
+          {hop(1, 2, Status::kUnverified, Status::kUnverified,
+               {{Reason::kMatchRemoteAsNum, 9, {}}},                       // peering only
+               {{Reason::kMatchFilterAsNum, 1, {}}, {Reason::kMatchFilter, 0, {}}})});
+  EXPECT_EQ(agg.unverified_checks(), 2u);
+  EXPECT_EQ(agg.unverified_peering_undeclared(), 1u);
+}
+
+TEST(Summaries, Fig2) {
+  Aggregator agg;
+  // AS1: all verified; AS2: all unrecorded; AS3: mixed.
+  agg.add(route({2, 1}), {hop(1, 2, Status::kVerified, Status::kUnrecorded)});
+  agg.add(route({3, 1}), {hop(1, 3, Status::kVerified, Status::kUnverified)});
+  agg.add(route({3, 2}), {hop(2, 3, Status::kUnrecorded, Status::kVerified)});
+  Fig2Summary summary = Fig2Summary::compute(agg);
+  EXPECT_EQ(summary.ases, 3u);
+  EXPECT_EQ(summary.all_verified, 1u);      // AS1 (two verified exports)
+  EXPECT_EQ(summary.all_unrecorded, 1u);    // AS2 (unrecorded both ways)
+  EXPECT_EQ(summary.all_same_status, 2u);   // AS1 and AS2
+  EXPECT_EQ(summary.any_unrecorded, 1u);    // only AS2
+  EXPECT_EQ(summary.any_skip, 0u);
+}
+
+TEST(Summaries, Fig3AndFig4) {
+  Aggregator agg;
+  agg.add(route({2, 1}), {hop(1, 2, Status::kVerified, Status::kVerified)});
+  agg.add(route({2, 1}), {hop(1, 2, Status::kVerified, Status::kUnverified,
+                              {}, {{Reason::kMatchRemoteAsNum, 5, {}}})});
+  Fig3Summary f3 = Fig3Summary::compute(agg);
+  EXPECT_EQ(f3.pairs_import, 1u);
+  EXPECT_EQ(f3.pairs_import_single_status, 0u);  // verified + unverified mix
+  EXPECT_EQ(f3.pairs_export, 1u);
+  EXPECT_EQ(f3.pairs_export_single_status, 1u);
+  EXPECT_EQ(f3.pairs_with_unverified, 1u);
+  EXPECT_EQ(f3.unverified_checks_total, 1u);
+  EXPECT_EQ(f3.unverified_checks_peering_undeclared, 1u);
+
+  Fig4Summary f4 = Fig4Summary::compute(agg);
+  EXPECT_EQ(f4.routes, 2u);
+  EXPECT_EQ(f4.single_status, 1u);
+  EXPECT_EQ(f4.single_verified, 1u);
+}
+
+TEST(Render, StackedChartAndComposition) {
+  std::vector<StatusCounts> entities(10);
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    entities[i].add(i < 5 ? Status::kVerified : Status::kUnrecorded);
+  }
+  std::string chart = render_stacked(entities, 10, 4);
+  EXPECT_NE(chart.find('V'), std::string::npos);
+  EXPECT_NE(chart.find('U'), std::string::npos);
+  // Correctness ordering puts verified columns on the left.
+  const std::size_t first_row_start = chart.find('|') + 1;
+  std::string bottom_row = chart.substr(chart.rfind("|V"), 12);
+  EXPECT_FALSE(bottom_row.empty());
+
+  StatusCounts totals;
+  totals.add(Status::kVerified);
+  totals.add(Status::kVerified);
+  totals.add(Status::kUnverified);
+  std::string composition = render_composition(totals);
+  EXPECT_NE(composition.find("verified 66.7%"), std::string::npos);
+  EXPECT_NE(composition.find("unverified 33.3%"), std::string::npos);
+  (void)first_row_start;
+}
+
+TEST(Render, EmptyData) {
+  EXPECT_EQ(render_stacked({}, 10, 4), "(no data)\n");
+  StatusCounts empty;
+  EXPECT_NE(render_composition(empty).find("verified 0.0%"), std::string::npos);
+}
+
+TEST(Render, CsvExport) {
+  std::vector<StatusCounts> entities(3);
+  entities[0].add(Status::kVerified);
+  entities[1].add(Status::kUnverified);
+  entities[2].add(Status::kVerified);
+  entities[2].add(Status::kUnrecorded);
+  std::string csv = to_csv(entities);
+  // Header + three rows, ordered by correctness (all-verified first).
+  auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 4);
+  EXPECT_EQ(csv.substr(0, 5), "index");
+  EXPECT_NE(csv.find("0,1.000000,"), std::string::npos);   // all-verified entity first
+  EXPECT_NE(csv.find(",1\n"), std::string::npos);          // totals column
+}
+
+TEST(Render, Table) {
+  std::string table = render_table({{"rows", "5"}, {"cols", "7"}}, 8);
+  EXPECT_NE(table.find("rows     5"), std::string::npos);
+  EXPECT_NE(table.find("cols     7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpslyzer::report

@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include "rpslyzer/rpsl/object_lexer.hpp"
+#include "rpslyzer/rpsl/object_parser.hpp"
+
+namespace rpslyzer::rpsl {
+namespace {
+
+using namespace rpslyzer::ir;
+
+struct Fixture {
+  util::Diagnostics diag;
+  ParseContext ctx{&diag, "aut-num:AS64500", "TEST", 1};
+
+  Rule import(std::string_view text) {
+    return parse_rule(text, Rule::Direction::kImport, false, ctx);
+  }
+  Rule mp_import(std::string_view text) {
+    return parse_rule(text, Rule::Direction::kImport, true, ctx);
+  }
+  Rule exprt(std::string_view text) {
+    return parse_rule(text, Rule::Direction::kExport, false, ctx);
+  }
+};
+
+const EntryTerm& term_of(const Entry& e) {
+  const auto* t = std::get_if<EntryTerm>(&e.node);
+  EXPECT_NE(t, nullptr);
+  return *t;
+}
+
+TEST(RuleParser, SimpleImport) {
+  Fixture f;
+  Rule r = f.import("from AS64501 accept ANY");
+  EXPECT_TRUE(r.is_import());
+  EXPECT_FALSE(r.mp);
+  const EntryTerm& term = term_of(r.entry);
+  ASSERT_EQ(term.factors.size(), 1u);
+  const PolicyFactor& factor = term.factors[0];
+  ASSERT_EQ(factor.peerings.size(), 1u);
+  const auto* spec = std::get_if<PeeringSpec>(&factor.peerings[0].peering.node);
+  ASSERT_NE(spec, nullptr);
+  const auto* asn = std::get_if<AsExprAsn>(&spec->as_expr.node);
+  ASSERT_NE(asn, nullptr);
+  EXPECT_EQ(asn->asn, 64501u);
+  EXPECT_TRUE(std::holds_alternative<FilterAny>(factor.filter.node));
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, SimpleExportPaperExample) {
+  // "export: to AS4713 announce AS-HANABI" (§2).
+  Fixture f;
+  Rule r = f.exprt("to AS4713 announce AS-HANABI");
+  const PolicyFactor& factor = term_of(r.entry).factors[0];
+  const auto* set = std::get_if<FilterAsSet>(&factor.filter.node);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->name, "AS-HANABI");
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, ActionParsing) {
+  Fixture f;
+  Rule r = f.import("from AS64501 action pref=100; med=50; accept ANY");
+  const PolicyFactor& factor = term_of(r.entry).factors[0];
+  ASSERT_EQ(factor.peerings.size(), 1u);
+  const auto& actions = factor.peerings[0].actions;
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions[0].attribute, "pref");
+  EXPECT_EQ(actions[0].op, "=");
+  EXPECT_EQ(actions[0].value, "100");
+  EXPECT_EQ(actions[1].attribute, "med");
+  EXPECT_EQ(actions[1].value, "50");
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, CommunityActions) {
+  Fixture f;
+  Rule r = f.import(
+      "from AS64501 action community .= { 64628:20 }; "
+      "community.delete(64628:10, 64628:11); accept ANY");
+  const auto& actions = term_of(r.entry).factors[0].peerings[0].actions;
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions[0].attribute, "community");
+  EXPECT_EQ(actions[0].op, ".=");
+  EXPECT_EQ(actions[0].value, "{64628:20}");
+  EXPECT_EQ(actions[1].kind, Action::Kind::kMethodCall);
+  EXPECT_EQ(actions[1].method, "delete");
+  EXPECT_EQ(actions[1].value, "64628:10, 64628:11");
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, MultiplePeeringsOneFilter) {
+  // AS8323's rule from Appendix A: two peering+action pairs, one filter.
+  Fixture f;
+  Rule r = f.import(
+      "from AS8267:AS-Krakow-1014 action pref=50; "
+      "from AS8267:AS-Krakow-1015 action pref=50; "
+      "accept PeerAS");
+  const PolicyFactor& factor = term_of(r.entry).factors[0];
+  ASSERT_EQ(factor.peerings.size(), 2u);
+  EXPECT_EQ(factor.peerings[0].actions.size(), 1u);
+  EXPECT_EQ(factor.peerings[1].actions.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<FilterPeerAs>(factor.filter.node));
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, PeeringWithAsExpression) {
+  Fixture f;
+  Rule r = f.import("from AS-ANY EXCEPT (AS40027 OR AS63293 OR AS65535) accept ANY");
+  const auto* spec =
+      std::get_if<PeeringSpec>(&term_of(r.entry).factors[0].peerings[0].peering.node);
+  ASSERT_NE(spec, nullptr);
+  const auto* except = std::get_if<AsExprExcept>(&spec->as_expr.node);
+  ASSERT_NE(except, nullptr);
+  EXPECT_TRUE(std::holds_alternative<AsExprAny>(except->left->node));
+  EXPECT_TRUE(std::holds_alternative<AsExprOr>(except->right->node));
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, PeeringSetReference) {
+  Fixture f;
+  Rule r = f.import("from PRNG-EXAMPLE accept ANY");
+  const auto* ref =
+      std::get_if<PeeringSetRef>(&term_of(r.entry).factors[0].peerings[0].peering.node);
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->name, "PRNG-EXAMPLE");
+}
+
+TEST(RuleParser, RouterExpressionsCaptured) {
+  Fixture f;
+  Rule r = f.import("from AS64501 192.0.2.1 at 192.0.2.2 action pref=10; accept ANY");
+  const auto* spec =
+      std::get_if<PeeringSpec>(&term_of(r.entry).factors[0].peerings[0].peering.node);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->remote_router, "192.0.2.1");
+  EXPECT_EQ(spec->local_router, "192.0.2.2");
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, MpImportWithAfi) {
+  Fixture f;
+  Rule r = f.mp_import("afi ipv6.unicast from AS64501 accept ANY");
+  ASSERT_EQ(r.entry.afis.size(), 1u);
+  EXPECT_EQ(r.entry.afis[0], Afi::ipv6_unicast());
+  EXPECT_TRUE(r.entry.covers_unicast(net::Family::kIpv6, true));
+  EXPECT_FALSE(r.entry.covers_unicast(net::Family::kIpv4, true));
+}
+
+TEST(RuleParser, AfiList) {
+  Fixture f;
+  Rule r = f.mp_import("afi ipv4.unicast, ipv6.unicast from AS64501 accept ANY");
+  ASSERT_EQ(r.entry.afis.size(), 2u);
+  EXPECT_TRUE(r.entry.covers_unicast(net::Family::kIpv4, true));
+  EXPECT_TRUE(r.entry.covers_unicast(net::Family::kIpv6, true));
+}
+
+TEST(RuleParser, DefaultAfis) {
+  Fixture f;
+  // Plain import covers IPv4 only; mp-import without afi covers both.
+  Rule plain = f.import("from AS1 accept ANY");
+  EXPECT_TRUE(plain.entry.covers_unicast(net::Family::kIpv4, plain.mp));
+  EXPECT_FALSE(plain.entry.covers_unicast(net::Family::kIpv6, plain.mp));
+  Rule mp = f.mp_import("from AS1 accept ANY");
+  EXPECT_TRUE(mp.entry.covers_unicast(net::Family::kIpv4, mp.mp));
+  EXPECT_TRUE(mp.entry.covers_unicast(net::Family::kIpv6, mp.mp));
+}
+
+TEST(RuleParser, RefineFromPaperSection2) {
+  // AS14595's structured rule (§2), flattened to one line.
+  Fixture f;
+  Rule r = f.mp_import(
+      "afi any.unicast from AS13911 accept ANY AND NOT {0.0.0.0/0, ::0/0}; "
+      "REFINE afi ipv4.unicast from AS13911 action pref=200; accept <^AS13911 AS6327+$>");
+  const auto* refine = std::get_if<EntryRefine>(&r.entry.node);
+  ASSERT_NE(refine, nullptr);
+  // Left side: afi any.unicast, filter = ANY AND NOT {...}.
+  ASSERT_EQ(refine->left->afis.size(), 1u);
+  EXPECT_EQ(refine->left->afis[0].ip, Afi::Ip::kAny);
+  EXPECT_EQ(refine->left->afis[0].cast, Afi::Cast::kUnicast);
+  const EntryTerm& left = term_of(*refine->left);
+  ASSERT_EQ(left.factors.size(), 1u);
+  EXPECT_NE(std::get_if<FilterAnd>(&left.factors[0].filter.node), nullptr);
+  // Right side: ipv4.unicast with an AS-path regex filter and pref action.
+  ASSERT_EQ(refine->right->afis.size(), 1u);
+  EXPECT_EQ(refine->right->afis[0].ip, Afi::Ip::kIpv4);
+  const EntryTerm& right = term_of(*refine->right);
+  ASSERT_EQ(right.factors.size(), 1u);
+  EXPECT_NE(std::get_if<FilterAsPath>(&right.factors[0].filter.node), nullptr);
+  ASSERT_EQ(right.factors[0].peerings.size(), 1u);
+  EXPECT_EQ(right.factors[0].peerings[0].actions.size(), 1u);
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, BracedTermWithMultipleFactors) {
+  Fixture f;
+  Rule r = f.mp_import(
+      "afi any { from AS-ANY action pref = 65535; accept community(65535:0); "
+      "from AS-ANY action pref = 65435; accept ANY; }");
+  const EntryTerm& term = term_of(r.entry);
+  ASSERT_EQ(term.factors.size(), 2u);
+  EXPECT_NE(std::get_if<FilterCommunity>(&term.factors[0].filter.node), nullptr);
+  EXPECT_TRUE(std::holds_alternative<FilterAny>(term.factors[1].filter.node));
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, ChainedRefinesFromAppendixA) {
+  // A trimmed version of AS199284's rule: three REFINE stages.
+  Fixture f;
+  Rule r = f.mp_import(
+      "afi any { from AS-ANY action community.delete(64628:10, 64628:11); accept ANY; } "
+      "REFINE afi any { from AS-ANY accept NOT AS199284^+; } "
+      "REFINE afi ipv4 { from AS-ANY accept NOT fltr-martian; }");
+  const auto* r1 = std::get_if<EntryRefine>(&r.entry.node);
+  ASSERT_NE(r1, nullptr);
+  const auto* r2 = std::get_if<EntryRefine>(&r1->right->node);
+  ASSERT_NE(r2, nullptr);  // right-recursive chain
+  const EntryTerm& last = term_of(*r2->right);
+  EXPECT_NE(std::get_if<FilterNot>(&last.factors[0].filter.node), nullptr);
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, ExceptPolicy) {
+  Fixture f;
+  Rule r = f.import(
+      "from AS1 accept ANY; EXCEPT from AS2 accept AS2");
+  const auto* except = std::get_if<EntryExcept>(&r.entry.node);
+  ASSERT_NE(except, nullptr);
+  EXPECT_EQ(term_of(*except->left).factors.size(), 1u);
+  EXPECT_EQ(term_of(*except->right).factors.size(), 1u);
+}
+
+TEST(RuleParser, ProtocolQualifiers) {
+  Fixture f;
+  Rule r = f.import("protocol BGP4 into OSPF from AS64501 accept ANY");
+  EXPECT_EQ(r.protocol, "BGP4");
+  EXPECT_EQ(r.into, "OSPF");
+  EXPECT_EQ(term_of(r.entry).factors.size(), 1u);
+  EXPECT_TRUE(f.diag.empty());
+}
+
+TEST(RuleParser, MissingAcceptIsDiagnosed) {
+  Fixture f;
+  Rule r = f.import("from AS64501");
+  EXPECT_FALSE(f.diag.empty());
+  const PolicyFactor& factor = term_of(r.entry).factors[0];
+  EXPECT_NE(std::get_if<FilterUnknown>(&factor.filter.node), nullptr);
+}
+
+TEST(RuleParser, GarbageKeywordDiagnosed) {
+  // "invalid RPSL keywords in import and export rules" (§4 syntax errors).
+  Fixture f;
+  f.import("fron AS64501 accept ANY");
+  EXPECT_FALSE(f.diag.empty());
+}
+
+TEST(RuleParser, TextPreserved) {
+  Fixture f;
+  Rule r = f.import("from AS64501 accept ANY");
+  EXPECT_EQ(r.text, "from AS64501 accept ANY");
+}
+
+TEST(ObjectParser, AutNumFull) {
+  util::Diagnostics diag;
+  auto objects = lex_objects(
+      "aut-num: AS64500\n"
+      "as-name: EXAMPLE-AS\n"
+      "import: from AS64501 accept ANY\n"
+      "import: from AS64502 accept AS64502\n"
+      "export: to AS64501 announce AS64500\n"
+      "mp-export: afi ipv6.unicast to AS64501 announce AS64500\n"
+      "member-of: AS-UPSTREAM-CUSTOMERS\n"
+      "mnt-by: MAINT-EXAMPLE\n",
+      "TEST", diag);
+  ASSERT_EQ(objects.size(), 1u);
+  ParsedObject parsed = parse_object(objects[0], diag);
+  const auto* an = std::get_if<AutNum>(&parsed);
+  ASSERT_NE(an, nullptr);
+  EXPECT_EQ(an->asn, 64500u);
+  EXPECT_EQ(an->as_name, "EXAMPLE-AS");
+  EXPECT_EQ(an->imports.size(), 2u);
+  EXPECT_EQ(an->exports.size(), 2u);
+  EXPECT_TRUE(an->exports[1].mp);
+  ASSERT_EQ(an->member_of.size(), 1u);
+  EXPECT_EQ(an->member_of[0], "AS-UPSTREAM-CUSTOMERS");
+  EXPECT_EQ(an->source, "TEST");
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(ObjectParser, AsSetMembers) {
+  util::Diagnostics diag;
+  auto objects = lex_objects(
+      "as-set: AS-EXAMPLE\n"
+      "members: AS64500, AS64501, AS-OTHER, AS64502:AS-CUSTOMERS\n"
+      "mbrs-by-ref: MAINT-A, MAINT-B\n",
+      "TEST", diag);
+  ParsedObject parsed = parse_object(objects[0], diag);
+  const auto* set = std::get_if<AsSet>(&parsed);
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->members.size(), 4u);
+  EXPECT_EQ(set->members[0].kind, AsSetMember::Kind::kAsn);
+  EXPECT_EQ(set->members[0].asn, 64500u);
+  EXPECT_EQ(set->members[2].kind, AsSetMember::Kind::kSet);
+  EXPECT_EQ(set->members[2].name, "AS-OTHER");
+  EXPECT_EQ(set->members[3].name, "AS64502:AS-CUSTOMERS");
+  EXPECT_EQ(set->mbrs_by_ref.size(), 2u);
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(ObjectParser, AsSetNamedAsAnyIsInvalid) {
+  util::Diagnostics diag;
+  auto objects = lex_objects("as-set: AS-ANY\nmembers:\n", "TEST", diag);
+  ParsedObject parsed = parse_object(objects[0], diag);
+  // The object is kept for the census, but flagged.
+  EXPECT_NE(std::get_if<AsSet>(&parsed), nullptr);
+  EXPECT_EQ(diag.count(util::DiagnosticKind::kInvalidSetName), 1u);
+}
+
+TEST(ObjectParser, RouteSetMembers) {
+  util::Diagnostics diag;
+  auto objects = lex_objects(
+      "route-set: RS-EXAMPLE\n"
+      "members: 192.0.2.0/24^+, RS-OTHER, AS-FOO^24-32, AS64500, RS-ANY\n"
+      "mp-members: 2001:db8::/32^48\n",
+      "TEST", diag);
+  ParsedObject parsed = parse_object(objects[0], diag);
+  const auto* set = std::get_if<RouteSet>(&parsed);
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->members.size(), 5u);
+  EXPECT_EQ(set->members[0].kind, RouteSetMember::Kind::kPrefix);
+  EXPECT_EQ(set->members[1].kind, RouteSetMember::Kind::kRouteSet);
+  EXPECT_EQ(set->members[2].kind, RouteSetMember::Kind::kAsSet);
+  EXPECT_EQ(set->members[2].op, net::RangeOp::range(24, 32));
+  EXPECT_EQ(set->members[3].kind, RouteSetMember::Kind::kAsn);
+  EXPECT_EQ(set->members[4].kind, RouteSetMember::Kind::kAny);
+  ASSERT_EQ(set->mp_members.size(), 1u);
+  EXPECT_EQ(set->mp_members[0].prefix.op, net::RangeOp::exact(48));
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(ObjectParser, RouteAndRoute6) {
+  util::Diagnostics diag;
+  auto objects = lex_objects(
+      "route: 192.0.2.0/24\norigin: AS64500\nmember-of: RS-EXAMPLE\n"
+      "\n"
+      "route6: 2001:db8::/32\norigin: AS64500\n",
+      "TEST", diag);
+  ASSERT_EQ(objects.size(), 2u);
+  ParsedObject p4 = parse_object(objects[0], diag);
+  const auto* r4 = std::get_if<RouteObject>(&p4);
+  ASSERT_NE(r4, nullptr);
+  EXPECT_EQ(r4->prefix.to_string(), "192.0.2.0/24");
+  EXPECT_EQ(r4->origin, 64500u);
+  EXPECT_EQ(r4->member_of.size(), 1u);
+  ParsedObject p6 = parse_object(objects[1], diag);
+  const auto* r6 = std::get_if<RouteObject>(&p6);
+  ASSERT_NE(r6, nullptr);
+  EXPECT_FALSE(r6->prefix.is_v4());
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(ObjectParser, RouteFamilyMismatchRejected) {
+  util::Diagnostics diag;
+  auto objects = lex_objects("route: 2001:db8::/32\norigin: AS64500\n", "TEST", diag);
+  ParsedObject parsed = parse_object(objects[0], diag);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(parsed));
+  EXPECT_FALSE(diag.empty());
+}
+
+TEST(ObjectParser, RouteMissingOriginRejected) {
+  util::Diagnostics diag;
+  auto objects = lex_objects("route: 192.0.2.0/24\ndescr: no origin\n", "TEST", diag);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(parse_object(objects[0], diag)));
+  EXPECT_FALSE(diag.empty());
+}
+
+TEST(ObjectParser, PeeringSet) {
+  util::Diagnostics diag;
+  auto objects = lex_objects(
+      "peering-set: PRNG-EXAMPLE\n"
+      "peering: AS64500 at 192.0.2.1\n"
+      "mp-peering: AS64501\n",
+      "TEST", diag);
+  ParsedObject parsed = parse_object(objects[0], diag);
+  const auto* set = std::get_if<PeeringSet>(&parsed);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->peerings.size(), 1u);
+  EXPECT_EQ(set->mp_peerings.size(), 1u);
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(ObjectParser, FilterSet) {
+  util::Diagnostics diag;
+  auto objects = lex_objects(
+      "filter-set: FLTR-EXAMPLE\n"
+      "filter: { 192.0.2.0/24^+ } AND NOT AS64500\n"
+      "mp-filter: ANY\n",
+      "TEST", diag);
+  ParsedObject parsed = parse_object(objects[0], diag);
+  const auto* set = std::get_if<FilterSet>(&parsed);
+  ASSERT_NE(set, nullptr);
+  EXPECT_TRUE(set->has_filter);
+  EXPECT_TRUE(set->has_mp_filter);
+  EXPECT_NE(std::get_if<FilterAnd>(&set->filter.node), nullptr);
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(ObjectParser, UnmodeledClassesIgnored) {
+  util::Diagnostics diag;
+  auto objects = lex_objects("person: John Doe\nnic-hdl: JD1\n", "TEST", diag);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(parse_object(objects[0], diag)));
+  EXPECT_TRUE(diag.empty());
+}
+
+}  // namespace
+}  // namespace rpslyzer::rpsl

@@ -1,0 +1,215 @@
+#include "rpslyzer/stats/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/irr/loader.hpp"
+#include "rpslyzer/rpsl/expr_parser.hpp"
+#include "rpslyzer/rpsl/object_parser.hpp"
+#include "rpslyzer/stats/bgpq4.hpp"
+
+namespace rpslyzer::stats {
+namespace {
+
+ir::Ir corpus(std::string_view text, util::Diagnostics* out_diag = nullptr) {
+  util::Diagnostics diag;
+  ir::Ir ir = irr::parse_dump(text, "TEST", diag);
+  if (out_diag != nullptr) *out_diag = std::move(diag);
+  return ir;
+}
+
+TEST(Bgpq4, CompatibleFilters) {
+  util::Diagnostics diag;
+  rpsl::ParseContext ctx{&diag, "t", "TEST", 1};
+  EXPECT_TRUE(bgpq4_compatible(rpsl::parse_filter("ANY", ctx)));
+  EXPECT_TRUE(bgpq4_compatible(rpsl::parse_filter("AS1", ctx)));
+  EXPECT_TRUE(bgpq4_compatible(rpsl::parse_filter("AS-FOO", ctx)));
+  EXPECT_TRUE(bgpq4_compatible(rpsl::parse_filter("RS-BAR", ctx)));
+  EXPECT_TRUE(bgpq4_compatible(rpsl::parse_filter("{10.0.0.0/8^+}", ctx)));
+  EXPECT_TRUE(bgpq4_compatible(rpsl::parse_filter("PeerAS", ctx)));
+}
+
+TEST(Bgpq4, IncompatibleFilters) {
+  // §4: filter-set, AS-path regex, communities, composite filters.
+  util::Diagnostics diag;
+  rpsl::ParseContext ctx{&diag, "t", "TEST", 1};
+  EXPECT_FALSE(bgpq4_compatible(rpsl::parse_filter("FLTR-BOGONS", ctx)));
+  EXPECT_FALSE(bgpq4_compatible(rpsl::parse_filter("<^AS1$>", ctx)));
+  EXPECT_FALSE(bgpq4_compatible(rpsl::parse_filter("community(65535:666)", ctx)));
+  EXPECT_FALSE(bgpq4_compatible(rpsl::parse_filter("AS1 AND AS2", ctx)));
+  EXPECT_FALSE(bgpq4_compatible(rpsl::parse_filter("AS1 OR AS2", ctx)));
+  EXPECT_FALSE(bgpq4_compatible(rpsl::parse_filter("NOT AS1", ctx)));
+}
+
+TEST(Bgpq4, StructuredPoliciesIncompatible) {
+  util::Diagnostics diag;
+  rpsl::ParseContext ctx{&diag, "t", "TEST", 1};
+  ir::Rule simple = rpsl::parse_rule("from AS1 accept ANY", ir::Rule::Direction::kImport,
+                                     false, ctx);
+  EXPECT_TRUE(bgpq4_compatible(simple));
+  ir::Rule structured = rpsl::parse_rule(
+      "{ from AS1 accept ANY; } REFINE { from AS-ANY accept ANY; }",
+      ir::Rule::Direction::kImport, false, ctx);
+  EXPECT_FALSE(bgpq4_compatible(structured));
+}
+
+TEST(RulesPerAutNum, HistogramAndBuckets) {
+  ir::Ir ir = corpus(
+      "aut-num: AS1\n\n"  // zero rules
+      "aut-num: AS2\nimport: from AS1 accept ANY\n\n"
+      "aut-num: AS3\n"
+      "import: from AS1 accept ANY\nimport: from AS2 accept ANY\n"
+      "import: from AS4 accept ANY\nimport: from AS5 accept ANY\n"
+      "import: from AS6 accept ANY\nexport: to AS1 announce AS3\n"
+      "export: to AS2 announce AS3\nexport: to AS4 announce AS3\n"
+      "export: to AS5 announce AS3\nexport: to AS6 announce AS3\n");
+  RulesPerAutNum stats = RulesPerAutNum::compute(ir);
+  EXPECT_EQ(stats.aut_num_count, 3u);
+  EXPECT_EQ(stats.zero_rule_aut_nums, 1u);
+  EXPECT_EQ(stats.ten_plus_rule_aut_nums, 1u);
+  EXPECT_EQ(stats.all.at(0), 1u);
+  EXPECT_EQ(stats.all.at(1), 1u);
+  EXPECT_EQ(stats.all.at(10), 1u);
+}
+
+TEST(RulesPerAutNum, Ccdf) {
+  std::map<std::size_t, std::size_t> hist{{0, 2}, {1, 1}, {5, 1}};
+  auto points = RulesPerAutNum::ccdf(hist);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].first, 0u);
+  EXPECT_DOUBLE_EQ(points[0].second, 1.0);     // P[X >= 0] = 1
+  EXPECT_DOUBLE_EQ(points[1].second, 0.5);     // P[X >= 1] = 2/4
+  EXPECT_DOUBLE_EQ(points[2].second, 0.25);    // P[X >= 5] = 1/4
+  EXPECT_TRUE(RulesPerAutNum::ccdf({}).empty());
+}
+
+TEST(RulesPerAutNum, Bgpq4HistogramCountsCompatibleOnly) {
+  ir::Ir ir = corpus(
+      "aut-num: AS1\n"
+      "import: from AS2 accept ANY\n"
+      "import: from AS2 accept <^AS2$>\n");  // regex: not bgpq4-compatible
+  RulesPerAutNum stats = RulesPerAutNum::compute(ir);
+  EXPECT_EQ(stats.all.at(2), 1u);
+  EXPECT_EQ(stats.bgpq4_compatible.at(1), 1u);
+}
+
+TEST(ReferenceCensus, Table2Categories) {
+  ir::Ir ir = corpus(
+      "aut-num: AS1\n"
+      "import: from AS2 accept AS3\n"
+      "import: from AS-PEERS accept AS-CONES\n"
+      "import: from PRNG-X accept RS-ROUTES\n"
+      "export: to AS2 announce FLTR-OUT\n\n"
+      "as-set: AS-PEERS\nmembers: AS2\n\n"
+      "as-set: AS-UNUSED\nmembers: AS9\n\n"
+      "route-set: RS-ROUTES\nmembers: 10.0.0.0/8\n\n"
+      "peering-set: PRNG-X\npeering: AS5\n\n"
+      "filter-set: FLTR-OUT\nfilter: ANY\n");
+  ReferenceCensus census = ReferenceCensus::compute(ir);
+  EXPECT_EQ(census.aut_nums.defined, 1u);
+  EXPECT_EQ(census.aut_nums.referenced_in_peering, 1u);  // AS2
+  EXPECT_EQ(census.aut_nums.referenced_in_filter, 1u);   // AS3
+  EXPECT_EQ(census.aut_nums.referenced_overall, 2u);
+  EXPECT_EQ(census.as_sets.defined, 2u);
+  EXPECT_EQ(census.as_sets.referenced_in_peering, 1u);
+  EXPECT_EQ(census.as_sets.referenced_in_filter, 1u);
+  EXPECT_EQ(census.as_sets.referenced_overall, 2u);
+  EXPECT_EQ(census.route_sets.referenced_in_filter, 1u);
+  EXPECT_EQ(census.peering_sets.referenced_in_peering, 1u);
+  EXPECT_EQ(census.filter_sets.referenced_in_filter, 1u);
+}
+
+TEST(ShapeCensus, PeeringAndFilterShapes) {
+  ir::Ir ir = corpus(
+      "aut-num: AS1\n"
+      "import: from AS2 accept AS-CONE\n"       // single ASN peering, as-set filter
+      "import: from AS-GROUP accept AS2\n"      // set peering, ASN filter
+      "import: from AS-ANY accept ANY\n"        // ANY peering, ANY filter
+      "export: to AS2 announce AS1 AND NOT AS3\n");  // compound filter
+  ShapeCensus census = ShapeCensus::compute(ir);
+  EXPECT_EQ(census.peerings_total, 4u);
+  EXPECT_EQ(census.peerings_single_asn_or_any, 3u);
+  EXPECT_EQ(census.filters_as_set, 1u);
+  EXPECT_EQ(census.filters_asn, 1u);
+  EXPECT_EQ(census.filters_any, 1u);
+  EXPECT_EQ(census.filters_compound, 1u);
+  EXPECT_EQ(census.rules_total, 4u);
+  EXPECT_EQ(census.rules_bgpq4_compatible, 3u);
+  EXPECT_EQ(census.ases_with_rules, 1u);
+  EXPECT_EQ(census.ases_all_rules_bgpq4_compatible, 0u);
+}
+
+TEST(RouteObjectStats, Multiplicity) {
+  ir::Ir ir = corpus(
+      "route: 10.0.0.0/8\norigin: AS1\nmnt-by: M1\n\n"
+      "route: 10.0.0.0/8\norigin: AS2\nmnt-by: M2\n\n"  // multi-origin + multi-mnt
+      "route: 192.0.2.0/24\norigin: AS1\nmnt-by: M1\n\n"
+      "route: 198.51.100.0/24\norigin: AS3\nmnt-by: M1\n\n"
+      "route: 198.51.100.0/24\norigin: AS3\nmnt-by: M9\n");  // same origin, two maintainers
+  // Note: irr::parse_dump keeps all parsed objects; (prefix, origin) dedup
+  // happens at merge time, so build stats over the parsed corpus directly.
+  RouteObjectStats stats = RouteObjectStats::compute(ir);
+  EXPECT_EQ(stats.route_objects, 5u);
+  EXPECT_EQ(stats.unique_prefixes, 3u);
+  EXPECT_EQ(stats.prefixes_with_multiple_objects, 2u);
+  EXPECT_EQ(stats.prefixes_with_multiple_origins, 1u);
+  EXPECT_EQ(stats.prefixes_with_multiple_maintainers, 2u);
+}
+
+TEST(AsSetStats, OpacityCensus) {
+  util::Diagnostics diag;
+  ir::Ir ir = corpus(
+      "as-set: AS-EMPTY\n\n"
+      "as-set: AS-SINGLE\nmembers: AS1\n\n"
+      "as-set: AS-WILD\nmembers: ANY\n\n"
+      "as-set: AS-D1\nmembers: AS-D2\n\n"
+      "as-set: AS-D2\nmembers: AS-D3\n\n"
+      "as-set: AS-D3\nmembers: AS-D4\n\n"
+      "as-set: AS-D4\nmembers: AS-D5\n\n"
+      "as-set: AS-D5\nmembers: AS-LOOP\n\n"
+      "as-set: AS-LOOP\nmembers: AS-D1, AS2\n");
+  irr::Index index(ir);
+  AsSetStats stats = AsSetStats::compute(ir, index);
+  EXPECT_EQ(stats.total, 9u);
+  EXPECT_EQ(stats.empty, 1u);
+  EXPECT_EQ(stats.single_member, 1u);
+  EXPECT_EQ(stats.with_any_keyword, 1u);
+  EXPECT_EQ(stats.recursive, 6u);  // D1..D5 and LOOP
+  EXPECT_GE(stats.in_loops, 6u);   // the whole chain participates
+  EXPECT_GE(stats.depth_5_plus, 1u);
+  EXPECT_EQ(stats.huge, 0u);
+}
+
+TEST(ErrorCensus, CountsByKind) {
+  util::Diagnostics diag;
+  ir::Ir ir = irr::parse_dump(
+      "aut-num: AS1\nimport: fron AS2 accept ANY\n\n"
+      "as-set: NOT-VALID\nmembers: AS1\n\n"
+      "route-set: ALSO-BAD\nmembers: 10.0.0.0/8\n\n"
+      "route-set: RS-FINE\nmembers: 10.0.0.0/8\n",
+      "TEST", diag);
+  ErrorCensus census = ErrorCensus::compute(diag, ir);
+  EXPECT_GE(census.syntax_errors, 1u);
+  EXPECT_EQ(census.invalid_as_set_names, 1u);
+  EXPECT_EQ(census.invalid_route_set_names, 1u);
+}
+
+TEST(MisusePatterns, AppendixEShapes) {
+  ir::Ir ir = corpus(
+      "aut-num: AS1\n"
+      "import: from AS2 accept AS2\n"      // import-customer shape
+      "export: to AS3 announce AS1\n\n"    // export-self shape
+      "aut-num: AS4\n"
+      "import: from AS5 accept PeerAS\n\n"  // PeerAS variant
+      "aut-num: AS6\n"
+      "import: from AS7 accept AS8\n"       // not a shape (different AS)
+      "export: to AS7 announce AS-CONE\n");
+  MisusePatterns patterns = MisusePatterns::compute(ir);
+  EXPECT_TRUE(patterns.import_customer.contains(1));
+  EXPECT_TRUE(patterns.import_customer.contains(4));
+  EXPECT_FALSE(patterns.import_customer.contains(6));
+  EXPECT_TRUE(patterns.export_self.contains(1));
+  EXPECT_FALSE(patterns.export_self.contains(6));
+}
+
+}  // namespace
+}  // namespace rpslyzer::stats

@@ -1,0 +1,90 @@
+#include "rpslyzer/util/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/util/diagnostics.hpp"
+
+namespace rpslyzer::util {
+namespace {
+
+TEST(Box, ValueSemantics) {
+  Box<int> a(5);
+  Box<int> b = a;  // deep copy
+  *b = 7;
+  EXPECT_EQ(*a, 5);
+  EXPECT_EQ(*b, 7);
+  EXPECT_FALSE(a == b);
+  *a = 7;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Box, CopyAssignment) {
+  Box<std::string> a(std::string("hello"));
+  Box<std::string> b(std::string("world"));
+  b = a;
+  EXPECT_EQ(*b, "hello");
+  *a = "changed";
+  EXPECT_EQ(*b, "hello");  // deep copy, not aliasing
+  b = b;                   // self-assignment is a no-op
+  EXPECT_EQ(*b, "hello");
+}
+
+TEST(Box, MoveLeavesSourceUnusedButDoesNotLeak) {
+  Box<std::vector<int>> a(std::vector<int>{1, 2, 3});
+  Box<std::vector<int>> b = std::move(a);
+  EXPECT_EQ(b->size(), 3u);
+}
+
+TEST(Box, DefaultConstructsValue) {
+  Box<int> a;
+  EXPECT_EQ(*a, 0);
+  Box<std::string> s;
+  EXPECT_TRUE(s->empty());
+}
+
+struct Node {
+  int value = 0;
+  // Recursive structure through Box, the IR's use case.
+  std::vector<Box<Node>> children;
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+TEST(Box, RecursiveStructures) {
+  Node root;
+  root.value = 1;
+  Node child;
+  child.value = 2;
+  root.children.emplace_back(child);
+  Node copy = root;  // deep copies the whole tree
+  root.children[0]->value = 99;
+  EXPECT_EQ(copy.children[0]->value, 2);
+  EXPECT_FALSE(copy == root);
+}
+
+TEST(Diagnostics, CountsAndMerge) {
+  Diagnostics a;
+  a.error(DiagnosticKind::kSyntaxError, "one");
+  a.warning(DiagnosticKind::kOther, "two");
+  EXPECT_EQ(a.error_count(), 1u);
+  EXPECT_EQ(a.count(DiagnosticKind::kSyntaxError), 1u);
+  EXPECT_EQ(a.count(DiagnosticKind::kOther), 1u);
+
+  Diagnostics b;
+  b.error(DiagnosticKind::kInvalidSetName, "three", "as-set:AS-X", {"RIPE", 42});
+  a.merge(std::move(b));
+  EXPECT_EQ(a.all().size(), 3u);
+  EXPECT_EQ(a.all()[2].object_key, "as-set:AS-X");
+  EXPECT_EQ(a.all()[2].location.line, 42u);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Diagnostics, ToStringNames) {
+  EXPECT_STREQ(to_string(Severity::kError), "error");
+  EXPECT_STREQ(to_string(Severity::kWarning), "warning");
+  EXPECT_STREQ(to_string(DiagnosticKind::kSyntaxError), "syntax-error");
+  EXPECT_STREQ(to_string(DiagnosticKind::kInvalidSetName), "invalid-set-name");
+}
+
+}  // namespace
+}  // namespace rpslyzer::util

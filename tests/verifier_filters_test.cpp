@@ -1,0 +1,280 @@
+// Verifier coverage for the less common filter and peering constructs:
+// filter-set / peering-set references, boolean filters, PeerAS inside
+// regexes, fltr-martian, route-set filters with range operators, and the
+// prefix-set range-operator skip toggle.
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/irr/loader.hpp"
+#include "rpslyzer/verify/verifier.hpp"
+
+namespace rpslyzer::verify {
+namespace {
+
+using bgp::Route;
+
+struct World {
+  ir::Ir ir;
+  irr::Index index;
+  relations::AsRelations relations;
+
+  World(std::string_view rpsl, std::string_view serial1, util::Diagnostics& diag)
+      : ir(irr::parse_dump(rpsl, "TEST", diag)),
+        index(ir),
+        relations(relations::AsRelations::parse(serial1, diag)) {}
+};
+
+Route route(std::string_view prefix, std::vector<bgp::Asn> path) {
+  return Route{*net::Prefix::parse(prefix), std::move(path)};
+}
+
+Status import_status(const World& w, const Route& r, std::size_t hop,
+                     VerifyOptions options = {}) {
+  Verifier v(w.index, w.relations, options);
+  auto hops = v.verify_route(r);
+  return hops.at(hop).import_result.status;
+}
+
+TEST(VerifierFilters, FilterSetReference) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS1 accept FLTR-NETS\n\n"
+      "filter-set: FLTR-NETS\nfilter: { 10.0.0.0/8^+ }\n",
+      "", diag);
+  EXPECT_EQ(import_status(w, route("10.1.0.0/16", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("192.0.2.0/24", {2, 1}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, FilterSetMpFilterForV6) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nmp-import: afi any.unicast from AS1 accept FLTR-NETS\n\n"
+      "filter-set: FLTR-NETS\nfilter: { 10.0.0.0/8^+ }\nmp-filter: { 2001:db8::/32^+ }\n",
+      "", diag);
+  // IPv6 routes evaluate against mp-filter, IPv4 against filter.
+  EXPECT_EQ(import_status(w, route("2001:db8:1::/48", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.1.0.0/16", {2, 1}), 0), Status::kVerified);
+}
+
+TEST(VerifierFilters, MissingFilterSetIsUnrecorded) {
+  util::Diagnostics diag;
+  World w("aut-num: AS2\nimport: from AS1 accept FLTR-GONE\n", "", diag);
+  auto r = route("10.0.0.0/8", {2, 1});
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(r);
+  EXPECT_EQ(hops[0].import_result.status, Status::kUnrecorded);
+  EXPECT_EQ(hops[0].import_result.items[0].reason, Reason::kUnrecordedFilterSet);
+}
+
+TEST(VerifierFilters, PeeringSetReference) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from PRNG-UP accept ANY\n\n"
+      "peering-set: PRNG-UP\npeering: AS1\npeering: AS5\n",
+      "", diag);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 5}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 9}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, MissingPeeringSetIsUnrecorded) {
+  util::Diagnostics diag;
+  World w("aut-num: AS2\nimport: from PRNG-GONE accept ANY\n", "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("10.0.0.0/8", {2, 1}));
+  EXPECT_EQ(hops[0].import_result.status, Status::kUnrecorded);
+  EXPECT_EQ(hops[0].import_result.items[0].reason, Reason::kUnrecordedPeeringSet);
+}
+
+TEST(VerifierFilters, NotFilterSemantics) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS1 accept ANY AND NOT {0.0.0.0/0, 10.0.0.0/8^+}\n",
+      "", diag);
+  EXPECT_EQ(import_status(w, route("192.0.2.0/24", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.5.0.0/16", {2, 1}), 0), Status::kUnverified);
+  EXPECT_EQ(import_status(w, route("0.0.0.0/0", {2, 1}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, FltrMartian) {
+  util::Diagnostics diag;
+  World w("aut-num: AS2\nimport: from AS1 accept NOT fltr-martian\n", "", diag);
+  EXPECT_EQ(import_status(w, route("8.8.8.0/24", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("192.168.0.0/16", {2, 1}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, RouteSetWithRangeOperator) {
+  // The non-standard "route-set followed by a range operator" (Appendix B).
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS1 accept RS-NETS^24-32\n\n"
+      "route-set: RS-NETS\nmembers: 10.0.0.0/8\n",
+      "", diag);
+  EXPECT_EQ(import_status(w, route("10.1.2.0/24", {2, 1}), 0), Status::kVerified);
+  // The base /8 itself is outside ^24-32.
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, PrefixSetRangeOperatorSkipToggle) {
+  util::Diagnostics diag;
+  World w("aut-num: AS2\nimport: from AS1 accept {10.0.0.0/8}^16\n", "", diag);
+  // Paper-faithful mode skips (Appendix B: "we do not handle two rules
+  // containing inline prefix sets followed by range operators").
+  Verifier faithful(w.index, w.relations);
+  auto hops = faithful.verify_route(route("10.7.0.0/16", {2, 1}));
+  EXPECT_EQ(hops[0].import_result.status, Status::kSkip);
+  EXPECT_EQ(hops[0].import_result.items[0].reason, Reason::kSkipPrefixSetOp);
+  // Extension mode evaluates them.
+  VerifyOptions extended;
+  extended.paper_faithful_skips = false;
+  Verifier evaluating(w.index, w.relations, extended);
+  EXPECT_EQ(evaluating.verify_route(route("10.7.0.0/16", {2, 1}))[0].import_result.status,
+            Status::kVerified);
+  EXPECT_EQ(evaluating.verify_route(route("10.0.0.0/8", {2, 1}))[0].import_result.status,
+            Status::kUnverified);
+}
+
+TEST(VerifierFilters, PeerAsInsideRegex) {
+  util::Diagnostics diag;
+  World w("aut-num: AS2\nimport: from AS1 accept <^PeerAS+$>\n", "", diag);
+  // PeerAS binds to AS1 (the session neighbor): path must be all-AS1.
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1, 3}), 1), Status::kUnverified);
+}
+
+TEST(VerifierFilters, AsSetInRegexUsesFlattening) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS1 accept <^AS1 AS-CONE+$>\n\n"
+      "as-set: AS-CONE\nmembers: AS3, AS-SUB\n\n"
+      "as-set: AS-SUB\nmembers: AS4\n",
+      "", diag);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1, 3, 4}), 2), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1, 9}), 1), Status::kUnverified);
+}
+
+TEST(VerifierFilters, MultiplePeeringsShareFilter) {
+  // The AS8323 pattern (Appendix A): several peerings, one filter.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\n"
+      "import: from AS1 action pref=50; from AS5 action pref=60; accept PeerAS\n\n"
+      "route: 10.1.0.0/16\norigin: AS1\n\n"
+      "route: 10.5.0.0/16\norigin: AS5\n",
+      "", diag);
+  EXPECT_EQ(import_status(w, route("10.1.0.0/16", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.5.0.0/16", {2, 5}), 0), Status::kVerified);
+  // AS1's session does not admit AS5's prefix (PeerAS is per-session). The
+  // strict mismatch is softened to Relaxed by the Missing Routes check:
+  // the failed filter AS (PeerAS -> AS1) is the path's origin (§5.1.1).
+  EXPECT_EQ(import_status(w, route("10.5.0.0/16", {2, 1}), 0), Status::kRelaxed);
+  VerifyOptions strict;
+  strict.relaxations = false;
+  strict.safelists = false;
+  EXPECT_EQ(import_status(w, route("10.5.0.0/16", {2, 1}), 0, strict),
+            Status::kUnverified);
+}
+
+TEST(VerifierFilters, AsExprPeeringAndOrExcept) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\n"
+      "import: from (AS1 OR AS3) EXCEPT AS3 accept ANY\n",
+      "", diag);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 3}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, AsSetPeering) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS-UPSTREAMS accept ANY\n\n"
+      "as-set: AS-UPSTREAMS\nmembers: AS1, AS5\n",
+      "", diag);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 9}), 0), Status::kUnverified);
+  // Mismatch items name the set.
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("10.0.0.0/8", {2, 9}));
+  ASSERT_FALSE(hops[0].import_result.items.empty());
+  EXPECT_EQ(hops[0].import_result.items[0].reason, Reason::kMatchRemoteAsSet);
+  EXPECT_EQ(hops[0].import_result.items[0].name, "AS-UPSTREAMS");
+}
+
+TEST(VerifierFilters, MembersByRefPeering) {
+  // An AS joins the upstream set indirectly via member-of + mbrs-by-ref.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS-CLUB accept ANY\n\n"
+      "as-set: AS-CLUB\nmbrs-by-ref: MAINT-CLUB\n\n"
+      "aut-num: AS7\nmember-of: AS-CLUB\nmnt-by: MAINT-CLUB\n",
+      "", diag);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 7}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 8}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, MulticastAfiNeverCoversUnicastRoutes) {
+  util::Diagnostics diag;
+  World w("aut-num: AS2\nmp-import: afi ipv4.multicast from AS1 accept ANY\n", "", diag);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, BarePrefixFilter) {
+  util::Diagnostics diag;
+  World w("aut-num: AS2\nimport: from AS1 accept 10.0.0.0/8^+\n", "", diag);
+  EXPECT_EQ(import_status(w, route("10.9.0.0/16", {2, 1}), 0), Status::kVerified);
+  EXPECT_EQ(import_status(w, route("11.0.0.0/8", {2, 1}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, OrFilterShortCircuitsToMatch) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS1 accept AS-GONE OR ANY\n",
+      "", diag);
+  // Even though AS-GONE is unrecorded, the OR's right side matches.
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1}), 0), Status::kVerified);
+}
+
+TEST(VerifierFilters, AndWithUnrecordedIsUnrecorded) {
+  util::Diagnostics diag;
+  World w("aut-num: AS2\nimport: from AS1 accept ANY AND AS-GONE\n", "", diag);
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1}), 0), Status::kUnrecorded);
+}
+
+TEST(VerifierFilters, AndWithDefiniteMissBeatsUnrecorded) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS1 accept {192.0.2.0/24} AND AS-GONE\n",
+      "", diag);
+  // The prefix set definitively fails, so the rule is a plain mismatch
+  // regardless of the unrecorded set.
+  EXPECT_EQ(import_status(w, route("10.0.0.0/8", {2, 1}), 0), Status::kUnverified);
+}
+
+TEST(VerifierFilters, FilterSetCycleTerminates) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS1 accept FLTR-A\n\n"
+      "filter-set: FLTR-A\nfilter: FLTR-B\n\n"
+      "filter-set: FLTR-B\nfilter: FLTR-A\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("10.0.0.0/8", {2, 1}));
+  // The cycle can never be resolved: Skip, not a hang.
+  EXPECT_EQ(hops[0].import_result.status, Status::kSkip);
+}
+
+TEST(VerifierFilters, PeeringSetCycleTerminates) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from PRNG-A accept ANY\n\n"
+      "peering-set: PRNG-A\npeering: PRNG-B\n\n"
+      "peering-set: PRNG-B\npeering: PRNG-A\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("10.0.0.0/8", {2, 1}));
+  EXPECT_EQ(hops[0].import_result.status, Status::kUnverified);
+}
+
+}  // namespace
+}  // namespace rpslyzer::verify

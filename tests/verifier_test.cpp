@@ -1,0 +1,553 @@
+#include "rpslyzer/verify/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/irr/loader.hpp"
+
+namespace rpslyzer::verify {
+namespace {
+
+using bgp::Route;
+
+struct World {
+  ir::Ir ir;
+  irr::Index index;
+  relations::AsRelations relations;
+
+  World(std::string_view rpsl, std::string_view serial1, util::Diagnostics& diag)
+      : ir(irr::parse_dump(rpsl, "TEST", diag)),
+        index(ir),
+        relations(relations::AsRelations::parse(serial1, diag)) {}
+};
+
+Route route(std::string_view prefix, std::vector<bgp::Asn> path) {
+  return Route{*net::Prefix::parse(prefix), std::move(path)};
+}
+
+TEST(Verifier, StrictMatchAnyFilter) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS1 accept ANY\nexport: to AS1 announce ANY\n\n"
+      "aut-num: AS1\nexport: to AS2 announce ANY\nimport: from AS2 accept ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {2, 1}));
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].from, 1u);
+  EXPECT_EQ(hops[0].to, 2u);
+  EXPECT_EQ(hops[0].export_result.status, Status::kVerified);
+  EXPECT_EQ(hops[0].import_result.status, Status::kVerified);
+}
+
+TEST(Verifier, StrictMatchAsnFilterViaRouteObject) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\nimport: from AS1 accept AS1\n\n"
+      "aut-num: AS1\nexport: to AS2 announce AS1\n\n"
+      "route: 10.1.0.0/16\norigin: AS1\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("10.1.0.0/16", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kVerified);
+  EXPECT_EQ(hops[0].import_result.status, Status::kVerified);
+  // A prefix without a route object is not strictly verified.
+  auto hops2 = v.verify_route(route("10.2.0.0/16", {2, 1}));
+  EXPECT_NE(hops2[0].import_result.status, Status::kVerified);
+}
+
+TEST(Verifier, UnrecordedAutNum) {
+  util::Diagnostics diag;
+  World w("aut-num: AS2\nimport: from AS1 accept ANY\n", "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kUnrecorded);
+  ASSERT_EQ(hops[0].export_result.items.size(), 1u);
+  EXPECT_EQ(hops[0].export_result.items[0].reason, Reason::kUnrecordedAutNum);
+  EXPECT_EQ(hops[0].import_result.status, Status::kVerified);
+}
+
+TEST(Verifier, UnrecordedNoRulesForDirection) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nimport: from AS2 accept ANY\n\n"  // no export rules
+      "aut-num: AS2\nimport: from AS1 accept ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kUnrecorded);
+  EXPECT_EQ(hops[0].export_result.items[0].reason, Reason::kUnrecordedNoRules);
+}
+
+TEST(Verifier, UnrecordedMissingAsSetInFilter) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nexport: to AS2 announce AS-GONE\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kUnrecorded);
+  EXPECT_EQ(hops[0].export_result.items[0].reason, Reason::kUnrecordedAsSet);
+  EXPECT_EQ(hops[0].export_result.items[0].name, "AS-GONE");
+}
+
+TEST(Verifier, UnrecordedZeroRouteAs) {
+  // Filter references AS1, which has no route objects at all.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nexport: to AS2 announce AS1\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kUnrecorded);
+  EXPECT_EQ(hops[0].export_result.items[0].reason, Reason::kUnrecordedZeroRouteAs);
+}
+
+TEST(Verifier, UnverifiedPeeringMismatchWithItems) {
+  // Appendix C: AS141893 exports only to AS58552/AS131755; exporting to
+  // AS56239 is unverified with both remotes reported.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS141893\n"
+      "export: to AS58552 announce AS141893\n"
+      "export: to AS131755 announce AS141893\n"
+      "import: from AS58552 accept ANY\n\n"
+      "aut-num: AS56239\nimport: from AS141893 accept ANY\n",
+      "", diag);
+  VerifyOptions options;
+  options.safelists = false;
+  Verifier v(w.index, w.relations, options);
+  auto hops = v.verify_route(route("103.162.114.0/23", {56239, 141893}));
+  const CheckResult& exp = hops[0].export_result;
+  EXPECT_EQ(exp.status, Status::kUnverified);
+  ASSERT_EQ(exp.items.size(), 2u);
+  EXPECT_EQ(exp.items[0], (ReportItem{Reason::kMatchRemoteAsNum, 58552, {}}));
+  EXPECT_EQ(exp.items[1], (ReportItem{Reason::kMatchRemoteAsNum, 131755, {}}));
+}
+
+TEST(Verifier, SkipCommunityFilter) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nexport: to AS2 announce community(65535:666)\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kSkip);
+  EXPECT_EQ(hops[0].export_result.items[0].reason, Reason::kSkipCommunityFilter);
+}
+
+TEST(Verifier, SkipRegexConstructOnlyInFaithfulMode) {
+  util::Diagnostics diag;
+  const char* rpsl =
+      "aut-num: AS1\nexport: to AS2 announce <^[AS64512-AS65535]+$>\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n";
+  World w(rpsl, "", diag);
+  Verifier faithful(w.index, w.relations);
+  auto hops = faithful.verify_route(route("8.8.8.0/24", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kSkip);
+  EXPECT_EQ(hops[0].export_result.items[0].reason, Reason::kSkipRegexConstruct);
+
+  VerifyOptions extended;
+  extended.paper_faithful_skips = false;
+  Verifier evaluating(w.index, w.relations, extended);
+  // aut-num AS1 does not exist for 64512; craft the route so AS1 exports.
+  auto hops2 = evaluating.verify_route(route("8.8.8.0/24", {2, 1}));
+  // Path announced by AS1 is {1}: not in the private range -> filter fails.
+  EXPECT_EQ(hops2[0].export_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, SkipBeatsUnrecordedAndMismatch) {
+  // One community rule (skip) plus one mismatching rule: Skip wins (§5
+  // ordering puts Skip right after Verified).
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\n"
+      "export: to AS9 announce ANY\n"
+      "export: to AS2 announce community(65535:666)\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kSkip);
+}
+
+TEST(Verifier, VerifiedBeatsEverything) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\n"
+      "export: to AS2 announce community(65535:666)\n"
+      "export: to AS2 announce ANY\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kVerified);
+}
+
+TEST(Verifier, RelaxedExportSelf) {
+  // AS1 announces "itself" but the prefix belongs to its customer AS3,
+  // whose route object exists: Export Self relaxation (§5.1.1, App. C).
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nexport: to AS2 announce AS1\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n\n"
+      "route: 10.0.0.0/8\norigin: AS1\n\n"
+      "route: 10.3.0.0/16\norigin: AS3\n",
+      "1|3|-1\n",  // AS1 is AS3's provider
+      diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("10.3.0.0/16", {2, 1, 3}));
+  const CheckResult& exp = hops[1].export_result;  // AS1 -> AS2 hop
+  EXPECT_EQ(exp.status, Status::kRelaxed);
+  EXPECT_EQ(exp.items.back().reason, Reason::kRelaxedExportSelf);
+}
+
+TEST(Verifier, ExportSelfRequiresConeRouteObject) {
+  // Same topology but no route object for the customer prefix: the
+  // relaxation must NOT fire (Appendix C's AS56239 example); uphill
+  // safelisting is also disabled here to observe the raw result.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nexport: to AS2 announce AS1\n\n"
+      "route: 10.0.0.0/8\norigin: AS1\n",
+      "1|3|-1\n", diag);
+  VerifyOptions options;
+  options.safelists = false;
+  Verifier v(w.index, w.relations, options);
+  auto hops = v.verify_route(route("10.99.0.0/16", {2, 1, 3}));
+  // 10.99/16 is inside AS1's aggregate but has no exact route object from
+  // the cone; strict filter fails, relaxation fails.
+  EXPECT_EQ(hops[1].export_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, RelaxedImportCustomer) {
+  // "import: from AS3 accept AS3" by AS3's provider AS1: treated as ANY.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nimport: from AS3 accept AS3\n\n"
+      "route: 10.3.0.0/16\norigin: AS3\n",
+      "1|3|-1\n", diag);
+  Verifier v(w.index, w.relations);
+  // AS3 announces a route originated by its own customer (AS4), so the
+  // strict filter (AS3's route objects) fails.
+  auto hops = v.verify_route(route("10.44.0.0/16", {1, 3, 4}));
+  const CheckResult& imp = hops[1].import_result;  // AS1 imports from AS3
+  EXPECT_EQ(imp.status, Status::kRelaxed);
+  EXPECT_EQ(imp.items.back().reason, Reason::kRelaxedImportCustomer);
+}
+
+TEST(Verifier, ImportCustomerRequiresCustomerRelationship) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nimport: from AS3 accept AS3\n\n"
+      "route: 10.3.0.0/16\norigin: AS3\n",
+      "",  // no relationship data
+      diag);
+  VerifyOptions options;
+  options.safelists = false;
+  Verifier v(w.index, w.relations, options);
+  auto hops = v.verify_route(route("10.44.0.0/16", {1, 3, 4}));
+  EXPECT_EQ(hops[1].import_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, RelaxedImportCustomerViaPeerAs) {
+  // Appendix A: a PeerAS filter under the import-customer relaxation.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nimport: from AS3 accept PeerAS\n\n"
+      "route: 10.3.0.0/16\norigin: AS3\n",
+      "1|3|-1\n", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("10.44.0.0/16", {1, 3, 4}));
+  EXPECT_EQ(hops[1].import_result.status, Status::kRelaxed);
+  EXPECT_EQ(hops[1].import_result.items.back().reason, Reason::kRelaxedImportCustomer);
+}
+
+TEST(Verifier, RelaxedMissingRoutes) {
+  // Filter references the path origin AS4 (which has SOME route objects,
+  // just not this prefix): Missing Routes relaxation.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nimport: from AS3 accept AS4\n\n"
+      "route: 10.4.0.0/16\norigin: AS4\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("10.77.0.0/16", {1, 3, 4}));
+  EXPECT_EQ(hops[1].import_result.status, Status::kRelaxed);
+  EXPECT_EQ(hops[1].import_result.items.back().reason, Reason::kRelaxedMissingRoutes);
+}
+
+TEST(Verifier, RelaxedMissingRoutesViaAsSet) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nimport: from AS3 accept AS-CONE\n\n"
+      "as-set: AS-CONE\nmembers: AS3, AS4\n\n"
+      "route: 10.4.0.0/16\norigin: AS4\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("10.77.0.0/16", {1, 3, 4}));
+  EXPECT_EQ(hops[1].import_result.status, Status::kRelaxed);
+  EXPECT_EQ(hops[1].import_result.items.back().reason, Reason::kRelaxedMissingRoutes);
+}
+
+TEST(Verifier, RelaxationsCanBeDisabled) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nimport: from AS3 accept AS4\n\n"
+      "route: 10.4.0.0/16\norigin: AS4\n",
+      "", diag);
+  VerifyOptions options;
+  options.relaxations = false;
+  options.safelists = false;
+  Verifier v(w.index, w.relations, options);
+  auto hops = v.verify_route(route("10.77.0.0/16", {1, 3, 4}));
+  EXPECT_EQ(hops[1].import_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, SafelistOnlyProviderPolicies) {
+  // AS5 only has rules for its provider AS6; an import from customer AS7
+  // is safelisted.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS5\nimport: from AS6 accept ANY\nexport: to AS6 announce AS5\n\n"
+      "route: 10.5.0.0/16\norigin: AS5\n",
+      "6|5|-1\n5|7|-1\n", diag);
+  Verifier v(w.index, w.relations);
+  EXPECT_TRUE(v.only_provider_policies(5));
+  auto hops = v.verify_route(route("10.77.0.0/16", {5, 7}));
+  const CheckResult& imp = hops[0].import_result;
+  EXPECT_EQ(imp.status, Status::kSafelisted);
+  EXPECT_EQ(imp.items.back().reason, Reason::kSpecCustomerOnlyProviderPolicies);
+}
+
+TEST(Verifier, OnlyProviderPoliciesRejectsCatchAll) {
+  util::Diagnostics diag;
+  World w("aut-num: AS5\nimport: from AS-ANY accept ANY\n", "6|5|-1\n", diag);
+  Verifier v(w.index, w.relations);
+  EXPECT_FALSE(v.only_provider_policies(5));
+}
+
+TEST(Verifier, SafelistTier1Pair) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS10\nexport: to AS99 announce AS10\nimport: from AS99 accept AS99\n\n"
+      "aut-num: AS20\nexport: to AS99 announce AS20\nimport: from AS99 accept AS99\n",
+      "# inferred clique: 10 20\n10|20|0\n10|1|-1\n20|1|-1\n", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {10, 20}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kSafelisted);
+  EXPECT_EQ(hops[0].export_result.items.back().reason, Reason::kSpecTier1Pair);
+  EXPECT_EQ(hops[0].import_result.status, Status::kSafelisted);
+}
+
+TEST(Verifier, SafelistUphill) {
+  // Customer AS3 exporting to provider AS1 with no matching rules.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS3\nexport: to AS9 announce AS3\nimport: from AS9 accept ANY\n\n"
+      "aut-num: AS1\nimport: from AS9 accept ANY\nexport: to AS9 announce ANY\n",
+      "1|3|-1\n", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("8.8.8.0/24", {1, 3}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kSafelisted);
+  EXPECT_EQ(hops[0].export_result.items.back().reason, Reason::kSpecUphill);
+  EXPECT_EQ(hops[0].import_result.status, Status::kSafelisted);
+  EXPECT_EQ(hops[0].import_result.items.back().reason, Reason::kSpecUphill);
+}
+
+TEST(Verifier, DownhillIsNotSafelisted) {
+  // The paper "considered similarly safelisting downhill propagation but
+  // decided against it".
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nexport: to AS9 announce ANY\nimport: from AS9 accept ANY\n\n"
+      "aut-num: AS3\nimport: from AS9 accept ANY\nexport: to AS9 announce ANY\n",
+      "1|3|-1\n", diag);
+  Verifier v(w.index, w.relations);
+  // Route flows downhill: provider AS1 exports to customer AS3.
+  auto hops = v.verify_route(route("8.8.8.0/24", {3, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kUnverified);
+  EXPECT_EQ(hops[0].import_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, AfiGatesRuleApplicability) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nmp-export: afi ipv6.unicast to AS2 announce ANY\n\n"
+      "aut-num: AS2\nmp-import: afi ipv6.unicast from AS1 accept ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto v6 = v.verify_route(route("2001:db8::/32", {2, 1}));
+  EXPECT_EQ(v6[0].export_result.status, Status::kVerified);
+  EXPECT_EQ(v6[0].import_result.status, Status::kVerified);
+  auto v4 = v.verify_route(route("8.8.8.0/24", {2, 1}));
+  EXPECT_EQ(v4[0].export_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, PlainImportDoesNotCoverV6) {
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS1\nexport: to AS2 announce ANY\n\n"
+      "aut-num: AS2\nimport: from AS1 accept ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto hops = v.verify_route(route("2001:db8::/32", {2, 1}));
+  EXPECT_EQ(hops[0].export_result.status, Status::kUnverified);
+  EXPECT_EQ(hops[0].import_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, AsPathRegexFilterMatches) {
+  // The paper's §2 example: accept routes from AS13911 originated by
+  // AS6327 only.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS14595\n"
+      "mp-import: afi any.unicast from AS13911 accept <^AS13911 AS6327+$>\n\n"
+      "aut-num: AS13911\nexport: to AS14595 announce ANY\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto good = v.verify_route(route("8.8.8.0/24", {14595, 13911, 6327}));
+  EXPECT_EQ(good[1].import_result.status, Status::kVerified);
+  auto bad = v.verify_route(route("8.8.8.0/24", {14595, 13911, 7777}));
+  EXPECT_EQ(bad[1].import_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, StructuredRefineRule) {
+  // Both sides of a REFINE must match.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\n"
+      "mp-import: afi any { from AS1 accept ANY; } REFINE afi any { from AS-ANY accept "
+      "<AS3$>; }\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  auto ok = v.verify_route(route("8.8.8.0/24", {2, 1, 3}));
+  EXPECT_EQ(ok[1].import_result.status, Status::kVerified);
+  auto fail = v.verify_route(route("8.8.8.0/24", {2, 1, 4}));
+  EXPECT_EQ(fail[1].import_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, StructuredExceptRule) {
+  // EXCEPT semantics (RFC 2622 §6.6): routes matching the exception's
+  // peering AND filter take the exception; everything else falls back to
+  // the base policy.
+  util::Diagnostics diag;
+  World w(
+      "aut-num: AS2\n"
+      "import: { from AS-ANY accept <AS9$>; } EXCEPT { from AS1 accept ANY; }\n",
+      "", diag);
+  Verifier v(w.index, w.relations);
+  // From AS1: the exception accepts anything.
+  auto via_exception = v.verify_route(route("8.8.8.0/24", {2, 1, 4}));
+  EXPECT_EQ(via_exception[1].import_result.status, Status::kVerified);
+  // From AS3: only the base policy applies, requiring origin AS9.
+  auto via_base = v.verify_route(route("8.8.8.0/24", {2, 3, 9}));
+  EXPECT_EQ(via_base[1].import_result.status, Status::kVerified);
+  auto fail = v.verify_route(route("8.8.8.0/24", {2, 3, 4}));
+  EXPECT_EQ(fail[1].import_result.status, Status::kUnverified);
+}
+
+TEST(Verifier, AppendixCScenario) {
+  // The full 6-hop example: prefix 103.162.114.0/23, path
+  // {3257 1299 6939 133840 56239 141893}.
+  util::Diagnostics diag;
+  World w(
+      // AS141893: two export rules, none covering AS56239.
+      "aut-num: AS141893\n"
+      "export: to AS58552 announce AS141893\n"
+      "export: to AS131755 announce AS141893\n"
+      "import: from AS58552 accept ANY\n\n"
+      // AS56239: rules only for providers AS55685 (and the export below).
+      "aut-num: AS56239\n"
+      "import: from AS55685 accept ANY\n"
+      "export: to AS133840 announce AS56239\n\n"
+      // AS133840: rules only for its provider AS55685.
+      "aut-num: AS133840\n"
+      "import: from AS55685 accept ANY\n"
+      "export: to AS55685 announce AS133840\n\n"
+      // AS6939: open policy.
+      "aut-num: AS6939\n"
+      "import: from AS-ANY accept ANY\n"
+      "export: to AS-ANY announce ANY\n\n"
+      // AS1299: strict import; exports reference as-sets missing from the
+      // IRRs.
+      "aut-num: AS1299\n"
+      "export: to AS3257 announce AS1299:AS-TWELVE99-CUSTOMER-V4 OR "
+      "AS1299:AS-TWELVE99-PEER-V4\n"
+      "import: from AS6939 accept ANY\n\n"
+      // AS3257: a rule for a different remote only.
+      "aut-num: AS3257\n"
+      "import: from AS12 accept ANY\n"
+      "export: to AS12 announce ANY\n\n"
+      // Route object for AS56239's own space (not the verified prefix).
+      "route: 103.123.0.0/16\norigin: AS56239\n",
+      // Relationships: 55685 is the provider the small ASes wrote rules
+      // for; 133840 provider of 56239; 6939 provider of 133840; 1299/3257
+      // Tier-1 clique; 6939 customer of 1299. AS141893 has NO inferred
+      // relationship with AS56239 — Appendix C notes AS137296 is "the only
+      // AS in AS56239's customer cone".
+      "# inferred clique: 1299 3257\n"
+      "1299|3257|0\n"
+      "56239|137296|-1\n"
+      "55685|56239|-1\n"
+      "55685|133840|-1\n"
+      "133840|56239|-1\n"
+      "6939|133840|-1\n"
+      "1299|6939|-1\n",
+      diag);
+  Verifier v(w.index, w.relations);
+  Route r = route("103.162.114.0/23", {3257, 1299, 6939, 133840, 56239, 141893});
+  auto hops = v.verify_route(r);
+  ASSERT_EQ(hops.size(), 5u);
+
+  // Hop 0 (origin side): AS141893 -> AS56239.
+  EXPECT_EQ(hops[0].export_result.status, Status::kUnverified);  // BadExport
+  EXPECT_EQ(hops[0].import_result.status, Status::kSafelisted);  // MehImport (OPP)
+  EXPECT_EQ(hops[0].import_result.items.back().reason,
+            Reason::kSpecOtherOnlyProviderPolicies);
+
+  // Hop 1: AS56239 -> AS133840: export filter fails even relaxed -> uphill.
+  EXPECT_EQ(hops[1].export_result.status, Status::kSafelisted);
+  EXPECT_EQ(hops[1].export_result.items.back().reason, Reason::kSpecUphill);
+  EXPECT_EQ(hops[1].import_result.status, Status::kSafelisted);
+  EXPECT_EQ(hops[1].import_result.items.back().reason,
+            Reason::kSpecCustomerOnlyProviderPolicies);
+
+  // Hop 2: AS133840 -> AS6939: uphill export; strict import (AS-ANY/ANY).
+  EXPECT_EQ(hops[2].export_result.status, Status::kSafelisted);
+  EXPECT_EQ(hops[2].export_result.items.back().reason, Reason::kSpecUphill);
+  EXPECT_EQ(hops[2].import_result.status, Status::kVerified);  // OkImport
+
+  // Hop 3: AS6939 -> AS1299: both strict.
+  EXPECT_EQ(hops[3].export_result.status, Status::kVerified);
+  EXPECT_EQ(hops[3].import_result.status, Status::kVerified);
+
+  // Hop 4: AS1299 -> AS3257: unrecorded as-sets; Tier-1 pair import.
+  EXPECT_EQ(hops[4].export_result.status, Status::kUnrecorded);  // UnrecExport
+  ASSERT_GE(hops[4].export_result.items.size(), 1u);
+  EXPECT_EQ(hops[4].export_result.items[0].reason, Reason::kUnrecordedAsSet);
+  EXPECT_EQ(hops[4].import_result.status, Status::kSafelisted);  // MehImport
+  EXPECT_EQ(hops[4].import_result.items.back().reason, Reason::kSpecTier1Pair);
+
+  // The textual report renders Appendix-C style lines.
+  std::string report = v.report(r);
+  EXPECT_NE(report.find("BadExport { from: 141893, to: 56239"), std::string::npos);
+  EXPECT_NE(report.find("MatchRemoteAsNum(58552)"), std::string::npos);
+  EXPECT_NE(report.find("OkImport { from: 133840, to: 6939 }"), std::string::npos);
+  EXPECT_NE(report.find("UnrecordedAsSet(\"AS1299:AS-TWELVE99-CUSTOMER-V4\")"),
+            std::string::npos);
+  EXPECT_NE(report.find("SpecTier1Pair"), std::string::npos);
+}
+
+TEST(Verifier, ShortPathsHaveNoHops) {
+  util::Diagnostics diag;
+  World w("", "", diag);
+  Verifier v(w.index, w.relations);
+  EXPECT_TRUE(v.verify_route(route("8.8.8.0/24", {1})).empty());
+  EXPECT_TRUE(v.verify_route(route("8.8.8.0/24", {})).empty());
+}
+
+}  // namespace
+}  // namespace rpslyzer::verify

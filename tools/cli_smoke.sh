@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the rpslyzer CLI: generate a corpus, then run
+# every subcommand against it.
+set -euo pipefail
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" generate "$DIR" 0.1 7 | grep -q "wrote"
+"$CLI" parse "$DIR" | grep -q "merged corpus"
+"$CLI" export "$DIR" "$DIR/ir.json" | grep -q "exported"
+test -s "$DIR/ir.json"
+"$CLI" lint "$DIR" | grep -q "findings" || true   # exits 1 when findings exist
+"$CLI" verify "$DIR" | grep -q "checks from"
+# Verify one concrete route: pick a line whose AS path has >= 2 hops
+# (single-AS routes are the collector peer's own prefixes).
+LINE="$(awk -F'|' 'split($2, a, " ") >= 2 {print; exit}' "$DIR/collector-0.dump")"
+PREFIX="${LINE%%|*}"
+ASPATH="${LINE#*|}"
+"$CLI" report "$DIR" "$PREFIX" $ASPATH | grep -qE "(Ok|Meh|Bad|Unrec|Skip)(Import|Export)"
+# Bad usage exits non-zero.
+if "$CLI" nonsense >/dev/null 2>&1; then exit 1; fi
+echo "cli smoke ok"

@@ -1,0 +1,188 @@
+// rpslyzer — command-line front end to the library.
+//
+//   rpslyzer generate <dir> [scale] [seed]   synthesize a corpus to <dir>
+//   rpslyzer parse <dir>                     parse dumps, print a census
+//   rpslyzer lint <dir>                      lint the corpus
+//   rpslyzer export <dir> <out.json>         export the IR as JSON
+//   rpslyzer report <dir> <prefix> <asn...>  verify one route, print report
+//   rpslyzer verify <dir>                    verify collector-*.dump files
+//
+// <dir> holds <irr>.db dumps (Table 1 names) plus relationships.txt and,
+// for `verify`, collector-<n>.dump files — exactly what `generate` writes.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "rpslyzer/lint/classify.hpp"
+#include "rpslyzer/lint/linter.hpp"
+#include "rpslyzer/report/aggregate.hpp"
+#include "rpslyzer/report/render.hpp"
+#include "rpslyzer/rpslyzer.hpp"
+#include "rpslyzer/stats/census.hpp"
+#include "rpslyzer/synth/generator.hpp"
+
+namespace {
+
+using namespace rpslyzer;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rpslyzer <command> ...\n"
+               "  generate <dir> [scale] [seed]   synthesize an IRR+BGP corpus\n"
+               "  parse <dir>                     parse dumps and print a census\n"
+               "  lint <dir>                      lint the corpus\n"
+               "  export <dir> <out.json>         export the IR as JSON\n"
+               "  report <dir> <prefix> <asn...>  verify one route (Appendix-C style)\n"
+               "  verify <dir>                    verify collector-*.dump files\n");
+  return 2;
+}
+
+Rpslyzer load(const std::filesystem::path& dir) {
+  return Rpslyzer::from_files(dir, dir / "relationships.txt");
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 1) return usage();
+  synth::SynthConfig config;
+  if (argc >= 2) config.scale = std::atof(argv[1]);
+  if (argc >= 3) config.seed = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  synth::InternetGenerator generator(config);
+  const std::size_t files = generator.write_to(argv[0]);
+  std::printf("wrote %zu files to %s (%zu ASes, %zu aut-nums planned, %zu collectors)\n",
+              files, argv[0], generator.topology().size(),
+              generator.topology().size() - generator.plan().missing_aut_num.size(),
+              generator.collector_peers().size());
+  return 0;
+}
+
+int cmd_parse(int argc, char** argv) {
+  if (argc < 1) return usage();
+  Rpslyzer lyzer = load(argv[0]);
+  std::printf("%-10s %9s %9s %9s %9s\n", "IRR", "aut-num", "route", "import", "export");
+  for (const auto& counts : lyzer.irr_counts()) {
+    std::printf("%-10s %9zu %9zu %9zu %9zu\n", counts.name.c_str(), counts.aut_nums,
+                counts.routes, counts.imports, counts.exports);
+  }
+  std::printf("\nmerged corpus: %zu objects (%zu aut-nums, %zu routes after dedup)\n",
+              lyzer.ir().object_count(), lyzer.ir().aut_nums.size(),
+              lyzer.ir().routes.size());
+  stats::ErrorCensus errors = stats::ErrorCensus::compute(lyzer.diagnostics(), lyzer.ir());
+  std::printf("diagnostics: %zu syntax errors, %zu invalid as-set names, %zu invalid "
+              "route-set names\n",
+              errors.syntax_errors, errors.invalid_as_set_names,
+              errors.invalid_route_set_names);
+  auto classes = lint::histogram(lint::classify_all(lyzer.ir()));
+  std::printf("usage classes:");
+  for (const auto& [cls, count] : classes) {
+    std::printf("  %s=%zu", lint::to_string(cls), count);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_lint(int argc, char** argv) {
+  if (argc < 1) return usage();
+  Rpslyzer lyzer = load(argv[0]);
+  irr::Index index(lyzer.ir());
+  auto findings = lint::lint(lyzer.ir(), index);
+  std::fputs(lint::render(findings).c_str(), stdout);
+  std::printf("%zu findings\n", findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+int cmd_export(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Rpslyzer lyzer = load(argv[0]);
+  std::ofstream out(argv[1], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[1]);
+    return 1;
+  }
+  const std::string text = json::dump_pretty(lyzer.export_ir());
+  out << text;
+  std::printf("exported %zu objects to %s (%zu bytes)\n", lyzer.ir().object_count(),
+              argv[1], text.size());
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Rpslyzer lyzer = load(argv[0]);
+  auto prefix = net::Prefix::parse(argv[1]);
+  if (!prefix) {
+    std::fprintf(stderr, "bad prefix: %s\n", argv[1]);
+    return 1;
+  }
+  bgp::Route route;
+  route.prefix = *prefix;
+  for (int i = 2; i < argc; ++i) {
+    std::string_view token = argv[i];
+    if (token.starts_with("AS") || token.starts_with("as")) token.remove_prefix(2);
+    auto asn = util::parse_u32(token);
+    if (!asn) {
+      std::fprintf(stderr, "bad ASN: %s\n", argv[i]);
+      return 1;
+    }
+    route.path.push_back(*asn);
+  }
+  route.path = bgp::strip_prepends(route.path);
+  if (route.path.size() < 2) {
+    std::fprintf(stderr, "need an AS path with at least two ASes\n");
+    return 1;
+  }
+  std::fputs(lyzer.verifier().report(route).c_str(), stdout);
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::filesystem::path dir = argv[0];
+  Rpslyzer lyzer = load(dir);
+  verify::Verifier verifier = lyzer.verifier();
+  report::Aggregator agg;
+  bgp::DumpStats dump_stats;
+  std::size_t dumps = 0;
+  for (std::size_t i = 0;; ++i) {
+    std::ifstream in(dir / ("collector-" + std::to_string(i) + ".dump"), std::ios::binary);
+    if (!in) break;
+    ++dumps;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = std::move(buffer).str();
+    for (const auto& route : bgp::parse_table_dump(text, &dump_stats)) {
+      agg.add(route, verifier.verify_route(route));
+    }
+  }
+  if (dumps == 0) {
+    std::fprintf(stderr, "no collector-*.dump files under %s\n", dir.string().c_str());
+    return 1;
+  }
+  report::StatusCounts totals;
+  for (const auto& [asn, counts] : agg.as_combined()) totals.merge(counts);
+  std::printf("%zu routes, %zu checks from %zu dumps\n", agg.total_routes(),
+              agg.total_checks(), dumps);
+  std::printf("%s\n", report::render_composition(totals).c_str());
+  std::vector<report::StatusCounts> per_as;
+  for (const auto& [asn, counts] : agg.as_combined()) per_as.push_back(counts);
+  std::fputs(report::render_stacked(per_as).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* command = argv[1];
+  argc -= 2;
+  argv += 2;
+  if (std::strcmp(command, "generate") == 0) return cmd_generate(argc, argv);
+  if (std::strcmp(command, "parse") == 0) return cmd_parse(argc, argv);
+  if (std::strcmp(command, "lint") == 0) return cmd_lint(argc, argv);
+  if (std::strcmp(command, "export") == 0) return cmd_export(argc, argv);
+  if (std::strcmp(command, "report") == 0) return cmd_report(argc, argv);
+  if (std::strcmp(command, "verify") == 0) return cmd_verify(argc, argv);
+  return usage();
+}

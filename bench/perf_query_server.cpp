@@ -1,0 +1,119 @@
+// Server-throughput benchmark: starts rpslyzerd in-process on an ephemeral
+// loopback port over the synthetic corpus and hammers it through real
+// sockets, so the measured queries/sec includes the epoll loop, framing,
+// worker handoff, and response cache — the whole serving path, not just
+// QueryEngine::evaluate. Run with --benchmark_format=json to feed the bench
+// trajectory; `hit_ratio` and items/sec (= queries/sec) are the counters
+// to track across PRs. Threads(N) multiplies concurrent client connections.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "rpslyzer/server/client.hpp"
+#include "rpslyzer/server/server.hpp"
+
+namespace {
+
+using namespace rpslyzer;
+
+constexpr std::size_t kPipeline = 16;
+
+struct ServerFixture {
+  bench::World world;
+  server::Server daemon;
+  std::vector<std::string> queries;
+
+  explicit ServerFixture(std::size_t cache_capacity)
+      : daemon(config_with(cache_capacity),
+               // The fixture outlives the daemon; hand out a non-owning view.
+               [this]() {
+                 return std::shared_ptr<const irr::Index>(std::shared_ptr<void>(),
+                                                          &world.lyzer.index());
+               }) {
+    const ir::Ir& ir = world.lyzer.ir();
+    std::size_t taken = 0;
+    for (const auto& [asn, aut_num] : ir.aut_nums) {
+      queries.push_back("!gAS" + std::to_string(asn));
+      if (++taken >= 64) break;
+    }
+    taken = 0;
+    for (const auto& [name, set] : ir.as_sets) {
+      queries.push_back("!i" + set.name + ",1");
+      queries.push_back("!a4" + set.name);
+      if (++taken >= 16) break;
+    }
+    std::string error;
+    if (!daemon.start(&error)) {
+      std::fprintf(stderr, "perf_query_server: %s\n", error.c_str());
+      std::abort();
+    }
+  }
+
+  static server::ServerConfig config_with(std::size_t cache_capacity) {
+    server::ServerConfig config;
+    config.port = 0;
+    config.worker_threads = 4;
+    config.cache_capacity = cache_capacity;
+    return config;
+  }
+};
+
+ServerFixture& cached_fixture() {
+  static ServerFixture fixture(/*cache_capacity=*/16384);
+  return fixture;
+}
+
+ServerFixture& uncached_fixture() {
+  static ServerFixture fixture(/*cache_capacity=*/0);
+  return fixture;
+}
+
+void run_load(benchmark::State& state, ServerFixture& fixture) {
+  auto client = server::Client::connect("127.0.0.1", fixture.daemon.port());
+  if (!client) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  // Decorrelate the query mix across client threads.
+  std::size_t cursor =
+      static_cast<std::size_t>(state.thread_index()) * 7 % fixture.queries.size();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kPipeline; ++i) {
+      if (!client->send_line(fixture.queries[cursor])) {
+        state.SkipWithError("send failed");
+        return;
+      }
+      cursor = (cursor + 1) % fixture.queries.size();
+    }
+    for (std::size_t i = 0; i < kPipeline; ++i) {
+      if (!client->read_response()) {
+        state.SkipWithError("read failed");
+        return;
+      }
+    }
+  }
+  client->send_line("!q");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kPipeline));
+  if (state.thread_index() == 0) {
+    state.counters["hit_ratio"] = fixture.daemon.cache_stats().hit_ratio();
+    state.counters["p99_us"] = static_cast<double>(
+        fixture.daemon.stats().latency.percentile_micros(99));
+  }
+}
+
+void BM_ServerThroughputCached(benchmark::State& state) {
+  run_load(state, cached_fixture());
+}
+BENCHMARK(BM_ServerThroughputCached)->Threads(1)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_ServerThroughputUncached(benchmark::State& state) {
+  run_load(state, uncached_fixture());
+}
+BENCHMARK(BM_ServerThroughputUncached)->Threads(1)->Threads(4)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build with -DRPSLYZER_SANITIZE=ON (ASan + UBSan) and run the tests that
+# exercise the threaded query server: any data race turned heap error, leaked
+# connection buffer, or leaked socket-owning object fails the run. Uses a
+# side build directory so the normal build stays fast.
+#
+#   scripts/sanitize_check.sh [build-dir]
+set -euo pipefail
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-sanitize}"
+
+cmake -B "$BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE=ON >/dev/null
+cmake --build "$BUILD" -j --target server_test query_test irr_index_test
+(cd "$BUILD" &&
+ ctest -R 'Server\.|ResponseCache|LatencyHistogram|QueryEngine' \
+       --output-on-failure -j4)
+echo "sanitize check ok"

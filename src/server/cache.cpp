@@ -1,0 +1,100 @@
+#include "rpslyzer/server/cache.hpp"
+
+#include <functional>
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::server {
+
+ResponseCache::ResponseCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity), shards_(std::max<std::size_t>(shards, 1)) {
+  per_shard_capacity_ = capacity_ / shards_.size();
+  if (capacity_ > 0 && per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+}
+
+ResponseCache::Shard& ResponseCache::shard_for(std::string_view key) {
+  return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+void ResponseCache::erase_locked(Shard& shard, std::list<Entry>::iterator it) {
+  shard.bytes -= it->key.size() + it->value.size();
+  shard.map.erase(std::string_view(it->key));
+  shard.lru.erase(it);
+}
+
+std::optional<std::string> ResponseCache::get(std::string_view key,
+                                              std::uint64_t generation) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto found = shard.map.find(key);
+  if (found == shard.map.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  auto it = found->second;
+  if (it->generation != generation) {
+    ++shard.invalidated;
+    ++shard.misses;
+    erase_locked(shard, it);
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it);
+  return it->value;
+}
+
+void ResponseCache::put(std::string_view key, std::uint64_t generation,
+                        std::string value) {
+  if (per_shard_capacity_ == 0) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto found = shard.map.find(key);
+  if (found != shard.map.end()) {
+    auto it = found->second;
+    shard.bytes += value.size();
+    shard.bytes -= it->value.size();
+    it->value = std::move(value);
+    it->generation = generation;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it);
+    return;
+  }
+  while (shard.lru.size() >= per_shard_capacity_) {
+    ++shard.evictions;
+    erase_locked(shard, std::prev(shard.lru.end()));
+  }
+  shard.lru.push_front(Entry{std::string(key), std::move(value), generation});
+  auto it = shard.lru.begin();
+  shard.bytes += it->key.size() + it->value.size();
+  shard.map.emplace(std::string_view(it->key), it);
+}
+
+void ResponseCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+}
+
+CacheStats ResponseCache::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.invalidated += shard.invalidated;
+    total.entries += shard.lru.size();
+    total.bytes += shard.bytes;
+  }
+  return total;
+}
+
+std::string normalize_query_key(std::string_view line) {
+  std::string_view trimmed = util::trim(line);
+  if (!trimmed.empty() && trimmed.front() == '!') trimmed.remove_prefix(1);
+  return util::lower(trimmed);
+}
+
+}  // namespace rpslyzer::server

@@ -1,0 +1,116 @@
+#include "rpslyzer/server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::server {
+
+std::optional<Client> Client::connect(const std::string& host, std::uint16_t port,
+                                      std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad host (IPv4 only): " + host;
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_), buf_(std::move(other.buf_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::send_line(std::string_view query) {
+  std::string line(query);
+  line.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Client::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+bool Client::fill() {
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error
+  }
+}
+
+std::optional<std::string> Client::read_response() {
+  while (true) {
+    const std::size_t newline = buf_.find('\n');
+    if (newline == std::string::npos) {
+      if (!fill()) return std::nullopt;
+      continue;
+    }
+    if (buf_[0] != 'A') {
+      // Single-line response: "C\n", "D\n", or "F ...\n".
+      std::string response = buf_.substr(0, newline + 1);
+      buf_.erase(0, newline + 1);
+      return response;
+    }
+    // "A<len>\n" + len data bytes + "C\n".
+    const auto len = util::parse_u32(std::string_view(buf_).substr(1, newline - 1));
+    if (!len) return std::nullopt;  // protocol violation
+    const std::size_t total = newline + 1 + *len + 2;
+    while (buf_.size() < total) {
+      if (!fill()) return std::nullopt;
+    }
+    std::string response = buf_.substr(0, total);
+    buf_.erase(0, total);
+    return response;
+  }
+}
+
+}  // namespace rpslyzer::server

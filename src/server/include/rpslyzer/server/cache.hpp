@@ -1,0 +1,96 @@
+#pragma once
+// Sharded LRU cache for framed query responses.
+//
+// The daemon serves a read-mostly corpus: the same `!g`/`!a` queries arrive
+// from many bgpq4-style clients, and every response is a pure function of
+// (normalized query, corpus). Caching the framed response string therefore
+// needs no invalidation logic beyond "which corpus answered it": every
+// entry is stamped with the corpus *generation* at insert time, and a
+// reload simply bumps the server's generation counter — stale entries fail
+// the stamp check on lookup and are evicted lazily, so a reload is O(1)
+// and never blocks serving.
+//
+// Sharding: the cache is split into N independently locked shards selected
+// by key hash, so worker threads rarely contend on the same mutex.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rpslyzer::server {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;    // LRU-capacity evictions
+  std::uint64_t invalidated = 0;  // stale-generation entries dropped on get
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  // key + value payload bytes currently held
+
+  double hit_ratio() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class ResponseCache {
+ public:
+  /// `capacity` is the total entry budget across all shards (each shard
+  /// gets an equal slice, at least one). `shards` is rounded up to 1.
+  explicit ResponseCache(std::size_t capacity, std::size_t shards = 8);
+
+  /// Returns the cached response if present *and* stamped with
+  /// `generation`; entries from older generations are dropped and counted
+  /// as `invalidated` misses.
+  std::optional<std::string> get(std::string_view key, std::uint64_t generation);
+
+  /// Insert (or refresh) an entry, evicting the shard's LRU tail when over
+  /// budget. A zero-capacity cache is a valid no-op configuration.
+  void put(std::string_view key, std::uint64_t generation, std::string value);
+
+  /// Drop every entry (used by tests; reloads rely on generations instead).
+  void clear();
+
+  /// Aggregated counters across shards (racy snapshot, fine for stats).
+  CacheStats stats() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    std::uint64_t generation = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // string_view keys point into the stable std::list nodes.
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidated = 0;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(std::string_view key);
+  void erase_locked(Shard& shard, std::list<Entry>::iterator it);
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+/// Canonical cache key for a query line: trimmed, leading '!' dropped,
+/// ASCII-lowercased (RPSL names are case-insensitive, so differently-cased
+/// queries share one entry).
+std::string normalize_query_key(std::string_view line);
+
+}  // namespace rpslyzer::server

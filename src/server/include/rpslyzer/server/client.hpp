@@ -1,0 +1,50 @@
+#pragma once
+// Minimal blocking client for the IRRd framed query protocol. This is the
+// counterpart every consumer of rpslyzerd shares: the `loadgen` tool, the
+// server benchmark, and the loopback tests all need to send pipelined "!"
+// lines and read back exact framed responses ("A<len>\n<data>C\n", "C\n",
+// "D\n", or "F <error>\n") for byte-identical comparison with the
+// in-process engine.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rpslyzer::server {
+
+class Client {
+ public:
+  /// Connect to host:port (IPv4 dotted quad). Returns nullopt on failure
+  /// and fills *error when given.
+  static std::optional<Client> connect(const std::string& host, std::uint16_t port,
+                                       std::string* error = nullptr);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Send one query line (a trailing '\n' is appended). Returns false on a
+  /// broken connection. Pipelining = calling this repeatedly before reading.
+  bool send_line(std::string_view query);
+
+  /// Block until one complete framed response is available and return its
+  /// exact bytes. nullopt on EOF/error before a full response arrived.
+  std::optional<std::string> read_response();
+
+  /// Half-close the write side (tells the server we are done sending).
+  void shutdown_write();
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  bool fill();  // read more bytes into buf_; false on EOF/error
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace rpslyzer::server

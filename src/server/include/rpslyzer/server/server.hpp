@@ -1,0 +1,203 @@
+#pragma once
+// rpslyzerd — a concurrent IRRd-compatible query daemon.
+//
+// Serves the pipelined IRRd "!" query protocol (the wire format bgpq4 and
+// peers speak, [45] in the paper) over the RPSLyzer index, turning the IR
+// from an analysis substrate into an actual registry server:
+//
+//   * one epoll event loop with edge-triggered non-blocking sockets does
+//     all accepting, line framing, and writing — it never parses RPSL or
+//     resolves sets, so accept latency stays flat under load;
+//   * a fixed worker pool evaluates queries against an immutable corpus
+//     snapshot and posts framed responses back through a completion queue
+//     (an eventfd wakes the loop), with per-connection sequence numbers so
+//     pipelined responses are written strictly in request order;
+//   * a sharded LRU response cache fronts the engine; entries are stamped
+//     with a corpus generation, so a reload (admin `!reload` or SIGHUP via
+//     request_reload) atomically swaps the index and implicitly invalidates
+//     every stale entry without pausing service;
+//   * `!stats` reports connections, query counts, cache hit ratio, and
+//     p50/p99 service latency; an optional periodic log line mirrors it;
+//   * stop() drains in-flight responses (bounded by drain_timeout) before
+//     closing sockets and joining every thread — no leaks under ASan/TSan.
+//
+// Protocol notes: engine queries (!g !6 !i !a !o) answer exactly what
+// query::QueryEngine::evaluate returns, byte for byte. Admin extensions:
+// `!q` closes the connection after pending responses flush, `!!` is the
+// IRRd keep-alive no-op, `!t<seconds>` adjusts this connection's idle
+// timeout, `!stats` and `!reload` as above.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "rpslyzer/irr/index.hpp"
+#include "rpslyzer/server/cache.hpp"
+#include "rpslyzer/server/stats.hpp"
+
+namespace rpslyzer::server {
+
+/// Produces a fresh corpus snapshot; called once at start() and again on
+/// every reload. The returned pointer must keep whatever owns the Index
+/// alive — use the shared_ptr aliasing constructor over the owner. Return
+/// nullptr (or throw) on failure: the server keeps serving the previous
+/// generation and answers the reload with an error.
+using CorpusLoader = std::function<std::shared_ptr<const irr::Index>()>;
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; see Server::port() after start()
+  unsigned worker_threads = 4;  // 0 = hardware concurrency
+  std::size_t cache_capacity = 16384;  // cached responses (0 disables)
+  std::size_t cache_shards = 8;
+  std::size_t max_connections = 1024;  // beyond this, accept+refuse
+  std::size_t max_line_bytes = 4096;   // longest accepted query line
+  std::chrono::milliseconds idle_timeout{30000};  // 0 = never
+  std::chrono::milliseconds drain_timeout{5000};  // graceful-shutdown budget
+  std::chrono::milliseconds stats_log_interval{0};  // 0 = no periodic line
+};
+
+class Server {
+ public:
+  Server(ServerConfig config, CorpusLoader loader);
+  ~Server();  // stops and joins if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Load the corpus, bind, and spawn the event loop + workers. Returns
+  /// false (with *error set) on load/bind failure. Non-blocking.
+  bool start(std::string* error = nullptr);
+
+  /// Graceful shutdown: stop accepting, drain in-flight responses (up to
+  /// drain_timeout), close every socket, join every thread. Idempotent.
+  void stop();
+
+  /// Block until stop() or request_stop() completes the shutdown.
+  void wait();
+
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+
+  /// Bound port (useful with config.port == 0). Valid after start().
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Async-signal-safe: flag a graceful shutdown / corpus reload and wake
+  /// the event loop. Safe to call from SIGTERM/SIGHUP handlers.
+  void request_stop() noexcept;
+  void request_reload() noexcept;
+
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_relaxed);
+  }
+  const ServerStats& stats() const noexcept { return stats_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// The text behind `!stats` (unframed; one "key: value" line per stat).
+  std::string stats_payload() const;
+
+ private:
+  struct Connection;
+  struct Task {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string line;
+    std::chrono::steady_clock::time_point t0;
+    bool reload = false;
+  };
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string response;
+  };
+  struct Snapshot {
+    std::shared_ptr<const irr::Index> index;
+    std::uint64_t generation = 0;
+  };
+
+  bool setup_listener(std::string* error);
+  void event_loop();
+  void worker_loop();
+
+  void accept_ready();
+  void handle_conn_event(std::uint64_t id, std::uint32_t events);
+  void read_ready(Connection& conn);
+  void parse_lines(Connection& conn);
+  void dispatch_line(Connection& conn, std::string_view raw);
+  void deliver(Connection& conn, std::uint64_t seq, std::string response);
+  void flush_writes(Connection& conn);
+  void update_write_interest(Connection& conn, bool want);
+  void close_if_drained(Connection& conn);
+  void destroy_conn(std::uint64_t id);
+  void drain_completions();
+  void sweep_idle(std::chrono::steady_clock::time_point now);
+  void maybe_log_stats(std::chrono::steady_clock::time_point now);
+  void begin_shutdown();
+  void enqueue_task(Task task);
+  void wake() noexcept;
+
+  Snapshot snapshot() const;
+  std::string answer(const std::string& line);
+  std::string do_reload();
+
+  ServerConfig config_;
+  CorpusLoader loader_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> loop_exited_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> reload_requested_{false};
+  bool started_ = false;
+  bool shutting_down_ = false;  // event-loop-thread only
+  std::chrono::steady_clock::time_point drain_deadline_;
+
+  // Corpus snapshot; swapped wholesale on reload.
+  mutable std::mutex corpus_mu_;
+  std::shared_ptr<const irr::Index> corpus_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::mutex reload_mu_;  // serializes overlapping reload requests
+
+  // Worker queue.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> tasks_;
+  bool workers_stop_ = false;
+
+  // Completion queue (workers -> event loop).
+  std::mutex done_mu_;
+  std::vector<Completion> done_;
+
+  // Connections, event-loop-thread only. Keyed by a monotone id (not the
+  // fd) so a completion for a closed connection can never reach a new
+  // connection that reused the same fd number.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 16;
+
+  ResponseCache cache_;
+  ServerStats stats_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::chrono::steady_clock::time_point last_stats_log_;
+  std::uint64_t last_logged_queries_ = 0;
+
+  // Shutdown-complete signal for wait().
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+};
+
+}  // namespace rpslyzer::server

@@ -1,0 +1,63 @@
+#pragma once
+// Lock-free server observability: monotone counters plus a log2-bucketed
+// service-latency histogram, all plain atomics so the hot path never takes
+// a lock to record a sample. Percentiles (p50/p99) are reconstructed from
+// the bucket counts — exact enough for an ops dashboard, and bounded
+// memory no matter how many queries flow through.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace rpslyzer::server {
+
+class LatencyHistogram {
+ public:
+  // Bucket i holds samples in [2^i, 2^(i+1)) microseconds; bucket 0 also
+  // absorbs sub-microsecond samples, the last bucket absorbs the tail.
+  static constexpr std::size_t kBuckets = 24;  // up to ~2^24 us ≈ 16.7 s
+
+  void record(std::uint64_t micros) noexcept {
+    buckets_[bucket_for(micros)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+
+  std::uint64_t mean_micros() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0 : sum_micros_.load(std::memory_order_relaxed) / n;
+  }
+
+  /// Upper bound (in microseconds) of the bucket containing the p-th
+  /// percentile sample, p in [0, 100]. Returns 0 with no samples.
+  std::uint64_t percentile_micros(double p) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  static std::size_t bucket_for(std::uint64_t micros) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_micros_{0};
+};
+
+/// Counters shared by the event loop and the worker pool. Everything is
+/// relaxed-atomic: stats reads are advisory snapshots, never synchronization.
+struct ServerStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_rejected{0};  // max-connection guard
+  std::atomic<std::uint64_t> connections_open{0};
+  std::atomic<std::uint64_t> connections_idle_closed{0};
+  std::atomic<std::uint64_t> queries_total{0};
+  std::atomic<std::uint64_t> queries_errors{0};  // responses starting with 'F'
+  std::atomic<std::uint64_t> admin_queries{0};   // !stats / !reload / !t / !q
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> reloads{0};
+  LatencyHistogram latency;
+};
+
+}  // namespace rpslyzer::server

@@ -1,0 +1,651 @@
+#include "rpslyzer/server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "rpslyzer/query/query.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::server {
+
+namespace {
+
+constexpr std::uint64_t kListenTag = 1;
+constexpr std::uint64_t kWakeTag = 2;
+constexpr int kMaxEvents = 64;
+constexpr auto kSweepGranularity = std::chrono::milliseconds(100);
+
+std::uint64_t micros_between(std::chrono::steady_clock::time_point a,
+                             std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
+
+/// Per-connection state, touched only by the event-loop thread. Pipelined
+/// queries are numbered at parse time (`next_seq`); workers may finish out
+/// of order, so completed responses park in `ready` until every earlier
+/// sequence number has been appended to the write buffer.
+struct Server::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::string in;
+  std::string out;
+  std::size_t out_off = 0;
+  std::uint64_t next_seq = 0;    // next sequence number to assign
+  std::uint64_t next_write = 0;  // next sequence to append to `out`
+  std::map<std::uint64_t, std::string> ready;
+  std::size_t in_flight = 0;  // assigned but not yet delivered
+  std::chrono::steady_clock::time_point last_activity;
+  std::chrono::milliseconds idle_timeout{0};
+  bool closing = false;     // no more reads; close once drained
+  bool want_write = false;  // EPOLLOUT currently armed
+};
+
+Server::Server(ServerConfig config, CorpusLoader loader)
+    : config_(std::move(config)),
+      loader_(std::move(loader)),
+      cache_(config_.cache_capacity, config_.cache_shards) {}
+
+Server::~Server() { stop(); }
+
+bool Server::setup_listener(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad bind address (IPv4 only): " + config_.bind_address;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::string("bind: ") + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    if (error) *error = std::string("getsockname: ") + std::strerror(errno);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+bool Server::start(std::string* error) {
+  if (started_) {
+    if (error) *error = "server already started";
+    return false;
+  }
+  std::shared_ptr<const irr::Index> corpus;
+  try {
+    corpus = loader_();
+  } catch (const std::exception& e) {
+    if (error) *error = std::string("corpus load failed: ") + e.what();
+    return false;
+  }
+  if (corpus == nullptr) {
+    if (error) *error = "corpus load failed";
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(corpus_mu_);
+    corpus_ = std::move(corpus);
+    generation_.store(1, std::memory_order_relaxed);
+  }
+  if (!setup_listener(error)) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (error) *error = std::string("epoll/eventfd: ") + std::strerror(errno);
+    for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+      if (*fd >= 0) ::close(*fd);
+      *fd = -1;
+    }
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.events = EPOLLIN;  // level-triggered: stays readable until drained
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stop_requested_.store(false, std::memory_order_relaxed);
+  reload_requested_.store(false, std::memory_order_relaxed);
+  loop_exited_.store(false, std::memory_order_relaxed);
+  workers_stop_ = false;
+  shutting_down_ = false;
+  start_time_ = std::chrono::steady_clock::now();
+  last_stats_log_ = start_time_;
+  last_logged_queries_ = 0;
+
+  unsigned workers = config_.worker_threads;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  worker_threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  }
+  loop_thread_ = std::thread([this] { event_loop(); });
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  return true;
+}
+
+void Server::stop() {
+  if (!started_) return;
+  request_stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : worker_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  worker_threads_.clear();
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_.clear();
+  }
+  started_ = false;
+  running_.store(false, std::memory_order_release);
+  stopped_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stopped_mu_);
+  stopped_cv_.wait(lock, [this] {
+    return loop_exited_.load(std::memory_order_acquire) || !running();
+  });
+}
+
+void Server::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Server::request_reload() noexcept {
+  reload_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Server::wake() noexcept {
+  if (wake_fd_ < 0) return;
+  std::uint64_t one = 1;
+  // write(2) is async-signal-safe; short/failed writes just mean the
+  // eventfd counter is already non-zero, which still wakes the loop.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+Server::Snapshot Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(corpus_mu_);
+  return Snapshot{corpus_, generation_.load(std::memory_order_relaxed)};
+}
+
+std::string Server::answer(const std::string& line) {
+  Snapshot snap = snapshot();
+  const std::string key = normalize_query_key(line);
+  if (auto hit = cache_.get(key, snap.generation)) return std::move(*hit);
+  query::QueryEngine engine(*snap.index);
+  std::string response = engine.evaluate(line);
+  cache_.put(key, snap.generation, response);
+  return response;
+}
+
+std::string Server::do_reload() {
+  std::lock_guard<std::mutex> serialize(reload_mu_);
+  std::shared_ptr<const irr::Index> fresh;
+  try {
+    fresh = loader_();
+  } catch (...) {
+    fresh = nullptr;
+  }
+  if (fresh == nullptr) return "F reload failed\n";
+  {
+    std::lock_guard<std::mutex> lock(corpus_mu_);
+    corpus_ = std::move(fresh);
+    generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.reloads.fetch_add(1, std::memory_order_relaxed);
+  return "C\n";
+}
+
+std::string Server::stats_payload() const {
+  const CacheStats cache = cache_.stats();
+  const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start_time_);
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "generation: %llu\n"
+      "uptime-ms: %lld\n"
+      "connections: open=%llu accepted=%llu rejected=%llu idle-closed=%llu\n"
+      "queries: total=%llu errors=%llu admin=%llu\n"
+      "cache: entries=%zu capacity=%zu hits=%llu misses=%llu hit-ratio=%.3f "
+      "evictions=%llu invalidated=%llu\n"
+      "latency-us: mean=%llu p50=%llu p99=%llu\n"
+      "bytes: in=%llu out=%llu\n"
+      "reloads: %llu",
+      static_cast<unsigned long long>(generation()),
+      static_cast<long long>(uptime.count()),
+      static_cast<unsigned long long>(stats_.connections_open.load()),
+      static_cast<unsigned long long>(stats_.connections_accepted.load()),
+      static_cast<unsigned long long>(stats_.connections_rejected.load()),
+      static_cast<unsigned long long>(stats_.connections_idle_closed.load()),
+      static_cast<unsigned long long>(stats_.queries_total.load()),
+      static_cast<unsigned long long>(stats_.queries_errors.load()),
+      static_cast<unsigned long long>(stats_.admin_queries.load()), cache.entries,
+      cache_.capacity(), static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses), cache.hit_ratio(),
+      static_cast<unsigned long long>(cache.evictions),
+      static_cast<unsigned long long>(cache.invalidated),
+      static_cast<unsigned long long>(stats_.latency.mean_micros()),
+      static_cast<unsigned long long>(stats_.latency.percentile_micros(50)),
+      static_cast<unsigned long long>(stats_.latency.percentile_micros(99)),
+      static_cast<unsigned long long>(stats_.bytes_in.load()),
+      static_cast<unsigned long long>(stats_.bytes_out.load()),
+      static_cast<unsigned long long>(stats_.reloads.load()));
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+void Server::enqueue_task(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return workers_stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // workers_stop_ with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    std::string response = task.reload ? do_reload() : answer(task.line);
+    stats_.latency.record(
+        micros_between(task.t0, std::chrono::steady_clock::now()));
+    if (!response.empty() && response.front() == 'F') {
+      stats_.queries_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (task.conn_id != 0) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back(Completion{task.conn_id, task.seq, std::move(response)});
+    }
+    wake();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void Server::event_loop() {
+  epoll_event events[kMaxEvents];
+  while (true) {
+    const int timeout_ms = static_cast<int>(kSweepGranularity.count());
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        accept_ready();
+      } else if (tag == kWakeTag) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+      } else {
+        handle_conn_event(tag, events[i].events);
+      }
+    }
+    drain_completions();
+    if (reload_requested_.exchange(false, std::memory_order_acq_rel)) {
+      // SIGHUP path: a detached reload with no connection to answer.
+      enqueue_task(Task{0, 0, {}, std::chrono::steady_clock::now(), true});
+    }
+    const auto now = std::chrono::steady_clock::now();
+    sweep_idle(now);
+    maybe_log_stats(now);
+    if (stop_requested_.load(std::memory_order_acquire) && !shutting_down_) {
+      begin_shutdown();
+    }
+    if (shutting_down_) {
+      if (conns_.empty()) break;
+      if (now >= drain_deadline_) {
+        std::vector<std::uint64_t> ids;
+        ids.reserve(conns_.size());
+        for (const auto& [id, conn] : conns_) ids.push_back(id);
+        for (std::uint64_t id : ids) destroy_conn(id);
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stopped_mu_);
+    loop_exited_.store(true, std::memory_order_release);
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::begin_shutdown() {
+  shutting_down_ = true;
+  drain_deadline_ = std::chrono::steady_clock::now() + config_.drain_timeout;
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Stop reading; deliver what is in flight, then close. Iterate over a
+  // snapshot of ids: close_if_drained can erase map entries.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (std::uint64_t id : ids) {
+    auto found = conns_.find(id);
+    if (found == conns_.end()) continue;
+    found->second->closing = true;
+    close_if_drained(*found->second);
+  }
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // EMFILE etc: drop and retry on the next readiness event
+    }
+    if (conns_.size() >= config_.max_connections) {
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      static constexpr char kRefusal[] = "F too many connections\n";
+      [[maybe_unused]] ssize_t n =
+          ::send(fd, kRefusal, sizeof(kRefusal) - 1, MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_activity = std::chrono::steady_clock::now();
+    conn->idle_timeout = config_.idle_timeout;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_open.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::handle_conn_event(std::uint64_t id, std::uint32_t events) {
+  auto found = conns_.find(id);
+  if (found == conns_.end()) return;
+  Connection& conn = *found->second;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    destroy_conn(id);
+    return;
+  }
+  if (events & (EPOLLIN | EPOLLRDHUP)) read_ready(conn);
+  // read_ready may destroy the connection on fatal errors.
+  auto again = conns_.find(id);
+  if (again == conns_.end()) return;
+  if (events & EPOLLOUT) flush_writes(*again->second);
+}
+
+void Server::read_ready(Connection& conn) {
+  char buffer[4096];
+  bool saw_eof = false;
+  while (true) {
+    const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      conn.last_activity = std::chrono::steady_clock::now();
+      if (!conn.closing) conn.in.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    destroy_conn(conn.id);
+    return;
+  }
+  parse_lines(conn);
+  if (saw_eof) {
+    // Half-close: the client is done sending; finish in-flight responses.
+    conn.closing = true;
+  }
+  flush_writes(conn);
+  // flush_writes closes drained connections itself.
+}
+
+void Server::parse_lines(Connection& conn) {
+  std::size_t start = 0;
+  while (!conn.closing) {
+    const std::size_t newline = conn.in.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string_view line(conn.in.data() + start, newline - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = newline + 1;
+    if (line.size() > config_.max_line_bytes) {
+      ++conn.in_flight;
+      deliver(conn, conn.next_seq++, "F query too long\n");
+      conn.closing = true;
+      break;
+    }
+    dispatch_line(conn, line);
+  }
+  conn.in.erase(0, start);
+  if (!conn.closing && conn.in.size() > config_.max_line_bytes) {
+    // An unterminated line beyond the cap cannot become a valid query.
+    ++conn.in_flight;
+    deliver(conn, conn.next_seq++, "F query too long\n");
+    conn.closing = true;
+    conn.in.clear();
+  }
+}
+
+void Server::dispatch_line(Connection& conn, std::string_view raw) {
+  const std::string_view trimmed = util::trim(raw);
+  if (trimmed == "!!") return;  // IRRd keep-alive toggle: no response
+  std::string_view body = trimmed;
+  if (!body.empty() && body.front() == '!') body.remove_prefix(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  stats_.queries_total.fetch_add(1, std::memory_order_relaxed);
+
+  if (util::iequals(body, "q")) {
+    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    conn.closing = true;  // close after pipelined predecessors flush
+    return;
+  }
+  const std::uint64_t seq = conn.next_seq++;
+  ++conn.in_flight;
+  if (util::iequals(body, "stats")) {
+    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    deliver(conn, seq, query::frame_response(stats_payload()));
+    return;
+  }
+  if (util::iequals(body, "reload")) {
+    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    enqueue_task(Task{conn.id, seq, {}, t0, true});
+    return;
+  }
+  if (body.size() >= 2 && (body.front() == 't' || body.front() == 'T') &&
+      util::is_digit(body[1])) {
+    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    if (auto seconds = util::parse_u32(body.substr(1))) {
+      conn.idle_timeout = std::chrono::seconds(*seconds);
+      deliver(conn, seq, "C\n");
+    } else {
+      deliver(conn, seq, "F invalid timeout\n");
+    }
+    return;
+  }
+  enqueue_task(Task{conn.id, seq, std::string(trimmed), t0, false});
+}
+
+void Server::deliver(Connection& conn, std::uint64_t seq, std::string response) {
+  --conn.in_flight;  // every deliver() pairs with one in_flight increment
+  conn.ready.emplace(seq, std::move(response));
+  while (true) {
+    auto next = conn.ready.find(conn.next_write);
+    if (next == conn.ready.end()) break;
+    conn.out += next->second;
+    conn.ready.erase(next);
+    ++conn.next_write;
+  }
+}
+
+void Server::update_write_interest(Connection& conn, bool want) {
+  if (conn.want_write == want) return;
+  conn.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void Server::flush_writes(Connection& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                 std::memory_order_relaxed);
+      conn.out_off += static_cast<std::size_t>(n);
+      conn.last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      update_write_interest(conn, true);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    destroy_conn(conn.id);
+    return;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  update_write_interest(conn, false);
+  close_if_drained(conn);
+}
+
+void Server::close_if_drained(Connection& conn) {
+  if (conn.closing && conn.in_flight == 0 && conn.ready.empty() &&
+      conn.out_off >= conn.out.size()) {
+    destroy_conn(conn.id);
+  }
+}
+
+void Server::destroy_conn(std::uint64_t id) {
+  auto found = conns_.find(id);
+  if (found == conns_.end()) return;
+  Connection& conn = *found->second;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conns_.erase(found);
+  stats_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    batch.swap(done_);
+  }
+  for (Completion& completion : batch) {
+    auto found = conns_.find(completion.conn_id);
+    if (found == conns_.end()) continue;  // connection died while computing
+    Connection& conn = *found->second;
+    deliver(conn, completion.seq, std::move(completion.response));
+    flush_writes(conn);
+  }
+}
+
+void Server::sweep_idle(std::chrono::steady_clock::time_point now) {
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->idle_timeout.count() <= 0) continue;
+    if (conn->in_flight > 0 || !conn->ready.empty()) continue;
+    if (conn->out_off < conn->out.size()) continue;
+    if (now - conn->last_activity >= conn->idle_timeout) expired.push_back(id);
+  }
+  for (std::uint64_t id : expired) {
+    stats_.connections_idle_closed.fetch_add(1, std::memory_order_relaxed);
+    destroy_conn(id);
+  }
+}
+
+void Server::maybe_log_stats(std::chrono::steady_clock::time_point now) {
+  if (config_.stats_log_interval.count() <= 0) return;
+  if (now - last_stats_log_ < config_.stats_log_interval) return;
+  const std::uint64_t total = stats_.queries_total.load(std::memory_order_relaxed);
+  const double seconds =
+      std::chrono::duration<double>(now - last_stats_log_).count();
+  const double qps =
+      seconds > 0 ? static_cast<double>(total - last_logged_queries_) / seconds : 0;
+  const CacheStats cache = cache_.stats();
+  std::fprintf(stderr,
+               "rpslyzerd: conns=%llu qps=%.0f queries=%llu hit-ratio=%.3f "
+               "p50us=%llu p99us=%llu gen=%llu\n",
+               static_cast<unsigned long long>(stats_.connections_open.load()), qps,
+               static_cast<unsigned long long>(total), cache.hit_ratio(),
+               static_cast<unsigned long long>(stats_.latency.percentile_micros(50)),
+               static_cast<unsigned long long>(stats_.latency.percentile_micros(99)),
+               static_cast<unsigned long long>(generation()));
+  last_stats_log_ = now;
+  last_logged_queries_ = total;
+}
+
+}  // namespace rpslyzer::server

@@ -1,0 +1,40 @@
+#include "rpslyzer/server/stats.hpp"
+
+#include <bit>
+
+namespace rpslyzer::server {
+
+std::size_t LatencyHistogram::bucket_for(std::uint64_t micros) noexcept {
+  if (micros <= 1) return 0;
+  const std::size_t log2 = static_cast<std::size_t>(std::bit_width(micros) - 1);
+  return log2 < kBuckets ? log2 : kBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::percentile_micros(double p) const noexcept {
+  std::array<std::uint64_t, kBuckets> snapshot;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the percentile sample, 1-based.
+  std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += snapshot[i];
+    if (seen >= rank) return std::uint64_t{1} << (i + 1);  // bucket upper bound
+  }
+  return std::uint64_t{1} << kBuckets;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rpslyzer::server

@@ -20,6 +20,7 @@ struct Fixture {
             "export: to AS64501 announce AS-CONE\n\n"
             "as-set: AS-CONE\nmembers: AS64500, AS-SUB\n\n"
             "as-set: AS-SUB\nmembers: AS64502\n\n"
+            "as-set: AS-EMPTY\n\n"
             "route-set: RS-NETS\nmembers: 192.0.2.0/24^+, AS64500^24\n\n"
             "route: 10.0.0.0/8\norigin: AS64500\n\n"
             "route: 10.64.0.0/16\norigin: AS64500\n\n"
@@ -100,6 +101,49 @@ TEST(QueryEngine, Errors) {
   EXPECT_EQ(fx().engine.evaluate("")[0], 'F');
   EXPECT_EQ(fx().engine.evaluate("!z123")[0], 'F');
   EXPECT_EQ(fx().engine.evaluate("!iAS-NOPE"), "D\n");
+}
+
+// The daemon (src/server) forwards query lines verbatim and relies on these
+// framings being exact; every wire-visible shape is pinned here.
+TEST(QueryEngine, FramingSuccessWithoutData) {
+  // A defined set with zero members answers success-without-data, not D.
+  EXPECT_EQ(fx().engine.evaluate("!iAS-EMPTY"), "C\n");
+  // An AS with route objects but none in the requested family likewise.
+  EXPECT_EQ(fx().engine.evaluate("!6AS64502"), "C\n");
+  EXPECT_EQ(fx().engine.evaluate("!a6AS64502"), "C\n");
+}
+
+TEST(QueryEngine, FramingUnknownKey) {
+  EXPECT_EQ(fx().engine.evaluate("!gAS4200000000"), "D\n");
+  EXPECT_EQ(fx().engine.evaluate("!6AS4200000000"), "D\n");
+  EXPECT_EQ(fx().engine.evaluate("!aAS-UNKNOWN"), "D\n");
+  EXPECT_EQ(fx().engine.evaluate("!iRS-UNKNOWN"), "D\n");
+  EXPECT_EQ(fx().engine.evaluate("!oAS4200000000"), "D\n");
+}
+
+TEST(QueryEngine, FramingMalformed) {
+  EXPECT_EQ(fx().engine.evaluate("!g"), "F expected an AS number\n");
+  EXPECT_EQ(fx().engine.evaluate("!gNOTANAS"), "F expected an AS number\n");
+  EXPECT_EQ(fx().engine.evaluate("!oBOGUS"), "F expected an AS number\n");
+  EXPECT_EQ(fx().engine.evaluate("!"), "F empty query\n");
+  EXPECT_EQ(fx().engine.evaluate("   "), "F empty query\n");
+  EXPECT_EQ(fx().engine.evaluate("!zUNSUPPORTED"), "F unsupported query\n");
+}
+
+TEST(QueryEngine, A6FamilyRestriction) {
+  // !a6 over a set whose members have v4-only route objects: C, not D.
+  EXPECT_EQ(fx().engine.evaluate("!a6AS-SUB"), "C\n");
+  EXPECT_EQ(fx().engine.evaluate("!a6AS-CONE"), "A14\n2001:db8::/32\nC\n");
+  EXPECT_EQ(fx().engine.evaluate("!a4AS64502"), "A16\n198.51.100.0/24\nC\n");
+}
+
+TEST(QueryEngine, LeadingBangOptionalEverywhere) {
+  for (const char* query : {"gAS64500", "6AS64500", "iAS-CONE,1", "aAS-CONE",
+                            "oAS64500", "zUNSUPPORTED"}) {
+    EXPECT_EQ(fx().engine.evaluate(query),
+              fx().engine.evaluate("!" + std::string(query)))
+        << query;
+  }
 }
 
 TEST(QueryEngine, CaseInsensitiveNames) {

@@ -1,0 +1,323 @@
+#include "rpslyzer/server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "rpslyzer/irr/loader.hpp"
+#include "rpslyzer/query/query.hpp"
+#include "rpslyzer/server/cache.hpp"
+#include "rpslyzer/server/client.hpp"
+
+namespace rpslyzer::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ResponseCache
+// ---------------------------------------------------------------------------
+
+TEST(ResponseCache, HitMissAndLru) {
+  ResponseCache cache(/*capacity=*/2, /*shards=*/1);
+  EXPECT_FALSE(cache.get("a", 1).has_value());
+  cache.put("a", 1, "A\n");
+  cache.put("b", 1, "B\n");
+  EXPECT_EQ(cache.get("a", 1), "A\n");  // touches "a": "b" is now LRU
+  cache.put("c", 1, "C\n");             // evicts "b"
+  EXPECT_EQ(cache.get("a", 1), "A\n");
+  EXPECT_FALSE(cache.get("b", 1).has_value());
+  EXPECT_EQ(cache.get("c", 1), "C\n");
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST(ResponseCache, GenerationInvalidates) {
+  ResponseCache cache(8, 2);
+  cache.put("q", 1, "old\n");
+  EXPECT_EQ(cache.get("q", 1), "old\n");
+  // A reload bumps the generation: the stale entry must not be served.
+  EXPECT_FALSE(cache.get("q", 2).has_value());
+  EXPECT_EQ(cache.stats().invalidated, 1u);
+  cache.put("q", 2, "new\n");
+  EXPECT_EQ(cache.get("q", 2), "new\n");
+}
+
+TEST(ResponseCache, ZeroCapacityIsNoop) {
+  ResponseCache cache(0);
+  cache.put("q", 1, "x\n");
+  EXPECT_FALSE(cache.get("q", 1).has_value());
+}
+
+TEST(ResponseCache, NormalizeQueryKey) {
+  EXPECT_EQ(normalize_query_key("!gAS64500"), "gas64500");
+  EXPECT_EQ(normalize_query_key("  gAS64500 \r"), "gas64500");
+  EXPECT_EQ(normalize_query_key("!iAS-CONE,1"), "ias-cone,1");
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, Percentiles) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.percentile_micros(99), 0u);
+  for (int i = 0; i < 99; ++i) histogram.record(3);  // bucket [2,4)
+  histogram.record(5000);                            // bucket [4096,8192)
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_EQ(histogram.percentile_micros(50), 4u);
+  EXPECT_EQ(histogram.percentile_micros(99), 4u);
+  EXPECT_EQ(histogram.percentile_micros(100), 8192u);
+  EXPECT_GT(histogram.mean_micros(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback integration
+// ---------------------------------------------------------------------------
+
+// Two corpus versions: a reload swaps AS64500's second prefix, so responses
+// observably change across generations.
+constexpr const char* kCorpusV1 =
+    "aut-num: AS64500\n"
+    "import: from AS64501 accept ANY\n"
+    "export: to AS64501 announce AS-CONE\n\n"
+    "as-set: AS-CONE\nmembers: AS64500, AS-SUB\n\n"
+    "as-set: AS-SUB\nmembers: AS64502\n\n"
+    "route: 10.0.0.0/8\norigin: AS64500\n\n"
+    "route: 10.64.0.0/16\norigin: AS64500\n\n"
+    "route6: 2001:db8::/32\norigin: AS64500\n\n"
+    "route: 198.51.100.0/24\norigin: AS64502\n";
+constexpr const char* kCorpusV2 =
+    "aut-num: AS64500\n"
+    "import: from AS64501 accept ANY\n\n"
+    "as-set: AS-CONE\nmembers: AS64500, AS-SUB\n\n"
+    "as-set: AS-SUB\nmembers: AS64502\n\n"
+    "route: 10.0.0.0/8\norigin: AS64500\n\n"
+    "route: 172.16.0.0/12\norigin: AS64500\n\n"
+    "route6: 2001:db8::/32\norigin: AS64500\n\n"
+    "route: 198.51.100.0/24\norigin: AS64502\n";
+
+/// Bundles the Ir with its Index so a shared_ptr keeps both alive; the
+/// aliasing constructor then exposes just the Index, exactly the contract
+/// CorpusLoader documents.
+struct OwnedCorpus {
+  util::Diagnostics diag;
+  ir::Ir ir;
+  irr::Index index;
+
+  explicit OwnedCorpus(const char* text)
+      : ir(irr::parse_dump(text, "TEST", diag)), index(ir) {}
+};
+
+std::shared_ptr<const irr::Index> make_corpus(const char* text) {
+  auto owned = std::make_shared<OwnedCorpus>(text);
+  return std::shared_ptr<const irr::Index>(owned, &owned->index);
+}
+
+ServerConfig test_config() {
+  ServerConfig config;
+  config.port = 0;  // ephemeral
+  config.worker_threads = 3;
+  config.cache_capacity = 64;
+  config.idle_timeout = std::chrono::milliseconds(0);
+  return config;
+}
+
+TEST(Server, PipelinedQueriesFromConcurrentConnectionsMatchEngine) {
+  Server server(test_config(), [] { return make_corpus(kCorpusV1); });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_NE(server.port(), 0);
+
+  // The in-process ground truth the daemon must reproduce byte for byte.
+  OwnedCorpus reference(kCorpusV1);
+  query::QueryEngine engine(reference.index);
+  const std::vector<std::string> queries = {
+      "!gAS64500", "!6AS64500",  "!iAS-CONE", "!iAS-CONE,1", "!iRS-NOPE",
+      "!aAS-CONE", "!a4AS-CONE", "!a6AS-CONE", "!aAS64502",  "!oAS64500",
+      "!gAS99",    "!gBOGUS",    "!zUNSUPPORTED", "gas64500", "!6as64500"};
+  std::vector<std::string> expected;
+  expected.reserve(queries.size());
+  for (const auto& query : queries) expected.push_back(engine.evaluate(query));
+
+  constexpr int kConnections = 8;
+  constexpr int kRounds = 20;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kConnections);
+  for (int c = 0; c < kConnections; ++c) {
+    clients.emplace_back([&] {
+      auto client = Client::connect("127.0.0.1", server.port());
+      if (!client) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        // Pipeline the whole mix, then read all responses in order.
+        for (const auto& query : queries) {
+          if (!client->send_line(query)) {
+            ++failures;
+            return;
+          }
+        }
+        for (const auto& want : expected) {
+          auto got = client->read_response();
+          if (!got) {
+            ++failures;
+            return;
+          }
+          if (*got != want) ++mismatches;
+        }
+      }
+      client->send_line("!q");
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const auto& stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted.load(), kConnections);
+  EXPECT_GE(stats.queries_total.load(),
+            static_cast<std::uint64_t>(kConnections * kRounds * queries.size()));
+  EXPECT_GT(server.cache_stats().hits, 0u);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.stats().connections_open.load(), 0u);
+}
+
+TEST(Server, ReloadSwapsCorpusAndInvalidatesCache) {
+  std::atomic<int> loads{0};
+  auto loader = [&loads]() {
+    return make_corpus(loads++ == 0 ? kCorpusV1 : kCorpusV2);
+  };
+  Server server(test_config(), loader);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+
+  OwnedCorpus v1(kCorpusV1);
+  OwnedCorpus v2(kCorpusV2);
+  const std::string want_v1 = query::QueryEngine(v1.index).evaluate("!gAS64500");
+  const std::string want_v2 = query::QueryEngine(v2.index).evaluate("!gAS64500");
+  ASSERT_NE(want_v1, want_v2);
+
+  ASSERT_TRUE(client->send_line("!gAS64500"));
+  EXPECT_EQ(client->read_response(), want_v1);
+  ASSERT_TRUE(client->send_line("!gAS64500"));  // second hit comes from cache
+  EXPECT_EQ(client->read_response(), want_v1);
+  EXPECT_EQ(server.cache_stats().hits, 1u);
+
+  ASSERT_TRUE(client->send_line("!reload"));
+  EXPECT_EQ(client->read_response(), "C\n");
+  EXPECT_EQ(server.generation(), 2u);
+
+  // Same query, new generation: the stale entry must not be served.
+  ASSERT_TRUE(client->send_line("!gAS64500"));
+  EXPECT_EQ(client->read_response(), want_v2);
+
+  // The swap is visible through the admin stats query too.
+  ASSERT_TRUE(client->send_line("!stats"));
+  auto stats_response = client->read_response();
+  ASSERT_TRUE(stats_response.has_value());
+  EXPECT_NE(stats_response->find("generation: 2"), std::string::npos);
+  EXPECT_NE(stats_response->find("reloads: 1"), std::string::npos);
+  EXPECT_GE(server.cache_stats().invalidated, 1u);
+
+  client->send_line("!q");
+  server.stop();
+  EXPECT_EQ(server.stats().connections_open.load(), 0u);
+}
+
+TEST(Server, AdminCommandsAndProtocolEdges) {
+  Server server(test_config(), [] { return make_corpus(kCorpusV1); });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+  // "!!" elicits no response; the next query must answer immediately after.
+  ASSERT_TRUE(client->send_line("!!"));
+  ASSERT_TRUE(client->send_line("!t30"));
+  EXPECT_EQ(client->read_response(), "C\n");
+  ASSERT_TRUE(client->send_line("!gAS64502"));
+  EXPECT_EQ(client->read_response(), "A16\n198.51.100.0/24\nC\n");
+  // !q closes after pending responses drain.
+  ASSERT_TRUE(client->send_line("!6AS64502"));
+  ASSERT_TRUE(client->send_line("!q"));
+  EXPECT_EQ(client->read_response(), "C\n");
+  EXPECT_FALSE(client->read_response().has_value());  // EOF
+
+  // Over-long lines are refused without crashing the connection budget.
+  auto hog = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(hog.has_value());
+  ASSERT_TRUE(hog->send_line("!g" + std::string(8192, 'x')));
+  auto refusal = hog->read_response();
+  ASSERT_TRUE(refusal.has_value());
+  EXPECT_EQ(refusal->front(), 'F');
+  EXPECT_FALSE(hog->read_response().has_value());  // server closed
+
+  server.stop();
+  EXPECT_EQ(server.stats().connections_open.load(), 0u);
+}
+
+TEST(Server, MaxConnectionGuardRefusesExtras) {
+  ServerConfig config = test_config();
+  config.max_connections = 2;
+  Server server(config, [] { return make_corpus(kCorpusV1); });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto first = Client::connect("127.0.0.1", server.port());
+  auto second = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // Ensure both are registered before the third knocks.
+  ASSERT_TRUE(first->send_line("!gAS64502"));
+  ASSERT_TRUE(first->read_response().has_value());
+  ASSERT_TRUE(second->send_line("!gAS64502"));
+  ASSERT_TRUE(second->read_response().has_value());
+
+  auto third = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(third.has_value());  // TCP accept succeeds, then refusal
+  auto refusal = third->read_response();
+  ASSERT_TRUE(refusal.has_value());
+  EXPECT_EQ(*refusal, "F too many connections\n");
+  EXPECT_FALSE(third->read_response().has_value());  // closed
+  EXPECT_EQ(server.stats().connections_rejected.load(), 1u);
+
+  server.stop();
+}
+
+TEST(Server, IdleConnectionsAreReaped) {
+  ServerConfig config = test_config();
+  config.idle_timeout = std::chrono::milliseconds(200);
+  Server server(config, [] { return make_corpus(kCorpusV1); });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+  // Do nothing: the sweep must close us. read_response returns EOF.
+  EXPECT_FALSE(client->read_response().has_value());
+  EXPECT_EQ(server.stats().connections_idle_closed.load(), 1u);
+  server.stop();
+}
+
+TEST(Server, StartFailsWhenLoaderFails) {
+  Server server(test_config(), []() -> std::shared_ptr<const irr::Index> {
+    return nullptr;
+  });
+  std::string error;
+  EXPECT_FALSE(server.start(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace rpslyzer::server

@@ -1,23 +1,69 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the rpslyzer CLI: generate a corpus, then run
-# every subcommand against it.
+# every subcommand against it — including a live rpslyzerd round trip.
 set -euo pipefail
 CLI="$1"
+LOADGEN="${2:-}"
 DIR="$(mktemp -d)"
-trap 'rm -rf "$DIR"' EXIT
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
 
-"$CLI" generate "$DIR" 0.1 7 | grep -q "wrote"
-"$CLI" parse "$DIR" | grep -q "merged corpus"
-"$CLI" export "$DIR" "$DIR/ir.json" | grep -q "exported"
+# NB: plain `grep X >/dev/null`, not `grep -q`: -q exits at the first match,
+# which under pipefail turns a chatty writer into a SIGPIPE (exit 141) flake.
+"$CLI" generate "$DIR" 0.1 7 | grep "wrote" >/dev/null
+"$CLI" parse "$DIR" | grep "merged corpus" >/dev/null
+"$CLI" export "$DIR" "$DIR/ir.json" | grep "exported" >/dev/null
 test -s "$DIR/ir.json"
-"$CLI" lint "$DIR" | grep -q "findings" || true   # exits 1 when findings exist
-"$CLI" verify "$DIR" | grep -q "checks from"
+"$CLI" lint "$DIR" | grep "findings" >/dev/null || true   # exits 1 when findings exist
+"$CLI" verify "$DIR" | grep "checks from" >/dev/null
 # Verify one concrete route: pick a line whose AS path has >= 2 hops
 # (single-AS routes are the collector peer's own prefixes).
 LINE="$(awk -F'|' 'split($2, a, " ") >= 2 {print; exit}' "$DIR/collector-0.dump")"
 PREFIX="${LINE%%|*}"
 ASPATH="${LINE#*|}"
-"$CLI" report "$DIR" "$PREFIX" $ASPATH | grep -qE "(Ok|Meh|Bad|Unrec|Skip)(Import|Export)"
+"$CLI" report "$DIR" "$PREFIX" $ASPATH | grep -E "(Ok|Meh|Bad|Unrec|Skip)(Import|Export)" >/dev/null
+# One-shot IRRd query against an origin that certainly has route objects.
+ASN="$(awk '/^origin:/ {print $2; exit}' "$DIR"/*.db)"
+"$CLI" query "$DIR" "!g$ASN" > "$DIR/oneshot.txt"
+grep -q "^A" "$DIR/oneshot.txt"
+"$CLI" query "$DIR" "!gAS4199999999" | grep -x "D" >/dev/null
+
+# Query server: start on an ephemeral port, compare a daemon answer byte for
+# byte with the one-shot result, push load through loadgen, then assert a
+# clean SIGTERM shutdown.
+"$CLI" serve "$DIR" --port 0 --threads 2 --stats-ms 0 > "$DIR/serve.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening" "$DIR/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DIR/serve.log" | head -1)"
+test -n "$PORT"
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '!g%s\n!q\n' "$ASN" >&3
+cat <&3 > "$DIR/daemon.txt"
+exec 3<&- 3>&-
+cmp "$DIR/daemon.txt" "$DIR/oneshot.txt"
+
+if [ -n "$LOADGEN" ]; then
+  "$LOADGEN" --port "$PORT" --connections 4 --pipeline 8 --requests 100 \
+      --json "!g$ASN" "!stats" "!iAS-NOPE" | grep '"failed":false' >/dev/null
+fi
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"   # non-zero here means the daemon did not shut down cleanly
+SERVER_PID=""
+grep -q "shut down cleanly" "$DIR/serve.log"
+
 # Bad usage exits non-zero.
 if "$CLI" nonsense >/dev/null 2>&1; then exit 1; fi
+if "$CLI" serve >/dev/null 2>&1; then exit 1; fi
+# A missing corpus dir must refuse to serve, not answer D to everything.
+if "$CLI" serve "$DIR/nope" --port 0 >/dev/null 2>&1; then exit 1; fi
+if "$CLI" query "$DIR/nope" '!gAS1' >/dev/null 2>&1; then exit 1; fi
 echo "cli smoke ok"

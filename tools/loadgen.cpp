@@ -1,0 +1,190 @@
+// loadgen — concurrent load generator for rpslyzerd.
+//
+//   loadgen [--host H] [--port P] [--connections N] [--pipeline K]
+//           [--requests N] [--duration-ms D] [--json] [--stats] <query...>
+//
+// Opens N concurrent connections, each cycling through the given query mix
+// in pipelined batches of K, and reports sustained throughput. With
+// --duration-ms the run is time-boxed; otherwise each connection issues
+// --requests queries (default 1000). --stats fetches the daemon's `!stats`
+// afterwards (cache hit ratio, latency percentiles); --json emits one
+// machine-readable line for trend tracking across PRs.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpslyzer/server/client.hpp"
+
+namespace {
+
+using rpslyzer::server::Client;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 8;
+  std::size_t pipeline = 16;
+  std::size_t requests = 1000;  // per connection, when no duration given
+  long long duration_ms = 0;
+  bool json = false;
+  bool stats = false;
+  std::vector<std::string> queries;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: loadgen --port P [--host H] [--connections N] [--pipeline K]\n"
+               "               [--requests N] [--duration-ms D] [--json] [--stats]\n"
+               "               <query...>\n");
+  return 2;
+}
+
+struct WorkerResult {
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;     // 'F' responses
+  std::uint64_t not_found = 0;  // 'D' responses
+  bool failed = false;          // connect/protocol failure
+};
+
+void run_worker(const Options& options, Clock::time_point deadline,
+                WorkerResult& result) {
+  std::string error;
+  auto client = Client::connect(options.host, options.port, &error);
+  if (!client) {
+    std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+    result.failed = true;
+    return;
+  }
+  std::size_t cursor = 0;
+  std::uint64_t sent_total = 0;
+  const bool timed = options.duration_ms > 0;
+  while (true) {
+    if (timed) {
+      if (Clock::now() >= deadline) break;
+    } else if (sent_total >= options.requests) {
+      break;
+    }
+    std::size_t batch = options.pipeline;
+    if (!timed) batch = std::min<std::uint64_t>(batch, options.requests - sent_total);
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (!client->send_line(options.queries[cursor])) {
+        result.failed = true;
+        return;
+      }
+      cursor = (cursor + 1) % options.queries.size();
+    }
+    sent_total += batch;
+    for (std::size_t i = 0; i < batch; ++i) {
+      auto response = client->read_response();
+      if (!response) {
+        result.failed = true;
+        return;
+      }
+      ++result.responses;
+      if (!response->empty() && response->front() == 'F') ++result.errors;
+      if (*response == "D\n") ++result.not_found;
+    }
+  }
+  client->send_line("!q");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--host") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.host = v;
+    } else if (arg == "--port") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--connections") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.connections = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--pipeline") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.pipeline = std::max<std::size_t>(1, static_cast<std::size_t>(std::atoll(v)));
+    } else if (arg == "--requests") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.requests = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--duration-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.duration_ms = std::atoll(v);
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else {
+      options.queries.emplace_back(arg);
+    }
+  }
+  if (options.port == 0 || options.queries.empty() || options.connections == 0) {
+    return usage();
+  }
+
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(options.duration_ms);
+  std::vector<WorkerResult> results(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back(run_worker, std::cref(options), deadline, std::ref(results[i]));
+  }
+  for (auto& worker : workers) worker.join();
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  WorkerResult total;
+  bool any_failed = false;
+  for (const auto& result : results) {
+    total.responses += result.responses;
+    total.errors += result.errors;
+    total.not_found += result.not_found;
+    any_failed = any_failed || result.failed;
+  }
+  const double qps = seconds > 0 ? static_cast<double>(total.responses) / seconds : 0;
+
+  if (options.json) {
+    std::printf("{\"tool\":\"loadgen\",\"connections\":%zu,\"pipeline\":%zu,"
+                "\"responses\":%llu,\"errors\":%llu,\"not_found\":%llu,"
+                "\"seconds\":%.3f,\"qps\":%.0f,\"failed\":%s}\n",
+                options.connections, options.pipeline,
+                static_cast<unsigned long long>(total.responses),
+                static_cast<unsigned long long>(total.errors),
+                static_cast<unsigned long long>(total.not_found), seconds, qps,
+                any_failed ? "true" : "false");
+  } else {
+    std::printf("loadgen: %llu responses over %zu connections in %.3fs (%.0f q/s, "
+                "%llu errors, %llu not-found)\n",
+                static_cast<unsigned long long>(total.responses), options.connections,
+                seconds, qps, static_cast<unsigned long long>(total.errors),
+                static_cast<unsigned long long>(total.not_found));
+  }
+
+  if (options.stats) {
+    if (auto client = Client::connect(options.host, options.port)) {
+      if (client->send_line("!stats")) {
+        if (auto response = client->read_response()) {
+          std::fwrite(response->data(), 1, response->size(), stdout);
+        }
+      }
+      client->send_line("!q");
+    }
+  }
+  return any_failed ? 1 : 0;
+}

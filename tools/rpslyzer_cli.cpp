@@ -6,10 +6,13 @@
 //   rpslyzer export <dir> <out.json>         export the IR as JSON
 //   rpslyzer report <dir> <prefix> <asn...>  verify one route, print report
 //   rpslyzer verify <dir>                    verify collector-*.dump files
+//   rpslyzer query <dir> <!query...>         evaluate IRRd queries, print framed
+//   rpslyzer serve <dir>|--synth [flags]     run the rpslyzerd query daemon
 //
 // <dir> holds <irr>.db dumps (Table 1 names) plus relationships.txt and,
 // for `verify`, collector-<n>.dump files — exactly what `generate` writes.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,9 +21,11 @@
 
 #include "rpslyzer/lint/classify.hpp"
 #include "rpslyzer/lint/linter.hpp"
+#include "rpslyzer/query/query.hpp"
 #include "rpslyzer/report/aggregate.hpp"
 #include "rpslyzer/report/render.hpp"
 #include "rpslyzer/rpslyzer.hpp"
+#include "rpslyzer/server/server.hpp"
 #include "rpslyzer/stats/census.hpp"
 #include "rpslyzer/synth/generator.hpp"
 
@@ -36,12 +41,29 @@ int usage() {
                "  lint <dir>                      lint the corpus\n"
                "  export <dir> <out.json>         export the IR as JSON\n"
                "  report <dir> <prefix> <asn...>  verify one route (Appendix-C style)\n"
-               "  verify <dir>                    verify collector-*.dump files\n");
+               "  verify <dir>                    verify collector-*.dump files\n"
+               "  query <dir> <!query...>         evaluate IRRd queries, print framed\n"
+               "  serve <dir>|--synth [flags]     run the rpslyzerd query daemon\n"
+               "    serve flags: [--port N] [--threads N] [--cache N] [--max-conns N]\n"
+               "                 [--idle-ms N] [--stats-ms N] [--scale F] [--seed N]\n");
   return 2;
 }
 
 Rpslyzer load(const std::filesystem::path& dir) {
   return Rpslyzer::from_files(dir, dir / "relationships.txt");
+}
+
+// from_files() treats a missing directory as an empty corpus, which is the
+// wrong default for a daemon: `serve /typo` would happily answer `D` to every
+// query. Require at least one dump file before loading.
+bool corpus_dir_ok(const std::filesystem::path& dir) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".db") return true;
+  }
+  std::fprintf(stderr, "%s: %s\n", dir.c_str(),
+               ec ? "cannot read directory" : "no .db dump files found");
+  return false;
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -171,6 +193,128 @@ int cmd_verify(int argc, char** argv) {
   return 0;
 }
 
+int cmd_query(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (!corpus_dir_ok(argv[0])) return 1;
+  Rpslyzer lyzer = load(argv[0]);
+  query::QueryEngine engine(lyzer.index());
+  for (int i = 1; i < argc; ++i) {
+    const std::string response = engine.evaluate(argv[i]);
+    std::fwrite(response.data(), 1, response.size(), stdout);
+  }
+  return 0;
+}
+
+// `serve` wires signals straight into the daemon: SIGINT/SIGTERM drain and
+// stop, SIGHUP reloads the corpus (both entry points are async-signal-safe).
+server::Server* g_server = nullptr;
+
+void on_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void on_hup_signal(int) {
+  if (g_server != nullptr) g_server->request_reload();
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string data_dir;
+  bool synthetic = false;
+  double scale = 0.2;
+  std::uint32_t seed = 7;
+  server::ServerConfig config;
+  config.stats_log_interval = std::chrono::milliseconds(10000);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--synth") {
+      synthetic = true;
+    } else if (arg == "--port") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--threads") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.worker_threads = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--cache") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.cache_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--max-conns") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.max_connections = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--idle-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.idle_timeout = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--stats-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.stats_log_interval = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--scale") {
+      const char* v = next_value();
+      if (!v) return usage();
+      scale = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next_value();
+      if (!v) return usage();
+      seed = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (!arg.empty() && arg.front() != '-' && data_dir.empty()) {
+      data_dir = arg;
+    } else {
+      std::fprintf(stderr, "serve: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (synthetic ? !data_dir.empty() : data_dir.empty()) return usage();
+
+  server::CorpusLoader loader;
+  if (synthetic) {
+    loader = [scale, seed]() -> std::shared_ptr<const irr::Index> {
+      synth::SynthConfig synth_config;
+      synth_config.scale = scale;
+      synth_config.seed = seed;
+      synth::InternetGenerator generator(synth_config);
+      std::vector<std::pair<std::string, std::string>> ordered;
+      for (const auto& name : synth::irr_names()) {
+        ordered.emplace_back(name, generator.irr_dumps().at(name));
+      }
+      auto lyzer = std::make_shared<Rpslyzer>(
+          Rpslyzer::from_texts(ordered, generator.caida_serial1()));
+      return std::shared_ptr<const irr::Index>(lyzer, &lyzer->index());
+    };
+  } else {
+    loader = [data_dir]() -> std::shared_ptr<const irr::Index> {
+      if (!corpus_dir_ok(data_dir)) return nullptr;  // start + reload both bail
+      auto lyzer = std::make_shared<Rpslyzer>(load(data_dir));
+      return std::shared_ptr<const irr::Index>(lyzer, &lyzer->index());
+    };
+  }
+
+  server::Server daemon(config, std::move(loader));
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "rpslyzerd: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = &daemon;
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGHUP, on_hup_signal);
+  std::printf("rpslyzerd listening on %s:%u (workers=%u cache=%zu corpus=%s)\n",
+              config.bind_address.c_str(), daemon.port(), config.worker_threads,
+              config.cache_capacity, synthetic ? "synthetic" : data_dir.c_str());
+  std::fflush(stdout);
+  daemon.wait();
+  const std::string final_stats = daemon.stats_payload();
+  daemon.stop();
+  g_server = nullptr;
+  std::printf("%s\nrpslyzerd: shut down cleanly\n", final_stats.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,5 +328,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(command, "export") == 0) return cmd_export(argc, argv);
   if (std::strcmp(command, "report") == 0) return cmd_report(argc, argv);
   if (std::strcmp(command, "verify") == 0) return cmd_verify(argc, argv);
+  if (std::strcmp(command, "query") == 0) return cmd_query(argc, argv);
+  if (std::strcmp(command, "serve") == 0) return cmd_serve(argc, argv);
   return usage();
 }

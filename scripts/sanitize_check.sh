@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Build with -DRPSLYZER_SANITIZE=ON (ASan + UBSan) and run the tests that
-# exercise the threaded query server: any data race turned heap error, leaked
-# connection buffer, or leaked socket-owning object fails the run. Uses a
-# side build directory so the normal build stays fast.
+# Build with -DRPSLYZER_SANITIZE=ON (ASan + UBSan) and run the fault/server
+# test set (ctest label "fault"): any data race turned heap error, leaked
+# connection buffer, or leaked socket-owning object fails the run. The same
+# set is then re-run under a matrix of RPSLYZER_FAILPOINTS environments so
+# the injected error, delay, and truncate paths are sanitizer-clean too.
+# Uses a side build directory so the normal build stays fast.
 #
 #   scripts/sanitize_check.sh [build-dir]
 set -euo pipefail
@@ -10,8 +12,25 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-sanitize}"
 
 cmake -B "$BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE=ON >/dev/null
-cmake --build "$BUILD" -j --target server_test query_test irr_index_test
-(cd "$BUILD" &&
- ctest -R 'Server\.|ResponseCache|LatencyHistogram|QueryEngine' \
-       --output-on-failure -j4)
+cmake --build "$BUILD" -j --target \
+  server_test query_test irr_index_test fault_injection_test loader_files_test
+
+run_labeled() {
+  local spec="$1" exclude="${2:-}"
+  echo "== RPSLYZER_FAILPOINTS='${spec}' =="
+  (cd "$BUILD" && RPSLYZER_FAILPOINTS="$spec" \
+     ctest -L fault ${exclude:+-E "$exclude"} --output-on-failure -j4)
+}
+
+# Baseline, then each action kind. Error actions are limited to sites whose
+# callers degrade gracefully (cache bypass); tests that assert exact cache
+# hit counts are excluded from that entry since bypassing the cache is its
+# intended observable effect. The loader/server error paths are driven
+# programmatically by fault_injection_test, where the test controls the
+# blast radius.
+run_labeled ""
+run_labeled "server.send=delay(2ms);server.dispatch=delay(1ms)"
+run_labeled "cache.get=error;cache.put=error" 'Server\.|ResponseCache'
+run_labeled "irr.parse=truncate(65536)"
+
 echo "sanitize check ok"

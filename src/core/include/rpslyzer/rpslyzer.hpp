@@ -39,6 +39,10 @@ class Rpslyzer {
   const relations::AsRelations& relations() const noexcept { return relations_; }
   const util::Diagnostics& diagnostics() const noexcept { return diagnostics_; }
   const std::vector<irr::IrrCounts>& irr_counts() const noexcept { return irr_counts_; }
+  /// Per-source load outcome (ok | degraded | quarantined), priority order.
+  const std::vector<irr::SourceOutcome>& source_outcomes() const noexcept {
+    return source_outcomes_;
+  }
   std::size_t raw_route_objects() const noexcept { return raw_route_objects_; }
 
   /// A verifier bound to this corpus.
@@ -58,6 +62,7 @@ class Rpslyzer {
   relations::AsRelations relations_;
   util::Diagnostics diagnostics_;
   std::vector<irr::IrrCounts> irr_counts_;
+  std::vector<irr::SourceOutcome> source_outcomes_;
   std::size_t raw_route_objects_ = 0;
 };
 

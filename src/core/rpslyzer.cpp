@@ -10,23 +10,15 @@ Rpslyzer Rpslyzer::from_texts(const std::vector<std::pair<std::string, std::stri
                               const std::string& caida_serial1) {
   Rpslyzer lyzer;
   lyzer.ir_ = std::make_unique<ir::Ir>();
-  std::set<std::pair<net::Prefix, ir::Asn>> seen_routes;
+  irr::RouteKeySet seen_routes;
   for (const auto& [name, text] : dumps) {
     irr::IrrCounts counts;
     counts.name = name;
     ir::Ir parsed = irr::parse_dump(text, name, lyzer.diagnostics_, &counts);
     lyzer.raw_route_objects_ += parsed.routes.size();
-    lyzer.ir_->aut_nums.merge(parsed.aut_nums);
-    lyzer.ir_->as_sets.merge(parsed.as_sets);
-    lyzer.ir_->route_sets.merge(parsed.route_sets);
-    lyzer.ir_->peering_sets.merge(parsed.peering_sets);
-    lyzer.ir_->filter_sets.merge(parsed.filter_sets);
-    for (auto& route : parsed.routes) {
-      if (seen_routes.emplace(route.prefix, route.origin).second) {
-        lyzer.ir_->routes.push_back(std::move(route));
-      }
-    }
+    irr::merge_into(*lyzer.ir_, std::move(parsed), &seen_routes);
     lyzer.irr_counts_.push_back(std::move(counts));
+    lyzer.source_outcomes_.push_back({name, irr::SourceStatus::kOk, {}});
   }
   lyzer.relations_ = relations::AsRelations::parse(caida_serial1, lyzer.diagnostics_);
   lyzer.index_ = std::make_unique<irr::Index>(*lyzer.ir_);
@@ -40,6 +32,7 @@ Rpslyzer Rpslyzer::from_files(const std::filesystem::path& irr_directory,
   lyzer.ir_ = std::make_unique<ir::Ir>(std::move(loaded.ir));
   lyzer.diagnostics_ = std::move(loaded.diagnostics);
   lyzer.irr_counts_ = std::move(loaded.counts);
+  lyzer.source_outcomes_ = std::move(loaded.outcomes);
   lyzer.raw_route_objects_ = loaded.raw_route_objects;
 
   std::ifstream in(relationships, std::ios::binary);

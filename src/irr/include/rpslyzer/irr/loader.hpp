@@ -5,9 +5,20 @@
 // regional/national registries first, then RADB, then other databases,
 // ordered by size within each group (§4, Table 1). Loading here takes an
 // ordered source list; the first definition of an object key wins.
+//
+// Real dumps are dirty in more ways than bad syntax: a mirror can be
+// missing, a transfer can die mid-file, a corrupt dump can present one
+// endless pseudo-object. Loading therefore tracks a per-source *outcome* —
+// ok / degraded (unavailable, skipped) / quarantined (present but failed
+// integrity checks mid-load) — and keeps going, mirroring the paper's
+// missing-dump tolerance (§4): one bad registry never takes down the other
+// twelve. Failpoint sites ("irr.open", "irr.read", "irr.parse", "irr.merge";
+// see util/failpoint.hpp) make every failure deterministic to test.
 
 #include <filesystem>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rpslyzer/ir/objects.hpp"
@@ -36,24 +47,60 @@ struct IrrCounts {
   std::size_t filter_sets = 0;
 };
 
+/// How loading one source ended.
+enum class SourceStatus : std::uint8_t {
+  kOk,           // parsed and merged completely
+  kDegraded,     // dump unavailable; skipped with a warning (paper §4)
+  kQuarantined,  // dump present but failed mid-load; none of it was merged
+};
+
+struct SourceOutcome {
+  std::string name;
+  SourceStatus status = SourceStatus::kOk;
+  std::string detail;  // human-readable reason for degraded/quarantined
+};
+
+const char* to_string(SourceStatus s) noexcept;
+
+/// Knobs for integrity checks during loading.
+struct LoadOptions {
+  /// A single raw object larger than this is treated as dump corruption
+  /// (e.g. lost blank-line separators) and quarantines the source.
+  /// 0 disables the guard.
+  std::size_t max_object_bytes = 8u << 20;
+};
+
 struct LoadResult {
   ir::Ir ir;                      // merged, priority-resolved corpus
   std::vector<IrrCounts> counts;  // per source, in priority order
+  std::vector<SourceOutcome> outcomes;  // per source, in priority order
   util::Diagnostics diagnostics;
   std::size_t raw_route_objects = 0;  // before (prefix, origin) dedup
+
+  std::size_t count_with(SourceStatus status) const noexcept;
+  const SourceOutcome* outcome(std::string_view name) const noexcept;
 };
+
+/// Route objects dedup on (prefix, origin) across IRRs; this is the key set
+/// load_irrs maintains incrementally and merge_into can share.
+using RouteKeySet = std::set<std::pair<net::Prefix, ir::Asn>>;
 
 /// Parse one dump text into a fresh Ir. `counts` may be null.
 ir::Ir parse_dump(std::string_view text, std::string_view source,
                   util::Diagnostics& diagnostics, IrrCounts* counts = nullptr);
 
 /// Merge `src` into `dst` with first-wins priority (dst's existing objects
-/// are kept). Route objects are deduplicated by (prefix, origin).
-void merge_into(ir::Ir& dst, ir::Ir&& src);
+/// are kept). Route objects are deduplicated by (prefix, origin). When
+/// `seen` is given it must already cover dst's routes; it is updated in
+/// place, letting repeated merges (load_irrs) skip the per-call rebuild.
+void merge_into(ir::Ir& dst, ir::Ir&& src, RouteKeySet* seen = nullptr);
 
-/// Load and merge dump files in priority order. Missing files raise a
-/// diagnostic and are skipped (the paper tolerates unavailable dumps, §4).
-LoadResult load_irrs(const std::vector<IrrSource>& sources);
+/// Load and merge dump files in priority order. Unavailable files degrade
+/// (warning, skipped); files failing mid-read, integrity guards, or parser
+/// exceptions are quarantined (error, nothing merged). Either way the
+/// remaining sources still load.
+LoadResult load_irrs(const std::vector<IrrSource>& sources,
+                     const LoadOptions& options = {});
 
 /// The paper's 13 IRRs in priority order (Table 1): names only; callers
 /// supply the directory holding "<name>.db" files.

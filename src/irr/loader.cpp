@@ -1,26 +1,110 @@
 #include "rpslyzer/irr/loader.hpp"
 
+#include <algorithm>
 #include <fstream>
-#include <set>
-#include <sstream>
+#include <stdexcept>
 
 #include "rpslyzer/rpsl/object_lexer.hpp"
 #include "rpslyzer/rpsl/object_parser.hpp"
+#include "rpslyzer/util/failpoint.hpp"
 #include "rpslyzer/util/strings.hpp"
 
 namespace rpslyzer::irr {
 
 namespace {
 
+namespace fp = util::failpoint;
+
 void count_rules(const ir::AutNum& an, IrrCounts& counts) {
   counts.imports += an.imports.size();
   counts.exports += an.exports.size();
 }
 
+/// Slurp a stream chunk-wise so stream state reflects how the read ended:
+/// eof = complete, bad/fail-without-eof = the transfer died mid-file.
+/// Returns false (with *detail set) on an I/O error; the partial bytes read
+/// so far stay in *text for diagnostics but must not be parsed as complete.
+bool slurp(std::ifstream& in, std::string* text, std::string* detail) {
+  char chunk[64 * 1024];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    text->append(chunk, static_cast<std::size_t>(in.gcount()));
+    if (in.eof()) break;
+    if (in.bad()) break;
+  }
+  if (in.bad() || (in.fail() && !in.eof())) {
+    *detail = "I/O error after " + std::to_string(text->size()) + " bytes";
+    return false;
+  }
+  if (const fp::Hit hit = fp::hit("irr.read")) {
+    if (hit.is_error()) {
+      *detail = "injected read fault: " + hit.message;
+      return false;
+    }
+    if (hit.is_truncate()) {
+      // Simulates a transfer that died mid-file *and was detected*: the
+      // stream handed back fewer bytes than the dump holds.
+      text->resize(std::min(text->size(), hit.truncate_at));
+      *detail = "injected mid-read truncation at " +
+                std::to_string(text->size()) + " bytes";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Longest blank-line-separated paragraph, i.e. what the lexer will treat
+/// as one raw object. A corrupt dump that lost its separators shows up as
+/// one pathological multi-megabyte "object".
+std::size_t largest_object_bytes(std::string_view text) {
+  std::size_t largest = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t sep = text.find("\n\n", start);
+    const std::size_t end = sep == std::string_view::npos ? text.size() : sep;
+    largest = std::max(largest, end - start);
+    if (sep == std::string_view::npos) break;
+    start = sep + 2;
+  }
+  return largest;
+}
+
 }  // namespace
+
+const char* to_string(SourceStatus s) noexcept {
+  switch (s) {
+    case SourceStatus::kOk:
+      return "ok";
+    case SourceStatus::kDegraded:
+      return "degraded";
+    case SourceStatus::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+std::size_t LoadResult::count_with(SourceStatus status) const noexcept {
+  std::size_t n = 0;
+  for (const auto& outcome : outcomes) {
+    if (outcome.status == status) ++n;
+  }
+  return n;
+}
+
+const SourceOutcome* LoadResult::outcome(std::string_view name) const noexcept {
+  for (const auto& outcome : outcomes) {
+    if (outcome.name == name) return &outcome;
+  }
+  return nullptr;
+}
 
 ir::Ir parse_dump(std::string_view text, std::string_view source,
                   util::Diagnostics& diagnostics, IrrCounts* counts) {
+  if (const fp::Hit hit = fp::hit("irr.parse")) {
+    if (hit.is_error()) throw std::runtime_error("irr.parse: " + hit.message);
+    // Silent truncation at the parse layer: the lexer sees a shorter dump
+    // and must still produce a clean (if smaller) object stream.
+    if (hit.is_truncate()) text = text.substr(0, std::min(text.size(), hit.truncate_at));
+  }
   ir::Ir ir;
   auto raw_objects = rpsl::lex_objects(text, source, diagnostics);
   if (counts != nullptr) {
@@ -64,7 +148,10 @@ ir::Ir parse_dump(std::string_view text, std::string_view source,
   return ir;
 }
 
-void merge_into(ir::Ir& dst, ir::Ir&& src) {
+void merge_into(ir::Ir& dst, ir::Ir&& src, RouteKeySet* seen) {
+  if (const fp::Hit hit = fp::hit("irr.merge")) {
+    if (hit.is_error()) throw std::runtime_error("irr.merge: " + hit.message);
+  }
   // map::merge keeps dst's entry on key conflict — exactly first-wins.
   dst.aut_nums.merge(src.aut_nums);
   dst.as_sets.merge(src.as_sets);
@@ -73,50 +160,96 @@ void merge_into(ir::Ir& dst, ir::Ir&& src) {
   dst.filter_sets.merge(src.filter_sets);
 
   // Routes: dedup by (prefix, origin); the first (higher-priority) object
-  // is kept. Rebuild the key set each call would be quadratic over many
-  // merges, so callers merging repeatedly should prefer load_irrs (which
-  // maintains the key set across merges); this standalone path recomputes.
-  std::set<std::pair<net::Prefix, ir::Asn>> seen;
-  for (const auto& r : dst.routes) seen.emplace(r.prefix, r.origin);
+  // is kept. Callers merging repeatedly (load_irrs) pass a persistent key
+  // set so the rebuild below only happens on the standalone path.
+  RouteKeySet rebuilt;
+  if (seen == nullptr) {
+    for (const auto& r : dst.routes) rebuilt.emplace(r.prefix, r.origin);
+    seen = &rebuilt;
+  }
   for (auto& r : src.routes) {
-    if (seen.emplace(r.prefix, r.origin).second) dst.routes.push_back(std::move(r));
+    if (seen->emplace(r.prefix, r.origin).second) dst.routes.push_back(std::move(r));
   }
   src.routes.clear();
 }
 
-LoadResult load_irrs(const std::vector<IrrSource>& sources) {
+LoadResult load_irrs(const std::vector<IrrSource>& sources, const LoadOptions& options) {
   LoadResult result;
-  std::set<std::pair<net::Prefix, ir::Asn>> seen_routes;
+  RouteKeySet seen_routes;
   for (const auto& source : sources) {
     IrrCounts counts;
     counts.name = source.name;
+    SourceOutcome outcome;
+    outcome.name = source.name;
 
-    std::ifstream in(source.path, std::ios::binary);
-    if (!in) {
-      result.diagnostics.warning(util::DiagnosticKind::kOther,
-                                 "IRR dump unavailable: " + source.path.string(),
-                                 source.name, {source.name, 0});
+    const auto degrade = [&](std::string detail) {
+      outcome.status = SourceStatus::kDegraded;
+      result.diagnostics.warning(util::DiagnosticKind::kOther, detail, source.name,
+                                 {source.name, 0});
+      outcome.detail = std::move(detail);
+    };
+    // Quarantine: the dump exists but cannot be trusted; merging a prefix
+    // of it would silently shrink the corpus, so none of it is merged and
+    // the failure is recorded as a hard error (unlike a missing dump).
+    const auto quarantine = [&](std::string detail) {
+      outcome.status = SourceStatus::kQuarantined;
+      result.diagnostics.error(util::DiagnosticKind::kOther,
+                               "IRR dump quarantined: " + detail, source.name,
+                               {source.name, 0});
+      outcome.detail = std::move(detail);
+    };
+
+    const auto finish = [&] {
       result.counts.push_back(std::move(counts));
+      result.outcomes.push_back(std::move(outcome));
+    };
+
+    if (const fp::Hit hit = fp::hit("irr.open"); hit && hit.is_error()) {
+      degrade("IRR dump unavailable: injected open fault: " + hit.message);
+      finish();
       continue;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = std::move(buffer).str();
-
-    ir::Ir parsed = parse_dump(text, source.name, result.diagnostics, &counts);
-    result.raw_route_objects += parsed.routes.size();
-
-    result.ir.aut_nums.merge(parsed.aut_nums);
-    result.ir.as_sets.merge(parsed.as_sets);
-    result.ir.route_sets.merge(parsed.route_sets);
-    result.ir.peering_sets.merge(parsed.peering_sets);
-    result.ir.filter_sets.merge(parsed.filter_sets);
-    for (auto& r : parsed.routes) {
-      if (seen_routes.emplace(r.prefix, r.origin).second) {
-        result.ir.routes.push_back(std::move(r));
+    std::error_code ec;
+    const bool exists = std::filesystem::exists(source.path, ec);
+    if (exists && !std::filesystem::is_regular_file(source.path, ec)) {
+      quarantine("not a regular file: " + source.path.string());
+      finish();
+      continue;
+    }
+    std::ifstream in(source.path, std::ios::binary);
+    if (!in) {
+      degrade("IRR dump unavailable: " + source.path.string());
+      finish();
+      continue;
+    }
+    std::string text;
+    std::string read_error;
+    if (!slurp(in, &text, &read_error)) {
+      quarantine("read failed mid-dump (" + read_error + "): " + source.path.string());
+      finish();
+      continue;
+    }
+    if (options.max_object_bytes > 0) {
+      const std::size_t largest = largest_object_bytes(text);
+      if (largest > options.max_object_bytes) {
+        quarantine("pathological object of " + std::to_string(largest) +
+                   " bytes (limit " + std::to_string(options.max_object_bytes) +
+                   "): " + source.path.string());
+        finish();
+        continue;
       }
     }
-    result.counts.push_back(std::move(counts));
+    try {
+      ir::Ir parsed = parse_dump(text, source.name, result.diagnostics, &counts);
+      const std::size_t raw_routes = parsed.routes.size();
+      merge_into(result.ir, std::move(parsed), &seen_routes);
+      result.raw_route_objects += raw_routes;
+    } catch (const std::exception& e) {
+      quarantine(std::string("exception mid-load: ") + e.what());
+      counts = IrrCounts{};  // partial counts would misstate the census
+      counts.name = source.name;
+    }
+    finish();
   }
   return result;
 }

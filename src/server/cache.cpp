@@ -2,9 +2,12 @@
 
 #include <functional>
 
+#include "rpslyzer/util/failpoint.hpp"
 #include "rpslyzer/util/strings.hpp"
 
 namespace rpslyzer::server {
+
+namespace fp = util::failpoint;
 
 ResponseCache::ResponseCache(std::size_t capacity, std::size_t shards)
     : capacity_(capacity), shards_(std::max<std::size_t>(shards, 1)) {
@@ -24,6 +27,14 @@ void ResponseCache::erase_locked(Shard& shard, std::list<Entry>::iterator it) {
 
 std::optional<std::string> ResponseCache::get(std::string_view key,
                                               std::uint64_t generation) {
+  // "cache.get" error = simulated lookup failure; served as a miss, so the
+  // daemon stays correct (every response recomputed) just slower.
+  if (const fp::Hit hit = fp::hit("cache.get"); hit && hit.is_error()) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.misses;
+    return std::nullopt;
+  }
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto found = shard.map.find(key);
@@ -46,6 +57,9 @@ std::optional<std::string> ResponseCache::get(std::string_view key,
 void ResponseCache::put(std::string_view key, std::uint64_t generation,
                         std::string value) {
   if (per_shard_capacity_ == 0) return;
+  // "cache.put" error = simulated insert failure; the entry is dropped,
+  // which only costs a future miss.
+  if (const fp::Hit hit = fp::hit("cache.put"); hit && hit.is_error()) return;
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto found = shard.map.find(key);

@@ -9,9 +9,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include "rpslyzer/util/failpoint.hpp"
 #include "rpslyzer/util/strings.hpp"
 
 namespace rpslyzer::server {
+
+namespace fp = util::failpoint;
 
 std::optional<Client> Client::connect(const std::string& host, std::uint16_t port,
                                       std::string* error) {
@@ -59,10 +62,17 @@ Client::~Client() {
 bool Client::send_line(std::string_view query) {
   std::string line(query);
   line.push_back('\n');
+  return send_raw(line);
+}
+
+bool Client::send_raw(std::string_view bytes) {
+  if (const fp::Hit hit = fp::hit("client.send"); hit && hit.is_error()) {
+    return false;
+  }
   std::size_t sent = 0;
-  while (sent < line.size()) {
+  while (sent < bytes.size()) {
     const ssize_t n =
-        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -75,6 +85,9 @@ bool Client::send_line(std::string_view query) {
 void Client::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
 
 bool Client::fill() {
+  if (const fp::Hit hit = fp::hit("client.read"); hit && hit.is_error()) {
+    return false;
+  }
   char chunk[4096];
   while (true) {
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));

@@ -30,6 +30,10 @@ class Client {
   /// broken connection. Pipelining = calling this repeatedly before reading.
   bool send_line(std::string_view query);
 
+  /// Send raw bytes with no terminator — for fault tooling that needs to
+  /// leave a half-written line on the wire (loadgen --fault-churn, tests).
+  bool send_raw(std::string_view bytes);
+
   /// Block until one complete framed response is available and return its
   /// exact bytes. nullopt on EOF/error before a full response arrived.
   std::optional<std::string> read_response();

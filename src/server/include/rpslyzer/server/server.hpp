@@ -21,11 +21,23 @@
 //   * stop() drains in-flight responses (bounded by drain_timeout) before
 //     closing sockets and joining every thread — no leaks under ASan/TSan.
 //
+// Degraded-mode serving: a failed reload never takes the daemon down — the
+// last good generation stays live, the event loop schedules retries with
+// capped exponential backoff + jitter (reload_backoff), and `!health`
+// reports healthy / degraded(reason, stale age) / loading. Per-query
+// deadlines (`query_deadline`) answer overdue queries with `F timeout`
+// while the stalled worker's late result is discarded, and slow clients
+// whose output buffer exceeds `max_output_buffer_bytes` stop being read
+// (and are disconnected after `write_stall_grace` of unwritability), so one
+// bad peer cannot exhaust daemon memory. Failpoint sites ("server.read",
+// "server.send", "server.dispatch"; see util/failpoint.hpp) make each
+// failure injectable.
+//
 // Protocol notes: engine queries (!g !6 !i !a !o) answer exactly what
 // query::QueryEngine::evaluate returns, byte for byte. Admin extensions:
 // `!q` closes the connection after pending responses flush, `!!` is the
 // IRRd keep-alive no-op, `!t<seconds>` adjusts this connection's idle
-// timeout, `!stats` and `!reload` as above.
+// timeout, `!stats`, `!health`, and `!reload` as above.
 
 #include <atomic>
 #include <chrono>
@@ -64,7 +76,43 @@ struct ServerConfig {
   std::chrono::milliseconds idle_timeout{30000};  // 0 = never
   std::chrono::milliseconds drain_timeout{5000};  // graceful-shutdown budget
   std::chrono::milliseconds stats_log_interval{0};  // 0 = no periodic line
+
+  // Robustness knobs (PR 2). Deadlines and stall handling are enforced on
+  // the event loop's sweep tick, so they resolve at ~100 ms granularity.
+  std::chrono::milliseconds query_deadline{0};  // 0 = none; overdue → "F timeout"
+  std::size_t max_output_buffer_bytes = 4u << 20;  // 0 = unlimited; pause reads past this
+  std::chrono::milliseconds write_stall_grace{5000};  // 0 = never drop stalled peers
+  std::chrono::milliseconds reload_retry_initial{1000};  // first backoff step
+  std::chrono::milliseconds reload_retry_max{60000};     // backoff cap
 };
+
+/// Daemon health, as served by `!health`.
+enum class Health : std::uint8_t {
+  kHealthy,   // current generation loaded cleanly
+  kLoading,   // a (re)load is in flight and the last one succeeded
+  kDegraded,  // last reload failed; serving the previous good generation
+};
+
+const char* to_string(Health h) noexcept;
+
+struct HealthStatus {
+  Health state = Health::kLoading;
+  std::string reason;  // degraded: why the last reload failed
+  std::uint64_t generation = 0;
+  std::chrono::milliseconds generation_age{0};  // since this generation loaded
+  unsigned reload_attempts = 0;                 // consecutive failed reloads
+  bool retry_armed = false;
+  std::chrono::milliseconds next_retry{0};  // until the armed retry fires
+  bool reload_in_flight = false;
+};
+
+/// Deterministic capped exponential backoff with multiplicative jitter in
+/// [0.75, 1.25]·step: attempt 0 ≈ initial, doubling up to `max_backoff`.
+/// Pure — the retry schedule is unit-testable without a clock.
+std::chrono::milliseconds reload_backoff(unsigned attempt,
+                                         std::chrono::milliseconds initial,
+                                         std::chrono::milliseconds max_backoff,
+                                         std::uint64_t seed) noexcept;
 
 class Server {
  public:
@@ -101,8 +149,15 @@ class Server {
   const ServerStats& stats() const noexcept { return stats_; }
   CacheStats cache_stats() const { return cache_.stats(); }
 
+  /// Current health (the structured form of `!health`).
+  HealthStatus health() const;
+
   /// The text behind `!stats` (unframed; one "key: value" line per stat).
   std::string stats_payload() const;
+
+  /// The text behind `!health`: first line "status: <state>", then
+  /// machine-parseable "key: value" detail lines.
+  std::string health_payload() const;
 
  private:
   struct Connection;
@@ -134,11 +189,16 @@ class Server {
   void dispatch_line(Connection& conn, std::string_view raw);
   void deliver(Connection& conn, std::uint64_t seq, std::string response);
   void flush_writes(Connection& conn);
-  void update_write_interest(Connection& conn, bool want);
+  void refresh_epoll_interest(Connection& conn, bool want_write);
+  void apply_backpressure(Connection& conn);
   void close_if_drained(Connection& conn);
   void destroy_conn(std::uint64_t id);
   void drain_completions();
   void sweep_idle(std::chrono::steady_clock::time_point now);
+  void sweep_deadlines(std::chrono::steady_clock::time_point now);
+  void sweep_stalled(std::chrono::steady_clock::time_point now);
+  void maybe_schedule_retry(std::chrono::steady_clock::time_point now);
+  void resume_paused_reads();
   void maybe_log_stats(std::chrono::steady_clock::time_point now);
   void begin_shutdown();
   void enqueue_task(Task task);
@@ -173,6 +233,17 @@ class Server {
   std::atomic<std::uint64_t> generation_{0};
   std::mutex reload_mu_;  // serializes overlapping reload requests
 
+  // Health + retry bookkeeping. Written by workers (do_reload) and the
+  // event loop (retry arming); read by any thread via health().
+  mutable std::mutex health_mu_;
+  Health health_state_ = Health::kLoading;
+  std::string health_reason_;
+  unsigned reload_attempts_ = 0;  // consecutive failures
+  std::chrono::steady_clock::time_point last_good_load_;
+  bool retry_armed_ = false;
+  std::chrono::steady_clock::time_point retry_at_;
+  std::atomic<std::uint32_t> reloads_in_flight_{0};
+
   // Worker queue.
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -188,6 +259,9 @@ class Server {
   // connection that reused the same fd number.
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
   std::uint64_t next_conn_id_ = 16;
+  // Connections un-paused this tick: re-read them once in case bytes
+  // arrived while EPOLLIN was disarmed (event-loop thread only).
+  std::vector<std::uint64_t> resumed_reads_;
 
   ResponseCache cache_;
   ServerStats stats_;

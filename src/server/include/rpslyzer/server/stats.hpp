@@ -53,10 +53,15 @@ struct ServerStats {
   std::atomic<std::uint64_t> connections_idle_closed{0};
   std::atomic<std::uint64_t> queries_total{0};
   std::atomic<std::uint64_t> queries_errors{0};  // responses starting with 'F'
-  std::atomic<std::uint64_t> admin_queries{0};   // !stats / !reload / !t / !q
+  std::atomic<std::uint64_t> admin_queries{0};   // !stats / !health / !reload / !t / !q
+  std::atomic<std::uint64_t> queries_timed_out{0};  // deadline sweep sent "F timeout"
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
-  std::atomic<std::uint64_t> reloads{0};
+  std::atomic<std::uint64_t> reloads{0};            // successful corpus swaps
+  std::atomic<std::uint64_t> reload_failures{0};    // loader errored; stale gen kept
+  std::atomic<std::uint64_t> reload_retries{0};     // backoff retries fired
+  std::atomic<std::uint64_t> reads_paused{0};       // backpressure pause events
+  std::atomic<std::uint64_t> slow_client_disconnects{0};  // unwritable past grace
   LatencyHistogram latency;
 };
 

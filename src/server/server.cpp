@@ -13,13 +13,17 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 
 #include "rpslyzer/query/query.hpp"
+#include "rpslyzer/util/failpoint.hpp"
 #include "rpslyzer/util/strings.hpp"
 
 namespace rpslyzer::server {
 
 namespace {
+
+namespace fp = util::failpoint;
 
 constexpr std::uint64_t kListenTag = 1;
 constexpr std::uint64_t kWakeTag = 2;
@@ -33,6 +37,38 @@ std::uint64_t micros_between(std::chrono::steady_clock::time_point a,
 }
 
 }  // namespace
+
+const char* to_string(Health h) noexcept {
+  switch (h) {
+    case Health::kHealthy:
+      return "healthy";
+    case Health::kLoading:
+      return "loading";
+    case Health::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
+std::chrono::milliseconds reload_backoff(unsigned attempt,
+                                         std::chrono::milliseconds initial,
+                                         std::chrono::milliseconds max_backoff,
+                                         std::uint64_t seed) noexcept {
+  if (initial.count() <= 0) initial = std::chrono::milliseconds(1);
+  if (max_backoff < initial) max_backoff = initial;
+  const std::uint64_t cap = static_cast<std::uint64_t>(max_backoff.count());
+  std::uint64_t base = static_cast<std::uint64_t>(initial.count());
+  for (unsigned i = 0; i < attempt && base < cap; ++i) base *= 2;
+  base = std::min(base, cap);
+  // splitmix64 over (seed, attempt): deterministic jitter in [0.75, 1.25].
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(attempt) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const std::uint64_t jittered = base * (750 + z % 501) / 1000;
+  return std::chrono::milliseconds(
+      std::clamp<std::uint64_t>(jittered, 1, cap));
+}
 
 /// Per-connection state, touched only by the event-loop thread. Pipelined
 /// queries are numbered at parse time (`next_seq`); workers may finish out
@@ -48,10 +84,18 @@ struct Server::Connection {
   std::uint64_t next_write = 0;  // next sequence to append to `out`
   std::map<std::uint64_t, std::string> ready;
   std::size_t in_flight = 0;  // assigned but not yet delivered
+  // Engine queries awaiting a worker, by enqueue time: the deadline sweep
+  // answers overdue entries with "F timeout" and moves them to `timed_out`
+  // so the worker's late completion is discarded instead of re-delivered.
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point> pending;
+  std::set<std::uint64_t> timed_out;
   std::chrono::steady_clock::time_point last_activity;
   std::chrono::milliseconds idle_timeout{0};
-  bool closing = false;     // no more reads; close once drained
-  bool want_write = false;  // EPOLLOUT currently armed
+  bool closing = false;      // no more reads; close once drained
+  bool want_write = false;   // EPOLLOUT currently armed
+  bool read_paused = false;  // EPOLLIN disarmed: output buffer over budget
+  bool stalled = false;      // last send hit EAGAIN with bytes pending
+  std::chrono::steady_clock::time_point stalled_since;
 };
 
 Server::Server(ServerConfig config, CorpusLoader loader)
@@ -113,6 +157,14 @@ bool Server::start(std::string* error) {
     std::lock_guard<std::mutex> lock(corpus_mu_);
     corpus_ = std::move(corpus);
     generation_.store(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_state_ = Health::kHealthy;
+    health_reason_.clear();
+    reload_attempts_ = 0;
+    retry_armed_ = false;
+    last_good_load_ = std::chrono::steady_clock::now();
   }
   if (!setup_listener(error)) {
     if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -225,48 +277,127 @@ std::string Server::answer(const std::string& line) {
 }
 
 std::string Server::do_reload() {
+  reloads_in_flight_.fetch_add(1, std::memory_order_acq_rel);
   std::lock_guard<std::mutex> serialize(reload_mu_);
   std::shared_ptr<const irr::Index> fresh;
+  std::string why;
   try {
     fresh = loader_();
+  } catch (const std::exception& e) {
+    why = e.what();
   } catch (...) {
-    fresh = nullptr;
+    why = "unknown exception";
   }
-  if (fresh == nullptr) return "F reload failed\n";
+  if (fresh == nullptr) {
+    if (why.empty()) why = "loader returned no corpus";
+    stats_.reload_failures.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      health_state_ = Health::kDegraded;
+      health_reason_ = why;
+      ++reload_attempts_;
+    }
+    reloads_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    wake();  // let the event loop arm the backoff retry promptly
+    return "F reload failed: " + why + "\n";
+  }
   {
     std::lock_guard<std::mutex> lock(corpus_mu_);
     corpus_ = std::move(fresh);
     generation_.fetch_add(1, std::memory_order_relaxed);
   }
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_state_ = Health::kHealthy;
+    health_reason_.clear();
+    reload_attempts_ = 0;
+    last_good_load_ = std::chrono::steady_clock::now();
+  }
   stats_.reloads.fetch_add(1, std::memory_order_relaxed);
+  reloads_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  wake();  // disarm any pending retry
   return "C\n";
+}
+
+HealthStatus Server::health() const {
+  const auto now = std::chrono::steady_clock::now();
+  HealthStatus status;
+  std::lock_guard<std::mutex> lock(health_mu_);
+  status.reload_in_flight = reloads_in_flight_.load(std::memory_order_acquire) > 0;
+  status.state = health_state_;
+  if (status.state == Health::kHealthy && status.reload_in_flight) {
+    status.state = Health::kLoading;  // degraded wins over loading
+  }
+  status.reason = health_reason_;
+  status.generation = generation_.load(std::memory_order_relaxed);
+  status.generation_age =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - last_good_load_);
+  status.reload_attempts = reload_attempts_;
+  status.retry_armed = retry_armed_;
+  if (retry_armed_ && retry_at_ > now) {
+    status.next_retry =
+        std::chrono::duration_cast<std::chrono::milliseconds>(retry_at_ - now);
+  }
+  return status;
+}
+
+std::string Server::health_payload() const {
+  const HealthStatus status = health();
+  std::string out = "status: ";
+  out += to_string(status.state);
+  out += "\ngeneration: " + std::to_string(status.generation);
+  out += "\ngeneration-age-ms: " + std::to_string(status.generation_age.count());
+  if (status.state == Health::kDegraded) {
+    out += "\nreason: " + status.reason;
+    out += "\nstale-generation-age-ms: " + std::to_string(status.generation_age.count());
+    out += "\nreload-attempts: " + std::to_string(status.reload_attempts);
+    if (status.retry_armed) {
+      out += "\nnext-retry-ms: " + std::to_string(status.next_retry.count());
+    }
+  }
+  out += std::string("\nreload-in-flight: ") + (status.reload_in_flight ? "1" : "0");
+  const auto failpoints = fp::active();
+  if (!failpoints.empty()) {
+    out += "\nfailpoints:";
+    for (const auto& [site, action] : failpoints) {
+      out += " " + site + "=" + action;
+    }
+  }
+  return out;
 }
 
 std::string Server::stats_payload() const {
   const CacheStats cache = cache_.stats();
   const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start_time_);
-  char buffer[1024];
+  char buffer[2048];
   std::snprintf(
       buffer, sizeof(buffer),
       "generation: %llu\n"
+      "health: %s\n"
       "uptime-ms: %lld\n"
-      "connections: open=%llu accepted=%llu rejected=%llu idle-closed=%llu\n"
-      "queries: total=%llu errors=%llu admin=%llu\n"
+      "connections: open=%llu accepted=%llu rejected=%llu idle-closed=%llu "
+      "slow-closed=%llu\n"
+      "queries: total=%llu errors=%llu admin=%llu timeouts=%llu\n"
       "cache: entries=%zu capacity=%zu hits=%llu misses=%llu hit-ratio=%.3f "
       "evictions=%llu invalidated=%llu\n"
       "latency-us: mean=%llu p50=%llu p99=%llu\n"
       "bytes: in=%llu out=%llu\n"
-      "reloads: %llu",
+      "backpressure: reads-paused=%llu\n"
+      "reloads: %llu\n"
+      "reload-failures: %llu retries=%llu",
       static_cast<unsigned long long>(generation()),
+      to_string(health().state),
       static_cast<long long>(uptime.count()),
       static_cast<unsigned long long>(stats_.connections_open.load()),
       static_cast<unsigned long long>(stats_.connections_accepted.load()),
       static_cast<unsigned long long>(stats_.connections_rejected.load()),
       static_cast<unsigned long long>(stats_.connections_idle_closed.load()),
+      static_cast<unsigned long long>(stats_.slow_client_disconnects.load()),
       static_cast<unsigned long long>(stats_.queries_total.load()),
       static_cast<unsigned long long>(stats_.queries_errors.load()),
-      static_cast<unsigned long long>(stats_.admin_queries.load()), cache.entries,
+      static_cast<unsigned long long>(stats_.admin_queries.load()),
+      static_cast<unsigned long long>(stats_.queries_timed_out.load()), cache.entries,
       cache_.capacity(), static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses), cache.hit_ratio(),
       static_cast<unsigned long long>(cache.evictions),
@@ -276,7 +407,10 @@ std::string Server::stats_payload() const {
       static_cast<unsigned long long>(stats_.latency.percentile_micros(99)),
       static_cast<unsigned long long>(stats_.bytes_in.load()),
       static_cast<unsigned long long>(stats_.bytes_out.load()),
-      static_cast<unsigned long long>(stats_.reloads.load()));
+      static_cast<unsigned long long>(stats_.reads_paused.load()),
+      static_cast<unsigned long long>(stats_.reloads.load()),
+      static_cast<unsigned long long>(stats_.reload_failures.load()),
+      static_cast<unsigned long long>(stats_.reload_retries.load()));
   return buffer;
 }
 
@@ -302,7 +436,16 @@ void Server::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    std::string response = task.reload ? do_reload() : answer(task.line);
+    std::string response;
+    // "server.dispatch": delay stalls this worker (driving the deadline
+    // path); error fails the query without touching the engine. Reloads are
+    // exempt so injected dispatch faults never masquerade as loader faults.
+    if (const fp::Hit hit = fp::hit("server.dispatch");
+        hit && hit.is_error() && !task.reload) {
+      response = "F " + hit.message + "\n";
+    } else {
+      response = task.reload ? do_reload() : answer(task.line);
+    }
     stats_.latency.record(
         micros_between(task.t0, std::chrono::steady_clock::now()));
     if (!response.empty() && response.front() == 'F') {
@@ -339,12 +482,16 @@ void Server::event_loop() {
       }
     }
     drain_completions();
+    resume_paused_reads();
     if (reload_requested_.exchange(false, std::memory_order_acq_rel)) {
       // SIGHUP path: a detached reload with no connection to answer.
       enqueue_task(Task{0, 0, {}, std::chrono::steady_clock::now(), true});
     }
     const auto now = std::chrono::steady_clock::now();
+    sweep_deadlines(now);
+    sweep_stalled(now);
     sweep_idle(now);
+    maybe_schedule_retry(now);
     maybe_log_stats(now);
     if (stop_requested_.load(std::memory_order_acquire) && !shutting_down_) {
       begin_shutdown();
@@ -441,6 +588,10 @@ void Server::handle_conn_event(std::uint64_t id, std::uint32_t events) {
 }
 
 void Server::read_ready(Connection& conn) {
+  if (const fp::Hit hit = fp::hit("server.read"); hit && hit.is_error()) {
+    destroy_conn(conn.id);
+    return;
+  }
   char buffer[4096];
   bool saw_eof = false;
   while (true) {
@@ -449,7 +600,13 @@ void Server::read_ready(Connection& conn) {
       stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
                                 std::memory_order_relaxed);
       conn.last_activity = std::chrono::steady_clock::now();
-      if (!conn.closing) conn.in.append(buffer, static_cast<std::size_t>(n));
+      if (!conn.closing) {
+        conn.in.append(buffer, static_cast<std::size_t>(n));
+        // Parse eagerly once the buffer crosses the line cap so an endless
+        // unterminated line is refused here instead of accumulating for as
+        // long as the peer keeps streaming.
+        if (conn.in.size() > config_.max_line_bytes) parse_lines(conn);
+      }
       continue;
     }
     if (n == 0) {
@@ -488,9 +645,10 @@ void Server::parse_lines(Connection& conn) {
   }
   conn.in.erase(0, start);
   if (!conn.closing && conn.in.size() > config_.max_line_bytes) {
-    // An unterminated line beyond the cap cannot become a valid query.
+    // An unterminated line beyond the cap cannot become a valid query, and
+    // buffering more of it would hand the peer our memory.
     ++conn.in_flight;
-    deliver(conn, conn.next_seq++, "F query too long\n");
+    deliver(conn, conn.next_seq++, "F line too long\n");
     conn.closing = true;
     conn.in.clear();
   }
@@ -516,6 +674,11 @@ void Server::dispatch_line(Connection& conn, std::string_view raw) {
     deliver(conn, seq, query::frame_response(stats_payload()));
     return;
   }
+  if (util::iequals(body, "health")) {
+    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    deliver(conn, seq, query::frame_response(health_payload()));
+    return;
+  }
   if (util::iequals(body, "reload")) {
     stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
     enqueue_task(Task{conn.id, seq, {}, t0, true});
@@ -532,6 +695,7 @@ void Server::dispatch_line(Connection& conn, std::string_view raw) {
     }
     return;
   }
+  if (config_.query_deadline.count() > 0) conn.pending.emplace(seq, t0);
   enqueue_task(Task{conn.id, seq, std::string(trimmed), t0, false});
 }
 
@@ -547,16 +711,60 @@ void Server::deliver(Connection& conn, std::uint64_t seq, std::string response) 
   }
 }
 
-void Server::update_write_interest(Connection& conn, bool want) {
-  if (conn.want_write == want) return;
-  conn.want_write = want;
+void Server::refresh_epoll_interest(Connection& conn, bool want_write) {
+  const bool changed = conn.want_write != want_write;
+  conn.want_write = want_write;
+  if (!changed) return;
   epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP | (want ? EPOLLOUT : 0u);
+  ev.events = EPOLLET | (conn.read_paused ? 0u : (EPOLLIN | EPOLLRDHUP)) |
+              (conn.want_write ? EPOLLOUT : 0u);
   ev.data.u64 = conn.id;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
+void Server::apply_backpressure(Connection& conn) {
+  if (config_.max_output_buffer_bytes == 0) return;
+  const std::size_t outstanding = conn.out.size() - conn.out_off;
+  bool changed = false;
+  if (!conn.read_paused && outstanding > config_.max_output_buffer_bytes) {
+    // The peer is not consuming responses: stop reading new queries from it
+    // rather than buffering unboundedly on its behalf.
+    conn.read_paused = true;
+    stats_.reads_paused.fetch_add(1, std::memory_order_relaxed);
+    changed = true;
+  } else if (conn.read_paused && outstanding <= config_.max_output_buffer_bytes / 2) {
+    conn.read_paused = false;
+    resumed_reads_.push_back(conn.id);
+    changed = true;
+  }
+  if (changed) {
+    epoll_event ev{};
+    ev.events = EPOLLET | (conn.read_paused ? 0u : (EPOLLIN | EPOLLRDHUP)) |
+                (conn.want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+}
+
+void Server::resume_paused_reads() {
+  if (resumed_reads_.empty()) return;
+  std::vector<std::uint64_t> ids;
+  ids.swap(resumed_reads_);
+  for (std::uint64_t id : ids) {
+    auto found = conns_.find(id);
+    if (found == conns_.end() || found->second->read_paused) continue;
+    // Bytes may have queued in the kernel while EPOLLIN was disarmed; the
+    // re-arm above reports edges for them, but reading now is cheaper than
+    // waiting a poll cycle (and immune to missed-edge corner cases).
+    read_ready(*found->second);
+  }
+}
+
 void Server::flush_writes(Connection& conn) {
+  if (const fp::Hit hit = fp::hit("server.send"); hit && hit.is_error()) {
+    destroy_conn(conn.id);
+    return;
+  }
   while (conn.out_off < conn.out.size()) {
     const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
                              conn.out.size() - conn.out_off, MSG_NOSIGNAL);
@@ -565,10 +773,16 @@ void Server::flush_writes(Connection& conn) {
                                  std::memory_order_relaxed);
       conn.out_off += static_cast<std::size_t>(n);
       conn.last_activity = std::chrono::steady_clock::now();
+      conn.stalled = false;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      update_write_interest(conn, true);
+      if (!conn.stalled) {
+        conn.stalled = true;
+        conn.stalled_since = std::chrono::steady_clock::now();
+      }
+      refresh_epoll_interest(conn, true);
+      apply_backpressure(conn);
       return;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -577,7 +791,9 @@ void Server::flush_writes(Connection& conn) {
   }
   conn.out.clear();
   conn.out_off = 0;
-  update_write_interest(conn, false);
+  conn.stalled = false;
+  refresh_epoll_interest(conn, false);
+  apply_backpressure(conn);
   close_if_drained(conn);
 }
 
@@ -608,8 +824,84 @@ void Server::drain_completions() {
     auto found = conns_.find(completion.conn_id);
     if (found == conns_.end()) continue;  // connection died while computing
     Connection& conn = *found->second;
+    if (conn.timed_out.erase(completion.seq) > 0) {
+      // The deadline sweep already answered this sequence with "F timeout";
+      // the worker's late result must not be delivered twice.
+      continue;
+    }
+    conn.pending.erase(completion.seq);
     deliver(conn, completion.seq, std::move(completion.response));
     flush_writes(conn);
+  }
+}
+
+void Server::sweep_deadlines(std::chrono::steady_clock::time_point now) {
+  if (config_.query_deadline.count() <= 0) return;
+  std::vector<std::uint64_t> affected;
+  for (auto& [id, conn] : conns_) {
+    bool any = false;
+    for (auto it = conn->pending.begin(); it != conn->pending.end();) {
+      if (now - it->second < config_.query_deadline) {
+        ++it;
+        continue;
+      }
+      const std::uint64_t seq = it->first;
+      it = conn->pending.erase(it);
+      conn->timed_out.insert(seq);
+      stats_.queries_timed_out.fetch_add(1, std::memory_order_relaxed);
+      stats_.queries_errors.fetch_add(1, std::memory_order_relaxed);
+      deliver(*conn, seq, "F timeout\n");
+      any = true;
+    }
+    if (any) affected.push_back(id);
+  }
+  // Flush after iterating: flush_writes can destroy a connection, which
+  // would invalidate the map iterator above.
+  for (std::uint64_t id : affected) {
+    auto found = conns_.find(id);
+    if (found != conns_.end()) flush_writes(*found->second);
+  }
+}
+
+void Server::sweep_stalled(std::chrono::steady_clock::time_point now) {
+  if (config_.write_stall_grace.count() <= 0) return;
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, conn] : conns_) {
+    if (!conn->stalled) continue;
+    if (now - conn->stalled_since >= config_.write_stall_grace) expired.push_back(id);
+  }
+  for (std::uint64_t id : expired) {
+    stats_.slow_client_disconnects.fetch_add(1, std::memory_order_relaxed);
+    destroy_conn(id);
+  }
+}
+
+void Server::maybe_schedule_retry(std::chrono::steady_clock::time_point now) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (health_state_ != Health::kDegraded) {
+      retry_armed_ = false;
+      return;
+    }
+    if (reloads_in_flight_.load(std::memory_order_acquire) > 0) return;
+    if (!retry_armed_) {
+      const unsigned attempt = reload_attempts_ > 0 ? reload_attempts_ - 1 : 0;
+      const auto delay =
+          reload_backoff(attempt, config_.reload_retry_initial,
+                         config_.reload_retry_max, generation());
+      retry_at_ = now + delay;
+      retry_armed_ = true;
+      return;
+    }
+    if (now >= retry_at_) {
+      retry_armed_ = false;
+      fire = true;
+    }
+  }
+  if (fire) {
+    stats_.reload_retries.fetch_add(1, std::memory_order_relaxed);
+    enqueue_task(Task{0, 0, {}, now, true});
   }
 }
 
@@ -638,12 +930,13 @@ void Server::maybe_log_stats(std::chrono::steady_clock::time_point now) {
   const CacheStats cache = cache_.stats();
   std::fprintf(stderr,
                "rpslyzerd: conns=%llu qps=%.0f queries=%llu hit-ratio=%.3f "
-               "p50us=%llu p99us=%llu gen=%llu\n",
+               "p50us=%llu p99us=%llu gen=%llu health=%s\n",
                static_cast<unsigned long long>(stats_.connections_open.load()), qps,
                static_cast<unsigned long long>(total), cache.hit_ratio(),
                static_cast<unsigned long long>(stats_.latency.percentile_micros(50)),
                static_cast<unsigned long long>(stats_.latency.percentile_micros(99)),
-               static_cast<unsigned long long>(generation()));
+               static_cast<unsigned long long>(generation()),
+               to_string(health().state));
   last_stats_log_ = now;
   last_logged_queries_ = total;
 }

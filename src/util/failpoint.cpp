@@ -1,0 +1,286 @@
+#include "rpslyzer/util/failpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::util::failpoint {
+
+namespace detail {
+std::atomic<std::uint32_t> armed_sites{0};
+}  // namespace detail
+
+namespace {
+
+struct Action {
+  Hit::Kind kind = Hit::Kind::kNone;
+  std::string message;
+  std::chrono::milliseconds delay{0};
+  std::size_t truncate_at = 0;
+  // SIZE_MAX = unlimited; otherwise decremented per firing, 0 disarms.
+  std::size_t remaining = SIZE_MAX;
+
+  std::string describe() const {
+    std::string out;
+    if (remaining != SIZE_MAX) out += std::to_string(remaining) + "*";
+    switch (kind) {
+      case Hit::Kind::kError:
+        out += message.empty() ? "error" : "error(" + message + ")";
+        break;
+      case Hit::Kind::kDelay:
+        out += "delay(" + std::to_string(delay.count()) + "ms)";
+        break;
+      case Hit::Kind::kTruncate:
+        out += "truncate(" + std::to_string(truncate_at) + ")";
+        break;
+      case Hit::Kind::kNone:
+        out += "off";
+        break;
+    }
+    return out;
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Action> sites;
+  std::unordered_map<std::string, std::uint64_t> hits;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: usable at any exit stage
+  return *instance;
+}
+
+bool parse_action(std::string_view spec, Action* out, std::string* error) {
+  Action action;
+  spec = trim(spec);
+  // Optional "N*" firing budget.
+  const std::size_t star = spec.find('*');
+  if (star != std::string_view::npos) {
+    const auto n = parse_u32(trim(spec.substr(0, star)));
+    if (!n) {
+      if (error) *error = "bad count in failpoint action: " + std::string(spec);
+      return false;
+    }
+    action.remaining = *n;
+    spec = trim(spec.substr(star + 1));
+  }
+  std::string_view name = spec;
+  std::string_view arg;
+  const std::size_t paren = spec.find('(');
+  if (paren != std::string_view::npos) {
+    if (spec.back() != ')') {
+      if (error) *error = "unbalanced parens in failpoint action: " + std::string(spec);
+      return false;
+    }
+    name = trim(spec.substr(0, paren));
+    arg = trim(spec.substr(paren + 1, spec.size() - paren - 2));
+  }
+  if (iequals(name, "off") || name.empty()) {
+    action.kind = Hit::Kind::kNone;
+  } else if (iequals(name, "error")) {
+    action.kind = Hit::Kind::kError;
+    action.message = std::string(arg.empty() ? "injected fault" : arg);
+  } else if (iequals(name, "delay")) {
+    action.kind = Hit::Kind::kDelay;
+    std::string_view digits = arg;
+    std::uint64_t scale = 1;  // bare numbers are milliseconds
+    if (iends_with(digits, "ms")) {
+      digits.remove_suffix(2);
+    } else if (iends_with(digits, "s")) {
+      digits.remove_suffix(1);
+      scale = 1000;
+    }
+    const auto n = parse_u32(trim(digits));
+    if (!n) {
+      if (error) *error = "bad delay in failpoint action: " + std::string(spec);
+      return false;
+    }
+    action.delay = std::chrono::milliseconds(static_cast<std::uint64_t>(*n) * scale);
+  } else if (iequals(name, "truncate")) {
+    const auto n = parse_u32(arg);
+    if (!n) {
+      if (error) *error = "bad truncate size in failpoint action: " + std::string(spec);
+      return false;
+    }
+    action.kind = Hit::Kind::kTruncate;
+    action.truncate_at = *n;
+  } else {
+    if (error) *error = "unknown failpoint action: " + std::string(spec);
+    return false;
+  }
+  if (action.remaining == 0) action.kind = Hit::Kind::kNone;  // "0*x" = off
+  *out = action;
+  return true;
+}
+
+// One-time environment arming. Runs on first registry touch from any public
+// entry point, so binaries need no explicit init call; a malformed env spec
+// is reported once on stderr rather than silently ignored.
+std::once_flag env_once;
+
+void arm_from_env_locked(Registry& reg) {
+  const char* env = std::getenv("RPSLYZER_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  for (std::string_view clause : split(env, ';')) {
+    clause = trim(clause);
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    std::string parse_error;
+    Action action;
+    if (eq == std::string_view::npos ||
+        !parse_action(clause.substr(eq + 1), &action, &parse_error)) {
+      std::fprintf(stderr, "RPSLYZER_FAILPOINTS: ignoring %.*s%s%s\n",
+                   static_cast<int>(clause.size()), clause.data(),
+                   parse_error.empty() ? "" : ": ", parse_error.c_str());
+      continue;
+    }
+    const std::string site(trim(clause.substr(0, eq)));
+    if (action.kind == Hit::Kind::kNone) continue;
+    if (reg.sites.emplace(site, action).second) {
+      detail::armed_sites.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Registry& env_armed_registry() {
+  Registry& reg = registry();
+  std::call_once(env_once, [&reg] {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    arm_from_env_locked(reg);
+  });
+  return reg;
+}
+
+// Arm the environment spec during static initialization: the any_armed()
+// fast path must see env-armed sites even in processes that never call
+// set()/configure() — otherwise armed_sites stays 0 and hit() short-circuits
+// before anything could have read RPSLYZER_FAILPOINTS.
+[[maybe_unused]] const bool env_armed_at_startup = (env_armed_registry(), true);
+
+}  // namespace
+
+namespace detail {
+
+Hit evaluate_slow(std::string_view site) {
+  Registry& reg = env_armed_registry();
+  Hit out;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto found = reg.sites.find(std::string(site));
+    if (found == reg.sites.end()) return {};
+    Action& action = found->second;
+    out.kind = action.kind;
+    out.message = action.message;
+    out.delay = action.delay;
+    out.truncate_at = action.truncate_at;
+    ++reg.hits[found->first];
+    if (action.remaining != SIZE_MAX && --action.remaining == 0) {
+      reg.sites.erase(found);
+      armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  // Sleep outside the registry lock so a delay on one site never stalls
+  // evaluation (or arming) of another.
+  if (out.kind == Hit::Kind::kDelay && out.delay.count() > 0) {
+    std::this_thread::sleep_for(out.delay);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+bool set(std::string_view site, std::string_view action_spec, std::string* error) {
+  Action action;
+  if (!parse_action(action_spec, &action, error)) return false;
+  Registry& reg = env_armed_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const std::string key(trim(site));
+  auto found = reg.sites.find(key);
+  if (action.kind == Hit::Kind::kNone) {
+    if (found != reg.sites.end()) {
+      reg.sites.erase(found);
+      detail::armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  if (found == reg.sites.end()) {
+    reg.sites.emplace(key, std::move(action));
+    detail::armed_sites.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    found->second = std::move(action);
+  }
+  return true;
+}
+
+void clear(std::string_view site) { set(site, "off"); }
+
+void clear_all() {
+  Registry& reg = env_armed_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (!reg.sites.empty()) {
+    detail::armed_sites.fetch_sub(static_cast<std::uint32_t>(reg.sites.size()),
+                                  std::memory_order_relaxed);
+  }
+  reg.sites.clear();
+  reg.hits.clear();
+}
+
+bool configure(std::string_view spec, std::string* error) {
+  // Two-phase: parse every clause first so a bad one changes nothing.
+  std::vector<std::pair<std::string, Action>> parsed;
+  for (std::string_view clause : split(spec, ';')) {
+    clause = trim(clause);
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      if (error) *error = "missing '=' in failpoint clause: " + std::string(clause);
+      return false;
+    }
+    Action action;
+    if (!parse_action(clause.substr(eq + 1), &action, error)) return false;
+    parsed.emplace_back(std::string(trim(clause.substr(0, eq))), std::move(action));
+  }
+  Registry& reg = env_armed_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [site, action] : parsed) {
+    auto found = reg.sites.find(site);
+    if (action.kind == Hit::Kind::kNone) {
+      if (found != reg.sites.end()) {
+        reg.sites.erase(found);
+        detail::armed_sites.fetch_sub(1, std::memory_order_relaxed);
+      }
+    } else if (found == reg.sites.end()) {
+      reg.sites.emplace(std::move(site), std::move(action));
+      detail::armed_sites.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      found->second = std::move(action);
+    }
+  }
+  return true;
+}
+
+std::uint64_t hit_count(std::string_view site) {
+  Registry& reg = env_armed_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto found = reg.hits.find(std::string(site));
+  return found == reg.hits.end() ? 0 : found->second;
+}
+
+std::vector<std::pair<std::string, std::string>> active() {
+  Registry& reg = env_armed_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [site, action] : reg.sites) {
+    out.emplace_back(site, action.describe());
+  }
+  return out;
+}
+
+}  // namespace rpslyzer::util::failpoint

@@ -1,0 +1,100 @@
+#pragma once
+// Failpoint framework: deterministic fault injection at named sites.
+//
+// Verification infrastructure breaks where real-world dirt meets the code —
+// dumps that vanish mid-read, sockets that stall, caches that lie. The paper
+// treats unavailable and malformed registry data as first-class phenomena
+// (§4, Table 1); this framework lets tests (and operators reproducing
+// incidents) inject exactly those failures at the pipeline's hot seams
+// without recompiling.
+//
+// A *site* is a string name compiled into the code path, e.g. "irr.read" in
+// the dump loader or "server.send" in the daemon's write path. Each site is
+// evaluated through `failpoint::hit(site)`, which is a single relaxed atomic
+// load and a predictable branch when no failpoint is armed — cheap enough
+// for per-read and per-send call sites.
+//
+// Activation:
+//   * environment (read once at process start):
+//       RPSLYZER_FAILPOINTS="irr.read=error;server.send=delay(50ms);irr.parse=truncate(4096)"
+//   * programmatically (tests): failpoint::set("irr.read", "2*error")
+//
+// Action grammar (one per site):
+//   error            fail the operation (site-specific semantics)
+//   error(message)   fail with a custom message
+//   delay(50ms)      sleep before the operation ("50" alone means ms)
+//   truncate(4096)   site-specific byte truncation (reads, buffers)
+//   off              disarm the site
+// Any action may be prefixed "N*" to fire only on the first N evaluations
+// ("1*error" = fail once, then behave normally) — the N-times form is how
+// tests drive "fault, then recovery" schedules deterministically.
+//
+// Sites interpret only the kinds that make sense for them and ignore the
+// rest; every site honors `delay`. The compiled-in sites are listed in
+// DESIGN.md ("Fault model & degradation").
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rpslyzer::util::failpoint {
+
+/// What an armed site asks the call site to do. kNone means "proceed".
+struct Hit {
+  enum class Kind : std::uint8_t { kNone, kError, kDelay, kTruncate };
+
+  Kind kind = Kind::kNone;
+  std::string message;                  // kError: injected failure text
+  std::chrono::milliseconds delay{0};   // kDelay: already slept by hit()
+  std::size_t truncate_at = 0;          // kTruncate: keep this many bytes
+
+  explicit operator bool() const noexcept { return kind != Kind::kNone; }
+  bool is_error() const noexcept { return kind == Kind::kError; }
+  bool is_truncate() const noexcept { return kind == Kind::kTruncate; }
+};
+
+namespace detail {
+// Count of armed sites; the fast path is one relaxed load of this.
+extern std::atomic<std::uint32_t> armed_sites;
+Hit evaluate_slow(std::string_view site);
+}  // namespace detail
+
+/// True when at least one failpoint is armed anywhere in the process.
+inline bool any_armed() noexcept {
+  return detail::armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+/// Evaluate `site`. With nothing armed this is a load + branch; with the
+/// site armed it consumes one firing (for N-times actions), performs the
+/// sleep itself for delay actions, and returns what the caller should do.
+inline Hit hit(std::string_view site) {
+  if (!any_armed()) return {};
+  return detail::evaluate_slow(site);
+}
+
+/// Arm `site` with an action spec ("error", "1*delay(50ms)", ...). "off"
+/// (or an empty spec) disarms. Returns false and fills *error on a
+/// malformed spec, leaving the site unchanged.
+bool set(std::string_view site, std::string_view action, std::string* error = nullptr);
+
+/// Disarm one site / every site. clear_all also resets hit counters.
+void clear(std::string_view site);
+void clear_all();
+
+/// Parse a full configuration string ("site=action;site=action"). Applied
+/// atomically: on any parse error nothing changes and *error names the bad
+/// clause. Empty clauses (trailing ';') are ignored.
+bool configure(std::string_view spec, std::string* error = nullptr);
+
+/// How many times `site` actually fired (post-disarm firings not counted).
+/// Survives clear(); reset by clear_all().
+std::uint64_t hit_count(std::string_view site);
+
+/// Currently armed sites with their remaining-spec, for diagnostics.
+std::vector<std::pair<std::string, std::string>> active();
+
+}  // namespace rpslyzer::util::failpoint

@@ -78,7 +78,9 @@ TEST_F(LoaderFiles, RouteDedupAcrossIrrsKeepsFirst) {
   ASSERT_EQ(result.ir.routes.size(), 2u);  // (10/8, AS1) deduped
   // The higher-priority (APNIC) registration survives.
   for (const auto& route : result.ir.routes) {
-    if (route.origin == 1) EXPECT_EQ(route.source, "APNIC");
+    if (route.origin == 1) {
+      EXPECT_EQ(route.source, "APNIC");
+    }
   }
 }
 
@@ -86,6 +88,53 @@ TEST_F(LoaderFiles, EmptyDirectoryYieldsEmptyCorpus) {
   LoadResult result = load_irrs(table1_sources(dir_));
   EXPECT_EQ(result.ir.object_count(), 0u);
   EXPECT_EQ(result.counts.size(), 13u);
+}
+
+TEST_F(LoaderFiles, OutcomesMirrorAvailability) {
+  write("ripe.db", "aut-num: AS1\n");
+  LoadResult result = load_irrs(table1_sources(dir_));
+  ASSERT_EQ(result.outcomes.size(), 13u);
+  EXPECT_EQ(result.count_with(SourceStatus::kOk), 1u);
+  EXPECT_EQ(result.count_with(SourceStatus::kDegraded), 12u);
+  EXPECT_EQ(result.count_with(SourceStatus::kQuarantined), 0u);
+  const SourceOutcome* ripe = result.outcome("RIPE");
+  ASSERT_NE(ripe, nullptr);
+  EXPECT_EQ(ripe->status, SourceStatus::kOk);
+  EXPECT_EQ(to_string(SourceStatus::kDegraded), std::string("degraded"));
+  EXPECT_EQ(result.outcome("NOPE"), nullptr);
+}
+
+TEST_F(LoaderFiles, MergeIntoAndLoadIrrsAgreeOnRouteDedup) {
+  // The same duplicated registrations loaded two ways — file-based
+  // (load_irrs, persistent key set) and by hand (merge_into, per-call
+  // rebuild) — must produce the identical deduplicated route set.
+  const std::string apnic =
+      "route: 10.0.0.0/8\norigin: AS1\nmnt-by: APNIC-MNT\n\n"
+      "route: 192.0.2.0/24\norigin: AS3\n";
+  const std::string radb =
+      "route: 10.0.0.0/8\norigin: AS1\nmnt-by: RADB-MNT\n\n"
+      "route: 10.0.0.0/8\norigin: AS2\n\n"
+      "route: 192.0.2.0/24\norigin: AS3\n";
+  write("apnic.db", apnic);
+  write("radb.db", radb);
+  LoadResult from_files = load_irrs(table1_sources(dir_));
+
+  util::Diagnostics diag;
+  ir::Ir merged = parse_dump(apnic, "APNIC", diag);
+  merge_into(merged, parse_dump(radb, "RADB", diag));  // standalone rebuild path
+
+  ASSERT_EQ(from_files.ir.routes.size(), merged.routes.size());
+  for (std::size_t i = 0; i < merged.routes.size(); ++i) {
+    EXPECT_EQ(from_files.ir.routes[i].prefix, merged.routes[i].prefix);
+    EXPECT_EQ(from_files.ir.routes[i].origin, merged.routes[i].origin);
+    EXPECT_EQ(from_files.ir.routes[i].source, merged.routes[i].source);
+  }
+  // Both keep the higher-priority registration for the duplicated key.
+  for (const auto& route : merged.routes) {
+    if (route.origin == 1) {
+      EXPECT_EQ(route.source, "APNIC");
+    }
+  }
 }
 
 }  // namespace

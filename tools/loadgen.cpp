@@ -1,7 +1,8 @@
 // loadgen — concurrent load generator for rpslyzerd.
 //
 //   loadgen [--host H] [--port P] [--connections N] [--pipeline K]
-//           [--requests N] [--duration-ms D] [--json] [--stats] <query...>
+//           [--requests N] [--duration-ms D] [--fault-churn] [--json]
+//           [--stats] <query...>
 //
 // Opens N concurrent connections, each cycling through the given query mix
 // in pipelined batches of K, and reports sustained throughput. With
@@ -9,6 +10,13 @@
 // --requests queries (default 1000). --stats fetches the daemon's `!stats`
 // afterwards (cache hit ratio, latency percentiles); --json emits one
 // machine-readable line for trend tracking across PRs.
+//
+// --fault-churn turns each worker into a hostile client: it randomly drops
+// connections without `!q`, reconnects, leaves half-written lines on the
+// wire, and occasionally walks away mid-pipeline. The daemon under test
+// must survive the whole run and keep answering the workers' complete
+// queries correctly — pair it with RPSLYZER_FAILPOINTS on the server side
+// to exercise both ends of the fault model at once.
 
 #include <atomic>
 #include <chrono>
@@ -33,6 +41,7 @@ struct Options {
   std::size_t pipeline = 16;
   std::size_t requests = 1000;  // per connection, when no duration given
   long long duration_ms = 0;
+  bool fault_churn = false;
   bool json = false;
   bool stats = false;
   std::vector<std::string> queries;
@@ -41,16 +50,18 @@ struct Options {
 int usage() {
   std::fprintf(stderr,
                "usage: loadgen --port P [--host H] [--connections N] [--pipeline K]\n"
-               "               [--requests N] [--duration-ms D] [--json] [--stats]\n"
-               "               <query...>\n");
+               "               [--requests N] [--duration-ms D] [--fault-churn]\n"
+               "               [--json] [--stats] <query...>\n");
   return 2;
 }
 
 struct WorkerResult {
   std::uint64_t responses = 0;
-  std::uint64_t errors = 0;     // 'F' responses
-  std::uint64_t not_found = 0;  // 'D' responses
-  bool failed = false;          // connect/protocol failure
+  std::uint64_t errors = 0;      // 'F' responses
+  std::uint64_t not_found = 0;   // 'D' responses
+  std::uint64_t reconnects = 0;  // fault-churn: abrupt drop + reopen cycles
+  std::uint64_t half_lines = 0;  // fault-churn: unterminated lines left behind
+  bool failed = false;           // connect/protocol failure
 };
 
 void run_worker(const Options& options, Clock::time_point deadline,
@@ -95,6 +106,63 @@ void run_worker(const Options& options, Clock::time_point deadline,
   client->send_line("!q");
 }
 
+/// Hostile-client mode: connect, issue a few real pipelined queries, then
+/// misbehave — leave a half-written line, or vanish mid-pipeline without
+/// `!q` — and reconnect. A connect failure is the only thing that counts as
+/// the *server* failing; everything else is the worker being rude on purpose.
+void run_churn_worker(const Options& options, Clock::time_point deadline,
+                      std::uint64_t seed, WorkerResult& result) {
+  // splitmix64: each worker gets its own deterministic misbehaviour stream.
+  auto next_random = [state = seed]() mutable {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::size_t cursor = 0;
+  while (Clock::now() < deadline) {
+    std::string error;
+    auto client = Client::connect(options.host, options.port, &error);
+    if (!client) {
+      std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+      result.failed = true;
+      return;
+    }
+    // A short burst of honest pipelined traffic...
+    const std::size_t burst = 1 + next_random() % options.pipeline;
+    std::size_t sent = 0;
+    for (std::size_t i = 0; i < burst; ++i) {
+      if (!client->send_line(options.queries[cursor])) break;
+      cursor = (cursor + 1) % options.queries.size();
+      ++sent;
+    }
+    // ...of which we may only read a random prefix before misbehaving.
+    const std::size_t reads = next_random() % (sent + 1);
+    for (std::size_t i = 0; i < reads && Clock::now() < deadline; ++i) {
+      auto response = client->read_response();
+      if (!response) break;  // server may have dropped us; that's the game
+      ++result.responses;
+      if (!response->empty() && response->front() == 'F') ++result.errors;
+      if (*response == "D\n") ++result.not_found;
+    }
+    switch (next_random() % 4) {
+      case 0: {  // half-written line, then vanish
+        const std::string& query = options.queries[cursor];
+        client->send_raw(query.substr(0, std::max<std::size_t>(1, query.size() / 2)));
+        ++result.half_lines;
+        break;
+      }
+      case 1:  // polite goodbye (the control case)
+        client->send_line("!q");
+        break;
+      default:  // abrupt close with responses still in flight
+        break;
+    }
+    ++result.reconnects;  // Client destructor closes the socket abruptly
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,6 +194,8 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return usage();
       options.duration_ms = std::atoll(v);
+    } else if (arg == "--fault-churn") {
+      options.fault_churn = true;
     } else if (arg == "--json") {
       options.json = true;
     } else if (arg == "--stats") {
@@ -138,13 +208,22 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  // Churn mode is inherently time-boxed; give it a default window.
+  if (options.fault_churn && options.duration_ms <= 0) options.duration_ms = 2000;
+
   const auto start = Clock::now();
   const auto deadline = start + std::chrono::milliseconds(options.duration_ms);
   std::vector<WorkerResult> results(options.connections);
   std::vector<std::thread> workers;
   workers.reserve(options.connections);
   for (std::size_t i = 0; i < options.connections; ++i) {
-    workers.emplace_back(run_worker, std::cref(options), deadline, std::ref(results[i]));
+    if (options.fault_churn) {
+      workers.emplace_back(run_churn_worker, std::cref(options), deadline,
+                           static_cast<std::uint64_t>(i + 1), std::ref(results[i]));
+    } else {
+      workers.emplace_back(run_worker, std::cref(options), deadline,
+                           std::ref(results[i]));
+    }
   }
   for (auto& worker : workers) worker.join();
   const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
@@ -155,6 +234,8 @@ int main(int argc, char** argv) {
     total.responses += result.responses;
     total.errors += result.errors;
     total.not_found += result.not_found;
+    total.reconnects += result.reconnects;
+    total.half_lines += result.half_lines;
     any_failed = any_failed || result.failed;
   }
   const double qps = seconds > 0 ? static_cast<double>(total.responses) / seconds : 0;
@@ -162,11 +243,14 @@ int main(int argc, char** argv) {
   if (options.json) {
     std::printf("{\"tool\":\"loadgen\",\"connections\":%zu,\"pipeline\":%zu,"
                 "\"responses\":%llu,\"errors\":%llu,\"not_found\":%llu,"
+                "\"reconnects\":%llu,\"half_lines\":%llu,"
                 "\"seconds\":%.3f,\"qps\":%.0f,\"failed\":%s}\n",
                 options.connections, options.pipeline,
                 static_cast<unsigned long long>(total.responses),
                 static_cast<unsigned long long>(total.errors),
-                static_cast<unsigned long long>(total.not_found), seconds, qps,
+                static_cast<unsigned long long>(total.not_found),
+                static_cast<unsigned long long>(total.reconnects),
+                static_cast<unsigned long long>(total.half_lines), seconds, qps,
                 any_failed ? "true" : "false");
   } else {
     std::printf("loadgen: %llu responses over %zu connections in %.3fs (%.0f q/s, "
@@ -174,6 +258,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total.responses), options.connections,
                 seconds, qps, static_cast<unsigned long long>(total.errors),
                 static_cast<unsigned long long>(total.not_found));
+    if (options.fault_churn) {
+      std::printf("loadgen: fault-churn: %llu reconnects, %llu half-written lines\n",
+                  static_cast<unsigned long long>(total.reconnects),
+                  static_cast<unsigned long long>(total.half_lines));
+    }
   }
 
   if (options.stats) {

@@ -45,7 +45,9 @@ int usage() {
                "  query <dir> <!query...>         evaluate IRRd queries, print framed\n"
                "  serve <dir>|--synth [flags]     run the rpslyzerd query daemon\n"
                "    serve flags: [--port N] [--threads N] [--cache N] [--max-conns N]\n"
-               "                 [--idle-ms N] [--stats-ms N] [--scale F] [--seed N]\n");
+               "                 [--idle-ms N] [--stats-ms N] [--deadline-ms N]\n"
+               "                 [--max-out-kb N] [--stall-grace-ms N] [--retry-ms N]\n"
+               "                 [--retry-max-ms N] [--scale F] [--seed N]\n");
   return 2;
 }
 
@@ -253,6 +255,26 @@ int cmd_serve(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return usage();
       config.stats_log_interval = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--deadline-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.query_deadline = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--max-out-kb") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.max_output_buffer_bytes = static_cast<std::size_t>(std::atoll(v)) * 1024;
+    } else if (arg == "--stall-grace-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.write_stall_grace = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--retry-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.reload_retry_initial = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--retry-max-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.reload_retry_max = std::chrono::milliseconds(std::atoll(v));
     } else if (arg == "--scale") {
       const char* v = next_value();
       if (!v) return usage();

@@ -97,8 +97,9 @@ void run_load(benchmark::State& state, ServerFixture& fixture) {
                           static_cast<std::int64_t>(kPipeline));
   if (state.thread_index() == 0) {
     state.counters["hit_ratio"] = fixture.daemon.cache_stats().hit_ratio();
+    const auto& stats = fixture.daemon.stats();
     state.counters["p99_us"] = static_cast<double>(
-        fixture.daemon.stats().latency.percentile_micros(99));
+        stats.snapshot().latency_percentile_micros(99, stats.latency.bounds()));
   }
 }
 

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Build with -DRPSLYZER_SANITIZE=ON (ASan + UBSan) and run the fault/server
-# test set (ctest label "fault"): any data race turned heap error, leaked
-# connection buffer, or leaked socket-owning object fails the run. The same
-# set is then re-run under a matrix of RPSLYZER_FAILPOINTS environments so
-# the injected error, delay, and truncate paths are sanitizer-clean too.
-# Uses a side build directory so the normal build stays fast.
+# test set (ctest label "fault", which includes the telemetry suite
+# obs_test): any data race turned heap error, leaked connection buffer, or
+# leaked socket-owning object fails the run. The same set is then re-run
+# under a matrix of RPSLYZER_FAILPOINTS environments so the injected error,
+# delay, and truncate paths are sanitizer-clean too. Finally, when the
+# toolchain has a working TSan runtime, the relaxed-atomic telemetry hot
+# paths (obs_test) and the server loop (server_test) are re-run under
+# ThreadSanitizer in a second side build.
+# Uses side build directories so the normal build stays fast.
 #
 #   scripts/sanitize_check.sh [build-dir]
 set -euo pipefail
@@ -13,7 +17,7 @@ BUILD="${1:-$ROOT/build-sanitize}"
 
 cmake -B "$BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE=ON >/dev/null
 cmake --build "$BUILD" -j --target \
-  server_test query_test irr_index_test fault_injection_test loader_files_test
+  server_test query_test irr_index_test fault_injection_test loader_files_test obs_test
 
 run_labeled() {
   local spec="$1" exclude="${2:-}"
@@ -32,5 +36,24 @@ run_labeled ""
 run_labeled "server.send=delay(2ms);server.dispatch=delay(1ms)"
 run_labeled "cache.get=error;cache.put=error" 'Server\.|ResponseCache'
 run_labeled "irr.parse=truncate(65536)"
+
+# TSan pass (if the toolchain supports it): the metrics registry, log gate,
+# and span recording all lean on relaxed atomics, so a race-detector run of
+# obs_test's multi-threaded tests plus the server loop is the strongest
+# check that "lock-cheap" did not become "racy".
+TSAN_BUILD="${BUILD}-tsan"
+tsan_probe="$(mktemp -d)"
+printf 'int main(){return 0;}\n' > "$tsan_probe/probe.c"
+if cc -fsanitize=thread "$tsan_probe/probe.c" -o "$tsan_probe/probe" 2>/dev/null \
+   && "$tsan_probe/probe" 2>/dev/null; then
+  echo "== ThreadSanitizer pass =="
+  cmake -B "$TSAN_BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE_THREAD=ON >/dev/null
+  cmake --build "$TSAN_BUILD" -j --target obs_test server_test
+  "$TSAN_BUILD/tests/obs_test"
+  "$TSAN_BUILD/tests/server_test"
+else
+  echo "== ThreadSanitizer unavailable on this toolchain; skipping TSan pass =="
+fi
+rm -rf "$tsan_probe"
 
 echo "sanitize check ok"

@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "rpslyzer/obs/trace.hpp"
+
 namespace rpslyzer {
 
 Rpslyzer Rpslyzer::from_texts(const std::vector<std::pair<std::string, std::string>>& dumps,
@@ -20,7 +22,10 @@ Rpslyzer Rpslyzer::from_texts(const std::vector<std::pair<std::string, std::stri
     lyzer.irr_counts_.push_back(std::move(counts));
     lyzer.source_outcomes_.push_back({name, irr::SourceStatus::kOk, {}});
   }
-  lyzer.relations_ = relations::AsRelations::parse(caida_serial1, lyzer.diagnostics_);
+  {
+    obs::Span span("relations.parse");
+    lyzer.relations_ = relations::AsRelations::parse(caida_serial1, lyzer.diagnostics_);
+  }
   lyzer.index_ = std::make_unique<irr::Index>(*lyzer.ir_);
   return lyzer;
 }
@@ -37,6 +42,7 @@ Rpslyzer Rpslyzer::from_files(const std::filesystem::path& irr_directory,
 
   std::ifstream in(relationships, std::ios::binary);
   if (in) {
+    obs::Span span("relations.parse");
     std::ostringstream buffer;
     buffer << in.rdbuf();
     lyzer.relations_ =

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "rpslyzer/obs/trace.hpp"
+
 namespace rpslyzer::irr {
 
 namespace {
@@ -72,6 +74,7 @@ bool mbrs_by_ref_allows(const std::vector<std::string>& mbrs_by_ref,
 }  // namespace
 
 Index::Index(const ir::Ir& ir) : ir_(ir) {
+  obs::Span span("index.build");
   for (std::size_t i = 0; i < ir_.routes.size(); ++i) {
     const ir::RouteObject& r = ir_.routes[i];
     routes_by_origin_[r.origin].push_back(r.prefix);
@@ -121,6 +124,7 @@ struct Index::FlattenState {
 };
 
 void Index::prewarm() const {
+  obs::Span span("index.resolve_sets");
   // Root queries leave complete, untainted memo entries; repeat once so
   // entries tainted by the first pass (mid-cycle computations) get their
   // root recomputation too.

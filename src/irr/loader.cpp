@@ -1,9 +1,13 @@
 #include "rpslyzer/irr/loader.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <stdexcept>
 
+#include "rpslyzer/obs/log.hpp"
+#include "rpslyzer/obs/metrics.hpp"
+#include "rpslyzer/obs/trace.hpp"
 #include "rpslyzer/rpsl/object_lexer.hpp"
 #include "rpslyzer/rpsl/object_parser.hpp"
 #include "rpslyzer/util/failpoint.hpp"
@@ -99,6 +103,7 @@ const SourceOutcome* LoadResult::outcome(std::string_view name) const noexcept {
 
 ir::Ir parse_dump(std::string_view text, std::string_view source,
                   util::Diagnostics& diagnostics, IrrCounts* counts) {
+  obs::Span span("irr.parse", source);
   if (const fp::Hit hit = fp::hit("irr.parse")) {
     if (hit.is_error()) throw std::runtime_error("irr.parse: " + hit.message);
     // Silent truncation at the parse layer: the lexer sees a shorter dump
@@ -174,9 +179,21 @@ void merge_into(ir::Ir& dst, ir::Ir&& src, RouteKeySet* seen) {
 }
 
 LoadResult load_irrs(const std::vector<IrrSource>& sources, const LoadOptions& options) {
+  obs::Span load_span("irr.load");
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& bytes_read = registry.counter(
+      "rpslyzer_loader_bytes_read_total", "Bytes read from IRR dump files");
+  obs::Counter& objects_parsed = registry.counter(
+      "rpslyzer_loader_objects_parsed_total", "RPSL objects parsed from IRR dumps");
+  obs::Histogram& source_seconds = registry.histogram(
+      "rpslyzer_loader_source_seconds", "Wall time loading one IRR source",
+      obs::exponential_bounds(0.001, 4.0, 10));
+
   LoadResult result;
   RouteKeySet seen_routes;
   for (const auto& source : sources) {
+    obs::Span source_span("irr.source", source.name);
+    const auto source_start = std::chrono::steady_clock::now();
     IrrCounts counts;
     counts.name = source.name;
     SourceOutcome outcome;
@@ -186,6 +203,8 @@ LoadResult load_irrs(const std::vector<IrrSource>& sources, const LoadOptions& o
       outcome.status = SourceStatus::kDegraded;
       result.diagnostics.warning(util::DiagnosticKind::kOther, detail, source.name,
                                  {source.name, 0});
+      obs::log_warn("loader", "source degraded",
+                    {{"source", source.name}, {"reason", detail}});
       outcome.detail = std::move(detail);
     };
     // Quarantine: the dump exists but cannot be trusted; merging a prefix
@@ -196,35 +215,54 @@ LoadResult load_irrs(const std::vector<IrrSource>& sources, const LoadOptions& o
       result.diagnostics.error(util::DiagnosticKind::kOther,
                                "IRR dump quarantined: " + detail, source.name,
                                {source.name, 0});
+      obs::log_error("loader", "source quarantined",
+                     {{"source", source.name}, {"reason", detail}});
       outcome.detail = std::move(detail);
     };
 
     const auto finish = [&] {
+      registry
+          .counter("rpslyzer_loader_sources_total", "IRR source load outcomes",
+                   {{"source", source.name}, {"status", to_string(outcome.status)}})
+          .inc();
+      source_seconds.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - source_start)
+              .count());
       result.counts.push_back(std::move(counts));
       result.outcomes.push_back(std::move(outcome));
     };
 
-    if (const fp::Hit hit = fp::hit("irr.open"); hit && hit.is_error()) {
-      degrade("IRR dump unavailable: injected open fault: " + hit.message);
-      finish();
-      continue;
-    }
-    std::error_code ec;
-    const bool exists = std::filesystem::exists(source.path, ec);
-    if (exists && !std::filesystem::is_regular_file(source.path, ec)) {
-      quarantine("not a regular file: " + source.path.string());
-      finish();
-      continue;
-    }
-    std::ifstream in(source.path, std::ios::binary);
-    if (!in) {
-      degrade("IRR dump unavailable: " + source.path.string());
-      finish();
-      continue;
+    std::ifstream in;
+    {
+      obs::Span open_span("irr.open", source.name);
+      if (const fp::Hit hit = fp::hit("irr.open"); hit && hit.is_error()) {
+        degrade("IRR dump unavailable: injected open fault: " + hit.message);
+        finish();
+        continue;
+      }
+      std::error_code ec;
+      const bool exists = std::filesystem::exists(source.path, ec);
+      if (exists && !std::filesystem::is_regular_file(source.path, ec)) {
+        quarantine("not a regular file: " + source.path.string());
+        finish();
+        continue;
+      }
+      in.open(source.path, std::ios::binary);
+      if (!in) {
+        degrade("IRR dump unavailable: " + source.path.string());
+        finish();
+        continue;
+      }
     }
     std::string text;
     std::string read_error;
-    if (!slurp(in, &text, &read_error)) {
+    bool read_ok;
+    {
+      obs::Span read_span("irr.read", source.name);
+      read_ok = slurp(in, &text, &read_error);
+    }
+    bytes_read.inc(text.size());
+    if (!read_ok) {
       quarantine("read failed mid-dump (" + read_error + "): " + source.path.string());
       finish();
       continue;
@@ -242,8 +280,12 @@ LoadResult load_irrs(const std::vector<IrrSource>& sources, const LoadOptions& o
     try {
       ir::Ir parsed = parse_dump(text, source.name, result.diagnostics, &counts);
       const std::size_t raw_routes = parsed.routes.size();
-      merge_into(result.ir, std::move(parsed), &seen_routes);
+      {
+        obs::Span merge_span("irr.merge", source.name);
+        merge_into(result.ir, std::move(parsed), &seen_routes);
+      }
       result.raw_route_objects += raw_routes;
+      objects_parsed.inc(counts.objects);
     } catch (const std::exception& e) {
       quarantine(std::string("exception mid-load: ") + e.what());
       counts = IrrCounts{};  // partial counts would misstate the census
@@ -251,6 +293,12 @@ LoadResult load_irrs(const std::vector<IrrSource>& sources, const LoadOptions& o
     }
     finish();
   }
+  obs::log_info("loader", "load complete",
+                {{"sources", sources.size()},
+                 {"degraded", result.count_with(SourceStatus::kDegraded)},
+                 {"quarantined", result.count_with(SourceStatus::kQuarantined)},
+                 {"routes", result.ir.routes.size()},
+                 {"aut_nums", result.ir.aut_nums.size()}});
   return result;
 }
 

@@ -1,0 +1,54 @@
+#include "rpslyzer/obs/failpoint_bridge.hpp"
+
+#include <mutex>
+#include <string>
+
+#include "rpslyzer/obs/log.hpp"
+#include "rpslyzer/obs/metrics.hpp"
+#include "rpslyzer/util/failpoint.hpp"
+
+namespace rpslyzer::obs {
+
+namespace {
+
+const char* kind_name(util::failpoint::Hit::Kind kind) {
+  using Kind = util::failpoint::Hit::Kind;
+  switch (kind) {
+    case Kind::kError:
+      return "error";
+    case Kind::kDelay:
+      return "delay";
+    case Kind::kTruncate:
+      return "truncate";
+    case Kind::kNone:
+      break;
+  }
+  return "none";
+}
+
+void on_fire(std::string_view site, const util::failpoint::Hit& hit) {
+  log_warn("failpoint", "failpoint fired",
+           {{"site", site},
+            {"action", kind_name(hit.kind)},
+            {"detail", hit.is_error() ? std::string_view(hit.message)
+                                      : std::string_view{}}});
+}
+
+}  // namespace
+
+void install_failpoint_observer() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    util::failpoint::set_fire_hook(&on_fire);
+    MetricsRegistry::global().register_collector([](CollectSink& sink) {
+      for (const auto& [site, count] : util::failpoint::hit_counts()) {
+        sink.counter("rpslyzer_failpoint_fires_total",
+                     "Failpoint firings by site since process start (or last "
+                     "clear_all)",
+                     {{"site", site}}, static_cast<double>(count));
+      }
+    });
+  });
+}
+
+}  // namespace rpslyzer::obs

@@ -1,0 +1,22 @@
+#pragma once
+// Glue between util/failpoint and the telemetry layer.
+//
+// util/failpoint cannot depend on obs (obs links util), so firings surface
+// through the fire-hook function pointer. This bridge installs that hook and
+// a scrape-time collector, making PR-2's fault handling observable:
+//
+//   * every firing emits one structured warn line
+//     ("failpoint fired" site=irr.read action=error), rate-limited like all
+//     logs, so injected faults are visible in production logs;
+//   * rpslyzer_failpoint_fires_total{site="..."} appears on the global
+//     registry's metrics page, mirroring failpoint::hit_counts() exactly
+//     (a collector reads the authoritative counts at scrape time — no
+//     double bookkeeping to drift).
+//
+// Idempotent; called from daemon startup and the CLI entry points.
+
+namespace rpslyzer::obs {
+
+void install_failpoint_observer();
+
+}  // namespace rpslyzer::obs

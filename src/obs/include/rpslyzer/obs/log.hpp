@@ -1,0 +1,137 @@
+#pragma once
+// Structured, leveled, rate-limited logging.
+//
+// Replaces scattered fprintf(stderr, ...) with one sink that every
+// subsystem shares. A log call names a component ("server", "loader",
+// "failpoint"), a fixed message, and typed key=value fields:
+//
+//   obs::log_warn("loader", "source quarantined",
+//                 {{"source", name}, {"reason", detail}});
+//
+// Output is either logfmt-style text (default):
+//   2026-08-06T12:00:00.123Z WARN loader source quarantined source=RIPE reason="..."
+// or JSON lines (`set_log_json(true)` / RPSLYZER_LOG="info,json"):
+//   {"component":"loader","level":"warn","msg":"source quarantined",...}
+//
+// Fast path: a call below the active level is one relaxed atomic load and a
+// branch — cheap enough to leave debug logging compiled into hot paths.
+//
+// Rate limiting: each (component, message) pair may emit at most
+// kRateLimitBurst lines per kRateLimitWindow; excess lines are dropped and
+// summarized ("suppressed=N") when the window rolls over, so a failpoint
+// storm or reconnect flood cannot turn the log into the bottleneck. The
+// message string is the rate-limit key, which is why messages must be fixed
+// strings with variability carried in fields.
+//
+// Configuration: RPSLYZER_LOG environment ("debug"|"info"|"warn"|"error"|
+// "off", optionally ",json"), read once at first use; set_log_level /
+// set_log_json override programmatically (CLI --log-level/--log-json).
+// Default level: warn (daemons raise it to info at startup).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace rpslyzer::obs {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level) noexcept;
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
+namespace detail {
+extern std::atomic<std::uint8_t> log_level;
+void log_impl(LogLevel level, std::string_view component, std::string_view message,
+              const struct LogFieldList& fields);
+}  // namespace detail
+
+/// One relaxed load: the gate every log call passes through first.
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<std::uint8_t>(level) >=
+         detail::log_level.load(std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+void set_log_json(bool json) noexcept;
+bool log_json() noexcept;
+
+/// Redirect emitted lines (tests). nullptr restores the default stderr sink.
+/// The sink receives one complete line *without* the trailing newline.
+void set_log_sink(std::function<void(std::string_view)> sink);
+
+/// A typed field value; converting constructors keep call sites terse.
+class LogValue {
+ public:
+  LogValue(std::string_view s) : v_(std::string(s)) {}
+  LogValue(const std::string& s) : v_(s) {}
+  LogValue(const char* s) : v_(std::string(s)) {}
+  LogValue(bool b) : v_(b) {}
+  LogValue(double d) : v_(d) {}
+  // Integral overloads cover the fundamental types; std::int64_t/uint64_t
+  // alias `long`/`unsigned long` on LP64, so fixed-width overloads would
+  // collide with these.
+  LogValue(int i) : v_(static_cast<std::int64_t>(i)) {}
+  LogValue(unsigned u) : v_(static_cast<std::uint64_t>(u)) {}
+  LogValue(long i) : v_(static_cast<std::int64_t>(i)) {}
+  LogValue(long long i) : v_(static_cast<std::int64_t>(i)) {}
+  LogValue(unsigned long u) : v_(static_cast<std::uint64_t>(u)) {}
+  LogValue(unsigned long long u) : v_(static_cast<std::uint64_t>(u)) {}
+
+  const std::variant<std::string, bool, double, std::int64_t, std::uint64_t>& get()
+      const noexcept {
+    return v_;
+  }
+
+ private:
+  std::variant<std::string, bool, double, std::int64_t, std::uint64_t> v_;
+};
+
+struct LogField {
+  std::string_view key;
+  LogValue value;
+};
+
+namespace detail {
+struct LogFieldList {
+  const LogField* data = nullptr;
+  std::size_t size = 0;
+};
+}  // namespace detail
+
+/// Core entry point; prefer the leveled wrappers below.
+inline void log(LogLevel level, std::string_view component, std::string_view message,
+                std::initializer_list<LogField> fields = {}) {
+  if (!log_enabled(level)) return;
+  detail::log_impl(level, component, message,
+                   detail::LogFieldList{fields.begin(), fields.size()});
+}
+
+inline void log_debug(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kDebug, component, message, fields);
+}
+inline void log_info(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kInfo, component, message, fields);
+}
+inline void log_warn(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kWarn, component, message, fields);
+}
+inline void log_error(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kError, component, message, fields);
+}
+
+/// Rate-limit parameters (exposed so tests don't hard-code them).
+inline constexpr std::uint32_t kRateLimitBurst = 32;
+inline constexpr std::chrono::milliseconds kRateLimitWindow{1000};
+
+}  // namespace rpslyzer::obs

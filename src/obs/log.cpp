@@ -1,0 +1,279 @@
+#include "rpslyzer/obs/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+#include <unordered_map>
+
+#include "rpslyzer/json/json.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::obs {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  name = util::trim(name);
+  if (util::iequals(name, "debug")) return LogLevel::kDebug;
+  if (util::iequals(name, "info")) return LogLevel::kInfo;
+  if (util::iequals(name, "warn") || util::iequals(name, "warning")) {
+    return LogLevel::kWarn;
+  }
+  if (util::iequals(name, "error")) return LogLevel::kError;
+  if (util::iequals(name, "off") || util::iequals(name, "none")) return LogLevel::kOff;
+  return std::nullopt;
+}
+
+namespace detail {
+std::atomic<std::uint8_t> log_level{static_cast<std::uint8_t>(LogLevel::kWarn)};
+}  // namespace detail
+
+namespace {
+
+std::atomic<bool> json_mode{false};
+
+struct SinkHolder {
+  std::mutex mu;
+  std::function<void(std::string_view)> sink;  // empty = stderr
+
+  // Rate limiting: per (component + '\0' + message) emission window.
+  struct Window {
+    std::chrono::steady_clock::time_point start{};
+    std::uint32_t emitted = 0;
+    std::uint64_t suppressed = 0;
+  };
+  std::unordered_map<std::string, Window> windows;
+};
+
+SinkHolder& sink_holder() {
+  static SinkHolder* holder = new SinkHolder();  // leaked: usable at any exit stage
+  return *holder;
+}
+
+// One-time environment configuration, mirroring util/failpoint's pattern so
+// binaries need no explicit init call: RPSLYZER_LOG="debug" or "info,json".
+std::once_flag env_once;
+
+void configure_from_env() {
+  const char* env = std::getenv("RPSLYZER_LOG");
+  if (env == nullptr || *env == '\0') return;
+  for (std::string_view part : util::split(env, ',')) {
+    part = util::trim(part);
+    if (part.empty()) continue;
+    if (util::iequals(part, "json")) {
+      json_mode.store(true, std::memory_order_relaxed);
+    } else if (util::iequals(part, "text")) {
+      json_mode.store(false, std::memory_order_relaxed);
+    } else if (auto level = parse_log_level(part)) {
+      detail::log_level.store(static_cast<std::uint8_t>(*level),
+                              std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr, "RPSLYZER_LOG: ignoring unknown token: %.*s\n",
+                   static_cast<int>(part.size()), part.data());
+    }
+  }
+}
+
+[[maybe_unused]] const bool env_configured_at_startup =
+    (std::call_once(env_once, configure_from_env), true);
+
+/// Wall-clock timestamp "2026-08-06T12:00:00.123Z" (UTC, millisecond).
+std::string timestamp_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  gmtime_r(&seconds, &tm);
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                tm.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
+
+/// logfmt value: bare when it has no spaces/quotes/equals, else quoted with
+/// backslash escapes.
+void append_text_value(std::string& out, std::string_view value) {
+  bool needs_quotes = value.empty();
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) {
+    out += value;
+    return;
+  }
+  out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+void append_value(std::string& out, const LogValue& value) {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          append_text_value(out, v);
+        } else if constexpr (std::is_same_v<T, bool>) {
+          out += v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, double>) {
+          char buffer[32];
+          std::snprintf(buffer, sizeof(buffer), "%g", v);
+          out += buffer;
+        } else {
+          out += std::to_string(v);
+        }
+      },
+      value.get());
+}
+
+json::Value json_value(const LogValue& value) {
+  return std::visit(
+      [](const auto& v) -> json::Value {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::uint64_t>) {
+          return json::Value(static_cast<std::int64_t>(v));
+        } else {
+          return json::Value(v);
+        }
+      },
+      value.get());
+}
+
+std::string render_text(LogLevel level, std::string_view component,
+                        std::string_view message, const detail::LogFieldList& fields,
+                        std::uint64_t suppressed) {
+  std::string line = timestamp_now();
+  line += ' ';
+  std::string level_name = util::upper(to_string(level));
+  line += level_name;
+  line += ' ';
+  line += component;
+  line += ' ';
+  line += message;
+  for (std::size_t i = 0; i < fields.size; ++i) {
+    line += ' ';
+    line += fields.data[i].key;
+    line += '=';
+    append_value(line, fields.data[i].value);
+  }
+  if (suppressed > 0) {
+    line += " suppressed=" + std::to_string(suppressed);
+  }
+  return line;
+}
+
+std::string render_json(LogLevel level, std::string_view component,
+                        std::string_view message, const detail::LogFieldList& fields,
+                        std::uint64_t suppressed) {
+  json::Object object;
+  object.emplace("ts", timestamp_now());
+  object.emplace("level", to_string(level));
+  object.emplace("component", std::string(component));
+  object.emplace("msg", std::string(message));
+  for (std::size_t i = 0; i < fields.size; ++i) {
+    object.emplace(std::string(fields.data[i].key), json_value(fields.data[i].value));
+  }
+  if (suppressed > 0) {
+    object.emplace("suppressed", static_cast<std::int64_t>(suppressed));
+  }
+  return json::dump(json::Value(std::move(object)));
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(detail::log_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  std::call_once(env_once, configure_from_env);  // explicit config beats env
+  detail::log_level.store(static_cast<std::uint8_t>(level), std::memory_order_relaxed);
+}
+
+void set_log_json(bool json) noexcept {
+  std::call_once(env_once, configure_from_env);
+  json_mode.store(json, std::memory_order_relaxed);
+}
+
+bool log_json() noexcept { return json_mode.load(std::memory_order_relaxed); }
+
+void set_log_sink(std::function<void(std::string_view)> sink) {
+  SinkHolder& holder = sink_holder();
+  std::lock_guard<std::mutex> lock(holder.mu);
+  holder.sink = std::move(sink);
+  holder.windows.clear();
+}
+
+namespace detail {
+
+void log_impl(LogLevel level, std::string_view component, std::string_view message,
+              const LogFieldList& fields) {
+  std::call_once(env_once, configure_from_env);
+  SinkHolder& holder = sink_holder();
+  std::uint64_t suppressed = 0;
+  std::function<void(std::string_view)> sink;
+  {
+    std::lock_guard<std::mutex> lock(holder.mu);
+    std::string key;
+    key.reserve(component.size() + message.size() + 1);
+    key += component;
+    key += '\0';
+    key += message;
+    SinkHolder::Window& window = holder.windows[key];
+    const auto now = std::chrono::steady_clock::now();
+    if (window.start == std::chrono::steady_clock::time_point{} ||
+        now - window.start >= kRateLimitWindow) {
+      // New window: report what the previous one dropped on its first line.
+      suppressed = window.suppressed;
+      window.start = now;
+      window.emitted = 0;
+      window.suppressed = 0;
+    }
+    if (window.emitted >= kRateLimitBurst) {
+      ++window.suppressed;
+      return;
+    }
+    ++window.emitted;
+    sink = holder.sink;
+  }
+  const std::string line = json_mode.load(std::memory_order_relaxed)
+                               ? render_json(level, component, message, fields, suppressed)
+                               : render_text(level, component, message, fields, suppressed);
+  if (sink) {
+    sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace detail
+
+}  // namespace rpslyzer::obs

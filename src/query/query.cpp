@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rpslyzer/obs/metrics.hpp"
 #include "rpslyzer/util/strings.hpp"
 
 namespace rpslyzer::query {
@@ -14,6 +15,28 @@ using util::trim;
 std::string not_found() { return "D\n"; }
 std::string empty_success() { return "C\n"; }
 std::string error(std::string_view why) { return "F " + std::string(why) + "\n"; }
+
+/// Per-op evaluation counters. The op alphabet is compiled in (bounded
+/// cardinality); handles resolve once and recording is a relaxed fetch_add.
+struct OpCounters {
+  obs::Counter& g;
+  obs::Counter& v6;
+  obs::Counter& i;
+  obs::Counter& a;
+  obs::Counter& o;
+  obs::Counter& other;
+
+  static obs::Counter& make(const char* op) {
+    return obs::MetricsRegistry::global().counter(
+        "rpslyzer_query_evaluations_total", "Query-engine evaluations by operation",
+        {{"op", op}});
+  }
+  static OpCounters& get() {
+    static OpCounters* counters = new OpCounters{make("g"), make("6"), make("i"),
+                                                 make("a"), make("o"), make("other")};
+    return *counters;
+  }
+};
 
 /// Join a list with single spaces (IRRd's data format).
 template <typename Range, typename Render>
@@ -175,18 +198,25 @@ std::string QueryEngine::evaluate(std::string_view line) const {
   if (line.empty()) return error("empty query");
   const char op = line.front();
   std::string_view arg = line.substr(1);
+  OpCounters& ops = OpCounters::get();
   switch (op) {
     case 'g':
+      ops.g.inc();
       return origin_prefixes(arg, /*v6=*/false);
     case '6':
+      ops.v6.inc();
       return origin_prefixes(arg, /*v6=*/true);
     case 'i':
+      ops.i.inc();
       return set_members(arg);
     case 'a':
+      ops.a.inc();
       return set_prefixes(arg);
     case 'o':
+      ops.o.inc();
       return aut_num_summary(arg);
     default:
+      ops.other.inc();
       return error("unsupported query");
   }
 }

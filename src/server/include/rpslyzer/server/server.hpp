@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "rpslyzer/irr/index.hpp"
+#include "rpslyzer/obs/metrics.hpp"
 #include "rpslyzer/server/cache.hpp"
 #include "rpslyzer/server/stats.hpp"
 
@@ -84,6 +85,14 @@ struct ServerConfig {
   std::chrono::milliseconds write_stall_grace{5000};  // 0 = never drop stalled peers
   std::chrono::milliseconds reload_retry_initial{1000};  // first backoff step
   std::chrono::milliseconds reload_retry_max{60000};     // backoff cap
+
+  // Telemetry (PR 3). Latency buckets are inclusive upper bounds in
+  // *seconds* (default 1 µs … ~8 s doubling); `!metrics` always works, and
+  // a non-empty snapshot path additionally dumps the same Prometheus page
+  // to a file every snapshot interval for offline diffing.
+  std::vector<double> latency_bounds = ServerStats::default_latency_bounds();
+  std::string metrics_snapshot_path;                     // empty = no dumps
+  std::chrono::milliseconds metrics_snapshot_interval{10000};
 };
 
 /// Daemon health, as served by `!health`.
@@ -149,11 +158,20 @@ class Server {
   const ServerStats& stats() const noexcept { return stats_; }
   CacheStats cache_stats() const { return cache_.stats(); }
 
+  /// This server's private metric storage (merged with the process-global
+  /// registry by metrics_payload()).
+  const obs::MetricsRegistry& metrics_registry() const noexcept { return registry_; }
+
   /// Current health (the structured form of `!health`).
   HealthStatus health() const;
 
   /// The text behind `!stats` (unframed; one "key: value" line per stat).
   std::string stats_payload() const;
+
+  /// The text behind `!metrics`: Prometheus text exposition merging the
+  /// process-global registry (loader, query engine, failpoints) with this
+  /// server's own (connections, queries, cache, latency).
+  std::string metrics_payload() const;
 
   /// The text behind `!health`: first line "status: <state>", then
   /// machine-parseable "key: value" detail lines.
@@ -200,6 +218,7 @@ class Server {
   void maybe_schedule_retry(std::chrono::steady_clock::time_point now);
   void resume_paused_reads();
   void maybe_log_stats(std::chrono::steady_clock::time_point now);
+  void maybe_dump_metrics(std::chrono::steady_clock::time_point now);
   void begin_shutdown();
   void enqueue_task(Task task);
   void wake() noexcept;
@@ -264,9 +283,14 @@ class Server {
   std::vector<std::uint64_t> resumed_reads_;
 
   ResponseCache cache_;
+  // Private registry: per-server counts stay exact even with several Server
+  // instances in one process (tests run many). Declared before stats_,
+  // whose handles resolve into it at construction.
+  obs::MetricsRegistry registry_;
   ServerStats stats_;
   std::chrono::steady_clock::time_point start_time_;
   std::chrono::steady_clock::time_point last_stats_log_;
+  std::chrono::steady_clock::time_point last_metrics_dump_;
   std::uint64_t last_logged_queries_ = 0;
 
   // Shutdown-complete signal for wait().

@@ -1,68 +1,77 @@
 #pragma once
-// Lock-free server observability: monotone counters plus a log2-bucketed
-// service-latency histogram, all plain atomics so the hot path never takes
-// a lock to record a sample. Percentiles (p50/p99) are reconstructed from
-// the bucket counts — exact enough for an ops dashboard, and bounded
-// memory no matter how many queries flow through.
+// Server observability, as a view over the obs metrics registry.
+//
+// Every counter the event loop and worker pool touch is an obs::Counter /
+// obs::Gauge / obs::Histogram handle resolved once at Server construction
+// from the server's private MetricsRegistry — so `!stats` and `!metrics`
+// are two renderings of the same storage, recording stays a relaxed atomic
+// RMW with no lock on the hot path, and the latency bucket layout comes
+// from configuration instead of being hard-coded (the old LatencyHistogram
+// fixed 24 log2 µs buckets at compile time).
+//
+// Snapshot coherence: `snapshot()` reads every counter exactly once, reads
+// subordinate counters (errors, admin, timeouts) *before* the totals they
+// are a subset of, and takes the histogram's retry-until-stable snapshot —
+// so a rendered stats page can never report errors > queries or a
+// mean/percentile pair computed from two different populations.
 
-#include <array>
-#include <atomic>
 #include <cstdint>
+#include <vector>
+
+#include "rpslyzer/obs/metrics.hpp"
 
 namespace rpslyzer::server {
 
-class LatencyHistogram {
- public:
-  // Bucket i holds samples in [2^i, 2^(i+1)) microseconds; bucket 0 also
-  // absorbs sub-microsecond samples, the last bucket absorbs the tail.
-  static constexpr std::size_t kBuckets = 24;  // up to ~2^24 us ≈ 16.7 s
-
-  void record(std::uint64_t micros) noexcept {
-    buckets_[bucket_for(micros)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
-  }
-
-  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
-
-  std::uint64_t mean_micros() const noexcept {
-    const std::uint64_t n = count();
-    return n == 0 ? 0 : sum_micros_.load(std::memory_order_relaxed) / n;
-  }
-
-  /// Upper bound (in microseconds) of the bucket containing the p-th
-  /// percentile sample, p in [0, 100]. Returns 0 with no samples.
-  std::uint64_t percentile_micros(double p) const noexcept;
-
-  void reset() noexcept;
-
- private:
-  static std::size_t bucket_for(std::uint64_t micros) noexcept;
-
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_micros_{0};
-};
-
-/// Counters shared by the event loop and the worker pool. Everything is
-/// relaxed-atomic: stats reads are advisory snapshots, never synchronization.
 struct ServerStats {
-  std::atomic<std::uint64_t> connections_accepted{0};
-  std::atomic<std::uint64_t> connections_rejected{0};  // max-connection guard
-  std::atomic<std::uint64_t> connections_open{0};
-  std::atomic<std::uint64_t> connections_idle_closed{0};
-  std::atomic<std::uint64_t> queries_total{0};
-  std::atomic<std::uint64_t> queries_errors{0};  // responses starting with 'F'
-  std::atomic<std::uint64_t> admin_queries{0};   // !stats / !health / !reload / !t / !q
-  std::atomic<std::uint64_t> queries_timed_out{0};  // deadline sweep sent "F timeout"
-  std::atomic<std::uint64_t> bytes_in{0};
-  std::atomic<std::uint64_t> bytes_out{0};
-  std::atomic<std::uint64_t> reloads{0};            // successful corpus swaps
-  std::atomic<std::uint64_t> reload_failures{0};    // loader errored; stale gen kept
-  std::atomic<std::uint64_t> reload_retries{0};     // backoff retries fired
-  std::atomic<std::uint64_t> reads_paused{0};       // backpressure pause events
-  std::atomic<std::uint64_t> slow_client_disconnects{0};  // unwritable past grace
-  LatencyHistogram latency;
+  /// Doubling bounds from 1 µs to ~8 s, expressed in seconds — the default
+  /// for ServerConfig::latency_bounds.
+  static std::vector<double> default_latency_bounds();
+
+  explicit ServerStats(obs::MetricsRegistry& registry,
+                       std::vector<double> latency_bounds);
+
+  obs::Counter& connections_accepted;
+  obs::Counter& connections_rejected;  // max-connection guard
+  obs::Gauge& connections_open;
+  obs::Counter& connections_idle_closed;
+  obs::Counter& queries_total;
+  obs::Counter& queries_errors;  // responses starting with 'F'
+  obs::Counter& admin_queries;   // !stats / !health / !reload / !metrics / !t / !q
+  obs::Counter& queries_timed_out;  // deadline sweep sent "F timeout"
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Counter& reloads;            // successful corpus swaps
+  obs::Counter& reload_failures;    // loader errored; stale gen kept
+  obs::Counter& reload_retries;     // backoff retries fired
+  obs::Counter& reads_paused;       // backpressure pause events
+  obs::Counter& slow_client_disconnects;  // unwritable past grace
+  obs::Histogram& latency;                // query service time, in seconds
+
+  /// One coherent read of everything above.
+  struct Snapshot {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0;
+    std::int64_t connections_open = 0;
+    std::uint64_t connections_idle_closed = 0;
+    std::uint64_t queries_total = 0;
+    std::uint64_t queries_errors = 0;
+    std::uint64_t admin_queries = 0;
+    std::uint64_t queries_timed_out = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t reloads = 0;
+    std::uint64_t reload_failures = 0;
+    std::uint64_t reload_retries = 0;
+    std::uint64_t reads_paused = 0;
+    std::uint64_t slow_client_disconnects = 0;
+    obs::Histogram::Snapshot latency;
+
+    std::uint64_t latency_mean_micros() const noexcept;
+    std::uint64_t latency_percentile_micros(double p,
+                                            const std::vector<double>& bounds) const noexcept;
+  };
+
+  Snapshot snapshot() const noexcept;
 };
 
 }  // namespace rpslyzer::server

@@ -12,9 +12,13 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <set>
 
+#include "rpslyzer/obs/failpoint_bridge.hpp"
+#include "rpslyzer/obs/log.hpp"
+#include "rpslyzer/obs/trace.hpp"
 #include "rpslyzer/query/query.hpp"
 #include "rpslyzer/util/failpoint.hpp"
 #include "rpslyzer/util/strings.hpp"
@@ -30,10 +34,9 @@ constexpr std::uint64_t kWakeTag = 2;
 constexpr int kMaxEvents = 64;
 constexpr auto kSweepGranularity = std::chrono::milliseconds(100);
 
-std::uint64_t micros_between(std::chrono::steady_clock::time_point a,
-                             std::chrono::steady_clock::time_point b) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
 }
 
 }  // namespace
@@ -101,7 +104,38 @@ struct Server::Connection {
 Server::Server(ServerConfig config, CorpusLoader loader)
     : config_(std::move(config)),
       loader_(std::move(loader)),
-      cache_(config_.cache_capacity, config_.cache_shards) {}
+      cache_(config_.cache_capacity, config_.cache_shards),
+      stats_(registry_, config_.latency_bounds) {
+  // Scrape-time mirrors: the cache keeps its own per-shard counters and the
+  // health/generation state lives behind mutexes — a collector copies them
+  // onto the page at render time instead of double-booking every update.
+  registry_.register_collector([this](obs::CollectSink& sink) {
+    const CacheStats cache = cache_.stats();
+    sink.counter("rpslyzer_cache_hits_total", "Response-cache hits", {},
+                 static_cast<double>(cache.hits));
+    sink.counter("rpslyzer_cache_misses_total", "Response-cache misses", {},
+                 static_cast<double>(cache.misses));
+    sink.counter("rpslyzer_cache_evictions_total", "LRU-capacity evictions", {},
+                 static_cast<double>(cache.evictions));
+    sink.counter("rpslyzer_cache_invalidated_total",
+                 "Stale-generation entries dropped on lookup", {},
+                 static_cast<double>(cache.invalidated));
+    sink.gauge("rpslyzer_cache_entries", "Cached responses currently held", {},
+               static_cast<double>(cache.entries));
+    sink.gauge("rpslyzer_cache_bytes", "Key + value payload bytes held", {},
+               static_cast<double>(cache.bytes));
+
+    const HealthStatus status = health();
+    sink.gauge("rpslyzer_server_generation", "Current corpus generation", {},
+               static_cast<double>(status.generation));
+    sink.gauge("rpslyzer_server_health",
+               "Daemon health (0 healthy, 1 loading, 2 degraded)", {},
+               static_cast<double>(static_cast<int>(status.state)));
+    sink.gauge("rpslyzer_server_uptime_seconds", "Seconds since start()", {},
+               running() ? seconds_between(start_time_, std::chrono::steady_clock::now())
+                         : 0.0);
+  });
+}
 
 Server::~Server() { stop(); }
 
@@ -196,10 +230,14 @@ bool Server::start(std::string* error) {
   shutting_down_ = false;
   start_time_ = std::chrono::steady_clock::now();
   last_stats_log_ = start_time_;
+  last_metrics_dump_ = start_time_;
   last_logged_queries_ = 0;
+  obs::install_failpoint_observer();
 
   unsigned workers = config_.worker_threads;
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  obs::log_info("server", "listening",
+                {{"port", static_cast<unsigned>(port_)}, {"workers", workers}});
   worker_threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
     worker_threads_.emplace_back([this] { worker_loop(); });
@@ -290,13 +328,18 @@ std::string Server::do_reload() {
   }
   if (fresh == nullptr) {
     if (why.empty()) why = "loader returned no corpus";
-    stats_.reload_failures.fetch_add(1, std::memory_order_relaxed);
+    stats_.reload_failures.inc();
+    unsigned attempts = 0;
     {
       std::lock_guard<std::mutex> lock(health_mu_);
       health_state_ = Health::kDegraded;
       health_reason_ = why;
-      ++reload_attempts_;
+      attempts = ++reload_attempts_;
     }
+    obs::log_error("server", "reload failed; serving stale generation",
+                   {{"reason", why},
+                    {"attempts", attempts},
+                    {"generation", generation()}});
     reloads_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     wake();  // let the event loop arm the backoff retry promptly
     return "F reload failed: " + why + "\n";
@@ -313,7 +356,8 @@ std::string Server::do_reload() {
     reload_attempts_ = 0;
     last_good_load_ = std::chrono::steady_clock::now();
   }
-  stats_.reloads.fetch_add(1, std::memory_order_relaxed);
+  stats_.reloads.inc();
+  obs::log_info("server", "corpus reloaded", {{"generation", generation()}});
   reloads_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   wake();  // disarm any pending retry
   return "C\n";
@@ -367,6 +411,10 @@ std::string Server::health_payload() const {
 }
 
 std::string Server::stats_payload() const {
+  // One coherent snapshot of everything: `snapshot()` orders its reads so a
+  // rendered page can never show errors > queries or admin > queries, no
+  // matter how hard the worker pool is hammering the counters.
+  const ServerStats::Snapshot snap = stats_.snapshot();
   const CacheStats cache = cache_.stats();
   const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start_time_);
@@ -376,7 +424,7 @@ std::string Server::stats_payload() const {
       "generation: %llu\n"
       "health: %s\n"
       "uptime-ms: %lld\n"
-      "connections: open=%llu accepted=%llu rejected=%llu idle-closed=%llu "
+      "connections: open=%lld accepted=%llu rejected=%llu idle-closed=%llu "
       "slow-closed=%llu\n"
       "queries: total=%llu errors=%llu admin=%llu timeouts=%llu\n"
       "cache: entries=%zu capacity=%zu hits=%llu misses=%llu hit-ratio=%.3f "
@@ -389,29 +437,59 @@ std::string Server::stats_payload() const {
       static_cast<unsigned long long>(generation()),
       to_string(health().state),
       static_cast<long long>(uptime.count()),
-      static_cast<unsigned long long>(stats_.connections_open.load()),
-      static_cast<unsigned long long>(stats_.connections_accepted.load()),
-      static_cast<unsigned long long>(stats_.connections_rejected.load()),
-      static_cast<unsigned long long>(stats_.connections_idle_closed.load()),
-      static_cast<unsigned long long>(stats_.slow_client_disconnects.load()),
-      static_cast<unsigned long long>(stats_.queries_total.load()),
-      static_cast<unsigned long long>(stats_.queries_errors.load()),
-      static_cast<unsigned long long>(stats_.admin_queries.load()),
-      static_cast<unsigned long long>(stats_.queries_timed_out.load()), cache.entries,
+      static_cast<long long>(snap.connections_open),
+      static_cast<unsigned long long>(snap.connections_accepted),
+      static_cast<unsigned long long>(snap.connections_rejected),
+      static_cast<unsigned long long>(snap.connections_idle_closed),
+      static_cast<unsigned long long>(snap.slow_client_disconnects),
+      static_cast<unsigned long long>(snap.queries_total),
+      static_cast<unsigned long long>(snap.queries_errors),
+      static_cast<unsigned long long>(snap.admin_queries),
+      static_cast<unsigned long long>(snap.queries_timed_out), cache.entries,
       cache_.capacity(), static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses), cache.hit_ratio(),
       static_cast<unsigned long long>(cache.evictions),
       static_cast<unsigned long long>(cache.invalidated),
-      static_cast<unsigned long long>(stats_.latency.mean_micros()),
-      static_cast<unsigned long long>(stats_.latency.percentile_micros(50)),
-      static_cast<unsigned long long>(stats_.latency.percentile_micros(99)),
-      static_cast<unsigned long long>(stats_.bytes_in.load()),
-      static_cast<unsigned long long>(stats_.bytes_out.load()),
-      static_cast<unsigned long long>(stats_.reads_paused.load()),
-      static_cast<unsigned long long>(stats_.reloads.load()),
-      static_cast<unsigned long long>(stats_.reload_failures.load()),
-      static_cast<unsigned long long>(stats_.reload_retries.load()));
+      static_cast<unsigned long long>(snap.latency_mean_micros()),
+      static_cast<unsigned long long>(
+          snap.latency_percentile_micros(50, stats_.latency.bounds())),
+      static_cast<unsigned long long>(
+          snap.latency_percentile_micros(99, stats_.latency.bounds())),
+      static_cast<unsigned long long>(snap.bytes_in),
+      static_cast<unsigned long long>(snap.bytes_out),
+      static_cast<unsigned long long>(snap.reads_paused),
+      static_cast<unsigned long long>(snap.reloads),
+      static_cast<unsigned long long>(snap.reload_failures),
+      static_cast<unsigned long long>(snap.reload_retries));
   return buffer;
+}
+
+std::string Server::metrics_payload() const {
+  // Process-wide metrics (loader, query engine, failpoints) plus this
+  // server's private page, in one Prometheus exposition document.
+  return obs::to_prometheus({&obs::MetricsRegistry::global(), &registry_});
+}
+
+void Server::maybe_dump_metrics(std::chrono::steady_clock::time_point now) {
+  if (config_.metrics_snapshot_path.empty()) return;
+  if (config_.metrics_snapshot_interval.count() <= 0) return;
+  if (now - last_metrics_dump_ < config_.metrics_snapshot_interval) return;
+  last_metrics_dump_ = now;
+  // Write-then-rename so a scraper never reads a half-written page.
+  const std::string tmp = config_.metrics_snapshot_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      obs::log_warn("server", "metrics snapshot write failed",
+                    {{"path", config_.metrics_snapshot_path}});
+      return;
+    }
+    out << metrics_payload();
+  }
+  if (std::rename(tmp.c_str(), config_.metrics_snapshot_path.c_str()) != 0) {
+    obs::log_warn("server", "metrics snapshot rename failed",
+                  {{"path", config_.metrics_snapshot_path}});
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -437,19 +515,22 @@ void Server::worker_loop() {
       tasks_.pop_front();
     }
     std::string response;
-    // "server.dispatch": delay stalls this worker (driving the deadline
-    // path); error fails the query without touching the engine. Reloads are
-    // exempt so injected dispatch faults never masquerade as loader faults.
-    if (const fp::Hit hit = fp::hit("server.dispatch");
-        hit && hit.is_error() && !task.reload) {
-      response = "F " + hit.message + "\n";
-    } else {
-      response = task.reload ? do_reload() : answer(task.line);
+    {
+      obs::Span span(task.reload ? "server.reload" : "server.query");
+      // "server.dispatch": delay stalls this worker (driving the deadline
+      // path); error fails the query without touching the engine. Reloads are
+      // exempt so injected dispatch faults never masquerade as loader faults.
+      if (const fp::Hit hit = fp::hit("server.dispatch");
+          hit && hit.is_error() && !task.reload) {
+        response = "F " + hit.message + "\n";
+      } else {
+        response = task.reload ? do_reload() : answer(task.line);
+      }
     }
-    stats_.latency.record(
-        micros_between(task.t0, std::chrono::steady_clock::now()));
+    stats_.latency.observe(
+        seconds_between(task.t0, std::chrono::steady_clock::now()));
     if (!response.empty() && response.front() == 'F') {
-      stats_.queries_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.queries_errors.inc();
     }
     if (task.conn_id != 0) {
       std::lock_guard<std::mutex> lock(done_mu_);
@@ -493,6 +574,7 @@ void Server::event_loop() {
     sweep_idle(now);
     maybe_schedule_retry(now);
     maybe_log_stats(now);
+    maybe_dump_metrics(now);
     if (stop_requested_.load(std::memory_order_acquire) && !shutting_down_) {
       begin_shutdown();
     }
@@ -545,7 +627,10 @@ void Server::accept_ready() {
       return;  // EMFILE etc: drop and retry on the next readiness event
     }
     if (conns_.size() >= config_.max_connections) {
-      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      stats_.connections_rejected.inc();
+      obs::log_warn("server", "connection rejected: at max-connections",
+                    {{"open", static_cast<std::uint64_t>(conns_.size())},
+                     {"max", static_cast<std::uint64_t>(config_.max_connections)}});
       static constexpr char kRefusal[] = "F too many connections\n";
       [[maybe_unused]] ssize_t n =
           ::send(fd, kRefusal, sizeof(kRefusal) - 1, MSG_NOSIGNAL);
@@ -566,8 +651,8 @@ void Server::accept_ready() {
       ::close(fd);
       continue;
     }
-    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    stats_.connections_open.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_accepted.inc();
+    stats_.connections_open.add(1);
     conns_.emplace(conn->id, std::move(conn));
   }
 }
@@ -597,8 +682,7 @@ void Server::read_ready(Connection& conn) {
   while (true) {
     const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
     if (n > 0) {
-      stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
-                                std::memory_order_relaxed);
+      stats_.bytes_in.inc(static_cast<std::uint64_t>(n));
       conn.last_activity = std::chrono::steady_clock::now();
       if (!conn.closing) {
         conn.in.append(buffer, static_cast<std::size_t>(n));
@@ -660,33 +744,40 @@ void Server::dispatch_line(Connection& conn, std::string_view raw) {
   std::string_view body = trimmed;
   if (!body.empty() && body.front() == '!') body.remove_prefix(1);
   const auto t0 = std::chrono::steady_clock::now();
-  stats_.queries_total.fetch_add(1, std::memory_order_relaxed);
+  // Ordering note: the total is bumped before any admin/error subset counter,
+  // which is what lets ServerStats::snapshot() guarantee subset <= total.
+  stats_.queries_total.inc();
 
   if (util::iequals(body, "q")) {
-    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    stats_.admin_queries.inc();
     conn.closing = true;  // close after pipelined predecessors flush
     return;
   }
   const std::uint64_t seq = conn.next_seq++;
   ++conn.in_flight;
   if (util::iequals(body, "stats")) {
-    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    stats_.admin_queries.inc();
     deliver(conn, seq, query::frame_response(stats_payload()));
     return;
   }
+  if (util::iequals(body, "metrics")) {
+    stats_.admin_queries.inc();
+    deliver(conn, seq, query::frame_response(metrics_payload()));
+    return;
+  }
   if (util::iequals(body, "health")) {
-    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    stats_.admin_queries.inc();
     deliver(conn, seq, query::frame_response(health_payload()));
     return;
   }
   if (util::iequals(body, "reload")) {
-    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    stats_.admin_queries.inc();
     enqueue_task(Task{conn.id, seq, {}, t0, true});
     return;
   }
   if (body.size() >= 2 && (body.front() == 't' || body.front() == 'T') &&
       util::is_digit(body[1])) {
-    stats_.admin_queries.fetch_add(1, std::memory_order_relaxed);
+    stats_.admin_queries.inc();
     if (auto seconds = util::parse_u32(body.substr(1))) {
       conn.idle_timeout = std::chrono::seconds(*seconds);
       deliver(conn, seq, "C\n");
@@ -730,7 +821,10 @@ void Server::apply_backpressure(Connection& conn) {
     // The peer is not consuming responses: stop reading new queries from it
     // rather than buffering unboundedly on its behalf.
     conn.read_paused = true;
-    stats_.reads_paused.fetch_add(1, std::memory_order_relaxed);
+    stats_.reads_paused.inc();
+    obs::log_warn("server", "reads paused: client not draining responses",
+                  {{"conn", conn.id},
+                   {"buffered_bytes", static_cast<std::uint64_t>(outstanding)}});
     changed = true;
   } else if (conn.read_paused && outstanding <= config_.max_output_buffer_bytes / 2) {
     conn.read_paused = false;
@@ -769,8 +863,7 @@ void Server::flush_writes(Connection& conn) {
     const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
                              conn.out.size() - conn.out_off, MSG_NOSIGNAL);
     if (n > 0) {
-      stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
-                                 std::memory_order_relaxed);
+      stats_.bytes_out.inc(static_cast<std::uint64_t>(n));
       conn.out_off += static_cast<std::size_t>(n);
       conn.last_activity = std::chrono::steady_clock::now();
       conn.stalled = false;
@@ -811,7 +904,7 @@ void Server::destroy_conn(std::uint64_t id) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
   ::close(conn.fd);
   conns_.erase(found);
-  stats_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+  stats_.connections_open.add(-1);
 }
 
 void Server::drain_completions() {
@@ -848,8 +941,10 @@ void Server::sweep_deadlines(std::chrono::steady_clock::time_point now) {
       const std::uint64_t seq = it->first;
       it = conn->pending.erase(it);
       conn->timed_out.insert(seq);
-      stats_.queries_timed_out.fetch_add(1, std::memory_order_relaxed);
-      stats_.queries_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.queries_timed_out.inc();
+      stats_.queries_errors.inc();
+      obs::log_warn("server", "query deadline exceeded; answered F timeout",
+                    {{"conn", id}, {"seq", seq}});
       deliver(*conn, seq, "F timeout\n");
       any = true;
     }
@@ -871,8 +966,12 @@ void Server::sweep_stalled(std::chrono::steady_clock::time_point now) {
     if (now - conn->stalled_since >= config_.write_stall_grace) expired.push_back(id);
   }
   for (std::uint64_t id : expired) {
-    stats_.slow_client_disconnects.fetch_add(1, std::memory_order_relaxed);
+    obs::log_warn("server", "slow client disconnected: unwritable past grace",
+                  {{"conn", id}});
+    // Close first, count second: an observer that has seen the disconnect
+    // counter must also see connections_open already decremented.
     destroy_conn(id);
+    stats_.slow_client_disconnects.inc();
   }
 }
 
@@ -900,7 +999,8 @@ void Server::maybe_schedule_retry(std::chrono::steady_clock::time_point now) {
     }
   }
   if (fire) {
-    stats_.reload_retries.fetch_add(1, std::memory_order_relaxed);
+    stats_.reload_retries.inc();
+    obs::log_info("server", "reload retry fired", {{"generation", generation()}});
     enqueue_task(Task{0, 0, {}, now, true});
   }
 }
@@ -914,7 +1014,7 @@ void Server::sweep_idle(std::chrono::steady_clock::time_point now) {
     if (now - conn->last_activity >= conn->idle_timeout) expired.push_back(id);
   }
   for (std::uint64_t id : expired) {
-    stats_.connections_idle_closed.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_idle_closed.inc();
     destroy_conn(id);
   }
 }
@@ -922,21 +1022,23 @@ void Server::sweep_idle(std::chrono::steady_clock::time_point now) {
 void Server::maybe_log_stats(std::chrono::steady_clock::time_point now) {
   if (config_.stats_log_interval.count() <= 0) return;
   if (now - last_stats_log_ < config_.stats_log_interval) return;
-  const std::uint64_t total = stats_.queries_total.load(std::memory_order_relaxed);
+  const std::uint64_t total = stats_.queries_total.value();
   const double seconds =
       std::chrono::duration<double>(now - last_stats_log_).count();
   const double qps =
       seconds > 0 ? static_cast<double>(total - last_logged_queries_) / seconds : 0;
   const CacheStats cache = cache_.stats();
-  std::fprintf(stderr,
-               "rpslyzerd: conns=%llu qps=%.0f queries=%llu hit-ratio=%.3f "
-               "p50us=%llu p99us=%llu gen=%llu health=%s\n",
-               static_cast<unsigned long long>(stats_.connections_open.load()), qps,
-               static_cast<unsigned long long>(total), cache.hit_ratio(),
-               static_cast<unsigned long long>(stats_.latency.percentile_micros(50)),
-               static_cast<unsigned long long>(stats_.latency.percentile_micros(99)),
-               static_cast<unsigned long long>(generation()),
-               to_string(health().state));
+  const obs::Histogram::Snapshot latency = stats_.latency.snapshot();
+  obs::log_info(
+      "server", "periodic stats",
+      {{"conns", stats_.connections_open.value()},
+       {"qps", qps},
+       {"queries", total},
+       {"hit_ratio", cache.hit_ratio()},
+       {"p50_us", latency.percentile(50, stats_.latency.bounds()) * 1e6},
+       {"p99_us", latency.percentile(99, stats_.latency.bounds()) * 1e6},
+       {"generation", generation()},
+       {"health", to_string(health().state)}});
   last_stats_log_ = now;
   last_logged_queries_ = total;
 }

@@ -1,40 +1,95 @@
 #include "rpslyzer/server/stats.hpp"
 
-#include <bit>
+#include <cmath>
 
 namespace rpslyzer::server {
 
-std::size_t LatencyHistogram::bucket_for(std::uint64_t micros) noexcept {
-  if (micros <= 1) return 0;
-  const std::size_t log2 = static_cast<std::size_t>(std::bit_width(micros) - 1);
-  return log2 < kBuckets ? log2 : kBuckets - 1;
+std::vector<double> ServerStats::default_latency_bounds() {
+  // 1 µs … ~8.4 s doubling: the same span the old log2-µs histogram covered,
+  // now in seconds (the Prometheus base unit) and overridable per server.
+  return obs::exponential_bounds(1e-6, 2.0, 24);
 }
 
-std::uint64_t LatencyHistogram::percentile_micros(double p) const noexcept {
-  std::array<std::uint64_t, kBuckets> snapshot;
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += snapshot[i];
-  }
-  if (total == 0) return 0;
-  if (p < 0) p = 0;
-  if (p > 100) p = 100;
-  // Rank of the percentile sample, 1-based.
-  std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total));
-  if (rank == 0) rank = 1;
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += snapshot[i];
-    if (seen >= rank) return std::uint64_t{1} << (i + 1);  // bucket upper bound
-  }
-  return std::uint64_t{1} << kBuckets;
+namespace {
+
+obs::Counter& c(obs::MetricsRegistry& registry, const char* name, const char* help) {
+  return registry.counter(name, help);
 }
 
-void LatencyHistogram::reset() noexcept {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_micros_.store(0, std::memory_order_relaxed);
+}  // namespace
+
+ServerStats::ServerStats(obs::MetricsRegistry& registry,
+                         std::vector<double> latency_bounds)
+    : connections_accepted(c(registry, "rpslyzer_server_connections_accepted_total",
+                             "TCP connections accepted")),
+      connections_rejected(c(registry, "rpslyzer_server_connections_rejected_total",
+                             "Connections refused by the max-connection guard")),
+      connections_open(registry.gauge("rpslyzer_server_connections_open",
+                                      "Currently open client connections")),
+      connections_idle_closed(c(registry,
+                                "rpslyzer_server_connections_idle_closed_total",
+                                "Connections closed by the idle sweep")),
+      queries_total(c(registry, "rpslyzer_server_queries_total",
+                      "Query lines dispatched (engine + admin)")),
+      queries_errors(c(registry, "rpslyzer_server_query_errors_total",
+                       "Responses that reported an error ('F ...')")),
+      admin_queries(c(registry, "rpslyzer_server_admin_queries_total",
+                      "Admin queries (!stats !health !reload !metrics !t !q)")),
+      queries_timed_out(c(registry, "rpslyzer_server_query_timeouts_total",
+                          "Queries answered 'F timeout' by the deadline sweep")),
+      bytes_in(c(registry, "rpslyzer_server_bytes_in_total",
+                 "Bytes read from clients")),
+      bytes_out(c(registry, "rpslyzer_server_bytes_out_total",
+                  "Bytes written to clients")),
+      reloads(c(registry, "rpslyzer_server_reloads_total",
+                "Successful corpus reloads")),
+      reload_failures(c(registry, "rpslyzer_server_reload_failures_total",
+                        "Reloads that failed (stale generation kept serving)")),
+      reload_retries(c(registry, "rpslyzer_server_reload_retries_total",
+                       "Backoff-scheduled reload retries fired")),
+      reads_paused(c(registry, "rpslyzer_server_reads_paused_total",
+                     "Backpressure events: reads paused on a slow client")),
+      slow_client_disconnects(c(registry,
+                                "rpslyzer_server_slow_client_disconnects_total",
+                                "Clients dropped after staying unwritable past the "
+                                "stall grace")),
+      latency(registry.histogram("rpslyzer_server_query_latency_seconds",
+                                 "Query service time (enqueue to response ready)",
+                                 std::move(latency_bounds))) {}
+
+ServerStats::Snapshot ServerStats::snapshot() const noexcept {
+  Snapshot snap;
+  // Subordinate counters first, their totals after: writers bump the total
+  // before the subset (dispatch_line increments queries_total before any
+  // admin/error counter), so subset ≤ total holds in every snapshot.
+  snap.queries_errors = queries_errors.value();
+  snap.admin_queries = admin_queries.value();
+  snap.queries_timed_out = queries_timed_out.value();
+  snap.queries_total = queries_total.value();
+
+  snap.connections_rejected = connections_rejected.value();
+  snap.connections_idle_closed = connections_idle_closed.value();
+  snap.slow_client_disconnects = slow_client_disconnects.value();
+  snap.connections_open = connections_open.value();
+  snap.connections_accepted = connections_accepted.value();
+
+  snap.bytes_in = bytes_in.value();
+  snap.bytes_out = bytes_out.value();
+  snap.reload_failures = reload_failures.value();
+  snap.reload_retries = reload_retries.value();
+  snap.reloads = reloads.value();
+  snap.reads_paused = reads_paused.value();
+  snap.latency = latency.snapshot();
+  return snap;
+}
+
+std::uint64_t ServerStats::Snapshot::latency_mean_micros() const noexcept {
+  return static_cast<std::uint64_t>(std::llround(latency.mean() * 1e6));
+}
+
+std::uint64_t ServerStats::Snapshot::latency_percentile_micros(
+    double p, const std::vector<double>& bounds) const noexcept {
+  return static_cast<std::uint64_t>(std::llround(latency.percentile(p, bounds) * 1e6));
 }
 
 }  // namespace rpslyzer::server

@@ -15,6 +15,14 @@ std::atomic<std::uint32_t> armed_sites{0};
 }  // namespace detail
 
 namespace {
+std::atomic<FireHook> fire_hook{nullptr};
+}  // namespace
+
+void set_fire_hook(FireHook hook) noexcept {
+  fire_hook.store(hook, std::memory_order_relaxed);
+}
+
+namespace {
 
 struct Action {
   Hit::Kind kind = Hit::Kind::kNone;
@@ -185,6 +193,12 @@ Hit evaluate_slow(std::string_view site) {
       armed_sites.fetch_sub(1, std::memory_order_relaxed);
     }
   }
+  // Notify before the delay sleep so observers see the firing when it
+  // happens, not after an injected stall; the hook runs outside the
+  // registry lock and may take its own (logging, metrics).
+  if (out.kind != Hit::Kind::kNone) {
+    if (FireHook hook = fire_hook.load(std::memory_order_relaxed)) hook(site, out);
+  }
   // Sleep outside the registry lock so a delay on one site never stalls
   // evaluation (or arming) of another.
   if (out.kind == Hit::Kind::kDelay && out.delay.count() > 0) {
@@ -270,6 +284,15 @@ std::uint64_t hit_count(std::string_view site) {
   std::lock_guard<std::mutex> lock(reg.mu);
   auto found = reg.hits.find(std::string(site));
   return found == reg.hits.end() ? 0 : found->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> hit_counts() {
+  Registry& reg = env_armed_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(reg.hits.size());
+  for (const auto& [site, count] : reg.hits) out.emplace_back(site, count);
+  return out;
 }
 
 std::vector<std::pair<std::string, std::string>> active() {

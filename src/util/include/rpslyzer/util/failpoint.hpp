@@ -94,7 +94,19 @@ bool configure(std::string_view spec, std::string* error = nullptr);
 /// Survives clear(); reset by clear_all().
 std::uint64_t hit_count(std::string_view site);
 
+/// Every site that has ever fired, with its firing count — the feed for the
+/// telemetry collector that mirrors firings into the metrics page.
+std::vector<std::pair<std::string, std::uint64_t>> hit_counts();
+
 /// Currently armed sites with their remaining-spec, for diagnostics.
 std::vector<std::pair<std::string, std::string>> active();
+
+/// Observer invoked once per actual firing, after the registry lock is
+/// released (so it may log, take other locks, bump metrics). Plain function
+/// pointer behind an atomic: installing it is race-free and evaluating it
+/// costs one relaxed load on the already-slow armed path. The telemetry
+/// layer installs exactly one hook; nullptr uninstalls.
+using FireHook = void (*)(std::string_view site, const Hit& hit);
+void set_fire_hook(FireHook hook) noexcept;
 
 }  // namespace rpslyzer::util::failpoint

@@ -3,15 +3,19 @@
 #include <atomic>
 #include <thread>
 
+#include "rpslyzer/obs/trace.hpp"
+
 namespace rpslyzer::verify {
 
 std::vector<std::vector<HopCheck>> verify_routes_parallel(
     const irr::Index& index, const relations::AsRelations& relations,
     const std::vector<bgp::Route>& routes, VerifyOptions options, unsigned threads) {
+  obs::Span verify_span("verify.routes");
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   std::vector<std::vector<HopCheck>> results(routes.size());
   if (routes.empty()) return results;
   if (threads == 1 || routes.size() < 2 * threads) {
+    obs::Span batch_span("verify.batch");
     Verifier verifier(index, relations, options);
     for (std::size_t i = 0; i < routes.size(); ++i) {
       results[i] = verifier.verify_route(routes[i]);
@@ -34,6 +38,7 @@ std::vector<std::vector<HopCheck>> verify_routes_parallel(
       const std::size_t begin = next.fetch_add(kBatch);
       if (begin >= routes.size()) break;
       const std::size_t end = std::min(begin + kBatch, routes.size());
+      obs::Span batch_span("verify.batch");
       for (std::size_t i = begin; i < end; ++i) {
         results[i] = verifier.verify_route(routes[i]);
       }

@@ -378,8 +378,8 @@ TEST_F(FaultInjection, FailedReloadDegradesThenBackoffRetryRecovers) {
   }
   EXPECT_EQ(server.health().state, server::Health::kHealthy);
   EXPECT_EQ(server.generation(), 2u);
-  EXPECT_GE(server.stats().reload_failures.load(), 2u);
-  EXPECT_GE(server.stats().reload_retries.load(), 2u);
+  EXPECT_GE(server.stats().reload_failures.value(), 2u);
+  EXPECT_GE(server.stats().reload_retries.value(), 2u);
 
   // Recovery is complete: responses are byte-identical to a clean v2 engine.
   ASSERT_TRUE(client->send_line("!gAS64500"));
@@ -450,7 +450,7 @@ TEST_F(FaultInjection, StalledWorkerTimesOutWithoutStallingNeighbours) {
   auto timed_out = slow->read_response();
   ASSERT_TRUE(timed_out.has_value());
   EXPECT_EQ(*timed_out, "F timeout\n");
-  EXPECT_EQ(server.stats().queries_timed_out.load(), 1u);
+  EXPECT_EQ(server.stats().queries_timed_out.value(), 1u);
 
   // The connection survives its timeout and the late worker result is
   // discarded: the next query gets exactly one, correct, response.
@@ -499,13 +499,13 @@ TEST_F(FaultInjection, SlowClientIsPausedThenDisconnected) {
   // The server must pause reads, wait out the grace, and drop us — without
   // ever holding more than (cap + one response) of our output in memory.
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  while (server.stats().slow_client_disconnects.load() == 0 &&
+  while (server.stats().slow_client_disconnects.value() == 0 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  EXPECT_GE(server.stats().slow_client_disconnects.load(), 1u);
-  EXPECT_GE(server.stats().reads_paused.load(), 1u);
-  EXPECT_EQ(server.stats().connections_open.load(), 0u);
+  EXPECT_GE(server.stats().slow_client_disconnects.value(), 1u);
+  EXPECT_GE(server.stats().reads_paused.value(), 1u);
+  EXPECT_EQ(server.stats().connections_open.value(), 0);
 
   // A well-behaved client on the same server is unaffected.
   auto good = server::Client::connect("127.0.0.1", server.port());

@@ -1,0 +1,341 @@
+// Telemetry layer tests: metrics registry (concurrency, Prometheus golden
+// format, collectors), structured logging (levels, JSON, rate limiting), and
+// trace spans (nesting, chrome-trace export validated with src/json).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpslyzer/json/json.hpp"
+#include "rpslyzer/obs/failpoint_bridge.hpp"
+#include "rpslyzer/obs/log.hpp"
+#include "rpslyzer/obs/metrics.hpp"
+#include "rpslyzer/obs/trace.hpp"
+#include "rpslyzer/util/failpoint.hpp"
+
+namespace rpslyzer::obs {
+namespace {
+
+namespace fp = util::failpoint;
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterConcurrencyExactTotals) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolving the handle from every thread exercises the idempotent
+      // lookup path; all threads must land on the same storage.
+      Counter& counter = registry.counter("obs_test_total", "test");
+      for (int i = 0; i < kIncrements; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("obs_test_total", "test").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistry, LabeledInstancesAreDistinct) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("obs_ops_total", "ops", {{"op", "a"}});
+  Counter& b = registry.counter("obs_ops_total", "ops", {{"op", "b"}});
+  EXPECT_NE(&a, &b);
+  a.inc(3);
+  b.inc(5);
+  EXPECT_EQ(registry.counter("obs_ops_total", "ops", {{"op", "a"}}).value(), 3u);
+  EXPECT_EQ(registry.counter("obs_ops_total", "ops", {{"op", "b"}}).value(), 5u);
+}
+
+TEST(MetricsRegistry, HistogramConcurrentObservationsStayCoherent) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("obs_seconds", "test", exponential_bounds(0.001, 2.0, 10));
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&histogram, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kObservations; ++i) {
+        histogram.observe(0.0005 * static_cast<double>((i + t) % 8));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Concurrent snapshots must always account for every bucket increment
+  // belonging to the count they report.
+  for (int i = 0; i < 200; ++i) {
+    const Histogram::Snapshot snap = histogram.snapshot();
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t bucket : snap.buckets) bucket_total += bucket;
+    ASSERT_EQ(bucket_total, snap.count);
+  }
+  for (auto& writer : writers) writer.join();
+  const Histogram::Snapshot final_snap = histogram.snapshot();
+  EXPECT_EQ(final_snap.count, static_cast<std::uint64_t>(kThreads) * kObservations);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t bucket : final_snap.buckets) bucket_total += bucket;
+  EXPECT_EQ(bucket_total, final_snap.count);
+}
+
+TEST(MetricsRegistry, PrometheusGoldenFormat) {
+  MetricsRegistry registry;
+  registry.counter("rpslyzer_test_requests_total", "Requests served", {{"op", "g"}})
+      .inc(42);
+  registry.gauge("rpslyzer_test_depth", "Queue depth").set(-3);
+  Histogram& histogram =
+      registry.histogram("rpslyzer_test_seconds", "Latency", {0.1, 1.0});
+  histogram.observe(0.05);
+  histogram.observe(0.5);
+  histogram.observe(5.0);
+
+  const std::string expected =
+      "# HELP rpslyzer_test_depth Queue depth\n"
+      "# TYPE rpslyzer_test_depth gauge\n"
+      "rpslyzer_test_depth -3\n"
+      "# HELP rpslyzer_test_requests_total Requests served\n"
+      "# TYPE rpslyzer_test_requests_total counter\n"
+      "rpslyzer_test_requests_total{op=\"g\"} 42\n"
+      "# HELP rpslyzer_test_seconds Latency\n"
+      "# TYPE rpslyzer_test_seconds histogram\n"
+      "rpslyzer_test_seconds_bucket{le=\"0.1\"} 1\n"
+      "rpslyzer_test_seconds_bucket{le=\"1\"} 2\n"
+      "rpslyzer_test_seconds_bucket{le=\"+Inf\"} 3\n"
+      "rpslyzer_test_seconds_sum 5.5499999999999998\n"
+      "rpslyzer_test_seconds_count 3\n";
+  EXPECT_EQ(registry.to_prometheus(), expected);
+}
+
+TEST(MetricsRegistry, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.counter("obs_escape_total", "test", {{"path", "a\\b\"c\nd"}}).inc();
+  const std::string page = registry.to_prometheus();
+  EXPECT_NE(page.find("obs_escape_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, CollectorsRunAtScrapeTime) {
+  MetricsRegistry registry;
+  std::uint64_t source = 7;
+  registry.register_collector([&source](CollectSink& sink) {
+    sink.counter("obs_mirrored_total", "mirrored", {{"site", "x"}},
+                 static_cast<double>(source));
+    sink.gauge("obs_live", "live", {}, 1.5);
+  });
+  source = 9;  // the scrape must see the value at scrape time, not registration
+  const std::string page = registry.to_prometheus();
+  EXPECT_NE(page.find("obs_mirrored_total{site=\"x\"} 9\n"), std::string::npos);
+  EXPECT_NE(page.find("obs_live 1.5\n"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE obs_live gauge\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, MergedExpositionSpansRegistries) {
+  MetricsRegistry first;
+  MetricsRegistry second;
+  first.counter("obs_first_total", "first").inc(1);
+  second.counter("obs_second_total", "second").inc(2);
+  const std::string page = to_prometheus({&first, &second});
+  EXPECT_NE(page.find("obs_first_total 1\n"), std::string::npos);
+  EXPECT_NE(page.find("obs_second_total 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, DisabledRecordingIsSkipped) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("obs_gated_total", "test");
+  set_metrics_enabled(false);
+  counter.inc(100);
+  set_metrics_enabled(true);
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging
+// ---------------------------------------------------------------------------
+
+class LogCapture {
+ public:
+  LogCapture() {
+    set_log_sink([this](std::string_view line) { lines_.emplace_back(line); });
+  }
+  ~LogCapture() {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+    set_log_json(false);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(Log, LevelGateFiltersBelowThreshold) {
+  LogCapture capture;
+  set_log_level(LogLevel::kWarn);
+  log_info("test", "dropped info");
+  log_debug("test", "dropped debug");
+  log_warn("test", "kept warn", {{"key", "value"}, {"n", 42}});
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  EXPECT_NE(line.find("WARN"), std::string::npos);
+  EXPECT_NE(line.find("test"), std::string::npos);
+  EXPECT_NE(line.find("kept warn"), std::string::npos);
+  EXPECT_NE(line.find("key=value"), std::string::npos);
+  EXPECT_NE(line.find("n=42"), std::string::npos);
+}
+
+TEST(Log, TextValuesWithSpacesAreQuoted) {
+  LogCapture capture;
+  set_log_level(LogLevel::kInfo);
+  log_info("test", "quoting", {{"reason", "no such file"}});
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_NE(capture.lines()[0].find("reason=\"no such file\""), std::string::npos);
+}
+
+TEST(Log, JsonLinesParseWithOwnJsonParser) {
+  LogCapture capture;
+  set_log_level(LogLevel::kInfo);
+  set_log_json(true);
+  log_info("loader", "source degraded",
+           {{"source", "RIPE"}, {"bytes", 1234u}, {"ratio", 0.5}, {"ok", false}});
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const json::Value parsed = json::parse(capture.lines()[0]);
+  const json::Object& object = parsed.as_object();
+  EXPECT_EQ(object.at("level").as_string(), "info");
+  EXPECT_EQ(object.at("component").as_string(), "loader");
+  EXPECT_EQ(object.at("msg").as_string(), "source degraded");
+  EXPECT_EQ(object.at("source").as_string(), "RIPE");
+  EXPECT_EQ(object.at("bytes").as_int(), 1234);
+  EXPECT_DOUBLE_EQ(object.at("ratio").as_double(), 0.5);
+  EXPECT_FALSE(object.at("ok").as_bool());
+}
+
+TEST(Log, RateLimitCapsBurstPerWindow) {
+  LogCapture capture;
+  set_log_level(LogLevel::kInfo);
+  const std::uint32_t attempts = kRateLimitBurst + 10;
+  for (std::uint32_t i = 0; i < attempts; ++i) {
+    log_info("ratelimit-test", "flood message", {{"i", i}});
+  }
+  EXPECT_EQ(capture.lines().size(), kRateLimitBurst);
+  // A different (component, message) key is unaffected by the flood.
+  log_info("ratelimit-test", "another message");
+  EXPECT_EQ(capture.lines().size(), kRateLimitBurst + 1);
+  // When the window rolls over, the first line through reports how many
+  // were suppressed.
+  std::this_thread::sleep_for(kRateLimitWindow + std::chrono::milliseconds(50));
+  log_info("ratelimit-test", "flood message");
+  ASSERT_EQ(capture.lines().size(), kRateLimitBurst + 2);
+  EXPECT_NE(capture.lines().back().find("suppressed=10"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  Tracer::global().set_enabled(false);
+  {
+    Span span("obs.test.noop");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(Tracer::global().records().empty());
+}
+
+TEST(Trace, SpanNestingDepthAndChromeTraceExport) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  {
+    Span outer("obs.test.outer", "corpus");
+    {
+      Span inner("obs.test.inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  tracer.set_enabled(false);
+  const std::vector<SpanRecord> records = tracer.records();
+  ASSERT_EQ(records.size(), 2u);
+  // Spans complete inner-first.
+  EXPECT_EQ(records[0].name, "obs.test.inner");
+  EXPECT_EQ(records[0].depth, 1u);
+  EXPECT_EQ(records[1].name, "obs.test.outer");
+  EXPECT_EQ(records[1].depth, 0u);
+  EXPECT_EQ(records[1].arg, "corpus");
+  EXPECT_GE(records[1].wall_us, records[0].wall_us);
+  // The inner span starts no earlier and ends no later than the outer one.
+  EXPECT_GE(records[0].start_us, records[1].start_us);
+  EXPECT_LE(records[0].start_us + records[0].wall_us,
+            records[1].start_us + records[1].wall_us);
+
+  // The exported document is valid JSON in chrome://tracing shape, parsed
+  // with our own parser.
+  const json::Value parsed = json::parse(tracer.chrome_trace());
+  const json::Object& document = parsed.as_object();
+  const json::Array& events = document.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const json::Value& event : events) {
+    const json::Object& fields = event.as_object();
+    EXPECT_EQ(fields.at("ph").as_string(), "X");
+    EXPECT_EQ(fields.at("pid").as_int(), 1);
+    EXPECT_GE(fields.at("dur").as_int(), 0);
+    EXPECT_TRUE(fields.contains("ts"));
+    EXPECT_TRUE(fields.contains("name"));
+  }
+
+  const std::string table = tracer.summary_table();
+  EXPECT_NE(table.find("obs.test.outer"), std::string::npos);
+  EXPECT_NE(table.find("obs.test.inner"), std::string::npos);
+  tracer.clear();
+}
+
+TEST(Trace, EnablingClearsPriorRecords) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  { Span span("obs.test.first"); }
+  EXPECT_EQ(tracer.records().size(), 1u);
+  tracer.set_enabled(true);  // re-enable = fresh session
+  EXPECT_TRUE(tracer.records().empty());
+  tracer.set_enabled(false);
+  tracer.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint observability bridge
+// ---------------------------------------------------------------------------
+
+TEST(FailpointBridge, FiringEmitsLogAndMetric) {
+  install_failpoint_observer();
+  LogCapture capture;
+  set_log_level(LogLevel::kWarn);
+  fp::clear_all();
+  ASSERT_TRUE(fp::set("obs.test.site", "2*error(boom)"));
+  EXPECT_TRUE(fp::hit("obs.test.site").is_error());
+  EXPECT_TRUE(fp::hit("obs.test.site").is_error());
+  EXPECT_FALSE(fp::hit("obs.test.site"));  // budget exhausted
+
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_NE(capture.lines()[0].find("failpoint"), std::string::npos);
+  EXPECT_NE(capture.lines()[0].find("obs.test.site"), std::string::npos);
+  EXPECT_NE(capture.lines()[0].find("boom"), std::string::npos);
+
+  const std::string page = MetricsRegistry::global().to_prometheus();
+  EXPECT_NE(page.find("rpslyzer_failpoint_fires_total{site=\"obs.test.site\"} 2"),
+            std::string::npos);
+  fp::clear_all();
+}
+
+}  // namespace
+}  // namespace rpslyzer::obs

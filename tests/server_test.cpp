@@ -58,19 +58,44 @@ TEST(ResponseCache, NormalizeQueryKey) {
 }
 
 // ---------------------------------------------------------------------------
-// LatencyHistogram
+// ServerStats (registry-backed)
 // ---------------------------------------------------------------------------
 
-TEST(LatencyHistogram, Percentiles) {
-  LatencyHistogram histogram;
-  EXPECT_EQ(histogram.percentile_micros(99), 0u);
-  for (int i = 0; i < 99; ++i) histogram.record(3);  // bucket [2,4)
-  histogram.record(5000);                            // bucket [4096,8192)
-  EXPECT_EQ(histogram.count(), 100u);
-  EXPECT_EQ(histogram.percentile_micros(50), 4u);
-  EXPECT_EQ(histogram.percentile_micros(99), 4u);
-  EXPECT_EQ(histogram.percentile_micros(100), 8192u);
-  EXPECT_GT(histogram.mean_micros(), 3u);
+TEST(ServerStats, LatencyPercentiles) {
+  rpslyzer::obs::MetricsRegistry registry;
+  ServerStats stats(registry, ServerStats::default_latency_bounds());
+  ServerStats::Snapshot empty = stats.snapshot();
+  EXPECT_EQ(empty.latency_percentile_micros(99, stats.latency.bounds()), 0u);
+  for (int i = 0; i < 99; ++i) stats.latency.observe(3e-6);  // bucket (2µs,4µs]
+  stats.latency.observe(5e-3);  // bucket (4096µs,8192µs]
+  ServerStats::Snapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.latency.count, 100u);
+  EXPECT_EQ(snap.latency_percentile_micros(50, stats.latency.bounds()), 4u);
+  EXPECT_EQ(snap.latency_percentile_micros(99, stats.latency.bounds()), 4u);
+  EXPECT_EQ(snap.latency_percentile_micros(100, stats.latency.bounds()), 8192u);
+  EXPECT_GT(snap.latency_mean_micros(), 3u);
+}
+
+TEST(ServerStats, SnapshotSubsetsNeverExceedTotals) {
+  rpslyzer::obs::MetricsRegistry registry;
+  ServerStats stats(registry, ServerStats::default_latency_bounds());
+  // Writers bump the total before the subset; snapshot() reads the subset
+  // first. Hammer both from a writer thread while snapshotting and assert
+  // the invariant admin <= total holds in every observed snapshot.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      stats.queries_total.inc();
+      stats.admin_queries.inc();
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const ServerStats::Snapshot snap = stats.snapshot();
+    ASSERT_LE(snap.admin_queries, snap.queries_total);
+    ASSERT_LE(snap.queries_errors, snap.queries_total);
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
 }
 
 // ---------------------------------------------------------------------------
@@ -180,14 +205,14 @@ TEST(Server, PipelinedQueriesFromConcurrentConnectionsMatchEngine) {
   EXPECT_EQ(mismatches.load(), 0);
 
   const auto& stats = server.stats();
-  EXPECT_EQ(stats.connections_accepted.load(), kConnections);
-  EXPECT_GE(stats.queries_total.load(),
+  EXPECT_EQ(stats.connections_accepted.value(), kConnections);
+  EXPECT_GE(stats.queries_total.value(),
             static_cast<std::uint64_t>(kConnections * kRounds * queries.size()));
   EXPECT_GT(server.cache_stats().hits, 0u);
 
   server.stop();
   EXPECT_FALSE(server.running());
-  EXPECT_EQ(server.stats().connections_open.load(), 0u);
+  EXPECT_EQ(server.stats().connections_open.value(), 0);
 }
 
 TEST(Server, ReloadSwapsCorpusAndInvalidatesCache) {
@@ -232,7 +257,7 @@ TEST(Server, ReloadSwapsCorpusAndInvalidatesCache) {
 
   client->send_line("!q");
   server.stop();
-  EXPECT_EQ(server.stats().connections_open.load(), 0u);
+  EXPECT_EQ(server.stats().connections_open.value(), 0);
 }
 
 TEST(Server, AdminCommandsAndProtocolEdges) {
@@ -264,7 +289,62 @@ TEST(Server, AdminCommandsAndProtocolEdges) {
   EXPECT_FALSE(hog->read_response().has_value());  // server closed
 
   server.stop();
-  EXPECT_EQ(server.stats().connections_open.load(), 0u);
+  EXPECT_EQ(server.stats().connections_open.value(), 0);
+}
+
+TEST(Server, MetricsQueryServesPrometheusExposition) {
+  Server server(test_config(), [] { return make_corpus(kCorpusV1); });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+  // Drive a little traffic first so the page has non-zero series.
+  ASSERT_TRUE(client->send_line("!gAS64500"));
+  ASSERT_TRUE(client->read_response().has_value());
+  ASSERT_TRUE(client->send_line("!gAS64500"));  // cache hit
+  ASSERT_TRUE(client->read_response().has_value());
+
+  ASSERT_TRUE(client->send_line("!metrics"));
+  auto framed = client->read_response();
+  ASSERT_TRUE(framed.has_value());
+  ASSERT_EQ(framed->front(), 'A');
+  const std::size_t newline = framed->find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string page = framed->substr(newline + 1);
+
+  // Valid exposition structure: every sample line's family has HELP + TYPE.
+  EXPECT_NE(page.find("# HELP rpslyzer_server_queries_total "), std::string::npos);
+  EXPECT_NE(page.find("# TYPE rpslyzer_server_queries_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE rpslyzer_server_query_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(page.find("rpslyzer_server_query_latency_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  // Series spanning server, cache, and (global registry) query engine.
+  EXPECT_NE(page.find("rpslyzer_server_connections_open 1\n"), std::string::npos);
+  EXPECT_NE(page.find("rpslyzer_cache_hits_total 1\n"), std::string::npos);
+  EXPECT_NE(page.find("rpslyzer_server_generation 1\n"), std::string::npos);
+  EXPECT_NE(page.find("rpslyzer_query_evaluations_total{op=\"g\"}"), std::string::npos);
+
+  // The acceptance bar: at least 15 distinct metric families on the page.
+  std::size_t families = 0;
+  for (std::size_t pos = page.find("# TYPE "); pos != std::string::npos;
+       pos = page.find("# TYPE ", pos + 1)) {
+    ++families;
+  }
+  EXPECT_GE(families, 15u) << page;
+
+  // !stats coherence: admin/error counts can never exceed the total.
+  ASSERT_TRUE(client->send_line("!stats"));
+  auto stats_response = client->read_response();
+  ASSERT_TRUE(stats_response.has_value());
+  const ServerStats::Snapshot snap = server.stats().snapshot();
+  EXPECT_LE(snap.admin_queries, snap.queries_total);
+  EXPECT_LE(snap.queries_errors, snap.queries_total);
+
+  client->send_line("!q");
+  server.stop();
 }
 
 TEST(Server, MaxConnectionGuardRefusesExtras) {
@@ -290,7 +370,7 @@ TEST(Server, MaxConnectionGuardRefusesExtras) {
   ASSERT_TRUE(refusal.has_value());
   EXPECT_EQ(*refusal, "F too many connections\n");
   EXPECT_FALSE(third->read_response().has_value());  // closed
-  EXPECT_EQ(server.stats().connections_rejected.load(), 1u);
+  EXPECT_EQ(server.stats().connections_rejected.value(), 1u);
 
   server.stop();
 }
@@ -306,7 +386,7 @@ TEST(Server, IdleConnectionsAreReaped) {
   ASSERT_TRUE(client.has_value());
   // Do nothing: the sweep must close us. read_response returns EOF.
   EXPECT_FALSE(client->read_response().has_value());
-  EXPECT_EQ(server.stats().connections_idle_closed.load(), 1u);
+  EXPECT_EQ(server.stats().connections_idle_closed.value(), 1u);
   server.stop();
 }
 

@@ -2,7 +2,7 @@
 //
 //   loadgen [--host H] [--port P] [--connections N] [--pipeline K]
 //           [--requests N] [--duration-ms D] [--fault-churn] [--json]
-//           [--stats] <query...>
+//           [--stats] [--metrics-ms D] [--target-qps Q] <query...>
 //
 // Opens N concurrent connections, each cycling through the given query mix
 // in pipelined batches of K, and reports sustained throughput. With
@@ -10,6 +10,12 @@
 // --requests queries (default 1000). --stats fetches the daemon's `!stats`
 // afterwards (cache hit ratio, latency percentiles); --json emits one
 // machine-readable line for trend tracking across PRs.
+//
+// --metrics-ms polls the daemon's `!metrics` Prometheus page on a side
+// connection during the run and, at the end, reports the *server-side* p50
+// and p99 service latency computed from the latency histogram's bucket
+// deltas (start-of-run vs end-of-run, so a long-lived daemon's history does
+// not pollute the numbers). --target-qps Q adds an achieved-vs-target line.
 //
 // --fault-churn turns each worker into a hostile client: it randomly drops
 // connections without `!q`, reconnects, leaves half-written lines on the
@@ -20,10 +26,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -41,6 +50,8 @@ struct Options {
   std::size_t pipeline = 16;
   std::size_t requests = 1000;  // per connection, when no duration given
   long long duration_ms = 0;
+  long long metrics_ms = 0;  // poll !metrics every D ms (0 = off)
+  double target_qps = 0;     // compare achieved throughput against this
   bool fault_churn = false;
   bool json = false;
   bool stats = false;
@@ -51,8 +62,98 @@ int usage() {
   std::fprintf(stderr,
                "usage: loadgen --port P [--host H] [--connections N] [--pipeline K]\n"
                "               [--requests N] [--duration-ms D] [--fault-churn]\n"
-               "               [--json] [--stats] <query...>\n");
+               "               [--json] [--stats] [--metrics-ms D] [--target-qps Q]\n"
+               "               <query...>\n");
   return 2;
+}
+
+// ---------------------------------------------------------------------------
+// !metrics scraping: enough Prometheus text parsing to pull the server-side
+// latency histogram and query counter out of the exposition page.
+// ---------------------------------------------------------------------------
+
+struct MetricsSample {
+  std::vector<std::pair<double, std::uint64_t>> buckets;  // (le, cumulative)
+  std::uint64_t latency_count = 0;
+  std::uint64_t queries_total = 0;
+  bool ok = false;
+};
+
+/// Strip the IRRd frame ("A<len>\n<payload>C\n") down to the payload.
+std::string unframe(const std::string& response) {
+  if (response.empty() || response.front() != 'A') return {};
+  const std::size_t newline = response.find('\n');
+  if (newline == std::string::npos) return {};
+  const long long length = std::atoll(response.c_str() + 1);
+  if (length <= 0 ||
+      newline + 1 + static_cast<std::size_t>(length) > response.size()) {
+    return {};
+  }
+  return response.substr(newline + 1, static_cast<std::size_t>(length));
+}
+
+MetricsSample scrape_metrics(const Options& options) {
+  MetricsSample sample;
+  auto client = Client::connect(options.host, options.port);
+  if (!client) return sample;
+  if (!client->send_line("!metrics")) return sample;
+  auto response = client->read_response();
+  client->send_line("!q");
+  if (!response) return sample;
+  const std::string page = unframe(*response);
+
+  constexpr std::string_view kBucket =
+      "rpslyzer_server_query_latency_seconds_bucket{le=\"";
+  constexpr std::string_view kCount = "rpslyzer_server_query_latency_seconds_count ";
+  constexpr std::string_view kQueries = "rpslyzer_server_queries_total ";
+  std::size_t pos = 0;
+  while (pos < page.size()) {
+    std::size_t end = page.find('\n', pos);
+    if (end == std::string::npos) end = page.size();
+    const std::string_view line(page.data() + pos, end - pos);
+    pos = end + 1;
+    if (line.substr(0, kBucket.size()) == kBucket) {
+      const std::string_view rest = line.substr(kBucket.size());
+      const std::size_t quote = rest.find('"');
+      const std::size_t space = rest.rfind(' ');
+      if (quote == std::string_view::npos || space == std::string_view::npos) continue;
+      const std::string le_text(rest.substr(0, quote));
+      const double le = le_text == "+Inf" ? HUGE_VAL : std::atof(le_text.c_str());
+      sample.buckets.emplace_back(
+          le, std::strtoull(rest.data() + space + 1, nullptr, 10));
+    } else if (line.substr(0, kCount.size()) == kCount) {
+      sample.latency_count = std::strtoull(line.data() + kCount.size(), nullptr, 10);
+      sample.ok = true;
+    } else if (line.substr(0, kQueries.size()) == kQueries) {
+      sample.queries_total = std::strtoull(line.data() + kQueries.size(), nullptr, 10);
+    }
+  }
+  return sample;
+}
+
+/// Percentile over the *delta* between two cumulative-histogram samples, in
+/// microseconds: what this run alone did to the server, independent of any
+/// traffic the daemon saw before the run started.
+std::uint64_t delta_percentile_micros(const MetricsSample& before,
+                                      const MetricsSample& after, double p) {
+  if (!before.ok || !after.ok || before.buckets.size() != after.buckets.size()) {
+    return 0;
+  }
+  const std::uint64_t total = after.latency_count - before.latency_count;
+  if (total == 0) return 0;
+  const double target = static_cast<double>(total) * p / 100.0;
+  double last_finite = 0;
+  for (std::size_t i = 0; i < after.buckets.size(); ++i) {
+    const double le = after.buckets[i].first;
+    if (std::isfinite(le)) last_finite = le;
+    const std::uint64_t cumulative =
+        after.buckets[i].second - before.buckets[i].second;
+    if (static_cast<double>(cumulative) >= target) {
+      return static_cast<std::uint64_t>(
+          std::llround((std::isfinite(le) ? le : last_finite) * 1e6));
+    }
+  }
+  return static_cast<std::uint64_t>(std::llround(last_finite * 1e6));
 }
 
 struct WorkerResult {
@@ -194,6 +295,14 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return usage();
       options.duration_ms = std::atoll(v);
+    } else if (arg == "--metrics-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.metrics_ms = std::atoll(v);
+    } else if (arg == "--target-qps") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.target_qps = std::atof(v);
     } else if (arg == "--fault-churn") {
       options.fault_churn = true;
     } else if (arg == "--json") {
@@ -211,6 +320,42 @@ int main(int argc, char** argv) {
   // Churn mode is inherently time-boxed; give it a default window.
   if (options.fault_churn && options.duration_ms <= 0) options.duration_ms = 2000;
 
+  // Metrics polling rides a side connection: one scrape before the workers
+  // start, periodic scrapes during the run (for progress), one at the end.
+  MetricsSample metrics_before;
+  std::atomic<bool> poll_stop{false};
+  std::thread poller;
+  if (options.metrics_ms > 0) {
+    metrics_before = scrape_metrics(options);
+    if (!metrics_before.ok) {
+      std::fprintf(stderr, "loadgen: cannot scrape !metrics from %s:%u\n",
+                   options.host.c_str(), options.port);
+    }
+    poller = std::thread([&options, &poll_stop] {
+      std::uint64_t last_queries = 0;
+      auto last_when = Clock::now();
+      bool first = true;
+      while (!poll_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(options.metrics_ms));
+        if (poll_stop.load(std::memory_order_acquire)) break;
+        const MetricsSample sample = scrape_metrics(options);
+        if (!sample.ok) continue;
+        const auto now = Clock::now();
+        const double seconds = std::chrono::duration<double>(now - last_when).count();
+        if (!first && seconds > 0) {
+          const double interval_qps =
+              static_cast<double>(sample.queries_total - last_queries) / seconds;
+          std::fprintf(stderr, "loadgen: server queries=%llu (~%.0f q/s)\n",
+                       static_cast<unsigned long long>(sample.queries_total),
+                       interval_qps);
+        }
+        last_queries = sample.queries_total;
+        last_when = now;
+        first = false;
+      }
+    });
+  }
+
   const auto start = Clock::now();
   const auto deadline = start + std::chrono::milliseconds(options.duration_ms);
   std::vector<WorkerResult> results(options.connections);
@@ -227,6 +372,12 @@ int main(int argc, char** argv) {
   }
   for (auto& worker : workers) worker.join();
   const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  MetricsSample metrics_after;
+  if (options.metrics_ms > 0) {
+    poll_stop.store(true, std::memory_order_release);
+    metrics_after = scrape_metrics(options);
+    if (poller.joinable()) poller.join();
+  }
 
   WorkerResult total;
   bool any_failed = false;
@@ -263,6 +414,21 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(total.reconnects),
                   static_cast<unsigned long long>(total.half_lines));
     }
+  }
+
+  if (options.target_qps > 0) {
+    std::printf("loadgen: achieved %.0f q/s of %.0f q/s target (%.1f%%)\n", qps,
+                options.target_qps, 100.0 * qps / options.target_qps);
+  }
+  if (options.metrics_ms > 0 && metrics_before.ok && metrics_after.ok) {
+    const std::uint64_t observed = metrics_after.latency_count - metrics_before.latency_count;
+    std::printf("loadgen: server-side latency over this run: p50<=%lluus p99<=%lluus "
+                "(%llu queries observed via !metrics)\n",
+                static_cast<unsigned long long>(
+                    delta_percentile_micros(metrics_before, metrics_after, 50)),
+                static_cast<unsigned long long>(
+                    delta_percentile_micros(metrics_before, metrics_after, 99)),
+                static_cast<unsigned long long>(observed));
   }
 
   if (options.stats) {

@@ -21,6 +21,8 @@
 
 #include "rpslyzer/lint/classify.hpp"
 #include "rpslyzer/lint/linter.hpp"
+#include "rpslyzer/obs/log.hpp"
+#include "rpslyzer/obs/trace.hpp"
 #include "rpslyzer/query/query.hpp"
 #include "rpslyzer/report/aggregate.hpp"
 #include "rpslyzer/report/render.hpp"
@@ -35,9 +37,10 @@ using namespace rpslyzer;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rpslyzer <command> ...\n"
+               "usage: rpslyzer [--log-level L] [--log-json] <command> ...\n"
                "  generate <dir> [scale] [seed]   synthesize an IRR+BGP corpus\n"
                "  parse <dir>                     parse dumps and print a census\n"
+               "  load <dir> [--trace-out F]      load + index, print per-stage timings\n"
                "  lint <dir>                      lint the corpus\n"
                "  export <dir> <out.json>         export the IR as JSON\n"
                "  report <dir> <prefix> <asn...>  verify one route (Appendix-C style)\n"
@@ -47,7 +50,9 @@ int usage() {
                "    serve flags: [--port N] [--threads N] [--cache N] [--max-conns N]\n"
                "                 [--idle-ms N] [--stats-ms N] [--deadline-ms N]\n"
                "                 [--max-out-kb N] [--stall-grace-ms N] [--retry-ms N]\n"
-               "                 [--retry-max-ms N] [--scale F] [--seed N]\n");
+               "                 [--retry-max-ms N] [--scale F] [--seed N]\n"
+               "                 [--metrics-file PATH] [--metrics-file-ms N]\n"
+               "  log levels: debug info warn error off (also via RPSLYZER_LOG)\n");
   return 2;
 }
 
@@ -104,6 +109,53 @@ int cmd_parse(int argc, char** argv) {
     std::printf("  %s=%zu", lint::to_string(cls), count);
   }
   std::printf("\n");
+  return 0;
+}
+
+// `load` is the pipeline under a stopwatch: every stage the loader and
+// indexer run is wrapped in an obs::Span, so this prints a per-stage
+// wall/CPU table and (with --trace-out) writes the same spans as a
+// chrome://tracing JSON file for flame-style inspection.
+int cmd_load(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::string dir;
+  std::string trace_out;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trace-out") {
+      if (i + 1 >= argc) return usage();
+      trace_out = argv[++i];
+    } else if (!arg.empty() && arg.front() != '-' && dir.empty()) {
+      dir = arg;
+    } else {
+      std::fprintf(stderr, "load: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (dir.empty()) return usage();
+  if (!corpus_dir_ok(dir)) return 1;
+
+  obs::Tracer::global().set_enabled(true);
+  {
+    Rpslyzer lyzer = load(dir);
+    irr::Index index(lyzer.ir());
+    index.prewarm();
+    std::printf("loaded %zu objects (%zu aut-nums, %zu routes) from %s\n",
+                lyzer.ir().object_count(), lyzer.ir().aut_nums.size(),
+                lyzer.ir().routes.size(), dir.c_str());
+  }
+  obs::Tracer::global().set_enabled(false);
+
+  std::fputs(obs::Tracer::global().summary_table().c_str(), stdout);
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!obs::Tracer::global().write_chrome_trace(trace_out, &error)) {
+      std::fprintf(stderr, "load: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace spans to %s (open in chrome://tracing)\n",
+                obs::Tracer::global().records().size(), trace_out.c_str());
+  }
   return 0;
 }
 
@@ -275,6 +327,14 @@ int cmd_serve(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return usage();
       config.reload_retry_max = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--metrics-file") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.metrics_snapshot_path = v;
+    } else if (arg == "--metrics-file-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.metrics_snapshot_interval = std::chrono::milliseconds(std::atoll(v));
     } else if (arg == "--scale") {
       const char* v = next_value();
       if (!v) return usage();
@@ -340,12 +400,34 @@ int cmd_serve(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const char* command = argv[1];
-  argc -= 2;
-  argv += 2;
+  // Global telemetry flags may precede the command; RPSLYZER_LOG already
+  // configured the defaults, these override it.
+  int first = 1;
+  while (first < argc) {
+    const std::string_view arg = argv[first];
+    if (arg == "--log-json") {
+      rpslyzer::obs::set_log_json(true);
+      ++first;
+    } else if (arg == "--log-level") {
+      if (first + 1 >= argc) return usage();
+      const auto level = rpslyzer::obs::parse_log_level(argv[first + 1]);
+      if (!level) {
+        std::fprintf(stderr, "bad --log-level %s\n", argv[first + 1]);
+        return usage();
+      }
+      rpslyzer::obs::set_log_level(*level);
+      first += 2;
+    } else {
+      break;
+    }
+  }
+  if (argc - first < 1) return usage();
+  const char* command = argv[first];
+  argv += first + 1;
+  argc -= first + 1;
   if (std::strcmp(command, "generate") == 0) return cmd_generate(argc, argv);
   if (std::strcmp(command, "parse") == 0) return cmd_parse(argc, argv);
+  if (std::strcmp(command, "load") == 0) return cmd_load(argc, argv);
   if (std::strcmp(command, "lint") == 0) return cmd_lint(argc, argv);
   if (std::strcmp(command, "export") == 0) return cmd_export(argc, argv);
   if (std::strcmp(command, "report") == 0) return cmd_report(argc, argv);

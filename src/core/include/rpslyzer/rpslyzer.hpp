@@ -26,13 +26,19 @@ class Rpslyzer {
   /// Parse in-memory dumps (IRR name -> text, merged in the given map's
   /// iteration order, which must be priority order — or use the overload
   /// with an explicit order) plus CAIDA serial-1 relationship text.
+  /// `options.threads` controls the sharded parallel parse (0 = hardware
+  /// concurrency, 1 = serial); the result is identical either way.
   static Rpslyzer from_texts(const std::vector<std::pair<std::string, std::string>>& dumps,
-                             const std::string& caida_serial1);
+                             const std::string& caida_serial1,
+                             const irr::LoadOptions& options = {});
 
   /// Load "<irr>.db" files for the 13 Table-1 IRRs from `irr_directory`
   /// plus `relationships` (CAIDA serial-1). Missing files are tolerated.
+  /// `options` carries the integrity-guard and parallelism knobs handed to
+  /// irr::load_irrs.
   static Rpslyzer from_files(const std::filesystem::path& irr_directory,
-                             const std::filesystem::path& relationships);
+                             const std::filesystem::path& relationships,
+                             const irr::LoadOptions& options = {});
 
   const ir::Ir& ir() const noexcept { return *ir_; }
   const irr::Index& index() const noexcept { return *index_; }

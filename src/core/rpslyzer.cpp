@@ -9,14 +9,16 @@
 namespace rpslyzer {
 
 Rpslyzer Rpslyzer::from_texts(const std::vector<std::pair<std::string, std::string>>& dumps,
-                              const std::string& caida_serial1) {
+                              const std::string& caida_serial1,
+                              const irr::LoadOptions& options) {
   Rpslyzer lyzer;
   lyzer.ir_ = std::make_unique<ir::Ir>();
   irr::RouteKeySet seen_routes;
   for (const auto& [name, text] : dumps) {
     irr::IrrCounts counts;
     counts.name = name;
-    ir::Ir parsed = irr::parse_dump(text, name, lyzer.diagnostics_, &counts);
+    ir::Ir parsed = irr::parse_dump_parallel(text, name, lyzer.diagnostics_, &counts,
+                                             options.threads, options.shard_target_bytes);
     lyzer.raw_route_objects_ += parsed.routes.size();
     irr::merge_into(*lyzer.ir_, std::move(parsed), &seen_routes);
     lyzer.irr_counts_.push_back(std::move(counts));
@@ -31,9 +33,10 @@ Rpslyzer Rpslyzer::from_texts(const std::vector<std::pair<std::string, std::stri
 }
 
 Rpslyzer Rpslyzer::from_files(const std::filesystem::path& irr_directory,
-                              const std::filesystem::path& relationships) {
+                              const std::filesystem::path& relationships,
+                              const irr::LoadOptions& options) {
   Rpslyzer lyzer;
-  irr::LoadResult loaded = irr::load_irrs(irr::table1_sources(irr_directory));
+  irr::LoadResult loaded = irr::load_irrs(irr::table1_sources(irr_directory), options);
   lyzer.ir_ = std::make_unique<ir::Ir>(std::move(loaded.ir));
   lyzer.diagnostics_ = std::move(loaded.diagnostics);
   lyzer.irr_counts_ = std::move(loaded.counts);

@@ -62,12 +62,24 @@ struct SourceOutcome {
 
 const char* to_string(SourceStatus s) noexcept;
 
-/// Knobs for integrity checks during loading.
+/// Knobs for integrity checks and parallelism during loading.
 struct LoadOptions {
   /// A single raw object larger than this is treated as dump corruption
   /// (e.g. lost blank-line separators) and quarantines the source.
   /// 0 disables the guard.
   std::size_t max_object_bytes = 8u << 20;
+
+  /// Worker threads for the parallel ingestion pipeline: sources are read
+  /// concurrently and each dump is lexed/parsed as blank-line-separated
+  /// shards across the pool, then merged deterministically so the result is
+  /// byte-identical to the serial path. 0 = hardware_concurrency; 1 forces
+  /// the reference serial path.
+  unsigned threads = 0;
+
+  /// Target shard size for within-dump parse parallelism. Shards are cut
+  /// only at true object boundaries, so a single object larger than this
+  /// becomes one oversized shard rather than being split.
+  std::size_t shard_target_bytes = 1u << 20;
 };
 
 struct LoadResult {
@@ -89,6 +101,20 @@ using RouteKeySet = std::set<std::pair<net::Prefix, ir::Asn>>;
 ir::Ir parse_dump(std::string_view text, std::string_view source,
                   util::Diagnostics& diagnostics, IrrCounts* counts = nullptr);
 
+/// Parse one dump by cutting it into blank-line-separated shards and
+/// lexing/parsing them on `threads` workers (0 = hardware_concurrency;
+/// <= 1 delegates to parse_dump). Shard fragments are merged in shard
+/// order — maps first-wins, routes concatenated undeduplicated — so the
+/// returned Ir, `diagnostics` (including line numbers), and `counts` are
+/// identical to parse_dump's regardless of thread count. The "irr.parse"
+/// failpoint is evaluated exactly once, on the calling thread, before
+/// sharding; a shard worker exception is rethrown after the completed
+/// shard prefix's diagnostics are merged, mirroring the serial path's
+/// fail-mid-dump behavior.
+ir::Ir parse_dump_parallel(std::string_view text, std::string_view source,
+                           util::Diagnostics& diagnostics, IrrCounts* counts,
+                           unsigned threads, std::size_t shard_target_bytes = 1u << 20);
+
 /// Merge `src` into `dst` with first-wins priority (dst's existing objects
 /// are kept). Route objects are deduplicated by (prefix, origin). When
 /// `seen` is given it must already cover dst's routes; it is updated in
@@ -99,6 +125,18 @@ void merge_into(ir::Ir& dst, ir::Ir&& src, RouteKeySet* seen = nullptr);
 /// (warning, skipped); files failing mid-read, integrity guards, or parser
 /// exceptions are quarantined (error, nothing merged). Either way the
 /// remaining sources still load.
+///
+/// With options.threads > 1 (the default resolves to hardware_concurrency)
+/// sources are read on a bounded pool and each dump parses as parallel
+/// shards, but outcomes, diagnostics, counts, and the merged corpus are
+/// byte-identical to the threads == 1 serial reference: per-source results
+/// merge on the coordinating thread in priority order, and within a source
+/// shard fragments merge in shard order. A fault in one shard quarantines
+/// only that source. The "irr.parse" and "irr.merge" failpoints still fire
+/// once per source, in priority order, on the coordinating thread;
+/// "irr.open"/"irr.read" fire per source on pool workers, so their N*
+/// budgets land on a nondeterministic *subset* of sources under parallel
+/// loading (unbounded actions behave identically either way).
 LoadResult load_irrs(const std::vector<IrrSource>& sources,
                      const LoadOptions& options = {});
 

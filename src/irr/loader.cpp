@@ -1,9 +1,12 @@
 #include "rpslyzer/irr/loader.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <exception>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "rpslyzer/obs/log.hpp"
 #include "rpslyzer/obs/metrics.hpp"
@@ -72,6 +75,90 @@ std::size_t largest_object_bytes(std::string_view text) {
   return largest;
 }
 
+unsigned resolve_threads(unsigned threads) {
+  return threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : threads;
+}
+
+/// The lex+parse core shared by the serial and sharded paths: no failpoint,
+/// no span, no counts->bytes — callers own those so each fires exactly once
+/// per dump regardless of shard count. Lexer and parser diagnostics go to
+/// *separate* sinks because the serial path reports all lexer diagnostics
+/// before any parser diagnostic (lex_objects finishes before the parse
+/// loop starts); the shard merge preserves that phase order by merging
+/// every shard's lex sink before any shard's parse sink. Serial callers
+/// pass the same sink twice.
+void parse_text_into(std::string_view text, std::string_view source,
+                     std::size_t line_offset, ir::Ir& ir,
+                     util::Diagnostics& lex_diagnostics,
+                     util::Diagnostics& diagnostics, IrrCounts* counts) {
+  auto raw_objects = rpsl::lex_objects(text, source, lex_diagnostics, line_offset);
+  if (counts != nullptr) counts->objects += raw_objects.size();
+  for (const auto& raw : raw_objects) {
+    rpsl::ParsedObject parsed = rpsl::parse_object(raw, diagnostics);
+    std::visit(util::overloaded{
+                   [](std::monostate) {},
+                   [&](ir::AutNum& an) {
+                     if (counts != nullptr) {
+                       ++counts->aut_nums;
+                       count_rules(an, *counts);
+                     }
+                     ir.aut_nums.emplace(an.asn, std::move(an));
+                   },
+                   [&](ir::AsSet& s) {
+                     if (counts != nullptr) ++counts->as_sets;
+                     ir.as_sets.emplace(s.name, std::move(s));
+                   },
+                   [&](ir::RouteSet& s) {
+                     if (counts != nullptr) ++counts->route_sets;
+                     ir.route_sets.emplace(s.name, std::move(s));
+                   },
+                   [&](ir::PeeringSet& s) {
+                     if (counts != nullptr) ++counts->peering_sets;
+                     ir.peering_sets.emplace(s.name, std::move(s));
+                   },
+                   [&](ir::FilterSet& s) {
+                     if (counts != nullptr) ++counts->filter_sets;
+                     ir.filter_sets.emplace(s.name, std::move(s));
+                   },
+                   [&](ir::RouteObject& r) {
+                     if (counts != nullptr) ++counts->routes;
+                     ir.routes.push_back(std::move(r));
+                   },
+               },
+               parsed);
+  }
+}
+
+/// Merge a shard fragment into the per-dump accumulator. Unlike merge_into
+/// this must NOT deduplicate routes: the serial parse_dump keeps every
+/// route object it sees (dedup happens later, across sources, in
+/// merge_into), so shard fragments concatenate routes in shard order and
+/// only the keyed maps resolve first-wins (dst = earlier shards).
+void append_fragment(ir::Ir& dst, ir::Ir&& src) {
+  dst.aut_nums.merge(src.aut_nums);
+  dst.as_sets.merge(src.as_sets);
+  dst.route_sets.merge(src.route_sets);
+  dst.peering_sets.merge(src.peering_sets);
+  dst.filter_sets.merge(src.filter_sets);
+  dst.routes.insert(dst.routes.end(), std::make_move_iterator(src.routes.begin()),
+                    std::make_move_iterator(src.routes.end()));
+  src.routes.clear();
+}
+
+/// Sum a shard's census into the per-dump census (bytes excluded: it is
+/// set once from the whole dump, matching serial parse_dump).
+void accumulate_counts(IrrCounts& total, const IrrCounts& shard) {
+  total.objects += shard.objects;
+  total.aut_nums += shard.aut_nums;
+  total.routes += shard.routes;
+  total.imports += shard.imports;
+  total.exports += shard.exports;
+  total.as_sets += shard.as_sets;
+  total.route_sets += shard.route_sets;
+  total.peering_sets += shard.peering_sets;
+  total.filter_sets += shard.filter_sets;
+}
+
 }  // namespace
 
 const char* to_string(SourceStatus s) noexcept {
@@ -111,44 +198,88 @@ ir::Ir parse_dump(std::string_view text, std::string_view source,
     if (hit.is_truncate()) text = text.substr(0, std::min(text.size(), hit.truncate_at));
   }
   ir::Ir ir;
-  auto raw_objects = rpsl::lex_objects(text, source, diagnostics);
-  if (counts != nullptr) {
-    counts->bytes = text.size();
-    counts->objects += raw_objects.size();
+  if (counts != nullptr) counts->bytes = text.size();
+  parse_text_into(text, source, 0, ir, diagnostics, diagnostics, counts);
+  return ir;
+}
+
+ir::Ir parse_dump_parallel(std::string_view text, std::string_view source,
+                           util::Diagnostics& diagnostics, IrrCounts* counts,
+                           unsigned threads, std::size_t shard_target_bytes) {
+  threads = resolve_threads(threads);
+  if (threads <= 1) return parse_dump(text, source, diagnostics, counts);
+
+  obs::Span span("irr.parse", source);
+  // Same prologue as parse_dump, evaluated exactly once for the whole dump
+  // so failpoint budgets and truncation semantics match the serial path.
+  if (const fp::Hit hit = fp::hit("irr.parse")) {
+    if (hit.is_error()) throw std::runtime_error("irr.parse: " + hit.message);
+    if (hit.is_truncate()) text = text.substr(0, std::min(text.size(), hit.truncate_at));
   }
-  for (const auto& raw : raw_objects) {
-    rpsl::ParsedObject parsed = rpsl::parse_object(raw, diagnostics);
-    std::visit(util::overloaded{
-                   [](std::monostate) {},
-                   [&](ir::AutNum& an) {
-                     if (counts != nullptr) {
-                       ++counts->aut_nums;
-                       count_rules(an, *counts);
-                     }
-                     ir.aut_nums.emplace(an.asn, std::move(an));
-                   },
-                   [&](ir::AsSet& s) {
-                     if (counts != nullptr) ++counts->as_sets;
-                     ir.as_sets.emplace(s.name, std::move(s));
-                   },
-                   [&](ir::RouteSet& s) {
-                     if (counts != nullptr) ++counts->route_sets;
-                     ir.route_sets.emplace(s.name, std::move(s));
-                   },
-                   [&](ir::PeeringSet& s) {
-                     if (counts != nullptr) ++counts->peering_sets;
-                     ir.peering_sets.emplace(s.name, std::move(s));
-                   },
-                   [&](ir::FilterSet& s) {
-                     if (counts != nullptr) ++counts->filter_sets;
-                     ir.filter_sets.emplace(s.name, std::move(s));
-                   },
-                   [&](ir::RouteObject& r) {
-                     if (counts != nullptr) ++counts->routes;
-                     ir.routes.push_back(std::move(r));
-                   },
-               },
-               parsed);
+  if (counts != nullptr) counts->bytes = text.size();
+
+  const std::vector<rpsl::Shard> shards = rpsl::shard_objects(text, shard_target_bytes);
+  auto& registry = obs::MetricsRegistry::global();
+  registry
+      .counter("rpslyzer_loader_shards_total",
+               "Parse shards cut from IRR dumps for parallel lexing")
+      .inc(shards.size());
+  obs::Histogram& throughput = registry.histogram(
+      "rpslyzer_loader_parse_throughput_bytes_per_second",
+      "Per-shard lex+parse throughput", obs::exponential_bounds(1e6, 2.0, 14));
+
+  struct ShardSlot {
+    ir::Ir ir;
+    util::Diagnostics lex_diagnostics;
+    util::Diagnostics parse_diagnostics;
+    IrrCounts counts;
+    std::exception_ptr error;
+  };
+  std::vector<ShardSlot> slots(shards.size());
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= shards.size()) break;
+      ShardSlot& slot = slots[i];
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        obs::Span shard_span("irr.shard", source);
+        parse_text_into(shards[i].text, source, shards[i].line_offset, slot.ir,
+                        slot.lex_diagnostics, slot.parse_diagnostics, &slot.counts);
+      } catch (...) {
+        slot.error = std::current_exception();
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      throughput.observe(static_cast<double>(shards[i].text.size()) /
+                         std::max(seconds, 1e-9));
+    }
+  };
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, shards.size()));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  // Deterministic merge in shard (= text) order, lexer phase before parser
+  // phase — exactly the serial ordering, where lex_objects finishes over
+  // the whole dump before the parse loop starts. On a worker exception the
+  // completed prefix's parser diagnostics are still delivered — like the
+  // serial path failing mid-dump — before the exception resumes here.
+  ir::Ir ir;
+  for (ShardSlot& slot : slots) diagnostics.merge(std::move(slot.lex_diagnostics));
+  for (ShardSlot& slot : slots) {
+    diagnostics.merge(std::move(slot.parse_diagnostics));
+    if (slot.error) std::rethrow_exception(slot.error);
+    if (counts != nullptr) accumulate_counts(*counts, slot.counts);
+    append_fragment(ir, std::move(slot.ir));
   }
   return ir;
 }
@@ -178,7 +309,14 @@ void merge_into(ir::Ir& dst, ir::Ir&& src, RouteKeySet* seen) {
   src.routes.clear();
 }
 
-LoadResult load_irrs(const std::vector<IrrSource>& sources, const LoadOptions& options) {
+namespace {
+
+/// The serial reference pipeline (options.threads == 1): one source at a
+/// time, slurp → lex → parse → merge. The parallel pipeline is proven
+/// byte-identical to this by tests/parallel_loader_test.cpp, so this body
+/// stays deliberately independent of the sharded path.
+LoadResult load_irrs_serial(const std::vector<IrrSource>& sources,
+                            const LoadOptions& options) {
   obs::Span load_span("irr.load");
   auto& registry = obs::MetricsRegistry::global();
   obs::Counter& bytes_read = registry.counter(
@@ -300,6 +438,210 @@ LoadResult load_irrs(const std::vector<IrrSource>& sources, const LoadOptions& o
                  {"routes", result.ir.routes.size()},
                  {"aut_nums", result.ir.aut_nums.size()}});
   return result;
+}
+
+/// What phase A (concurrent per-source I/O) hands to phase B: either the
+/// complete, guard-checked dump bytes or a pre-parse verdict. Diagnostics,
+/// logs, and metrics for the verdict are deliberately NOT emitted here —
+/// phase B materializes them on the coordinating thread in priority order
+/// so their order matches the serial reference exactly.
+struct PreloadedSource {
+  std::string text;
+  bool ready = false;  // text is complete and passed the integrity guards
+  SourceStatus status = SourceStatus::kOk;
+  std::string detail;  // degrade/quarantine reason when !ready
+  double read_seconds = 0;
+};
+
+PreloadedSource preload_source(const IrrSource& source, const LoadOptions& options,
+                               obs::Counter& bytes_read) {
+  PreloadedSource pre;
+  const auto start = std::chrono::steady_clock::now();
+  const auto done = [&](SourceStatus status, std::string detail) {
+    pre.status = status;
+    pre.detail = std::move(detail);
+    pre.read_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  std::ifstream in;
+  {
+    obs::Span open_span("irr.open", source.name);
+    if (const fp::Hit hit = fp::hit("irr.open"); hit && hit.is_error()) {
+      done(SourceStatus::kDegraded,
+           "IRR dump unavailable: injected open fault: " + hit.message);
+      return pre;
+    }
+    std::error_code ec;
+    const bool exists = std::filesystem::exists(source.path, ec);
+    if (exists && !std::filesystem::is_regular_file(source.path, ec)) {
+      done(SourceStatus::kQuarantined, "not a regular file: " + source.path.string());
+      return pre;
+    }
+    in.open(source.path, std::ios::binary);
+    if (!in) {
+      done(SourceStatus::kDegraded, "IRR dump unavailable: " + source.path.string());
+      return pre;
+    }
+  }
+  std::string read_error;
+  bool read_ok;
+  {
+    obs::Span read_span("irr.read", source.name);
+    read_ok = slurp(in, &pre.text, &read_error);
+  }
+  bytes_read.inc(pre.text.size());
+  if (!read_ok) {
+    done(SourceStatus::kQuarantined,
+         "read failed mid-dump (" + read_error + "): " + source.path.string());
+    return pre;
+  }
+  if (options.max_object_bytes > 0) {
+    const std::size_t largest = largest_object_bytes(pre.text);
+    if (largest > options.max_object_bytes) {
+      done(SourceStatus::kQuarantined,
+           "pathological object of " + std::to_string(largest) + " bytes (limit " +
+               std::to_string(options.max_object_bytes) + "): " + source.path.string());
+      return pre;
+    }
+  }
+  pre.ready = true;
+  pre.read_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return pre;
+}
+
+/// The parallel pipeline: phase A reads + integrity-checks every source on
+/// a bounded pool, phase B walks sources in priority order on this thread,
+/// parsing each ready dump as parallel shards (parse_dump_parallel) and
+/// merging through the shared RouteKeySet. All ordering-sensitive effects
+/// (diagnostics, outcomes, counts, merge, "irr.parse"/"irr.merge"
+/// failpoints) happen in phase B, in priority order — which is why the
+/// result is byte-identical to load_irrs_serial.
+LoadResult load_irrs_parallel(const std::vector<IrrSource>& sources,
+                              const LoadOptions& options, unsigned threads) {
+  obs::Span load_span("irr.load");
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& bytes_read = registry.counter(
+      "rpslyzer_loader_bytes_read_total", "Bytes read from IRR dump files");
+  obs::Counter& objects_parsed = registry.counter(
+      "rpslyzer_loader_objects_parsed_total", "RPSL objects parsed from IRR dumps");
+  obs::Histogram& source_seconds = registry.histogram(
+      "rpslyzer_loader_source_seconds", "Wall time loading one IRR source",
+      obs::exponential_bounds(0.001, 4.0, 10));
+
+  // Phase A: concurrent reads. Workers pull source indices off an atomic
+  // cursor; each source's open/read/guard work stays on one worker, so the
+  // per-source failpoint ordering (irr.open before irr.read) holds.
+  std::vector<PreloadedSource> preloaded(sources.size());
+  {
+    obs::Span read_span("irr.read_all");
+    std::atomic<std::size_t> next{0};
+    auto reader = [&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= sources.size()) break;
+        obs::Span source_span("irr.source", sources[i].name);
+        preloaded[i] = preload_source(sources[i], options, bytes_read);
+      }
+    };
+    const unsigned readers =
+        static_cast<unsigned>(std::min<std::size_t>(threads, sources.size()));
+    if (readers <= 1) {
+      reader();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(readers);
+      for (unsigned t = 0; t < readers; ++t) pool.emplace_back(reader);
+      for (auto& thread : pool) thread.join();
+    }
+  }
+
+  // Phase B: priority-order parse + merge on this thread. Shard-level
+  // parallelism inside parse_dump_parallel keeps the pool busy while the
+  // ordering-sensitive merge stays sequential.
+  LoadResult result;
+  RouteKeySet seen_routes;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const IrrSource& source = sources[i];
+    PreloadedSource& pre = preloaded[i];
+    const auto phase_b_start = std::chrono::steady_clock::now();
+    IrrCounts counts;
+    counts.name = source.name;
+    SourceOutcome outcome;
+    outcome.name = source.name;
+
+    const auto degrade = [&](std::string detail) {
+      outcome.status = SourceStatus::kDegraded;
+      result.diagnostics.warning(util::DiagnosticKind::kOther, detail, source.name,
+                                 {source.name, 0});
+      obs::log_warn("loader", "source degraded",
+                    {{"source", source.name}, {"reason", detail}});
+      outcome.detail = std::move(detail);
+    };
+    const auto quarantine = [&](std::string detail) {
+      outcome.status = SourceStatus::kQuarantined;
+      result.diagnostics.error(util::DiagnosticKind::kOther,
+                               "IRR dump quarantined: " + detail, source.name,
+                               {source.name, 0});
+      obs::log_error("loader", "source quarantined",
+                     {{"source", source.name}, {"reason", detail}});
+      outcome.detail = std::move(detail);
+    };
+
+    if (!pre.ready) {
+      if (pre.status == SourceStatus::kDegraded) {
+        degrade(std::move(pre.detail));
+      } else {
+        quarantine(std::move(pre.detail));
+      }
+    } else {
+      try {
+        ir::Ir parsed = parse_dump_parallel(pre.text, source.name, result.diagnostics,
+                                            &counts, threads, options.shard_target_bytes);
+        const std::size_t raw_routes = parsed.routes.size();
+        {
+          obs::Span merge_span("irr.merge", source.name);
+          merge_into(result.ir, std::move(parsed), &seen_routes);
+        }
+        result.raw_route_objects += raw_routes;
+        objects_parsed.inc(counts.objects);
+      } catch (const std::exception& e) {
+        quarantine(std::string("exception mid-load: ") + e.what());
+        counts = IrrCounts{};  // partial counts would misstate the census
+        counts.name = source.name;
+      }
+    }
+    pre.text.clear();
+    pre.text.shrink_to_fit();
+
+    registry
+        .counter("rpslyzer_loader_sources_total", "IRR source load outcomes",
+                 {{"source", source.name}, {"status", to_string(outcome.status)}})
+        .inc();
+    source_seconds.observe(
+        pre.read_seconds +
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_b_start)
+            .count());
+    result.counts.push_back(std::move(counts));
+    result.outcomes.push_back(std::move(outcome));
+  }
+  obs::log_info("loader", "load complete",
+                {{"sources", sources.size()},
+                 {"threads", threads},
+                 {"degraded", result.count_with(SourceStatus::kDegraded)},
+                 {"quarantined", result.count_with(SourceStatus::kQuarantined)},
+                 {"routes", result.ir.routes.size()},
+                 {"aut_nums", result.ir.aut_nums.size()}});
+  return result;
+}
+
+}  // namespace
+
+LoadResult load_irrs(const std::vector<IrrSource>& sources, const LoadOptions& options) {
+  const unsigned threads = resolve_threads(options.threads);
+  if (threads <= 1 || sources.empty()) return load_irrs_serial(sources, options);
+  return load_irrs_parallel(sources, options, threads);
 }
 
 std::vector<IrrSource> table1_sources(const std::filesystem::path& directory) {

@@ -43,8 +43,32 @@ struct RawObject {
 
 /// Split a full dump into raw objects. `source` labels diagnostics and the
 /// resulting objects. Malformed lines (no colon before any attribute ends)
-/// raise diagnostics but do not abort the dump.
+/// raise diagnostics but do not abort the dump. `line_offset` is added to
+/// every reported line number — shard lexing passes the number of lines
+/// preceding the shard so diagnostics and object positions match a lex of
+/// the whole text.
 std::vector<RawObject> lex_objects(std::string_view text, std::string_view source,
-                                   util::Diagnostics& diagnostics);
+                                   util::Diagnostics& diagnostics,
+                                   std::size_t line_offset = 0);
+
+/// One parse shard: a slice of dump text that starts at an object boundary
+/// plus the number of lines before it (feed to lex_objects' line_offset).
+struct Shard {
+  std::string_view text;
+  std::size_t line_offset = 0;
+};
+
+/// Cut a dump into shards of roughly `target_bytes` each, splitting only
+/// *after* a blank line — the one place the lexer's cross-line state
+/// (current object, in-object flag) is provably empty. "Blank" matches the
+/// lexer's separator rule exactly: the line is empty after trimming ASCII
+/// whitespace, which covers CRLF endings and whitespace-only lines;
+/// comment-only ('#') and server-remark ('%') lines keep an object open and
+/// therefore never become boundaries. A single object larger than the
+/// target simply yields an oversized shard; the final line needs no
+/// trailing newline. Concatenating the shard texts reproduces `text`
+/// byte-for-byte, and lexing each shard with its line_offset yields the
+/// same object sequence and diagnostics as lexing `text` whole.
+std::vector<Shard> shard_objects(std::string_view text, std::size_t target_bytes);
 
 }  // namespace rpslyzer::rpsl

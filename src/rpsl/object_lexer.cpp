@@ -51,7 +51,8 @@ std::vector<std::string_view> RawObject::all(std::string_view name) const {
 }
 
 std::vector<RawObject> lex_objects(std::string_view text, std::string_view source,
-                                   util::Diagnostics& diagnostics) {
+                                   util::Diagnostics& diagnostics,
+                                   std::size_t line_offset) {
   std::vector<RawObject> objects;
   RawObject current;
   bool in_object = false;
@@ -68,7 +69,7 @@ std::vector<RawObject> lex_objects(std::string_view text, std::string_view sourc
   };
   current.source = std::string(source);
 
-  std::size_t line_no = 0;
+  std::size_t line_no = line_offset;
   std::size_t pos = 0;
   while (pos <= text.size()) {
     // Extract one line (the final line may lack a trailing newline).
@@ -152,6 +153,35 @@ std::vector<RawObject> lex_objects(std::string_view text, std::string_view sourc
   }
   finish_object();
   return objects;
+}
+
+std::vector<Shard> shard_objects(std::string_view text, std::size_t target_bytes) {
+  std::vector<Shard> shards;
+  if (text.empty()) return shards;
+  if (target_bytes == 0) target_bytes = 1;
+
+  std::size_t shard_start = 0;       // byte offset of the current shard
+  std::size_t shard_first_line = 0;  // lines before the current shard
+  std::size_t lines_seen = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    const std::size_t line_end = eol == std::string_view::npos ? text.size() : eol;
+    const std::size_t next = eol == std::string_view::npos ? text.size() : eol + 1;
+    ++lines_seen;
+    // The lexer treats a line as an object separator iff it is empty after
+    // trimming; trim's whitespace set includes '\r', so CRLF blank lines
+    // and whitespace-only lines qualify here exactly as they do there.
+    const bool blank = trim(text.substr(pos, line_end - pos)).empty();
+    if (blank && next - shard_start >= target_bytes && next < text.size()) {
+      shards.push_back({text.substr(shard_start, next - shard_start), shard_first_line});
+      shard_start = next;
+      shard_first_line = lines_seen;
+    }
+    pos = next;
+  }
+  shards.push_back({text.substr(shard_start), shard_first_line});
+  return shards;
 }
 
 }  // namespace rpslyzer::rpsl

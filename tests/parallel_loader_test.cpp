@@ -1,0 +1,232 @@
+// Differential proof for the parallel sharded ingestion pipeline: for any
+// thread count and shard size — down to one object per shard — the parallel
+// loader's merged Ir, per-source outcomes/counts, diagnostics, and
+// serialized index must be byte-identical to the serial (threads == 1)
+// reference on the synthetic 13-IRR corpus, with and without failpoint
+// injection at "irr.read"/"irr.parse". Runs under TSan via
+// scripts/sanitize_check.sh to catch shard-merge races.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/ir/json_io.hpp"
+#include "rpslyzer/irr/index.hpp"
+#include "rpslyzer/irr/loader.hpp"
+#include "rpslyzer/json/json.hpp"
+#include "rpslyzer/synth/generator.hpp"
+#include "rpslyzer/util/failpoint.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::irr {
+namespace {
+
+namespace fp = util::failpoint;
+
+class ParallelLoader : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rpslyzer-parallel-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    synth::SynthConfig config;
+    config.scale = 0.05;
+    config.seed = 11;
+    synth::InternetGenerator generator(config);
+    for (const auto& [name, text] : generator.irr_dumps()) {
+      std::ofstream out(dir_ / (util::lower(name) + ".db"), std::ios::binary);
+      out << text;
+    }
+  }
+  void TearDown() override {
+    fp::clear_all();
+    std::filesystem::remove_all(dir_);
+  }
+
+  LoadResult load_with(unsigned threads, std::size_t shard_bytes) {
+    LoadOptions options;
+    options.threads = threads;
+    options.shard_target_bytes = shard_bytes;
+    return load_irrs(table1_sources(dir_), options);
+  }
+
+  static void expect_identical(const LoadResult& serial, const LoadResult& parallel,
+                               const std::string& label) {
+    SCOPED_TRACE(label);
+    EXPECT_TRUE(serial.ir == parallel.ir);
+    EXPECT_EQ(serial.raw_route_objects, parallel.raw_route_objects);
+
+    ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+    for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+      EXPECT_EQ(serial.outcomes[i].name, parallel.outcomes[i].name);
+      EXPECT_EQ(serial.outcomes[i].status, parallel.outcomes[i].status);
+      EXPECT_EQ(serial.outcomes[i].detail, parallel.outcomes[i].detail);
+    }
+
+    ASSERT_EQ(serial.counts.size(), parallel.counts.size());
+    for (std::size_t i = 0; i < serial.counts.size(); ++i) {
+      const IrrCounts& a = serial.counts[i];
+      const IrrCounts& b = parallel.counts[i];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.bytes, b.bytes);
+      EXPECT_EQ(a.objects, b.objects);
+      EXPECT_EQ(a.aut_nums, b.aut_nums);
+      EXPECT_EQ(a.routes, b.routes);
+      EXPECT_EQ(a.imports, b.imports);
+      EXPECT_EQ(a.exports, b.exports);
+      EXPECT_EQ(a.as_sets, b.as_sets);
+      EXPECT_EQ(a.route_sets, b.route_sets);
+      EXPECT_EQ(a.peering_sets, b.peering_sets);
+      EXPECT_EQ(a.filter_sets, b.filter_sets);
+    }
+
+    // Diagnostics must agree entry for entry, including line numbers (the
+    // shard lexer offsets them) and ordering (the merge is deterministic).
+    ASSERT_EQ(serial.diagnostics.all().size(), parallel.diagnostics.all().size());
+    for (std::size_t i = 0; i < serial.diagnostics.all().size(); ++i) {
+      const util::Diagnostic& a = serial.diagnostics.all()[i];
+      const util::Diagnostic& b = parallel.diagnostics.all()[i];
+      EXPECT_EQ(a.severity, b.severity) << "diagnostic " << i;
+      EXPECT_EQ(a.kind, b.kind) << "diagnostic " << i;
+      EXPECT_EQ(a.message, b.message) << "diagnostic " << i;
+      EXPECT_EQ(a.object_key, b.object_key) << "diagnostic " << i;
+      EXPECT_EQ(a.location, b.location) << "diagnostic " << i;
+    }
+
+    // The exported (serialized) index: byte-identical JSON.
+    EXPECT_EQ(json::dump(ir::to_json(serial.ir)), json::dump(ir::to_json(parallel.ir)));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ParallelLoader, ThreadsAndShardSizesAreByteIdentical) {
+  const LoadResult serial = load_with(1, 1u << 20);
+  ASSERT_GT(serial.ir.object_count(), 0u);
+  // Shard targets from "whole dump in one shard" down to one object per
+  // shard (target 1 cuts at every blank-line boundary).
+  for (unsigned threads : {2u, 8u}) {
+    for (std::size_t shard_bytes : {std::size_t{1} << 20, std::size_t{4096},
+                                    std::size_t{64}, std::size_t{1}}) {
+      const LoadResult parallel = load_with(threads, shard_bytes);
+      expect_identical(serial, parallel,
+                       "threads=" + std::to_string(threads) +
+                           " shard_bytes=" + std::to_string(shard_bytes));
+    }
+  }
+}
+
+TEST_F(ParallelLoader, IndexQueriesAgree) {
+  const LoadResult serial = load_with(1, 1u << 20);
+  const LoadResult parallel = load_with(8, 512);
+  Index serial_index(serial.ir);
+  Index parallel_index(parallel.ir);
+  for (const auto& [asn, an] : serial.ir.aut_nums) {
+    const auto a = serial_index.origins_of(asn);
+    const auto b = parallel_index.origins_of(asn);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << asn;
+  }
+}
+
+TEST_F(ParallelLoader, MissingAndExtraDumpsMatchSerial) {
+  // Knock out two dumps (degraded) and corrupt one into a pathological
+  // object (quarantined): the parallel path must report the exact same
+  // per-source outcomes and corpus as serial.
+  std::filesystem::remove(dir_ / "ripe.db");
+  std::filesystem::remove(dir_ / "altdb.db");
+  {
+    std::ofstream out(dir_ / "radb.db", std::ios::binary);  // overwrite
+    out << std::string(1u << 20, 'x') << ":\n";             // one endless pseudo-object
+  }
+  LoadOptions small_guard;
+  small_guard.max_object_bytes = 256u << 10;  // far above any legit object
+  small_guard.threads = 1;
+  const LoadResult serial = load_irrs(table1_sources(dir_), small_guard);
+  small_guard.threads = 4;
+  small_guard.shard_target_bytes = 256;
+  const LoadResult parallel = load_irrs(table1_sources(dir_), small_guard);
+  EXPECT_EQ(serial.count_with(SourceStatus::kDegraded), 2u);
+  EXPECT_EQ(serial.count_with(SourceStatus::kQuarantined), 1u);
+  expect_identical(serial, parallel, "degraded+quarantined corpus");
+}
+
+// Failpoint injection: unbounded actions fire on every evaluation, so the
+// serial and parallel pipelines observe the same faults regardless of
+// worker scheduling (N* budgets would land nondeterministically — see the
+// load_irrs contract).
+TEST_F(ParallelLoader, FailpointInjectionMatchesSerial) {
+  const struct {
+    const char* spec;
+    std::size_t quarantined;
+  } cases[] = {
+      {"irr.read=error", 13u},
+      {"irr.read=truncate(1000)", 13u},
+      {"irr.parse=error", 13u},
+      {"irr.parse=truncate(4096)", 0u},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.spec);
+    std::string error;
+    ASSERT_TRUE(fp::configure(c.spec, &error)) << error;
+    const LoadResult serial = load_with(1, 1u << 20);
+    fp::clear_all();
+    ASSERT_TRUE(fp::configure(c.spec, &error)) << error;
+    for (unsigned threads : {2u, 8u}) {
+      const LoadResult parallel = load_with(threads, 2048);
+      expect_identical(serial, parallel, "threads=" + std::to_string(threads));
+      EXPECT_EQ(parallel.count_with(SourceStatus::kQuarantined), c.quarantined);
+    }
+    fp::clear_all();
+  }
+}
+
+// A fault tripping in one source's shards must quarantine only that source:
+// the blast radius of a shard exception is the source, never the load.
+TEST_F(ParallelLoader, ShardFaultQuarantinesOnlyItsSource) {
+  {
+    std::ofstream out(dir_ / "ripe.db", std::ios::binary);  // overwrite
+    out << std::string(1u << 20, 'y') << ":\n";
+  }
+  LoadOptions options;
+  options.threads = 4;
+  options.shard_target_bytes = 128;
+  options.max_object_bytes = 256u << 10;
+  const LoadResult result = load_irrs(table1_sources(dir_), options);
+  EXPECT_EQ(result.count_with(SourceStatus::kQuarantined), 1u);
+  EXPECT_EQ(result.outcome("RIPE")->status, SourceStatus::kQuarantined);
+  EXPECT_EQ(result.count_with(SourceStatus::kOk), 12u);
+  EXPECT_GT(result.ir.object_count(), 0u);
+}
+
+TEST_F(ParallelLoader, ParseDumpParallelMatchesParseDump) {
+  // Direct equivalence of the two parse entry points on one dump text,
+  // exercising the counts and diagnostics plumbing without load_irrs.
+  std::string text;
+  {
+    std::ifstream in(dir_ / "radb.db", std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = std::move(buffer).str();
+  }
+  util::Diagnostics serial_diag;
+  IrrCounts serial_counts;
+  const ir::Ir serial = parse_dump(text, "RADB", serial_diag, &serial_counts);
+  for (std::size_t shard_bytes : {std::size_t{1}, std::size_t{777}}) {
+    util::Diagnostics parallel_diag;
+    IrrCounts parallel_counts;
+    const ir::Ir parallel =
+        parse_dump_parallel(text, "RADB", parallel_diag, &parallel_counts, 4, shard_bytes);
+    EXPECT_TRUE(serial == parallel) << shard_bytes;
+    EXPECT_EQ(serial_counts.objects, parallel_counts.objects);
+    EXPECT_EQ(serial_counts.bytes, parallel_counts.bytes);
+    EXPECT_EQ(serial_counts.routes, parallel_counts.routes);
+    ASSERT_EQ(serial_diag.all().size(), parallel_diag.all().size());
+  }
+}
+
+}  // namespace
+}  // namespace rpslyzer::irr

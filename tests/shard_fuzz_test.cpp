@@ -1,0 +1,245 @@
+// Property/fuzz test for the shard splitter and the object lexer's
+// boundary conditions: for random RPSL-ish dump texts (CRLF endings,
+// missing trailing newlines, runs of 3+ blank lines, comment-only
+// paragraphs, '%' server remarks, continuation lines, whitespace-only
+// separators) and random shard targets down to 1 byte, lexing the shards
+// with their line offsets must reproduce exactly the object sequence and
+// diagnostics of lexing the unsplit text. Follows aspath_fuzz_test.cpp's
+// fixed-seed pattern; override the seed with RPSLYZER_FUZZ_SEED to explore
+// (CI stays deterministic on the default).
+
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/rpsl/object_lexer.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::rpsl {
+namespace {
+
+std::uint32_t seed_from_env() {
+  if (const char* env = std::getenv("RPSLYZER_FUZZ_SEED")) {
+    return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 20260806u;
+}
+
+/// Random dump generator biased toward the lexer's edge cases.
+class DumpGen {
+ public:
+  explicit DumpGen(std::uint32_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    std::string text;
+    const std::size_t paragraphs = pick(0, 8);
+    for (std::size_t i = 0; i < paragraphs; ++i) {
+      paragraph(text);
+      // Separator run: 1 blank line usually, sometimes 3+ in a row, each
+      // independently LF/CRLF/whitespace-only.
+      const std::size_t blanks = pick(0, 4) == 0 ? pick(3, 5) : 1;
+      for (std::size_t b = 0; b < blanks; ++b) blank_line(text);
+    }
+    if (pick(0, 2) == 0) paragraph(text);  // paragraph with no trailing separator
+    if (!text.empty() && pick(0, 3) == 0 && text.back() == '\n') {
+      text.pop_back();  // missing trailing newline
+      if (!text.empty() && text.back() == '\r') text.pop_back();
+    }
+    return text;
+  }
+
+ private:
+  std::mt19937 rng_;
+
+  std::size_t pick(std::size_t lo, std::size_t hi) {
+    return std::uniform_int_distribution<std::size_t>(lo, hi)(rng_);
+  }
+
+  void eol(std::string& text) { text += pick(0, 2) == 0 ? "\r\n" : "\n"; }
+
+  void blank_line(std::string& text) {
+    switch (pick(0, 3)) {
+      case 0:
+        text += "   ";  // whitespace-only separator
+        break;
+      case 1:
+        text += "\t";
+        break;
+      default:
+        break;  // truly empty
+    }
+    eol(text);
+  }
+
+  void line(std::string& text, std::string content) {
+    text += content;
+    if (pick(0, 4) == 0) text += " # trailing comment";
+    eol(text);
+  }
+
+  void paragraph(std::string& text) {
+    switch (pick(0, 9)) {
+      case 0:  // comment-only paragraph (keeps "no object" open — no split!)
+        line(text, "# comment-only paragraph");
+        if (pick(0, 1) == 0) line(text, "# second comment line");
+        return;
+      case 1:  // server remark paragraph
+        line(text, "% server remark");
+        return;
+      case 2:  // malformed lines: diagnostics must line up across shards
+        line(text, "this line has no colon");
+        line(text, "  continuation outside any attribute");
+        return;
+      default:
+        break;
+    }
+    const std::size_t object = pick(0, 999);
+    line(text, "aut-num: AS" + std::to_string(object));
+    const std::size_t attrs = pick(0, 4);
+    for (std::size_t a = 0; a < attrs; ++a) {
+      switch (pick(0, 5)) {
+        case 0:
+          line(text, "remarks: value " + std::to_string(pick(0, 99)));
+          line(text, " continued across lines");
+          break;
+        case 1:
+          line(text, "+empty-plus continuation target");
+          break;
+        case 2:
+          line(text, "# full-line comment keeps the object open");
+          break;
+        case 3:
+          line(text, "% remark inside an object");
+          break;
+        default:
+          line(text, "import: from AS" + std::to_string(pick(1, 99)) + " accept ANY");
+          break;
+      }
+    }
+  }
+};
+
+void expect_same_lex(const std::string& text, std::size_t target_bytes) {
+  SCOPED_TRACE("target_bytes=" + std::to_string(target_bytes) +
+               " text=" + ::testing::PrintToString(text));
+  util::Diagnostics whole_diag;
+  const std::vector<RawObject> whole = lex_objects(text, "FUZZ", whole_diag);
+
+  const std::vector<Shard> shards = shard_objects(text, target_bytes);
+
+  // Shards partition the text exactly.
+  std::string reassembled;
+  for (const auto& shard : shards) reassembled += shard.text;
+  ASSERT_EQ(reassembled, text);
+  // Every non-final shard ends with an object separator (a blank line).
+  for (std::size_t i = 0; i + 1 < shards.size(); ++i) {
+    const std::string_view t = shards[i].text;
+    const std::size_t last_nl = t.rfind('\n', t.size() - 2);
+    const std::string_view last_line =
+        t.substr(last_nl == std::string_view::npos ? 0 : last_nl + 1);
+    EXPECT_TRUE(util::trim(last_line).empty()) << "shard " << i;
+  }
+
+  util::Diagnostics shard_diag;
+  std::vector<RawObject> relexed;
+  for (const auto& shard : shards) {
+    auto objects = lex_objects(shard.text, "FUZZ", shard_diag, shard.line_offset);
+    for (auto& object : objects) relexed.push_back(std::move(object));
+  }
+
+  ASSERT_EQ(relexed.size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(relexed[i].class_name, whole[i].class_name) << "object " << i;
+    EXPECT_EQ(relexed[i].key, whole[i].key) << "object " << i;
+    EXPECT_EQ(relexed[i].source, whole[i].source) << "object " << i;
+    EXPECT_EQ(relexed[i].line, whole[i].line) << "object " << i;
+    ASSERT_EQ(relexed[i].attributes.size(), whole[i].attributes.size()) << "object " << i;
+    for (std::size_t a = 0; a < whole[i].attributes.size(); ++a) {
+      EXPECT_EQ(relexed[i].attributes[a].name, whole[i].attributes[a].name);
+      EXPECT_EQ(relexed[i].attributes[a].value, whole[i].attributes[a].value);
+      EXPECT_EQ(relexed[i].attributes[a].line, whole[i].attributes[a].line);
+    }
+  }
+
+  ASSERT_EQ(shard_diag.all().size(), whole_diag.all().size());
+  for (std::size_t i = 0; i < whole_diag.all().size(); ++i) {
+    EXPECT_EQ(shard_diag.all()[i].message, whole_diag.all()[i].message);
+    EXPECT_EQ(shard_diag.all()[i].location, whole_diag.all()[i].location);
+  }
+}
+
+TEST(ShardFuzz, RandomSplitsRelexIdentically) {
+  DumpGen gen(seed_from_env());
+  std::mt19937 rng(seed_from_env() ^ 0x9e3779b9u);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    SCOPED_TRACE("iteration=" + std::to_string(iteration));
+    const std::string text = gen.generate();
+    const std::size_t targets[] = {
+        1, 7, 64, 256,
+        std::uniform_int_distribution<std::size_t>(1, text.size() + 2)(rng),
+        text.size() + 1};
+    for (std::size_t target : targets) expect_same_lex(text, target);
+  }
+}
+
+// Hand-picked boundary conditions, kept explicit so a regression names the
+// exact rule it broke rather than a fuzz iteration.
+TEST(ShardFuzz, CrlfBlankLinesAreBoundaries) {
+  const std::string text =
+      "aut-num: AS1\r\nas-name: ONE\r\n\r\naut-num: AS2\r\nas-name: TWO\r\n";
+  for (std::size_t target : {std::size_t{1}, std::size_t{20}, std::size_t{1000}}) {
+    expect_same_lex(text, target);
+  }
+  const std::vector<Shard> shards = shard_objects(text, 1);
+  EXPECT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[1].line_offset, 3u);
+}
+
+TEST(ShardFuzz, NoTrailingNewline) {
+  expect_same_lex("aut-num: AS1\n\naut-num: AS2\nas-name: TWO", 1);
+  expect_same_lex("aut-num: AS1", 1);
+}
+
+TEST(ShardFuzz, LongBlankRunsSplitOnce) {
+  const std::string text = "aut-num: AS1\n\n\n\n\naut-num: AS2\n";
+  expect_same_lex(text, 1);
+  // Each blank line is a legal boundary; objects must still pair up with
+  // their own attributes.
+  const std::vector<Shard> shards = shard_objects(text, 1);
+  EXPECT_GE(shards.size(), 2u);
+}
+
+TEST(ShardFuzz, CommentOnlyParagraphNeverSplitsAnObjectOpenBelowIt) {
+  // '#' lines keep the lexer's object open, so the splitter must not treat
+  // them as boundaries — only the true blank lines around them.
+  const std::string text =
+      "aut-num: AS1\n# comment paragraph\nas-name: STILL-AS1\n\n"
+      "# lone comment paragraph\n\n"
+      "aut-num: AS2\n";
+  for (std::size_t target : {std::size_t{1}, std::size_t{10}, std::size_t{30}}) {
+    expect_same_lex(text, target);
+  }
+}
+
+TEST(ShardFuzz, ObjectLargerThanTargetStaysWhole) {
+  std::string text = "aut-num: AS1\n";
+  for (int i = 0; i < 100; ++i) {
+    text += "remarks: padding line " + std::to_string(i) + "\n";
+  }
+  text += "\naut-num: AS2\n";
+  const std::vector<Shard> shards = shard_objects(text, 16);
+  ASSERT_EQ(shards.size(), 2u);  // the oversized object is one shard
+  expect_same_lex(text, 16);
+}
+
+TEST(ShardFuzz, EmptyAndBlankOnlyTexts) {
+  EXPECT_TRUE(shard_objects("", 1).empty());
+  expect_same_lex("\n", 1);
+  expect_same_lex("\r\n\r\n\r\n", 1);
+  expect_same_lex("   \n\t\n", 1);
+}
+
+}  // namespace
+}  // namespace rpslyzer::rpsl

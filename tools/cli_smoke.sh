@@ -19,6 +19,12 @@ trap cleanup EXIT
 "$CLI" export "$DIR" "$DIR/ir.json" | grep "exported" >/dev/null
 test -s "$DIR/ir.json"
 "$CLI" lint "$DIR" | grep "findings" >/dev/null || true   # exits 1 when findings exist
+# Parallel sharded ingestion with tracing: the trace must record the
+# per-shard parse spans, proving the load actually went through the pool.
+"$CLI" load "$DIR" --threads 2 --shard-kb 4 --trace-out "$DIR/trace.json" \
+  | grep "loaded" >/dev/null
+grep -q '"irr.shard"' "$DIR/trace.json"
+grep -q '"irr.parse"' "$DIR/trace.json"
 "$CLI" verify "$DIR" | grep "checks from" >/dev/null
 # Verify one concrete route: pick a line whose AS path has >= 2 hops
 # (single-AS routes are the collector peer's own prefixes).

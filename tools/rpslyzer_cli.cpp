@@ -40,7 +40,9 @@ int usage() {
                "usage: rpslyzer [--log-level L] [--log-json] <command> ...\n"
                "  generate <dir> [scale] [seed]   synthesize an IRR+BGP corpus\n"
                "  parse <dir>                     parse dumps and print a census\n"
-               "  load <dir> [--trace-out F]      load + index, print per-stage timings\n"
+               "  load <dir> [--threads N] [--shard-kb N] [--trace-out F]\n"
+               "                                  load + index, print per-stage timings\n"
+               "                                  (--threads 1 = serial; default: all cores)\n"
                "  lint <dir>                      lint the corpus\n"
                "  export <dir> <out.json>         export the IR as JSON\n"
                "  report <dir> <prefix> <asn...>  verify one route (Appendix-C style)\n"
@@ -52,12 +54,13 @@ int usage() {
                "                 [--max-out-kb N] [--stall-grace-ms N] [--retry-ms N]\n"
                "                 [--retry-max-ms N] [--scale F] [--seed N]\n"
                "                 [--metrics-file PATH] [--metrics-file-ms N]\n"
+               "                 (--threads also sets load/reload ingestion parallelism)\n"
                "  log levels: debug info warn error off (also via RPSLYZER_LOG)\n");
   return 2;
 }
 
-Rpslyzer load(const std::filesystem::path& dir) {
-  return Rpslyzer::from_files(dir, dir / "relationships.txt");
+Rpslyzer load(const std::filesystem::path& dir, const irr::LoadOptions& options = {}) {
+  return Rpslyzer::from_files(dir, dir / "relationships.txt", options);
 }
 
 // from_files() treats a missing directory as an empty corpus, which is the
@@ -120,11 +123,18 @@ int cmd_load(int argc, char** argv) {
   if (argc < 1) return usage();
   std::string dir;
   std::string trace_out;
+  irr::LoadOptions options;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--trace-out") {
       if (i + 1 >= argc) return usage();
       trace_out = argv[++i];
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) return usage();
+      options.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--shard-kb") {
+      if (i + 1 >= argc) return usage();
+      options.shard_target_bytes = static_cast<std::size_t>(std::atoll(argv[++i])) * 1024;
     } else if (!arg.empty() && arg.front() != '-' && dir.empty()) {
       dir = arg;
     } else {
@@ -137,7 +147,7 @@ int cmd_load(int argc, char** argv) {
 
   obs::Tracer::global().set_enabled(true);
   {
-    Rpslyzer lyzer = load(dir);
+    Rpslyzer lyzer = load(dir, options);
     irr::Index index(lyzer.ir());
     index.prewarm();
     std::printf("loaded %zu objects (%zu aut-nums, %zu routes) from %s\n",
@@ -353,8 +363,13 @@ int cmd_serve(int argc, char** argv) {
   if (synthetic ? !data_dir.empty() : data_dir.empty()) return usage();
 
   server::CorpusLoader loader;
+  // The daemon's --threads knob doubles as ingestion parallelism: the
+  // initial load and every SIGHUP/!reload re-ingest through the sharded
+  // parallel pipeline with the same thread budget as the worker pool.
+  irr::LoadOptions load_options;
+  load_options.threads = config.worker_threads;
   if (synthetic) {
-    loader = [scale, seed]() -> std::shared_ptr<const irr::Index> {
+    loader = [scale, seed, load_options]() -> std::shared_ptr<const irr::Index> {
       synth::SynthConfig synth_config;
       synth_config.scale = scale;
       synth_config.seed = seed;
@@ -364,13 +379,13 @@ int cmd_serve(int argc, char** argv) {
         ordered.emplace_back(name, generator.irr_dumps().at(name));
       }
       auto lyzer = std::make_shared<Rpslyzer>(
-          Rpslyzer::from_texts(ordered, generator.caida_serial1()));
+          Rpslyzer::from_texts(ordered, generator.caida_serial1(), load_options));
       return std::shared_ptr<const irr::Index>(lyzer, &lyzer->index());
     };
   } else {
-    loader = [data_dir]() -> std::shared_ptr<const irr::Index> {
+    loader = [data_dir, load_options]() -> std::shared_ptr<const irr::Index> {
       if (!corpus_dir_ok(data_dir)) return nullptr;  // start + reload both bail
-      auto lyzer = std::make_shared<Rpslyzer>(load(data_dir));
+      auto lyzer = std::make_shared<Rpslyzer>(load(data_dir, load_options));
       return std::shared_ptr<const irr::Index>(lyzer, &lyzer->index());
     };
   }

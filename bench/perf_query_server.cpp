@@ -25,11 +25,9 @@ struct ServerFixture {
 
   explicit ServerFixture(std::size_t cache_capacity)
       : daemon(config_with(cache_capacity),
-               // The fixture outlives the daemon; hand out a non-owning view.
-               [this]() {
-                 return std::shared_ptr<const irr::Index>(std::shared_ptr<void>(),
-                                                          &world.lyzer.index());
-               }) {
+               // The fixture outlives the daemon; the memoized snapshot holds
+               // non-owning views into world.lyzer.
+               [this]() { return world.lyzer.snapshot(); }) {
     const ir::Ir& ir = world.lyzer.ir();
     std::size_t taken = 0;
     for (const auto& [asn, aut_num] : ir.aut_nums) {

@@ -18,7 +18,7 @@ BUILD="${1:-$ROOT/build-sanitize}"
 cmake -B "$BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE=ON >/dev/null
 cmake --build "$BUILD" -j --target \
   server_test query_test irr_index_test fault_injection_test loader_files_test obs_test \
-  parallel_loader_test shard_fuzz_test
+  parallel_loader_test shard_fuzz_test compile_snapshot_test parallel_verify_test
 
 run_labeled() {
   local spec="$1" exclude="${2:-}"
@@ -39,11 +39,13 @@ run_labeled "cache.get=error;cache.put=error" 'Server\.|ResponseCache'
 run_labeled "irr.parse=truncate(65536)"
 
 # TSan pass (if the toolchain supports it): the metrics registry, log gate,
-# and span recording all lean on relaxed atomics, and the sharded ingestion
-# pipeline merges per-shard results across a worker pool, so a race-detector
-# run of obs_test's multi-threaded tests, the server loop, and the parallel
-# loader differential suite is the strongest check that "lock-cheap" did not
-# become "racy".
+# and span recording all lean on relaxed atomics, the sharded ingestion
+# pipeline merges per-shard results across a worker pool, and parallel
+# verification shares one immutable CompiledPolicySnapshot (and one const
+# Verifier) across every worker, so a race-detector run of obs_test's
+# multi-threaded tests, the server loop, the parallel loader differential
+# suite, and the snapshot-sharing verify tests is the strongest check that
+# "lock-cheap" (and "lock-free-by-immutability") did not become "racy".
 TSAN_BUILD="${BUILD}-tsan"
 tsan_probe="$(mktemp -d)"
 printf 'int main(){return 0;}\n' > "$tsan_probe/probe.c"
@@ -51,10 +53,13 @@ if cc -fsanitize=thread "$tsan_probe/probe.c" -o "$tsan_probe/probe" 2>/dev/null
    && "$tsan_probe/probe" 2>/dev/null; then
   echo "== ThreadSanitizer pass =="
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE_THREAD=ON >/dev/null
-  cmake --build "$TSAN_BUILD" -j --target obs_test server_test parallel_loader_test
+  cmake --build "$TSAN_BUILD" -j --target obs_test server_test parallel_loader_test \
+    compile_snapshot_test parallel_verify_test
   "$TSAN_BUILD/tests/obs_test"
   "$TSAN_BUILD/tests/server_test"
   "$TSAN_BUILD/tests/parallel_loader_test"
+  "$TSAN_BUILD/tests/compile_snapshot_test"
+  "$TSAN_BUILD/tests/parallel_verify_test"
 else
   echo "== ThreadSanitizer unavailable on this toolchain; skipping TSan pass =="
 fi

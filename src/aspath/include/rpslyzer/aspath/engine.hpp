@@ -21,6 +21,7 @@
 // substring of the AS path unless anchored with '^' (path start: the
 // neighbor the route was received from) and '$' (path end: the origin AS).
 
+#include <memory>
 #include <span>
 #include <string_view>
 
@@ -64,6 +65,32 @@ bool token_matches(const ir::ReToken& token, Asn asn, const MatchEnv& env);
 /// Primary engine: predicate NFA. kUnsupported for same-pattern operators
 /// and repetition counts above kMaxRepeatExpansion.
 RegexMatch match_nfa(const ir::AsPathRegex& regex, const MatchEnv& env);
+
+/// A regex pre-lowered to its predicate NFA. match_nfa() rebuilds the
+/// Thompson automaton on every call; compiling once and matching many times
+/// is what the §5-scale hot loop (and the compiled policy snapshot) wants.
+/// match() is const and allocates only local frontier vectors, so one
+/// CompiledRegex is safely shared across threads.
+class CompiledRegex {
+ public:
+  explicit CompiledRegex(const ir::AsPathRegex& regex);
+  CompiledRegex(CompiledRegex&&) noexcept;
+  CompiledRegex& operator=(CompiledRegex&&) noexcept;
+  CompiledRegex(const CompiledRegex&) = delete;
+  CompiledRegex& operator=(const CompiledRegex&) = delete;
+  ~CompiledRegex();
+
+  /// False when the regex uses constructs outside the NFA language
+  /// (same-pattern operators, oversized repeats); match() then returns
+  /// kUnsupported and the caller should fall back to match_backtrack.
+  bool supported() const noexcept;
+
+  RegexMatch match(const MatchEnv& env) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Reference engine: memoized backtracking over the AST. Supports the full
 /// language including same-pattern operators.

@@ -237,8 +237,20 @@ bool token_matches(const ir::ReToken& token, Asn asn, const MatchEnv& env) {
   return false;
 }
 
-RegexMatch match_nfa(const ir::AsPathRegex& regex, const MatchEnv& env) {
-  Nfa nfa = compile(regex);
+struct CompiledRegex::Impl {
+  Nfa nfa;
+};
+
+CompiledRegex::CompiledRegex(const ir::AsPathRegex& regex)
+    : impl_(std::make_unique<Impl>(Impl{compile(regex)})) {}
+CompiledRegex::CompiledRegex(CompiledRegex&&) noexcept = default;
+CompiledRegex& CompiledRegex::operator=(CompiledRegex&&) noexcept = default;
+CompiledRegex::~CompiledRegex() = default;
+
+bool CompiledRegex::supported() const noexcept { return !impl_->nfa.unsupported; }
+
+RegexMatch CompiledRegex::match(const MatchEnv& env) const {
+  const Nfa& nfa = impl_->nfa;
   if (nfa.unsupported) return RegexMatch::kUnsupported;
 
   const std::size_t len = env.path.size();
@@ -267,6 +279,10 @@ RegexMatch match_nfa(const ir::AsPathRegex& regex, const MatchEnv& env) {
   }
   return frontier[static_cast<std::size_t>(nfa.accept)] ? RegexMatch::kMatch
                                                         : RegexMatch::kNoMatch;
+}
+
+RegexMatch match_nfa(const ir::AsPathRegex& regex, const MatchEnv& env) {
+  return CompiledRegex(regex).match(env);
 }
 
 }  // namespace rpslyzer::aspath

@@ -11,8 +11,10 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "rpslyzer/compile/snapshot.hpp"
 #include "rpslyzer/ir/json_io.hpp"
 #include "rpslyzer/irr/index.hpp"
 #include "rpslyzer/irr/loader.hpp"
@@ -51,8 +53,15 @@ class Rpslyzer {
   }
   std::size_t raw_route_objects() const noexcept { return raw_route_objects_; }
 
-  /// A verifier bound to this corpus.
+  /// The compiled policy snapshot for this corpus, built on first use and
+  /// memoized (thread-safe). Like verifier(), the result references this
+  /// object's members: call it at the Rpslyzer's final address.
+  std::shared_ptr<const compile::CompiledPolicySnapshot> snapshot() const;
+
+  /// A verifier bound to this corpus, using the snapshot backend unless
+  /// options.use_snapshot is off.
   verify::Verifier verifier(verify::VerifyOptions options = {}) const {
+    if (options.use_snapshot) return verify::Verifier(snapshot(), options);
     return verify::Verifier(*index_, relations_, options);
   }
 
@@ -70,6 +79,11 @@ class Rpslyzer {
   std::vector<irr::IrrCounts> irr_counts_;
   std::vector<irr::SourceOutcome> source_outcomes_;
   std::size_t raw_route_objects_ = 0;
+
+  // Snapshot memo. The mutex lives behind a pointer so Rpslyzer stays
+  // movable (from_texts/from_files return by value).
+  mutable std::unique_ptr<std::mutex> snapshot_mu_ = std::make_unique<std::mutex>();
+  mutable std::shared_ptr<const compile::CompiledPolicySnapshot> snapshot_;
 };
 
 }  // namespace rpslyzer

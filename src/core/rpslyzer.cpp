@@ -58,4 +58,17 @@ Rpslyzer Rpslyzer::from_files(const std::filesystem::path& irr_directory,
   return lyzer;
 }
 
+std::shared_ptr<const compile::CompiledPolicySnapshot> Rpslyzer::snapshot() const {
+  std::lock_guard<std::mutex> lock(*snapshot_mu_);
+  if (snapshot_ == nullptr) {
+    // Non-owning aliases: this Rpslyzer owns index and relations, and the
+    // memoized snapshot cannot outlive it.
+    snapshot_ = compile::CompiledPolicySnapshot::build(
+        std::shared_ptr<const irr::Index>(std::shared_ptr<void>(), index_.get()),
+        std::shared_ptr<const relations::AsRelations>(std::shared_ptr<void>(),
+                                                      &relations_));
+  }
+  return snapshot_;
+}
+
 }  // namespace rpslyzer

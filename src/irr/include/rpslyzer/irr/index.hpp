@@ -31,6 +31,12 @@ enum class Lookup : std::uint8_t {
   kUnknown,  // the referenced object is not defined in any loaded IRR
 };
 
+/// mbrs-by-ref check: the referencing object's maintainers must intersect
+/// the set's mbrs-by-ref list, or the list contains ANY (RFC 2622 §5.1).
+/// Shared by the lazy Index resolution and the compiled-snapshot build.
+bool mbrs_by_ref_allows(const std::vector<std::string>& mbrs_by_ref,
+                        const std::vector<std::string>& mnt_by);
+
 /// A flattened as-set: every ASN reachable through member edges.
 struct FlattenedAsSet {
   std::vector<ir::Asn> asns;               // sorted, unique

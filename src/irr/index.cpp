@@ -11,45 +11,7 @@ namespace {
 
 using net::Prefix;
 using net::RangeOp;
-
-/// Apply one stacked range operator to a length interval (the generalized
-/// composition rule behind net::composed_interval, extended to chains for
-/// nested route-set references).
-std::optional<std::pair<std::uint8_t, std::uint8_t>> step_interval(
-    std::pair<std::uint8_t, std::uint8_t> interval, const RangeOp& op,
-    std::uint8_t family_max) {
-  auto [lo, hi] = interval;
-  switch (op.kind) {
-    case RangeOp::Kind::kNone:
-      return interval;
-    case RangeOp::Kind::kPlus:
-      return std::make_pair(lo, family_max);
-    case RangeOp::Kind::kMinus:
-      if (lo == family_max) return std::nullopt;
-      return std::make_pair(static_cast<std::uint8_t>(lo + 1), family_max);
-    case RangeOp::Kind::kExact:
-    case RangeOp::Kind::kRange: {
-      const std::uint8_t new_lo = op.n > lo ? op.n : lo;
-      const std::uint8_t new_hi = op.m < family_max ? op.m : family_max;
-      if (new_lo > new_hi) return std::nullopt;
-      return std::make_pair(new_lo, new_hi);
-    }
-  }
-  return std::nullopt;
-}
-
-/// Does `p` match base^own with `chain` (outermost last) applied on top?
-bool matches_with_chain(const Prefix& base, const RangeOp& own,
-                        std::span<const RangeOp> chain, const Prefix& p) {
-  if (!base.covers(p)) return false;
-  auto interval = net::length_interval(own, base.length(), base.family());
-  const std::uint8_t family_max = net::max_prefix_len(base.family());
-  for (const RangeOp& op : chain) {
-    if (!interval) return false;
-    interval = step_interval(*interval, op, family_max);
-  }
-  return interval && p.length() >= interval->first && p.length() <= interval->second;
-}
+using net::matches_with_chain;  // stacked range-op matching lives in net now
 
 /// Case-insensitive "does `needles` contain `value`".
 bool contains_ci(const std::vector<std::string>& needles, std::string_view value) {
@@ -59,8 +21,8 @@ bool contains_ci(const std::vector<std::string>& needles, std::string_view value
   return false;
 }
 
-/// mbrs-by-ref check: the referencing object's maintainers must intersect
-/// the set's mbrs-by-ref list, or the list contains ANY (RFC 2622 §5.1).
+}  // namespace
+
 bool mbrs_by_ref_allows(const std::vector<std::string>& mbrs_by_ref,
                         const std::vector<std::string>& mnt_by) {
   if (mbrs_by_ref.empty()) return false;  // member-of claims need opt-in
@@ -70,8 +32,6 @@ bool mbrs_by_ref_allows(const std::vector<std::string>& mbrs_by_ref,
   }
   return false;
 }
-
-}  // namespace
 
 Index::Index(const ir::Ir& ir) : ir_(ir) {
   obs::Span span("index.build");

@@ -14,6 +14,7 @@
 #include <compare>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -125,5 +126,19 @@ std::optional<std::pair<std::uint8_t, std::uint8_t>> composed_interval(
 /// True if `p` matches "base^inner" with `outer` applied on top.
 bool matches_composed(const Prefix& base, const RangeOp& inner, const RangeOp& outer,
                       const Prefix& p) noexcept;
+
+/// Apply one more range operator on top of an already-computed length
+/// interval (the iterated form of `composed_interval`: stacked operators
+/// fold innermost-first). nullopt when the selection becomes empty.
+std::optional<std::pair<std::uint8_t, std::uint8_t>> step_interval(
+    std::pair<std::uint8_t, std::uint8_t> interval, const RangeOp& op,
+    std::uint8_t family_max) noexcept;
+
+/// True if `p` matches base^own with the operators in `chain` applied on
+/// top, innermost (chain.front()) to outermost (chain.back()). This is the
+/// fully general stacked form the route-set resolver needs: a member's own
+/// operator plus one operator per set reference on the path down to it.
+bool matches_with_chain(const Prefix& base, const RangeOp& own, std::span<const RangeOp> chain,
+                        const Prefix& p) noexcept;
 
 }  // namespace rpslyzer::net

@@ -76,6 +76,12 @@ class PrefixTrie {
   std::size_t size() const noexcept { return count(&v4_root_) + count(&v6_root_); }
   bool empty() const noexcept { return size() == 0; }
 
+  /// Number of allocated trie nodes across both family roots (capacity
+  /// metric: interior nodes included, stored values or not).
+  std::size_t node_count() const noexcept {
+    return count_nodes(&v4_root_) + count_nodes(&v6_root_);
+  }
+
  private:
   struct Node {
     std::unique_ptr<Node> zero;
@@ -89,6 +95,11 @@ class PrefixTrie {
   static std::size_t count(const Node* node) noexcept {
     if (node == nullptr) return 0;
     return (node->value ? 1 : 0) + count(node->zero.get()) + count(node->one.get());
+  }
+
+  static std::size_t count_nodes(const Node* node) noexcept {
+    if (node == nullptr) return 0;
+    return 1 + count_nodes(node->zero.get()) + count_nodes(node->one.get());
   }
 
   Node v4_root_;

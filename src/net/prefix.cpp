@@ -136,4 +136,39 @@ bool matches_composed(const Prefix& base, const RangeOp& inner, const RangeOp& o
   return interval && p.length() >= interval->first && p.length() <= interval->second;
 }
 
+std::optional<std::pair<std::uint8_t, std::uint8_t>> step_interval(
+    std::pair<std::uint8_t, std::uint8_t> interval, const RangeOp& op,
+    std::uint8_t family_max) noexcept {
+  auto [lo, hi] = interval;
+  switch (op.kind) {
+    case RangeOp::Kind::kNone:
+      return interval;
+    case RangeOp::Kind::kPlus:
+      return std::make_pair(lo, family_max);
+    case RangeOp::Kind::kMinus:
+      if (lo == family_max) return std::nullopt;
+      return std::make_pair(static_cast<std::uint8_t>(lo + 1), family_max);
+    case RangeOp::Kind::kExact:
+    case RangeOp::Kind::kRange: {
+      const std::uint8_t new_lo = op.n > lo ? op.n : lo;
+      const std::uint8_t new_hi = op.m < family_max ? op.m : family_max;
+      if (new_lo > new_hi) return std::nullopt;
+      return std::make_pair(new_lo, new_hi);
+    }
+  }
+  return std::nullopt;
+}
+
+bool matches_with_chain(const Prefix& base, const RangeOp& own, std::span<const RangeOp> chain,
+                        const Prefix& p) noexcept {
+  if (!base.covers(p)) return false;
+  auto interval = length_interval(own, base.length(), base.family());
+  const std::uint8_t family_max = max_prefix_len(base.family());
+  for (const RangeOp& op : chain) {
+    if (!interval) return false;
+    interval = step_interval(*interval, op, family_max);
+  }
+  return interval && p.length() >= interval->first && p.length() <= interval->second;
+}
+
 }  // namespace rpslyzer::net

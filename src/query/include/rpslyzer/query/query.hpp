@@ -22,7 +22,9 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "rpslyzer/compile/snapshot.hpp"
 #include "rpslyzer/irr/index.hpp"
 
 namespace rpslyzer::query {
@@ -31,6 +33,12 @@ namespace rpslyzer::query {
 class QueryEngine {
  public:
   explicit QueryEngine(const irr::Index& index) : index_(index) {}
+
+  /// Evaluate against a compiled snapshot: set flattening reads the
+  /// snapshot's immutable tables instead of the index's lazy memo, so the
+  /// engine is safely shared across server workers without prewarming.
+  explicit QueryEngine(const compile::CompiledPolicySnapshot& snapshot)
+      : index_(snapshot.index()), snapshot_(&snapshot) {}
 
   /// Evaluate one query line (with or without the leading '!').
   /// Returns the full framed response, newline-terminated.
@@ -42,7 +50,12 @@ class QueryEngine {
   std::string set_prefixes(std::string_view arg) const;
   std::string aut_num_summary(std::string_view arg) const;
 
+  /// Flattened member ASNs of an as-set (sorted unique), or nullptr when
+  /// the set is undefined. Dispatches snapshot vs. index backend.
+  const std::vector<ir::Asn>* flat_asns(std::string_view name) const;
+
   const irr::Index& index_;
+  const compile::CompiledPolicySnapshot* snapshot_ = nullptr;
 };
 
 /// Wrap payload text in IRRd response framing ("A<len>\n...\nC\n").

@@ -51,6 +51,15 @@ std::string join(const Range& range, Render render) {
 
 }  // namespace
 
+const std::vector<ir::Asn>* QueryEngine::flat_asns(std::string_view name) const {
+  if (snapshot_ != nullptr) {
+    const compile::CompiledAsSet* flat = snapshot_->flattened(name);
+    return flat == nullptr ? nullptr : &flat->asns;
+  }
+  const irr::FlattenedAsSet* flat = index_.flattened(name);
+  return flat == nullptr ? nullptr : &flat->asns;
+}
+
 std::string frame_response(std::string_view payload) {
   if (payload.empty()) return empty_success();
   // IRRd counts the payload bytes including the trailing newline.
@@ -85,10 +94,10 @@ std::string QueryEngine::set_members(std::string_view arg) const {
 
   if (const ir::AsSet* set = index_.as_set(arg)) {
     if (recursive) {
-      const irr::FlattenedAsSet* flat = index_.flattened(arg);
-      if (flat == nullptr) return not_found();
+      const std::vector<ir::Asn>* asns = flat_asns(arg);
+      if (asns == nullptr) return not_found();
       return frame_response(
-          join(flat->asns, [](ir::Asn asn) { return "AS" + std::to_string(asn); }));
+          join(*asns, [](ir::Asn asn) { return "AS" + std::to_string(asn); }));
     }
     std::vector<std::string> members;
     for (const auto& member : set->members) {
@@ -150,7 +159,7 @@ std::string QueryEngine::set_prefixes(std::string_view arg) const {
     want_v4 = false;
     arg = trim(arg.substr(1));
   }
-  const irr::FlattenedAsSet* flat = index_.flattened(arg);
+  const std::vector<ir::Asn>* flat = flat_asns(arg);
   if (flat == nullptr) {
     // A bare ASN is also accepted (an as-set of one).
     if (auto asn = ir::parse_as_ref(arg)) {
@@ -168,7 +177,7 @@ std::string QueryEngine::set_prefixes(std::string_view arg) const {
     return not_found();
   }
   std::vector<std::string> out;
-  for (ir::Asn asn : flat->asns) {
+  for (ir::Asn asn : *flat) {
     for (const auto& prefix : index_.origins_of(asn)) {
       if ((prefix.is_v4() && want_v4) || (!prefix.is_v4() && want_v6)) {
         out.push_back(prefix.to_string());

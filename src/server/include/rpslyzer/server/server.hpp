@@ -57,14 +57,20 @@
 #include "rpslyzer/server/cache.hpp"
 #include "rpslyzer/server/stats.hpp"
 
+namespace rpslyzer::compile {
+class CompiledPolicySnapshot;
+}  // namespace rpslyzer::compile
+
 namespace rpslyzer::server {
 
-/// Produces a fresh corpus snapshot; called once at start() and again on
-/// every reload. The returned pointer must keep whatever owns the Index
-/// alive — use the shared_ptr aliasing constructor over the owner. Return
-/// nullptr (or throw) on failure: the server keeps serving the previous
-/// generation and answers the reload with an error.
-using CorpusLoader = std::function<std::shared_ptr<const irr::Index>()>;
+/// Produces a fresh compiled corpus snapshot (index + relations lowered by
+/// compile::CompiledPolicySnapshot::build); called once at start() and
+/// again on every reload, off the event loop. The returned pointer must
+/// keep whatever owns the underlying Index alive — build from aliasing
+/// shared_ptrs over the owner. Return nullptr (or throw) on failure: the
+/// server keeps serving the previous generation and answers the reload
+/// with an error.
+using CorpusLoader = std::function<std::shared_ptr<const compile::CompiledPolicySnapshot>()>;
 
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
@@ -192,7 +198,7 @@ class Server {
     std::string response;
   };
   struct Snapshot {
-    std::shared_ptr<const irr::Index> index;
+    std::shared_ptr<const compile::CompiledPolicySnapshot> corpus;
     std::uint64_t generation = 0;
   };
 
@@ -225,6 +231,8 @@ class Server {
 
   Snapshot snapshot() const;
   std::string answer(const std::string& line);
+  static std::string verify_query(const compile::CompiledPolicySnapshot& corpus,
+                                  std::string_view args);
   std::string do_reload();
 
   ServerConfig config_;
@@ -248,7 +256,7 @@ class Server {
 
   // Corpus snapshot; swapped wholesale on reload.
   mutable std::mutex corpus_mu_;
-  std::shared_ptr<const irr::Index> corpus_;
+  std::shared_ptr<const compile::CompiledPolicySnapshot> corpus_;
   std::atomic<std::uint64_t> generation_{0};
   std::mutex reload_mu_;  // serializes overlapping reload requests
 

@@ -16,12 +16,14 @@
 #include <map>
 #include <set>
 
+#include "rpslyzer/compile/snapshot.hpp"
 #include "rpslyzer/obs/failpoint_bridge.hpp"
 #include "rpslyzer/obs/log.hpp"
 #include "rpslyzer/obs/trace.hpp"
 #include "rpslyzer/query/query.hpp"
 #include "rpslyzer/util/failpoint.hpp"
 #include "rpslyzer/util/strings.hpp"
+#include "rpslyzer/verify/verifier.hpp"
 
 namespace rpslyzer::server {
 
@@ -176,7 +178,7 @@ bool Server::start(std::string* error) {
     if (error) *error = "server already started";
     return false;
   }
-  std::shared_ptr<const irr::Index> corpus;
+  std::shared_ptr<const compile::CompiledPolicySnapshot> corpus;
   try {
     corpus = loader_();
   } catch (const std::exception& e) {
@@ -308,16 +310,59 @@ std::string Server::answer(const std::string& line) {
   Snapshot snap = snapshot();
   const std::string key = normalize_query_key(line);
   if (auto hit = cache_.get(key, snap.generation)) return std::move(*hit);
-  query::QueryEngine engine(*snap.index);
-  std::string response = engine.evaluate(line);
+  std::string response;
+  std::string_view trimmed = util::trim(line);
+  if (!trimmed.empty() && trimmed.front() == '!') trimmed.remove_prefix(1);
+  if (!trimmed.empty() && (trimmed.front() == 'v' || trimmed.front() == 'V')) {
+    response = verify_query(*snap.corpus, trimmed.substr(1));
+  } else {
+    query::QueryEngine engine(*snap.corpus);
+    response = engine.evaluate(line);
+  }
   cache_.put(key, snap.generation, response);
   return response;
+}
+
+std::string Server::verify_query(const compile::CompiledPolicySnapshot& corpus,
+                                 std::string_view args) {
+  // `!v <prefix> <as-path>` — verify one announced route against the
+  // compiled policies and report per-hop verdicts. The AS path is listed
+  // origin-last, exactly as it appears in a table dump.
+  std::vector<std::string_view> tokens;
+  for (std::string_view rest = args;;) {
+    while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+      rest.remove_prefix(1);
+    }
+    if (rest.empty()) break;
+    std::size_t end = rest.find_first_of(" \t");
+    tokens.push_back(rest.substr(0, end));
+    if (end == std::string_view::npos) break;
+    rest.remove_prefix(end);
+  }
+  if (tokens.size() < 3) {
+    return "F usage: !v <prefix> <asn> <asn> [<asn>...]\n";
+  }
+  std::optional<net::Prefix> prefix = net::Prefix::parse(tokens.front());
+  if (!prefix) {
+    return "F bad prefix: " + std::string(tokens.front()) + "\n";
+  }
+  bgp::Route route;
+  route.prefix = *prefix;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::optional<ir::Asn> asn = ir::parse_as_ref(tokens[i]);
+    if (!asn) return "F bad AS number: " + std::string(tokens[i]) + "\n";
+    route.path.push_back(*asn);
+  }
+  verify::Verifier verifier(
+      std::shared_ptr<const compile::CompiledPolicySnapshot>(
+          std::shared_ptr<void>(), &corpus));
+  return query::frame_response(verifier.report(route));
 }
 
 std::string Server::do_reload() {
   reloads_in_flight_.fetch_add(1, std::memory_order_acq_rel);
   std::lock_guard<std::mutex> serialize(reload_mu_);
-  std::shared_ptr<const irr::Index> fresh;
+  std::shared_ptr<const compile::CompiledPolicySnapshot> fresh;
   std::string why;
   try {
     fresh = loader_();
@@ -418,10 +463,12 @@ std::string Server::stats_payload() const {
   const CacheStats cache = cache_.stats();
   const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start_time_);
-  char buffer[2048];
+  const Snapshot corpus_snap = snapshot();
+  char buffer[2560];
   std::snprintf(
       buffer, sizeof(buffer),
       "generation: %llu\n"
+      "snapshot: build-id=%llu interned-symbols=%zu trie-nodes=%zu\n"
       "health: %s\n"
       "uptime-ms: %lld\n"
       "connections: open=%lld accepted=%llu rejected=%llu idle-closed=%llu "
@@ -435,6 +482,10 @@ std::string Server::stats_payload() const {
       "reloads: %llu\n"
       "reload-failures: %llu retries=%llu",
       static_cast<unsigned long long>(generation()),
+      static_cast<unsigned long long>(
+          corpus_snap.corpus ? corpus_snap.corpus->build_id() : 0),
+      corpus_snap.corpus ? corpus_snap.corpus->interned_symbols() : std::size_t{0},
+      corpus_snap.corpus ? corpus_snap.corpus->trie_nodes() : std::size_t{0},
       to_string(health().state),
       static_cast<long long>(uptime.count()),
       static_cast<long long>(snap.connections_open),

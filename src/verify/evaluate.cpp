@@ -1,10 +1,26 @@
 #include "evaluate.hpp"
 
 #include "rpslyzer/aspath/engine.hpp"
+#include "rpslyzer/compile/snapshot.hpp"
 #include "rpslyzer/net/martians.hpp"
 #include "rpslyzer/util/strings.hpp"
 
 namespace rpslyzer::verify::internal {
+
+aspath::RegexMatch InterpretedCorpus::match_as_path(const ir::FilterAsPath& filter,
+                                                    std::span<const Asn> path,
+                                                    Asn peer) const {
+  aspath::MatchEnv env{path, peer, &index};
+  aspath::RegexMatch result = aspath::match_nfa(filter.regex, env);
+  if (result == aspath::RegexMatch::kUnsupported) {
+    result = aspath::match_backtrack(filter.regex, env);
+  }
+  return result;
+}
+
+bool InterpretedCorpus::as_path_skipped(const ir::FilterAsPath& filter) const {
+  return ir::uses_skipped_constructs(filter.regex);
+}
 
 namespace {
 
@@ -34,7 +50,8 @@ struct PeeringEval {
   std::vector<ReportItem> items;
 };
 
-PeeringEval eval_as_expr(const ir::AsExpr& expr, const EvalContext& ctx) {
+template <typename Corpus>
+PeeringEval eval_as_expr(const ir::AsExpr& expr, const EvalContextT<Corpus>& ctx) {
   return std::visit(
       overloaded{
           [&](const ir::AsExprAsn& a) -> PeeringEval {
@@ -42,7 +59,7 @@ PeeringEval eval_as_expr(const ir::AsExpr& expr, const EvalContext& ctx) {
             return {PeeringEvalClass::kNoMatch, {{Reason::kMatchRemoteAsNum, a.asn, {}}}};
           },
           [&](const ir::AsExprSet& s) -> PeeringEval {
-            const irr::FlattenedAsSet* flat = ctx.index.flattened(s.name);
+            const auto* flat = ctx.corpus.flattened(s.name);
             if (flat == nullptr) {
               return {PeeringEvalClass::kUnrecorded, {{Reason::kUnrecordedAsSet, 0, s.name}}};
             }
@@ -105,15 +122,19 @@ PeeringEval eval_as_expr(const ir::AsExpr& expr, const EvalContext& ctx) {
       expr.node);
 }
 
-PeeringEval eval_peering(const ir::Peering& peering, const EvalContext& ctx, int depth);
+template <typename Corpus>
+PeeringEval eval_peering(const ir::Peering& peering, const EvalContextT<Corpus>& ctx,
+                         int depth = 0);
 
-PeeringEval eval_peering_set(std::string_view name, const EvalContext& ctx, int depth) {
+template <typename Corpus>
+PeeringEval eval_peering_set(std::string_view name, const EvalContextT<Corpus>& ctx,
+                             int depth) {
   // Peering-sets may (pathologically) reference peering-sets; bound the
   // recursion like the set-flattening cycle guards elsewhere.
   if (depth > 8) {
     return {PeeringEvalClass::kNoMatch, {{Reason::kMatchRemotePeeringSet, 0, std::string(name)}}};
   }
-  const ir::PeeringSet* set = ctx.index.peering_set(name);
+  const ir::PeeringSet* set = ctx.corpus.peering_set(name);
   if (set == nullptr) {
     return {PeeringEvalClass::kUnrecorded,
             {{Reason::kUnrecordedPeeringSet, 0, std::string(name)}}};
@@ -136,7 +157,9 @@ PeeringEval eval_peering_set(std::string_view name, const EvalContext& ctx, int 
   return out;
 }
 
-PeeringEval eval_peering(const ir::Peering& peering, const EvalContext& ctx, int depth = 0) {
+template <typename Corpus>
+PeeringEval eval_peering(const ir::Peering& peering, const EvalContextT<Corpus>& ctx,
+                         int depth) {
   return std::visit(
       overloaded{
           [&](const ir::PeeringSpec& spec) { return eval_as_expr(spec.as_expr, ctx); },
@@ -173,8 +196,9 @@ FilterEval from_lookup(irr::Lookup lookup, ReportItem on_fail, ReportItem on_unk
 /// `positive` tracks boolean polarity: failed-term report items are only
 /// recorded in positive positions, where they are relaxation candidates.
 /// `depth` bounds filter-set reference chains (which may cycle in the wild).
-FilterEval eval_filter(const ir::Filter& filter, const EvalContext& ctx, bool positive,
-                       int depth = 0) {
+template <typename Corpus>
+FilterEval eval_filter(const ir::Filter& filter, const EvalContextT<Corpus>& ctx,
+                       bool positive, int depth = 0) {
   return std::visit(
       overloaded{
           [&](const ir::FilterAny&) -> FilterEval { return {FilterEvalClass::kMatch, {}}; },
@@ -183,8 +207,8 @@ FilterEval eval_filter(const ir::Filter& filter, const EvalContext& ctx, bool po
             // routes whose prefix has a matching route object with that
             // origin. Report failures as MatchFilterAsNum(peer) so the
             // import-customer relaxation sees them.
-            return from_lookup(ctx.index.origin_matches(ctx.peer, net::RangeOp::none(),
-                                                        ctx.prefix),
+            return from_lookup(ctx.corpus.origin_matches(ctx.peer, net::RangeOp::none(),
+                                                         ctx.prefix),
                                {Reason::kMatchFilterAsNum, ctx.peer, {}},
                                {Reason::kUnrecordedZeroRouteAs, ctx.peer, {}});
           },
@@ -194,7 +218,7 @@ FilterEval eval_filter(const ir::Filter& filter, const EvalContext& ctx, bool po
                     {}};
           },
           [&](const ir::FilterAsNum& f) -> FilterEval {
-            FilterEval out = from_lookup(ctx.index.origin_matches(f.asn, f.op, ctx.prefix),
+            FilterEval out = from_lookup(ctx.corpus.origin_matches(f.asn, f.op, ctx.prefix),
                                          {Reason::kMatchFilterAsNum, f.asn, {}},
                                          {Reason::kUnrecordedZeroRouteAs, f.asn, {}});
             if (!positive) out.items.clear();
@@ -202,16 +226,16 @@ FilterEval eval_filter(const ir::Filter& filter, const EvalContext& ctx, bool po
           },
           [&](const ir::FilterAsSet& f) -> FilterEval {
             FilterEval out = from_lookup(
-                ctx.index.as_set_originates(f.name, f.op, ctx.prefix),
+                ctx.corpus.as_set_originates(f.name, f.op, ctx.prefix),
                 {Reason::kMatchFilterAsSet, 0, f.name},
-                ctx.index.is_known(f.name)
+                ctx.corpus.is_known(f.name)
                     ? ReportItem{Reason::kUnrecordedZeroRouteAs, 0, f.name}
                     : ReportItem{Reason::kUnrecordedAsSet, 0, f.name});
             if (!positive) out.items.clear();
             return out;
           },
           [&](const ir::FilterRouteSet& f) -> FilterEval {
-            return from_lookup(ctx.index.route_set_matches(f.name, f.op, ctx.prefix),
+            return from_lookup(ctx.corpus.route_set_matches(f.name, f.op, ctx.prefix),
                                {Reason::kMatchFilterRouteSet, 0, f.name},
                                {Reason::kUnrecordedRouteSet, 0, f.name});
           },
@@ -220,7 +244,7 @@ FilterEval eval_filter(const ir::Filter& filter, const EvalContext& ctx, bool po
               // A filter-set reference cycle can never be resolved.
               return {FilterEvalClass::kSkip, {{Reason::kSkipUnparsedFilter, 0, f.name}}};
             }
-            const ir::FilterSet* set = ctx.index.filter_set(f.name);
+            const ir::FilterSet* set = ctx.corpus.filter_set(f.name);
             if (set == nullptr) {
               return {FilterEvalClass::kUnrecorded, {{Reason::kUnrecordedFilterSet, 0, f.name}}};
             }
@@ -253,15 +277,10 @@ FilterEval eval_filter(const ir::Filter& filter, const EvalContext& ctx, bool po
             return out;
           },
           [&](const ir::FilterAsPath& f) -> FilterEval {
-            if (ctx.options.paper_faithful_skips && ir::uses_skipped_constructs(f.regex)) {
+            if (ctx.options.paper_faithful_skips && ctx.corpus.as_path_skipped(f)) {
               return {FilterEvalClass::kSkip, {{Reason::kSkipRegexConstruct, 0, {}}}};
             }
-            aspath::MatchEnv env{ctx.path, ctx.peer, &ctx.index};
-            aspath::RegexMatch result = aspath::match_nfa(f.regex, env);
-            if (result == aspath::RegexMatch::kUnsupported) {
-              result = aspath::match_backtrack(f.regex, env);
-            }
-            switch (result) {
+            switch (ctx.corpus.match_as_path(f, ctx.path, ctx.peer)) {
               case aspath::RegexMatch::kMatch:
                 return {FilterEvalClass::kMatch, {}};
               case aspath::RegexMatch::kNoMatch: {
@@ -344,7 +363,8 @@ FilterEval eval_filter(const ir::Filter& filter, const EvalContext& ctx, bool po
 // Entries (rules, possibly structured)
 // ---------------------------------------------------------------------------
 
-RuleOutcome eval_factor(const ir::PolicyFactor& factor, const EvalContext& ctx) {
+template <typename Corpus>
+RuleOutcome eval_factor(const ir::PolicyFactor& factor, const EvalContextT<Corpus>& ctx) {
   // (1) Any of the factor's peerings must cover the remote AS.
   PeeringEval best_peering{PeeringEvalClass::kNoMatch, {}};
   for (const auto& pa : factor.peerings) {
@@ -384,7 +404,8 @@ RuleOutcome eval_factor(const ir::PolicyFactor& factor, const EvalContext& ctx) 
   return {EvalClass::kNoMatchFilter, {}};
 }
 
-RuleOutcome eval_entry(const ir::Entry& entry, bool mp, const EvalContext& ctx) {
+template <typename Corpus>
+RuleOutcome eval_entry(const ir::Entry& entry, bool mp, const EvalContextT<Corpus>& ctx) {
   if (!entry.covers_unicast(ctx.prefix.family(), mp)) {
     return {EvalClass::kNotApplicable, {}};
   }
@@ -473,8 +494,14 @@ RuleOutcome combine_best(RuleOutcome a, RuleOutcome b) {
   return std::move(best);
 }
 
-RuleOutcome evaluate_rule(const ir::Rule& rule, const EvalContext& ctx) {
+template <typename Corpus>
+RuleOutcome evaluate_rule(const ir::Rule& rule, const EvalContextT<Corpus>& ctx) {
   return eval_entry(rule.entry, rule.mp, ctx);
 }
+
+template RuleOutcome evaluate_rule<InterpretedCorpus>(
+    const ir::Rule&, const EvalContextT<InterpretedCorpus>&);
+template RuleOutcome evaluate_rule<compile::CompiledPolicySnapshot>(
+    const ir::Rule&, const EvalContextT<compile::CompiledPolicySnapshot>&);
 
 }  // namespace rpslyzer::verify::internal

@@ -1,10 +1,15 @@
 #pragma once
 // Multi-threaded route verification. The paper verifies 779M routes on a
 // dual-64-core machine (§5); checks are independent per route, so the
-// engine parallelizes by sharding routes across threads. The shared Index
-// must be prewarmed (irr::Index::prewarm) so as-set flattening is a pure
-// read; each worker gets its own Verifier (its caches are cheap).
+// engine parallelizes by sharding routes across threads.
+//
+// With VerifyOptions::use_snapshot (the default), the index/relations
+// overload compiles a CompiledPolicySnapshot once and all workers share a
+// single const Verifier — no prewarm dance, no per-thread caches. With
+// use_snapshot=false, the shared Index is prewarmed so as-set flattening
+// is a pure read and each worker gets its own interpreted Verifier.
 
+#include <memory>
 #include <vector>
 
 #include "rpslyzer/verify/verifier.hpp"
@@ -16,6 +21,12 @@ namespace rpslyzer::verify {
 /// the hardware concurrency.
 std::vector<std::vector<HopCheck>> verify_routes_parallel(
     const irr::Index& index, const relations::AsRelations& relations,
+    const std::vector<bgp::Route>& routes, VerifyOptions options = {},
+    unsigned threads = 0);
+
+/// Same, against an already-built snapshot (one shared const Verifier).
+std::vector<std::vector<HopCheck>> verify_routes_parallel(
+    std::shared_ptr<const compile::CompiledPolicySnapshot> snapshot,
     const std::vector<bgp::Route>& routes, VerifyOptions options = {},
     unsigned threads = 0);
 

@@ -3,15 +3,50 @@
 #include <atomic>
 #include <thread>
 
+#include "rpslyzer/compile/snapshot.hpp"
 #include "rpslyzer/obs/trace.hpp"
 
 namespace rpslyzer::verify {
 
-std::vector<std::vector<HopCheck>> verify_routes_parallel(
+namespace {
+
+/// Shard `routes` across `threads` workers with a bounded claim loop and
+/// write results through `verifier_for_thread(t)`.
+template <typename VerifierFor>
+void run_pool(const std::vector<bgp::Route>& routes,
+              std::vector<std::vector<HopCheck>>& results, unsigned threads,
+              const VerifierFor& verifier_for_thread) {
+  std::atomic<std::size_t> next{0};
+  auto worker = [&](unsigned t) {
+    const Verifier& verifier = verifier_for_thread(t);
+    constexpr std::size_t kBatch = 64;
+    while (true) {
+      // Claim [begin, end) with a CAS bounded at routes.size(): a bare
+      // fetch_add would keep incrementing the counter past the end on
+      // every spin of every thread (overflow risk on small inputs with
+      // many threads).
+      std::size_t begin = next.load(std::memory_order_relaxed);
+      std::size_t end = 0;
+      do {
+        if (begin >= routes.size()) return;
+        end = std::min(begin + kBatch, routes.size());
+      } while (!next.compare_exchange_weak(begin, end, std::memory_order_relaxed));
+      obs::Span batch_span("verify.batch");
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = verifier.verify_route(routes[i]);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& thread : pool) thread.join();
+}
+
+std::vector<std::vector<HopCheck>> verify_interpreted(
     const irr::Index& index, const relations::AsRelations& relations,
     const std::vector<bgp::Route>& routes, VerifyOptions options, unsigned threads) {
   obs::Span verify_span("verify.routes");
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   std::vector<std::vector<HopCheck>> results(routes.size());
   if (routes.empty()) return results;
   if (threads == 1 || routes.size() < 2 * threads) {
@@ -28,27 +63,53 @@ std::vector<std::vector<HopCheck>> verify_routes_parallel(
   // Tier-1 computation caches lazily inside AsRelations; force it now.
   relations.tier1();
 
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    // Verifier-level caches (customer cones, only-provider bits) are
-    // per-thread; they deduplicate quickly across a shard.
-    Verifier verifier(index, relations, options);
-    constexpr std::size_t kBatch = 64;
-    while (true) {
-      const std::size_t begin = next.fetch_add(kBatch);
-      if (begin >= routes.size()) break;
-      const std::size_t end = std::min(begin + kBatch, routes.size());
-      obs::Span batch_span("verify.batch");
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] = verifier.verify_route(routes[i]);
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
+  // Verifier-level caches (customer cones, only-provider bits) are
+  // per-thread; they deduplicate quickly across a shard.
+  std::vector<Verifier> verifiers;
+  verifiers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) verifiers.emplace_back(index, relations, options);
+  run_pool(routes, results, threads,
+           [&](unsigned t) -> const Verifier& { return verifiers[t]; });
   return results;
+}
+
+}  // namespace
+
+std::vector<std::vector<HopCheck>> verify_routes_parallel(
+    std::shared_ptr<const compile::CompiledPolicySnapshot> snapshot,
+    const std::vector<bgp::Route>& routes, VerifyOptions options, unsigned threads) {
+  obs::Span verify_span("verify.routes");
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::vector<HopCheck>> results(routes.size());
+  if (routes.empty()) return results;
+  // One immutable Verifier for everyone; no per-thread state exists.
+  Verifier verifier(std::move(snapshot), options);
+  if (threads == 1 || routes.size() < 2 * threads) {
+    obs::Span batch_span("verify.batch");
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      results[i] = verifier.verify_route(routes[i]);
+    }
+    return results;
+  }
+  run_pool(routes, results, threads,
+           [&](unsigned) -> const Verifier& { return verifier; });
+  return results;
+}
+
+std::vector<std::vector<HopCheck>> verify_routes_parallel(
+    const irr::Index& index, const relations::AsRelations& relations,
+    const std::vector<bgp::Route>& routes, VerifyOptions options, unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  if (options.use_snapshot) {
+    // Build a snapshot over non-owning aliases: the caller guarantees index
+    // and relations outlive this call, and the snapshot dies with it.
+    auto snapshot = compile::CompiledPolicySnapshot::build(
+        std::shared_ptr<const irr::Index>(std::shared_ptr<void>(), &index),
+        std::shared_ptr<const relations::AsRelations>(std::shared_ptr<void>(),
+                                                      &relations));
+    return verify_routes_parallel(std::move(snapshot), routes, options, threads);
+  }
+  return verify_interpreted(index, relations, routes, options, threads);
 }
 
 }  // namespace rpslyzer::verify

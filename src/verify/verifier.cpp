@@ -3,82 +3,43 @@
 #include <algorithm>
 
 #include "evaluate.hpp"
-#include "rpslyzer/util/strings.hpp"
+#include "rpslyzer/compile/snapshot.hpp"
 
 namespace rpslyzer::verify {
 
 namespace {
 
 using internal::EvalClass;
-using internal::EvalContext;
 using internal::RuleOutcome;
-
-/// All remote ASNs named by plain-ASN peerings of this aut-num's rules.
-/// Returns false if any peering is not a plain ASN (sets and AS-ANY mean
-/// the AS maintains policies beyond a fixed provider list).
-bool collect_peering_asns(const ir::Entry& entry, std::vector<Asn>& out) {
-  return std::visit(
-      util::overloaded{
-          [&](const ir::EntryTerm& term) {
-            for (const auto& factor : term.factors) {
-              for (const auto& pa : factor.peerings) {
-                const auto* spec = std::get_if<ir::PeeringSpec>(&pa.peering.node);
-                if (spec == nullptr) return false;
-                const auto* asn = std::get_if<ir::AsExprAsn>(&spec->as_expr.node);
-                if (asn == nullptr) return false;
-                out.push_back(asn->asn);
-              }
-            }
-            return true;
-          },
-          [&](const ir::EntryExcept& e) {
-            return collect_peering_asns(*e.left, out) && collect_peering_asns(*e.right, out);
-          },
-          [&](const ir::EntryRefine& e) {
-            return collect_peering_asns(*e.left, out) && collect_peering_asns(*e.right, out);
-          },
-      },
-      entry.node);
-}
 
 }  // namespace
 
 Verifier::Verifier(const irr::Index& index, const relations::AsRelations& relations,
                    VerifyOptions options)
-    : index_(index), relations_(relations), options_(options) {}
+    : index_(&index), relations_(&relations), options_(options) {}
+
+Verifier::Verifier(std::shared_ptr<const compile::CompiledPolicySnapshot> snapshot,
+                   VerifyOptions options)
+    : snapshot_(std::move(snapshot)), options_(options) {}
+
+const relations::AsRelations& Verifier::rels() const {
+  return snapshot_ != nullptr ? snapshot_->relations() : *relations_;
+}
+
+bool Verifier::contains_origin(const std::string& as_set, Asn origin) const {
+  return snapshot_ != nullptr ? snapshot_->contains(as_set, origin)
+                              : index_->contains(as_set, origin);
+}
 
 bool Verifier::only_provider_policies(Asn asn) const {
+  if (snapshot_ != nullptr) {
+    const compile::CompiledAutNum* can = snapshot_->compiled_aut_num(asn);
+    return can != nullptr && can->only_provider;
+  }
   if (auto it = only_provider_cache_.find(asn); it != only_provider_cache_.end()) {
     return it->second;
   }
-  bool result = false;
-  // §5.1.2 scopes this to transit ASes ("46 transit ASes only specify
-  // rules for their providers"); edge networks with provider-only rules
-  // are the normal case, not a safelist.
-  const ir::AutNum* an =
-      relations_.customers_of(asn).empty() ? nullptr : index_.aut_num(asn);
-  if (an != nullptr) {
-    std::vector<Asn> remotes;
-    bool simple = true;
-    for (const auto* rules : {&an->imports, &an->exports}) {
-      for (const auto& rule : *rules) {
-        if (!collect_peering_asns(rule.entry, remotes)) {
-          simple = false;
-          break;
-        }
-      }
-      if (!simple) break;
-    }
-    if (simple && !remotes.empty()) {
-      result = true;
-      for (Asn remote : remotes) {
-        if (!relations_.is_customer_of(asn, remote)) {
-          result = false;
-          break;
-        }
-      }
-    }
-  }
+  const bool result = compile::only_provider_policies(*index_, *relations_, asn);
   only_provider_cache_.emplace(asn, result);
   return result;
 }
@@ -86,41 +47,38 @@ bool Verifier::only_provider_policies(Asn asn) const {
 bool Verifier::relax_export_self(Asn self, const net::Prefix& prefix) const {
   // Appendix C semantics: "announce <self>" is relaxed to also cover route
   // objects originated by the AS's customer cone.
+  if (snapshot_ != nullptr) {
+    const compile::CompiledAutNum* can = snapshot_->compiled_aut_num(self);
+    if (can == nullptr) return false;  // check() guarantees an aut-num exists
+    std::span<const Asn> exact = snapshot_->exact_origins(prefix);
+    const auto& cone = can->customer_cone;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < exact.size() && j < cone.size()) {
+      if (exact[i] == cone[j]) return true;
+      if (exact[i] < cone[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return false;
+  }
   auto it = cone_cache_.find(self);
   if (it == cone_cache_.end()) {
-    it = cone_cache_.emplace(self, relations_.customer_cone(self)).first;
+    it = cone_cache_.emplace(self, relations_->customer_cone(self)).first;
   }
   for (Asn member : it->second) {
-    if (index_.origin_matches(member, net::RangeOp::none(), prefix) == irr::Lookup::kMatch) {
+    if (index_->origin_matches(member, net::RangeOp::none(), prefix) ==
+        irr::Lookup::kMatch) {
       return true;
     }
   }
   return false;
 }
 
-CheckResult Verifier::check(Asn self, Asn peer, bool is_import, const bgp::Route& route,
-                            std::span<const Asn> announced_path) const {
-  // Unrecorded (1): no aut-num object for the AS under check.
-  const ir::AutNum* an = index_.aut_num(self);
-  if (an == nullptr) {
-    return {Status::kUnrecorded, {{Reason::kUnrecordedAutNum, self, {}}}};
-  }
-  // Unrecorded (2): zero rules for the direction being checked.
-  const auto& rules = is_import ? an->imports : an->exports;
-  if (rules.empty()) {
-    return {Status::kUnrecorded, {{Reason::kUnrecordedNoRules, self, {}}}};
-  }
-
-  EvalContext ctx{index_, options_, self,
-                  peer,   route.prefix, announced_path,
-                  route.origin()};
-
-  RuleOutcome best{EvalClass::kNotApplicable, {}};
-  for (const auto& rule : rules) {
-    best = internal::combine_best(std::move(best), internal::evaluate_rule(rule, ctx));
-    if (best.cls == EvalClass::kMatch) break;
-  }
-
+CheckResult Verifier::classify(RuleOutcome best, Asn self, Asn peer, bool is_import,
+                               const bgp::Route& route) const {
   switch (best.cls) {
     case EvalClass::kMatch:
       return {Status::kVerified, {}};
@@ -145,7 +103,7 @@ CheckResult Verifier::check(Asn self, Asn peer, bool is_import, const bgp::Route
         has_peer_filter = has_peer_filter || item.asn == peer;
         has_origin_filter = has_origin_filter || item.asn == origin;
       } else if (item.reason == Reason::kMatchFilterAsSet) {
-        has_origin_filter = has_origin_filter || index_.contains(item.name, origin);
+        has_origin_filter = has_origin_filter || contains_origin(item.name, origin);
       }
     }
     // Export Self: a transit AS announcing "its own" routes almost always
@@ -156,7 +114,7 @@ CheckResult Verifier::check(Asn self, Asn peer, bool is_import, const bgp::Route
     }
     // Import Customer: "from C accept C" (or accept PeerAS) by C's provider
     // means "accept anything C sends".
-    if (is_import && has_peer_filter && relations_.is_provider_of(self, peer)) {
+    if (is_import && has_peer_filter && rels().is_provider_of(self, peer)) {
       best.items.push_back({Reason::kRelaxedImportCustomer, 0, {}});
       return {Status::kRelaxed, std::move(best.items)};
     }
@@ -170,7 +128,7 @@ CheckResult Verifier::check(Asn self, Asn peer, bool is_import, const bgp::Route
 
   // §5.1.2 safelisted relationships, in paper order.
   if (options_.safelists) {
-    const relations::Relationship to_peer = relations_.between(self, peer);
+    const relations::Relationship to_peer = rels().between(self, peer);
     // Only Provider Policies: ASes that maintain rules solely for their
     // providers (who may require them); imports from anyone that is not a
     // provider pass. Appendix C distinguishes known customers from other
@@ -185,7 +143,7 @@ CheckResult Verifier::check(Asn self, Asn peer, bool is_import, const bgp::Route
       return {Status::kSafelisted, std::move(best.items)};
     }
     // Tier-1 Peering: Tier-1s exchange routes by definition.
-    if (relations_.is_tier1(self) && relations_.is_tier1(peer)) {
+    if (rels().is_tier1(self) && rels().is_tier1(peer)) {
       best.items.push_back({Reason::kSpecTier1Pair, 0, {}});
       return {Status::kSafelisted, std::move(best.items)};
     }
@@ -200,6 +158,75 @@ CheckResult Verifier::check(Asn self, Asn peer, bool is_import, const bgp::Route
   }
 
   return {Status::kUnverified, std::move(best.items)};
+}
+
+CheckResult Verifier::check(Asn self, Asn peer, bool is_import, const bgp::Route& route,
+                            std::span<const Asn> announced_path) const {
+  if (snapshot_ != nullptr) {
+    // Unrecorded (1): no aut-num object for the AS under check.
+    const compile::CompiledAutNum* can = snapshot_->compiled_aut_num(self);
+    if (can == nullptr) {
+      return {Status::kUnrecorded, {{Reason::kUnrecordedAutNum, self, {}}}};
+    }
+    // Unrecorded (2): zero rules for the direction being checked.
+    const auto& crules = is_import ? can->imports : can->exports;
+    if (crules.empty()) {
+      return {Status::kUnrecorded, {{Reason::kUnrecordedNoRules, self, {}}}};
+    }
+
+    internal::EvalContextT<compile::CompiledPolicySnapshot> ctx{
+        *snapshot_, options_, self, peer, route.prefix, announced_path, route.origin()};
+
+    RuleOutcome best{EvalClass::kNotApplicable, {}};
+    for (const auto& crule : crules) {
+      RuleOutcome out;
+      const bool covers = route.prefix.is_v4() ? crule.covers_v4 : crule.covers_v6;
+      if (!covers) {
+        out.cls = EvalClass::kNotApplicable;
+      } else if (crule.simple &&
+                 !std::binary_search(crule.peers.begin(), crule.peers.end(), peer)) {
+        // Fast reject: every peering is a plain ASN and none names the
+        // peer, so no factor's filter is ever evaluated. Reproduces the
+        // interpreted per-factor NoMatchPeering merge exactly.
+        if (crule.no_factors) {
+          out.cls = EvalClass::kNotApplicable;
+        } else {
+          out.cls = EvalClass::kNoMatchPeering;
+          out.items.reserve(crule.no_match_asns.size());
+          for (Asn a : crule.no_match_asns) {
+            out.items.push_back({Reason::kMatchRemoteAsNum, a, {}});
+          }
+        }
+      } else {
+        out = internal::evaluate_rule(*crule.rule, ctx);
+      }
+      best = internal::combine_best(std::move(best), std::move(out));
+      if (best.cls == EvalClass::kMatch) break;
+    }
+    return classify(std::move(best), self, peer, is_import, route);
+  }
+
+  // Unrecorded (1): no aut-num object for the AS under check.
+  const ir::AutNum* an = index_->aut_num(self);
+  if (an == nullptr) {
+    return {Status::kUnrecorded, {{Reason::kUnrecordedAutNum, self, {}}}};
+  }
+  // Unrecorded (2): zero rules for the direction being checked.
+  const auto& rules = is_import ? an->imports : an->exports;
+  if (rules.empty()) {
+    return {Status::kUnrecorded, {{Reason::kUnrecordedNoRules, self, {}}}};
+  }
+
+  internal::InterpretedCorpus corpus{*index_};
+  internal::EvalContext ctx{corpus,         options_,       self, peer,
+                            route.prefix,   announced_path, route.origin()};
+
+  RuleOutcome best{EvalClass::kNotApplicable, {}};
+  for (const auto& rule : rules) {
+    best = internal::combine_best(std::move(best), internal::evaluate_rule(rule, ctx));
+    if (best.cls == EvalClass::kMatch) break;
+  }
+  return classify(std::move(best), self, peer, is_import, route);
 }
 
 CheckResult Verifier::check_export(Asn from, Asn to, const bgp::Route& route,

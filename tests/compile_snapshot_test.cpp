@@ -1,0 +1,275 @@
+// The compiled policy snapshot must be a pure optimization: for every
+// route of the synthetic 13-IRR corpus, the snapshot-backed verifier has
+// to produce the exact HopCheck sequence of the interpreted evaluator —
+// same statuses, same report items, same order. The same contract holds
+// for the query engine, and the server must quarantine itself on the
+// last-good snapshot when a rebuild fails at the compile.build failpoint.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "rpslyzer/compile/snapshot.hpp"
+#include "rpslyzer/irr/loader.hpp"
+#include "rpslyzer/query/query.hpp"
+#include "rpslyzer/rpslyzer.hpp"
+#include "rpslyzer/server/client.hpp"
+#include "rpslyzer/server/server.hpp"
+#include "rpslyzer/synth/generator.hpp"
+#include "rpslyzer/util/failpoint.hpp"
+#include "rpslyzer/verify/verifier.hpp"
+
+namespace rpslyzer {
+namespace {
+
+namespace fp = util::failpoint;
+
+// ---------------------------------------------------------------------------
+// Differential verification over the synthesized corpus
+// ---------------------------------------------------------------------------
+
+struct Pipeline {
+  synth::InternetGenerator generator;
+  Rpslyzer lyzer;
+  std::vector<bgp::Route> routes;
+
+  Pipeline()
+      : generator([] {
+          synth::SynthConfig config;
+          config.seed = 21;
+          config.tier1_count = 4;
+          config.tier2_count = 10;
+          config.tier3_count = 30;
+          config.stub_count = 150;
+          config.collectors = 6;
+          return config;
+        }()),
+        lyzer([&] {
+          std::vector<std::pair<std::string, std::string>> ordered;
+          for (const auto& name : synth::irr_names()) {
+            ordered.emplace_back(name, generator.irr_dumps().at(name));
+          }
+          return Rpslyzer::from_texts(ordered, generator.caida_serial1());
+        }()) {
+    for (const auto& dump : generator.bgp_dumps()) {
+      for (auto& route : bgp::parse_table_dump(dump)) routes.push_back(std::move(route));
+    }
+  }
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+void expect_same_hops(const std::vector<verify::HopCheck>& got,
+                      const std::vector<verify::HopCheck>& want, std::size_t route) {
+  ASSERT_EQ(got.size(), want.size()) << "route " << route;
+  for (std::size_t h = 0; h < want.size(); ++h) {
+    EXPECT_EQ(got[h].from, want[h].from) << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].to, want[h].to) << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].export_result.status, want[h].export_result.status)
+        << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].export_result.items, want[h].export_result.items)
+        << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].import_result.status, want[h].import_result.status)
+        << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].import_result.items, want[h].import_result.items)
+        << "route " << route << " hop " << h;
+  }
+}
+
+TEST(CompiledSnapshot, VerdictsMatchInterpretedForEveryRoute) {
+  auto& p = pipeline();
+  ASSERT_GT(p.routes.size(), 1000u);
+
+  verify::Verifier interpreted(p.lyzer.index(), p.lyzer.relations());
+  verify::Verifier compiled(p.lyzer.snapshot());
+  for (std::size_t i = 0; i < p.routes.size(); ++i) {
+    expect_same_hops(compiled.verify_route(p.routes[i]),
+                     interpreted.verify_route(p.routes[i]), i);
+    if (::testing::Test::HasFailure()) break;  // one detailed mismatch is enough
+  }
+}
+
+TEST(CompiledSnapshot, VerdictsMatchUnderStrictAndPaperOptions) {
+  auto& p = pipeline();
+  for (const bool relax : {false, true}) {
+    verify::VerifyOptions options;
+    options.relaxations = relax;
+    options.safelists = relax;
+    verify::Verifier interpreted(p.lyzer.index(), p.lyzer.relations(), options);
+    verify::Verifier compiled(p.lyzer.snapshot(), options);
+    // A sample is enough here; the full sweep runs in the default-options test.
+    const std::size_t step = std::max<std::size_t>(1, p.routes.size() / 400);
+    for (std::size_t i = 0; i < p.routes.size(); i += step) {
+      expect_same_hops(compiled.verify_route(p.routes[i]),
+                       interpreted.verify_route(p.routes[i]), i);
+      if (::testing::Test::HasFailure()) break;
+    }
+  }
+}
+
+TEST(CompiledSnapshot, ReportsBuildMetadata) {
+  auto& p = pipeline();
+  auto snapshot = p.lyzer.snapshot();
+  EXPECT_GT(snapshot->build_id(), 0u);
+  EXPECT_GT(snapshot->interned_symbols(), 0u);
+  EXPECT_GT(snapshot->trie_nodes(), 0u);
+  // Memoized: the same Rpslyzer hands out one snapshot.
+  EXPECT_EQ(snapshot.get(), p.lyzer.snapshot().get());
+}
+
+TEST(CompiledSnapshot, QueryEngineBackendsAgreeByteForByte) {
+  auto& p = pipeline();
+  query::QueryEngine on_index(p.lyzer.index());
+  query::QueryEngine on_snapshot(*p.lyzer.snapshot());
+  std::size_t compared = 0;
+  for (const auto& [name, set] : p.lyzer.ir().as_sets) {
+    for (const std::string& query :
+         {"!i" + name + ",1", "!a" + name, "!a4" + name, "!a6" + name}) {
+      EXPECT_EQ(on_snapshot.evaluate(query), on_index.evaluate(query)) << query;
+    }
+    if (++compared >= 64) break;
+  }
+  for (const auto& [asn, an] : p.lyzer.ir().aut_nums) {
+    const std::string query = "!gAS" + std::to_string(asn);
+    EXPECT_EQ(on_snapshot.evaluate(query), on_index.evaluate(query)) << query;
+    if (++compared >= 128) break;
+  }
+  EXPECT_GT(compared, 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Server integration: the !v verb and compile.build quarantine
+// ---------------------------------------------------------------------------
+
+constexpr const char* kServerCorpus =
+    "aut-num: AS64500\n"
+    "import: from AS64501 accept ANY\n"
+    "export: to AS64501 announce AS64500\n\n"
+    "aut-num: AS64501\n"
+    "import: from AS64500 accept AS64500\n"
+    "export: to AS64500 announce ANY\n\n"
+    "route: 10.0.0.0/8\norigin: AS64500\n\n"
+    "route: 198.51.100.0/24\norigin: AS64502\n";
+
+struct OwnedCorpus {
+  util::Diagnostics diag;
+  ir::Ir ir;
+  irr::Index index;
+  relations::AsRelations relations;
+
+  explicit OwnedCorpus(const char* text)
+      : ir(irr::parse_dump(text, "TEST", diag)), index(ir) {}
+};
+
+std::shared_ptr<const compile::CompiledPolicySnapshot> make_corpus(const char* text) {
+  auto owned = std::make_shared<OwnedCorpus>(text);
+  return compile::CompiledPolicySnapshot::build(
+      std::shared_ptr<const irr::Index>(owned, &owned->index),
+      std::shared_ptr<const relations::AsRelations>(owned, &owned->relations));
+}
+
+server::ServerConfig test_config() {
+  server::ServerConfig config;
+  config.port = 0;
+  config.worker_threads = 2;
+  config.cache_capacity = 64;
+  config.idle_timeout = std::chrono::milliseconds(0);
+  return config;
+}
+
+class CompiledSnapshotFault : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::clear_all(); }
+  void TearDown() override { fp::clear_all(); }
+};
+
+TEST_F(CompiledSnapshotFault, VerifyVerbMatchesLocalReport) {
+  server::Server daemon(test_config(), [] { return make_corpus(kServerCorpus); });
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  auto client = server::Client::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.has_value());
+
+  // Ground truth: the same snapshot-backed verifier the daemon consults.
+  auto snapshot = make_corpus(kServerCorpus);
+  verify::Verifier verifier(snapshot);
+  bgp::Route route;
+  route.prefix = *net::Prefix::parse("10.0.0.0/8");
+  route.path = {64501, 64500};
+  const std::string want = query::frame_response(verifier.report(route));
+
+  ASSERT_TRUE(client->send_line("!v 10.0.0.0/8 AS64501 AS64500"));
+  EXPECT_EQ(client->read_response(), want);
+  // Cached on the second ask (same generation, same normalized key).
+  ASSERT_TRUE(client->send_line("!v 10.0.0.0/8 AS64501 AS64500"));
+  EXPECT_EQ(client->read_response(), want);
+  EXPECT_GE(daemon.cache_stats().hits, 1u);
+
+  // Malformed inputs answer F without killing the connection.
+  ASSERT_TRUE(client->send_line("!v nonsense AS1 AS2"));
+  auto bad_prefix = client->read_response();
+  ASSERT_TRUE(bad_prefix.has_value());
+  EXPECT_EQ(bad_prefix->front(), 'F');
+  ASSERT_TRUE(client->send_line("!v 10.0.0.0/8 AS64500"));
+  auto short_path = client->read_response();
+  ASSERT_TRUE(short_path.has_value());
+  EXPECT_EQ(short_path->front(), 'F');
+
+  client->send_line("!q");
+  daemon.stop();
+}
+
+TEST_F(CompiledSnapshotFault, CompileFailpointQuarantinesServerOnLastGoodSnapshot) {
+  server::Server daemon(test_config(), [] { return make_corpus(kServerCorpus); });
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  auto client = server::Client::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.has_value());
+
+  ASSERT_TRUE(client->send_line("!gAS64500"));
+  auto first = client->read_response();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->front(), 'A');
+
+  // Arm the snapshot-build failpoint: the reload's loader throws inside
+  // CompiledPolicySnapshot::build, so the daemon must keep generation 1.
+  ASSERT_TRUE(fp::set("compile.build", "error"));
+  ASSERT_TRUE(client->send_line("!reload"));
+  auto refused = client->read_response();
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_NE(refused->find("F reload failed"), std::string::npos) << *refused;
+  EXPECT_NE(refused->find("compile.build"), std::string::npos) << *refused;
+  EXPECT_EQ(daemon.generation(), 1u);
+  EXPECT_EQ(daemon.health().state, server::Health::kDegraded);
+
+  // Still serving the last-good snapshot, queries and !v included.
+  ASSERT_TRUE(client->send_line("!gAS64500"));
+  EXPECT_EQ(client->read_response(), first);
+  ASSERT_TRUE(client->send_line("!v 10.0.0.0/8 AS64501 AS64500"));
+  auto verdict = client->read_response();
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->front(), 'A');
+
+  // Disarm and reload: a fresh snapshot publishes and health recovers.
+  fp::clear_all();
+  ASSERT_TRUE(client->send_line("!reload"));
+  EXPECT_EQ(client->read_response(), "C\n");
+  EXPECT_EQ(daemon.generation(), 2u);
+  EXPECT_EQ(daemon.health().state, server::Health::kHealthy);
+
+  // !stats carries the published snapshot's identity.
+  ASSERT_TRUE(client->send_line("!stats"));
+  auto stats = client->read_response();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find("snapshot: build-id="), std::string::npos) << *stats;
+
+  client->send_line("!q");
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace rpslyzer

@@ -18,8 +18,10 @@
 #include <fstream>
 #include <thread>
 
+#include "rpslyzer/compile/snapshot.hpp"
 #include "rpslyzer/irr/loader.hpp"
 #include "rpslyzer/query/query.hpp"
+#include "rpslyzer/relations/relations.hpp"
 #include "rpslyzer/server/client.hpp"
 #include "rpslyzer/server/server.hpp"
 #include "rpslyzer/util/failpoint.hpp"
@@ -303,14 +305,18 @@ struct OwnedCorpus {
   util::Diagnostics diag;
   ir::Ir ir;
   irr::Index index;
+  relations::AsRelations relations;
 
   explicit OwnedCorpus(const std::string& text)
       : ir(irr::parse_dump(text, "TEST", diag)), index(ir) {}
 };
 
-std::shared_ptr<const irr::Index> make_corpus(const std::string& text) {
+std::shared_ptr<const compile::CompiledPolicySnapshot> make_corpus(
+    const std::string& text) {
   auto owned = std::make_shared<OwnedCorpus>(text);
-  return std::shared_ptr<const irr::Index>(owned, &owned->index);
+  return compile::CompiledPolicySnapshot::build(
+      std::shared_ptr<const irr::Index>(owned, &owned->index),
+      std::shared_ptr<const relations::AsRelations>(owned, &owned->relations));
 }
 
 server::ServerConfig test_config() {
@@ -326,7 +332,7 @@ TEST_F(FaultInjection, FailedReloadDegradesThenBackoffRetryRecovers) {
   // Loads: #1 ok (v1), #2 and #3 throw, #4+ ok (v2). The daemon must keep
   // serving v1 throughout the outage and converge to v2 on its own.
   std::atomic<int> loads{0};
-  auto loader = [&loads]() -> std::shared_ptr<const irr::Index> {
+  auto loader = [&loads]() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
     const int n = ++loads;
     if (n == 1) return make_corpus(kCorpusV1);
     if (n <= 3) throw std::runtime_error("mirror unreachable");

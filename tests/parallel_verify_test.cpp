@@ -81,6 +81,65 @@ TEST(ParallelVerify, SingleThreadAndEmptyInput) {
   EXPECT_EQ(one_thread.size(), 3u);
 }
 
+TEST(ParallelVerify, ManyThreadsOnTinyInputVerifiesEveryRouteOnce) {
+  // Regression: the batch dispatcher claimed work with a bare
+  // fetch_add(kBatch), pushing the shared counter far past routes.size()
+  // when threads outnumber batches. The bounded CAS claim must hand out
+  // each route exactly once and park the surplus workers.
+  auto& p = pipeline();
+  Verifier serial(p.lyzer.index(), p.lyzer.relations());
+
+  std::vector<bgp::Route> tiny(p.routes.begin(), p.routes.begin() + 3);
+  auto tiny_results =
+      verify_routes_parallel(p.lyzer.index(), p.lyzer.relations(), tiny, {}, 64);
+  ASSERT_EQ(tiny_results.size(), 3u);
+  for (std::size_t i = 0; i < tiny.size(); ++i) {
+    auto expected = serial.verify_route(tiny[i]);
+    ASSERT_EQ(tiny_results[i].size(), expected.size()) << i;
+    for (std::size_t h = 0; h < expected.size(); ++h) {
+      EXPECT_TRUE(same_check(tiny_results[i][h].import_result, expected[h].import_result))
+          << "route " << i << " hop " << h;
+    }
+  }
+
+  // ~200 routes and 64 threads is past the serial fast path but leaves only
+  // a handful of batches, so most workers contend on an exhausted counter.
+  ASSERT_GE(p.routes.size(), 200u);
+  std::vector<bgp::Route> small(p.routes.begin(), p.routes.begin() + 200);
+  auto small_results =
+      verify_routes_parallel(p.lyzer.index(), p.lyzer.relations(), small, {}, 64);
+  ASSERT_EQ(small_results.size(), small.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    auto expected = serial.verify_route(small[i]);
+    ASSERT_EQ(small_results[i].size(), expected.size()) << i;
+    for (std::size_t h = 0; h < expected.size(); ++h) {
+      EXPECT_TRUE(same_check(small_results[i][h].export_result, expected[h].export_result))
+          << "route " << i << " hop " << h;
+      EXPECT_TRUE(same_check(small_results[i][h].import_result, expected[h].import_result))
+          << "route " << i << " hop " << h;
+    }
+  }
+}
+
+TEST(ParallelVerify, SnapshotOverloadMatchesSerial) {
+  auto& p = pipeline();
+  std::vector<bgp::Route> sample(
+      p.routes.begin(), p.routes.begin() + std::min<std::size_t>(400, p.routes.size()));
+  Verifier serial(p.lyzer.index(), p.lyzer.relations());
+  auto results = verify_routes_parallel(p.lyzer.snapshot(), sample, {}, 8);
+  ASSERT_EQ(results.size(), sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    auto expected = serial.verify_route(sample[i]);
+    ASSERT_EQ(results[i].size(), expected.size()) << i;
+    for (std::size_t h = 0; h < expected.size(); ++h) {
+      EXPECT_TRUE(same_check(results[i][h].export_result, expected[h].export_result))
+          << "route " << i << " hop " << h;
+      EXPECT_TRUE(same_check(results[i][h].import_result, expected[h].import_result))
+          << "route " << i << " hop " << h;
+    }
+  }
+}
+
 TEST(ParallelVerify, OptionsPropagate) {
   auto& p = pipeline();
   std::vector<bgp::Route> sample(p.routes.begin(),

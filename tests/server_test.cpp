@@ -5,8 +5,10 @@
 #include <atomic>
 #include <thread>
 
+#include "rpslyzer/compile/snapshot.hpp"
 #include "rpslyzer/irr/loader.hpp"
 #include "rpslyzer/query/query.hpp"
+#include "rpslyzer/relations/relations.hpp"
 #include "rpslyzer/server/cache.hpp"
 #include "rpslyzer/server/client.hpp"
 
@@ -124,21 +126,25 @@ constexpr const char* kCorpusV2 =
     "route6: 2001:db8::/32\norigin: AS64500\n\n"
     "route: 198.51.100.0/24\norigin: AS64502\n";
 
-/// Bundles the Ir with its Index so a shared_ptr keeps both alive; the
-/// aliasing constructor then exposes just the Index, exactly the contract
-/// CorpusLoader documents.
+/// Bundles the Ir with its Index (and empty AS relations) so a shared_ptr
+/// keeps everything alive; the compiled snapshot built over aliasing
+/// pointers then owns the bundle, exactly the contract CorpusLoader
+/// documents.
 struct OwnedCorpus {
   util::Diagnostics diag;
   ir::Ir ir;
   irr::Index index;
+  relations::AsRelations relations;
 
   explicit OwnedCorpus(const char* text)
       : ir(irr::parse_dump(text, "TEST", diag)), index(ir) {}
 };
 
-std::shared_ptr<const irr::Index> make_corpus(const char* text) {
+std::shared_ptr<const compile::CompiledPolicySnapshot> make_corpus(const char* text) {
   auto owned = std::make_shared<OwnedCorpus>(text);
-  return std::shared_ptr<const irr::Index>(owned, &owned->index);
+  return compile::CompiledPolicySnapshot::build(
+      std::shared_ptr<const irr::Index>(owned, &owned->index),
+      std::shared_ptr<const relations::AsRelations>(owned, &owned->relations));
 }
 
 ServerConfig test_config() {
@@ -391,9 +397,10 @@ TEST(Server, IdleConnectionsAreReaped) {
 }
 
 TEST(Server, StartFailsWhenLoaderFails) {
-  Server server(test_config(), []() -> std::shared_ptr<const irr::Index> {
-    return nullptr;
-  });
+  Server server(test_config(),
+                []() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
+                  return nullptr;
+                });
   std::string error;
   EXPECT_FALSE(server.start(&error));
   EXPECT_FALSE(error.empty());

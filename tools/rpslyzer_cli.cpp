@@ -30,6 +30,7 @@
 #include "rpslyzer/server/server.hpp"
 #include "rpslyzer/stats/census.hpp"
 #include "rpslyzer/synth/generator.hpp"
+#include "rpslyzer/verify/parallel.hpp"
 
 namespace {
 
@@ -46,7 +47,10 @@ int usage() {
                "  lint <dir>                      lint the corpus\n"
                "  export <dir> <out.json>         export the IR as JSON\n"
                "  report <dir> <prefix> <asn...>  verify one route (Appendix-C style)\n"
-               "  verify <dir>                    verify collector-*.dump files\n"
+               "  verify <dir> [--threads N] [--interpreted]\n"
+               "                                  verify collector-*.dump files\n"
+               "                                  (--threads 0 = all cores; --interpreted\n"
+               "                                   skips the compiled policy snapshot)\n"
                "  query <dir> <!query...>         evaluate IRRd queries, print framed\n"
                "  serve <dir>|--synth [flags]     run the rpslyzerd query daemon\n"
                "    serve flags: [--port N] [--threads N] [--cache N] [--max-conns N]\n"
@@ -225,12 +229,29 @@ int cmd_report(int argc, char** argv) {
 
 int cmd_verify(int argc, char** argv) {
   if (argc < 1) return usage();
-  const std::filesystem::path dir = argv[0];
+  std::filesystem::path dir;
+  unsigned threads = 1;
+  verify::VerifyOptions verify_options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) return usage();
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--interpreted") {
+      verify_options.use_snapshot = false;
+    } else if (!arg.empty() && arg.front() != '-' && dir.empty()) {
+      dir = arg;
+    } else {
+      std::fprintf(stderr, "verify: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (dir.empty()) return usage();
   Rpslyzer lyzer = load(dir);
-  verify::Verifier verifier = lyzer.verifier();
   report::Aggregator agg;
   bgp::DumpStats dump_stats;
   std::size_t dumps = 0;
+  std::vector<bgp::Route> routes;
   for (std::size_t i = 0;; ++i) {
     std::ifstream in(dir / ("collector-" + std::to_string(i) + ".dump"), std::ios::binary);
     if (!in) break;
@@ -238,13 +259,19 @@ int cmd_verify(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     const std::string text = std::move(buffer).str();
-    for (const auto& route : bgp::parse_table_dump(text, &dump_stats)) {
-      agg.add(route, verifier.verify_route(route));
+    for (auto& route : bgp::parse_table_dump(text, &dump_stats)) {
+      routes.push_back(std::move(route));
     }
   }
   if (dumps == 0) {
     std::fprintf(stderr, "no collector-*.dump files under %s\n", dir.string().c_str());
     return 1;
+  }
+  const std::vector<std::vector<verify::HopCheck>> checks =
+      verify::verify_routes_parallel(lyzer.index(), lyzer.relations(), routes,
+                                     verify_options, threads);
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    agg.add(routes[i], checks[i]);
   }
   report::StatusCounts totals;
   for (const auto& [asn, counts] : agg.as_combined()) totals.merge(counts);
@@ -369,7 +396,8 @@ int cmd_serve(int argc, char** argv) {
   irr::LoadOptions load_options;
   load_options.threads = config.worker_threads;
   if (synthetic) {
-    loader = [scale, seed, load_options]() -> std::shared_ptr<const irr::Index> {
+    loader = [scale, seed,
+              load_options]() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
       synth::SynthConfig synth_config;
       synth_config.scale = scale;
       synth_config.seed = seed;
@@ -380,13 +408,18 @@ int cmd_serve(int argc, char** argv) {
       }
       auto lyzer = std::make_shared<Rpslyzer>(
           Rpslyzer::from_texts(ordered, generator.caida_serial1(), load_options));
-      return std::shared_ptr<const irr::Index>(lyzer, &lyzer->index());
+      // The memoized snapshot aliases into *lyzer; re-wrap it so the
+      // returned pointer also owns the Rpslyzer bundle.
+      auto snapshot = lyzer->snapshot();
+      return {std::move(lyzer), snapshot.get()};
     };
   } else {
-    loader = [data_dir, load_options]() -> std::shared_ptr<const irr::Index> {
+    loader = [data_dir,
+              load_options]() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
       if (!corpus_dir_ok(data_dir)) return nullptr;  // start + reload both bail
       auto lyzer = std::make_shared<Rpslyzer>(load(data_dir, load_options));
-      return std::shared_ptr<const irr::Index>(lyzer, &lyzer->index());
+      auto snapshot = lyzer->snapshot();
+      return {std::move(lyzer), snapshot.get()};
     };
   }
 

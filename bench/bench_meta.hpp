@@ -1,0 +1,43 @@
+#pragma once
+// Host/toolchain provenance stamped into every BENCH_*.json: a throughput
+// or speedup number is meaningless next to one measured on a different core
+// count, compiler, or build type, so each writer records all three. Header
+// only — perf_metrics_overhead links rpslyzer_json but not bench_common.
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "rpslyzer/json/json.hpp"
+
+namespace rpslyzer::bench {
+
+inline unsigned hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+inline void add_host_metadata(json::Object& doc) {
+  doc["hardware_threads"] = static_cast<std::int64_t>(hardware_threads());
+#if defined(__clang__)
+  doc["compiler"] = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  doc["compiler"] = std::string("gcc ") + __VERSION__;
+#else
+  doc["compiler"] = "unknown";
+#endif
+#if defined(NDEBUG)
+  doc["build_type"] = "release";
+#else
+  doc["build_type"] = "debug";
+#endif
+}
+
+/// Marker for a speedup gate that needs parallel hardware: "enforced", or
+/// an explicit "skipped (N cores)" so a green run on a 1-core host cannot
+/// be mistaken for a measured pass.
+inline std::string gate_marker(bool applicable) {
+  if (applicable) return "enforced";
+  return "skipped (" + std::to_string(hardware_threads()) + " cores)";
+}
+
+}  // namespace rpslyzer::bench

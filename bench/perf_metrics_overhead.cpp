@@ -18,6 +18,7 @@
 
 #include <chrono>
 
+#include "bench_meta.hpp"
 #include "rpslyzer/json/json.hpp"
 #include "rpslyzer/obs/log.hpp"
 #include "rpslyzer/obs/metrics.hpp"
@@ -100,6 +101,7 @@ int main() {
 
   json::Object doc;
   doc["bench"] = "metrics_overhead";
+  bench::add_host_metadata(doc);
   doc["ops_per_batch"] = static_cast<std::int64_t>(kOpsPerBatch);
   doc["repetitions"] = kRepetitions;
   doc["disabled_counter_ns"] = disabled_counter_ns;

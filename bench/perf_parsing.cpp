@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_meta.hpp"
 #include "common.hpp"
 #include "rpslyzer/irr/loader.hpp"
 #include "rpslyzer/json/json.hpp"
@@ -180,7 +181,7 @@ SweepPoint time_parse(unsigned threads, int repetitions) {
 }
 
 int write_parsing_json() {
-  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned hardware = bench::hardware_threads();
   constexpr int kRepetitions = 3;
   std::vector<SweepPoint> sweep;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -199,7 +200,7 @@ int write_parsing_json() {
   doc["bench"] = "parsing";
   doc["scale"] = bench::scale_from_env();
   doc["corpus_bytes"] = static_cast<std::int64_t>(total_bytes());
-  doc["hardware_threads"] = static_cast<std::int64_t>(hardware);
+  bench::add_host_metadata(doc);
   doc["repetitions"] = kRepetitions;
   json::Array points;
   for (const SweepPoint& point : sweep) {
@@ -214,6 +215,7 @@ int write_parsing_json() {
   doc["sweep"] = points;
   doc["gate_speedup_at_4_threads"] = 2.0;
   doc["gate_applicable"] = gate_applicable;
+  doc["gate"] = bench::gate_marker(gate_applicable);
   doc["speedup_at_4_threads"] = speedup_at_4;
   doc["pass"] = pass;
   const std::string text = json::dump_pretty(json::Value(doc)) + "\n";
@@ -224,7 +226,10 @@ int write_parsing_json() {
     std::fclose(out);
   }
   std::fputs(text.c_str(), stdout);
-  std::printf("perf_parsing threads sweep: %s\n", pass ? "PASS" : "FAIL");
+  std::printf("perf_parsing threads sweep: %s\n",
+              !gate_applicable ? bench::gate_marker(false).c_str()
+              : pass           ? "PASS"
+                               : "FAIL");
   return pass ? 0 : 1;
 }
 

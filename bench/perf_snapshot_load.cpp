@@ -1,0 +1,109 @@
+// perf_snapshot_load — proves the persistence layer's reason to exist: an
+// mmap load of a compiled snapshot must be at least 10× faster than
+// rebuilding the same snapshot from the raw IRR dumps (13-dump parse +
+// merge + index + policy compile). If a cold open cannot beat the pipeline
+// by an order of magnitude, `serve --snapshot` and the generation cache
+// are just complexity.
+//
+// Hand-rolled timing (no google-benchmark: the numbers feed a JSON gate,
+// not a human report). Min-over-reps wall time on both sides; the snapshot
+// file is written once outside every stopwatch. Emits BENCH_snapshot.json
+// and exits non-zero when the gate fails.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "bench_meta.hpp"
+#include "common.hpp"
+#include "rpslyzer/json/json.hpp"
+#include "rpslyzer/persist/snapshot_io.hpp"
+
+namespace {
+
+using namespace rpslyzer;
+
+constexpr int kBuildRepetitions = 3;
+constexpr int kLoadRepetitions = 30;
+
+// One full parse + compile, exactly what `serve <dir>` pays per reload:
+// 13-dump ingest, merge, index, relations, and the policy snapshot build.
+double time_parse_compile(const synth::InternetGenerator& generator) {
+  std::vector<std::pair<std::string, std::string>> ordered;
+  for (const auto& name : synth::irr_names()) {
+    ordered.emplace_back(name, generator.irr_dumps().at(name));
+  }
+  double best = 1e9;
+  for (int rep = 0; rep < kBuildRepetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    Rpslyzer lyzer = Rpslyzer::from_texts(ordered, generator.caida_serial1());
+    auto snapshot = lyzer.snapshot();
+    if (snapshot->interned_symbols() == 0 && snapshot->trie_nodes() == 0) {
+      std::fprintf(stderr, "empty snapshot — synthetic corpus broke\n");
+      std::exit(1);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+double time_mmap_load(const std::filesystem::path& path) {
+  double best = 1e9;
+  for (int rep = 0; rep < kLoadRepetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    auto snapshot = persist::open_snapshot(path);
+    if (snapshot->interned_symbols() == 0 && snapshot->trie_nodes() == 0) {
+      std::fprintf(stderr, "empty snapshot — load broke\n");
+      std::exit(1);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bench::World world;
+  const std::filesystem::path snap =
+      std::filesystem::temp_directory_path() /
+      ("rpslyzer-bench-snapshot-" + std::to_string(::getpid()) + ".rps");
+  const std::uint64_t snapshot_bytes = persist::write_snapshot(*world.lyzer.snapshot(), snap);
+
+  const double build_seconds = time_parse_compile(world.generator);
+  const double load_seconds = time_mmap_load(snap);
+  std::filesystem::remove(snap);
+  const double speedup = build_seconds / load_seconds;
+  const bool pass = speedup >= 10.0;
+
+  json::Object doc;
+  doc["bench"] = "snapshot_load";
+  doc["scale"] = bench::scale_from_env();
+  bench::add_host_metadata(doc);
+  doc["aut_nums"] = static_cast<std::int64_t>(world.lyzer.ir().aut_nums.size());
+  doc["snapshot_bytes"] = static_cast<std::int64_t>(snapshot_bytes);
+  doc["build_repetitions"] = kBuildRepetitions;
+  doc["load_repetitions"] = kLoadRepetitions;
+  doc["parse_compile_seconds"] = build_seconds;
+  doc["mmap_load_seconds"] = load_seconds;
+  doc["load_speedup_vs_parse_compile"] = speedup;
+  doc["gate_load_speedup"] = 10.0;
+  doc["gate"] = bench::gate_marker(true);  // single-thread: any host can gate
+  doc["pass"] = pass;
+  const std::string text = json::dump_pretty(json::Value(doc)) + "\n";
+
+  std::FILE* out = std::fopen("BENCH_snapshot.json", "wb");
+  if (out != nullptr) {
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+  }
+  std::fputs(text.c_str(), stdout);
+  std::printf("perf_snapshot_load mmap-vs-rebuild: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_meta.hpp"
 #include "common.hpp"
 #include "rpslyzer/json/json.hpp"
 #include "rpslyzer/verify/parallel.hpp"
@@ -133,7 +134,6 @@ double time_snapshot(unsigned threads) {
 
 int write_verify_json() {
   const auto& rs = routes();
-  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   const double route_count = static_cast<double>(rs.size());
 
   world().lyzer.index().prewarm();
@@ -150,7 +150,7 @@ int write_verify_json() {
   doc["bench"] = "verify";
   doc["scale"] = bench::scale_from_env();
   doc["routes"] = static_cast<std::int64_t>(rs.size());
-  doc["hardware_threads"] = static_cast<std::int64_t>(hardware);
+  bench::add_host_metadata(doc);
   doc["repetitions"] = kRepetitions;
   doc["interpreted_seconds"] = interpreted_seconds;
   doc["interpreted_routes_per_second"] = route_count / interpreted_seconds;
@@ -170,6 +170,7 @@ int write_verify_json() {
   }
   doc["sweep"] = sweep;
   doc["gate_single_thread_speedup"] = 2.0;
+  doc["gate"] = bench::gate_marker(true);  // single-thread: any host can gate
   doc["pass"] = pass;
   const std::string text = json::dump_pretty(json::Value(doc)) + "\n";
 

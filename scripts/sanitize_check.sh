@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Build with -DRPSLYZER_SANITIZE=ON (ASan + UBSan) and run the fault/server
 # test set (ctest label "fault", which includes the telemetry suite
-# obs_test): any data race turned heap error, leaked connection buffer, or
-# leaked socket-owning object fails the run. The same set is then re-run
+# obs_test) plus the snapshot persistence suite (label "persist"): any data
+# race turned heap error, leaked connection buffer, leaked socket-owning
+# object, or out-of-bounds read off a truncated mmap fails the run. The same set is then re-run
 # under a matrix of RPSLYZER_FAILPOINTS environments so the injected error,
 # delay, and truncate paths are sanitizer-clean too. Finally, when the
 # toolchain has a working TSan runtime, the relaxed-atomic telemetry hot
@@ -18,22 +19,25 @@ BUILD="${1:-$ROOT/build-sanitize}"
 cmake -B "$BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE=ON >/dev/null
 cmake --build "$BUILD" -j --target \
   server_test query_test irr_index_test fault_injection_test loader_files_test obs_test \
-  parallel_loader_test shard_fuzz_test compile_snapshot_test parallel_verify_test
+  parallel_loader_test shard_fuzz_test compile_snapshot_test parallel_verify_test \
+  persist_test
 
 run_labeled() {
-  local spec="$1" exclude="${2:-}"
-  echo "== RPSLYZER_FAILPOINTS='${spec}' =="
+  local spec="$1" exclude="${2:-}" labels="${3:-fault}"
+  echo "== RPSLYZER_FAILPOINTS='${spec}' labels='${labels}' =="
   (cd "$BUILD" && RPSLYZER_FAILPOINTS="$spec" \
-     ctest -L fault ${exclude:+-E "$exclude"} --output-on-failure -j4)
+     ctest -L "$labels" ${exclude:+-E "$exclude"} --output-on-failure -j4)
 }
 
-# Baseline, then each action kind. Error actions are limited to sites whose
+# Baseline (fault plus the mmap/decode-heavy persist suite — the snapshot
+# loader's pointer fixups and bounds checks are exactly what ASan/UBSan
+# police), then each action kind. Error actions are limited to sites whose
 # callers degrade gracefully (cache bypass); tests that assert exact cache
 # hit counts are excluded from that entry since bypassing the cache is its
 # intended observable effect. The loader/server error paths are driven
 # programmatically by fault_injection_test, where the test controls the
 # blast radius.
-run_labeled ""
+run_labeled "" "" "fault|persist"
 run_labeled "server.send=delay(2ms);server.dispatch=delay(1ms)"
 run_labeled "cache.get=error;cache.put=error" 'Server\.|ResponseCache'
 run_labeled "irr.parse=truncate(65536)"
@@ -54,12 +58,16 @@ if cc -fsanitize=thread "$tsan_probe/probe.c" -o "$tsan_probe/probe" 2>/dev/null
   echo "== ThreadSanitizer pass =="
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE_THREAD=ON >/dev/null
   cmake --build "$TSAN_BUILD" -j --target obs_test server_test parallel_loader_test \
-    compile_snapshot_test parallel_verify_test
+    compile_snapshot_test parallel_verify_test persist_test
   "$TSAN_BUILD/tests/obs_test"
   "$TSAN_BUILD/tests/server_test"
   "$TSAN_BUILD/tests/parallel_loader_test"
   "$TSAN_BUILD/tests/compile_snapshot_test"
   "$TSAN_BUILD/tests/parallel_verify_test"
+  # The server-reload persist tests share one mmap'd snapshot across the
+  # accept loop and worker threads — the aliasing shared_ptr ownership is
+  # the racy-by-construction surface TSan should sign off on.
+  "$TSAN_BUILD/tests/persist_test"
 else
   echo "== ThreadSanitizer unavailable on this toolchain; skipping TSan pass =="
 fi

@@ -40,14 +40,21 @@
 #include "rpslyzer/net/prefix_trie.hpp"
 #include "rpslyzer/relations/relations.hpp"
 
+namespace rpslyzer::persist {
+class SnapshotCodec;
+}  // namespace rpslyzer::persist
+
 namespace rpslyzer::compile {
 
 using SymbolId = std::uint32_t;
 
 /// A pre-flattened as-set (the compiled analogue of irr::FlattenedAsSet).
+/// The member array is a span so the same struct serves both backings: an
+/// in-process build points into the snapshot's ASN pools, an mmap-loaded
+/// snapshot points straight into the read-only file mapping (zero copy).
 struct CompiledAsSet {
-  std::vector<ir::Asn> asns;  // sorted, unique
-  bool contains_any = false;  // the erroneous ANY member appears
+  std::span<const ir::Asn> asns;  // sorted, unique
+  bool contains_any = false;      // the erroneous ANY member appears
   /// Some member ASN originates at least one route object — precomputed so
   /// the all-zero-route Unknown case needs no per-query member loop.
   bool any_member_routes = false;
@@ -74,7 +81,7 @@ struct LengthInterval {
 struct CompiledRouteSet {
   bool any = false;      // a reachable ANY member: every prefix matches
   bool unknown = false;  // some expansion path hit missing information
-  net::PrefixTrie<std::vector<LengthInterval>> bases;
+  net::PrefixTrie<std::span<const LengthInterval>> bases;
 };
 
 /// One import/export rule lowered for the hot loop. `rule` stays the source
@@ -98,8 +105,8 @@ struct CompiledAutNum {
   const ir::AutNum* an = nullptr;
   std::vector<CompiledRule> imports;
   std::vector<CompiledRule> exports;
-  std::vector<ir::Asn> customer_cone;  // sorted; export-self relaxation
-  bool only_provider = false;          // §5.1.2 only-provider-policies bit
+  std::span<const ir::Asn> customer_cone;  // sorted; export-self relaxation
+  bool only_provider = false;              // §5.1.2 only-provider-policies bit
 };
 
 /// Does `asn` only specify rules for its providers (§5.1.2)? The canonical
@@ -124,11 +131,16 @@ class CompiledPolicySnapshot : public aspath::AsSetMembership {
   const irr::Index& index() const noexcept { return *index_; }
   const relations::AsRelations& relations() const noexcept { return *relations_; }
 
-  /// Monotone process-wide id, for `!stats` and reload observability.
+  /// Monotone process-wide id for in-process builds; a snapshot restored
+  /// from an arena file reports the id recorded at write time instead.
   std::uint64_t build_id() const noexcept { return build_id_; }
   std::size_t interned_symbols() const noexcept { return symbol_names_.size(); }
   /// Allocated nodes across the origin trie and every route-set trie.
   std::size_t trie_nodes() const noexcept { return trie_nodes_; }
+  /// Where this snapshot came from: "memory" for in-process builds,
+  /// "file:<path>" / "cache:<key>" when restored from an arena file by the
+  /// persistence layer. Surfaced through the server's `!stats`.
+  const std::string& source() const noexcept { return source_; }
 
   // --- the verifier's corpus surface (mirrors the interpreted Index) ---
   /// nullptr when the as-set is not defined.
@@ -168,6 +180,11 @@ class CompiledPolicySnapshot : public aspath::AsSetMembership {
   std::span<const ir::Asn> exact_origins(const net::Prefix& prefix) const;
 
  private:
+  /// The persistence codec serializes the compiled tables into an arena
+  /// file and reconstructs them (spans pointing into the mapping) without
+  /// recompiling; it is the only writer besides build() itself.
+  friend class rpslyzer::persist::SnapshotCodec;
+
   struct CompiledAsPath {
     aspath::CompiledRegex regex;
     bool skipped = false;  // ir::uses_skipped_constructs(filter.regex)
@@ -188,6 +205,7 @@ class CompiledPolicySnapshot : public aspath::AsSetMembership {
   std::shared_ptr<const relations::AsRelations> relations_;
   std::uint64_t build_id_ = 0;
   std::size_t trie_nodes_ = 0;
+  std::string source_ = "memory";
 
   // Interned set names: case-insensitive name -> id, id -> canonical name.
   std::unordered_map<std::string, SymbolId, util::IHash, util::IEqual> symbols_;
@@ -197,10 +215,21 @@ class CompiledPolicySnapshot : public aspath::AsSetMembership {
   std::unordered_map<SymbolId, CompiledRouteSet> route_sets_;
 
   // Route objects: base prefix -> sorted unique origin ASNs.
-  net::PrefixTrie<std::vector<ir::Asn>> origins_;
+  net::PrefixTrie<std::span<const ir::Asn>> origins_;
 
   std::unordered_map<const ir::FilterAsPath*, CompiledAsPath> regexes_;
   std::unordered_map<ir::Asn, CompiledAutNum> aut_nums_;
+
+  // Backing storage for every span above when the snapshot is built in
+  // process. Each pool is reserved to its exact final size before the first
+  // span into it is taken (vector growth would invalidate them); an
+  // mmap-restored snapshot leaves the pools empty and points the spans into
+  // the file mapping instead, whose lifetime the persistence layer ties to
+  // this object via an aliasing shared_ptr.
+  std::vector<ir::Asn> as_set_pool_;
+  std::vector<ir::Asn> origin_pool_;
+  std::vector<ir::Asn> cone_pool_;
+  std::vector<LengthInterval> interval_pool_;
 };
 
 }  // namespace rpslyzer::compile

@@ -153,11 +153,20 @@ const SymbolId* CompiledPolicySnapshot::symbol(std::string_view name) const {
 }
 
 void CompiledPolicySnapshot::build_as_sets() {
+  // Pass 1 sizes the pool exactly: spans into it are taken in pass 2 and
+  // must never be invalidated by reallocation.
+  std::size_t total = 0;
+  for (const auto& [name, set] : index_->ir().as_sets) {
+    if (const irr::FlattenedAsSet* flat = index_->flattened(name)) total += flat->asns.size();
+  }
+  as_set_pool_.reserve(total);
   for (const auto& [name, set] : index_->ir().as_sets) {
     const irr::FlattenedAsSet* flat = index_->flattened(name);
     if (flat == nullptr) continue;  // unreachable post-prewarm; stay safe
     CompiledAsSet compiled;
-    compiled.asns = flat->asns;
+    const std::size_t offset = as_set_pool_.size();
+    as_set_pool_.insert(as_set_pool_.end(), flat->asns.begin(), flat->asns.end());
+    compiled.asns = std::span<const ir::Asn>(as_set_pool_).subspan(offset, flat->asns.size());
     compiled.contains_any = flat->contains_any;
     for (ir::Asn asn : compiled.asns) {
       if (index_->has_routes(asn)) {
@@ -174,10 +183,18 @@ void CompiledPolicySnapshot::build_origin_trie() {
   // first and insert each base exactly once.
   std::map<Prefix, std::vector<ir::Asn>> acc;
   for (const ir::RouteObject& r : index_->ir().routes) acc[r.prefix].push_back(r.origin);
+  std::size_t total = 0;
   for (auto& [prefix, origins] : acc) {
     std::sort(origins.begin(), origins.end());
     origins.erase(std::unique(origins.begin(), origins.end()), origins.end());
-    origins_.insert(prefix, std::move(origins));
+    total += origins.size();
+  }
+  origin_pool_.reserve(total);
+  for (const auto& [prefix, origins] : acc) {
+    const std::size_t offset = origin_pool_.size();
+    origin_pool_.insert(origin_pool_.end(), origins.begin(), origins.end());
+    origins_.insert(prefix,
+                    std::span<const ir::Asn>(origin_pool_).subspan(offset, origins.size()));
   }
 }
 
@@ -297,7 +314,12 @@ void CompiledPolicySnapshot::build_route_sets() {
     }
   };
 
+  // Stage every expansion first so the interval pool can be reserved to its
+  // exact size before any span into it is handed to a trie.
   Expander expander{*this, ir, member_of};
+  std::vector<std::pair<CompiledRouteSet, BaseAccumulator>> staged;
+  staged.reserve(ir.route_sets.size());
+  std::size_t total = 0;
   for (const auto& [name, set] : ir.route_sets) {
     CompiledRouteSet compiled;
     BaseAccumulator acc;
@@ -311,7 +333,19 @@ void CompiledPolicySnapshot::build_route_sets() {
                   return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
                 });
       intervals.erase(std::unique(intervals.begin(), intervals.end()), intervals.end());
-      compiled.bases.insert(base, std::move(intervals));
+      total += intervals.size();
+    }
+    staged.emplace_back(std::move(compiled), std::move(acc));
+  }
+  interval_pool_.reserve(total);
+  std::size_t i = 0;
+  for (const auto& [name, set] : ir.route_sets) {
+    auto& [compiled, acc] = staged[i++];
+    for (const auto& [base, intervals] : acc) {
+      const std::size_t offset = interval_pool_.size();
+      interval_pool_.insert(interval_pool_.end(), intervals.begin(), intervals.end());
+      compiled.bases.insert(base, std::span<const LengthInterval>(interval_pool_)
+                                      .subspan(offset, intervals.size()));
     }
     route_sets_.emplace(intern(name), std::move(compiled));
   }
@@ -394,6 +428,17 @@ CompiledRule CompiledPolicySnapshot::compile_rule(const ir::Rule& rule) const {
 }
 
 void CompiledPolicySnapshot::build_aut_nums() {
+  // Materialize every cone first so the pool reserves exactly once (spans
+  // into a growing vector would dangle).
+  std::vector<std::vector<ir::Asn>> cones;
+  cones.reserve(index_->ir().aut_nums.size());
+  std::size_t total = 0;
+  for (const auto& [asn, an] : index_->ir().aut_nums) {
+    cones.push_back(relations_->customer_cone(asn));
+    total += cones.back().size();
+  }
+  cone_pool_.reserve(total);
+  std::size_t i = 0;
   for (const auto& [asn, an] : index_->ir().aut_nums) {
     CompiledAutNum compiled;
     compiled.an = &an;
@@ -407,7 +452,10 @@ void CompiledPolicySnapshot::build_aut_nums() {
       compiled.exports.push_back(compile_rule(rule));
       for_each_filter(rule.entry, [&](const ir::Filter& f) { compile_filter(f); });
     }
-    compiled.customer_cone = relations_->customer_cone(asn);
+    const std::vector<ir::Asn>& cone = cones[i++];
+    const std::size_t offset = cone_pool_.size();
+    cone_pool_.insert(cone_pool_.end(), cone.begin(), cone.end());
+    compiled.customer_cone = std::span<const ir::Asn>(cone_pool_).subspan(offset, cone.size());
     compiled.only_provider = only_provider_policies(*index_, *relations_, asn);
     aut_nums_.emplace(asn, std::move(compiled));
   }
@@ -444,7 +492,7 @@ irr::Lookup CompiledPolicySnapshot::origin_matches(ir::Asn asn, const net::Range
                                                    const net::Prefix& p) const {
   if (!index_->has_routes(asn)) return irr::Lookup::kUnknown;  // zero-route AS
   bool hit = false;
-  origins_.for_each_cover(p, [&](const Prefix& base, const std::vector<ir::Asn>& origins) {
+  origins_.for_each_cover(p, [&](const Prefix& base, std::span<const ir::Asn> origins) {
     if (std::binary_search(origins.begin(), origins.end(), asn) &&
         net::matches_with_chain(base, op, {}, p)) {
       hit = true;
@@ -461,7 +509,7 @@ irr::Lookup CompiledPolicySnapshot::as_set_originates(std::string_view name,
   const CompiledAsSet* flat = flattened(name);
   if (flat == nullptr) return irr::Lookup::kUnknown;
   bool hit = false;
-  origins_.for_each_cover(p, [&](const Prefix& base, const std::vector<ir::Asn>& origins) {
+  origins_.for_each_cover(p, [&](const Prefix& base, std::span<const ir::Asn> origins) {
     if (net::matches_with_chain(base, op, {}, p) && intersects(origins, flat->asns)) {
       hit = true;
       return false;
@@ -489,7 +537,7 @@ irr::Lookup CompiledPolicySnapshot::route_set_matches(std::string_view name,
   const std::uint8_t family_max = p.max_length();
   bool hit = false;
   set->bases.for_each_cover(
-      p, [&](const Prefix&, const std::vector<LengthInterval>& intervals) {
+      p, [&](const Prefix&, std::span<const LengthInterval> intervals) {
         for (const LengthInterval& iv : intervals) {
           std::optional<std::pair<std::uint8_t, std::uint8_t>> stepped{{iv.lo, iv.hi}};
           if (!outer.is_none()) stepped = net::step_interval(*stepped, outer, family_max);
@@ -530,7 +578,7 @@ const CompiledAutNum* CompiledPolicySnapshot::compiled_aut_num(ir::Asn asn) cons
 
 std::span<const ir::Asn> CompiledPolicySnapshot::exact_origins(
     const net::Prefix& prefix) const {
-  const std::vector<ir::Asn>* origins = origins_.exact(prefix);
+  const std::span<const ir::Asn>* origins = origins_.exact(prefix);
   if (origins == nullptr) return {};
   return *origins;
 }

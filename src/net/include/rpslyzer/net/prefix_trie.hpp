@@ -5,8 +5,10 @@
 // covered by any prefix in the set, possibly with a range operator?").
 // Header-only template so payload types stay flexible.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "rpslyzer/net/prefix.hpp"
@@ -72,6 +74,20 @@ class PrefixTrie {
     }
   }
 
+  /// Visit every stored (prefix, value) pair in deterministic order:
+  /// IPv4 before IPv6, then ascending Prefix order (pre-order DFS with the
+  /// zero child first — identical to std::map<Prefix, T> iteration). The
+  /// snapshot persistence layer relies on this order being reproducible.
+  /// `visit(prefix, value)` returns void or bool (false stops early).
+  template <typename Visit>
+  void for_each(Visit visit) const {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    if (!walk(&v4_root_, Family::kIpv4, 0, hi, lo, visit)) return;
+    hi = lo = 0;
+    walk(&v6_root_, Family::kIpv6, 0, hi, lo, visit);
+  }
+
   /// Number of stored values.
   std::size_t size() const noexcept { return count(&v4_root_) + count(&v6_root_); }
   bool empty() const noexcept { return size() == 0; }
@@ -100,6 +116,33 @@ class PrefixTrie {
   static std::size_t count_nodes(const Node* node) noexcept {
     if (node == nullptr) return 0;
     return 1 + count_nodes(node->zero.get()) + count_nodes(node->one.get());
+  }
+
+  template <typename Visit>
+  static bool walk(const Node* node, Family family, std::uint8_t depth, std::uint64_t& hi,
+                   std::uint64_t& lo, Visit& visit) {
+    if (node == nullptr) return true;
+    if (node->value) {
+      const Prefix prefix(IpAddress(family, hi, lo), depth);
+      if constexpr (std::is_void_v<decltype(visit(prefix, *node->value))>) {
+        visit(prefix, *node->value);
+      } else {
+        if (!visit(prefix, *node->value)) return false;
+      }
+    }
+    if (depth >= max_prefix_len(family)) return true;
+    if (!walk(node->zero.get(), family, static_cast<std::uint8_t>(depth + 1), hi, lo, visit)) {
+      return false;
+    }
+    // Set bit `depth` (counting from the most significant bit) for the one
+    // branch, then clear it on the way back out.
+    std::uint64_t& half = depth < 64 ? hi : lo;
+    const std::uint64_t bit = std::uint64_t{1} << (depth < 64 ? 63 - depth : 127 - depth);
+    half |= bit;
+    const bool go_on =
+        walk(node->one.get(), family, static_cast<std::uint8_t>(depth + 1), hi, lo, visit);
+    half &= ~bit;
+    return go_on;
   }
 
   Node v4_root_;

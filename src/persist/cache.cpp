@@ -1,0 +1,116 @@
+#include "rpslyzer/persist/cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "rpslyzer/obs/log.hpp"
+#include "rpslyzer/obs/metrics.hpp"
+#include "rpslyzer/persist/snapshot_io.hpp"
+
+namespace rpslyzer::persist {
+
+namespace {
+
+obs::Counter& cache_hits() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rpslyzer_persist_cache_hits_total",
+      "Reload generations served from the on-disk snapshot cache");
+  return c;
+}
+
+obs::Counter& cache_misses() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rpslyzer_persist_cache_misses_total",
+      "Reload generations that required a full parse + compile");
+  return c;
+}
+
+/// Fold one byte buffer (length-prefixed, so "ab"+"c" != "a"+"bc").
+std::uint64_t mix_bytes(std::uint64_t h, std::string_view bytes) {
+  std::uint64_t len = bytes.size();
+  h = digest64(std::as_bytes(std::span<const std::uint64_t>(&len, 1)), h);
+  return digest64(bytes, h);
+}
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+std::string CacheKey::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+CacheKey derive_cache_key(const std::filesystem::path& corpus_dir,
+                          const irr::LoadOptions& options) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = mix_bytes(h, "rpslyzer-snapshot-v" + std::to_string(kFormatVersion));
+  for (const irr::IrrSource& source : irr::table1_sources(corpus_dir)) {
+    h = mix_bytes(h, source.name);
+    const std::optional<std::string> bytes = read_file(source.path);
+    h = mix_bytes(h, bytes ? "present" : "absent");
+    if (bytes) h = mix_bytes(h, *bytes);
+  }
+  const std::optional<std::string> relationships = read_file(corpus_dir / "relationships.txt");
+  h = mix_bytes(h, relationships ? "present" : "absent");
+  if (relationships) h = mix_bytes(h, *relationships);
+  const std::uint64_t max_bytes = options.max_object_bytes;
+  h = digest64(std::as_bytes(std::span<const std::uint64_t>(&max_bytes, 1)), h);
+  return CacheKey{h};
+}
+
+SnapshotCache::SnapshotCache(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);  // best effort
+}
+
+std::filesystem::path SnapshotCache::entry_path(const CacheKey& key) const {
+  return directory_ / ("snap-" + key.hex() + ".rps");
+}
+
+std::shared_ptr<const compile::CompiledPolicySnapshot> SnapshotCache::try_load(
+    const CacheKey& key) const {
+  const std::filesystem::path path = entry_path(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    cache_misses().inc();
+    obs::log_info("persist", "snapshot cache miss", {{"key", key.hex()}});
+    return nullptr;
+  }
+  try {
+    auto snapshot = open_snapshot(path, "cache:" + key.hex());
+    cache_hits().inc();
+    obs::log_info("persist", "snapshot cache hit",
+                  {{"key", key.hex()}, {"path", path.string()}});
+    return snapshot;
+  } catch (const SnapshotError& e) {
+    // A corrupt entry is a miss, not an error: the caller rebuilds and
+    // store() replaces the bad file.
+    cache_misses().inc();
+    obs::log_warn("persist", "snapshot cache entry rejected",
+                  {{"key", key.hex()}, {"error", e.what()}});
+    return nullptr;
+  }
+}
+
+void SnapshotCache::store(const CacheKey& key,
+                          const compile::CompiledPolicySnapshot& snap) const {
+  const std::filesystem::path path = entry_path(key);
+  try {
+    write_snapshot(snap, path);
+  } catch (const SnapshotError& e) {
+    obs::log_warn("persist", "snapshot cache store failed",
+                  {{"key", key.hex()}, {"error", e.what()}});
+  }
+}
+
+}  // namespace rpslyzer::persist

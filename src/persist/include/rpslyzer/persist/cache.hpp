@@ -1,0 +1,62 @@
+#pragma once
+// On-disk generation cache for compiled snapshots.
+//
+// The cache key is a content hash over everything that determines a
+// compiled generation: the arena format version, each Table-1 IRR dump the
+// loader would read (name, presence, and full bytes), the CAIDA
+// relationships file, and the load options that change parse results.
+// Identical inputs on a reload therefore hit `<dir>/snap-<key>.rps` and
+// come up via mmap instead of a full parse + compile; any changed byte in
+// any input derives a different key and misses cleanly. Corrupt or
+// version-mismatched entries are also misses (never errors): the caller
+// rebuilds and overwrites the entry.
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "rpslyzer/compile/snapshot.hpp"
+#include "rpslyzer/irr/loader.hpp"
+
+namespace rpslyzer::persist {
+
+/// A derived cache key (digest64 over the inputs described above).
+struct CacheKey {
+  std::uint64_t value = 0;
+
+  std::string hex() const;
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+/// Derive the key for a corpus directory (Table-1 "<irr>.db" dumps +
+/// "relationships.txt") under `options`. Missing files hash as absent, so
+/// adding or removing a dump also changes the key.
+CacheKey derive_cache_key(const std::filesystem::path& corpus_dir,
+                          const irr::LoadOptions& options);
+
+/// The cache directory. try_load/store maintain the hit/miss counters
+/// (rpslyzer_persist_cache_{hits,misses}_total) the serve reload path
+/// reports.
+class SnapshotCache {
+ public:
+  explicit SnapshotCache(std::filesystem::path directory);
+
+  const std::filesystem::path& directory() const noexcept { return directory_; }
+  std::filesystem::path entry_path(const CacheKey& key) const;
+
+  /// mmap-load the entry for `key`. Returns nullptr (and counts a miss) when
+  /// the entry is absent, corrupt, truncated, or version-mismatched; counts
+  /// a hit and labels the snapshot "cache:<key>" otherwise.
+  std::shared_ptr<const compile::CompiledPolicySnapshot> try_load(const CacheKey& key) const;
+
+  /// Serialize `snap` into the entry for `key` (atomic overwrite). Failures
+  /// are logged and swallowed — a broken cache write must never take down
+  /// the generation that was just built.
+  void store(const CacheKey& key, const compile::CompiledPolicySnapshot& snap) const;
+
+ private:
+  std::filesystem::path directory_;
+};
+
+}  // namespace rpslyzer::persist

@@ -20,6 +20,8 @@
 // data, "C\n" for success without data, "D\n" for "key not found", and
 // "F <error>\n" for malformed queries.
 
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,9 +52,10 @@ class QueryEngine {
   std::string set_prefixes(std::string_view arg) const;
   std::string aut_num_summary(std::string_view arg) const;
 
-  /// Flattened member ASNs of an as-set (sorted unique), or nullptr when
-  /// the set is undefined. Dispatches snapshot vs. index backend.
-  const std::vector<ir::Asn>* flat_asns(std::string_view name) const;
+  /// Flattened member ASNs of an as-set (sorted unique), or nullopt when
+  /// the set is undefined. Dispatches snapshot vs. index backend; a span
+  /// because the snapshot backend may be mmap-backed.
+  std::optional<std::span<const ir::Asn>> flat_asns(std::string_view name) const;
 
   const irr::Index& index_;
   const compile::CompiledPolicySnapshot* snapshot_ = nullptr;

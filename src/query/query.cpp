@@ -51,13 +51,15 @@ std::string join(const Range& range, Render render) {
 
 }  // namespace
 
-const std::vector<ir::Asn>* QueryEngine::flat_asns(std::string_view name) const {
+std::optional<std::span<const ir::Asn>> QueryEngine::flat_asns(std::string_view name) const {
   if (snapshot_ != nullptr) {
     const compile::CompiledAsSet* flat = snapshot_->flattened(name);
-    return flat == nullptr ? nullptr : &flat->asns;
+    if (flat == nullptr) return std::nullopt;
+    return flat->asns;
   }
   const irr::FlattenedAsSet* flat = index_.flattened(name);
-  return flat == nullptr ? nullptr : &flat->asns;
+  if (flat == nullptr) return std::nullopt;
+  return std::span<const ir::Asn>(flat->asns);
 }
 
 std::string frame_response(std::string_view payload) {
@@ -94,8 +96,8 @@ std::string QueryEngine::set_members(std::string_view arg) const {
 
   if (const ir::AsSet* set = index_.as_set(arg)) {
     if (recursive) {
-      const std::vector<ir::Asn>* asns = flat_asns(arg);
-      if (asns == nullptr) return not_found();
+      const auto asns = flat_asns(arg);
+      if (!asns) return not_found();
       return frame_response(
           join(*asns, [](ir::Asn asn) { return "AS" + std::to_string(asn); }));
     }
@@ -159,8 +161,8 @@ std::string QueryEngine::set_prefixes(std::string_view arg) const {
     want_v4 = false;
     arg = trim(arg.substr(1));
   }
-  const std::vector<ir::Asn>* flat = flat_asns(arg);
-  if (flat == nullptr) {
+  const auto flat = flat_asns(arg);
+  if (!flat) {
     // A bare ASN is also accepted (an as-set of one).
     if (auto asn = ir::parse_as_ref(arg)) {
       std::span<const net::Prefix> prefixes = index_.origins_of(*asn);

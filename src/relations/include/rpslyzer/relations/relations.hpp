@@ -43,6 +43,14 @@ class AsRelations {
   /// Incremental construction (used by the synthetic Internet generator).
   void add_provider_customer(Asn provider, Asn customer);
   void add_peer_peer(Asn a, Asn b);
+  /// Pre-size the adjacency tables for about `ases` networks — bulk loaders
+  /// (the snapshot restore path) know the AS count up front and skip the
+  /// incremental rehashing this avoids.
+  void reserve(std::size_t ases) {
+    providers_.reserve(ases);
+    customers_.reserve(ases);
+    peers_.reserve(ases);
+  }
   /// Declare the Tier-1 clique explicitly (overrides inference).
   void set_clique(std::vector<Asn> clique);
 

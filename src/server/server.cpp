@@ -389,6 +389,9 @@ std::string Server::do_reload() {
     wake();  // let the event loop arm the backoff retry promptly
     return "F reload failed: " + why + "\n";
   }
+  // "memory" = full parse + compile; "cache:<key>" / "file:<path>" = served
+  // by the persistence layer without recompiling.
+  const std::string source = fresh->source();
   {
     std::lock_guard<std::mutex> lock(corpus_mu_);
     corpus_ = std::move(fresh);
@@ -402,7 +405,8 @@ std::string Server::do_reload() {
     last_good_load_ = std::chrono::steady_clock::now();
   }
   stats_.reloads.inc();
-  obs::log_info("server", "corpus reloaded", {{"generation", generation()}});
+  obs::log_info("server", "corpus reloaded",
+                {{"generation", generation()}, {"source", source}});
   reloads_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   wake();  // disarm any pending retry
   return "C\n";
@@ -468,7 +472,7 @@ std::string Server::stats_payload() const {
   std::snprintf(
       buffer, sizeof(buffer),
       "generation: %llu\n"
-      "snapshot: build-id=%llu interned-symbols=%zu trie-nodes=%zu\n"
+      "snapshot: build-id=%llu interned-symbols=%zu trie-nodes=%zu source=%s\n"
       "health: %s\n"
       "uptime-ms: %lld\n"
       "connections: open=%lld accepted=%llu rejected=%llu idle-closed=%llu "
@@ -486,6 +490,7 @@ std::string Server::stats_payload() const {
           corpus_snap.corpus ? corpus_snap.corpus->build_id() : 0),
       corpus_snap.corpus ? corpus_snap.corpus->interned_symbols() : std::size_t{0},
       corpus_snap.corpus ? corpus_snap.corpus->trie_nodes() : std::size_t{0},
+      corpus_snap.corpus ? corpus_snap.corpus->source().c_str() : "none",
       to_string(health().state),
       static_cast<long long>(uptime.count()),
       static_cast<long long>(snap.connections_open),

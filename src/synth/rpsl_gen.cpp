@@ -1,6 +1,9 @@
 #include "rpslyzer/synth/rpsl_gen.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string_view>
 
 namespace rpslyzer::synth {
 
@@ -73,6 +76,57 @@ class ObjText {
 };
 
 std::string as_ref(Asn asn) { return "AS" + std::to_string(asn); }
+
+/// How much administrative boilerplate an object class carries in real
+/// dumps: policy objects (aut-num, sets) are maintained by humans and pick
+/// up the full contact block; route objects are usually tool-generated and
+/// carry a thinner one.
+enum class AdminProfile { kPolicy, kRoute };
+
+/// Real IRR objects are mostly administrative cruft the policy parser lexes
+/// and discards: descr, org, contact handles, notify, changed history, and
+/// the created/last-modified timestamps every modern dump stamps on. Emit
+/// the same density here so parse-side costs match real dumps. Presence and
+/// values vary per object via a hash of its key — deliberately NOT the
+/// generator rng, so adding or reshaping this block never shifts the random
+/// streams that drive topology, plans, and anomaly injection.
+void add_admin_attrs(ObjText& obj, std::string_view key, AdminProfile profile) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  const auto dated = [&](std::uint64_t salt) {
+    const std::uint64_t v = h ^ (salt * 0x9e3779b97f4a7c15ull);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%04u-%02u-%02uT%02u:%02u:%02uZ",
+                  static_cast<unsigned>(2002 + v % 22), static_cast<unsigned>(1 + (v >> 8) % 12),
+                  static_cast<unsigned>(1 + (v >> 16) % 28), static_cast<unsigned>((v >> 24) % 24),
+                  static_cast<unsigned>((v >> 32) % 60), static_cast<unsigned>((v >> 40) % 60));
+    return std::string(buf);
+  };
+  const std::string handle = "DUMY" + std::to_string(100 + h % 900) + "-EXAMPLE";
+  obj.attr("descr", "synthetic registration for " + std::string(key));
+  if (profile == AdminProfile::kPolicy) {
+    obj.attr("org", "ORG-SYN" + std::to_string(100 + (h >> 16) % 900) + "-EXAMPLE");
+    obj.attr("admin-c", handle);
+    obj.attr("tech-c", handle);
+    obj.attr("notify", "noc" + std::to_string(h % 97) + "@example.net");
+    if (h % 3 == 0) {
+      obj.attr("remarks", "filters generated from IRR data; peering requests via NOC");
+    }
+  } else {
+    if (h % 4 == 0) obj.attr("notify", "noc" + std::to_string(h % 97) + "@example.net");
+    if (h % 2 == 0) {
+      obj.attr("remarks", "registration generated from internal provisioning data");
+      obj.attr("remarks", "contact noc" + std::to_string(h % 97) +
+                              "@example.net for corrections");
+    }
+  }
+  obj.attr("changed", "noc@example.net " + dated(1).substr(0, 10));
+  obj.attr("created", dated(2));
+  obj.attr("last-modified", dated(3));
+}
 
 }  // namespace
 
@@ -164,6 +218,7 @@ std::map<std::string, std::string> RpslGenerator::generate() {
     ObjText obj;
     obj.attr("aut-num", as_ref(as.asn));
     obj.attr("as-name", "SYNTH-" + std::to_string(as.asn));
+    add_admin_attrs(obj, as_ref(as.asn), AdminProfile::kPolicy);
     obj.attr("mnt-by", maintainer(as.asn));
 
     std::vector<std::pair<std::string, std::string>> emitted_rules;
@@ -361,6 +416,7 @@ std::map<std::string, std::string> RpslGenerator::generate() {
     if (!plan.cone_set) continue;
     ObjText obj;
     obj.attr("as-set", cone_set_name(as.asn));
+    add_admin_attrs(obj, cone_set_name(as.asn), AdminProfile::kPolicy);
     std::string members = as_ref(as.asn);
     for (Asn customer : as.customers) {
       members += ", ";
@@ -443,6 +499,7 @@ std::map<std::string, std::string> RpslGenerator::generate() {
     if (!plans.at(as.asn).route_set) continue;
     ObjText obj;
     obj.attr("route-set", route_set_name(as.asn));
+    add_admin_attrs(obj, route_set_name(as.asn), AdminProfile::kPolicy);
     std::string members;
     std::string mp_members;
     for (const auto& prefix : as.prefixes) {
@@ -471,6 +528,7 @@ std::map<std::string, std::string> RpslGenerator::generate() {
       const SynthAs* as = topo_.find(tier2[i]);
       ObjText obj;
       obj.attr("peering-set", "PRNG-" + as_ref(as->asn));
+      add_admin_attrs(obj, "PRNG-" + as_ref(as->asn), AdminProfile::kPolicy);
       for (Asn peer : as->peers) obj.attr("peering", as_ref(peer));
       if (as->peers.empty() && !as->providers.empty()) {
         obj.attr("peering", as_ref(as->providers.front()));
@@ -482,6 +540,7 @@ std::map<std::string, std::string> RpslGenerator::generate() {
       const SynthAs* as = topo_.find(tier2[i]);
       ObjText obj;
       obj.attr("filter-set", "FLTR-" + as_ref(as->asn));
+      add_admin_attrs(obj, "FLTR-" + as_ref(as->asn), AdminProfile::kPolicy);
       obj.attr("filter", "{ " + as->prefixes.front().to_string() + "^+ }");
       emit(set_weights().pick_irr(rng_), obj.finish());
     }
@@ -492,6 +551,7 @@ std::map<std::string, std::string> RpslGenerator::generate() {
     ObjText obj;
     obj.attr(prefix.is_v4() ? "route" : "route6", prefix.to_string());
     obj.attr("origin", as_ref(origin));
+    add_admin_attrs(obj, prefix.to_string() + as_ref(origin), AdminProfile::kRoute);
     obj.attr("mnt-by", mnt);
     std::string irr = route_weights().pick_irr(rng_);
     std::string text = obj.finish();
@@ -542,6 +602,176 @@ std::map<std::string, std::string> RpslGenerator::generate() {
       net::Prefix stale(net::IpAddress::v4(base.address().v4_value() + offset), more);
       if (!base.covers(stale)) continue;
       emit_route(stale, as.asn, maintainer(as.asn));
+    }
+  }
+
+  // --- non-policy admin objects ----------------------------------------------
+  // Real dumps are dominated by object classes RPSLyzer skips entirely:
+  // mntner (every mnt-by above references one), person/role contacts,
+  // organisation records, and inetnum address registrations. The loader
+  // lexes them and drops them at classification, which is exactly the cost
+  // a real ingest pays — a corpus without them makes parsing look far
+  // cheaper than production dumps do. All values hash off the object key
+  // so no generator rng draws are consumed.
+  auto admin_hash = [](std::string_view key) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : key) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  };
+  const std::vector<std::string> rir_irrs = {"RIPE", "APNIC", "ARIN", "AFRINIC", "LACNIC"};
+  for (const auto& as : topo_.ases()) {
+    const std::uint64_t h = admin_hash(as_ref(as.asn));
+    const std::string& home = plans.at(as.asn).home_irr;
+    const std::string handle = "DUMY" + std::to_string(100 + h % 900) + "-EXAMPLE";
+    {
+      ObjText obj;
+      obj.attr("mntner", maintainer(as.asn));
+      add_admin_attrs(obj, maintainer(as.asn), AdminProfile::kPolicy);
+      obj.attr("upd-to", "noc" + std::to_string(h % 97) + "@example.net");
+      obj.attr("mnt-nfy", "noc" + std::to_string(h % 97) + "@example.net");
+      obj.attr("auth", h % 2 == 0 ? "MD5-PW $1$SaltSalt$DummyHashValueDummyHashVal/"
+                                  : "PGPKEY-" + std::to_string(10000000 + h % 90000000));
+      obj.attr("mnt-by", maintainer(as.asn));
+      emit(home, obj.finish());
+    }
+    // Registries carry several contacts per network (NOC role, admin,
+    // billing, abuse); person/role records outnumber policy objects in
+    // every production dump.
+    const std::uint64_t contact_count = 6 + h % 4;
+    for (std::uint64_t c = 0; c < contact_count; ++c) {
+      const std::uint64_t ch = h ^ (c * 0x9e3779b97f4a7c15ull);
+      ObjText obj;
+      obj.attr(ch % 5 == 0 ? "role" : "person",
+               "Synthetic Operator " + std::to_string(ch % 9973));
+      obj.attr("address", "1 Example Street");
+      obj.attr("address", "Suite " + std::to_string(100 + ch % 900));
+      obj.attr("address", "Exampleville " + std::to_string(ch % 89999 + 10000));
+      obj.attr("phone", "+1 555 " + std::to_string(1000000 + ch % 9000000));
+      if (ch % 2 == 0) obj.attr("fax-no", "+1 555 " + std::to_string(1000000 + ch % 8999999));
+      obj.attr("e-mail", "noc" + std::to_string(ch % 97) + "@example.net");
+      obj.attr("nic-hdl", c == 0 ? handle
+                                 : "DUMY" + std::to_string(1000 + ch % 9000) + "-EXAMPLE");
+      obj.attr("remarks", "office hours 09:00-17:00 UTC");
+      obj.attr("remarks",
+               "for abuse reports use abuse" + std::to_string(ch % 97) + "@example.net");
+      obj.attr("mnt-by", maintainer(as.asn));
+      obj.attr("changed", "noc@example.net 2019-07-0" + std::to_string(1 + ch % 9));
+      emit(home, obj.finish());
+    }
+    if (h % 2 == 0) {
+      ObjText obj;
+      obj.attr("organisation", "ORG-SYN" + std::to_string(100 + (h >> 16) % 900) + "-EXAMPLE");
+      obj.attr("org-name", "Synthetic Network " + std::to_string(as.asn));
+      obj.attr("org-type", "LIR");
+      obj.attr("address", "1 Example Street, Exampleville");
+      obj.attr("e-mail", "noc" + std::to_string(h % 97) + "@example.net");
+      obj.attr("mnt-ref", maintainer(as.asn));
+      obj.attr("mnt-by", maintainer(as.asn));
+      emit(home, obj.finish());
+    }
+    for (const auto& prefix : as.prefixes) {
+      const std::uint64_t ph = admin_hash(prefix.to_string());
+      const std::string& rir = rir_irrs[ph % rir_irrs.size()];
+      ObjText obj;
+      if (prefix.is_v4()) {
+        const std::uint32_t start = prefix.address().v4_value();
+        const std::uint32_t end =
+            start + (prefix.length() >= 32 ? 0u : (0xffffffffu >> prefix.length()));
+        char range[40];
+        std::snprintf(range, sizeof(range), "%u.%u.%u.%u - %u.%u.%u.%u", start >> 24,
+                      (start >> 16) & 0xff, (start >> 8) & 0xff, start & 0xff, end >> 24,
+                      (end >> 16) & 0xff, (end >> 8) & 0xff, end & 0xff);
+        obj.attr("inetnum", range);
+      } else {
+        obj.attr("inet6num", prefix.to_string());
+      }
+      obj.attr("netname", "SYNTH-NET-" + std::to_string(as.asn));
+      obj.attr("country", ph % 3 == 0 ? "US" : (ph % 3 == 1 ? "DE" : "JP"));
+      obj.attr("admin-c", handle);
+      obj.attr("tech-c", handle);
+      obj.attr("status", prefix.length() <= 16 ? "ALLOCATED PA" : "ASSIGNED PA");
+      if (ph % 2 == 0) {
+        obj.attr("remarks", "Geofeed https://as" + std::to_string(as.asn) +
+                                ".example.net/geofeed.csv");
+        obj.attr("remarks", "abuse reports to abuse" + std::to_string(ph % 97) +
+                                "@example.net");
+      }
+      obj.attr("mnt-by", maintainer(as.asn));
+      obj.attr("created", "2010-01-0" + std::to_string(1 + ph % 9) + "T00:00:00Z");
+      obj.attr("last-modified", "2022-01-0" + std::to_string(1 + ph % 9) + "T00:00:00Z");
+      emit(rir, obj.finish());
+      // Sub-assignments: registries record ASSIGNED children under most
+      // allocations (customer assignments, infrastructure blocks), so each
+      // allocated block usually appears several times at distinct sizes.
+      if (prefix.is_v4() && prefix.length() <= 22) {
+        const std::uint32_t start = prefix.address().v4_value();
+        const std::uint8_t child_len = static_cast<std::uint8_t>(prefix.length() + 2);
+        for (std::uint32_t child = 0; child < 3 + ph % 2; ++child) {
+          const std::uint32_t child_start = start + (child << (32 - child_len));
+          const std::uint32_t child_end = child_start + (0xffffffffu >> child_len);
+          char range[40];
+          std::snprintf(range, sizeof(range), "%u.%u.%u.%u - %u.%u.%u.%u", child_start >> 24,
+                        (child_start >> 16) & 0xff, (child_start >> 8) & 0xff, child_start & 0xff,
+                        child_end >> 24, (child_end >> 16) & 0xff, (child_end >> 8) & 0xff,
+                        child_end & 0xff);
+          ObjText sub;
+          sub.attr("inetnum", range);
+          sub.attr("netname", "SYNTH-CUST-" + std::to_string(as.asn) + "-" +
+                                  std::to_string(child));
+          sub.attr("descr", "customer assignment " + std::to_string(child));
+          sub.attr("country", ph % 3 == 0 ? "US" : (ph % 3 == 1 ? "DE" : "JP"));
+          sub.attr("admin-c", handle);
+          sub.attr("tech-c", handle);
+          sub.attr("status", "ASSIGNED PA");
+          sub.attr("mnt-by", maintainer(as.asn));
+          sub.attr("created", "2015-01-0" + std::to_string(1 + (ph + child) % 9) + "T00:00:00Z");
+          sub.attr("last-modified",
+                   "2023-01-0" + std::to_string(1 + (ph + child) % 9) + "T00:00:00Z");
+          emit(rir, sub.finish());
+          // Second assignment tier: customers re-assign slices of their
+          // block to sites, so deep allocations appear at several depths.
+          if (child_len <= 24 && (ph + child) % 2 == 0) {
+            const std::uint8_t gc_len = static_cast<std::uint8_t>(child_len + 2);
+            for (std::uint32_t g = 0; g < 2; ++g) {
+              const std::uint32_t gc_start = child_start + (g << (32 - gc_len));
+              const std::uint32_t gc_end = gc_start + (0xffffffffu >> gc_len);
+              std::snprintf(range, sizeof(range), "%u.%u.%u.%u - %u.%u.%u.%u", gc_start >> 24,
+                            (gc_start >> 16) & 0xff, (gc_start >> 8) & 0xff, gc_start & 0xff,
+                            gc_end >> 24, (gc_end >> 16) & 0xff, (gc_end >> 8) & 0xff,
+                            gc_end & 0xff);
+              ObjText site;
+              site.attr("inetnum", range);
+              site.attr("netname", "SYNTH-SITE-" + std::to_string(as.asn) + "-" +
+                                       std::to_string(child) + "-" + std::to_string(g));
+              site.attr("descr", "site assignment " + std::to_string(g));
+              site.attr("country", ph % 3 == 0 ? "US" : (ph % 3 == 1 ? "DE" : "JP"));
+              site.attr("admin-c", handle);
+              site.attr("tech-c", handle);
+              site.attr("status", "ASSIGNED PA");
+              site.attr("mnt-by", maintainer(as.asn));
+              site.attr("created",
+                        "2017-01-0" + std::to_string(1 + (ph + g) % 9) + "T00:00:00Z");
+              site.attr("last-modified",
+                        "2024-01-0" + std::to_string(1 + (ph + g) % 9) + "T00:00:00Z");
+              emit(rir, site.finish());
+            }
+          }
+        }
+      }
+      if (ph % 3 == 0 && prefix.is_v4()) {
+        ObjText dom;
+        const std::uint32_t start = prefix.address().v4_value();
+        dom.attr("domain", std::to_string((start >> 16) & 0xff) + "." +
+                               std::to_string(start >> 24) + ".in-addr.arpa");
+        dom.attr("descr", "reverse zone for " + prefix.to_string());
+        dom.attr("nserver", "ns1.as" + std::to_string(as.asn) + ".example.net");
+        dom.attr("nserver", "ns2.as" + std::to_string(as.asn) + ".example.net");
+        dom.attr("mnt-by", maintainer(as.asn));
+        emit(rir, dom.finish());
+      }
     }
   }
 

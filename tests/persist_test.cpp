@@ -1,0 +1,511 @@
+// Snapshot persistence must be invisible to correctness: an mmap-loaded
+// snapshot has to produce the exact HopCheck sequences and query bytes of
+// the in-memory snapshot it was serialized from, over the full synthetic
+// corpus. The rest of the suite drives the failure half of the contract:
+// corrupted, truncated, and version-mismatched files are refused with
+// SnapshotError (never UB, never a partial load), write-side faults leave
+// no file behind, a daemon reloading a bad snapshot quarantines itself on
+// the last good generation, and the on-disk generation cache treats every
+// defect as a miss.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <unistd.h>
+
+#include "rpslyzer/compile/snapshot.hpp"
+#include "rpslyzer/irr/loader.hpp"
+#include "rpslyzer/obs/metrics.hpp"
+#include "rpslyzer/persist/arena.hpp"
+#include "rpslyzer/persist/cache.hpp"
+#include "rpslyzer/persist/snapshot_io.hpp"
+#include "rpslyzer/query/query.hpp"
+#include "rpslyzer/rpslyzer.hpp"
+#include "rpslyzer/server/client.hpp"
+#include "rpslyzer/server/server.hpp"
+#include "rpslyzer/synth/generator.hpp"
+#include "rpslyzer/util/failpoint.hpp"
+#include "rpslyzer/verify/verifier.hpp"
+
+namespace rpslyzer {
+namespace {
+
+namespace fp = util::failpoint;
+
+// ---------------------------------------------------------------------------
+// Round-trip differential over the synthesized corpus
+// ---------------------------------------------------------------------------
+
+struct Pipeline {
+  synth::InternetGenerator generator;
+  Rpslyzer lyzer;
+  std::vector<bgp::Route> routes;
+  std::filesystem::path snap_path;
+
+  Pipeline()
+      : generator([] {
+          synth::SynthConfig config;
+          config.seed = 33;
+          config.tier1_count = 4;
+          config.tier2_count = 10;
+          config.tier3_count = 30;
+          config.stub_count = 150;
+          config.collectors = 6;
+          return config;
+        }()),
+        lyzer([&] {
+          std::vector<std::pair<std::string, std::string>> ordered;
+          for (const auto& name : synth::irr_names()) {
+            ordered.emplace_back(name, generator.irr_dumps().at(name));
+          }
+          return Rpslyzer::from_texts(ordered, generator.caida_serial1());
+        }()) {
+    for (const auto& dump : generator.bgp_dumps()) {
+      for (auto& route : bgp::parse_table_dump(dump)) routes.push_back(std::move(route));
+    }
+    snap_path = std::filesystem::temp_directory_path() /
+                ("rpslyzer-persist-" + std::to_string(::getpid()) + ".rps");
+    persist::write_snapshot(*lyzer.snapshot(), snap_path);
+  }
+  ~Pipeline() { std::filesystem::remove(snap_path); }
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+void expect_same_hops(const std::vector<verify::HopCheck>& got,
+                      const std::vector<verify::HopCheck>& want, std::size_t route) {
+  ASSERT_EQ(got.size(), want.size()) << "route " << route;
+  for (std::size_t h = 0; h < want.size(); ++h) {
+    EXPECT_EQ(got[h].from, want[h].from) << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].to, want[h].to) << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].export_result.status, want[h].export_result.status)
+        << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].export_result.items, want[h].export_result.items)
+        << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].import_result.status, want[h].import_result.status)
+        << "route " << route << " hop " << h;
+    EXPECT_EQ(got[h].import_result.items, want[h].import_result.items)
+        << "route " << route << " hop " << h;
+  }
+}
+
+TEST(PersistRoundTrip, LoadedSnapshotReportsSourceAndMetadata) {
+  auto& p = pipeline();
+  auto loaded = persist::open_snapshot(p.snap_path);
+  ASSERT_NE(loaded, nullptr);
+  auto memory = p.lyzer.snapshot();
+  EXPECT_EQ(loaded->build_id(), memory->build_id());
+  EXPECT_EQ(loaded->interned_symbols(), memory->interned_symbols());
+  EXPECT_EQ(loaded->trie_nodes(), memory->trie_nodes());
+  EXPECT_EQ(memory->source(), "memory");
+  EXPECT_EQ(loaded->source(), "file:" + p.snap_path.string());
+  EXPECT_EQ(persist::verify_snapshot(p.snap_path), memory->build_id());
+}
+
+TEST(PersistRoundTrip, VerifierMatchesInMemorySnapshotForEveryRoute) {
+  auto& p = pipeline();
+  ASSERT_GT(p.routes.size(), 1000u);
+  auto loaded = persist::open_snapshot(p.snap_path);
+  verify::Verifier memory(p.lyzer.snapshot());
+  verify::Verifier mapped(loaded);
+  for (std::size_t i = 0; i < p.routes.size(); ++i) {
+    expect_same_hops(mapped.verify_route(p.routes[i]), memory.verify_route(p.routes[i]),
+                     i);
+    if (::testing::Test::HasFailure()) break;  // one detailed mismatch is enough
+  }
+}
+
+TEST(PersistRoundTrip, VerifierReportsAreByteIdentical) {
+  auto& p = pipeline();
+  auto loaded = persist::open_snapshot(p.snap_path);
+  verify::Verifier memory(p.lyzer.snapshot());
+  verify::Verifier mapped(loaded);
+  const std::size_t step = std::max<std::size_t>(1, p.routes.size() / 200);
+  for (std::size_t i = 0; i < p.routes.size(); i += step) {
+    EXPECT_EQ(mapped.report(p.routes[i]), memory.report(p.routes[i])) << "route " << i;
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(PersistRoundTrip, QueryResponsesAreByteIdentical) {
+  auto& p = pipeline();
+  auto loaded = persist::open_snapshot(p.snap_path);
+  query::QueryEngine memory(*p.lyzer.snapshot());
+  query::QueryEngine mapped(*loaded);
+  std::size_t compared = 0;
+  for (const auto& [name, set] : p.lyzer.ir().as_sets) {
+    for (const std::string& q : {"!i" + name + ",1", "!a" + name, "!a4" + name,
+                                 "!a6" + name}) {
+      EXPECT_EQ(mapped.evaluate(q), memory.evaluate(q)) << q;
+    }
+    if (++compared >= 64) break;
+  }
+  for (const auto& [name, set] : p.lyzer.ir().route_sets) {
+    const std::string q = "!i" + name + ",1";
+    EXPECT_EQ(mapped.evaluate(q), memory.evaluate(q)) << q;
+    if (++compared >= 96) break;
+  }
+  for (const auto& [asn, an] : p.lyzer.ir().aut_nums) {
+    const std::string q = "!gAS" + std::to_string(asn);
+    EXPECT_EQ(mapped.evaluate(q), memory.evaluate(q)) << q;
+    if (++compared >= 160) break;
+  }
+  EXPECT_GT(compared, 96u);
+}
+
+// ---------------------------------------------------------------------------
+// The checksum/cache-key digest must see every byte
+// ---------------------------------------------------------------------------
+
+TEST(Digest64, AnySingleByteFlipAtAnyPositionChangesTheDigest) {
+  // Regression: the first word-wise FNV variant only diffused upward, so a
+  // flip in the high bytes of a word near the end of the buffer could be
+  // multiplied past bit 63 and erased. Exercise every byte position across
+  // lane, word-tail, and byte-tail regions.
+  std::string base(157, '\0');
+  for (std::size_t i = 0; i < base.size(); ++i) base[i] = static_cast<char>('a' + i % 26);
+  const std::uint64_t want = persist::digest64(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (const char flip : {char(0x01), char(0x80)}) {
+      std::string mutated = base;
+      mutated[i] = static_cast<char>(mutated[i] ^ flip);
+      EXPECT_NE(persist::digest64(mutated), want)
+          << "byte " << i << " flip 0x" << std::hex << int(flip);
+    }
+  }
+}
+
+TEST(Digest64, LengthAndSeedAreSignificant) {
+  EXPECT_NE(persist::digest64(std::string_view("abc")),
+            persist::digest64(std::string_view("abc\0", 4)));
+  EXPECT_NE(persist::digest64(std::string_view("abc"), 1),
+            persist::digest64(std::string_view("abc"), 2));
+  EXPECT_EQ(persist::digest64(std::string_view("abc")),
+            persist::digest64(std::string_view("abc")));
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted, truncated, and mismatched files are refused
+// ---------------------------------------------------------------------------
+
+class PersistCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fp::clear_all();
+    path_ = std::filesystem::temp_directory_path() /
+            ("rpslyzer-persist-corrupt-" + std::to_string(::getpid()) + ".rps");
+    std::filesystem::copy_file(pipeline().snap_path, path_,
+                               std::filesystem::copy_options::overwrite_existing);
+  }
+  void TearDown() override {
+    fp::clear_all();
+    std::filesystem::remove(path_);
+  }
+
+  void flip_byte(std::size_t offset) {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char b = 0;
+    f.read(&b, 1);
+    b ^= 0x5a;
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&b, 1);
+  }
+
+  std::string open_error() {
+    try {
+      persist::open_snapshot(path_);
+    } catch (const persist::SnapshotError& e) {
+      return e.what();
+    }
+    return {};
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(PersistCorruption, ChecksumRegionByteFlipIsRejected) {
+  // Anywhere past the fixed header is checksummed — section table included.
+  const std::uint64_t size = std::filesystem::file_size(path_);
+  for (const std::size_t offset :
+       {persist::kFixedHeaderSize, static_cast<std::size_t>(size / 2),
+        static_cast<std::size_t>(size - 1)}) {
+    SetUp();  // fresh copy per flip
+    flip_byte(offset);
+    EXPECT_NE(open_error().find("checksum mismatch"), std::string::npos)
+        << "offset " << offset;
+  }
+}
+
+TEST_F(PersistCorruption, TruncationMidSectionIsRejected) {
+  const std::uint64_t size = std::filesystem::file_size(path_);
+  for (const std::uint64_t keep : {size - 1, size * 2 / 3, size / 5}) {
+    SetUp();
+    std::filesystem::resize_file(path_, keep);
+    EXPECT_FALSE(open_error().empty()) << "kept " << keep << " of " << size;
+  }
+  // Even a header-only stub must be refused.
+  SetUp();
+  std::filesystem::resize_file(path_, 16);
+  EXPECT_FALSE(open_error().empty());
+}
+
+TEST_F(PersistCorruption, FormatVersionBumpIsRejected) {
+  flip_byte(8);  // format_version lives right after the u64 magic
+  EXPECT_NE(open_error().find("format version mismatch"), std::string::npos);
+}
+
+TEST_F(PersistCorruption, BadMagicIsRejected) {
+  flip_byte(0);
+  EXPECT_NE(open_error().find("not a snapshot file"), std::string::npos);
+}
+
+TEST_F(PersistCorruption, MissingFileIsRejected) {
+  std::filesystem::remove(path_);
+  EXPECT_FALSE(open_error().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Write-side and open-side failpoints
+// ---------------------------------------------------------------------------
+
+class PersistFault : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fp::clear_all();
+    path_ = std::filesystem::temp_directory_path() /
+            ("rpslyzer-persist-fault-" + std::to_string(::getpid()) + ".rps");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override {
+    fp::clear_all();
+    std::filesystem::remove(path_);
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(PersistFault, WriteErrorLeavesNoFileBehind) {
+  ASSERT_TRUE(fp::set("persist.write", "error"));
+  EXPECT_THROW(persist::write_snapshot(*pipeline().lyzer.snapshot(), path_),
+               persist::SnapshotError);
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  // Disarmed, the same write succeeds.
+  fp::clear_all();
+  EXPECT_GT(persist::write_snapshot(*pipeline().lyzer.snapshot(), path_), 0u);
+  EXPECT_TRUE(std::filesystem::exists(path_));
+}
+
+TEST_F(PersistFault, WriteTruncationProducesAFileTheLoaderRefuses) {
+  ASSERT_TRUE(fp::set("persist.write", "truncate(4096)"));
+  persist::write_snapshot(*pipeline().lyzer.snapshot(), path_);
+  ASSERT_TRUE(std::filesystem::exists(path_));
+  EXPECT_EQ(std::filesystem::file_size(path_), 4096u);
+  EXPECT_THROW(persist::open_snapshot(path_), persist::SnapshotError);
+}
+
+TEST_F(PersistFault, OpenFailpointRefusesBeforeMapping) {
+  persist::write_snapshot(*pipeline().lyzer.snapshot(), path_);
+  ASSERT_TRUE(fp::set("persist.open", "error"));
+  EXPECT_THROW(persist::open_snapshot(path_), persist::SnapshotError);
+  fp::clear_all();
+  EXPECT_NE(persist::open_snapshot(path_), nullptr);
+}
+
+TEST_F(PersistFault, VerifyFailpointForcesChecksumMismatch) {
+  persist::write_snapshot(*pipeline().lyzer.snapshot(), path_);
+  ASSERT_TRUE(fp::set("persist.verify", "error"));
+  try {
+    persist::open_snapshot(path_);
+    FAIL() << "expected SnapshotError";
+  } catch (const persist::SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server reload: a bad snapshot quarantines on the last good generation
+// ---------------------------------------------------------------------------
+
+server::ServerConfig test_config() {
+  server::ServerConfig config;
+  config.port = 0;
+  config.worker_threads = 2;
+  config.cache_capacity = 64;
+  config.idle_timeout = std::chrono::milliseconds(0);
+  return config;
+}
+
+TEST_F(PersistFault, ServerFallsBackToLastGoodOnCorruptSnapshotReload) {
+  persist::write_snapshot(*pipeline().lyzer.snapshot(), path_);
+  const std::filesystem::path snap = path_;
+  server::Server daemon(test_config(), [snap] { return persist::open_snapshot(snap); });
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  auto client = server::Client::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.has_value());
+
+  const std::string query =
+      "!gAS" + std::to_string(pipeline().lyzer.ir().aut_nums.begin()->first);
+  ASSERT_TRUE(client->send_line(query));
+  auto first = client->read_response();
+  ASSERT_TRUE(first.has_value());
+
+  // Corrupt the file in place (checksum region) and ask for a reload: the
+  // loader throws SnapshotError, so the daemon must refuse the generation
+  // and keep answering from the one it already has.
+  {
+    std::fstream f(snap, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(persist::kFixedHeaderSize + 7));
+    char b = 0x7f;
+    f.write(&b, 1);
+  }
+  ASSERT_TRUE(client->send_line("!reload"));
+  auto refused = client->read_response();
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_NE(refused->find("F reload failed"), std::string::npos) << *refused;
+  EXPECT_EQ(daemon.generation(), 1u);
+  EXPECT_EQ(daemon.health().state, server::Health::kDegraded);
+  ASSERT_TRUE(client->send_line(query));
+  EXPECT_EQ(client->read_response(), first);
+
+  // Repair the file; the next reload publishes a fresh generation.
+  persist::write_snapshot(*pipeline().lyzer.snapshot(), snap);
+  ASSERT_TRUE(client->send_line("!reload"));
+  EXPECT_EQ(client->read_response(), "C\n");
+  EXPECT_EQ(daemon.generation(), 2u);
+  EXPECT_EQ(daemon.health().state, server::Health::kHealthy);
+  ASSERT_TRUE(client->send_line(query));
+  EXPECT_EQ(client->read_response(), first);
+
+  client->send_line("!q");
+  daemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Generation cache: content-keyed, defect-tolerant
+// ---------------------------------------------------------------------------
+
+class PersistCache : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fp::clear_all();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rpslyzer-persist-cache-" + std::to_string(::getpid()));
+    corpus_ = dir_ / "corpus";
+    cache_dir_ = dir_ / "cache";
+    std::filesystem::create_directories(corpus_);
+    write("ripe.db",
+          "aut-num: AS64500\n"
+          "import: from AS64501 accept ANY\n"
+          "export: to AS64501 announce AS64500\n\n"
+          "route: 10.0.0.0/8\norigin: AS64500\n");
+    write("relationships.txt", "64500|64501|-1|irr\n");
+  }
+  void TearDown() override {
+    fp::clear_all();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void write(const std::string& name, const std::string& text) {
+    std::ofstream out(corpus_ / name, std::ios::binary);
+    out << text;
+  }
+
+  std::filesystem::path dir_;
+  std::filesystem::path corpus_;
+  std::filesystem::path cache_dir_;
+};
+
+TEST_F(PersistCache, KeyIsStableAndTracksEveryInput) {
+  const irr::LoadOptions options;
+  const persist::CacheKey base = persist::derive_cache_key(corpus_, options);
+  EXPECT_EQ(base, persist::derive_cache_key(corpus_, options));
+  EXPECT_EQ(base.hex().size(), 16u);
+
+  // One changed byte in a dump, a new dump, a changed relationships file,
+  // and a changed load option each derive a different key.
+  write("ripe.db",
+        "aut-num: AS64500\n"
+        "import: from AS64501 accept ANY\n"
+        "export: to AS64501 announce AS64500\n\n"
+        "route: 10.0.0.0/9\norigin: AS64500\n");
+  const persist::CacheKey changed_dump = persist::derive_cache_key(corpus_, options);
+  EXPECT_NE(changed_dump, base);
+
+  write("radb.db", "aut-num: AS64502\n");
+  const persist::CacheKey added_dump = persist::derive_cache_key(corpus_, options);
+  EXPECT_NE(added_dump, changed_dump);
+
+  write("relationships.txt", "64500|64501|0|irr\n");
+  const persist::CacheKey changed_rel = persist::derive_cache_key(corpus_, options);
+  EXPECT_NE(changed_rel, added_dump);
+
+  irr::LoadOptions bigger;
+  bigger.max_object_bytes = 1 << 20;
+  EXPECT_NE(persist::derive_cache_key(corpus_, bigger), changed_rel);
+}
+
+TEST_F(PersistCache, MissThenStoreThenHit) {
+  auto& hits = obs::MetricsRegistry::global().counter(
+      "rpslyzer_persist_cache_hits_total", "");
+  auto& misses = obs::MetricsRegistry::global().counter(
+      "rpslyzer_persist_cache_misses_total", "");
+  const std::uint64_t hits0 = hits.value();
+  const std::uint64_t misses0 = misses.value();
+
+  persist::SnapshotCache cache(cache_dir_);
+  const persist::CacheKey key = persist::derive_cache_key(corpus_, {});
+  EXPECT_EQ(cache.try_load(key), nullptr);
+  EXPECT_EQ(misses.value(), misses0 + 1);
+
+  cache.store(key, *pipeline().lyzer.snapshot());
+  ASSERT_TRUE(std::filesystem::exists(cache.entry_path(key)));
+  auto cached = cache.try_load(key);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(hits.value(), hits0 + 1);
+  EXPECT_EQ(cached->source(), "cache:" + key.hex());
+  EXPECT_EQ(cached->build_id(), pipeline().lyzer.snapshot()->build_id());
+
+  // A different key does not see the entry.
+  EXPECT_EQ(cache.try_load(persist::CacheKey{key.value + 1}), nullptr);
+}
+
+TEST_F(PersistCache, CorruptEntryIsAMissNotAnError) {
+  persist::SnapshotCache cache(cache_dir_);
+  const persist::CacheKey key = persist::derive_cache_key(corpus_, {});
+  cache.store(key, *pipeline().lyzer.snapshot());
+  {
+    std::fstream f(cache.entry_path(key),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(persist::kFixedHeaderSize + 3));
+    char b = 0x11;
+    f.write(&b, 1);
+  }
+  EXPECT_EQ(cache.try_load(key), nullptr);
+  // store() overwrites the bad entry and the next load hits again.
+  cache.store(key, *pipeline().lyzer.snapshot());
+  EXPECT_NE(cache.try_load(key), nullptr);
+}
+
+TEST_F(PersistCache, StoreFailureIsSwallowed) {
+  persist::SnapshotCache cache(cache_dir_);
+  const persist::CacheKey key = persist::derive_cache_key(corpus_, {});
+  // Materialize the shared pipeline before arming the failpoint: its lazy
+  // constructor writes a snapshot of its own, which must not hit the fault.
+  const auto snap = pipeline().lyzer.snapshot();
+  ASSERT_TRUE(fp::set("persist.write", "error"));
+  EXPECT_NO_THROW(cache.store(key, *snap));
+  EXPECT_FALSE(std::filesystem::exists(cache.entry_path(key)));
+}
+
+}  // namespace
+}  // namespace rpslyzer

@@ -66,6 +66,47 @@ wait "$SERVER_PID"   # non-zero here means the daemon did not shut down cleanly
 SERVER_PID=""
 grep -q "shut down cleanly" "$DIR/serve.log"
 
+# Snapshot persistence round-trip: compile the corpus once into a
+# relocatable snapshot file, serve the file (no dumps in sight), and check
+# the daemon's query and verify answers against the dump-backed results.
+"$CLI" compile "$DIR" --out "$DIR/snap.rps" | grep "wrote" >/dev/null
+test -s "$DIR/snap.rps"
+"$CLI" serve --snapshot "$DIR/snap.rps" --port 0 --threads 2 --stats-ms 0 \
+  > "$DIR/serve-snap.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening" "$DIR/serve-snap.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DIR/serve-snap.log" | head -1)"
+test -n "$PORT"
+
+# !g from the mmap-served snapshot must be byte-identical to the one-shot
+# answer computed from the dumps.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '!g%s\n!q\n' "$ASN" >&3
+cat <&3 > "$DIR/daemon-snap.txt"
+exec 3<&- 3>&-
+cmp "$DIR/daemon-snap.txt" "$DIR/oneshot.txt"
+
+# !v against the snapshot answers (framed A response), and !stats names the
+# snapshot file as the corpus source.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '!v %s %s\n!stats\n!q\n' "$PREFIX" "$ASPATH" >&3
+cat <&3 > "$DIR/daemon-verify.txt"
+exec 3<&- 3>&-
+grep -q "^A" "$DIR/daemon-verify.txt"
+grep -q "source=file:" "$DIR/daemon-verify.txt"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+grep -q "shut down cleanly" "$DIR/serve-snap.log"
+
+# A corrupt snapshot file must refuse to serve.
+head -c 100 "$DIR/snap.rps" > "$DIR/snap-truncated.rps"
+if "$CLI" serve --snapshot "$DIR/snap-truncated.rps" --port 0 >/dev/null 2>&1; then exit 1; fi
+
 # Bad usage exits non-zero.
 if "$CLI" nonsense >/dev/null 2>&1; then exit 1; fi
 if "$CLI" serve >/dev/null 2>&1; then exit 1; fi

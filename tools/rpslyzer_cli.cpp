@@ -7,6 +7,7 @@
 //   rpslyzer report <dir> <prefix> <asn...>  verify one route, print report
 //   rpslyzer verify <dir>                    verify collector-*.dump files
 //   rpslyzer query <dir> <!query...>         evaluate IRRd queries, print framed
+//   rpslyzer compile <dir> --out <snap>      compile + write a snapshot file
 //   rpslyzer serve <dir>|--synth [flags]     run the rpslyzerd query daemon
 //
 // <dir> holds <irr>.db dumps (Table 1 names) plus relationships.txt and,
@@ -23,6 +24,8 @@
 #include "rpslyzer/lint/linter.hpp"
 #include "rpslyzer/obs/log.hpp"
 #include "rpslyzer/obs/trace.hpp"
+#include "rpslyzer/persist/cache.hpp"
+#include "rpslyzer/persist/snapshot_io.hpp"
 #include "rpslyzer/query/query.hpp"
 #include "rpslyzer/report/aggregate.hpp"
 #include "rpslyzer/report/render.hpp"
@@ -52,13 +55,20 @@ int usage() {
                "                                  (--threads 0 = all cores; --interpreted\n"
                "                                   skips the compiled policy snapshot)\n"
                "  query <dir> <!query...>         evaluate IRRd queries, print framed\n"
-               "  serve <dir>|--synth [flags]     run the rpslyzerd query daemon\n"
+               "  compile <dir> --out <snap> [--threads N]\n"
+               "                                  parse + compile, write a relocatable\n"
+               "                                  snapshot file loadable via mmap\n"
+               "  serve <dir>|--synth|--snapshot <snap> [flags]\n"
+               "                                  run the rpslyzerd query daemon\n"
                "    serve flags: [--port N] [--threads N] [--cache N] [--max-conns N]\n"
                "                 [--idle-ms N] [--stats-ms N] [--deadline-ms N]\n"
                "                 [--max-out-kb N] [--stall-grace-ms N] [--retry-ms N]\n"
                "                 [--retry-max-ms N] [--scale F] [--seed N]\n"
                "                 [--metrics-file PATH] [--metrics-file-ms N]\n"
-               "                 (--threads also sets load/reload ingestion parallelism)\n"
+               "                 [--snapshot-cache DIR]\n"
+               "                 (--threads also sets load/reload ingestion parallelism;\n"
+               "                  --snapshot serves a compile --out file, --snapshot-cache\n"
+               "                  keys mmap-cached generations by corpus content)\n"
                "  log levels: debug info warn error off (also via RPSLYZER_LOG)\n");
   return 2;
 }
@@ -296,6 +306,47 @@ int cmd_query(int argc, char** argv) {
   return 0;
 }
 
+// `compile` is the write half of snapshot persistence: parse + compile once,
+// then serialize the compiled snapshot into a relocatable arena file that
+// `serve --snapshot` (or the --snapshot-cache generation cache) loads back
+// with a single mmap instead of repeating the whole pipeline.
+int cmd_compile(int argc, char** argv) {
+  std::filesystem::path dir;
+  std::filesystem::path out;
+  irr::LoadOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) return usage();
+      out = argv[++i];
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) return usage();
+      options.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!arg.empty() && arg.front() != '-' && dir.empty()) {
+      dir = arg;
+    } else {
+      std::fprintf(stderr, "compile: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (dir.empty() || out.empty()) return usage();
+  if (!corpus_dir_ok(dir)) return 1;
+  try {
+    Rpslyzer lyzer = load(dir, options);
+    auto snapshot = lyzer.snapshot();
+    const std::uint64_t bytes = persist::write_snapshot(*snapshot, out);
+    std::printf("wrote %s (%llu bytes, build-id %llu, %zu interned symbols, "
+                "%zu trie nodes)\n",
+                out.c_str(), static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(snapshot->build_id()),
+                snapshot->interned_symbols(), snapshot->trie_nodes());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "compile: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 // `serve` wires signals straight into the daemon: SIGINT/SIGTERM drain and
 // stop, SIGHUP reloads the corpus (both entry points are async-signal-safe).
 server::Server* g_server = nullptr;
@@ -310,6 +361,8 @@ void on_hup_signal(int) {
 
 int cmd_serve(int argc, char** argv) {
   std::string data_dir;
+  std::string snapshot_path;
+  std::string snapshot_cache_dir;
   bool synthetic = false;
   double scale = 0.2;
   std::uint32_t seed = 7;
@@ -320,6 +373,14 @@ int cmd_serve(int argc, char** argv) {
     auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
     if (arg == "--synth") {
       synthetic = true;
+    } else if (arg == "--snapshot") {
+      const char* v = next_value();
+      if (!v) return usage();
+      snapshot_path = v;
+    } else if (arg == "--snapshot-cache") {
+      const char* v = next_value();
+      if (!v) return usage();
+      snapshot_cache_dir = v;
     } else if (arg == "--port") {
       const char* v = next_value();
       if (!v) return usage();
@@ -387,7 +448,12 @@ int cmd_serve(int argc, char** argv) {
       return usage();
     }
   }
-  if (synthetic ? !data_dir.empty() : data_dir.empty()) return usage();
+  // Exactly one corpus source: a data dir, --synth, or --snapshot.
+  const int sources = (!data_dir.empty() ? 1 : 0) + (synthetic ? 1 : 0) +
+                      (!snapshot_path.empty() ? 1 : 0);
+  if (sources != 1) return usage();
+  // --snapshot-cache only makes sense when reloads re-read a data dir.
+  if (!snapshot_cache_dir.empty() && data_dir.empty()) return usage();
 
   server::CorpusLoader loader;
   // The daemon's --threads knob doubles as ingestion parallelism: the
@@ -395,7 +461,15 @@ int cmd_serve(int argc, char** argv) {
   // parallel pipeline with the same thread budget as the worker pool.
   irr::LoadOptions load_options;
   load_options.threads = config.worker_threads;
-  if (synthetic) {
+  if (!snapshot_path.empty()) {
+    // Every (re)load re-opens the file, so SIGHUP picks up a snapshot that
+    // `compile --out` replaced in place; a corrupt or version-mismatched
+    // file throws SnapshotError, which the server turns into "keep serving
+    // the last good generation, degraded".
+    loader = [snapshot_path]() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
+      return persist::open_snapshot(snapshot_path);
+    };
+  } else if (synthetic) {
     loader = [scale, seed,
               load_options]() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
       synth::SynthConfig synth_config;
@@ -414,9 +488,22 @@ int cmd_serve(int argc, char** argv) {
       return {std::move(lyzer), snapshot.get()};
     };
   } else {
-    loader = [data_dir,
+    loader = [data_dir, snapshot_cache_dir,
               load_options]() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
       if (!corpus_dir_ok(data_dir)) return nullptr;  // start + reload both bail
+      if (!snapshot_cache_dir.empty()) {
+        // Generation cache: key the compiled artifact by the content of the
+        // dumps + relationships file. Unchanged corpus → mmap the cached
+        // snapshot; changed or absent/corrupt entry → full rebuild below,
+        // then repopulate the entry for the next reload.
+        persist::SnapshotCache cache{std::filesystem::path(snapshot_cache_dir)};
+        const persist::CacheKey key = persist::derive_cache_key(data_dir, load_options);
+        if (auto cached = cache.try_load(key)) return cached;
+        auto lyzer = std::make_shared<Rpslyzer>(load(data_dir, load_options));
+        auto snapshot = lyzer->snapshot();
+        cache.store(key, *snapshot);
+        return {std::move(lyzer), snapshot.get()};
+      }
       auto lyzer = std::make_shared<Rpslyzer>(load(data_dir, load_options));
       auto snapshot = lyzer->snapshot();
       return {std::move(lyzer), snapshot.get()};
@@ -433,9 +520,12 @@ int cmd_serve(int argc, char** argv) {
   std::signal(SIGINT, on_stop_signal);
   std::signal(SIGTERM, on_stop_signal);
   std::signal(SIGHUP, on_hup_signal);
+  const char* corpus_desc = synthetic ? "synthetic"
+                            : !snapshot_path.empty() ? snapshot_path.c_str()
+                                                     : data_dir.c_str();
   std::printf("rpslyzerd listening on %s:%u (workers=%u cache=%zu corpus=%s)\n",
               config.bind_address.c_str(), daemon.port(), config.worker_threads,
-              config.cache_capacity, synthetic ? "synthetic" : data_dir.c_str());
+              config.cache_capacity, corpus_desc);
   std::fflush(stdout);
   daemon.wait();
   const std::string final_stats = daemon.stats_payload();
@@ -481,6 +571,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(command, "report") == 0) return cmd_report(argc, argv);
   if (std::strcmp(command, "verify") == 0) return cmd_verify(argc, argv);
   if (std::strcmp(command, "query") == 0) return cmd_query(argc, argv);
+  if (std::strcmp(command, "compile") == 0) return cmd_compile(argc, argv);
   if (std::strcmp(command, "serve") == 0) return cmd_serve(argc, argv);
   return usage();
 }

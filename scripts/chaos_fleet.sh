@@ -1,0 +1,210 @@
+#!/usr/bin/env bash
+# chaos_fleet.sh — replication chaos harness: 1 origin + 3 edges under
+# loadgen while edges and the origin are SIGKILLed and restarted.
+#
+#   scripts/chaos_fleet.sh [<rpslyzer_cli> [<loadgen>]]
+#
+# Pass/fail criteria (the ISSUE's acceptance bar):
+#   * zero wrong answers: every response to the oracle query, on every
+#     edge, at every point in the run, byte-matches the known-good framed
+#     response (loadgen --expect-file);
+#   * an edge SIGKILLed and restarted recovers its last-good snapshot from
+#     disk and serves immediately;
+#   * edges keep serving last-good through an origin SIGKILL, and converge
+#     back (origin-up, matching generation) within 3 poll intervals of the
+#     origin returning;
+#   * a new generation published under load propagates to every edge.
+#
+# Not a ctest: this script runs ~30s of wall-clock chaos and is meant for
+# manual runs and CI jobs that can afford it. Torn connections against a
+# deliberately killed process are expected (availability loss), wrong
+# bytes never are (correctness loss).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CLI="${1:-$ROOT/build/tools/rpslyzer}"
+LOADGEN="${2:-$ROOT/build/tools/loadgen}"
+test -x "$CLI" || { echo "chaos_fleet: $CLI not executable (build first)"; exit 2; }
+test -x "$LOADGEN" || { echo "chaos_fleet: $LOADGEN not executable"; exit 2; }
+
+POLL_MS=500
+DIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+say() { echo "chaos_fleet: $*"; }
+
+# --- corpus + oracle ------------------------------------------------------
+"$CLI" generate "$DIR/corpus" 0.2 11 >/dev/null
+ASN="$(awk '/^origin:/ {print $2; exit}' "$DIR/corpus"/*.db)"
+"$CLI" query "$DIR/corpus" "!g$ASN" > "$DIR/oracle.txt"
+grep -q "^A" "$DIR/oracle.txt" || { say "oracle query returned no route set"; exit 2; }
+say "oracle: !g$ASN ($(wc -c < "$DIR/oracle.txt") bytes)"
+
+# NB: the port regex is anchored to the start of the listening line — an
+# edge's line embeds the ORIGIN's port in "corpus=repl:127.0.0.1:NNN".
+port_of() {  # <logfile>
+  sed -n 's/^rpslyzerd listening on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' "$1" | head -1
+}
+wait_listening() {  # <logfile>
+  for _ in $(seq 1 200); do
+    grep -q "listening" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  say "daemon never came up: $1"; tail -5 "$1"; return 1
+}
+
+ask() {  # <port> <query...> — one connection, all framed responses on stdout
+  local port="$1"; shift
+  local payload=""
+  for q in "$@"; do payload="$payload$q"$'\n'; done
+  exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
+  printf '%s!q\n' "$payload" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+start_origin() {  # <port: 0 for ephemeral>
+  "$CLI" serve "$DIR/corpus" --publish --port "$1" --threads 2 --stats-ms 0 \
+    > "$DIR/origin.log" 2>&1 &
+  ORIGIN_PID=$!
+  PIDS+=("$ORIGIN_PID")
+  wait_listening "$DIR/origin.log"
+}
+
+start_edge() {  # <n>
+  local n="$1"
+  mkdir -p "$DIR/edge$n"
+  "$CLI" serve --origin "127.0.0.1:$OPORT" --repl-dir "$DIR/edge$n" \
+    --edge-id "edge$n" --poll-ms "$POLL_MS" --heartbeat-ms 300 \
+    --port 0 --threads 2 --stats-ms 0 > "$DIR/edge$n.log" 2>&1 &
+  EDGE_PID[$n]=$!
+  PIDS+=("${EDGE_PID[$n]}")
+}
+
+# Burst of oracle-checked load; exits non-zero on any wrong byte. Totals
+# accumulate so the final report shows how much was actually checked.
+TOTAL_CHECKED=0
+burst() {  # <port> <tag>
+  local out
+  out="$("$LOADGEN" --port "$1" --connections 2 --pipeline 4 --requests 40 \
+         --expect-file "$DIR/oracle.txt" --json "!g$ASN" "!iAS-NOPE")" || {
+    say "FAIL: loadgen burst against $2 (port $1): $out"; return 1;
+  }
+  local wrong checked
+  wrong="$(echo "$out" | grep -o '"wrong":[0-9]*' | cut -d: -f2)"
+  checked="$(echo "$out" | grep -o '"checked":[0-9]*' | cut -d: -f2)"
+  TOTAL_CHECKED=$((TOTAL_CHECKED + checked))
+  if [ "$wrong" != "0" ]; then
+    say "FAIL: $wrong wrong answers from $2"; return 1
+  fi
+}
+
+# Converge = edge reports origin-up and the origin's current generation.
+# Deadline: 3 poll intervals (the acceptance bar), measured from now.
+wait_converged() {  # <port> <gen> <tag>
+  local deadline=$(( 3 * POLL_MS ))
+  local waited=0
+  while [ "$waited" -le "$deadline" ]; do
+    local page
+    page="$(ask "$1" "!repl" 2>/dev/null || true)"
+    if echo "$page" | grep -q "origin-up: 1" && echo "$page" | grep -q "^gen: $2$"; then
+      say "$3 converged to gen $2 in ${waited}ms"
+      return 0
+    fi
+    sleep 0.1
+    waited=$((waited + 100))
+  done
+  say "FAIL: $3 did not converge to gen $2 within ${deadline}ms"
+  ask "$1" "!repl" || true
+  return 1
+}
+
+# --- phase 0: bring the fleet up -----------------------------------------
+declare -A EDGE_PID EPORT
+start_origin 0
+OPORT="$(port_of "$DIR/origin.log")"
+say "origin on :$OPORT"
+for n in 1 2 3; do start_edge "$n"; done
+for n in 1 2 3; do
+  wait_listening "$DIR/edge$n.log"
+  EPORT[$n]="$(port_of "$DIR/edge$n.log")"
+done
+say "edges on :${EPORT[1]} :${EPORT[2]} :${EPORT[3]}"
+for n in 1 2 3; do wait_converged "${EPORT[$n]}" 1 "edge$n"; done
+
+# Sustained background load on the two edges that stay up for the whole
+# run: they must carry zero wrong answers through every kill below.
+"$LOADGEN" --port "${EPORT[1]}" --connections 2 --pipeline 4 --duration-ms 20000 \
+  --expect-file "$DIR/oracle.txt" --json "!g$ASN" "!stats" > "$DIR/load1.json" &
+LOAD1=$!
+"$LOADGEN" --port "${EPORT[3]}" --connections 2 --pipeline 4 --duration-ms 20000 \
+  --expect-file "$DIR/oracle.txt" --json "!g$ASN" "!iAS-NOPE" > "$DIR/load3.json" &
+LOAD3=$!
+PIDS+=("$LOAD1" "$LOAD3")
+for n in 1 2 3; do burst "${EPORT[$n]}" "edge$n (fleet up)"; done
+
+# --- phase 1: SIGKILL an edge, restart it --------------------------------
+say "phase 1: SIGKILL edge2"
+kill -9 "${EDGE_PID[2]}"
+wait "${EDGE_PID[2]}" 2>/dev/null || true
+burst "${EPORT[1]}" "edge1 (sibling dead)"
+burst "${EPORT[3]}" "edge3 (sibling dead)"
+: > "$DIR/edge2.log"
+start_edge 2                      # same state dir: recovers last-good from disk
+wait_listening "$DIR/edge2.log"
+EPORT[2]="$(port_of "$DIR/edge2.log")"
+wait_converged "${EPORT[2]}" 1 "edge2 (restarted)"
+burst "${EPORT[2]}" "edge2 (restarted)"
+
+# --- phase 2: SIGKILL the origin; edges serve last-good ------------------
+say "phase 2: SIGKILL origin"
+kill -9 "$ORIGIN_PID"
+wait "$ORIGIN_PID" 2>/dev/null || true
+sleep 1                           # let edges notice (heartbeat + poll fail)
+for n in 1 2 3; do burst "${EPORT[$n]}" "edge$n (origin down)"; done
+ask "${EPORT[1]}" "!repl" | grep -q "origin-up: 0" ||
+  { say "FAIL: edge1 still claims origin-up during outage"; exit 1; }
+
+say "phase 2: restart origin on :$OPORT"
+: > "$DIR/origin.log"
+start_origin "$OPORT"             # same content -> same checksum -> gen 1 readopted
+for n in 1 2 3; do wait_converged "${EPORT[$n]}" 1 "edge$n (origin back)"; done
+for n in 1 2 3; do burst "${EPORT[$n]}" "edge$n (origin back)"; done
+
+# --- phase 3: publish a new generation under load ------------------------
+say "phase 3: new generation via corpus change + SIGHUP"
+printf '\nroute: 203.0.113.0/24\norigin: AS64999\nmnt-by: MAINT-CHAOS\nsource: RADB\n' \
+  >> "$DIR/corpus/radb.db"
+kill -HUP "$ORIGIN_PID"
+for _ in $(seq 1 100); do
+  ask "$OPORT" "!repl" | grep -q "^gen: 2$" && break
+  sleep 0.1
+done
+ask "$OPORT" "!repl" | grep -q "^gen: 2$" ||
+  { say "FAIL: origin never published generation 2"; exit 1; }
+for n in 1 2 3; do wait_converged "${EPORT[$n]}" 2 "edge$n (gen 2)"; done
+for n in 1 2 3; do burst "${EPORT[$n]}" "edge$n (gen 2)"; done
+
+# --- wrap up --------------------------------------------------------------
+wait "$LOAD1" || { say "FAIL: sustained load on edge1 saw failures/wrong bytes"; \
+                   cat "$DIR/load1.json"; exit 1; }
+wait "$LOAD3" || { say "FAIL: sustained load on edge3 saw failures/wrong bytes"; \
+                   cat "$DIR/load3.json"; exit 1; }
+grep -q '"wrong":0' "$DIR/load1.json" && grep -q '"failed":false' "$DIR/load1.json"
+grep -q '"wrong":0' "$DIR/load3.json" && grep -q '"failed":false' "$DIR/load3.json"
+for f in "$DIR/load1.json" "$DIR/load3.json"; do
+  checked="$(grep -o '"checked":[0-9]*' "$f" | cut -d: -f2)"
+  TOTAL_CHECKED=$((TOTAL_CHECKED + checked))
+done
+
+for n in 1 2 3; do kill -TERM "${EDGE_PID[$n]}" 2>/dev/null || true; done
+kill -TERM "$ORIGIN_PID" 2>/dev/null || true
+for n in 1 2 3; do wait "${EDGE_PID[$n]}" 2>/dev/null || true; done
+wait "$ORIGIN_PID" 2>/dev/null || true
+
+say "ok: $TOTAL_CHECKED oracle responses checked, 0 wrong"

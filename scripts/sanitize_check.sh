@@ -20,7 +20,7 @@ cmake -B "$BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE=ON >/dev/null
 cmake --build "$BUILD" -j --target \
   server_test query_test irr_index_test fault_injection_test loader_files_test obs_test \
   parallel_loader_test shard_fuzz_test compile_snapshot_test parallel_verify_test \
-  persist_test
+  persist_test repl_test
 
 run_labeled() {
   local spec="$1" exclude="${2:-}" labels="${3:-fault}"
@@ -31,13 +31,15 @@ run_labeled() {
 
 # Baseline (fault plus the mmap/decode-heavy persist suite — the snapshot
 # loader's pointer fixups and bounds checks are exactly what ASan/UBSan
-# police), then each action kind. Error actions are limited to sites whose
+# police — plus the replication suite, whose torn-transfer and digest-
+# mismatch failpoint paths juggle partial files and raw byte buffers
+# across the edge agent thread), then each action kind. Error actions are limited to sites whose
 # callers degrade gracefully (cache bypass); tests that assert exact cache
 # hit counts are excluded from that entry since bypassing the cache is its
 # intended observable effect. The loader/server error paths are driven
 # programmatically by fault_injection_test, where the test controls the
 # blast radius.
-run_labeled "" "" "fault|persist"
+run_labeled "" "" "fault|persist|repl"
 run_labeled "server.send=delay(2ms);server.dispatch=delay(1ms)"
 run_labeled "cache.get=error;cache.put=error" 'Server\.|ResponseCache'
 run_labeled "irr.parse=truncate(65536)"
@@ -58,7 +60,7 @@ if cc -fsanitize=thread "$tsan_probe/probe.c" -o "$tsan_probe/probe" 2>/dev/null
   echo "== ThreadSanitizer pass =="
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE_THREAD=ON >/dev/null
   cmake --build "$TSAN_BUILD" -j --target obs_test server_test parallel_loader_test \
-    compile_snapshot_test parallel_verify_test persist_test
+    compile_snapshot_test parallel_verify_test persist_test repl_test
   "$TSAN_BUILD/tests/obs_test"
   "$TSAN_BUILD/tests/server_test"
   "$TSAN_BUILD/tests/parallel_loader_test"
@@ -68,6 +70,10 @@ if cc -fsanitize=thread "$tsan_probe/probe.c" -o "$tsan_probe/probe" 2>/dev/null
   # accept loop and worker threads — the aliasing shared_ptr ownership is
   # the racy-by-construction surface TSan should sign off on.
   "$TSAN_BUILD/tests/persist_test"
+  # The replication suite runs an edge agent thread against a live origin
+  # event loop: condvar wakeups, atomic status counters, and the activation
+  # callback crossing threads are all under the race detector here.
+  "$TSAN_BUILD/tests/repl_test"
 else
   echo "== ThreadSanitizer unavailable on this toolchain; skipping TSan pass =="
 fi

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <system_error>
@@ -54,6 +55,24 @@ std::string errno_message(const char* what, const std::filesystem::path& path) {
 
 }  // namespace
 
+const char* section_name(SectionId id) noexcept {
+  switch (id) {
+    case SectionId::kSymbols: return "symbols";
+    case SectionId::kIr: return "ir";
+    case SectionId::kRelations: return "relations";
+    case SectionId::kAsSetPool: return "as-set-pool";
+    case SectionId::kAsSets: return "as-sets";
+    case SectionId::kOriginPool: return "origin-pool";
+    case SectionId::kOrigins: return "origins";
+    case SectionId::kIntervalPool: return "interval-pool";
+    case SectionId::kRouteSets: return "route-sets";
+    case SectionId::kConePool: return "cone-pool";
+    case SectionId::kAutNums: return "aut-nums";
+    case SectionId::kNfa: return "nfa";
+  }
+  return "unknown";
+}
+
 void ArenaWriter::add_section(SectionId id, std::vector<std::byte> payload) {
   for (const Section& s : sections_) {
     if (s.id == id) throw SnapshotError("duplicate snapshot section id");
@@ -61,8 +80,7 @@ void ArenaWriter::add_section(SectionId id, std::vector<std::byte> payload) {
   sections_.push_back({id, std::move(payload)});
 }
 
-std::uint64_t ArenaWriter::write(const std::filesystem::path& path,
-                                 std::uint64_t build_id) const {
+std::vector<std::byte> ArenaWriter::build_image(std::uint64_t build_id) const {
   // Assemble the full image in memory: header + section table + payloads.
   const std::size_t table_bytes = sections_.size() * sizeof(SectionEntry);
   std::size_t cursor = align_up(kFixedHeaderSize + table_bytes, kSectionAlignment);
@@ -90,7 +108,15 @@ std::uint64_t ArenaWriter::write(const std::filesystem::path& path,
   }
   header.checksum = digest64(
       std::span<const std::byte>(image).subspan(kFixedHeaderSize, file_size - kFixedHeaderSize));
+  static_assert(offsetof(FixedHeader, checksum) == kChecksumOffset);
   std::memcpy(image.data(), &header, sizeof(header));
+  return image;
+}
+
+std::uint64_t ArenaWriter::write(const std::filesystem::path& path,
+                                 std::uint64_t build_id) const {
+  const std::vector<std::byte> image = build_image(build_id);
+  const std::uint64_t file_size = image.size();
 
   // An injected truncation publishes a deliberately short file (for the
   // corruption-recovery tests); an injected error aborts with nothing left.
@@ -217,7 +243,8 @@ std::span<const std::byte> ArenaView::section(SectionId id) const {
   for (const SectionRef& ref : table_) {
     if (ref.id == id) return {base_ + ref.offset, ref.size};
   }
-  throw SnapshotError("snapshot is missing a required section (id " +
+  throw SnapshotError(std::string("snapshot is missing required section ") +
+                      section_name(id) + " (id " +
                       std::to_string(static_cast<std::uint32_t>(id)) + ")");
 }
 
@@ -226,6 +253,13 @@ bool ArenaView::has_section(SectionId id) const noexcept {
     if (ref.id == id) return true;
   }
   return false;
+}
+
+std::uint64_t ArenaView::section_offset(SectionId id) const noexcept {
+  for (const SectionRef& ref : table_) {
+    if (ref.id == id) return ref.offset;
+  }
+  return 0;
 }
 
 }  // namespace rpslyzer::persist

@@ -68,6 +68,17 @@ enum class SectionId : std::uint32_t {
   kNfa = 12,          // AS-path NFA tables in deterministic build order
 };
 
+/// Human-readable section name for error messages and replication status
+/// pages ("symbols", "ir", ... , "nfa"); "unknown" for out-of-range ids.
+const char* section_name(SectionId id) noexcept;
+
+/// Byte offset within the image where the checksum field of the fixed
+/// header lives. The checksum covers everything *after* the fixed header,
+/// so it is a content identity independent of build_id — the replication
+/// layer reads it straight out of a serialized image to deduplicate
+/// publishes across origin restarts.
+inline constexpr std::size_t kChecksumOffset = 40;
+
 /// Any malformed, truncated, corrupted, or version-mismatched snapshot file
 /// surfaces as this exception; callers (server reload, generation cache)
 /// treat it as "no snapshot" and fall back to a full rebuild.
@@ -222,6 +233,11 @@ class ArenaWriter {
   /// `persist.write` error (no file is left at `path` in either case).
   std::uint64_t write(const std::filesystem::path& path, std::uint64_t build_id) const;
 
+  /// Assemble and checksum the complete in-memory image without touching
+  /// the filesystem — the exact bytes write() would publish. The
+  /// replication publisher serves generations straight from this buffer.
+  std::vector<std::byte> build_image(std::uint64_t build_id) const;
+
  private:
   struct Section {
     SectionId id;
@@ -252,6 +268,10 @@ class ArenaView {
   /// Payload bytes of a section; throws SnapshotError when absent.
   std::span<const std::byte> section(SectionId id) const;
   bool has_section(SectionId id) const noexcept;
+
+  /// File offset of a section's payload, for error messages that name the
+  /// byte range a validation failure landed in; 0 when absent.
+  std::uint64_t section_offset(SectionId id) const noexcept;
 
   /// A pool section reinterpreted as an array of trivially-copyable T.
   /// Section payloads are 16-byte aligned within the page-aligned mapping,

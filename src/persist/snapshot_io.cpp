@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "ir_codec.hpp"
@@ -96,6 +97,21 @@ obs::Counter& open_failures() {
       "rpslyzer_persist_open_failures_total",
       "Snapshot open/restore attempts rejected (corrupt, truncated, or wrong version)");
   return c;
+}
+
+// Rethrow any SnapshotError out of a section's decode with the section name
+// and file offset prepended, so "corrupt snapshot" diagnoses to a byte
+// range. fn's decode may read a sibling pool section too; blame lands on
+// the entry section driving the walk, which is where the offsets that
+// overran the pool were read from.
+template <typename Fn>
+decltype(auto) with_section(const ArenaView& view, SectionId id, Fn&& fn) {
+  try {
+    return std::forward<Fn>(fn)();
+  } catch (const SnapshotError& e) {
+    throw SnapshotError(std::string("section ") + section_name(id) + " (offset " +
+                        std::to_string(view.section_offset(id)) + "): " + e.what());
+  }
 }
 
 }  // namespace
@@ -328,7 +344,7 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
   snap->source_ = std::move(source);
   const ir::Ir& ir = snap->index_->ir();
 
-  {
+  with_section(view, SectionId::kSymbols, [&] {
     ByteReader r(view.section(SectionId::kSymbols));
     const std::uint32_t count = r.u32();
     std::vector<std::uint32_t> offsets(count + 1);
@@ -343,9 +359,9 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
       snap->symbols_.emplace(name, i);
       snap->symbol_names_.push_back(std::move(name));
     }
-  }
+  });
 
-  {
+  with_section(view, SectionId::kAsSets, [&] {
     std::span<const ir::Asn> pool = view.pool<ir::Asn>(SectionId::kAsSetPool);
     ByteReader r(view.section(SectionId::kAsSets));
     const std::uint32_t count = r.u32();
@@ -364,9 +380,9 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
       set.any_member_routes = (flags & 2u) != 0;
       snap->as_sets_.emplace(id, set);
     }
-  }
+  });
 
-  {
+  with_section(view, SectionId::kOrigins, [&] {
     std::span<const ir::Asn> pool = view.pool<ir::Asn>(SectionId::kOriginPool);
     ByteReader r(view.section(SectionId::kOrigins));
     const std::uint64_t count = r.u64();
@@ -379,9 +395,9 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
       }
       snap->origins_.insert(prefix, pool.subspan(off, n));
     }
-  }
+  });
 
-  {
+  with_section(view, SectionId::kRouteSets, [&] {
     std::span<const compile::LengthInterval> pool =
         view.pool<compile::LengthInterval>(SectionId::kIntervalPool);
     ByteReader r(view.section(SectionId::kRouteSets));
@@ -408,9 +424,9 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
       }
       snap->route_sets_.emplace(id, std::move(set));
     }
-  }
+  });
 
-  {
+  with_section(view, SectionId::kAutNums, [&] {
     std::span<const ir::Asn> pool = view.pool<ir::Asn>(SectionId::kConePool);
     ByteReader r(view.section(SectionId::kAutNums));
     const std::uint32_t count = r.u32();
@@ -460,9 +476,9 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
       }
       snap->aut_nums_.emplace(asn, std::move(can));
     }
-  }
+  });
 
-  {
+  with_section(view, SectionId::kNfa, [&] {
     const std::vector<const ir::FilterAsPath*> filters = collect_aspath_filters(ir);
     ByteReader r(view.section(SectionId::kNfa));
     const std::uint32_t count = r.u32();
@@ -499,7 +515,7 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
         throw SnapshotError(std::string("snapshot NFA image invalid: ") + e.what());
       }
     }
-  }
+  });
 
   snap->trie_nodes_ = snap->origins_.node_count();
   for (const auto& [id, set] : snap->route_sets_) {
@@ -541,17 +557,17 @@ std::shared_ptr<const CompiledPolicySnapshot> open_snapshot(const std::filesyste
       obs::Span map_span("persist.open.map");
       corpus->view = ArenaView::open(path);
     }
-    {
+    with_section(corpus->view, SectionId::kIr, [&] {
       obs::Span ir_span("persist.open.ir");
       ByteReader r(corpus->view.section(SectionId::kIr));
       corpus->ir = std::make_unique<ir::Ir>(decode_ir(r));
       if (!r.at_end()) throw SnapshotError("snapshot IR section has trailing bytes");
-    }
+    });
     {
       obs::Span index_span("persist.open.index");
       corpus->index = std::make_shared<irr::Index>(*corpus->ir);
     }
-    {
+    with_section(corpus->view, SectionId::kRelations, [&] {
       obs::Span relations_span("persist.open.relations");
       ByteReader r(corpus->view.section(SectionId::kRelations));
       auto relations = std::make_shared<relations::AsRelations>();
@@ -576,7 +592,7 @@ std::shared_ptr<const CompiledPolicySnapshot> open_snapshot(const std::filesyste
       if (!r.at_end()) throw SnapshotError("snapshot relations section has trailing bytes");
       relations->tier1();  // force the lazy memo while single-threaded
       corpus->relations = std::move(relations);
-    }
+    });
     {
       obs::Span restore_span("persist.open.restore");
       corpus->snapshot =

@@ -1,0 +1,85 @@
+#pragma once
+// Origin/edge snapshot replication: the wire vocabulary.
+//
+// Replication rides the IRRd framed protocol the daemon already speaks —
+// no second listener, no second framing layer. An origin (`serve
+// --publish`) answers three extra admin verbs; an edge (`serve --origin`)
+// issues them from a background agent thread:
+//
+//   !repl.info                     current generation announcement:
+//                                  "gen/build-id/checksum/digest/size/
+//                                  chunk-bytes" key: value lines (framed A
+//                                  response), or "D\n" before the first
+//                                  publish.
+//   !repl.fetch <gen> <off> <len>  one checksummed chunk of the arena
+//                                  image, framed as "A<n>\n<bytes>C\n"
+//                                  (binary-safe: the frame is length-
+//                                  prefixed, never newline-delimited).
+//                                  "F generation ... is not current" tells
+//                                  a mid-transfer edge to re-poll.
+//   !repl.beat <id> <gen> <health> <qps>
+//                                  edge heartbeat; origin records it for
+//                                  the `!repl` fleet table and answers
+//                                  "C\n".
+//   !repl                          role-specific status page (both sides).
+//
+// Generation identity is *content*, not labels: `checksum` is the arena's
+// internal digest over everything after the fixed header (stable across
+// origin restarts, which reset the gen counter and mint a new build-id),
+// while `digest` covers the whole transferable image (header included) and
+// is what an edge verifies a completed download against. An edge whose
+// local checksum matches the announcement adopts the announced gen without
+// re-fetching a byte.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rpslyzer::repl {
+
+/// One published snapshot generation, as announced by `!repl.info`.
+struct GenerationInfo {
+  std::uint64_t gen = 0;       // origin-incarnation-local counter, from 1
+  std::uint64_t build_id = 0;  // compile-time id of the snapshot
+  std::uint64_t checksum = 0;  // content identity (excludes the header)
+  std::uint64_t digest = 0;    // whole-image transfer digest
+  std::uint64_t size = 0;      // image bytes
+  std::uint64_t chunk_bytes = 0;  // origin's preferred fetch granularity
+
+  bool same_content(const GenerationInfo& other) const noexcept {
+    return checksum == other.checksum && size == other.size;
+  }
+};
+
+/// Render / parse the `!repl.info` payload (unframed "key: value" lines).
+/// parse_info returns nullopt on any missing or malformed field, so a
+/// half-garbled announcement can never start a transfer.
+std::string render_info(const GenerationInfo& info);
+std::optional<GenerationInfo> parse_info(std::string_view payload);
+
+/// Deterministic capped exponential backoff with multiplicative jitter in
+/// [0.75, 1.25]·step — the edge's reconnect schedule after a failed sync
+/// or heartbeat. Attempt 0 ≈ initial, doubling up to `max_backoff`. Pure:
+/// the whole retry ladder is unit-testable without a clock, mirroring
+/// server::reload_backoff (same contract, independent jitter stream so an
+/// edge's reconnects do not phase-lock with its server's reload retries).
+std::chrono::milliseconds reconnect_backoff(unsigned attempt,
+                                            std::chrono::milliseconds initial,
+                                            std::chrono::milliseconds max_backoff,
+                                            std::uint64_t seed) noexcept;
+
+/// Jittered heartbeat period: base scaled into [0.80, 1.20], deterministic
+/// in (seed, tick). Jitter is load-bearing fleet hygiene — N edges started
+/// by the same orchestrator must not beat against the origin in lockstep.
+std::chrono::milliseconds heartbeat_interval(std::chrono::milliseconds base,
+                                             std::uint64_t seed,
+                                             std::uint64_t tick) noexcept;
+
+/// Fixed-width lowercase hex (16 digits) for checksums/digests on the wire
+/// and in status pages; parse_hex64 accepts exactly that form.
+std::string hex64(std::uint64_t v);
+std::optional<std::uint64_t> parse_hex64(std::string_view text) noexcept;
+
+}  // namespace rpslyzer::repl

@@ -1,0 +1,84 @@
+#pragma once
+// Origin-side replication: serve snapshot generations to a fleet of edges.
+//
+// The publisher owns one immutable in-memory arena image at a time (the
+// exact bytes ArenaWriter would put on disk). publish() serializes a
+// CompiledPolicySnapshot and — only if its content checksum differs from
+// the current generation's — bumps the generation counter and swaps the
+// image in under a shared_ptr, so in-flight fetches of the previous
+// generation keep their bytes alive until the last chunk is served.
+// handle() answers the `!repl*` admin verbs and returns fully framed
+// responses; the server routes the verbs here via
+// Server::set_repl_handler, bypassing the response cache (a chunk response
+// can be megabytes, and caching it would evict the entire query LRU).
+//
+// All handle() calls arrive on the server's event-loop thread; publish()
+// arrives on whatever thread runs the reload. One mutex covers both — the
+// critical sections are pointer swaps and map updates, never byte copies.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpslyzer/repl/protocol.hpp"
+
+namespace rpslyzer::compile {
+class CompiledPolicySnapshot;
+}
+
+namespace rpslyzer::repl {
+
+/// Last heartbeat received from one edge, for the `!repl` fleet table.
+struct EdgeRecord {
+  std::uint64_t gen = 0;
+  std::string health;
+  double qps = 0.0;
+  std::chrono::steady_clock::time_point last_seen{};
+};
+
+class Publisher {
+ public:
+  /// chunk_bytes is the fetch granularity announced to edges; requests for
+  /// larger ranges are refused (an edge that ignores the announcement
+  /// cannot DoS the origin's event loop with one giant frame).
+  explicit Publisher(std::size_t chunk_bytes = 256 * 1024);
+
+  /// Serialize and (if content changed) publish a new generation. Returns
+  /// the generation now current. Safe to call from the reload path on
+  /// every successful load — identical content is deduplicated by arena
+  /// checksum, so a `kill -HUP` with unchanged dumps does not force the
+  /// fleet to re-download anything.
+  std::uint64_t publish(const compile::CompiledPolicySnapshot& snap);
+
+  /// Handle the body of a `!repl...` admin query (everything after the
+  /// "repl" token: "", ".info", ".fetch <gen> <off> <len>",
+  /// ".beat <id> <gen> <health> <qps>"). Returns a complete framed
+  /// response ("A<n>\n...C\n", "C\n", "D\n", or "F ...\n").
+  std::string handle(std::string_view body);
+
+  /// Announcement for the current generation; gen == 0 before the first
+  /// publish.
+  GenerationInfo current_info() const;
+
+  /// One "repl: ..." line for the extended `!stats` payload.
+  std::string stats_line() const;
+
+ private:
+  std::string handle_info() const;
+  std::string handle_fetch(std::string_view args);
+  std::string handle_beat(std::string_view args);
+  std::string status_payload() const;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const std::vector<std::byte>> image_;
+  GenerationInfo info_;
+  std::map<std::string, EdgeRecord> edges_;
+  const std::size_t chunk_bytes_;
+};
+
+}  // namespace rpslyzer::repl

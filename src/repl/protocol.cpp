@@ -1,0 +1,157 @@
+#include "rpslyzer/repl/protocol.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rpslyzer::repl {
+
+namespace {
+
+// splitmix64 finalizer: one well-mixed word from (seed, counter). Shared by
+// both jitter streams below; each stream perturbs the counter with its own
+// constant so reconnect and heartbeat jitter are decorrelated even under
+// the same seed.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t counter) noexcept {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (counter + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::chrono::milliseconds reconnect_backoff(unsigned attempt,
+                                            std::chrono::milliseconds initial,
+                                            std::chrono::milliseconds max_backoff,
+                                            std::uint64_t seed) noexcept {
+  if (initial.count() <= 0) initial = std::chrono::milliseconds(1);
+  if (max_backoff < initial) max_backoff = initial;
+  const std::uint64_t cap = static_cast<std::uint64_t>(max_backoff.count());
+  std::uint64_t base = static_cast<std::uint64_t>(initial.count());
+  for (unsigned i = 0; i < attempt && base < cap; ++i) base *= 2;
+  base = std::min(base, cap);
+  // The stream constant distinguishes this ladder from reload_backoff's
+  // (which hashes the bare attempt): an edge daemon running both must not
+  // retry its origin and its local reload in phase.
+  const std::uint64_t z = mix(seed ^ 0x7265706c2e726571ULL,  // "repl.req"
+                              static_cast<std::uint64_t>(attempt));
+  const std::uint64_t jittered = base * (750 + z % 501) / 1000;
+  return std::chrono::milliseconds(std::clamp<std::uint64_t>(jittered, 1, cap));
+}
+
+std::chrono::milliseconds heartbeat_interval(std::chrono::milliseconds base,
+                                             std::uint64_t seed,
+                                             std::uint64_t tick) noexcept {
+  if (base.count() <= 0) base = std::chrono::milliseconds(1);
+  const std::uint64_t z = mix(seed ^ 0x7265706c2e626561ULL,  // "repl.bea"
+                              tick);
+  // [0.80, 1.20]·base, never below 1ms.
+  const std::uint64_t b = static_cast<std::uint64_t>(base.count());
+  const std::uint64_t jittered = b * (800 + z % 401) / 1000;
+  return std::chrono::milliseconds(std::max<std::uint64_t>(jittered, 1));
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+std::optional<std::uint64_t> parse_hex64(std::string_view text) noexcept {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+std::string render_info(const GenerationInfo& info) {
+  std::string out;
+  out.reserve(160);
+  out += "gen: " + std::to_string(info.gen) + "\n";
+  out += "build-id: " + std::to_string(info.build_id) + "\n";
+  out += "checksum: " + hex64(info.checksum) + "\n";
+  out += "digest: " + hex64(info.digest) + "\n";
+  out += "size: " + std::to_string(info.size) + "\n";
+  out += "chunk-bytes: " + std::to_string(info.chunk_bytes) + "\n";
+  return out;
+}
+
+namespace {
+
+std::optional<std::uint64_t> parse_dec(std::string_view text) noexcept {
+  if (text.empty() || text.size() > 20) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<GenerationInfo> parse_info(std::string_view payload) {
+  GenerationInfo info;
+  // Bitmask of the six required fields; a duplicate key or any parse
+  // failure aborts — a garbled announcement must never start a transfer.
+  unsigned seen = 0;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    const std::string_view line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t colon = line.find(": ");
+    if (colon == std::string_view::npos) continue;
+    const std::string_view key = line.substr(0, colon);
+    const std::string_view value = line.substr(colon + 2);
+    std::optional<std::uint64_t> parsed;
+    unsigned bit = 0;
+    if (key == "gen") {
+      bit = 1u << 0;
+      parsed = parse_dec(value);
+      if (parsed) info.gen = *parsed;
+    } else if (key == "build-id") {
+      bit = 1u << 1;
+      parsed = parse_dec(value);
+      if (parsed) info.build_id = *parsed;
+    } else if (key == "checksum") {
+      bit = 1u << 2;
+      parsed = parse_hex64(value);
+      if (parsed) info.checksum = *parsed;
+    } else if (key == "digest") {
+      bit = 1u << 3;
+      parsed = parse_hex64(value);
+      if (parsed) info.digest = *parsed;
+    } else if (key == "size") {
+      bit = 1u << 4;
+      parsed = parse_dec(value);
+      if (parsed) info.size = *parsed;
+    } else if (key == "chunk-bytes") {
+      bit = 1u << 5;
+      parsed = parse_dec(value);
+      if (parsed) info.chunk_bytes = *parsed;
+    } else {
+      continue;  // unknown keys are forward-compatible noise
+    }
+    if (!parsed || (seen & bit) != 0) return std::nullopt;
+    seen |= bit;
+  }
+  if (seen != 0x3f) return std::nullopt;
+  if (info.gen == 0 || info.size == 0 || info.chunk_bytes == 0) return std::nullopt;
+  return info;
+}
+
+}  // namespace rpslyzer::repl

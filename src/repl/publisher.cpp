@@ -1,0 +1,214 @@
+#include "rpslyzer/repl/publisher.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "rpslyzer/compile/snapshot.hpp"
+#include "rpslyzer/obs/log.hpp"
+#include "rpslyzer/obs/metrics.hpp"
+#include "rpslyzer/obs/trace.hpp"
+#include "rpslyzer/persist/snapshot_io.hpp"
+#include "rpslyzer/query/query.hpp"
+
+namespace rpslyzer::repl {
+
+namespace {
+
+obs::Counter& publishes_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rpslyzer_repl_publishes_total",
+      "Snapshot generations published by the origin (content changes only)");
+  return c;
+}
+
+obs::Counter& chunks_served_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rpslyzer_repl_chunks_served_total", "Replication chunks served to edges");
+  return c;
+}
+
+obs::Counter& bytes_served_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rpslyzer_repl_bytes_served_total", "Replication payload bytes served to edges");
+  return c;
+}
+
+obs::Counter& beats_received_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rpslyzer_repl_beats_received_total", "Edge heartbeats received by the origin");
+  return c;
+}
+
+/// Split on single spaces; empty fields collapse (the verbs are
+/// origin-generated or edge-generated, never human-typed, but a stray
+/// double space should not turn into an empty edge id).
+std::vector<std::string_view> split_fields(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    while (pos < s.size() && s[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < s.size() && s[end] != ' ') ++end;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    pos = end;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> to_u64(std::string_view s) {
+  if (s.empty() || s.size() > 20) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+}  // namespace
+
+Publisher::Publisher(std::size_t chunk_bytes)
+    : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 4096)) {}
+
+std::uint64_t Publisher::publish(const compile::CompiledPolicySnapshot& snap) {
+  obs::Span span("repl.publish");
+  persist::ArenaWriter writer;
+  persist::SnapshotCodec::write(snap, writer);
+  auto image = std::make_shared<std::vector<std::byte>>(writer.build_image(snap.build_id()));
+
+  // Content identity: the header-internal checksum excludes the fixed
+  // header (and with it the per-process build_id), so a reload that
+  // recompiled identical dumps produces the same checksum and is a no-op
+  // for the fleet.
+  std::uint64_t checksum = 0;
+  std::memcpy(&checksum, image->data() + persist::kChecksumOffset, sizeof(checksum));
+  const std::uint64_t digest = persist::digest64(std::span<const std::byte>(*image));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (info_.gen != 0 && info_.checksum == checksum && info_.size == image->size()) {
+    return info_.gen;  // same content: keep the generation, drop the copy
+  }
+  info_.gen += 1;
+  info_.build_id = snap.build_id();
+  info_.checksum = checksum;
+  info_.digest = digest;
+  info_.size = image->size();
+  info_.chunk_bytes = chunk_bytes_;
+  image_ = std::move(image);
+  publishes_total().inc();
+  obs::log_info("repl", "generation published",
+                {{"gen", info_.gen},
+                 {"build_id", info_.build_id},
+                 {"bytes", info_.size},
+                 {"checksum", hex64(checksum)}});
+  return info_.gen;
+}
+
+std::string Publisher::handle(std::string_view body) {
+  if (body.empty()) return query::frame_response(status_payload());
+  if (body == ".info") return handle_info();
+  if (body.substr(0, 7) == ".fetch ") return handle_fetch(body.substr(7));
+  if (body.substr(0, 6) == ".beat ") return handle_beat(body.substr(6));
+  return "F unknown repl verb\n";
+}
+
+GenerationInfo Publisher::current_info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return info_;
+}
+
+std::string Publisher::handle_info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (info_.gen == 0) return "D\n";
+  return query::frame_response(render_info(info_));
+}
+
+std::string Publisher::handle_fetch(std::string_view args) {
+  const std::vector<std::string_view> fields = split_fields(args);
+  if (fields.size() != 3) return "F fetch expects <gen> <offset> <length>\n";
+  const auto gen = to_u64(fields[0]);
+  const auto off = to_u64(fields[1]);
+  const auto len = to_u64(fields[2]);
+  if (!gen || !off || !len) return "F fetch expects numeric <gen> <offset> <length>\n";
+
+  std::shared_ptr<const std::vector<std::byte>> image;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (info_.gen == 0) return "F nothing published yet\n";
+    if (*gen != info_.gen) {
+      return "F generation " + std::to_string(*gen) + " is not current\n";
+    }
+    image = image_;
+  }
+  if (*off >= image->size() || *len == 0 || *len > chunk_bytes_ ||
+      *len > image->size() - *off) {
+    return "F bad range\n";
+  }
+  // Binary chunk: frame by hand. frame_response would append a newline to
+  // the payload, corrupting the byte count an edge reassembles by.
+  std::string out;
+  out.reserve(*len + 32);
+  out += "A" + std::to_string(*len) + "\n";
+  out.append(reinterpret_cast<const char*>(image->data() + *off), *len);
+  out += "C\n";
+  chunks_served_total().inc();
+  bytes_served_total().inc(*len);
+  return out;
+}
+
+std::string Publisher::handle_beat(std::string_view args) {
+  const std::vector<std::string_view> fields = split_fields(args);
+  if (fields.size() != 4) return "F beat expects <id> <gen> <health> <qps>\n";
+  const auto gen = to_u64(fields[1]);
+  if (!gen) return "F beat expects a numeric generation\n";
+  const std::string qps_text(fields[3]);
+  char* end = nullptr;
+  const double qps = std::strtod(qps_text.c_str(), &end);
+  if (end == qps_text.c_str() || *end != '\0' || qps < 0) {
+    return "F beat expects a numeric qps\n";
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  EdgeRecord& rec = edges_[std::string(fields[0])];
+  rec.gen = *gen;
+  rec.health = std::string(fields[2]);
+  rec.qps = qps;
+  rec.last_seen = std::chrono::steady_clock::now();
+  beats_received_total().inc();
+  return "C\n";
+}
+
+std::string Publisher::status_payload() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "role: origin\n";
+  out += "gen: " + std::to_string(info_.gen) + "\n";
+  if (info_.gen != 0) {
+    out += "checksum: " + hex64(info_.checksum) + "\n";
+    out += "size: " + std::to_string(info_.size) + "\n";
+  }
+  out += "edges: " + std::to_string(edges_.size()) + "\n";
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& [id, rec] : edges_) {
+    const auto age =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - rec.last_seen);
+    char line[256];
+    std::snprintf(line, sizeof(line), "edge: %s gen=%llu health=%s qps=%.1f age-ms=%lld\n",
+                  id.c_str(), static_cast<unsigned long long>(rec.gen), rec.health.c_str(),
+                  rec.qps, static_cast<long long>(age.count()));
+    out += line;
+  }
+  return out;
+}
+
+std::string Publisher::stats_line() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return "repl: role=origin gen=" + std::to_string(info_.gen) +
+         " edges=" + std::to_string(edges_.size());
+}
+
+}  // namespace rpslyzer::repl

@@ -183,6 +183,21 @@ class Server {
   /// machine-parseable "key: value" detail lines.
   std::string health_payload() const;
 
+  /// Install the `!repl*` admin-verb handler (replication publisher or
+  /// edge status). The handler receives the query body after the "repl"
+  /// token ("", ".info", ".fetch ...", ".beat ...") and returns a COMPLETE
+  /// framed response — repl chunk responses are megabytes of binary and
+  /// must bypass both frame_response's newline canonicalization and the
+  /// response cache, so they never flow through the worker/answer path.
+  /// Set before start(); the handler runs on the event-loop thread.
+  void set_repl_handler(std::function<std::string(std::string_view)> handler) {
+    repl_handler_ = std::move(handler);
+  }
+
+  /// Extra line(s) appended to the `!stats` payload (no trailing newline),
+  /// e.g. the replication role/generation line. Set before start().
+  void set_stats_extra(std::function<std::string()> fn) { stats_extra_ = std::move(fn); }
+
  private:
   struct Connection;
   struct Task {
@@ -237,6 +252,8 @@ class Server {
 
   ServerConfig config_;
   CorpusLoader loader_;
+  std::function<std::string(std::string_view)> repl_handler_;
+  std::function<std::string()> stats_extra_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -517,7 +517,15 @@ std::string Server::stats_payload() const {
       static_cast<unsigned long long>(snap.reloads),
       static_cast<unsigned long long>(snap.reload_failures),
       static_cast<unsigned long long>(snap.reload_retries));
-  return buffer;
+  std::string out = buffer;
+  if (stats_extra_) {
+    const std::string extra = stats_extra_();
+    if (!extra.empty()) {
+      out += "\n";
+      out += extra;
+    }
+  }
+  return out;
 }
 
 std::string Server::metrics_payload() const {
@@ -829,6 +837,17 @@ void Server::dispatch_line(Connection& conn, std::string_view raw) {
   if (util::iequals(body, "reload")) {
     stats_.admin_queries.inc();
     enqueue_task(Task{conn.id, seq, {}, t0, true});
+    return;
+  }
+  if (body == "repl" || body.rfind("repl.", 0) == 0) {
+    // Replication verbs are answered inline on the event-loop thread: the
+    // handler is a pointer swap + memcpy (publisher) or a counter read
+    // (edge), and routing them through answer() would push multi-megabyte
+    // chunk responses into the query LRU.
+    stats_.admin_queries.inc();
+    deliver(conn, seq,
+            repl_handler_ ? repl_handler_(body.substr(4))
+                          : std::string("F replication not enabled\n"));
     return;
   }
   if (body.size() >= 2 && (body.front() == 't' || body.front() == 'T') &&

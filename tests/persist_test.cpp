@@ -274,6 +274,55 @@ TEST_F(PersistCorruption, MissingFileIsRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// Section context in decode errors
+// ---------------------------------------------------------------------------
+// Whole-file corruption is caught by the checksum; these files are
+// checksum-VALID but semantically broken, so the failure surfaces during
+// section decode — and must name the section and its byte offset, not just
+// say "corrupt snapshot".
+
+TEST(PersistSectionContext, TruncatedPayloadNamesSectionAndOffset) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("rpslyzer-persist-section-" + std::to_string(::getpid()) + ".rps");
+  persist::ArenaWriter writer;
+  persist::ByteWriter ir;
+  ir.u16(0xbeef);  // far too short for the IR codec's first count
+  writer.add_section(persist::SectionId::kIr, std::move(ir));
+  writer.write(path, 1);
+  try {
+    persist::open_snapshot(path);
+    FAIL() << "expected SnapshotError";
+  } catch (const persist::SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("section ir"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PersistSectionContext, MissingSectionIsNamed) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("rpslyzer-persist-nosection-" + std::to_string(::getpid()) + ".rps");
+  persist::ArenaWriter writer;  // no sections at all
+  writer.write(path, 1);
+  try {
+    persist::open_snapshot(path);
+    FAIL() << "expected SnapshotError";
+  } catch (const persist::SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing required section ir"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PersistSectionContext, SectionNamesCoverEveryId) {
+  for (std::uint32_t id = 1; id <= 12; ++id) {
+    EXPECT_STRNE(persist::section_name(static_cast<persist::SectionId>(id)), "unknown");
+  }
+  EXPECT_STREQ(persist::section_name(static_cast<persist::SectionId>(99)), "unknown");
+}
+
+// ---------------------------------------------------------------------------
 // Write-side and open-side failpoints
 // ---------------------------------------------------------------------------
 

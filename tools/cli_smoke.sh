@@ -107,6 +107,75 @@ grep -q "shut down cleanly" "$DIR/serve-snap.log"
 head -c 100 "$DIR/snap.rps" > "$DIR/snap-truncated.rps"
 if "$CLI" serve --snapshot "$DIR/snap-truncated.rps" --port 0 >/dev/null 2>&1; then exit 1; fi
 
+# Replication round trip: an origin publishes the corpus, an edge downloads
+# and serves it, and the edge's answers are byte-identical to the one-shot
+# result. NB: the port regex is anchored to the start of the listening line
+# because an edge's own line embeds the ORIGIN's port in "corpus=repl:...".
+ORIGIN_PID=""
+EDGE_PID=""
+repl_cleanup() {
+  [ -n "$EDGE_PID" ] && kill "$EDGE_PID" 2>/dev/null || true
+  [ -n "$ORIGIN_PID" ] && kill "$ORIGIN_PID" 2>/dev/null || true
+  cleanup
+}
+trap repl_cleanup EXIT
+"$CLI" serve "$DIR" --publish --port 0 --threads 2 --stats-ms 0 \
+  > "$DIR/origin.log" 2>&1 &
+ORIGIN_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening" "$DIR/origin.log" 2>/dev/null && break
+  sleep 0.1
+done
+OPORT="$(sed -n 's/^rpslyzerd listening on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' "$DIR/origin.log" | head -1)"
+test -n "$OPORT"
+grep -q "publish" "$DIR/origin.log"
+
+mkdir -p "$DIR/edge-state"
+"$CLI" serve --origin "127.0.0.1:$OPORT" --repl-dir "$DIR/edge-state" \
+  --edge-id smoke-edge --poll-ms 200 --heartbeat-ms 200 --port 0 --threads 2 \
+  --stats-ms 0 > "$DIR/edge.log" 2>&1 &
+EDGE_PID=$!
+for _ in $(seq 1 150); do
+  grep -q "listening" "$DIR/edge.log" 2>/dev/null && break
+  sleep 0.1
+done
+EPORT="$(sed -n 's/^rpslyzerd listening on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' "$DIR/edge.log" | head -1)"
+test -n "$EPORT"
+test "$EPORT" != "$OPORT"
+
+# The edge serves the replicated generation byte-for-byte, and its !stats
+# names the replicated snapshot as the corpus source.
+exec 3<>"/dev/tcp/127.0.0.1/$EPORT"
+printf '!g%s\n!stats\n!repl\n!q\n' "$ASN" >&3
+cat <&3 > "$DIR/edge-answers.txt"
+exec 3<&- 3>&-
+head -c "$(wc -c < "$DIR/oneshot.txt")" "$DIR/edge-answers.txt" > "$DIR/edge-g.txt"
+cmp "$DIR/edge-g.txt" "$DIR/oneshot.txt"
+grep -q "source=repl:" "$DIR/edge-answers.txt"
+grep -q "role: edge" "$DIR/edge-answers.txt"
+
+# The origin's fleet page eventually lists the edge's heartbeat.
+BEAT_SEEN=""
+for _ in $(seq 1 50); do
+  exec 3<>"/dev/tcp/127.0.0.1/$OPORT"
+  printf '!repl\n!q\n' >&3
+  cat <&3 > "$DIR/origin-repl.txt"
+  exec 3<&- 3>&-
+  if grep -q "edge: smoke-edge" "$DIR/origin-repl.txt"; then BEAT_SEEN=1; break; fi
+  sleep 0.1
+done
+test -n "$BEAT_SEEN"
+grep -q "role: origin" "$DIR/origin-repl.txt"
+
+kill -TERM "$EDGE_PID"
+wait "$EDGE_PID"
+EDGE_PID=""
+grep -q "shut down cleanly" "$DIR/edge.log"
+kill -TERM "$ORIGIN_PID"
+wait "$ORIGIN_PID"
+ORIGIN_PID=""
+grep -q "shut down cleanly" "$DIR/origin.log"
+
 # Bad usage exits non-zero.
 if "$CLI" nonsense >/dev/null 2>&1; then exit 1; fi
 if "$CLI" serve >/dev/null 2>&1; then exit 1; fi

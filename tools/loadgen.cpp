@@ -2,7 +2,8 @@
 //
 //   loadgen [--host H] [--port P] [--connections N] [--pipeline K]
 //           [--requests N] [--duration-ms D] [--fault-churn] [--json]
-//           [--stats] [--metrics-ms D] [--target-qps Q] <query...>
+//           [--stats] [--metrics-ms D] [--target-qps Q]
+//           [--expect-file F] <query...>
 //
 // Opens N concurrent connections, each cycling through the given query mix
 // in pipelined batches of K, and reports sustained throughput. With
@@ -16,6 +17,12 @@
 // and p99 service latency computed from the latency histogram's bucket
 // deltas (start-of-run vs end-of-run, so a long-lived daemon's history does
 // not pollute the numbers). --target-qps Q adds an achieved-vs-target line.
+//
+// --expect-file F turns the run into a correctness oracle: every response
+// to the FIRST query in the mix must byte-match the framed response stored
+// in F (captured beforehand from a known-good daemon). Any deviation counts
+// as `wrong` — the number the replication chaos harness drives to zero.
+// Works because the protocol answers pipelined requests strictly in order.
 //
 // --fault-churn turns each worker into a hostile client: it randomly drops
 // connections without `!q`, reconnects, leaves half-written lines on the
@@ -55,6 +62,8 @@ struct Options {
   bool fault_churn = false;
   bool json = false;
   bool stats = false;
+  std::string expect_file;  // oracle for responses to queries[0]
+  std::string expect_body;  // its contents, loaded once up front
   std::vector<std::string> queries;
 };
 
@@ -63,7 +72,7 @@ int usage() {
                "usage: loadgen --port P [--host H] [--connections N] [--pipeline K]\n"
                "               [--requests N] [--duration-ms D] [--fault-churn]\n"
                "               [--json] [--stats] [--metrics-ms D] [--target-qps Q]\n"
-               "               <query...>\n");
+               "               [--expect-file F] <query...>\n");
   return 2;
 }
 
@@ -160,10 +169,22 @@ struct WorkerResult {
   std::uint64_t responses = 0;
   std::uint64_t errors = 0;      // 'F' responses
   std::uint64_t not_found = 0;   // 'D' responses
+  std::uint64_t wrong = 0;       // --expect-file: oracle-query byte mismatches
+  std::uint64_t checked = 0;     // --expect-file: oracle-query responses seen
   std::uint64_t reconnects = 0;  // fault-churn: abrupt drop + reopen cycles
   std::uint64_t half_lines = 0;  // fault-churn: unterminated lines left behind
   bool failed = false;           // connect/protocol failure
 };
+
+/// Score one response against the oracle when it answers queries[0].
+/// `query_index` is the position in the mix that this response answers —
+/// derivable because responses arrive in request order.
+void check_expected(const Options& options, std::size_t query_index,
+                    const std::string& response, WorkerResult& result) {
+  if (options.expect_file.empty() || query_index != 0) return;
+  ++result.checked;
+  if (response != options.expect_body) ++result.wrong;
+}
 
 void run_worker(const Options& options, Clock::time_point deadline,
                 WorkerResult& result) {
@@ -175,6 +196,7 @@ void run_worker(const Options& options, Clock::time_point deadline,
     return;
   }
   std::size_t cursor = 0;
+  std::size_t read_cursor = 0;  // mix position of the next response to arrive
   std::uint64_t sent_total = 0;
   const bool timed = options.duration_ms > 0;
   while (true) {
@@ -202,6 +224,8 @@ void run_worker(const Options& options, Clock::time_point deadline,
       ++result.responses;
       if (!response->empty() && response->front() == 'F') ++result.errors;
       if (*response == "D\n") ++result.not_found;
+      check_expected(options, read_cursor, *response, result);
+      read_cursor = (read_cursor + 1) % options.queries.size();
     }
   }
   client->send_line("!q");
@@ -232,6 +256,7 @@ void run_churn_worker(const Options& options, Clock::time_point deadline,
     }
     // A short burst of honest pipelined traffic...
     const std::size_t burst = 1 + next_random() % options.pipeline;
+    const std::size_t burst_start = cursor;
     std::size_t sent = 0;
     for (std::size_t i = 0; i < burst; ++i) {
       if (!client->send_line(options.queries[cursor])) break;
@@ -246,6 +271,8 @@ void run_churn_worker(const Options& options, Clock::time_point deadline,
       ++result.responses;
       if (!response->empty() && response->front() == 'F') ++result.errors;
       if (*response == "D\n") ++result.not_found;
+      check_expected(options, (burst_start + i) % options.queries.size(), *response,
+                     result);
     }
     switch (next_random() % 4) {
       case 0: {  // half-written line, then vanish
@@ -303,6 +330,10 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return usage();
       options.target_qps = std::atof(v);
+    } else if (arg == "--expect-file") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.expect_file = v;
     } else if (arg == "--fault-churn") {
       options.fault_churn = true;
     } else if (arg == "--json") {
@@ -315,6 +346,26 @@ int main(int argc, char** argv) {
   }
   if (options.port == 0 || options.queries.empty() || options.connections == 0) {
     return usage();
+  }
+
+  if (!options.expect_file.empty()) {
+    std::FILE* f = std::fopen(options.expect_file.c_str(), "rb");
+    if (!f) {
+      std::fprintf(stderr, "loadgen: cannot read --expect-file %s\n",
+                   options.expect_file.c_str());
+      return 2;
+    }
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      options.expect_body.append(buf, n);
+    }
+    std::fclose(f);
+    if (options.expect_body.empty()) {
+      std::fprintf(stderr, "loadgen: --expect-file %s is empty\n",
+                   options.expect_file.c_str());
+      return 2;
+    }
   }
 
   // Churn mode is inherently time-boxed; give it a default window.
@@ -385,6 +436,8 @@ int main(int argc, char** argv) {
     total.responses += result.responses;
     total.errors += result.errors;
     total.not_found += result.not_found;
+    total.wrong += result.wrong;
+    total.checked += result.checked;
     total.reconnects += result.reconnects;
     total.half_lines += result.half_lines;
     any_failed = any_failed || result.failed;
@@ -394,12 +447,15 @@ int main(int argc, char** argv) {
   if (options.json) {
     std::printf("{\"tool\":\"loadgen\",\"connections\":%zu,\"pipeline\":%zu,"
                 "\"responses\":%llu,\"errors\":%llu,\"not_found\":%llu,"
+                "\"wrong\":%llu,\"checked\":%llu,"
                 "\"reconnects\":%llu,\"half_lines\":%llu,"
                 "\"seconds\":%.3f,\"qps\":%.0f,\"failed\":%s}\n",
                 options.connections, options.pipeline,
                 static_cast<unsigned long long>(total.responses),
                 static_cast<unsigned long long>(total.errors),
                 static_cast<unsigned long long>(total.not_found),
+                static_cast<unsigned long long>(total.wrong),
+                static_cast<unsigned long long>(total.checked),
                 static_cast<unsigned long long>(total.reconnects),
                 static_cast<unsigned long long>(total.half_lines), seconds, qps,
                 any_failed ? "true" : "false");
@@ -413,6 +469,11 @@ int main(int argc, char** argv) {
       std::printf("loadgen: fault-churn: %llu reconnects, %llu half-written lines\n",
                   static_cast<unsigned long long>(total.reconnects),
                   static_cast<unsigned long long>(total.half_lines));
+    }
+    if (!options.expect_file.empty()) {
+      std::printf("loadgen: oracle: %llu responses checked, %llu wrong\n",
+                  static_cast<unsigned long long>(total.checked),
+                  static_cast<unsigned long long>(total.wrong));
     }
   }
 
@@ -441,5 +502,6 @@ int main(int argc, char** argv) {
       client->send_line("!q");
     }
   }
-  return any_failed ? 1 : 0;
+  // A wrong answer is a correctness failure even if every socket behaved.
+  return (any_failed || total.wrong > 0) ? 1 : 0;
 }

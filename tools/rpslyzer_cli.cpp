@@ -13,6 +13,8 @@
 // <dir> holds <irr>.db dumps (Table 1 names) plus relationships.txt and,
 // for `verify`, collector-<n>.dump files — exactly what `generate` writes.
 
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +29,8 @@
 #include "rpslyzer/persist/cache.hpp"
 #include "rpslyzer/persist/snapshot_io.hpp"
 #include "rpslyzer/query/query.hpp"
+#include "rpslyzer/repl/edge.hpp"
+#include "rpslyzer/repl/publisher.hpp"
 #include "rpslyzer/report/aggregate.hpp"
 #include "rpslyzer/report/render.hpp"
 #include "rpslyzer/rpslyzer.hpp"
@@ -69,6 +73,13 @@ int usage() {
                "                 (--threads also sets load/reload ingestion parallelism;\n"
                "                  --snapshot serves a compile --out file, --snapshot-cache\n"
                "                  keys mmap-cached generations by corpus content)\n"
+               "    replication: [--publish [--chunk-kb N]]   announce + stream snapshot\n"
+               "                                              generations to edges\n"
+               "                 [--origin HOST:PORT --repl-dir DIR [--edge-id NAME]\n"
+               "                  [--poll-ms N] [--heartbeat-ms N] [--origin-timeout-ms N]]\n"
+               "                                              serve snapshots replicated\n"
+               "                                              from an origin (no local\n"
+               "                                              corpus; DIR keeps last-good)\n"
                "  log levels: debug info warn error off (also via RPSLYZER_LOG)\n");
   return 2;
 }
@@ -366,6 +377,14 @@ int cmd_serve(int argc, char** argv) {
   bool synthetic = false;
   double scale = 0.2;
   std::uint32_t seed = 7;
+  bool publish = false;
+  std::size_t chunk_kb = 256;
+  std::string origin_spec;
+  std::string repl_dir;
+  std::string edge_id;
+  std::chrono::milliseconds poll_ms{2000};
+  std::chrono::milliseconds heartbeat_ms{1000};
+  std::chrono::milliseconds origin_timeout_ms{30000};
   server::ServerConfig config;
   config.stats_log_interval = std::chrono::milliseconds(10000);
   for (int i = 0; i < argc; ++i) {
@@ -441,6 +460,36 @@ int cmd_serve(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return usage();
       seed = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--publish") {
+      publish = true;
+    } else if (arg == "--chunk-kb") {
+      const char* v = next_value();
+      if (!v) return usage();
+      chunk_kb = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--origin") {
+      const char* v = next_value();
+      if (!v) return usage();
+      origin_spec = v;
+    } else if (arg == "--repl-dir") {
+      const char* v = next_value();
+      if (!v) return usage();
+      repl_dir = v;
+    } else if (arg == "--edge-id") {
+      const char* v = next_value();
+      if (!v) return usage();
+      edge_id = v;
+    } else if (arg == "--poll-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      poll_ms = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--heartbeat-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      heartbeat_ms = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--origin-timeout-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      origin_timeout_ms = std::chrono::milliseconds(std::atoll(v));
     } else if (!arg.empty() && arg.front() != '-' && data_dir.empty()) {
       data_dir = arg;
     } else {
@@ -448,10 +497,15 @@ int cmd_serve(int argc, char** argv) {
       return usage();
     }
   }
-  // Exactly one corpus source: a data dir, --synth, or --snapshot.
+  // Exactly one corpus source: a data dir, --synth, or --snapshot — unless
+  // this is a replication edge, whose only corpus source IS the origin.
   const int sources = (!data_dir.empty() ? 1 : 0) + (synthetic ? 1 : 0) +
                       (!snapshot_path.empty() ? 1 : 0);
-  if (sources != 1) return usage();
+  if (!origin_spec.empty()) {
+    if (publish || sources != 0 || repl_dir.empty()) return usage();
+  } else if (sources != 1) {
+    return usage();
+  }
   // --snapshot-cache only makes sense when reloads re-read a data dir.
   if (!snapshot_cache_dir.empty() && data_dir.empty()) return usage();
 
@@ -510,25 +564,111 @@ int cmd_serve(int argc, char** argv) {
     };
   }
 
+  // Origin role: every successful (re)load republishes through the
+  // publisher, which deduplicates by content checksum — a reload that
+  // recompiled identical dumps is a no-op for the fleet.
+  std::shared_ptr<repl::Publisher> publisher;
+  if (publish) {
+    publisher = std::make_shared<repl::Publisher>(chunk_kb * 1024);
+    auto inner = std::move(loader);
+    loader = [inner, publisher]() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
+      auto snap = inner();
+      if (snap) publisher->publish(*snap);
+      return snap;
+    };
+  }
+
+  // Edge role: the replication client keeps state_dir/current.rps in sync
+  // with the origin; the loader just mmaps whatever generation is current.
+  // The daemon pointer lives in an atomic slot because the client's agent
+  // thread outlives neither and must stop calling into the daemon once the
+  // slot is cleared during shutdown.
+  std::shared_ptr<repl::ReplicationClient> rclient;
+  auto daemon_slot = std::make_shared<std::atomic<server::Server*>>(nullptr);
+  if (!origin_spec.empty()) {
+    const std::size_t colon = origin_spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= origin_spec.size()) {
+      std::fprintf(stderr, "serve: --origin expects HOST:PORT\n");
+      return usage();
+    }
+    repl::EdgeConfig econfig;
+    econfig.origin_host = origin_spec.substr(0, colon);
+    econfig.origin_port = static_cast<std::uint16_t>(std::atoi(origin_spec.c_str() + colon + 1));
+    econfig.state_dir = repl_dir;
+    econfig.edge_id =
+        edge_id.empty() ? "edge-" + std::to_string(static_cast<long>(::getpid())) : edge_id;
+    econfig.poll_interval = poll_ms;
+    econfig.heartbeat_period = heartbeat_ms;
+    // The poll interval already defines how stale an edge may run; letting
+    // reconnect backoff grow past it would only delay recovery after an
+    // origin outage. Cap at 2x poll so a returning origin is picked up
+    // within ~3 poll intervals even from the deepest backoff step.
+    econfig.backoff_initial = std::min(econfig.backoff_initial, poll_ms);
+    econfig.backoff_max = poll_ms * 2;
+    rclient = std::make_shared<repl::ReplicationClient>(econfig);
+    rclient->set_activation_callback([daemon_slot](const repl::Current&) {
+      if (auto* s = daemon_slot->load()) s->request_reload();
+    });
+    rclient->set_local_state([daemon_slot]() {
+      repl::LocalState state;
+      if (auto* s = daemon_slot->load()) {
+        state.health = server::to_string(s->health().state);
+        state.queries_total = s->stats().snapshot().queries_total;
+      }
+      return state;
+    });
+    const bool recovered = rclient->recover_last_good();
+    rclient->start();
+    if (!recovered && !rclient->wait_for_snapshot(origin_timeout_ms)) {
+      std::fprintf(stderr,
+                   "rpslyzerd: no last-good snapshot and the origin %s produced none within "
+                   "%lld ms\n",
+                   origin_spec.c_str(), static_cast<long long>(origin_timeout_ms.count()));
+      rclient->stop();
+      return 1;
+    }
+    loader = [rclient]() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
+      const auto cur = rclient->current();
+      if (!cur) return nullptr;
+      return persist::open_snapshot(cur->path, "repl:" + std::to_string(cur->gen));
+    };
+  }
+
   server::Server daemon(config, std::move(loader));
+  if (publisher) {
+    daemon.set_repl_handler(
+        [publisher](std::string_view body) { return publisher->handle(body); });
+    daemon.set_stats_extra([publisher] { return publisher->stats_line(); });
+  } else if (rclient) {
+    daemon.set_repl_handler([rclient](std::string_view body) -> std::string {
+      if (body.empty()) return query::frame_response(rclient->status_payload());
+      return "F this instance is not an origin\n";
+    });
+    daemon.set_stats_extra([rclient] { return rclient->stats_line(); });
+  }
   std::string error;
   if (!daemon.start(&error)) {
     std::fprintf(stderr, "rpslyzerd: %s\n", error.c_str());
+    if (rclient) rclient->stop();
     return 1;
   }
+  daemon_slot->store(&daemon);
   g_server = &daemon;
   std::signal(SIGINT, on_stop_signal);
   std::signal(SIGTERM, on_stop_signal);
   std::signal(SIGHUP, on_hup_signal);
-  const char* corpus_desc = synthetic ? "synthetic"
-                            : !snapshot_path.empty() ? snapshot_path.c_str()
-                                                     : data_dir.c_str();
-  std::printf("rpslyzerd listening on %s:%u (workers=%u cache=%zu corpus=%s)\n",
+  const std::string corpus_desc = !origin_spec.empty() ? "repl:" + origin_spec
+                                  : synthetic          ? std::string("synthetic")
+                                  : !snapshot_path.empty() ? snapshot_path
+                                                           : data_dir;
+  std::printf("rpslyzerd listening on %s:%u (workers=%u cache=%zu corpus=%s%s)\n",
               config.bind_address.c_str(), daemon.port(), config.worker_threads,
-              config.cache_capacity, corpus_desc);
+              config.cache_capacity, corpus_desc.c_str(), publish ? " publish" : "");
   std::fflush(stdout);
   daemon.wait();
   const std::string final_stats = daemon.stats_payload();
+  daemon_slot->store(nullptr);
+  if (rclient) rclient->stop();
   daemon.stop();
   g_server = nullptr;
   std::printf("%s\nrpslyzerd: shut down cleanly\n", final_stats.c_str());

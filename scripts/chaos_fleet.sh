@@ -13,7 +13,14 @@
 #   * edges keep serving last-good through an origin SIGKILL, and converge
 #     back (origin-up, matching generation) within 3 poll intervals of the
 #     origin returning;
-#   * a new generation published under load propagates to every edge.
+#   * a new generation published under load propagates to every edge;
+#   * after the sustained load drains, the origin's `!fleet` totals
+#     reconcile exactly with the sum of per-edge `!stats` cache counters
+#     (lookups = Σ(hits+misses), hits = Σhits, evaluations = Σmisses)
+#     within one heartbeat interval;
+#   * a SIGKILLed edge's fleet row goes stale-marked and its counters drop
+#     out of the totals and the merged latency histogram instead of
+#     poisoning the fleet p99.
 #
 # Not a ctest: this script runs ~30s of wall-clock chaos and is meant for
 # manual runs and CI jobs that can afford it. Torn connections against a
@@ -201,6 +208,54 @@ for f in "$DIR/load1.json" "$DIR/load3.json"; do
   checked="$(grep -o '"checked":[0-9]*' "$f" | cut -d: -f2)"
   TOTAL_CHECKED=$((TOTAL_CHECKED + checked))
 done
+
+# --- phase 4: fleet observability reconciliation -------------------------
+# The load is quiesced and only admin probes follow, so cache counters are
+# frozen; after one more heartbeat the origin's aggregate must equal the
+# sum of what each edge reports first-hand.
+say "phase 4: reconcile origin !fleet against per-edge !stats"
+sleep 1                           # > 3 heartbeat intervals: final beats land
+FLEET="$(ask "$OPORT" "!fleet")"
+TOTALS_LINE="$(echo "$FLEET" | grep '^totals: ')" ||
+  { say "FAIL: origin !fleet has no totals line"; echo "$FLEET"; exit 1; }
+fleet_total() { echo "$TOTALS_LINE" | grep -o "$1=[0-9]*" | head -1 | cut -d= -f2; }
+SUM_HITS=0; SUM_MISSES=0
+for n in 1 2 3; do
+  CACHE_LINE="$(ask "${EPORT[$n]}" "!stats" | grep '^cache: ')"
+  h="$(echo "$CACHE_LINE" | grep -o 'hits=[0-9]*' | head -1 | cut -d= -f2)"
+  m="$(echo "$CACHE_LINE" | grep -o 'misses=[0-9]*' | head -1 | cut -d= -f2)"
+  SUM_HITS=$((SUM_HITS + h)); SUM_MISSES=$((SUM_MISSES + m))
+done
+[ "$(fleet_total hits)" = "$SUM_HITS" ] ||
+  { say "FAIL: fleet hits=$(fleet_total hits) != Σ edge hits=$SUM_HITS"; echo "$FLEET"; exit 1; }
+[ "$(fleet_total evaluations)" = "$SUM_MISSES" ] ||
+  { say "FAIL: fleet evaluations=$(fleet_total evaluations) != Σ edge misses=$SUM_MISSES"; echo "$FLEET"; exit 1; }
+[ "$(fleet_total lookups)" = "$((SUM_HITS + SUM_MISSES))" ] ||
+  { say "FAIL: fleet lookups=$(fleet_total lookups) != Σ edge lookups=$((SUM_HITS + SUM_MISSES))"; echo "$FLEET"; exit 1; }
+say "fleet totals reconcile: lookups=$((SUM_HITS + SUM_MISSES)) hits=$SUM_HITS evaluations=$SUM_MISSES"
+
+say "phase 4: SIGKILL edge2; its fleet row must go stale, not poison p99"
+kill -9 "${EDGE_PID[2]}"
+wait "${EDGE_PID[2]}" 2>/dev/null || true
+sleep 1.6                         # stale threshold: 4 x max(heartbeat, 250ms)
+FLEET2="$(ask "$OPORT" "!fleet")"
+echo "$FLEET2" | grep -q '^edges: 3 stale=1' ||
+  { say "FAIL: dead edge2 not counted stale"; echo "$FLEET2"; exit 1; }
+echo "$FLEET2" | grep '^edge: edge2 ' | grep -q 'stale=1' ||
+  { say "FAIL: edge2's row is not stale-marked"; echo "$FLEET2"; exit 1; }
+TOTALS_LINE="$(echo "$FLEET2" | grep '^totals: ')"
+SUM_HITS=0; SUM_MISSES=0
+for n in 1 3; do
+  CACHE_LINE="$(ask "${EPORT[$n]}" "!stats" | grep '^cache: ')"
+  h="$(echo "$CACHE_LINE" | grep -o 'hits=[0-9]*' | head -1 | cut -d= -f2)"
+  m="$(echo "$CACHE_LINE" | grep -o 'misses=[0-9]*' | head -1 | cut -d= -f2)"
+  SUM_HITS=$((SUM_HITS + h)); SUM_MISSES=$((SUM_MISSES + m))
+done
+[ "$(fleet_total hits)" = "$SUM_HITS" ] ||
+  { say "FAIL: stale edge2 still counted in fleet hits"; echo "$FLEET2"; exit 1; }
+echo "$FLEET2" | grep '^fleet: ' | grep -Eq 'p99-us=[0-9]+ samples=[1-9]' ||
+  { say "FAIL: fleet p99 line missing or empty after staleness"; echo "$FLEET2"; exit 1; }
+say "stale edge excluded: totals now hits=$SUM_HITS evaluations=$SUM_MISSES"
 
 for n in 1 2 3; do kill -TERM "${EDGE_PID[$n]}" 2>/dev/null || true; done
 kill -TERM "$ORIGIN_PID" 2>/dev/null || true

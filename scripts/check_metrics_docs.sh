@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# check_metrics_docs.sh — every Prometheus metric family minted anywhere in
+# src/ must have a row in DESIGN.md's metrics table. A metric that ships
+# without documentation is invisible to operators; this check makes adding
+# the table row part of adding the metric.
+#
+# Name extraction is deliberately loose: family names appear as bare string
+# literals ("rpslyzer_fleet_edges "), inside HELP/TYPE lines, and with
+# histogram sub-series suffixes (_bucket/_sum/_count), so the grep is
+# unanchored and the suffixes are stripped back to the family name.
+# Filtered out: tokens ending in "_" (comment globs like rpslyzer_fleet_*)
+# and single-underscore tokens (library target names like rpslyzer_obs).
+#
+#   scripts/check_metrics_docs.sh
+set -euo pipefail
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DESIGN="$ROOT/DESIGN.md"
+
+test -f "$DESIGN" || { echo "check_metrics_docs: $DESIGN not found"; exit 2; }
+
+minted="$(grep -rhoE 'rpslyzer_[a-z0-9_]+' "$ROOT/src" \
+            --include='*.cpp' --include='*.hpp' \
+          | grep -v '_$' \
+          | grep -E '^rpslyzer(_[a-z0-9]+){2,}$' \
+          | sed -E 's/_(bucket|sum|count)$//' \
+          | sort -u)"
+documented="$(grep -hoE 'rpslyzer_[a-z0-9_]+' "$DESIGN" \
+              | sed -E 's/_(bucket|sum|count)$//' | sort -u)"
+
+missing="$(comm -23 <(echo "$minted") <(echo "$documented"))"
+if [ -n "$missing" ]; then
+  echo "check_metrics_docs: metric families minted in src/ but missing from"
+  echo "the DESIGN.md metrics table:"
+  echo "$missing" | sed 's/^/  /'
+  exit 1
+fi
+
+total="$(echo "$minted" | wc -l | tr -d ' ')"
+echo "check_metrics_docs ok: $total metric families all documented"

@@ -16,6 +16,10 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-sanitize}"
 
+# Cheap static gate first: every metric family minted in src/ must be in
+# DESIGN.md's metrics table before we spend minutes on sanitizer builds.
+"$ROOT/scripts/check_metrics_docs.sh"
+
 cmake -B "$BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE=ON >/dev/null
 cmake --build "$BUILD" -j --target \
   server_test query_test irr_index_test fault_injection_test loader_files_test obs_test \

@@ -46,6 +46,49 @@ inline bool tracing_on() noexcept {
   return detail::trace_enabled.load(std::memory_order_relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// Trace context: a per-thread 64-bit trace id that follows one query through
+// dispatch → cache lookup → worker eval → verify. The server assigns (or the
+// client supplies, via `!id <hex>`) an id per accepted query; workers install
+// it with a TraceContext scope before evaluating, so every Span recorded and
+// every structured log line emitted inside the scope can carry the id and one
+// query becomes greppable end to end. 0 means "no trace context".
+
+namespace detail {
+extern thread_local std::uint64_t current_trace;
+}  // namespace detail
+
+/// The trace id installed on this thread (0 = none). One thread-local read.
+inline std::uint64_t current_trace_id() noexcept { return detail::current_trace; }
+
+/// RAII scope installing `id` as the thread's trace context; restores the
+/// previous id on destruction so nested scopes (reload inside query handling)
+/// unwind correctly.
+class TraceContext {
+ public:
+  explicit TraceContext(std::uint64_t id) noexcept
+      : previous_(detail::current_trace) {
+    detail::current_trace = id;
+  }
+  ~TraceContext() { detail::current_trace = previous_; }
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+/// Draw a fresh non-zero trace id. splitmix64 over a process-wide counter:
+/// ids are unique within a run and well-mixed (no sequential correlation
+/// leaking queue order to clients that echo them).
+std::uint64_t next_trace_id() noexcept;
+
+/// 16 lowercase hex digits, the canonical wire/log spelling of a trace id.
+std::string trace_hex(std::uint64_t id);
+
+/// Parse 1–16 hex digits (either case). False on empty/overlong/non-hex.
+bool parse_trace_hex(std::string_view text, std::uint64_t* out) noexcept;
+
 /// One completed span. Timestamps are microseconds since the tracer epoch
 /// (the moment tracing was last enabled), wall clock is steady.
 struct SpanRecord {
@@ -56,6 +99,7 @@ struct SpanRecord {
   std::uint64_t cpu_us = 0;  ///< CLOCK_THREAD_CPUTIME_ID delta
   std::uint32_t tid = 0;     ///< small per-process thread index, not an OS id
   std::uint32_t depth = 0;   ///< nesting depth on this thread (0 = top level)
+  std::uint64_t trace = 0;   ///< trace context active when the span closed (0 = none)
 };
 
 class Tracer {

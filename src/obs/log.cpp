@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "rpslyzer/json/json.hpp"
+#include "rpslyzer/obs/trace.hpp"
 #include "rpslyzer/util/strings.hpp"
 
 namespace rpslyzer::obs {
@@ -167,6 +168,22 @@ json::Value json_value(const LogValue& value) {
       value.get());
 }
 
+bool has_field(const detail::LogFieldList& fields, std::string_view key) {
+  for (std::size_t i = 0; i < fields.size; ++i) {
+    if (fields.data[i].key == key) return true;
+  }
+  return false;
+}
+
+/// The thread's ambient trace context (see obs::TraceContext) rides on every
+/// log line emitted inside it, so one query is greppable end to end without
+/// each call site having to thread the id through. An explicit "trace" field
+/// from the caller wins.
+std::uint64_t ambient_trace(const detail::LogFieldList& fields) {
+  const std::uint64_t trace = current_trace_id();
+  return (trace != 0 && !has_field(fields, "trace")) ? trace : 0;
+}
+
 std::string render_text(LogLevel level, std::string_view component,
                         std::string_view message, const detail::LogFieldList& fields,
                         std::uint64_t suppressed) {
@@ -184,6 +201,10 @@ std::string render_text(LogLevel level, std::string_view component,
     line += '=';
     append_value(line, fields.data[i].value);
   }
+  if (const std::uint64_t trace = ambient_trace(fields); trace != 0) {
+    line += " trace=";
+    line += trace_hex(trace);
+  }
   if (suppressed > 0) {
     line += " suppressed=" + std::to_string(suppressed);
   }
@@ -200,6 +221,9 @@ std::string render_json(LogLevel level, std::string_view component,
   object.emplace("msg", std::string(message));
   for (std::size_t i = 0; i < fields.size; ++i) {
     object.emplace(std::string(fields.data[i].key), json_value(fields.data[i].value));
+  }
+  if (const std::uint64_t trace = ambient_trace(fields); trace != 0) {
+    object.emplace("trace", trace_hex(trace));
   }
   if (suppressed > 0) {
     object.emplace("suppressed", static_cast<std::int64_t>(suppressed));

@@ -96,6 +96,8 @@ std::vector<double> exponential_bounds(double start, double factor, std::size_t 
 namespace {
 
 /// Prometheus label values escape backslash, double quote, and newline.
+/// Everything else — including multi-byte UTF-8 sequences — passes through
+/// byte-identical, per the text exposition format.
 void append_escaped(std::string& out, std::string_view value) {
   for (char c : value) {
     switch (c) {
@@ -104,6 +106,24 @@ void append_escaped(std::string& out, std::string_view value) {
         break;
       case '"':
         out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+/// HELP text escapes backslash and newline only (no quote escaping — HELP is
+/// not quoted). An unescaped newline here would split the header line and
+/// corrupt every sample after it.
+void append_escaped_help(std::string& out, std::string_view help) {
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
         break;
       case '\n':
         out += "\\n";
@@ -167,10 +187,10 @@ std::string sample_line(std::string_view name, std::string_view suffix,
 void CollectSink::sample(std::string_view name, std::string_view help, MetricType type,
                          const Labels& labels, double value) {
   GatheredFamily& family = families_[std::string(name)];
-  if (family.lines.empty()) {
-    family.help = std::string(help);
-    family.type = type;
-  }
+  if (family.lines.empty()) family.type = type;
+  // First *non-empty* help wins: merging a name-only registration with a
+  // documented one (disjoint label sets across registries) keeps the docs.
+  if (family.help.empty() && !help.empty()) family.help = std::string(help);
   family.lines.push_back(sample_line(name, "", labels, value));
 }
 
@@ -201,6 +221,12 @@ bool labels_equal(const Labels& a, const Labels& b) {
     if (a[i].first != b[i].first || a[i].second != b[i].second) return false;
   }
   return true;
+}
+
+/// Lexicographic (key, value) order, so exposition is deterministic no
+/// matter what order instances were first touched in.
+bool labels_less(const Labels& a, const Labels& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
 }
 
 }  // namespace
@@ -271,11 +297,21 @@ void MetricsRegistry::gather(GatheredFamilies& out) const {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, family] : families_) {
       GatheredFamily& gathered = out[name];
-      if (gathered.lines.empty()) {
-        gathered.help = family.help;
-        gathered.type = family.type;
-      }
-      for (const Instance& inst : family.instances) {
+      if (gathered.lines.empty()) gathered.type = family.type;
+      if (gathered.help.empty() && !family.help.empty()) gathered.help = family.help;
+      // Render instances in label order, not first-touch order, so the page
+      // is byte-stable across runs that register instances from racing
+      // threads. Histogram instances emit their bucket/sum/count block as a
+      // unit, which sorting whole instances (not lines) preserves.
+      std::vector<const Instance*> ordered;
+      ordered.reserve(family.instances.size());
+      for (const Instance& inst : family.instances) ordered.push_back(&inst);
+      std::sort(ordered.begin(), ordered.end(),
+                [](const Instance* a, const Instance* b) {
+                  return labels_less(a->labels, b->labels);
+                });
+      for (const Instance* inst_ptr : ordered) {
+        const Instance& inst = *inst_ptr;
         if (inst.counter) {
           gathered.lines.push_back(sample_line(
               name, "", inst.labels, static_cast<double>(inst.counter->value())));
@@ -333,11 +369,21 @@ std::string to_prometheus(std::initializer_list<const MetricsRegistry*> registri
     if (registry != nullptr) registry->gather(families);
   }
   std::string out;
-  for (const auto& [name, family] : families) {
-    out += "# HELP " + name + " " + family.help + "\n";
+  for (auto& [name, family] : families) {
+    out += "# HELP " + name + " ";
+    append_escaped_help(out, family.help.empty() ? std::string_view("(undocumented)")
+                                                 : std::string_view(family.help));
+    out += '\n';
     out += "# TYPE " + name + " ";
     out += type_name(family.type);
     out += '\n';
+    // Counter/gauge families sort their sample lines so merged pages (and
+    // collector output) are deterministic; histogram families keep their
+    // per-instance bucket ordering, with instances already label-sorted at
+    // gather time.
+    if (family.type != MetricType::kHistogram) {
+      std::sort(family.lines.begin(), family.lines.end());
+    }
     for (const std::string& line : family.lines) out += line;
   }
   return out;

@@ -13,6 +13,7 @@ namespace rpslyzer::obs {
 
 namespace detail {
 std::atomic<bool> trace_enabled{false};
+thread_local std::uint64_t current_trace = 0;
 }  // namespace detail
 
 namespace {
@@ -42,6 +43,42 @@ std::uint32_t thread_index() noexcept {
 thread_local std::uint32_t span_depth = 0;
 
 }  // namespace
+
+std::uint64_t next_trace_id() noexcept {
+  // splitmix64 finalizer over a process-wide counter seeded from the clock:
+  // unique per run, well mixed, and never 0 (0 means "no trace context").
+  static std::atomic<std::uint64_t> counter{steady_now_ns() | 1};
+  std::uint64_t x = counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+std::string trace_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(id));
+  return std::string(buf, 16);
+}
+
+bool parse_trace_hex(std::string_view text, std::uint64_t* out) noexcept {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
 
 Tracer& Tracer::global() {
   static Tracer* instance = new Tracer();  // leaked: usable at any exit stage
@@ -102,6 +139,7 @@ std::string Tracer::chrome_trace() const {
       event.emplace("tid", static_cast<std::int64_t>(record.tid));
       json::Object args;
       if (!record.arg.empty()) args.emplace("arg", record.arg);
+      if (record.trace != 0) args.emplace("trace", trace_hex(record.trace));
       args.emplace("cpu_us", static_cast<std::int64_t>(record.cpu_us));
       args.emplace("depth", static_cast<std::int64_t>(record.depth));
       event.emplace("args", std::move(args));
@@ -206,6 +244,7 @@ void Span::finish() {
   record.cpu_us = end_cpu_ns > start_cpu_ns_ ? (end_cpu_ns - start_cpu_ns_) / 1000 : 0;
   record.tid = thread_index();
   record.depth = depth_;
+  record.trace = current_trace_id();
   tracer.record(std::move(record));
 }
 

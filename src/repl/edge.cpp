@@ -540,9 +540,23 @@ void ReplicationClient::heartbeat_once() {
   last_beat_queries_ = state.queries_total;
 
   ensure_connected();
-  char beat[256];
-  std::snprintf(beat, sizeof(beat), "!repl.beat %s %llu %s %.1f", config_.edge_id.c_str(),
-                static_cast<unsigned long long>(gen), state.health.c_str(), qps);
+  // The digest token can outgrow a fixed buffer (one count per latency
+  // bucket), so the beat is assembled as a string.
+  char head[192];
+  std::snprintf(head, sizeof(head), "!repl.beat %s %llu %s %.1f",
+                config_.edge_id.c_str(), static_cast<unsigned long long>(gen),
+                state.health.c_str(), qps);
+  MetricDigest digest;
+  digest.queries_total = state.queries_total;
+  digest.cache_hits = state.cache_hits;
+  digest.cache_misses = state.cache_misses;
+  digest.recorder_drops = state.recorder_drops;
+  digest.heartbeat_ms =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(config_.heartbeat_period.count(), 0));
+  digest.latency_count = state.latency_count;
+  digest.latency_sum_micros = state.latency_sum_micros;
+  digest.latency_buckets = state.latency_buckets;
+  const std::string beat = std::string(head) + " " + render_digest(digest);
   if (!conn_->send_line(beat)) throw SyncError("origin connection lost (beat)");
   const auto resp = conn_->read_response();
   if (!resp) throw SyncError("origin closed the connection (beat)");

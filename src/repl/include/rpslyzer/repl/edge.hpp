@@ -40,6 +40,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "rpslyzer/repl/protocol.hpp"
 #include "rpslyzer/server/client.hpp"
@@ -67,10 +68,19 @@ struct Current {
   std::uint64_t digest = 0;
 };
 
-/// Live state the serving daemon exposes to heartbeats.
+/// Live state the serving daemon exposes to heartbeats. Beyond health and
+/// the query counter (which drives the origin's qps estimate), the daemon
+/// can fill the metric-digest fields; they ride each beat as the optional
+/// fifth field and feed the origin's `!fleet` aggregation.
 struct LocalState {
   std::string health = "starting";
   std::uint64_t queries_total = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t recorder_drops = 0;
+  std::uint64_t latency_count = 0;
+  std::uint64_t latency_sum_micros = 0;
+  std::vector<std::uint64_t> latency_buckets;  // the daemon's own layout
 };
 
 class ReplicationClient {

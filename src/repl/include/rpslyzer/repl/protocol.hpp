@@ -17,10 +17,15 @@
 //                                  prefixed, never newline-delimited).
 //                                  "F generation ... is not current" tells
 //                                  a mid-transfer edge to re-poll.
-//   !repl.beat <id> <gen> <health> <qps>
+//   !repl.beat <id> <gen> <health> <qps> [digest]
 //                                  edge heartbeat; origin records it for
 //                                  the `!repl` fleet table and answers
-//                                  "C\n".
+//                                  "C\n". The optional fifth field is a
+//                                  single-token metric digest (see
+//                                  MetricDigest below) that feeds the
+//                                  origin's `!fleet` aggregation; origins
+//                                  accept the four-field legacy form from
+//                                  older edges.
 //   !repl                          role-specific status page (both sides).
 //
 // Generation identity is *content*, not labels: `checksum` is the arena's
@@ -36,6 +41,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace rpslyzer::repl {
 
@@ -58,6 +64,35 @@ struct GenerationInfo {
 /// half-garbled announcement can never start a transfer.
 std::string render_info(const GenerationInfo& info);
 std::optional<GenerationInfo> parse_info(std::string_view payload);
+
+/// Compact per-edge metric digest, piggybacked on `!repl.beat` as one
+/// space-free token so the beat stays a single line:
+///
+///   v1;qt=<queries>;ch=<cache-hits>;cm=<cache-misses>;rd=<recorder-drops>;
+///   hb=<heartbeat-ms>;lc=<latency-count>;ls=<latency-sum-us>;lb=<b0:b1:...>
+///
+/// `lb` carries the edge's raw latency histogram bucket counts (the edge's
+/// own bucket layout; the origin only merges layouts whose bucket count
+/// matches its own bounds). `hb` lets the origin derive a staleness
+/// threshold per edge instead of guessing a global one. Unknown keys are
+/// forward-compatible noise, mirroring parse_info.
+struct MetricDigest {
+  std::uint64_t queries_total = 0;      // qt: cumulative accepted queries
+  std::uint64_t cache_hits = 0;         // ch: response-cache hits
+  std::uint64_t cache_misses = 0;       // cm: response-cache misses (= evaluations)
+  std::uint64_t recorder_drops = 0;     // rd: flight-recorder overwrites
+  std::uint64_t heartbeat_ms = 0;       // hb: configured heartbeat period
+  std::uint64_t latency_count = 0;      // lc: histogram sample count
+  std::uint64_t latency_sum_micros = 0; // ls: histogram sum, microseconds
+  std::vector<std::uint64_t> latency_buckets;  // lb: raw per-bucket counts
+};
+
+/// Render / parse the beat digest token. parse_digest returns nullopt on a
+/// missing version tag, duplicate key, or any malformed numeric field — a
+/// garbled digest refuses the whole beat rather than polluting the fleet
+/// aggregate with partial numbers.
+std::string render_digest(const MetricDigest& digest);
+std::optional<MetricDigest> parse_digest(std::string_view token);
 
 /// Deterministic capped exponential backoff with multiplicative jitter in
 /// [0.75, 1.25]·step — the edge's reconnect schedule after a failed sync

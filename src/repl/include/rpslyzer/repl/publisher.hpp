@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,12 +34,16 @@ class CompiledPolicySnapshot;
 
 namespace rpslyzer::repl {
 
-/// Last heartbeat received from one edge, for the `!repl` fleet table.
+/// Last heartbeat received from one edge, for the `!repl` fleet table and
+/// the `!fleet` aggregation. `digest` is absent for legacy four-field
+/// beats; such edges appear in the fleet table but contribute nothing to
+/// the merged totals or histogram.
 struct EdgeRecord {
   std::uint64_t gen = 0;
   std::string health;
   double qps = 0.0;
   std::chrono::steady_clock::time_point last_seen{};
+  std::optional<MetricDigest> digest;
 };
 
 class Publisher {
@@ -68,16 +73,38 @@ class Publisher {
   /// One "repl: ..." line for the extended `!stats` payload.
   std::string stats_line() const;
 
+  /// The latency-bucket layout fleet histograms are merged against; edges
+  /// whose digest carries a different bucket count are skipped (their
+  /// counters still aggregate). Defaults to ServerStats'
+  /// default_latency_bounds. Call before serving traffic.
+  void set_latency_bounds(std::vector<double> bounds);
+
+  /// Unframed `!fleet` payload: merged totals, fleet-wide percentiles, and
+  /// one row per edge. An edge whose last beat is older than four
+  /// heartbeat periods (its digest's `hb`, or 5 s for legacy beats) is
+  /// marked `stale=1` and excluded from totals and the merged histogram —
+  /// a SIGKILLed edge must not freeze the fleet p99 at its last numbers.
+  std::string fleet_payload() const;
+
+  /// The same aggregation as complete Prometheus families
+  /// (`rpslyzer_fleet_*`, per-edge series labelled {edge="<id>"}), ready
+  /// to append to a `!metrics` page via Server::set_metrics_extra.
+  std::string fleet_prometheus() const;
+
  private:
+  struct FleetView;  // one locked pass over edges_, shared by both renderers
+
   std::string handle_info() const;
   std::string handle_fetch(std::string_view args);
   std::string handle_beat(std::string_view args);
   std::string status_payload() const;
+  FleetView fleet_view() const;
 
   mutable std::mutex mu_;
   std::shared_ptr<const std::vector<std::byte>> image_;
   GenerationInfo info_;
   std::map<std::string, EdgeRecord> edges_;
+  std::vector<double> latency_bounds_;
   const std::size_t chunk_bytes_;
 };
 

@@ -154,4 +154,91 @@ std::optional<GenerationInfo> parse_info(std::string_view payload) {
   return info;
 }
 
+std::string render_digest(const MetricDigest& digest) {
+  std::string out;
+  out.reserve(96 + digest.latency_buckets.size() * 8);
+  out += "v1";
+  out += ";qt=" + std::to_string(digest.queries_total);
+  out += ";ch=" + std::to_string(digest.cache_hits);
+  out += ";cm=" + std::to_string(digest.cache_misses);
+  out += ";rd=" + std::to_string(digest.recorder_drops);
+  out += ";hb=" + std::to_string(digest.heartbeat_ms);
+  out += ";lc=" + std::to_string(digest.latency_count);
+  out += ";ls=" + std::to_string(digest.latency_sum_micros);
+  out += ";lb=";
+  for (std::size_t i = 0; i < digest.latency_buckets.size(); ++i) {
+    if (i != 0) out += ':';
+    out += std::to_string(digest.latency_buckets[i]);
+  }
+  return out;
+}
+
+std::optional<MetricDigest> parse_digest(std::string_view token) {
+  if (token.substr(0, 2) != "v1") return std::nullopt;
+  if (token.size() > 2 && token[2] != ';') return std::nullopt;
+  MetricDigest digest;
+  unsigned seen = 0;
+  std::size_t pos = token.size() > 2 ? 3 : token.size();
+  while (pos < token.size()) {
+    std::size_t sep = token.find(';', pos);
+    if (sep == std::string_view::npos) sep = token.size();
+    const std::string_view field = token.substr(pos, sep - pos);
+    pos = sep + 1;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    std::uint64_t* slot = nullptr;
+    unsigned bit = 0;
+    if (key == "qt") {
+      slot = &digest.queries_total;
+      bit = 1u << 0;
+    } else if (key == "ch") {
+      slot = &digest.cache_hits;
+      bit = 1u << 1;
+    } else if (key == "cm") {
+      slot = &digest.cache_misses;
+      bit = 1u << 2;
+    } else if (key == "rd") {
+      slot = &digest.recorder_drops;
+      bit = 1u << 3;
+    } else if (key == "hb") {
+      slot = &digest.heartbeat_ms;
+      bit = 1u << 4;
+    } else if (key == "lc") {
+      slot = &digest.latency_count;
+      bit = 1u << 5;
+    } else if (key == "ls") {
+      slot = &digest.latency_sum_micros;
+      bit = 1u << 6;
+    } else if (key == "lb") {
+      bit = 1u << 7;
+      if ((seen & bit) != 0) return std::nullopt;
+      seen |= bit;
+      std::size_t bpos = 0;
+      while (bpos <= value.size() && !value.empty()) {
+        std::size_t bsep = value.find(':', bpos);
+        if (bsep == std::string_view::npos) bsep = value.size();
+        const auto count = parse_dec(value.substr(bpos, bsep - bpos));
+        if (!count) return std::nullopt;
+        digest.latency_buckets.push_back(*count);
+        bpos = bsep + 1;
+        if (bsep == value.size()) break;
+      }
+      continue;
+    } else {
+      continue;  // unknown keys are forward-compatible noise
+    }
+    if ((seen & bit) != 0) return std::nullopt;  // duplicate key
+    const auto parsed = parse_dec(value);
+    if (!parsed) return std::nullopt;
+    *slot = *parsed;
+    seen |= bit;
+  }
+  // Every numeric field is required; `lb` may be absent (an edge whose
+  // histogram layout the origin cannot merge may omit the buckets).
+  if ((seen & 0x7f) != 0x7f) return std::nullopt;
+  return digest;
+}
+
 }  // namespace rpslyzer::repl

@@ -38,6 +38,12 @@
 // `!q` closes the connection after pending responses flush, `!!` is the
 // IRRd keep-alive no-op, `!t<seconds>` adjusts this connection's idle
 // timeout, `!stats`, `!health`, and `!reload` as above.
+//
+// Fleet observability (PR 8): an optional `!id <hex>` prefix supplies the
+// query's 64-bit trace id (server-assigned otherwise), `!slow` dumps the
+// slow-query log, `!trace <hex>` replays one query's flight record(s),
+// and `!fleet` (origin only) renders per-edge heartbeat-digest
+// aggregation.
 
 #include <atomic>
 #include <chrono>
@@ -53,6 +59,7 @@
 #include <vector>
 
 #include "rpslyzer/irr/index.hpp"
+#include "rpslyzer/obs/flight.hpp"
 #include "rpslyzer/obs/metrics.hpp"
 #include "rpslyzer/server/cache.hpp"
 #include "rpslyzer/server/stats.hpp"
@@ -99,6 +106,15 @@ struct ServerConfig {
   std::vector<double> latency_bounds = ServerStats::default_latency_bounds();
   std::string metrics_snapshot_path;                     // empty = no dumps
   std::chrono::milliseconds metrics_snapshot_interval{10000};
+
+  // Fleet observability (PR 8). Every accepted query gets a 64-bit trace id
+  // (client-supplied via `!id <hex>` or server-assigned) and leaves one
+  // record in a lock-free flight-recorder ring, dumped by `!slow` /
+  // `!trace <id>`. Queries slower than `slow_threshold` are copied to the
+  // bounded slow-query log (0 = keep no slow log); deadline misses snapshot
+  // the ring next to the metrics file for post-mortem.
+  std::chrono::milliseconds slow_threshold{0};  // `--slow-ms`; 0 = off
+  std::size_t flight_capacity = 4096;           // ring slots (0 disables recording)
 };
 
 /// Daemon health, as served by `!health`.
@@ -198,6 +214,25 @@ class Server {
   /// e.g. the replication role/generation line. Set before start().
   void set_stats_extra(std::function<std::string()> fn) { stats_extra_ = std::move(fn); }
 
+  /// Install the `!fleet` admin-verb payload (origin-side aggregation of
+  /// per-edge heartbeat digests). Returns the unframed payload text; unset
+  /// means `!fleet` answers "F fleet aggregation not enabled". Set before
+  /// start(); runs on the event-loop thread.
+  void set_fleet_handler(std::function<std::string()> fn) {
+    fleet_handler_ = std::move(fn);
+  }
+
+  /// Extra Prometheus exposition text appended to `!metrics` (and the
+  /// metrics snapshot file), e.g. the origin's per-edge fleet series. Must
+  /// return complete families (`# HELP`/`# TYPE` + samples) whose names are
+  /// disjoint from the server's own. Set before start().
+  void set_metrics_extra(std::function<std::string()> fn) {
+    metrics_extra_ = std::move(fn);
+  }
+
+  /// This server's per-query flight recorder (`!slow` / `!trace` storage).
+  const obs::FlightRecorder& flight() const noexcept { return flight_; }
+
  private:
   struct Connection;
   struct Task {
@@ -206,6 +241,14 @@ class Server {
     std::string line;
     std::chrono::steady_clock::time_point t0;
     bool reload = false;
+    std::uint64_t trace_id = 0;
+  };
+  /// answer() reports how it resolved a query so the worker can file a
+  /// complete flight record without re-deriving cache state.
+  struct EvalInfo {
+    char cache = '-';  // 'h' hit, 'm' miss
+    std::uint32_t eval_us = 0;
+    std::uint64_t generation = 0;
   };
   struct Completion {
     std::uint64_t conn_id = 0;
@@ -245,15 +288,26 @@ class Server {
   void wake() noexcept;
 
   Snapshot snapshot() const;
-  std::string answer(const std::string& line);
+  std::string answer(const std::string& line, EvalInfo* info = nullptr);
   static std::string verify_query(const compile::CompiledPolicySnapshot& corpus,
                                   std::string_view args);
   std::string do_reload();
+
+  // Flight-recorder plumbing.
+  void record_flight(std::uint64_t trace_id, std::string_view verb,
+                     std::chrono::steady_clock::time_point t0,
+                     std::uint32_t queue_us, const EvalInfo& info, char outcome,
+                     std::uint32_t bytes);
+  void dump_flight_snapshot(const char* reason, std::uint64_t trace_id);
+  std::string slow_payload() const;
+  std::string trace_payload(std::uint64_t trace_id) const;
 
   ServerConfig config_;
   CorpusLoader loader_;
   std::function<std::string(std::string_view)> repl_handler_;
   std::function<std::string()> stats_extra_;
+  std::function<std::string()> fleet_handler_;
+  std::function<std::string()> metrics_extra_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -308,6 +362,9 @@ class Server {
   std::vector<std::uint64_t> resumed_reads_;
 
   ResponseCache cache_;
+  obs::FlightRecorder flight_;
+  std::chrono::steady_clock::time_point flight_epoch_;  // FlightRecord.end_us zero
+  std::atomic<std::uint32_t> flight_dumps_{0};          // post-mortem file cap
   // Private registry: per-server counts stay exact even with several Server
   // instances in one process (tests run many). Declared before stats_,
   // whose handles resolve into it at construction.

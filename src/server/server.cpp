@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -35,10 +36,24 @@ constexpr std::uint64_t kListenTag = 1;
 constexpr std::uint64_t kWakeTag = 2;
 constexpr int kMaxEvents = 64;
 constexpr auto kSweepGranularity = std::chrono::milliseconds(100);
+constexpr std::uint32_t kMaxFlightDumps = 16;  // post-mortem files per run
 
 double seconds_between(std::chrono::steady_clock::time_point a,
                        std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+std::uint32_t micros_between_u32(std::chrono::steady_clock::time_point a,
+                                 std::chrono::steady_clock::time_point b) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+  if (us <= 0) return 0;
+  return static_cast<std::uint32_t>(
+      std::min<long long>(us, std::numeric_limits<std::uint32_t>::max()));
+}
+
+std::string_view first_token(std::string_view line) {
+  line = util::trim(line);
+  return line.substr(0, line.find_first_of(" \t"));
 }
 
 }  // namespace
@@ -92,7 +107,14 @@ struct Server::Connection {
   // Engine queries awaiting a worker, by enqueue time: the deadline sweep
   // answers overdue entries with "F timeout" and moves them to `timed_out`
   // so the worker's late completion is discarded instead of re-delivered.
-  std::map<std::uint64_t, std::chrono::steady_clock::time_point> pending;
+  // Trace id + verb ride along so the sweep can file a complete flight
+  // record (and name the offending trace in the post-mortem snapshot).
+  struct PendingQuery {
+    std::chrono::steady_clock::time_point t0;
+    std::uint64_t trace_id = 0;
+    char verb[16] = {};
+  };
+  std::map<std::uint64_t, PendingQuery> pending;
   std::set<std::uint64_t> timed_out;
   std::chrono::steady_clock::time_point last_activity;
   std::chrono::milliseconds idle_timeout{0};
@@ -107,6 +129,8 @@ Server::Server(ServerConfig config, CorpusLoader loader)
     : config_(std::move(config)),
       loader_(std::move(loader)),
       cache_(config_.cache_capacity, config_.cache_shards),
+      flight_(config_.flight_capacity),
+      flight_epoch_(std::chrono::steady_clock::now()),
       stats_(registry_, config_.latency_bounds) {
   // Scrape-time mirrors: the cache keeps its own per-shard counters and the
   // health/generation state lives behind mutexes — a collector copies them
@@ -126,6 +150,13 @@ Server::Server(ServerConfig config, CorpusLoader loader)
                static_cast<double>(cache.entries));
     sink.gauge("rpslyzer_cache_bytes", "Key + value payload bytes held", {},
                static_cast<double>(cache.bytes));
+
+    sink.counter("rpslyzer_server_flight_records_total",
+                 "Queries recorded by the flight recorder", {},
+                 static_cast<double>(flight_.total()));
+    sink.counter("rpslyzer_server_flight_dropped_total",
+                 "Flight records overwritten by ring wraparound", {},
+                 static_cast<double>(flight_.dropped()));
 
     const HealthStatus status = health();
     sink.gauge("rpslyzer_server_generation", "Current corpus generation", {},
@@ -306,18 +337,37 @@ Server::Snapshot Server::snapshot() const {
   return Snapshot{corpus_, generation_.load(std::memory_order_relaxed)};
 }
 
-std::string Server::answer(const std::string& line) {
+std::string Server::answer(const std::string& line, EvalInfo* info) {
   Snapshot snap = snapshot();
+  if (info != nullptr) info->generation = snap.generation;
   const std::string key = normalize_query_key(line);
-  if (auto hit = cache_.get(key, snap.generation)) return std::move(*hit);
+  std::optional<std::string> hit;
+  {
+    obs::Span cache_span("server.cache");
+    hit = cache_.get(key, snap.generation);
+  }
+  if (hit) {
+    if (info != nullptr) info->cache = 'h';
+    return std::move(*hit);
+  }
+  if (info != nullptr) info->cache = 'm';
+  const auto eval_start = std::chrono::steady_clock::now();
   std::string response;
   std::string_view trimmed = util::trim(line);
   if (!trimmed.empty() && trimmed.front() == '!') trimmed.remove_prefix(1);
   if (!trimmed.empty() && (trimmed.front() == 'v' || trimmed.front() == 'V')) {
+    obs::Span eval_span("server.verify");
     response = verify_query(*snap.corpus, trimmed.substr(1));
   } else {
+    obs::Span eval_span("server.eval");
     query::QueryEngine engine(*snap.corpus);
     response = engine.evaluate(line);
+  }
+  if (info != nullptr) {
+    info->eval_us = static_cast<std::uint32_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - eval_start)
+            .count());
   }
   cache_.put(key, snap.generation, response);
   return response;
@@ -386,6 +436,9 @@ std::string Server::do_reload() {
                     {"attempts", attempts},
                     {"generation", generation()}});
     reloads_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    // Quarantine-class event: snapshot the flight ring so the queries that
+    // surrounded the failed reload are preserved for post-mortem.
+    dump_flight_snapshot("degraded", obs::current_trace_id());
     wake();  // let the event loop arm the backoff retry promptly
     return "F reload failed: " + why + "\n";
   }
@@ -530,8 +583,12 @@ std::string Server::stats_payload() const {
 
 std::string Server::metrics_payload() const {
   // Process-wide metrics (loader, query engine, failpoints) plus this
-  // server's private page, in one Prometheus exposition document.
-  return obs::to_prometheus({&obs::MetricsRegistry::global(), &registry_});
+  // server's private page, in one Prometheus exposition document. The
+  // optional extra block (origin fleet aggregation) arrives pre-rendered:
+  // its families carry their own HELP/TYPE headers.
+  std::string out = obs::to_prometheus({&obs::MetricsRegistry::global(), &registry_});
+  if (metrics_extra_) out += metrics_extra_();
+  return out;
 }
 
 void Server::maybe_dump_metrics(std::chrono::steady_clock::time_point now) {
@@ -557,6 +614,117 @@ void Server::maybe_dump_metrics(std::chrono::steady_clock::time_point now) {
 }
 
 // ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+void Server::record_flight(std::uint64_t trace_id, std::string_view verb,
+                           std::chrono::steady_clock::time_point t0,
+                           std::uint32_t queue_us, const EvalInfo& info, char outcome,
+                           std::uint32_t bytes) {
+  if (!flight_.enabled()) return;
+  const auto now = std::chrono::steady_clock::now();
+  obs::FlightRecord record;
+  record.trace_id = trace_id;
+  const std::size_t verb_len = std::min(verb.size(), sizeof(record.verb) - 1);
+  std::memcpy(record.verb, verb.data(), verb_len);
+  record.end_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - flight_epoch_)
+          .count());
+  record.generation = info.generation != 0 ? info.generation : generation();
+  record.queue_us = queue_us;
+  record.eval_us = info.eval_us;
+  const auto total =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - t0).count();
+  record.total_us = static_cast<std::uint32_t>(
+      std::min<long long>(total, std::numeric_limits<std::uint32_t>::max()));
+  record.bytes = bytes;
+  record.cache = info.cache;
+  record.outcome = outcome;
+  flight_.record(record);
+  if (config_.slow_threshold.count() > 0 &&
+      static_cast<std::uint64_t>(record.total_us) >=
+          static_cast<std::uint64_t>(config_.slow_threshold.count()) * 1000) {
+    flight_.note_slow(record);
+    obs::log_warn("server", "slow query",
+                  {{"trace", obs::trace_hex(trace_id)},
+                   {"verb", std::string(verb.substr(0, verb_len))},
+                   {"total_us", static_cast<std::uint64_t>(record.total_us)},
+                   {"eval_us", static_cast<std::uint64_t>(record.eval_us)}});
+  }
+}
+
+void Server::dump_flight_snapshot(const char* reason, std::uint64_t trace_id) {
+  if (config_.metrics_snapshot_path.empty()) return;
+  // Cap post-mortem files: a deadline storm should not fill the disk with
+  // near-identical ring dumps.
+  if (flight_dumps_.fetch_add(1, std::memory_order_relaxed) >= kMaxFlightDumps) return;
+  std::string dir = config_.metrics_snapshot_path;
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? std::string(".") : dir.substr(0, slash);
+  const std::string path =
+      dir + "/flight-" + reason + "-" + obs::trace_hex(trace_id) + ".log";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      obs::log_warn("server", "flight snapshot write failed", {{"path", path}});
+      return;
+    }
+    out << "reason: " << reason << "\ntrace: " << obs::trace_hex(trace_id) << "\n";
+    for (const obs::FlightRecord& record : flight_.snapshot()) {
+      out << obs::format_flight_record(record) << "\n";
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    obs::log_warn("server", "flight snapshot rename failed", {{"path", path}});
+    return;
+  }
+  obs::log_warn("server", "flight recorder snapshot written",
+                {{"path", path},
+                 {"trace", obs::trace_hex(trace_id)},
+                 {"reason", std::string(reason)}});
+}
+
+std::string Server::slow_payload() const {
+  const std::vector<obs::FlightRecord> slow = flight_.slow_snapshot();
+  std::string out = "slow-queries: " + std::to_string(slow.size());
+  out += " threshold-ms: " + std::to_string(config_.slow_threshold.count());
+  out += "\nrecorder: total=" + std::to_string(flight_.total()) +
+         " dropped=" + std::to_string(flight_.dropped()) +
+         " capacity=" + std::to_string(flight_.capacity());
+  for (const obs::FlightRecord& record : slow) {
+    out += "\n";
+    out += obs::format_flight_record(record);
+  }
+  return out;
+}
+
+std::string Server::trace_payload(std::uint64_t trace_id) const {
+  const std::vector<obs::FlightRecord> records = flight_.find(trace_id);
+  if (records.empty()) return {};
+  std::string out = "trace: " + obs::trace_hex(trace_id);
+  out += "\nrecords: " + std::to_string(records.size());
+  for (const obs::FlightRecord& record : records) {
+    char verb[sizeof(record.verb) + 1];
+    std::memcpy(verb, record.verb, sizeof(record.verb));
+    verb[sizeof(record.verb)] = '\0';
+    const char* cache = record.cache == 'h'   ? "hit"
+                        : record.cache == 'm' ? "miss"
+                                              : "-";
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "\nverb: %s\noutcome: %c\ncache: %s\ngeneration: %llu\n"
+                  "bytes: %u\nstage-queue-us: %u\nstage-eval-us: %u\n"
+                  "stage-total-us: %u",
+                  verb[0] != '\0' ? verb : "?", record.outcome, cache,
+                  static_cast<unsigned long long>(record.generation), record.bytes,
+                  record.queue_us, record.eval_us, record.total_us);
+    out += buffer;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Worker pool
 // ---------------------------------------------------------------------------
 
@@ -578,8 +746,16 @@ void Server::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    const std::uint64_t trace_id =
+        task.trace_id != 0 ? task.trace_id : obs::next_trace_id();
+    const std::uint32_t queue_us =
+        micros_between_u32(task.t0, std::chrono::steady_clock::now());
+    EvalInfo info;
     std::string response;
     {
+      // Install the query's trace context for the whole evaluation: every
+      // span recorded and every log line emitted below carries this id.
+      obs::TraceContext trace_scope(trace_id);
       obs::Span span(task.reload ? "server.reload" : "server.query");
       // "server.dispatch": delay stalls this worker (driving the deadline
       // path); error fails the query without touching the engine. Reloads are
@@ -588,7 +764,7 @@ void Server::worker_loop() {
           hit && hit.is_error() && !task.reload) {
         response = "F " + hit.message + "\n";
       } else {
-        response = task.reload ? do_reload() : answer(task.line);
+        response = task.reload ? do_reload() : answer(task.line, &info);
       }
     }
     stats_.latency.observe(
@@ -596,6 +772,12 @@ void Server::worker_loop() {
     if (!response.empty() && response.front() == 'F') {
       stats_.queries_errors.inc();
     }
+    record_flight(trace_id, task.reload ? "!reload" : first_token(task.line),
+                  task.t0, queue_us, info,
+                  response.empty() ? '?' : response.front(),
+                  static_cast<std::uint32_t>(
+                      std::min<std::size_t>(response.size(),
+                                            std::numeric_limits<std::uint32_t>::max())));
     if (task.conn_id != 0) {
       std::lock_guard<std::mutex> lock(done_mu_);
       done_.push_back(Completion{task.conn_id, task.seq, std::move(response)});
@@ -803,14 +985,54 @@ void Server::parse_lines(Connection& conn) {
 }
 
 void Server::dispatch_line(Connection& conn, std::string_view raw) {
-  const std::string_view trimmed = util::trim(raw);
+  std::string_view trimmed = util::trim(raw);
   if (trimmed == "!!") return;  // IRRd keep-alive toggle: no response
   std::string_view body = trimmed;
   if (!body.empty() && body.front() == '!') body.remove_prefix(1);
+
+  // Optional trace-context prefix: `!id <hex> <query...>` lets the client
+  // name the query's 64-bit trace id (loadgen does); the prefix is stripped
+  // before dispatch so the cache key and the engine see the bare query.
+  std::uint64_t trace_id = 0;
+  bool bad_trace = false;
+  if (body.size() >= 3 && (body[0] == 'i' || body[0] == 'I') &&
+      (body[1] == 'd' || body[1] == 'D') && (body[2] == ' ' || body[2] == '\t')) {
+    std::string_view rest = body.substr(3);
+    while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+      rest.remove_prefix(1);
+    }
+    const std::size_t end = rest.find_first_of(" \t");
+    const std::string_view token = rest.substr(0, end);
+    if (!obs::parse_trace_hex(token, &trace_id) || trace_id == 0) {
+      bad_trace = true;
+    } else {
+      trimmed = end == std::string_view::npos
+                    ? std::string_view{}
+                    : util::trim(rest.substr(end));
+      body = trimmed;
+      if (!body.empty() && body.front() == '!') body.remove_prefix(1);
+    }
+  }
+  if (trace_id == 0) trace_id = obs::next_trace_id();
+
   const auto t0 = std::chrono::steady_clock::now();
   // Ordering note: the total is bumped before any admin/error subset counter,
   // which is what lets ServerStats::snapshot() guarantee subset <= total.
   stats_.queries_total.inc();
+
+  // Inline verbs file their flight record here: zero queue/eval time, the
+  // response's first byte as the outcome.
+  const auto deliver_inline = [&](std::uint64_t seq, std::string_view verb,
+                                  std::string response) {
+    if (flight_.enabled()) {
+      EvalInfo info;
+      record_flight(trace_id, verb, t0, 0, info,
+                    response.empty() ? '?' : response.front(),
+                    static_cast<std::uint32_t>(std::min<std::size_t>(
+                        response.size(), std::numeric_limits<std::uint32_t>::max())));
+    }
+    deliver(conn, seq, std::move(response));
+  };
 
   if (util::iequals(body, "q")) {
     stats_.admin_queries.inc();
@@ -819,24 +1041,56 @@ void Server::dispatch_line(Connection& conn, std::string_view raw) {
   }
   const std::uint64_t seq = conn.next_seq++;
   ++conn.in_flight;
+  if (bad_trace) {
+    stats_.queries_errors.inc();
+    deliver(conn, seq, "F invalid trace id (expect 1-16 hex digits)\n");
+    return;
+  }
   if (util::iequals(body, "stats")) {
     stats_.admin_queries.inc();
-    deliver(conn, seq, query::frame_response(stats_payload()));
+    deliver_inline(seq, "!stats", query::frame_response(stats_payload()));
     return;
   }
   if (util::iequals(body, "metrics")) {
     stats_.admin_queries.inc();
-    deliver(conn, seq, query::frame_response(metrics_payload()));
+    deliver_inline(seq, "!metrics", query::frame_response(metrics_payload()));
     return;
   }
   if (util::iequals(body, "health")) {
     stats_.admin_queries.inc();
-    deliver(conn, seq, query::frame_response(health_payload()));
+    deliver_inline(seq, "!health", query::frame_response(health_payload()));
+    return;
+  }
+  if (util::iequals(body, "slow")) {
+    stats_.admin_queries.inc();
+    deliver_inline(seq, "!slow", query::frame_response(slow_payload()));
+    return;
+  }
+  if (body.size() >= 6 && util::iequals(body.substr(0, 5), "trace") &&
+      (body[5] == ' ' || body[5] == '\t')) {
+    stats_.admin_queries.inc();
+    std::uint64_t wanted = 0;
+    if (!obs::parse_trace_hex(util::trim(body.substr(6)), &wanted)) {
+      deliver_inline(seq, "!trace", "F usage: !trace <hex-id>\n");
+      return;
+    }
+    std::string payload = trace_payload(wanted);
+    deliver_inline(seq, "!trace",
+                   payload.empty() ? std::string("D\n")
+                                   : query::frame_response(payload));
+    return;
+  }
+  if (util::iequals(body, "fleet")) {
+    stats_.admin_queries.inc();
+    deliver_inline(seq, "!fleet",
+                   fleet_handler_
+                       ? query::frame_response(fleet_handler_())
+                       : std::string("F fleet aggregation not enabled\n"));
     return;
   }
   if (util::iequals(body, "reload")) {
     stats_.admin_queries.inc();
-    enqueue_task(Task{conn.id, seq, {}, t0, true});
+    enqueue_task(Task{conn.id, seq, {}, t0, true, trace_id});
     return;
   }
   if (body == "repl" || body.rfind("repl.", 0) == 0) {
@@ -855,14 +1109,20 @@ void Server::dispatch_line(Connection& conn, std::string_view raw) {
     stats_.admin_queries.inc();
     if (auto seconds = util::parse_u32(body.substr(1))) {
       conn.idle_timeout = std::chrono::seconds(*seconds);
-      deliver(conn, seq, "C\n");
+      deliver_inline(seq, "!t", "C\n");
     } else {
-      deliver(conn, seq, "F invalid timeout\n");
+      deliver_inline(seq, "!t", "F invalid timeout\n");
     }
     return;
   }
-  if (config_.query_deadline.count() > 0) conn.pending.emplace(seq, t0);
-  enqueue_task(Task{conn.id, seq, std::string(trimmed), t0, false});
+  if (config_.query_deadline.count() > 0) {
+    Connection::PendingQuery pending{t0, trace_id, {}};
+    const std::string_view verb = first_token(trimmed);
+    std::memcpy(pending.verb, verb.data(),
+                std::min(verb.size(), sizeof(pending.verb) - 1));
+    conn.pending.emplace(seq, pending);
+  }
+  enqueue_task(Task{conn.id, seq, std::string(trimmed), t0, false, trace_id});
 }
 
 void Server::deliver(Connection& conn, std::uint64_t seq, std::string response) {
@@ -1009,17 +1269,27 @@ void Server::sweep_deadlines(std::chrono::steady_clock::time_point now) {
   for (auto& [id, conn] : conns_) {
     bool any = false;
     for (auto it = conn->pending.begin(); it != conn->pending.end();) {
-      if (now - it->second < config_.query_deadline) {
+      if (now - it->second.t0 < config_.query_deadline) {
         ++it;
         continue;
       }
       const std::uint64_t seq = it->first;
+      const Connection::PendingQuery timed = it->second;
       it = conn->pending.erase(it);
       conn->timed_out.insert(seq);
       stats_.queries_timed_out.inc();
       stats_.queries_errors.inc();
       obs::log_warn("server", "query deadline exceeded; answered F timeout",
-                    {{"conn", id}, {"seq", seq}});
+                    {{"conn", id},
+                     {"seq", seq},
+                     {"trace", obs::trace_hex(timed.trace_id)},
+                     {"verb", std::string(timed.verb)}});
+      if (flight_.enabled()) {
+        EvalInfo info;
+        record_flight(timed.trace_id, timed.verb, timed.t0, 0, info, 'T',
+                      sizeof("F timeout\n") - 1);
+      }
+      dump_flight_snapshot("deadline", timed.trace_id);
       deliver(*conn, seq, "F timeout\n");
       any = true;
     }

@@ -6,12 +6,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "rpslyzer/json/json.hpp"
 #include "rpslyzer/obs/failpoint_bridge.hpp"
+#include "rpslyzer/obs/flight.hpp"
 #include "rpslyzer/obs/log.hpp"
 #include "rpslyzer/obs/metrics.hpp"
 #include "rpslyzer/obs/trace.hpp"
@@ -335,6 +337,307 @@ TEST(FailpointBridge, FiringEmitsLogAndMetric) {
   EXPECT_NE(page.find("rpslyzer_failpoint_fires_total{site=\"obs.test.site\"} 2"),
             std::string::npos);
   fp::clear_all();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition hardening (escaping, determinism, merging)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, HelpTextIsEscaped) {
+  MetricsRegistry registry;
+  registry.counter("obs_help_total", "path C:\\tmp\nsecond line").inc();
+  const std::string page = registry.to_prometheus();
+  // Backslash and newline must be escaped in HELP; a raw newline would
+  // truncate the comment and turn "second line" into a syntax error.
+  EXPECT_NE(page.find("# HELP obs_help_total path C:\\\\tmp\\nsecond line\n"),
+            std::string::npos);
+  EXPECT_EQ(page.find("tmp\nsecond"), std::string::npos);
+}
+
+TEST(MetricsRegistry, Utf8LabelValuesPassThroughUnescaped) {
+  MetricsRegistry registry;
+  registry.counter("obs_utf8_total", "test", {{"名前", "käse—☃"}}).inc(2);
+  const std::string page = registry.to_prometheus();
+  // Prometheus text format is UTF-8 native: only backslash, quote, and
+  // newline are escaped in label values; multi-byte sequences pass raw.
+  EXPECT_NE(page.find("obs_utf8_total{名前=\"käse—☃\"} 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, EmptyHelpFallsBackToUndocumented) {
+  MetricsRegistry registry;
+  registry.counter("obs_undoc_total", "").inc();
+  const std::string page = registry.to_prometheus();
+  EXPECT_NE(page.find("# HELP obs_undoc_total (undocumented)\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ExpositionIsSortedByNameThenLabels) {
+  MetricsRegistry registry;
+  // Registered deliberately out of order, both across families and across
+  // label sets within one family.
+  registry.counter("obs_zz_total", "late family").inc(1);
+  registry.counter("obs_aa_total", "early family", {{"op", "z"}}).inc(3);
+  registry.counter("obs_aa_total", "early family", {{"op", "a"}}).inc(2);
+  const std::string page = registry.to_prometheus();
+  const std::size_t family_a = page.find("# HELP obs_aa_total");
+  const std::size_t family_z = page.find("# HELP obs_zz_total");
+  const std::size_t op_a = page.find("obs_aa_total{op=\"a\"} 2\n");
+  const std::size_t op_z = page.find("obs_aa_total{op=\"z\"} 3\n");
+  ASSERT_NE(family_a, std::string::npos);
+  ASSERT_NE(family_z, std::string::npos);
+  ASSERT_NE(op_a, std::string::npos);
+  ASSERT_NE(op_z, std::string::npos);
+  EXPECT_LT(family_a, family_z);
+  EXPECT_LT(op_a, op_z);
+  // Byte-identical across scrapes: nothing in the render depends on
+  // registration order or wall time.
+  EXPECT_EQ(page, registry.to_prometheus());
+}
+
+TEST(MetricsRegistry, MergedRegistriesUnifySameNameDisjointLabels) {
+  MetricsRegistry first;
+  MetricsRegistry second;
+  first.counter("obs_shared_total", "Shared counter", {{"site", "a"}}).inc(1);
+  second.counter("obs_shared_total", "", {{"site", "b"}}).inc(2);
+  const std::string page = to_prometheus({&first, &second});
+  // One family header (first non-empty help wins), then both instances as
+  // sorted sample lines — not two families or a dropped instance.
+  EXPECT_NE(page.find("# HELP obs_shared_total Shared counter\n"), std::string::npos);
+  EXPECT_EQ(page.find("(undocumented)"), std::string::npos);
+  const std::size_t site_a = page.find("obs_shared_total{site=\"a\"} 1\n");
+  const std::size_t site_b = page.find("obs_shared_total{site=\"b\"} 2\n");
+  ASSERT_NE(site_a, std::string::npos);
+  ASSERT_NE(site_b, std::string::npos);
+  EXPECT_LT(site_a, site_b);
+  // Exactly one TYPE line for the family.
+  const std::size_t type_first = page.find("# TYPE obs_shared_total counter\n");
+  ASSERT_NE(type_first, std::string::npos);
+  EXPECT_EQ(page.find("# TYPE obs_shared_total", type_first + 1), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace context propagation
+// ---------------------------------------------------------------------------
+
+TEST(TraceContext, ScopesNestAndRestore) {
+  EXPECT_EQ(current_trace_id(), 0u);
+  {
+    TraceContext outer(0x1234);
+    EXPECT_EQ(current_trace_id(), 0x1234u);
+    {
+      TraceContext inner(0x5678);
+      EXPECT_EQ(current_trace_id(), 0x5678u);
+    }
+    EXPECT_EQ(current_trace_id(), 0x1234u);
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+}
+
+TEST(TraceContext, GeneratedIdsAreNonZeroAndDistinct) {
+  const std::uint64_t a = next_trace_id();
+  const std::uint64_t b = next_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceContext, HexRoundTripAndRejection) {
+  const std::uint64_t id = 0x0123456789abcdefULL;
+  EXPECT_EQ(trace_hex(id), "0123456789abcdef");
+  std::uint64_t parsed = 0;
+  ASSERT_TRUE(parse_trace_hex("0123456789abcdef", &parsed));
+  EXPECT_EQ(parsed, id);
+  ASSERT_TRUE(parse_trace_hex("FF", &parsed));  // short + uppercase accepted
+  EXPECT_EQ(parsed, 0xffu);
+  EXPECT_FALSE(parse_trace_hex("", &parsed));
+  EXPECT_FALSE(parse_trace_hex("0123456789abcdef0", &parsed));  // 17 digits
+  EXPECT_FALSE(parse_trace_hex("xyz", &parsed));
+  EXPECT_FALSE(parse_trace_hex("12 34", &parsed));
+}
+
+TEST(TraceContext, SpansInheritTheAmbientTraceId) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  {
+    TraceContext scope(0xabcdef);
+    Span span("obs.test.traced");
+  }
+  { Span span("obs.test.untraced"); }
+  tracer.set_enabled(false);
+  const std::vector<SpanRecord> records = tracer.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace, 0xabcdefu);
+  EXPECT_EQ(records[1].trace, 0u);
+  const std::string chrome = tracer.chrome_trace();
+  EXPECT_NE(chrome.find("0000000000abcdef"), std::string::npos);
+  tracer.clear();
+}
+
+TEST(TraceContext, AmbientTraceRidesLogLines) {
+  LogCapture capture;
+  set_log_level(LogLevel::kWarn);
+  {
+    TraceContext scope(0xbeef);
+    log_warn("obs_test", "inside context");
+    log_warn("obs_test", "explicit wins", {{"trace", "custom"}});
+  }
+  log_warn("obs_test", "outside context");
+  ASSERT_EQ(capture.lines().size(), 3u);
+  EXPECT_NE(capture.lines()[0].find("trace=000000000000beef"), std::string::npos);
+  EXPECT_NE(capture.lines()[1].find("trace=custom"), std::string::npos);
+  EXPECT_EQ(capture.lines()[1].find("000000000000beef"), std::string::npos);
+  EXPECT_EQ(capture.lines()[2].find("trace="), std::string::npos);
+}
+
+TEST(TraceContext, CrossThreadSpansKeepPerThreadNestingAndDeterministicExport) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t] {
+      // Each worker runs under its own trace context; nesting depth is
+      // thread-local, so concurrent workers must not see each other's
+      // depth.
+      TraceContext scope(static_cast<std::uint64_t>(t) + 1);
+      Span outer("obs.test.pool.outer");
+      Span inner("obs.test.pool.inner");
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  tracer.set_enabled(false);
+  const std::vector<SpanRecord> records = tracer.records();
+  ASSERT_EQ(records.size(), 2u * kThreads);
+  std::uint64_t inner_seen = 0;
+  for (const SpanRecord& record : records) {
+    ASSERT_GE(record.trace, 1u);
+    ASSERT_LE(record.trace, static_cast<std::uint64_t>(kThreads));
+    if (record.name == "obs.test.pool.inner") {
+      EXPECT_EQ(record.depth, 1u);
+      ++inner_seen;
+    } else {
+      EXPECT_EQ(record.depth, 0u);
+    }
+  }
+  EXPECT_EQ(inner_seen, static_cast<std::uint64_t>(kThreads));
+  // The export is a pure function of the recorded spans: two renders of
+  // the same session are byte-identical, worker interleaving and all.
+  const std::string once = tracer.chrome_trace();
+  const std::string twice = tracer.chrome_trace();
+  EXPECT_EQ(once, twice);
+  EXPECT_NO_THROW(json::parse(once));
+  tracer.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+FlightRecord make_record(std::uint64_t trace_id, const char* verb = "!gas") {
+  FlightRecord record;
+  record.trace_id = trace_id;
+  std::snprintf(record.verb, sizeof(record.verb), "%s", verb);
+  record.end_us = trace_id * 10;
+  record.generation = 2;
+  record.queue_us = 3;
+  record.eval_us = 40;
+  record.total_us = 43;
+  record.bytes = 100;
+  record.cache = 'm';
+  record.outcome = 'A';
+  return record;
+}
+
+TEST(FlightRecorder, ZeroCapacityIsDisabled) {
+  FlightRecorder recorder(0);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record(make_record(1));  // must be a safe no-op
+  EXPECT_EQ(recorder.total(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(FlightRecorder, RingWrapsOldestFirstAndCountsDrops) {
+  FlightRecorder recorder(4);
+  ASSERT_EQ(recorder.capacity(), 4u);
+  for (std::uint64_t i = 1; i <= 10; ++i) recorder.record(make_record(i));
+  EXPECT_EQ(recorder.total(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const std::vector<FlightRecord> records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest surviving record first; ids 1..6 were overwritten.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].trace_id, 7 + i);
+  }
+  EXPECT_FALSE(recorder.find(9).empty());
+  EXPECT_TRUE(recorder.find(3).empty());  // overwritten
+}
+
+TEST(FlightRecorder, SlowLogSurvivesRingWraparound) {
+  FlightRecorder recorder(4);
+  FlightRecord slow = make_record(42, "!slowq");
+  slow.total_us = 50000;
+  recorder.record(slow);
+  recorder.note_slow(slow);
+  for (std::uint64_t i = 100; i < 120; ++i) recorder.record(make_record(i));
+  EXPECT_FALSE(recorder.find(42).empty());  // served from the slow log
+  const std::vector<FlightRecord> kept = recorder.slow_snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].trace_id, 42u);
+  EXPECT_EQ(kept[0].total_us, 50000u);
+}
+
+TEST(FlightRecorder, FormatRendersEveryField) {
+  const std::string line = format_flight_record(make_record(0xab, "!trace"));
+  EXPECT_NE(line.find("trace=00000000000000ab"), std::string::npos);
+  EXPECT_NE(line.find("verb=!trace"), std::string::npos);
+  EXPECT_NE(line.find("outcome=A"), std::string::npos);
+  EXPECT_NE(line.find("cache=m"), std::string::npos);
+  EXPECT_NE(line.find("queue-us=3"), std::string::npos);
+  EXPECT_NE(line.find("eval-us=40"), std::string::npos);
+  EXPECT_NE(line.find("total-us=43"), std::string::npos);
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndReadersStayCoherent) {
+  // Exercised under TSan by scripts/sanitize_check.sh: racing writers and a
+  // snapshotting reader must be data-race-free (every slot access is an
+  // atomic word), and every record a snapshot returns must be internally
+  // consistent — the seqlock discards torn reads rather than surfacing
+  // them.
+  FlightRecorder recorder(64);
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad_reads{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const FlightRecord& record : recorder.snapshot()) {
+        // Writers always store total_us == trace_id % 1000 + queue_us; a
+        // torn record would violate it.
+        if (record.total_us != record.trace_id % 1000 + record.queue_us) {
+          bad_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>(w) * kPerWriter + i + 1;
+        FlightRecord record = make_record(id);
+        record.queue_us = static_cast<std::uint32_t>(w);
+        record.total_us = static_cast<std::uint32_t>(id % 1000 + record.queue_us);
+        recorder.record(record);
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(bad_reads.load(), 0u);
+  EXPECT_EQ(recorder.total(), static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(recorder.snapshot().size(), recorder.capacity());
 }
 
 }  // namespace

@@ -265,6 +265,141 @@ TEST(Publisher, HeartbeatsPopulateTheFleetTable) {
 }
 
 // ---------------------------------------------------------------------------
+// Heartbeat metric digests + fleet aggregation (PR 8)
+// ---------------------------------------------------------------------------
+
+repl::MetricDigest test_digest(std::uint64_t queries, std::uint64_t hits,
+                               std::uint64_t misses,
+                               std::vector<std::uint64_t> buckets) {
+  repl::MetricDigest digest;
+  digest.queries_total = queries;
+  digest.cache_hits = hits;
+  digest.cache_misses = misses;
+  digest.recorder_drops = 2;
+  digest.heartbeat_ms = 100;
+  digest.latency_sum_micros = queries * 50;
+  digest.latency_buckets = std::move(buckets);
+  for (const std::uint64_t count : digest.latency_buckets) {
+    digest.latency_count += count;
+  }
+  return digest;
+}
+
+TEST(ReplProtocol, DigestRoundTripAndGarbledTokensRefused) {
+  const repl::MetricDigest digest = test_digest(100, 60, 40, {90, 9, 1});
+  const std::string token = repl::render_digest(digest);
+  EXPECT_EQ(token.find(' '), std::string::npos) << "must survive split_fields";
+  const auto parsed = repl::parse_digest(token);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->queries_total, 100u);
+  EXPECT_EQ(parsed->cache_hits, 60u);
+  EXPECT_EQ(parsed->cache_misses, 40u);
+  EXPECT_EQ(parsed->recorder_drops, 2u);
+  EXPECT_EQ(parsed->heartbeat_ms, 100u);
+  EXPECT_EQ(parsed->latency_count, 100u);
+  EXPECT_EQ(parsed->latency_sum_micros, 5000u);
+  EXPECT_EQ(parsed->latency_buckets, (std::vector<std::uint64_t>{90, 9, 1}));
+
+  // Unknown keys are forward-compatible noise; `lb` is optional.
+  EXPECT_TRUE(repl::parse_digest(token + ";zz=5").has_value());
+  EXPECT_TRUE(
+      repl::parse_digest("v1;qt=1;ch=1;cm=0;rd=0;hb=50;lc=1;ls=9").has_value());
+
+  // A garbled digest refuses the whole token.
+  EXPECT_FALSE(repl::parse_digest(""));
+  EXPECT_FALSE(repl::parse_digest("v2;qt=1;ch=1;cm=0;rd=0;hb=50;lc=1;ls=9"));
+  EXPECT_FALSE(repl::parse_digest("v1;qt=1;ch=1;cm=0;rd=0;hb=50;lc=1"));  // ls missing
+  EXPECT_FALSE(repl::parse_digest(token + ";qt=7"));                      // duplicate
+  EXPECT_FALSE(repl::parse_digest("v1;qt=bogus;ch=1;cm=0;rd=0;hb=50;lc=1;ls=9"));
+  EXPECT_FALSE(repl::parse_digest("v1;qt=1;ch=1;cm=0;rd=0;hb=50;lc=1;ls=9;lb=1:x"));
+}
+
+TEST(Publisher, BeatDigestsFeedFleetAggregation) {
+  repl::Publisher pub;
+  pub.publish(*corpus().snapshot);
+  pub.set_latency_bounds({0.001, 0.01});  // 2 bounds → 3 buckets incl. +Inf
+
+  const repl::MetricDigest da = test_digest(100, 60, 40, {90, 9, 1});
+  const repl::MetricDigest db = test_digest(50, 30, 20, {40, 9, 1});
+  EXPECT_EQ(pub.handle(".beat edge-a 1 healthy 12.5 " + repl::render_digest(da)),
+            "C\n");
+  EXPECT_EQ(pub.handle(".beat edge-b 1 healthy 4.5 " + repl::render_digest(db)),
+            "C\n");
+  // A garbled digest refuses the beat and must not register the edge.
+  EXPECT_EQ(pub.handle(".beat edge-c 1 healthy 1.0 v1;qt=bogus"),
+            "F beat digest is malformed\n");
+
+  const std::string page = pub.fleet_payload();
+  EXPECT_NE(page.find("edges: 2 stale=0"), std::string::npos) << page;
+  // The invariant the chaos harness reconciles: lookups = hits + evaluations,
+  // each the sum over non-stale edges.
+  EXPECT_NE(page.find("totals: queries=150 lookups=150 hits=90 evaluations=60 "
+                      "recorder-drops=4"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("samples=150"), std::string::npos) << page;
+  EXPECT_NE(page.find("edge: edge-a gen=1 health=healthy qps=12.5 queries=100 "
+                      "hits=60 evaluations=40"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("edge: edge-b gen=1"), std::string::npos) << page;
+
+  // A legacy 4-field beat refreshes liveness but keeps the stored digest.
+  EXPECT_EQ(pub.handle(".beat edge-a 1 healthy 13.0"), "C\n");
+  EXPECT_NE(pub.fleet_payload().find("totals: queries=150"), std::string::npos);
+
+  // The Prometheus page carries per-edge labelled series and the merged
+  // fleet histogram.
+  const std::string prom = pub.fleet_prometheus();
+  EXPECT_NE(prom.find("rpslyzer_fleet_edges 2\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("rpslyzer_fleet_queries_total{edge=\"edge-a\"} 100\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("rpslyzer_fleet_cache_hits_total{edge=\"edge-b\"} 30\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE rpslyzer_fleet_latency_seconds histogram\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("rpslyzer_fleet_latency_seconds_bucket{le=\"+Inf\"} 150\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("rpslyzer_fleet_latency_seconds_count 150\n"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(Publisher, StaleEdgesDropOutOfFleetTotals) {
+  repl::Publisher pub;
+  pub.publish(*corpus().snapshot);
+  pub.set_latency_bounds({0.001, 0.01});
+
+  // hb=100 in the digest → stale after 4×max(100, 250) = 1000 ms.
+  const repl::MetricDigest da = test_digest(100, 60, 40, {90, 9, 1});
+  const repl::MetricDigest db = test_digest(50, 30, 20, {40, 9, 1});
+  EXPECT_EQ(pub.handle(".beat edge-a 1 healthy 12.5 " + repl::render_digest(da)),
+            "C\n");
+  std::this_thread::sleep_for(milliseconds(1100));
+  EXPECT_EQ(pub.handle(".beat edge-b 1 healthy 4.5 " + repl::render_digest(db)),
+            "C\n");
+
+  // The SIGKILLed-edge contract: the silent edge's row stays visible but
+  // stale-marked, and its counters leave the totals and the merged
+  // histogram rather than poisoning the fleet p99.
+  const std::string page = pub.fleet_payload();
+  EXPECT_NE(page.find("edges: 2 stale=1"), std::string::npos) << page;
+  EXPECT_NE(page.find("totals: queries=50 lookups=50 hits=30 evaluations=20"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("samples=50"), std::string::npos) << page;
+  const std::size_t row_a = page.find("edge: edge-a ");
+  ASSERT_NE(row_a, std::string::npos);
+  EXPECT_NE(page.find("stale=1", row_a), std::string::npos) << page;
+  EXPECT_NE(pub.fleet_prometheus().find("rpslyzer_fleet_edges_stale 1\n"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Integrated origin daemon + edge client
 // ---------------------------------------------------------------------------
 

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "rpslyzer/compile/snapshot.hpp"
@@ -11,9 +14,12 @@
 #include "rpslyzer/relations/relations.hpp"
 #include "rpslyzer/server/cache.hpp"
 #include "rpslyzer/server/client.hpp"
+#include "rpslyzer/util/failpoint.hpp"
 
 namespace rpslyzer::server {
 namespace {
+
+namespace fp = util::failpoint;
 
 // ---------------------------------------------------------------------------
 // ResponseCache
@@ -394,6 +400,130 @@ TEST(Server, IdleConnectionsAreReaped) {
   EXPECT_FALSE(client->read_response().has_value());
   EXPECT_EQ(server.stats().connections_idle_closed.value(), 1u);
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder + trace propagation (PR 8)
+// ---------------------------------------------------------------------------
+
+TEST(Server, TraceIdPrefixDrivesTheFlightRecorder) {
+  Server server(test_config(), [] { return make_corpus(kCorpusV1); });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  OwnedCorpus reference(kCorpusV1);
+  const std::string want = query::QueryEngine(reference.index).evaluate("!gAS64500");
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+  // Client-supplied trace id: the prefix must be stripped before evaluation
+  // (and before the cache key), so the response is byte-identical to the
+  // bare query's.
+  ASSERT_TRUE(client->send_line("!id ab !gAS64500"));
+  EXPECT_EQ(client->read_response(), want);
+  ASSERT_TRUE(client->send_line("!id AB !gAS64500"));  // same id, cache hit
+  EXPECT_EQ(client->read_response(), want);
+  EXPECT_EQ(server.cache_stats().hits, 1u);
+
+  // `!trace <id>` reconstructs both queries with the full stage breakdown.
+  ASSERT_TRUE(client->send_line("!trace ab"));
+  auto framed = client->read_response();
+  ASSERT_TRUE(framed.has_value());
+  ASSERT_EQ(framed->front(), 'A');
+  EXPECT_NE(framed->find("trace: 00000000000000ab"), std::string::npos);
+  EXPECT_NE(framed->find("records: 2"), std::string::npos);
+  EXPECT_NE(framed->find("verb: !gAS64500"), std::string::npos);
+  EXPECT_NE(framed->find("cache: miss"), std::string::npos);
+  EXPECT_NE(framed->find("cache: hit"), std::string::npos);
+  EXPECT_NE(framed->find("generation: 1"), std::string::npos);
+  EXPECT_NE(framed->find("stage-queue-us: "), std::string::npos);
+  EXPECT_NE(framed->find("stage-eval-us: "), std::string::npos);
+  EXPECT_NE(framed->find("stage-total-us: "), std::string::npos);
+
+  // Unknown id → not found; garbled id / garbled prefix → errors.
+  ASSERT_TRUE(client->send_line("!trace dead"));
+  EXPECT_EQ(client->read_response(), "D\n");
+  ASSERT_TRUE(client->send_line("!trace xyz"));
+  EXPECT_EQ(client->read_response(), "F usage: !trace <hex-id>\n");
+  ASSERT_TRUE(client->send_line("!id zz !gAS64500"));
+  EXPECT_EQ(client->read_response(), "F invalid trace id (expect 1-16 hex digits)\n");
+  ASSERT_TRUE(client->send_line("!id 0 !gAS64500"));  // 0 means "no context"
+  EXPECT_EQ(client->read_response(), "F invalid trace id (expect 1-16 hex digits)\n");
+
+  // Without a handler wired (no replication origin), !fleet refuses.
+  ASSERT_TRUE(client->send_line("!fleet"));
+  EXPECT_EQ(client->read_response(), "F fleet aggregation not enabled\n");
+
+  client->send_line("!q");
+  server.stop();
+}
+
+TEST(Server, SlowQueriesLandInTheSlowLog) {
+  fp::clear_all();
+  ServerConfig config = test_config();
+  config.slow_threshold = std::chrono::milliseconds(10);
+  Server server(config, [] { return make_corpus(kCorpusV1); });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+  // One stalled evaluation crosses the 10 ms threshold; the next is fast
+  // and must stay out of the slow log.
+  ASSERT_TRUE(fp::set("server.dispatch", "1*delay(30ms)"));
+  ASSERT_TRUE(client->send_line("!id feed !gAS64500"));
+  ASSERT_TRUE(client->read_response().has_value());
+  ASSERT_TRUE(client->send_line("!gAS64502"));
+  ASSERT_TRUE(client->read_response().has_value());
+  fp::clear_all();
+
+  ASSERT_TRUE(client->send_line("!slow"));
+  auto framed = client->read_response();
+  ASSERT_TRUE(framed.has_value());
+  ASSERT_EQ(framed->front(), 'A');
+  EXPECT_NE(framed->find("slow-queries: 1"), std::string::npos);
+  EXPECT_NE(framed->find("threshold-ms: 10"), std::string::npos);
+  EXPECT_NE(framed->find("trace=000000000000feed"), std::string::npos);
+  EXPECT_NE(framed->find("verb=!gAS64500"), std::string::npos);
+
+  client->send_line("!q");
+  server.stop();
+}
+
+TEST(Server, DeadlineMissSnapshotsTheFlightRecorder) {
+  fp::clear_all();
+  ServerConfig config = test_config();
+  config.query_deadline = std::chrono::milliseconds(100);
+  config.metrics_snapshot_path = ::testing::TempDir() + "metrics.prom";
+  config.metrics_snapshot_interval = std::chrono::milliseconds(0);
+  Server server(config, [] { return make_corpus(kCorpusV1); });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.has_value());
+  // The worker stalls well past the deadline; the sweep answers for it.
+  ASSERT_TRUE(fp::set("server.dispatch", "1*delay(800ms)"));
+  ASSERT_TRUE(client->send_line("!id deadbeef !gAS64500"));
+  EXPECT_EQ(client->read_response(), "F timeout\n");
+  fp::clear_all();
+
+  // The miss dumped the ring next to the metrics file, named after the
+  // offending trace id, with the timed-out query marked outcome=T.
+  const std::string path =
+      ::testing::TempDir() + "flight-deadline-00000000deadbeef.log";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("reason: deadline"), std::string::npos);
+  EXPECT_NE(contents.str().find("trace: 00000000deadbeef"), std::string::npos);
+  EXPECT_NE(contents.str().find("outcome=T"), std::string::npos);
+  EXPECT_EQ(server.stats().queries_timed_out.value(), 1u);
+
+  client->send_line("!q");
+  server.stop();
+  std::remove(path.c_str());
 }
 
 TEST(Server, StartFailsWhenLoaderFails) {

@@ -3,6 +3,7 @@
 //   loadgen [--host H] [--port P] [--connections N] [--pipeline K]
 //           [--requests N] [--duration-ms D] [--fault-churn] [--json]
 //           [--stats] [--metrics-ms D] [--target-qps Q]
+//           [--divergence-ratio R] [--trace]
 //           [--expect-file F] <query...>
 //
 // Opens N concurrent connections, each cycling through the given query mix
@@ -18,6 +19,19 @@
 // deltas (start-of-run vs end-of-run, so a long-lived daemon's history does
 // not pollute the numbers). --target-qps Q adds an achieved-vs-target line.
 //
+// Client-observed p50/p99 (send-to-receive, pipeline queueing included) are
+// always reported next to the server-side numbers. --divergence-ratio R
+// flags — without failing — a run whose client-observed p99 exceeds R times
+// the server-side p99: the gap is time spent outside the server's service
+// window (accept queues, output buffering, the network), invisible to the
+// daemon's own histogram.
+//
+// --trace prefixes every request with `!id <hex>` — a client-chosen trace
+// id the daemon threads through its logs and flight recorder — so any
+// query from a loadgen run can be replayed later via `!trace <id>`.
+// Responses are byte-identical either way, keeping --expect-file oracles
+// valid under tracing.
+//
 // --expect-file F turns the run into a correctness oracle: every response
 // to the FIRST query in the mix must byte-match the framed response stored
 // in F (captured beforehand from a known-good daemon). Any deviation counts
@@ -31,6 +45,7 @@
 // queries correctly — pair it with RPSLYZER_FAILPOINTS on the server side
 // to exercise both ends of the fault model at once.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -59,7 +74,9 @@ struct Options {
   long long duration_ms = 0;
   long long metrics_ms = 0;  // poll !metrics every D ms (0 = off)
   double target_qps = 0;     // compare achieved throughput against this
+  double divergence_ratio = 0;  // flag client p99 > R x server p99 (0 = off)
   bool fault_churn = false;
+  bool trace = false;  // send `!id <hex>` trace-context prefixes
   bool json = false;
   bool stats = false;
   std::string expect_file;  // oracle for responses to queries[0]
@@ -72,6 +89,7 @@ int usage() {
                "usage: loadgen --port P [--host H] [--connections N] [--pipeline K]\n"
                "               [--requests N] [--duration-ms D] [--fault-churn]\n"
                "               [--json] [--stats] [--metrics-ms D] [--target-qps Q]\n"
+               "               [--divergence-ratio R] [--trace]\n"
                "               [--expect-file F] <query...>\n");
   return 2;
 }
@@ -173,8 +191,37 @@ struct WorkerResult {
   std::uint64_t checked = 0;     // --expect-file: oracle-query responses seen
   std::uint64_t reconnects = 0;  // fault-churn: abrupt drop + reopen cycles
   std::uint64_t half_lines = 0;  // fault-churn: unterminated lines left behind
+  std::vector<std::uint64_t> latencies_us;  // client-observed, send→receive
   bool failed = false;           // connect/protocol failure
 };
+
+/// Trace-id stream for --trace: splitmix64 per worker, never 0 (a zero id
+/// means "no trace context" to the daemon).
+std::uint64_t next_trace_id(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+std::string with_trace_prefix(std::uint64_t id, const std::string& query) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "!id %016llx ",
+                static_cast<unsigned long long>(id));
+  return prefix + query;
+}
+
+/// Sorted-sample percentile (nearest-rank), in microseconds.
+std::uint64_t sample_percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
 
 /// Score one response against the oracle when it answers queries[0].
 /// `query_index` is the position in the mix that this response answers —
@@ -187,7 +234,7 @@ void check_expected(const Options& options, std::size_t query_index,
 }
 
 void run_worker(const Options& options, Clock::time_point deadline,
-                WorkerResult& result) {
+                std::uint64_t seed, WorkerResult& result) {
   std::string error;
   auto client = Client::connect(options.host, options.port, &error);
   if (!client) {
@@ -198,6 +245,8 @@ void run_worker(const Options& options, Clock::time_point deadline,
   std::size_t cursor = 0;
   std::size_t read_cursor = 0;  // mix position of the next response to arrive
   std::uint64_t sent_total = 0;
+  std::uint64_t trace_state = seed;
+  std::vector<Clock::time_point> send_times(options.pipeline);
   const bool timed = options.duration_ms > 0;
   while (true) {
     if (timed) {
@@ -208,7 +257,13 @@ void run_worker(const Options& options, Clock::time_point deadline,
     std::size_t batch = options.pipeline;
     if (!timed) batch = std::min<std::uint64_t>(batch, options.requests - sent_total);
     for (std::size_t i = 0; i < batch; ++i) {
-      if (!client->send_line(options.queries[cursor])) {
+      send_times[i] = Clock::now();
+      const std::string& query = options.queries[cursor];
+      const bool sent =
+          options.trace
+              ? client->send_line(with_trace_prefix(next_trace_id(trace_state), query))
+              : client->send_line(query);
+      if (!sent) {
         result.failed = true;
         return;
       }
@@ -221,6 +276,12 @@ void run_worker(const Options& options, Clock::time_point deadline,
         result.failed = true;
         return;
       }
+      // Send→receive latency, pipeline queueing included: the client's view
+      // of this query, as opposed to the server's service-time histogram.
+      result.latencies_us.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                send_times[i])
+              .count()));
       ++result.responses;
       if (!response->empty() && response->front() == 'F') ++result.errors;
       if (*response == "D\n") ++result.not_found;
@@ -330,6 +391,12 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return usage();
       options.target_qps = std::atof(v);
+    } else if (arg == "--divergence-ratio") {
+      const char* v = next_value();
+      if (!v) return usage();
+      options.divergence_ratio = std::atof(v);
+    } else if (arg == "--trace") {
+      options.trace = true;
     } else if (arg == "--expect-file") {
       const char* v = next_value();
       if (!v) return usage();
@@ -418,7 +485,7 @@ int main(int argc, char** argv) {
                            static_cast<std::uint64_t>(i + 1), std::ref(results[i]));
     } else {
       workers.emplace_back(run_worker, std::cref(options), deadline,
-                           std::ref(results[i]));
+                           static_cast<std::uint64_t>(i + 1), std::ref(results[i]));
     }
   }
   for (auto& worker : workers) worker.join();
@@ -432,6 +499,7 @@ int main(int argc, char** argv) {
 
   WorkerResult total;
   bool any_failed = false;
+  std::vector<std::uint64_t> latencies;
   for (const auto& result : results) {
     total.responses += result.responses;
     total.errors += result.errors;
@@ -440,15 +508,29 @@ int main(int argc, char** argv) {
     total.checked += result.checked;
     total.reconnects += result.reconnects;
     total.half_lines += result.half_lines;
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
     any_failed = any_failed || result.failed;
   }
   const double qps = seconds > 0 ? static_cast<double>(total.responses) / seconds : 0;
+  std::sort(latencies.begin(), latencies.end());
+  const std::uint64_t client_p50 = sample_percentile(latencies, 50);
+  const std::uint64_t client_p99 = sample_percentile(latencies, 99);
+  const std::uint64_t server_p99 =
+      (options.metrics_ms > 0 && metrics_before.ok && metrics_after.ok)
+          ? delta_percentile_micros(metrics_before, metrics_after, 99)
+          : 0;
+  const bool diverged = options.divergence_ratio > 0 && server_p99 > 0 &&
+                        static_cast<double>(client_p99) >
+                            options.divergence_ratio * static_cast<double>(server_p99);
 
   if (options.json) {
     std::printf("{\"tool\":\"loadgen\",\"connections\":%zu,\"pipeline\":%zu,"
                 "\"responses\":%llu,\"errors\":%llu,\"not_found\":%llu,"
                 "\"wrong\":%llu,\"checked\":%llu,"
                 "\"reconnects\":%llu,\"half_lines\":%llu,"
+                "\"client_p50_us\":%llu,\"client_p99_us\":%llu,"
+                "\"server_p99_us\":%llu,\"diverged\":%s,"
                 "\"seconds\":%.3f,\"qps\":%.0f,\"failed\":%s}\n",
                 options.connections, options.pipeline,
                 static_cast<unsigned long long>(total.responses),
@@ -457,7 +539,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total.wrong),
                 static_cast<unsigned long long>(total.checked),
                 static_cast<unsigned long long>(total.reconnects),
-                static_cast<unsigned long long>(total.half_lines), seconds, qps,
+                static_cast<unsigned long long>(total.half_lines),
+                static_cast<unsigned long long>(client_p50),
+                static_cast<unsigned long long>(client_p99),
+                static_cast<unsigned long long>(server_p99),
+                diverged ? "true" : "false", seconds, qps,
                 any_failed ? "true" : "false");
   } else {
     std::printf("loadgen: %llu responses over %zu connections in %.3fs (%.0f q/s, "
@@ -481,15 +567,32 @@ int main(int argc, char** argv) {
     std::printf("loadgen: achieved %.0f q/s of %.0f q/s target (%.1f%%)\n", qps,
                 options.target_qps, 100.0 * qps / options.target_qps);
   }
+  if (!latencies.empty() && !options.json) {
+    std::printf("loadgen: client-observed latency: p50=%lluus p99=%lluus "
+                "(%zu samples, pipeline queueing included)\n",
+                static_cast<unsigned long long>(client_p50),
+                static_cast<unsigned long long>(client_p99), latencies.size());
+  }
   if (options.metrics_ms > 0 && metrics_before.ok && metrics_after.ok) {
     const std::uint64_t observed = metrics_after.latency_count - metrics_before.latency_count;
     std::printf("loadgen: server-side latency over this run: p50<=%lluus p99<=%lluus "
                 "(%llu queries observed via !metrics)\n",
                 static_cast<unsigned long long>(
                     delta_percentile_micros(metrics_before, metrics_after, 50)),
-                static_cast<unsigned long long>(
-                    delta_percentile_micros(metrics_before, metrics_after, 99)),
+                static_cast<unsigned long long>(server_p99),
                 static_cast<unsigned long long>(observed));
+  }
+  if (diverged) {
+    // Deliberately non-fatal: divergence means the client spent its time
+    // somewhere the server's histogram cannot see, which is a capacity or
+    // queueing signal worth investigating, not a correctness failure.
+    std::fprintf(stderr,
+                 "loadgen: WARNING: client-observed p99 (%lluus) exceeds %gx the "
+                 "server-side p99 (%lluus) — time is being lost outside the "
+                 "server's service window\n",
+                 static_cast<unsigned long long>(client_p99),
+                 options.divergence_ratio,
+                 static_cast<unsigned long long>(server_p99));
   }
 
   if (options.stats) {

@@ -70,6 +70,11 @@ int usage() {
                "                 [--retry-max-ms N] [--scale F] [--seed N]\n"
                "                 [--metrics-file PATH] [--metrics-file-ms N]\n"
                "                 [--snapshot-cache DIR]\n"
+               "                 [--slow-ms N]    copy queries slower than N ms into the\n"
+               "                                  `!slow` log (0 = off)\n"
+               "                 [--flight-cap N] flight-recorder ring capacity (0 = off;\n"
+               "                                  default 4096; `!trace <id>` replays one\n"
+               "                                  query's stage timings)\n"
                "                 (--threads also sets load/reload ingestion parallelism;\n"
                "                  --snapshot serves a compile --out file, --snapshot-cache\n"
                "                  keys mmap-cached generations by corpus content)\n"
@@ -452,6 +457,14 @@ int cmd_serve(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return usage();
       config.metrics_snapshot_interval = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--slow-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.slow_threshold = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--flight-cap") {
+      const char* v = next_value();
+      if (!v) return usage();
+      config.flight_capacity = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--scale") {
       const char* v = next_value();
       if (!v) return usage();
@@ -613,7 +626,16 @@ int cmd_serve(int argc, char** argv) {
       repl::LocalState state;
       if (auto* s = daemon_slot->load()) {
         state.health = server::to_string(s->health().state);
-        state.queries_total = s->stats().snapshot().queries_total;
+        const server::ServerStats::Snapshot snap = s->stats().snapshot();
+        state.queries_total = snap.queries_total;
+        const server::CacheStats cache = s->cache_stats();
+        state.cache_hits = cache.hits;
+        state.cache_misses = cache.misses;
+        state.recorder_drops = s->flight().dropped();
+        state.latency_count = snap.latency.count;
+        state.latency_sum_micros =
+            static_cast<std::uint64_t>(snap.latency.sum * 1e6 + 0.5);
+        state.latency_buckets = snap.latency.buckets;
       }
       return state;
     });
@@ -639,6 +661,11 @@ int cmd_serve(int argc, char** argv) {
     daemon.set_repl_handler(
         [publisher](std::string_view body) { return publisher->handle(body); });
     daemon.set_stats_extra([publisher] { return publisher->stats_line(); });
+    // Fleet aggregation: `!fleet` merges the per-edge heartbeat digests;
+    // the same aggregate rides `!metrics` as rpslyzer_fleet_* families.
+    publisher->set_latency_bounds(config.latency_bounds);
+    daemon.set_fleet_handler([publisher] { return publisher->fleet_payload(); });
+    daemon.set_metrics_extra([publisher] { return publisher->fleet_prometheus(); });
   } else if (rclient) {
     daemon.set_repl_handler([rclient](std::string_view body) -> std::string {
       if (body.empty()) return query::frame_response(rclient->status_payload());

@@ -103,6 +103,7 @@ int main() {
   doc["records_written"] = static_cast<std::int64_t>(recorded);
   doc["budget_disabled_ns"] = kDisabledBudgetNs;
   doc["budget_enabled_ns"] = kEnabledBudgetNs;
+  doc["gate"] = bench::gate_marker(true);  // single-thread: any host can gate
   doc["pass"] = pass;
   const std::string text = json::dump_pretty(json::Value(doc)) + "\n";
 

@@ -112,6 +112,7 @@ int main() {
   doc["enabled_histogram_ns"] = enabled_histogram_ns;
   doc["budget_disabled_ns"] = kDisabledBudgetNs;
   doc["budget_enabled_counter_ns"] = kEnabledCounterBudgetNs;
+  doc["gate"] = bench::gate_marker(true);  // single-thread: any host can gate
   doc["pass"] = pass;
   const std::string text = json::dump_pretty(json::Value(doc)) + "\n";
 

@@ -20,7 +20,12 @@
 #     within one heartbeat interval;
 #   * a SIGKILLed edge's fleet row goes stale-marked and its counters drop
 #     out of the totals and the merged latency histogram instead of
-#     poisoning the fleet p99.
+#     poisoning the fleet p99;
+#   * (journal phase) an origin applying NRTM churn batches incrementally
+#     under oracle load publishes atomically: edges converge batch by
+#     batch, a SIGKILL of the origin mid-batch never exposes a torn
+#     generation (the byte-exact oracle stays 0 wrong throughout), and the
+#     restarted origin catches up the journal before serving.
 #
 # Not a ctest: this script runs ~30s of wall-clock chaos and is meant for
 # manual runs and CI jobs that can afford it. Torn connections against a
@@ -260,6 +265,103 @@ say "stale edge excluded: totals now hits=$SUM_HITS evaluations=$SUM_MISSES"
 for n in 1 2 3; do kill -TERM "${EDGE_PID[$n]}" 2>/dev/null || true; done
 kill -TERM "$ORIGIN_PID" 2>/dev/null || true
 for n in 1 2 3; do wait "${EDGE_PID[$n]}" 2>/dev/null || true; done
+wait "$ORIGIN_PID" 2>/dev/null || true
+
+# --- phase 5: incremental journal churn under load + mid-batch kill -------
+# Fresh mini-fleet: an origin following an NRTM journal directory, two
+# edges replicating from it. Churn batches (protected so the oracle AS's
+# routes never change) land one file at a time; each must publish
+# atomically and propagate. A SIGKILL right after a batch file lands races
+# the 50ms poll + apply — whichever side of the apply the kill hits, no
+# served response may ever be torn.
+say "phase 5: journal churn (protect $ASN)"
+"$CLI" journal synth "$DIR/corpus" --out "$DIR/jstage" --batches 5 --ops 24 \
+  --seed 7 --protect "$ASN" >/dev/null
+mapfile -t BATCH_FILES < <(ls "$DIR/jstage"/batch-*.nrtm | sort)
+[ "${#BATCH_FILES[@]}" = 5 ] || { say "FAIL: expected 5 staged batches"; exit 1; }
+mkdir -p "$DIR/journal"
+
+start_origin_journal() {  # <port: 0 for ephemeral>
+  "$CLI" serve "$DIR/corpus" --journal "$DIR/journal" --journal-poll-ms 50 \
+    --publish --port "$1" --threads 2 --stats-ms 0 > "$DIR/jorigin.log" 2>&1 &
+  ORIGIN_PID=$!
+  PIDS+=("$ORIGIN_PID")
+  wait_listening "$DIR/jorigin.log"
+}
+origin_gen() { ask "$OPORT" "!repl" | sed -n 's/^gen: \([0-9]*\)$/\1/p' | head -1; }
+wait_files_done() {  # <count>
+  for _ in $(seq 1 100); do
+    ask "$OPORT" "!stats" 2>/dev/null | grep -q "files_done=$1" && return 0
+    sleep 0.1
+  done
+  say "FAIL: origin never reached files_done=$1"
+  ask "$OPORT" "!stats" || true
+  return 1
+}
+wait_origin_gen() {  # <gen> — the publish after a journal activation
+  for _ in $(seq 1 100); do
+    [ "$(origin_gen)" = "$1" ] && return 0
+    sleep 0.1
+  done
+  say "FAIL: origin never published gen $1"
+  ask "$OPORT" "!repl" || true
+  return 1
+}
+
+start_origin_journal 0
+OPORT="$(port_of "$DIR/jorigin.log")"
+say "journal origin on :$OPORT"
+for n in 4 5; do start_edge "$n"; done
+for n in 4 5; do
+  wait_listening "$DIR/edge$n.log"
+  EPORT[$n]="$(port_of "$DIR/edge$n.log")"
+done
+for n in 4 5; do wait_converged "${EPORT[$n]}" "$(origin_gen)" "edge$n (journal fleet)"; done
+
+"$LOADGEN" --port "${EPORT[4]}" --connections 2 --pipeline 4 --duration-ms 8000 \
+  --expect-file "$DIR/oracle.txt" --json "!g$ASN" "!stats" > "$DIR/load4.json" &
+LOAD4=$!
+PIDS+=("$LOAD4")
+
+for k in 0 1 2; do
+  mv "${BATCH_FILES[$k]}" "$DIR/journal/"
+  wait_files_done $((k + 1))
+  wait_origin_gen $((k + 2))       # one journal activation -> one publish
+  for n in 4 5; do wait_converged "${EPORT[$n]}" $((k + 2)) "edge$n (journal batch $((k + 1)))"; done
+  for n in 4 5; do burst "${EPORT[$n]}" "edge$n (journal batch $((k + 1)))"; done
+done
+ask "$OPORT" "!stats" | grep -q '^delta: serial=[1-9]' ||
+  { say "FAIL: origin !stats has no delta serial line"; ask "$OPORT" "!stats"; exit 1; }
+
+say "phase 5: SIGKILL origin mid-batch"
+mv "${BATCH_FILES[3]}" "$DIR/journal/"
+sleep 0.06                         # lands inside the poll + apply window
+kill -9 "$ORIGIN_PID"
+wait "$ORIGIN_PID" 2>/dev/null || true
+for n in 4 5; do burst "${EPORT[$n]}" "edge$n (journal origin down)"; done
+
+say "phase 5: restart origin; it must catch the journal up before serving"
+: > "$DIR/jorigin.log"
+start_origin_journal "$OPORT"
+wait_files_done 4
+for n in 4 5; do wait_converged "${EPORT[$n]}" "$(origin_gen)" "edge$n (origin caught up)"; done
+for n in 4 5; do burst "${EPORT[$n]}" "edge$n (origin caught up)"; done
+
+mv "${BATCH_FILES[4]}" "$DIR/journal/"
+wait_files_done 5
+wait_origin_gen 2                  # restarted origin: catch-up was gen 1
+for n in 4 5; do wait_converged "${EPORT[$n]}" 2 "edge$n (journal final)"; done
+for n in 4 5; do burst "${EPORT[$n]}" "edge$n (journal final)"; done
+
+wait "$LOAD4" || { say "FAIL: sustained load on edge4 saw failures/wrong bytes"; \
+                   cat "$DIR/load4.json"; exit 1; }
+grep -q '"wrong":0' "$DIR/load4.json" && grep -q '"failed":false' "$DIR/load4.json"
+checked="$(grep -o '"checked":[0-9]*' "$DIR/load4.json" | cut -d: -f2)"
+TOTAL_CHECKED=$((TOTAL_CHECKED + checked))
+
+for n in 4 5; do kill -TERM "${EDGE_PID[$n]}" 2>/dev/null || true; done
+kill -TERM "$ORIGIN_PID" 2>/dev/null || true
+for n in 4 5; do wait "${EDGE_PID[$n]}" 2>/dev/null || true; done
 wait "$ORIGIN_PID" 2>/dev/null || true
 
 say "ok: $TOTAL_CHECKED oracle responses checked, 0 wrong"

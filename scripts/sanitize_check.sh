@@ -24,7 +24,7 @@ cmake -B "$BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE=ON >/dev/null
 cmake --build "$BUILD" -j --target \
   server_test query_test irr_index_test fault_injection_test loader_files_test obs_test \
   parallel_loader_test shard_fuzz_test compile_snapshot_test parallel_verify_test \
-  persist_test repl_test
+  persist_test repl_test delta_test delta_fuzz_test rpslyzer_cli
 
 run_labeled() {
   local spec="$1" exclude="${2:-}" labels="${3:-fault}"
@@ -43,10 +43,16 @@ run_labeled() {
 # intended observable effect. The loader/server error paths are driven
 # programmatically by fault_injection_test, where the test controls the
 # blast radius.
-run_labeled "" "" "fault|persist|repl"
+run_labeled "" "" "fault|persist|repl|delta"
 run_labeled "server.send=delay(2ms);server.dispatch=delay(1ms)"
 run_labeled "cache.get=error;cache.put=error" 'Server\.|ResponseCache'
 run_labeled "irr.parse=truncate(65536)"
+
+# 100-batch differential-equivalence soak (incremental apply vs full
+# recompile, byte-compared after every batch) against the sanitized CLI —
+# the delta acceptance bar requires the byte-identity proof to hold under
+# ASan/UBSan, not just in the fast build.
+"$ROOT/scripts/delta_equiv_check.sh" "$BUILD/tools/rpslyzer"
 
 # TSan pass (if the toolchain supports it): the metrics registry, log gate,
 # and span recording all lean on relaxed atomics, the sharded ingestion
@@ -64,7 +70,8 @@ if cc -fsanitize=thread "$tsan_probe/probe.c" -o "$tsan_probe/probe" 2>/dev/null
   echo "== ThreadSanitizer pass =="
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE_THREAD=ON >/dev/null
   cmake --build "$TSAN_BUILD" -j --target obs_test server_test parallel_loader_test \
-    compile_snapshot_test parallel_verify_test persist_test repl_test
+    compile_snapshot_test parallel_verify_test persist_test repl_test \
+    delta_test delta_fuzz_test
   "$TSAN_BUILD/tests/obs_test"
   "$TSAN_BUILD/tests/server_test"
   "$TSAN_BUILD/tests/parallel_loader_test"
@@ -78,6 +85,12 @@ if cc -fsanitize=thread "$tsan_probe/probe.c" -o "$tsan_probe/probe" 2>/dev/null
   # event loop: condvar wakeups, atomic status counters, and the activation
   # callback crossing threads are all under the race detector here.
   "$TSAN_BUILD/tests/repl_test"
+  # The delta pipeline splits its state behind two mutexes (apply vs
+  # publish/stats) and shares immutable previous-generation tables into the
+  # next snapshot; the differential suite recompiles under that sharing on
+  # every batch, so a TSan pass here signs off the reuse scheme.
+  "$TSAN_BUILD/tests/delta_test"
+  "$TSAN_BUILD/tests/delta_fuzz_test"
 else
   echo "== ThreadSanitizer unavailable on this toolchain; skipping TSan pass =="
 fi

@@ -1,0 +1,160 @@
+#include "rpslyzer/delta/equiv.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "rpslyzer/bgp/route.hpp"
+#include "rpslyzer/query/query.hpp"
+#include "rpslyzer/verify/verifier.hpp"
+
+namespace rpslyzer::delta {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv(std::uint64_t& hash, std::string_view bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  hash ^= 0xff;  // probe separator so concatenations can't collide
+  hash *= kFnvPrime;
+}
+
+struct ProbeSet {
+  std::vector<std::string> queries;
+  std::vector<bgp::Route> routes;
+};
+
+/// Corpus-derived probes. Reads only sorted object keys (std::map order),
+/// never vector order, so both snapshots of the same corpus — however their
+/// loads ordered internal containers — derive the identical probe set.
+ProbeSet build_probes(const compile::CompiledPolicySnapshot& snapshot,
+                      const EquivalenceOptions& options) {
+  const ir::Ir& ir = snapshot.index().ir();
+  ProbeSet probes;
+
+  std::size_t n = 0;
+  for (const auto& [name, set] : ir.as_sets) {
+    if (n++ >= options.max_sets) break;
+    probes.queries.push_back("!i" + name);
+    probes.queries.push_back("!i" + name + ",1");
+    probes.queries.push_back("!a" + name);
+  }
+  n = 0;
+  for (const auto& [name, set] : ir.route_sets) {
+    if (n++ >= options.max_sets) break;
+    probes.queries.push_back("!i" + name);
+    probes.queries.push_back("!i" + name + ",1");
+  }
+  n = 0;
+  for (const auto& [asn, an] : ir.aut_nums) {
+    if (n++ >= options.max_asns) break;
+    const std::string as = "AS" + std::to_string(asn);
+    probes.queries.push_back("!g" + as);
+    probes.queries.push_back("!6" + as);
+    probes.queries.push_back("!o" + as);
+  }
+
+  if (options.include_reports) {
+    std::set<std::pair<net::Prefix, ir::Asn>> keys;
+    for (const ir::RouteObject& route : ir.routes) {
+      keys.insert({route.prefix, route.origin});
+    }
+    const relations::AsRelations& rels = snapshot.relations();
+    n = 0;
+    for (const auto& [prefix, origin] : keys) {
+      if (n++ >= options.max_routes) break;
+      // Walk up to two provider hops uphill from the origin so reports
+      // exercise both the origin-side and transit-side rule checks.
+      std::vector<bgp::Asn> path{origin};
+      for (int hop = 0; hop < 2; ++hop) {
+        const auto providers = rels.providers_of(path.back());
+        if (providers.empty()) break;
+        const bgp::Asn next = providers.front();
+        if (std::find(path.begin(), path.end(), next) != path.end()) break;
+        path.push_back(next);
+      }
+      if (path.size() == 1) {
+        const auto peers = rels.peers_of(origin);
+        path.push_back(peers.empty() ? origin + 1 : peers.front());
+      }
+      std::reverse(path.begin(), path.end());  // BGP order: origin last
+      probes.routes.push_back({prefix, std::move(path)});
+    }
+  }
+  return probes;
+}
+
+std::uint64_t digest_one(std::shared_ptr<const compile::CompiledPolicySnapshot> snapshot,
+                         const ProbeSet& probes) {
+  std::uint64_t digest = kFnvOffset;
+  const query::QueryEngine engine(*snapshot);
+  for (const std::string& q : probes.queries) fnv(digest, engine.evaluate(q));
+  if (!probes.routes.empty()) {
+    const verify::Verifier verifier(std::move(snapshot));
+    for (const bgp::Route& route : probes.routes) fnv(digest, verifier.report(route));
+  }
+  return digest;
+}
+
+std::string excerpt(std::string_view text) {
+  constexpr std::size_t kMax = 160;
+  if (text.size() <= kMax) return std::string(text);
+  return std::string(text.substr(0, kMax)) + "...";
+}
+
+}  // namespace
+
+EquivalenceResult compare_snapshots(
+    std::shared_ptr<const compile::CompiledPolicySnapshot> left,
+    std::shared_ptr<const compile::CompiledPolicySnapshot> right,
+    const EquivalenceOptions& options) {
+  EquivalenceResult result;
+  result.digest_left = kFnvOffset;
+  result.digest_right = kFnvOffset;
+  const ProbeSet probes = build_probes(*left, options);
+
+  const auto check = [&](const std::string& label, const std::string& a,
+                         const std::string& b) {
+    ++result.probes;
+    fnv(result.digest_left, a);
+    fnv(result.digest_right, b);
+    if (a == b) return;
+    ++result.mismatches;
+    result.equal = false;
+    if (result.first_mismatch.empty()) {
+      result.first_mismatch =
+          label + ":\n  left:  " + excerpt(a) + "\n  right: " + excerpt(b);
+    }
+  };
+
+  {
+    const query::QueryEngine left_engine(*left);
+    const query::QueryEngine right_engine(*right);
+    for (const std::string& q : probes.queries) {
+      check(q, left_engine.evaluate(q), right_engine.evaluate(q));
+    }
+  }
+  if (!probes.routes.empty()) {
+    const verify::Verifier left_verifier(left);
+    const verify::Verifier right_verifier(right);
+    for (const bgp::Route& route : probes.routes) {
+      check("report " + route.prefix.to_string(), left_verifier.report(route),
+            right_verifier.report(route));
+    }
+  }
+  return result;
+}
+
+std::uint64_t snapshot_digest(
+    std::shared_ptr<const compile::CompiledPolicySnapshot> snapshot,
+    const EquivalenceOptions& options) {
+  const ProbeSet probes = build_probes(*snapshot, options);
+  return digest_one(std::move(snapshot), probes);
+}
+
+}  // namespace rpslyzer::delta

@@ -94,6 +94,14 @@ void Index::prewarm() const {
   }
 }
 
+void Index::seed_flattened(std::string_view name, FlattenedAsSet value) const {
+  if (as_set(name) == nullptr) return;  // only defined sets carry memo entries
+  // Seeds are complete closures by contract, so they enter untainted; a
+  // stale tainted marker from an earlier partial computation is cleared.
+  tainted_.erase(std::string(name));
+  flattened_.insert_or_assign(std::string(name), std::move(value));
+}
+
 const FlattenedAsSet* Index::flattened(std::string_view name) const {
   if (as_set(name) == nullptr) return nullptr;
   FlattenState state;

@@ -1,0 +1,76 @@
+#pragma once
+// Synthetic IRR churn: NRTM-style journal batches generated against a
+// ground-truth corpus.
+//
+// The delta pipeline's differential harness needs realistic mutation
+// streams — route add/withdraw, set membership edits, policy edits, replay
+// and serial gaps — with a seeded, reproducible mix. The generator catalogs
+// the corpus dumps once, then emits batches whose operations stay
+// internally consistent (DELs target objects that exist, modifications
+// re-emit the current attribute list) while exercising the edge cases the
+// pipeline must survive: DEL of nonexistent objects, duplicate serials via
+// replayed ops, and serial gaps between and within batches.
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rpslyzer/delta/journal.hpp"
+#include "rpslyzer/rpsl/object_lexer.hpp"
+#include "rpslyzer/synth/topology.hpp"
+
+namespace rpslyzer::synth {
+
+struct ChurnConfig {
+  std::uint32_t seed = 1;
+  std::size_t ops_per_batch = 20;
+  std::uint64_t start_serial = 1;
+  /// Route objects with these origins are never added or deleted — the
+  /// chaos harness pins its byte-exact `!g` oracle to a protected AS.
+  std::set<Asn> protect_origins;
+};
+
+class ChurnGenerator {
+ public:
+  /// Catalogs `dumps` (IRR name -> RPSL text, e.g. RpslGenerator output).
+  ChurnGenerator(const std::map<std::string, std::string>& dumps, ChurnConfig config);
+
+  /// Next batch; deterministic for a given (dumps, config). Serials advance
+  /// with occasional gaps; most batches lead with a replay of the previous
+  /// batch's final op (same serial — the consumer must skip it).
+  delta::JournalBatch next_batch();
+
+  std::uint64_t next_serial() const noexcept { return serial_; }
+
+ private:
+  struct RouteEntry {
+    std::string source;
+    std::string prefix;  // text form
+    Asn origin = 0;
+    bool v6 = false;
+  };
+  struct ObjectEntry {  // aut-num or as-set, kept re-renderable for edits
+    std::string source;
+    rpsl::RawObject raw;
+  };
+
+  delta::JournalOp make_op(std::uint64_t serial);
+  std::string fresh_prefix(bool v6);
+
+  ChurnConfig config_;
+  std::mt19937 rng_;
+  std::uint64_t serial_;
+  std::vector<std::string> source_names_;
+  std::vector<RouteEntry> routes_;
+  std::vector<ObjectEntry> aut_nums_;
+  std::vector<ObjectEntry> as_sets_;
+  std::vector<Asn> known_asns_;
+  std::set<std::string> used_prefixes_;
+  std::uint64_t prefix_counter_ = 0;
+  std::vector<delta::JournalOp> last_tail_;  // previous batch's final op
+};
+
+}  // namespace rpslyzer::synth

@@ -1,0 +1,216 @@
+// Fuzz the journal surface of the delta pipeline: malformed batch texts —
+// truncation, CRLF endings, interleaved garbage paragraphs, out-of-order
+// serials, framing damage — must be refused atomically, with the last-good
+// generation still serving. Follows shard_fuzz_test.cpp's fixed-seed
+// pattern; override with RPSLYZER_FUZZ_SEED to explore (CI stays
+// deterministic on the default).
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rpslyzer/delta/equiv.hpp"
+#include "rpslyzer/delta/follower.hpp"
+#include "rpslyzer/delta/journal.hpp"
+#include "rpslyzer/delta/pipeline.hpp"
+#include "rpslyzer/synth/churn.hpp"
+#include "rpslyzer/synth/generator.hpp"
+
+namespace rpslyzer::delta {
+namespace {
+
+std::uint32_t seed_from_env() {
+  if (const char* env = std::getenv("RPSLYZER_FUZZ_SEED")) {
+    return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 20260806u;
+}
+
+const synth::InternetGenerator& generator() {
+  static const synth::InternetGenerator g = [] {
+    synth::SynthConfig config;
+    config.scale = 0.04;
+    config.seed = 23;
+    return synth::InternetGenerator(config);
+  }();
+  return g;
+}
+
+std::vector<std::pair<std::string, std::string>> ordered_dumps() {
+  std::vector<std::pair<std::string, std::string>> dumps;
+  for (const auto& name : synth::irr_names()) {
+    dumps.emplace_back(name, generator().irr_dumps().at(name));
+  }
+  return dumps;
+}
+
+/// Corruptions that must make a valid journal text unparseable. Each is
+/// guaranteed-fatal by the format's rules, so the property is strict:
+/// parse_journal returns nullopt with a reason.
+std::string corrupt(const std::string& text, std::mt19937& rng) {
+  const auto pick = [&](std::size_t lo, std::size_t hi) {
+    return std::uniform_int_distribution<std::size_t>(lo, hi)(rng);
+  };
+  std::string out = text;
+  switch (pick(0, 6)) {
+    case 0: {  // truncate strictly inside the text: %END vanishes or tears
+      // (cutting only the final '\n' would still parse — the line splitter
+      // tolerates a missing trailing newline — so cut at least 2 bytes,
+      // which always tears the %END serial)
+      out.resize(pick(0, out.size() - 2));
+      return out;
+    }
+    case 1: {  // CRLF-ify one line ending (the format demands bare LF)
+      std::vector<std::size_t> newlines;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i] == '\n') newlines.push_back(i);
+      }
+      out.insert(newlines[pick(0, newlines.size() - 1)], 1, '\r');
+      return out;
+    }
+    case 2: {  // interleave a garbage paragraph after the first op header
+      const std::size_t header_end = out.find("\n\n", out.find("%START"));
+      out.insert(header_end + 2, "this is not rpsl at all\njust noise\n\n");
+      return out;
+    }
+    case 3: {  // out-of-order serials: rewrite the last op's serial to 0
+      const std::size_t add = out.rfind("ADD ");
+      const std::size_t del = out.rfind("DEL ");
+      const std::size_t op =
+          (add == std::string::npos)                        ? del
+          : (del == std::string::npos || add > del) ? add : del;
+      const std::size_t serial_start = op + 4;
+      const std::size_t serial_end = out.find(' ', serial_start);
+      out.replace(serial_start, serial_end - serial_start, "0");
+      return out;
+    }
+    case 4:  // content after %END
+      out += "ADD 999999 RADB\n\naut-num: AS999999\n";
+      return out;
+    case 5: {  // %START serial disagrees with the first op
+      const std::size_t start = out.find("%START ");
+      const std::size_t eol = out.find('\n', start);
+      out.replace(start, eol - start, "%START 999999999");
+      return out;
+    }
+    default:  // drop the %START line entirely
+      out.erase(0, out.find('\n') + 1);
+      return out;
+  }
+}
+
+TEST(DeltaFuzz, CorruptedJournalsAreRefusedWithReasons) {
+  std::mt19937 rng(seed_from_env());
+  synth::ChurnConfig config;
+  config.seed = seed_from_env() ^ 0x85ebca6bu;
+  config.ops_per_batch = 6;
+  synth::ChurnGenerator churn(generator().irr_dumps(), config);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    SCOPED_TRACE("iteration=" + std::to_string(iteration));
+    const std::string valid = render_journal(churn.next_batch());
+    ASSERT_TRUE(parse_journal(valid).has_value());
+    const std::string damaged = corrupt(valid, rng);
+    std::string error;
+    EXPECT_FALSE(parse_journal(damaged, &error).has_value())
+        << "damaged text parsed:\n"
+        << damaged;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(DeltaFuzz, RefusedBatchesNeverDisturbTheServingGeneration) {
+  DeltaPipeline pipeline(ordered_dumps(), generator().caida_serial1());
+  synth::ChurnConfig config;
+  config.seed = seed_from_env() ^ 0xfd7046c5u;
+  config.ops_per_batch = 6;
+  synth::ChurnGenerator churn(generator().irr_dumps(), config);
+
+  EquivalenceOptions digest_options;
+  digest_options.max_sets = 30;
+  digest_options.max_asns = 30;
+  digest_options.max_routes = 20;
+
+  for (int round = 0; round < 12; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    const JournalBatch good = churn.next_batch();
+
+    // A batch whose op refers to an unknown source refuses at prepare time;
+    // the serving generation pointer and its observable behavior (digest)
+    // must be exactly what they were.
+    const auto before = pipeline.current();
+    const std::uint64_t digest_before =
+        snapshot_digest(pipeline.current_snapshot(), digest_options);
+    // Poison the final op: its serial is always beyond the applied serial,
+    // so it cannot be skipped as idempotent replay before validation (the
+    // batch's replay-lead op legitimately would be).
+    JournalBatch poisoned = good;
+    poisoned.ops.back().source = "NOT-A-SOURCE";
+    const ApplyResult refused = pipeline.apply(poisoned);
+    EXPECT_TRUE(refused.refused);
+    EXPECT_EQ(pipeline.current().get(), before.get());
+    EXPECT_EQ(snapshot_digest(pipeline.current_snapshot(), digest_options),
+              digest_before);
+
+    // The intact batch then applies on top of the undisturbed store.
+    const ApplyResult applied = pipeline.apply(good);
+    ASSERT_TRUE(applied.applied) << applied.error;
+  }
+}
+
+TEST(DeltaFuzz, FollowerStopsAtTruncatedFileAndRecovers) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "delta_fuzz_journal";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  synth::ChurnConfig config;
+  config.seed = seed_from_env() ^ 0x94d049bbu;
+  config.ops_per_batch = 5;
+  synth::ChurnGenerator churn(generator().irr_dumps(), config);
+  const JournalBatch first = churn.next_batch();
+  const JournalBatch second = churn.next_batch();
+  const JournalBatch third = churn.next_batch();
+
+  const auto write = [&](const JournalBatch& batch, bool truncated) {
+    std::string text = render_journal(batch);
+    if (truncated) text.resize(text.size() / 2);
+    std::ofstream out(dir / journal_file_name(batch.first_serial), std::ios::binary);
+    out << text;
+  };
+  write(first, false);
+  write(second, true);  // torn mid-upload
+  write(third, false);
+
+  auto pipeline =
+      std::make_shared<DeltaPipeline>(ordered_dumps(), generator().caida_serial1());
+  FollowerConfig follower_config;
+  follower_config.directory = dir;
+  JournalFollower follower(pipeline, follower_config);
+
+  // The scan stops at the poisoned file to preserve serial order: batch 1
+  // applies, batches 2 and 3 wait.
+  EXPECT_EQ(follower.poll_now(), 1u);
+  EXPECT_EQ(pipeline->applied_serial(), first.last_serial);
+  EXPECT_NE(follower.stats_line().find("poisoned="), std::string::npos)
+      << follower.stats_line();
+
+  // Same truncated file again: still poisoned, no progress, no re-parse churn.
+  EXPECT_EQ(follower.poll_now(), 0u);
+
+  // The writer finishes the upload (size changes): both remaining batches
+  // land in order on the next poll.
+  write(second, false);
+  EXPECT_EQ(follower.poll_now(), 2u);
+  EXPECT_EQ(pipeline->applied_serial(), third.last_serial);
+  EXPECT_EQ(follower.stats_line().find("poisoned="), std::string::npos)
+      << follower.stats_line();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rpslyzer::delta

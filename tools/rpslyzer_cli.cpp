@@ -8,6 +8,7 @@
 //   rpslyzer verify <dir>                    verify collector-*.dump files
 //   rpslyzer query <dir> <!query...>         evaluate IRRd queries, print framed
 //   rpslyzer compile <dir> --out <snap>      compile + write a snapshot file
+//   rpslyzer journal synth|apply <dir> ...   generate / apply NRTM delta journals
 //   rpslyzer serve <dir>|--synth [flags]     run the rpslyzerd query daemon
 //
 // <dir> holds <irr>.db dumps (Table 1 names) plus relationships.txt and,
@@ -18,10 +19,15 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <sstream>
 
+#include "rpslyzer/delta/equiv.hpp"
+#include "rpslyzer/delta/follower.hpp"
 #include "rpslyzer/lint/classify.hpp"
 #include "rpslyzer/lint/linter.hpp"
 #include "rpslyzer/obs/log.hpp"
@@ -36,6 +42,7 @@
 #include "rpslyzer/rpslyzer.hpp"
 #include "rpslyzer/server/server.hpp"
 #include "rpslyzer/stats/census.hpp"
+#include "rpslyzer/synth/churn.hpp"
 #include "rpslyzer/synth/generator.hpp"
 #include "rpslyzer/verify/parallel.hpp"
 
@@ -62,6 +69,16 @@ int usage() {
                "  compile <dir> --out <snap> [--threads N]\n"
                "                                  parse + compile, write a relocatable\n"
                "                                  snapshot file loadable via mmap\n"
+               "  journal synth <dir> --out JDIR [--batches N] [--ops M] [--seed S]\n"
+               "                [--start-serial S] [--protect ASN]\n"
+               "                                  emit seeded NRTM churn batches against\n"
+               "                                  the corpus (--protect: never touch that\n"
+               "                                  origin's routes; repeatable)\n"
+               "  journal apply <dir> --journal JDIR [--verify-full] [--threads N]\n"
+               "                                  apply batches through the incremental\n"
+               "                                  delta pipeline (--verify-full: after\n"
+               "                                  every batch, compare byte-for-byte\n"
+               "                                  against a from-scratch compile)\n"
                "  serve <dir>|--synth|--snapshot <snap> [flags]\n"
                "                                  run the rpslyzerd query daemon\n"
                "    serve flags: [--port N] [--threads N] [--cache N] [--max-conns N]\n"
@@ -70,6 +87,11 @@ int usage() {
                "                 [--retry-max-ms N] [--scale F] [--seed N]\n"
                "                 [--metrics-file PATH] [--metrics-file-ms N]\n"
                "                 [--snapshot-cache DIR]\n"
+               "                 [--journal JDIR [--journal-poll-ms N]]\n"
+               "                                  follow an NRTM journal directory: each\n"
+               "                                  batch publishes a new generation via\n"
+               "                                  the incremental delta pipeline (needs a\n"
+               "                                  corpus <dir>; default poll 1000 ms)\n"
                "                 [--slow-ms N]    copy queries slower than N ms into the\n"
                "                                  `!slow` log (0 = off)\n"
                "                 [--flight-cap N] flight-recorder ring capacity (0 = off;\n"
@@ -104,6 +126,29 @@ bool corpus_dir_ok(const std::filesystem::path& dir) {
   std::fprintf(stderr, "%s: %s\n", dir.c_str(),
                ec ? "cannot read directory" : "no .db dump files found");
   return false;
+}
+
+std::optional<std::string> read_text_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buffer).str();
+}
+
+// Dump texts in Table 1 priority order — what the delta pipeline's
+// CorpusStore and the churn generator both catalog. Missing files degrade
+// like the batch loader (skipped).
+std::vector<std::pair<std::string, std::string>> read_dumps(
+    const std::filesystem::path& dir) {
+  std::vector<std::pair<std::string, std::string>> dumps;
+  for (const irr::IrrSource& source : irr::table1_sources(dir)) {
+    if (auto text = read_text_file(source.path)) {
+      dumps.emplace_back(source.name, std::move(*text));
+    }
+  }
+  return dumps;
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -363,6 +408,183 @@ int cmd_compile(int argc, char** argv) {
   return 0;
 }
 
+int cmd_journal_synth(const std::filesystem::path& dir, int argc, char** argv) {
+  std::string out_dir;
+  std::size_t batches = 10;
+  synth::ChurnConfig churn_config;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--out") {
+      const char* v = next_value();
+      if (!v) return usage();
+      out_dir = v;
+    } else if (arg == "--batches") {
+      const char* v = next_value();
+      if (!v) return usage();
+      batches = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--ops") {
+      const char* v = next_value();
+      if (!v) return usage();
+      churn_config.ops_per_batch = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--seed") {
+      const char* v = next_value();
+      if (!v) return usage();
+      churn_config.seed = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--start-serial") {
+      const char* v = next_value();
+      if (!v) return usage();
+      churn_config.start_serial = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--protect") {
+      const char* v = next_value();
+      if (!v) return usage();
+      churn_config.protect_origins.insert(
+          static_cast<synth::Asn>(std::atoll(*v == 'A' || *v == 'a' ? v + 2 : v)));
+    } else {
+      std::fprintf(stderr, "journal synth: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (out_dir.empty() || batches == 0) return usage();
+  if (!corpus_dir_ok(dir)) return 1;
+  std::map<std::string, std::string> dumps;
+  for (auto& [name, text] : read_dumps(dir)) dumps.emplace(name, std::move(text));
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  synth::ChurnGenerator churn(dumps, churn_config);
+  for (std::size_t b = 0; b < batches; ++b) {
+    const delta::JournalBatch batch = churn.next_batch();
+    const std::filesystem::path path =
+        std::filesystem::path(out_dir) / delta::journal_file_name(batch.first_serial);
+    // Write via tmp + rename so a concurrent follower never sees a torn file.
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out << delta::render_journal(batch);
+      if (!out) {
+        std::fprintf(stderr, "journal synth: cannot write %s\n", tmp.c_str());
+        return 1;
+      }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      std::fprintf(stderr, "journal synth: rename %s: %s\n", tmp.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu ops, serials %llu..%llu)\n", path.c_str(), batch.ops.size(),
+                static_cast<unsigned long long>(batch.first_serial),
+                static_cast<unsigned long long>(batch.last_serial));
+  }
+  return 0;
+}
+
+int cmd_journal_apply(const std::filesystem::path& dir, int argc, char** argv) {
+  std::string journal_dir;
+  bool verify_full = false;
+  irr::LoadOptions load_options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--journal") {
+      const char* v = next_value();
+      if (!v) return usage();
+      journal_dir = v;
+    } else if (arg == "--verify-full") {
+      verify_full = true;
+    } else if (arg == "--threads") {
+      const char* v = next_value();
+      if (!v) return usage();
+      load_options.threads = static_cast<unsigned>(std::atoi(v));
+    } else {
+      std::fprintf(stderr, "journal apply: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (journal_dir.empty()) return usage();
+  if (!corpus_dir_ok(dir)) return 1;
+  const auto relationships = read_text_file(dir / "relationships.txt");
+  if (!relationships) {
+    std::fprintf(stderr, "journal apply: cannot read %s\n",
+                 (dir / "relationships.txt").c_str());
+    return 1;
+  }
+  const auto files = delta::list_journal_files(journal_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "journal apply: no .nrtm batch files in %s\n",
+                 journal_dir.c_str());
+    return 1;
+  }
+  try {
+    auto pipeline =
+        std::make_shared<delta::DeltaPipeline>(read_dumps(dir), *relationships);
+    for (const std::filesystem::path& path : files) {
+      const auto text = read_text_file(path);
+      if (!text) {
+        std::fprintf(stderr, "journal apply: cannot read %s\n", path.c_str());
+        return 1;
+      }
+      std::string parse_error;
+      const auto batch = delta::parse_journal(*text, &parse_error);
+      if (!batch) {
+        std::fprintf(stderr, "journal apply: %s: %s\n", path.c_str(),
+                     parse_error.c_str());
+        return 1;
+      }
+      const delta::ApplyResult result = pipeline->apply(*batch);
+      if (result.refused) {
+        std::fprintf(stderr, "journal apply: %s refused: %s\n", path.c_str(),
+                     result.error.c_str());
+        return 1;
+      }
+      const auto generation = pipeline->current();
+      std::printf("%s: serials %llu..%llu ops=%zu skipped=%zu dirty=%zu gen=%llu%s\n",
+                  path.filename().c_str(),
+                  static_cast<unsigned long long>(batch->first_serial),
+                  static_cast<unsigned long long>(batch->last_serial),
+                  result.ops_applied, result.ops_skipped, result.dirty_objects,
+                  static_cast<unsigned long long>(generation->number),
+                  generation->stats.full_rebuild ? " (full rebuild)" : "");
+      if (verify_full && result.applied) {
+        // Reference side: from-scratch compile of the mutated corpus through
+        // the ordinary batch loader. Byte equality here is the pipeline's
+        // whole correctness contract.
+        auto lyzer = std::make_shared<Rpslyzer>(Rpslyzer::from_texts(
+            pipeline->store().source_texts(), *relationships, load_options));
+        auto snapshot = lyzer->snapshot();
+        const std::shared_ptr<const compile::CompiledPolicySnapshot> reference{
+            std::move(lyzer), snapshot.get()};
+        const delta::EquivalenceResult eq =
+            delta::compare_snapshots(pipeline->current_snapshot(), reference);
+        if (!eq.equal) {
+          std::fprintf(stderr,
+                       "journal apply: %s: incremental snapshot diverged from full "
+                       "compile (%zu/%zu probes mismatched)\n%s\n",
+                       path.c_str(), eq.mismatches, eq.probes,
+                       eq.first_mismatch.c_str());
+          return 1;
+        }
+        std::printf("  equiv ok: %zu probes, digest %016llx\n", eq.probes,
+                    static_cast<unsigned long long>(eq.digest_left));
+      }
+    }
+    std::printf("%s\n", pipeline->stats_line().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "journal apply: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_journal(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view mode = argv[0];
+  const std::filesystem::path dir = argv[1];
+  if (mode == "synth") return cmd_journal_synth(dir, argc - 2, argv + 2);
+  if (mode == "apply") return cmd_journal_apply(dir, argc - 2, argv + 2);
+  return usage();
+}
+
 // `serve` wires signals straight into the daemon: SIGINT/SIGTERM drain and
 // stop, SIGHUP reloads the corpus (both entry points are async-signal-safe).
 server::Server* g_server = nullptr;
@@ -379,6 +601,8 @@ int cmd_serve(int argc, char** argv) {
   std::string data_dir;
   std::string snapshot_path;
   std::string snapshot_cache_dir;
+  std::string journal_dir;
+  std::chrono::milliseconds journal_poll_ms{1000};
   bool synthetic = false;
   double scale = 0.2;
   std::uint32_t seed = 7;
@@ -405,6 +629,14 @@ int cmd_serve(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return usage();
       snapshot_cache_dir = v;
+    } else if (arg == "--journal") {
+      const char* v = next_value();
+      if (!v) return usage();
+      journal_dir = v;
+    } else if (arg == "--journal-poll-ms") {
+      const char* v = next_value();
+      if (!v) return usage();
+      journal_poll_ms = std::chrono::milliseconds(std::atoll(v));
     } else if (arg == "--port") {
       const char* v = next_value();
       if (!v) return usage();
@@ -521,8 +753,17 @@ int cmd_serve(int argc, char** argv) {
   }
   // --snapshot-cache only makes sense when reloads re-read a data dir.
   if (!snapshot_cache_dir.empty() && data_dir.empty()) return usage();
+  // --journal follows a corpus dir through the incremental delta pipeline;
+  // it subsumes reload-from-disk, so the snapshot cache does not apply.
+  if (!journal_dir.empty() && (data_dir.empty() || !snapshot_cache_dir.empty())) {
+    return usage();
+  }
 
   server::CorpusLoader loader;
+  // Journal mode: the delta pipeline owns the corpus; the follower feeds it
+  // batches and a reload just republishes the pipeline's current generation.
+  std::shared_ptr<delta::DeltaPipeline> pipeline;
+  std::shared_ptr<delta::JournalFollower> follower;
   // The daemon's --threads knob doubles as ingestion parallelism: the
   // initial load and every SIGHUP/!reload re-ingest through the sharded
   // parallel pipeline with the same thread budget as the worker pool.
@@ -553,6 +794,32 @@ int cmd_serve(int argc, char** argv) {
       // returned pointer also owns the Rpslyzer bundle.
       auto snapshot = lyzer->snapshot();
       return {std::move(lyzer), snapshot.get()};
+    };
+  } else if (!journal_dir.empty()) {
+    if (!corpus_dir_ok(data_dir)) return 1;
+    const auto relationships = read_text_file(std::filesystem::path(data_dir) /
+                                              "relationships.txt");
+    if (!relationships) {
+      std::fprintf(stderr, "rpslyzerd: cannot read %s/relationships.txt\n",
+                   data_dir.c_str());
+      return 1;
+    }
+    try {
+      pipeline = std::make_shared<delta::DeltaPipeline>(read_dumps(data_dir),
+                                                        *relationships);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rpslyzerd: delta pipeline: %s\n", e.what());
+      return 1;
+    }
+    delta::FollowerConfig follower_config;
+    follower_config.directory = journal_dir;
+    follower_config.poll_interval = journal_poll_ms;
+    follower = std::make_shared<delta::JournalFollower>(pipeline, follower_config);
+    // Catch up on any batches already on disk before the daemon starts, so
+    // the first served generation reflects the full journal.
+    follower->poll_now();
+    loader = [pipeline]() -> std::shared_ptr<const compile::CompiledPolicySnapshot> {
+      return pipeline->current_snapshot();
     };
   } else {
     loader = [data_dir, snapshot_cache_dir,
@@ -673,6 +940,15 @@ int cmd_serve(int argc, char** argv) {
     });
     daemon.set_stats_extra([rclient] { return rclient->stats_line(); });
   }
+  if (follower) {
+    if (publisher) {
+      daemon.set_stats_extra([publisher, follower] {
+        return publisher->stats_line() + "\n" + follower->stats_line();
+      });
+    } else {
+      daemon.set_stats_extra([follower] { return follower->stats_line(); });
+    }
+  }
   std::string error;
   if (!daemon.start(&error)) {
     std::fprintf(stderr, "rpslyzerd: %s\n", error.c_str());
@@ -680,6 +956,14 @@ int cmd_serve(int argc, char** argv) {
     return 1;
   }
   daemon_slot->store(&daemon);
+  if (follower) {
+    // Each applied batch published a new generation; the reload just swaps
+    // the daemon's snapshot pointer (and republishes when --publish is on).
+    follower->set_activation_callback([daemon_slot](std::uint64_t) {
+      if (auto* s = daemon_slot->load()) s->request_reload();
+    });
+    follower->start();
+  }
   g_server = &daemon;
   std::signal(SIGINT, on_stop_signal);
   std::signal(SIGTERM, on_stop_signal);
@@ -687,7 +971,8 @@ int cmd_serve(int argc, char** argv) {
   const std::string corpus_desc = !origin_spec.empty() ? "repl:" + origin_spec
                                   : synthetic          ? std::string("synthetic")
                                   : !snapshot_path.empty() ? snapshot_path
-                                                           : data_dir;
+                                  : !journal_dir.empty() ? data_dir + " journal:" + journal_dir
+                                                         : data_dir;
   std::printf("rpslyzerd listening on %s:%u (workers=%u cache=%zu corpus=%s%s)\n",
               config.bind_address.c_str(), daemon.port(), config.worker_threads,
               config.cache_capacity, corpus_desc.c_str(), publish ? " publish" : "");
@@ -695,6 +980,7 @@ int cmd_serve(int argc, char** argv) {
   daemon.wait();
   const std::string final_stats = daemon.stats_payload();
   daemon_slot->store(nullptr);
+  if (follower) follower->stop();
   if (rclient) rclient->stop();
   daemon.stop();
   g_server = nullptr;
@@ -739,6 +1025,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(command, "verify") == 0) return cmd_verify(argc, argv);
   if (std::strcmp(command, "query") == 0) return cmd_query(argc, argv);
   if (std::strcmp(command, "compile") == 0) return cmd_compile(argc, argv);
+  if (std::strcmp(command, "journal") == 0) return cmd_journal(argc, argv);
   if (std::strcmp(command, "serve") == 0) return cmd_serve(argc, argv);
   return usage();
 }

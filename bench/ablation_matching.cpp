@@ -172,7 +172,7 @@ bool recursive_contains(const ir::Ir& ir, std::string_view name, ir::Asn asn,
     if (member.kind == ir::AsSetMember::Kind::kAsn && member.asn == asn) {
       found = true;
     } else if (member.kind == ir::AsSetMember::Kind::kSet &&
-               recursive_contains(ir, member.name, asn, visiting)) {
+               recursive_contains(ir, ir::sym_view(member.name), asn, visiting)) {
       found = true;
     }
     if (found) break;

@@ -5,10 +5,21 @@
 // only — perf_metrics_overhead links rpslyzer_json but not bench_common.
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "rpslyzer/json/json.hpp"
+
+// Total operator-new calls so far, counted by bench/alloc_probe.cpp. Weak:
+// binaries that do not link the probe (perf_metrics_overhead links only
+// rpslyzer_json) resolve it to null and record allocations = -1 ("not
+// instrumented") instead of failing to link.
+extern "C" std::uint64_t rpslyzer_bench_alloc_count() __attribute__((weak));
 
 namespace rpslyzer::bench {
 
@@ -16,8 +27,33 @@ inline unsigned hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+/// Peak resident set size of this process in KiB, or 0 when the platform
+/// offers no getrusage. Stamped into BENCH_*.json: a throughput number from
+/// a run that also doubled its footprint is a regression, not a win.
+inline std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss / 1024);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Heap allocation count so far, or -1 when alloc_probe is not linked in.
+inline std::int64_t allocation_count() {
+  if (rpslyzer_bench_alloc_count == nullptr) return -1;
+  return static_cast<std::int64_t>(rpslyzer_bench_alloc_count());
+}
+
 inline void add_host_metadata(json::Object& doc) {
   doc["hardware_threads"] = static_cast<std::int64_t>(hardware_threads());
+  doc["peak_rss_kb"] = peak_rss_kb();
+  doc["allocations"] = allocation_count();
 #if defined(__clang__)
   doc["compiler"] = std::string("clang ") + __VERSION__;
 #elif defined(__GNUC__)

@@ -208,11 +208,15 @@ int write_parsing_json() {
     row["threads"] = static_cast<std::int64_t>(point.threads);
     row["seconds"] = point.seconds;
     row["bytes_per_second"] = point.bytes_per_second;
+    // Normalized per worker thread: the honest cross-host comparison (a
+    // 1-core box and a 16-core box report comparable numbers here).
+    row["bytes_per_second_per_core"] = point.bytes_per_second / point.threads;
     row["objects_per_second"] = point.objects_per_second;
     row["speedup_vs_serial"] = point.speedup;
     points.emplace_back(std::move(row));
   }
   doc["sweep"] = points;
+  doc["single_thread_bytes_per_second"] = sweep[0].bytes_per_second;
   doc["gate_speedup_at_4_threads"] = 2.0;
   doc["gate_applicable"] = gate_applicable;
   doc["gate"] = bench::gate_marker(gate_applicable);

@@ -36,8 +36,8 @@ struct ServerFixture {
     }
     taken = 0;
     for (const auto& [name, set] : ir.as_sets) {
-      queries.push_back("!i" + set.name + ",1");
-      queries.push_back("!a4" + set.name);
+      queries.push_back("!i" + ir::to_string(set.name) + ",1");
+      queries.push_back("!a4" + ir::to_string(set.name));
       if (++taken >= 16) break;
     }
     std::string error;

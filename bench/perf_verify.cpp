@@ -168,6 +168,7 @@ int write_verify_json() {
     row["threads"] = static_cast<std::int64_t>(threads);
     row["seconds"] = seconds;
     row["routes_per_second"] = route_count / seconds;
+    row["routes_per_second_per_core"] = route_count / seconds / threads;
     row["speedup_vs_single"] = snapshot_seconds / seconds;
     sweep.emplace_back(std::move(row));
   }

@@ -24,7 +24,8 @@ cmake -B "$BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE=ON >/dev/null
 cmake --build "$BUILD" -j --target \
   server_test query_test irr_index_test fault_injection_test loader_files_test obs_test \
   parallel_loader_test shard_fuzz_test compile_snapshot_test parallel_verify_test \
-  persist_test repl_test delta_test delta_fuzz_test rpslyzer_cli
+  persist_test repl_test delta_test delta_fuzz_test arena_interner_test rand_test \
+  rpslyzer_cli
 
 run_labeled() {
   local spec="$1" exclude="${2:-}" labels="${3:-fault}"
@@ -43,7 +44,7 @@ run_labeled() {
 # intended observable effect. The loader/server error paths are driven
 # programmatically by fault_injection_test, where the test controls the
 # blast radius.
-run_labeled "" "" "fault|persist|repl|delta"
+run_labeled "" "" "fault|persist|repl|delta|parallel"
 run_labeled "server.send=delay(2ms);server.dispatch=delay(1ms)"
 run_labeled "cache.get=error;cache.put=error" 'Server\.|ResponseCache'
 run_labeled "irr.parse=truncate(65536)"
@@ -53,6 +54,12 @@ run_labeled "irr.parse=truncate(65536)"
 # the delta acceptance bar requires the byte-identity proof to hold under
 # ASan/UBSan, not just in the fast build.
 "$ROOT/scripts/delta_equiv_check.sh" "$BUILD/tools/rpslyzer"
+
+# Leak + footprint gate: a synthetic load+verify run of the sanitized CLI
+# under LeakSanitizer must report zero definite leaks and stay under the
+# peak-RSS ceiling (the arena/interner refactor trades copies for pooled
+# storage; this is the check that the pools do not merely hide growth).
+"$ROOT/scripts/alloc_check.sh" "$BUILD/tools/rpslyzer"
 
 # TSan pass (if the toolchain supports it): the metrics registry, log gate,
 # and span recording all lean on relaxed atomics, the sharded ingestion
@@ -71,7 +78,7 @@ if cc -fsanitize=thread "$tsan_probe/probe.c" -o "$tsan_probe/probe" 2>/dev/null
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DRPSLYZER_SANITIZE_THREAD=ON >/dev/null
   cmake --build "$TSAN_BUILD" -j --target obs_test server_test parallel_loader_test \
     compile_snapshot_test parallel_verify_test persist_test repl_test \
-    delta_test delta_fuzz_test
+    delta_test delta_fuzz_test arena_interner_test
   "$TSAN_BUILD/tests/obs_test"
   "$TSAN_BUILD/tests/server_test"
   "$TSAN_BUILD/tests/parallel_loader_test"
@@ -91,6 +98,10 @@ if cc -fsanitize=thread "$tsan_probe/probe.c" -o "$tsan_probe/probe" 2>/dev/null
   # every batch, so a TSan pass here signs off the reuse scheme.
   "$TSAN_BUILD/tests/delta_test"
   "$TSAN_BUILD/tests/delta_fuzz_test"
+  # The interner's lock-free read path (acquire cell loads against the
+  # locked insert's release publication) is precisely the kind of
+  # annotation-free synchronization TSan exists to audit.
+  "$TSAN_BUILD/tests/arena_interner_test"
 else
   echo "== ThreadSanitizer unavailable on this toolchain; skipping TSan pass =="
 fi

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <set>
 #include <span>
 #include <string>
@@ -40,6 +41,7 @@
 #include "rpslyzer/irr/index.hpp"
 #include "rpslyzer/net/prefix_trie.hpp"
 #include "rpslyzer/relations/relations.hpp"
+#include "rpslyzer/util/interner.hpp"
 
 namespace rpslyzer::persist {
 class SnapshotCodec;
@@ -197,7 +199,7 @@ class CompiledPolicySnapshot : public aspath::AsSetMembership {
   /// Monotone process-wide id for in-process builds; a snapshot restored
   /// from an arena file reports the id recorded at write time instead.
   std::uint64_t build_id() const noexcept { return build_id_; }
-  std::size_t interned_symbols() const noexcept { return symbol_names_.size(); }
+  std::size_t interned_symbols() const noexcept { return symbols_.size(); }
   /// Allocated nodes across the origin trie and every route-set trie.
   std::size_t trie_nodes() const noexcept { return trie_nodes_; }
   /// Where this snapshot came from: "memory" for in-process builds,
@@ -256,7 +258,7 @@ class CompiledPolicySnapshot : public aspath::AsSetMembership {
   CompiledPolicySnapshot() = default;
 
   SymbolId intern(std::string_view name);
-  const SymbolId* symbol(std::string_view name) const;
+  std::optional<SymbolId> symbol(std::string_view name) const;
   // The build phases take an optional previous generation + dirty set; with
   // both null they are the from-scratch build() path, otherwise clean
   // structures are copied forward instead of recomputed.
@@ -276,9 +278,14 @@ class CompiledPolicySnapshot : public aspath::AsSetMembership {
   std::size_t trie_nodes_ = 0;
   std::string source_ = "memory";
 
-  // Interned set names: case-insensitive name -> id, id -> canonical name.
-  std::unordered_map<std::string, SymbolId, util::IHash, util::IEqual> symbols_;
-  std::vector<std::string> symbol_names_;
+  // Interned set names: fold-mode flat table (one id per case-insensitive
+  // class, first-seen spelling kept, ids dense from 0 in intern order) —
+  // the same id assignment the old IHash-keyed map + name vector produced,
+  // so the persisted symbol-section layout (id = position) is unchanged.
+  // Reused capacity (not content) carries across build_incremental
+  // generations via reserve(); content must be re-interned per generation
+  // or deleted names would linger in the persisted symbols section.
+  util::SymbolTable symbols_{util::SymbolTable::Mode::kCaseFold};
 
   std::unordered_map<SymbolId, CompiledAsSet> as_sets_;
   std::unordered_map<SymbolId, CompiledRouteSet> route_sets_;

@@ -66,6 +66,12 @@ std::shared_ptr<const CompiledPolicySnapshot> CompiledPolicySnapshot::build_incr
   snap->relations_ = std::move(relations);
   snap->build_id_ = detail::allocate_build_id();
 
+  // Capacity (never content) carries across generations: names are
+  // re-interned in deterministic build order so the persisted symbol
+  // section cannot accumulate deleted names, but the interner's cell
+  // arrays are pre-sized so the rebuild never rehashes mid-build.
+  snap->symbols_.reserve(previous.interned_symbols());
+
   snap->build_as_sets();
   snap->build_origin_trie(&previous, &dirty);
   snap->build_route_sets(&previous, &dirty, stats);

@@ -149,16 +149,13 @@ std::shared_ptr<const CompiledPolicySnapshot> CompiledPolicySnapshot::build(
 }
 
 SymbolId CompiledPolicySnapshot::intern(std::string_view name) {
-  if (auto it = symbols_.find(name); it != symbols_.end()) return it->second;
-  const SymbolId id = static_cast<SymbolId>(symbol_names_.size());
-  symbol_names_.emplace_back(name);
-  symbols_.emplace(std::string(name), id);
-  return id;
+  return symbols_.intern(name).id;
 }
 
-const SymbolId* CompiledPolicySnapshot::symbol(std::string_view name) const {
-  auto it = symbols_.find(name);
-  return it == symbols_.end() ? nullptr : &it->second;
+std::optional<SymbolId> CompiledPolicySnapshot::symbol(std::string_view name) const {
+  const std::optional<util::Symbol> s = symbols_.find(name);  // case-insensitive
+  if (!s) return std::nullopt;
+  return s->id;
 }
 
 void CompiledPolicySnapshot::build_as_sets() {
@@ -263,11 +260,12 @@ void CompiledPolicySnapshot::build_route_sets(const CompiledPolicySnapshot* prev
   const ir::Ir& ir = index_->ir();
 
   // member-of reverse map for route objects (the Index keeps its own copy
-  // private): set name -> indices into ir.routes.
-  std::unordered_map<std::string, std::vector<std::size_t>, util::IHash, util::IEqual>
-      member_of;
+  // private): canon set symbol -> indices into ir.routes.
+  std::unordered_map<ir::Symbol, std::vector<std::size_t>> member_of;
   for (std::size_t i = 0; i < ir.routes.size(); ++i) {
-    for (const auto& set_name : ir.routes[i].member_of) member_of[set_name].push_back(i);
+    for (const ir::Symbol set_name : ir.routes[i].member_of) {
+      member_of[ir::symbols().canon(set_name)].push_back(i);
+    }
   }
 
   // Expansion mirrors Index::route_set_matches_rec with the query-time
@@ -280,8 +278,7 @@ void CompiledPolicySnapshot::build_route_sets(const CompiledPolicySnapshot* prev
     const decltype(member_of)& members_by_ref;
 
     void expand(const ir::RouteSet& set, std::vector<RangeOp>& chain, CompiledRouteSet& out,
-                BaseAccumulator& acc,
-                std::unordered_set<std::string, util::IHash, util::IEqual>& visiting) const {
+                BaseAccumulator& acc, std::unordered_set<ir::Symbol>& visiting) const {
       for (const auto* list : {&set.members, &set.mp_members}) {
         for (const auto& member : *list) {
           switch (member.kind) {
@@ -301,7 +298,7 @@ void CompiledPolicySnapshot::build_route_sets(const CompiledPolicySnapshot* prev
               break;
             }
             case ir::RouteSetMember::Kind::kAsSet: {
-              const CompiledAsSet* flat = snap.flattened(member.name);
+              const CompiledAsSet* flat = snap.flattened(ir::sym_view(member.name));
               if (flat == nullptr) {
                 out.unknown = true;
                 break;
@@ -317,20 +314,21 @@ void CompiledPolicySnapshot::build_route_sets(const CompiledPolicySnapshot* prev
               break;
             }
             case ir::RouteSetMember::Kind::kRouteSet: {
-              if (visiting.contains(member.name)) break;  // cycle: nothing new
-              const ir::RouteSet* child = snap.index_->route_set(member.name);
+              const ir::Symbol member_key = ir::symbols().canon(member.name);
+              if (visiting.contains(member_key)) break;  // cycle: nothing new
+              const ir::RouteSet* child = snap.index_->route_set(ir::sym_view(member.name));
               if (child == nullptr) {
                 out.unknown = true;
                 break;
               }
-              visiting.insert(member.name);
+              visiting.insert(member_key);
               // The member's operator applies to the child set first, then
               // the current chain stacks on top (innermost first).
               std::vector<RangeOp> child_chain;
               if (!member.op.is_none()) child_chain.push_back(member.op);
               child_chain.insert(child_chain.end(), chain.begin(), chain.end());
               expand(*child, child_chain, out, acc, visiting);
-              visiting.erase(member.name);
+              visiting.erase(member_key);
               break;
             }
           }
@@ -340,7 +338,8 @@ void CompiledPolicySnapshot::build_route_sets(const CompiledPolicySnapshot* prev
       // Indirect members by reference: route objects naming this set in
       // member-of, admitted by the set's mbrs-by-ref maintainer list.
       if (!set.mbrs_by_ref.empty()) {
-        if (auto it = members_by_ref.find(set.name); it != members_by_ref.end()) {
+        if (auto it = members_by_ref.find(ir::symbols().canon(set.name));
+            it != members_by_ref.end()) {
           for (std::size_t idx : it->second) {
             const ir::RouteObject& r = ir.routes[idx];
             if (irr::mbrs_by_ref_allows(set.mbrs_by_ref, r.mnt_by)) {
@@ -366,7 +365,7 @@ void CompiledPolicySnapshot::build_route_sets(const CompiledPolicySnapshot* prev
     // (already sorted unique) instead of re-running the expander.
     const CompiledRouteSet* reusable = nullptr;
     if (previous != nullptr && dirty != nullptr && !dirty->route_sets.contains(name)) {
-      if (const SymbolId* id = previous->symbol(name)) {
+      if (const std::optional<SymbolId> id = previous->symbol(name)) {
         auto it = previous->route_sets_.find(*id);
         if (it != previous->route_sets_.end()) reusable = &it->second;
       }
@@ -382,8 +381,8 @@ void CompiledPolicySnapshot::build_route_sets(const CompiledPolicySnapshot* prev
       for (const auto& [base, intervals] : acc) total += intervals.size();
       if (stats != nullptr) ++stats->route_sets_reused;
     } else {
-      std::unordered_set<std::string, util::IHash, util::IEqual> visiting;
-      visiting.insert(name);
+      std::unordered_set<ir::Symbol> visiting;
+      visiting.insert(ir::symbols().canon(set.name));
       std::vector<RangeOp> chain;
       expander.expand(set, chain, compiled, acc, visiting);
       for (auto& [base, intervals] : acc) {
@@ -623,8 +622,8 @@ void CompiledPolicySnapshot::build_aut_nums(const CompiledPolicySnapshot* previo
 // ---------------------------------------------------------------------------
 
 const CompiledAsSet* CompiledPolicySnapshot::flattened(std::string_view name) const {
-  const SymbolId* id = symbol(name);
-  if (id == nullptr) return nullptr;
+  const std::optional<SymbolId> id = symbol(name);
+  if (!id) return nullptr;
   auto it = as_sets_.find(*id);
   return it == as_sets_.end() ? nullptr : &it->second;
 }
@@ -676,9 +675,9 @@ irr::Lookup CompiledPolicySnapshot::as_set_originates(std::string_view name,
 irr::Lookup CompiledPolicySnapshot::route_set_matches(std::string_view name,
                                                       const net::RangeOp& outer,
                                                       const net::Prefix& p) const {
-  const SymbolId* id = symbol(name);
+  const std::optional<SymbolId> id = symbol(name);
   const CompiledRouteSet* set = nullptr;
-  if (id != nullptr) {
+  if (id) {
     auto it = route_sets_.find(*id);
     if (it != route_sets_.end()) set = &it->second;
   }

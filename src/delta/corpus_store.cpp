@@ -45,20 +45,20 @@ Classified classify(const rpsl::ParsedObject& object, const rpsl::RawObject& raw
     c.identity = "aut-num:AS" + std::to_string(an->asn);
   } else if (const auto* as = std::get_if<ir::AsSet>(&object)) {
     c.cls = ObjectClass::kAsSet;
-    c.name = as->name;
-    c.identity = "as-set:" + as->name;
+    c.name = ir::to_string(as->name);
+    c.identity = "as-set:" + c.name;
   } else if (const auto* rs = std::get_if<ir::RouteSet>(&object)) {
     c.cls = ObjectClass::kRouteSet;
-    c.name = rs->name;
-    c.identity = "route-set:" + rs->name;
+    c.name = ir::to_string(rs->name);
+    c.identity = "route-set:" + c.name;
   } else if (const auto* ps = std::get_if<ir::PeeringSet>(&object)) {
     c.cls = ObjectClass::kPeeringSet;
-    c.name = ps->name;
-    c.identity = "peering-set:" + ps->name;
+    c.name = ir::to_string(ps->name);
+    c.identity = "peering-set:" + c.name;
   } else if (const auto* fs = std::get_if<ir::FilterSet>(&object)) {
     c.cls = ObjectClass::kFilterSet;
-    c.name = fs->name;
-    c.identity = "filter-set:" + fs->name;
+    c.name = ir::to_string(fs->name);
+    c.identity = "filter-set:" + c.name;
   } else if (const auto* route = std::get_if<ir::RouteObject>(&object)) {
     c.cls = ObjectClass::kRoute;
     c.route_key = {route->prefix, route->origin};

@@ -91,9 +91,9 @@ rpsl::ParsedObject merged_value(const CorpusStore& store, const TouchedValue& t)
 void add_member_of(const rpsl::ParsedObject& value,
                    std::set<std::string, util::ILess>& into) {
   if (const auto* an = std::get_if<ir::AutNum>(&value)) {
-    into.insert(an->member_of.begin(), an->member_of.end());
+    for (const ir::Symbol s : an->member_of) into.insert(ir::to_string(s));
   } else if (const auto* route = std::get_if<ir::RouteObject>(&value)) {
-    into.insert(route->member_of.begin(), route->member_of.end());
+    for (const ir::Symbol s : route->member_of) into.insert(ir::to_string(s));
   }
 }
 
@@ -113,7 +113,7 @@ void close_dirty(compile::DirtySet& dirty, const ir::Ir& new_ir,
   std::map<std::string, std::vector<std::string>, util::ILess> as_rev;
   for (const auto& [name, set] : new_ir.as_sets) {
     for (const ir::AsSetMember& m : set.members) {
-      if (m.kind == ir::AsSetMember::Kind::kSet) as_rev[m.name].push_back(name);
+      if (m.kind == ir::AsSetMember::Kind::kSet) as_rev[ir::to_string(m.name)].push_back(name);
     }
   }
   std::vector<std::string> stack(as_set_seeds.begin(), as_set_seeds.end());
@@ -136,10 +136,10 @@ void close_dirty(compile::DirtySet& dirty, const ir::Ir& new_ir,
     const auto note = [&](const ir::RouteSetMember& m) {
       switch (m.kind) {
         case ir::RouteSetMember::Kind::kRouteSet:
-          rs_rev_set[m.name].push_back(name);
+          rs_rev_set[ir::to_string(m.name)].push_back(name);
           break;
         case ir::RouteSetMember::Kind::kAsSet:
-          rs_rev_as_set[m.name].push_back(name);
+          rs_rev_as_set[ir::to_string(m.name)].push_back(name);
           break;
         case ir::RouteSetMember::Kind::kAsn:
           rs_rev_asn[m.asn].push_back(name);

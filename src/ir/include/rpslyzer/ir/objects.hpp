@@ -11,20 +11,55 @@
 
 #include "rpslyzer/ir/policy.hpp"
 #include "rpslyzer/net/prefix_set.hpp"
+#include "rpslyzer/util/interner.hpp"
 #include "rpslyzer/util/strings.hpp"
 
 namespace rpslyzer::ir {
+
+/// High-churn IR name fields (set names, maintainer references, sources)
+/// are interned into the process-wide exact-mode symbol table instead of
+/// carrying their own std::string: the same spelling always maps to the
+/// same u32, so object copies, merges and equality checks stop touching
+/// string bytes entirely. Exact ids preserve byte-level `operator==`
+/// semantics; case-insensitive comparison goes through `canon`.
+using Symbol = util::Symbol;
+
+/// The process-wide table backing ir::Symbol.
+inline util::SymbolTable& symbols() { return util::global_symbols(); }
+
+/// Intern a spelling (idempotent, thread-safe).
+inline Symbol sym(std::string_view s) { return symbols().intern(s); }
+
+/// The interned spelling; valid for the process lifetime.
+inline std::string_view sym_view(Symbol s) noexcept { return symbols().view(s); }
+
+/// Owning copy of the spelling — the escape hatch that keeps JSON, wire
+/// codecs and reports byte-identical to the std::string era.
+inline std::string to_string(Symbol s) { return std::string(sym_view(s)); }
+
+/// Case-insensitive symbol equality (RPSL names, RFC 2622 §2).
+inline bool sym_iequals(Symbol a, Symbol b) noexcept {
+  return symbols().canon(a) == symbols().canon(b);
+}
+
+/// Intern every element of a string list (parser helper).
+inline std::vector<Symbol> sym_all(const std::vector<std::string>& v) {
+  std::vector<Symbol> out;
+  out.reserve(v.size());
+  for (const auto& s : v) out.push_back(sym(s));
+  return out;
+}
 
 /// aut-num: an AS's policies. `imports`/`exports` hold every (mp-)import/
 /// (mp-)export attribute in declaration order, which matters for reports.
 struct AutNum {
   Asn asn = 0;
-  std::string as_name;               // as-name attribute
+  Symbol as_name;                    // as-name attribute
   std::vector<Rule> imports;
   std::vector<Rule> exports;
-  std::vector<std::string> member_of;  // as-sets joined via mbrs-by-ref
-  std::vector<std::string> mnt_by;
-  std::string source;                // IRR this definition was taken from
+  std::vector<Symbol> member_of;     // as-sets joined via mbrs-by-ref
+  std::vector<Symbol> mnt_by;
+  Symbol source;                     // IRR this definition was taken from
 
   friend bool operator==(const AutNum&, const AutNum&) = default;
 };
@@ -35,21 +70,21 @@ struct AsSetMember {
   enum class Kind : std::uint8_t { kAsn, kSet, kAny };
   Kind kind = Kind::kAsn;
   Asn asn = 0;
-  std::string name;
+  Symbol name;
 
   static AsSetMember of_asn(Asn a) { return {Kind::kAsn, a, {}}; }
-  static AsSetMember of_set(std::string n) { return {Kind::kSet, 0, std::move(n)}; }
+  static AsSetMember of_set(Symbol n) { return {Kind::kSet, 0, n}; }
   static AsSetMember any() { return {Kind::kAny, 0, {}}; }
 
   friend bool operator==(const AsSetMember&, const AsSetMember&) = default;
 };
 
 struct AsSet {
-  std::string name;
+  Symbol name;
   std::vector<AsSetMember> members;
-  std::vector<std::string> mbrs_by_ref;  // maintainer names, or "ANY"
-  std::vector<std::string> mnt_by;
-  std::string source;
+  std::vector<Symbol> mbrs_by_ref;  // maintainer names, or "ANY"
+  std::vector<Symbol> mnt_by;
+  Symbol source;
 
   friend bool operator==(const AsSet&, const AsSet&) = default;
 };
@@ -61,7 +96,7 @@ struct RouteSetMember {
   enum class Kind : std::uint8_t { kPrefix, kRouteSet, kAsSet, kAsn, kAny };
   Kind kind = Kind::kPrefix;
   net::PrefixRange prefix;  // kPrefix
-  std::string name;         // kRouteSet / kAsSet
+  Symbol name;              // kRouteSet / kAsSet
   Asn asn = 0;              // kAsn
   net::RangeOp op;          // operator on the reference (kRouteSet/kAsSet/kAsn)
 
@@ -69,32 +104,32 @@ struct RouteSetMember {
 };
 
 struct RouteSet {
-  std::string name;
+  Symbol name;
   std::vector<RouteSetMember> members;      // from members:
   std::vector<RouteSetMember> mp_members;   // from mp-members: (IPv6)
-  std::vector<std::string> mbrs_by_ref;
-  std::vector<std::string> mnt_by;
-  std::string source;
+  std::vector<Symbol> mbrs_by_ref;
+  std::vector<Symbol> mnt_by;
+  Symbol source;
 
   friend bool operator==(const RouteSet&, const RouteSet&) = default;
 };
 
 struct PeeringSet {
-  std::string name;
+  Symbol name;
   std::vector<Peering> peerings;     // peering: attributes
   std::vector<Peering> mp_peerings;  // mp-peering: attributes
-  std::string source;
+  Symbol source;
 
   friend bool operator==(const PeeringSet&, const PeeringSet&) = default;
 };
 
 struct FilterSet {
-  std::string name;
+  Symbol name;
   Filter filter;      // filter: attribute
   Filter mp_filter;   // mp-filter: attribute (FilterUnknown{} when absent)
   bool has_filter = false;
   bool has_mp_filter = false;
-  std::string source;
+  Symbol source;
 
   friend bool operator==(const FilterSet&, const FilterSet&) = default;
 };
@@ -103,9 +138,9 @@ struct FilterSet {
 struct RouteObject {
   net::Prefix prefix;
   Asn origin = 0;
-  std::vector<std::string> member_of;  // route-sets joined via mbrs-by-ref
-  std::vector<std::string> mnt_by;
-  std::string source;
+  std::vector<Symbol> member_of;  // route-sets joined via mbrs-by-ref
+  std::vector<Symbol> mnt_by;
+  Symbol source;
 
   friend bool operator==(const RouteObject&, const RouteObject&) = default;
 };

@@ -25,6 +25,21 @@ std::vector<std::string> strings_from_json(const Value& v) {
   return out;
 }
 
+/// Symbol lists serialize exactly like the std::string lists they replaced:
+/// the exact interned spelling, in order.
+Value symbols_to_json(const std::vector<Symbol>& v) {
+  Array a;
+  a.reserve(v.size());
+  for (const Symbol s : v) a.emplace_back(std::string(sym_view(s)));
+  return Value(std::move(a));
+}
+
+std::vector<Symbol> symbols_from_json(const Value& v) {
+  std::vector<Symbol> out;
+  for (const auto& e : v.as_array()) out.push_back(sym(e.as_string()));
+  return out;
+}
+
 Value range_op_to_json(const net::RangeOp& op) {
   // Compact text encoding: "", "-", "+", "n", "n-m".
   switch (op.kind) {
@@ -625,34 +640,34 @@ Rule rule_from_json(const Value& v) {
 json::Value to_json(const AutNum& v) {
   Object o;
   o["asn"] = Value(std::uint64_t{v.asn});
-  o["as-name"] = Value(v.as_name);
+  o["as-name"] = Value(to_string(v.as_name));
   Array imports;
   for (const auto& r : v.imports) imports.push_back(to_json(r));
   o["imports"] = Value(std::move(imports));
   Array exports;
   for (const auto& r : v.exports) exports.push_back(to_json(r));
   o["exports"] = Value(std::move(exports));
-  o["member-of"] = strings_to_json(v.member_of);
-  o["mnt-by"] = strings_to_json(v.mnt_by);
-  o["source"] = Value(v.source);
+  o["member-of"] = symbols_to_json(v.member_of);
+  o["mnt-by"] = symbols_to_json(v.mnt_by);
+  o["source"] = Value(to_string(v.source));
   return Value(std::move(o));
 }
 
 AutNum aut_num_from_json(const Value& v) {
   AutNum a;
   a.asn = static_cast<Asn>(v.at("asn").as_int());
-  a.as_name = v.at("as-name").as_string();
+  a.as_name = sym(v.at("as-name").as_string());
   for (const auto& r : v.at("imports").as_array()) a.imports.push_back(rule_from_json(r));
   for (const auto& r : v.at("exports").as_array()) a.exports.push_back(rule_from_json(r));
-  a.member_of = strings_from_json(v.at("member-of"));
-  a.mnt_by = strings_from_json(v.at("mnt-by"));
-  a.source = v.at("source").as_string();
+  a.member_of = symbols_from_json(v.at("member-of"));
+  a.mnt_by = symbols_from_json(v.at("mnt-by"));
+  a.source = sym(v.at("source").as_string());
   return a;
 }
 
 json::Value to_json(const AsSet& v) {
   Object o;
-  o["name"] = Value(v.name);
+  o["name"] = Value(to_string(v.name));
   Array members;
   for (const auto& m : v.members) {
     Object mo;
@@ -663,7 +678,7 @@ json::Value to_json(const AsSet& v) {
         break;
       case AsSetMember::Kind::kSet:
         mo["type"] = Value("set");
-        mo["name"] = Value(m.name);
+        mo["name"] = Value(to_string(m.name));
         break;
       case AsSetMember::Kind::kAny:
         mo["type"] = Value("any");
@@ -672,30 +687,30 @@ json::Value to_json(const AsSet& v) {
     members.push_back(Value(std::move(mo)));
   }
   o["members"] = Value(std::move(members));
-  o["mbrs-by-ref"] = strings_to_json(v.mbrs_by_ref);
-  o["mnt-by"] = strings_to_json(v.mnt_by);
-  o["source"] = Value(v.source);
+  o["mbrs-by-ref"] = symbols_to_json(v.mbrs_by_ref);
+  o["mnt-by"] = symbols_to_json(v.mnt_by);
+  o["source"] = Value(to_string(v.source));
   return Value(std::move(o));
 }
 
 AsSet as_set_from_json(const Value& v) {
   AsSet s;
-  s.name = v.at("name").as_string();
+  s.name = sym(v.at("name").as_string());
   for (const auto& m : v.at("members").as_array()) {
     const std::string& type = m.at("type").as_string();
     if (type == "asn") {
       s.members.push_back(AsSetMember::of_asn(static_cast<Asn>(m.at("asn").as_int())));
     } else if (type == "set") {
-      s.members.push_back(AsSetMember::of_set(m.at("name").as_string()));
+      s.members.push_back(AsSetMember::of_set(sym(m.at("name").as_string())));
     } else if (type == "any") {
       s.members.push_back(AsSetMember::any());
     } else {
       throw JsonError("bad as-set member: " + type);
     }
   }
-  s.mbrs_by_ref = strings_from_json(v.at("mbrs-by-ref"));
-  s.mnt_by = strings_from_json(v.at("mnt-by"));
-  s.source = v.at("source").as_string();
+  s.mbrs_by_ref = symbols_from_json(v.at("mbrs-by-ref"));
+  s.mnt_by = symbols_from_json(v.at("mnt-by"));
+  s.source = sym(v.at("source").as_string());
   return s;
 }
 
@@ -710,12 +725,12 @@ Value route_set_member_to_json(const RouteSetMember& m) {
       break;
     case RouteSetMember::Kind::kRouteSet:
       o["type"] = Value("route-set");
-      o["name"] = Value(m.name);
+      o["name"] = Value(to_string(m.name));
       o["op"] = range_op_to_json(m.op);
       break;
     case RouteSetMember::Kind::kAsSet:
       o["type"] = Value("as-set");
-      o["name"] = Value(m.name);
+      o["name"] = Value(to_string(m.name));
       o["op"] = range_op_to_json(m.op);
       break;
     case RouteSetMember::Kind::kAsn:
@@ -738,11 +753,11 @@ RouteSetMember route_set_member_from_json(const Value& v) {
     m.prefix = prefix_range_from_json(v.at("prefix"));
   } else if (type == "route-set") {
     m.kind = RouteSetMember::Kind::kRouteSet;
-    m.name = v.at("name").as_string();
+    m.name = sym(v.at("name").as_string());
     m.op = range_op_from_json(v.at("op"));
   } else if (type == "as-set") {
     m.kind = RouteSetMember::Kind::kAsSet;
-    m.name = v.at("name").as_string();
+    m.name = sym(v.at("name").as_string());
     m.op = range_op_from_json(v.at("op"));
   } else if (type == "asn") {
     m.kind = RouteSetMember::Kind::kAsn;
@@ -760,67 +775,67 @@ RouteSetMember route_set_member_from_json(const Value& v) {
 
 json::Value to_json(const RouteSet& v) {
   Object o;
-  o["name"] = Value(v.name);
+  o["name"] = Value(to_string(v.name));
   Array members;
   for (const auto& m : v.members) members.push_back(route_set_member_to_json(m));
   o["members"] = Value(std::move(members));
   Array mp_members;
   for (const auto& m : v.mp_members) mp_members.push_back(route_set_member_to_json(m));
   o["mp-members"] = Value(std::move(mp_members));
-  o["mbrs-by-ref"] = strings_to_json(v.mbrs_by_ref);
-  o["mnt-by"] = strings_to_json(v.mnt_by);
-  o["source"] = Value(v.source);
+  o["mbrs-by-ref"] = symbols_to_json(v.mbrs_by_ref);
+  o["mnt-by"] = symbols_to_json(v.mnt_by);
+  o["source"] = Value(to_string(v.source));
   return Value(std::move(o));
 }
 
 RouteSet route_set_from_json(const Value& v) {
   RouteSet s;
-  s.name = v.at("name").as_string();
+  s.name = sym(v.at("name").as_string());
   for (const auto& m : v.at("members").as_array())
     s.members.push_back(route_set_member_from_json(m));
   for (const auto& m : v.at("mp-members").as_array())
     s.mp_members.push_back(route_set_member_from_json(m));
-  s.mbrs_by_ref = strings_from_json(v.at("mbrs-by-ref"));
-  s.mnt_by = strings_from_json(v.at("mnt-by"));
-  s.source = v.at("source").as_string();
+  s.mbrs_by_ref = symbols_from_json(v.at("mbrs-by-ref"));
+  s.mnt_by = symbols_from_json(v.at("mnt-by"));
+  s.source = sym(v.at("source").as_string());
   return s;
 }
 
 json::Value to_json(const PeeringSet& v) {
   Object o;
-  o["name"] = Value(v.name);
+  o["name"] = Value(to_string(v.name));
   Array peerings;
   for (const auto& p : v.peerings) peerings.push_back(to_json(p));
   o["peerings"] = Value(std::move(peerings));
   Array mp_peerings;
   for (const auto& p : v.mp_peerings) mp_peerings.push_back(to_json(p));
   o["mp-peerings"] = Value(std::move(mp_peerings));
-  o["source"] = Value(v.source);
+  o["source"] = Value(to_string(v.source));
   return Value(std::move(o));
 }
 
 PeeringSet peering_set_from_json(const Value& v) {
   PeeringSet s;
-  s.name = v.at("name").as_string();
+  s.name = sym(v.at("name").as_string());
   for (const auto& p : v.at("peerings").as_array()) s.peerings.push_back(peering_from_json(p));
   for (const auto& p : v.at("mp-peerings").as_array())
     s.mp_peerings.push_back(peering_from_json(p));
-  s.source = v.at("source").as_string();
+  s.source = sym(v.at("source").as_string());
   return s;
 }
 
 json::Value to_json(const FilterSet& v) {
   Object o;
-  o["name"] = Value(v.name);
+  o["name"] = Value(to_string(v.name));
   if (v.has_filter) o["filter"] = to_json(v.filter);
   if (v.has_mp_filter) o["mp-filter"] = to_json(v.mp_filter);
-  o["source"] = Value(v.source);
+  o["source"] = Value(to_string(v.source));
   return Value(std::move(o));
 }
 
 FilterSet filter_set_from_json(const Value& v) {
   FilterSet s;
-  s.name = v.at("name").as_string();
+  s.name = sym(v.at("name").as_string());
   if (const auto* f = v.find("filter")) {
     s.filter = filter_from_json(*f);
     s.has_filter = true;
@@ -829,7 +844,7 @@ FilterSet filter_set_from_json(const Value& v) {
     s.mp_filter = filter_from_json(*f);
     s.has_mp_filter = true;
   }
-  s.source = v.at("source").as_string();
+  s.source = sym(v.at("source").as_string());
   return s;
 }
 
@@ -837,9 +852,9 @@ json::Value to_json(const RouteObject& v) {
   Object o;
   o["prefix"] = Value(v.prefix.to_string());
   o["origin"] = Value(std::uint64_t{v.origin});
-  o["member-of"] = strings_to_json(v.member_of);
-  o["mnt-by"] = strings_to_json(v.mnt_by);
-  o["source"] = Value(v.source);
+  o["member-of"] = symbols_to_json(v.member_of);
+  o["mnt-by"] = symbols_to_json(v.mnt_by);
+  o["source"] = Value(to_string(v.source));
   return Value(std::move(o));
 }
 
@@ -849,9 +864,9 @@ RouteObject route_object_from_json(const Value& v) {
   if (!prefix) throw JsonError("bad route prefix");
   r.prefix = *prefix;
   r.origin = static_cast<Asn>(v.at("origin").as_int());
-  r.member_of = strings_from_json(v.at("member-of"));
-  r.mnt_by = strings_from_json(v.at("mnt-by"));
-  r.source = v.at("source").as_string();
+  r.member_of = symbols_from_json(v.at("member-of"));
+  r.mnt_by = symbols_from_json(v.at("mnt-by"));
+  r.source = sym(v.at("source").as_string());
   return r;
 }
 

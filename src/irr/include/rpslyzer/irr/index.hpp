@@ -34,8 +34,10 @@ enum class Lookup : std::uint8_t {
 /// mbrs-by-ref check: the referencing object's maintainers must intersect
 /// the set's mbrs-by-ref list, or the list contains ANY (RFC 2622 §5.1).
 /// Shared by the lazy Index resolution and the compiled-snapshot build.
-bool mbrs_by_ref_allows(const std::vector<std::string>& mbrs_by_ref,
-                        const std::vector<std::string>& mnt_by);
+/// Interned operands: the intersection test is canon-id equality, no
+/// string bytes are touched.
+bool mbrs_by_ref_allows(const std::vector<ir::Symbol>& mbrs_by_ref,
+                        const std::vector<ir::Symbol>& mnt_by);
 
 /// A flattened as-set: every ASN reachable through member edges.
 struct FlattenedAsSet {
@@ -69,6 +71,8 @@ class Index : public aspath::AsSetMembership {
   // --- as-set flattening ---
   /// nullptr when the set is not defined.
   const FlattenedAsSet* flattened(std::string_view name) const;
+  /// Symbol-keyed fast path (skips the name → canon-symbol lookup).
+  const FlattenedAsSet* flattened(ir::Symbol name) const;
 
   /// Flatten every defined as-set now. Afterwards all flattening queries
   /// are pure reads, making the Index safely shareable across threads
@@ -115,32 +119,33 @@ class Index : public aspath::AsSetMembership {
  private:
   struct FlattenState;
 
-  const FlattenedAsSet* flatten_locked(std::string_view name, FlattenState& state,
+  // All internal set-name keys are *canonical* symbols (the first-seen
+  // spelling of a case-insensitive class), so map lookups are u32 hashes —
+  // the symbol-era replacement for the old IHash/IEqual string keys.
+  const FlattenedAsSet* flatten_locked(ir::Symbol name, FlattenState& state,
                                        bool is_root) const;
   Lookup route_set_matches_rec(const ir::RouteSet& set,
                                const std::vector<net::RangeOp>& chain, const net::Prefix& p,
-                               std::unordered_set<std::string, util::IHash, util::IEqual>&
-                                   visiting) const;
+                               std::unordered_set<ir::Symbol>& visiting) const;
 
   const ir::Ir& ir_;
 
   // Route origin index: origin ASN -> sorted unique prefixes.
   std::unordered_map<ir::Asn, std::vector<net::Prefix>> routes_by_origin_;
 
-  // member-of reverse index for as-sets (set name -> candidate member ASNs
-  // whose aut-num lists the set in member-of), maintainer-checked lazily.
-  std::unordered_map<std::string, std::vector<ir::Asn>, util::IHash, util::IEqual>
-      as_set_member_of_;
-  // Same for route-sets: set name -> indices into ir_.routes.
-  std::unordered_map<std::string, std::vector<std::size_t>, util::IHash, util::IEqual>
-      route_set_member_of_;
+  // member-of reverse index for as-sets (canon set symbol -> candidate
+  // member ASNs whose aut-num lists the set in member-of),
+  // maintainer-checked lazily.
+  std::unordered_map<ir::Symbol, std::vector<ir::Asn>> as_set_member_of_;
+  // Same for route-sets: canon set symbol -> indices into ir_.routes.
+  std::unordered_map<ir::Symbol, std::vector<std::size_t>> route_set_member_of_;
 
-  // Memoized flattenings. Entries in `tainted_` were computed mid-cycle and
-  // may be incomplete; they are recomputed when queried as a root, so
-  // pointers returned by flattened() always hold the complete closure.
-  mutable std::unordered_map<std::string, FlattenedAsSet, util::IHash, util::IEqual>
-      flattened_;
-  mutable std::unordered_set<std::string, util::IHash, util::IEqual> tainted_;
+  // Memoized flattenings, keyed by canon symbol. Entries in `tainted_` were
+  // computed mid-cycle and may be incomplete; they are recomputed when
+  // queried as a root, so pointers returned by flattened() always hold the
+  // complete closure.
+  mutable std::unordered_map<ir::Symbol, FlattenedAsSet> flattened_;
+  mutable std::unordered_set<ir::Symbol> tainted_;
 };
 
 }  // namespace rpslyzer::irr

@@ -13,22 +13,30 @@ using net::Prefix;
 using net::RangeOp;
 using net::matches_with_chain;  // stacked range-op matching lives in net now
 
-/// Case-insensitive "does `needles` contain `value`".
-bool contains_ci(const std::vector<std::string>& needles, std::string_view value) {
-  for (const auto& n : needles) {
-    if (util::iequals(n, value)) return true;
-  }
-  return false;
+/// Canonical (case-insensitive class) id of an interned symbol.
+ir::Symbol canon(ir::Symbol s) noexcept { return ir::symbols().canon(s); }
+
+/// Canon symbol for a set name arriving as text, or nullopt when no
+/// spelling of that class was ever interned — in which case no object by
+/// that name exists either (parsing interns every name it keeps).
+std::optional<ir::Symbol> canon_of(std::string_view name) noexcept {
+  return ir::symbols().find_canon(name);
 }
 
 }  // namespace
 
-bool mbrs_by_ref_allows(const std::vector<std::string>& mbrs_by_ref,
-                        const std::vector<std::string>& mnt_by) {
+bool mbrs_by_ref_allows(const std::vector<ir::Symbol>& mbrs_by_ref,
+                        const std::vector<ir::Symbol>& mnt_by) {
   if (mbrs_by_ref.empty()) return false;  // member-of claims need opt-in
-  if (contains_ci(mbrs_by_ref, "ANY")) return true;
-  for (const auto& mnt : mnt_by) {
-    if (contains_ci(mbrs_by_ref, mnt)) return true;
+  static const ir::Symbol kAny = canon(ir::sym("ANY"));
+  for (const ir::Symbol n : mbrs_by_ref) {
+    if (canon(n) == kAny) return true;
+  }
+  for (const ir::Symbol mnt : mnt_by) {
+    const ir::Symbol want = canon(mnt);
+    for (const ir::Symbol n : mbrs_by_ref) {
+      if (canon(n) == want) return true;
+    }
   }
   return false;
 }
@@ -38,14 +46,18 @@ Index::Index(const ir::Ir& ir) : ir_(ir) {
   for (std::size_t i = 0; i < ir_.routes.size(); ++i) {
     const ir::RouteObject& r = ir_.routes[i];
     routes_by_origin_[r.origin].push_back(r.prefix);
-    for (const auto& set_name : r.member_of) route_set_member_of_[set_name].push_back(i);
+    for (const ir::Symbol set_name : r.member_of) {
+      route_set_member_of_[canon(set_name)].push_back(i);
+    }
   }
   for (auto& [asn, prefixes] : routes_by_origin_) {
     std::sort(prefixes.begin(), prefixes.end());
     prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
   }
   for (const auto& [asn, an] : ir_.aut_nums) {
-    for (const auto& set_name : an.member_of) as_set_member_of_[set_name].push_back(asn);
+    for (const ir::Symbol set_name : an.member_of) {
+      as_set_member_of_[canon(set_name)].push_back(asn);
+    }
   }
 }
 
@@ -79,7 +91,7 @@ const ir::FilterSet* Index::filter_set(std::string_view name) const {
 // ---------------------------------------------------------------------------
 
 struct Index::FlattenState {
-  std::unordered_set<std::string, util::IHash, util::IEqual> visiting;  // gray
+  std::unordered_set<ir::Symbol> visiting;  // gray, keyed by canon symbol
   bool touched_gray = false;  // subtree reached an in-progress set
 };
 
@@ -96,21 +108,29 @@ void Index::prewarm() const {
 
 void Index::seed_flattened(std::string_view name, FlattenedAsSet value) const {
   if (as_set(name) == nullptr) return;  // only defined sets carry memo entries
+  const std::optional<ir::Symbol> key = canon_of(name);
+  if (!key) return;
   // Seeds are complete closures by contract, so they enter untainted; a
   // stale tainted marker from an earlier partial computation is cleared.
-  tainted_.erase(std::string(name));
-  flattened_.insert_or_assign(std::string(name), std::move(value));
+  tainted_.erase(*key);
+  flattened_.insert_or_assign(*key, std::move(value));
 }
 
 const FlattenedAsSet* Index::flattened(std::string_view name) const {
-  if (as_set(name) == nullptr) return nullptr;
+  const std::optional<ir::Symbol> key = canon_of(name);
+  return key ? flattened(*key) : nullptr;
+}
+
+const FlattenedAsSet* Index::flattened(ir::Symbol name) const {
+  const ir::Symbol key = canon(name);
+  if (as_set(ir::sym_view(key)) == nullptr) return nullptr;
   FlattenState state;
   // Root computations always produce the complete closure and are memoized
   // untainted, so pointers handed out here stay valid and correct.
-  return flatten_locked(name, state, /*is_root=*/true);
+  return flatten_locked(key, state, /*is_root=*/true);
 }
 
-const FlattenedAsSet* Index::flatten_locked(std::string_view name, FlattenState& state,
+const FlattenedAsSet* Index::flatten_locked(ir::Symbol name, FlattenState& state,
                                             bool is_root) const {
   if (auto it = flattened_.find(name); it != flattened_.end()) {
     if (!tainted_.contains(name)) return &it->second;
@@ -118,26 +138,28 @@ const FlattenedAsSet* Index::flatten_locked(std::string_view name, FlattenState&
     // tainted entries are ever erased, and external callers only receive
     // untainted root results, so no escaped pointer dangles.
     flattened_.erase(it);
-    tainted_.erase(std::string(name));
+    tainted_.erase(name);
   }
-  const ir::AsSet* set = as_set(name);
+  const ir::AsSet* set = as_set(ir::sym_view(name));
   if (set == nullptr) return nullptr;
 
-  state.visiting.insert(std::string(name));
+  state.visiting.insert(name);
   const bool outer_touched_gray = state.touched_gray;
   state.touched_gray = false;
 
   FlattenedAsSet out;
-  auto merge_child = [&](std::string_view child_name) {
-    if (state.visiting.contains(child_name)) {
+  auto merge_child = [&](ir::Symbol child_name) {
+    const ir::Symbol child_key = canon(child_name);
+    if (state.visiting.contains(child_key)) {
       // Cycle back to an ancestor in the current DFS.
       out.has_loop = true;
       state.touched_gray = true;
       return;
     }
-    const FlattenedAsSet* child = flatten_locked(child_name, state, /*is_root=*/false);
+    const FlattenedAsSet* child = flatten_locked(child_key, state, /*is_root=*/false);
     if (child == nullptr) {
-      out.missing_sets.emplace_back(child_name);
+      // Record the member's exact spelling, as the pre-symbol code did.
+      out.missing_sets.emplace_back(ir::sym_view(child_name));
       return;
     }
     out.asns.insert(out.asns.end(), child->asns.begin(), child->asns.end());
@@ -181,7 +203,7 @@ const FlattenedAsSet* Index::flatten_locked(std::string_view name, FlattenState&
   out.missing_sets.erase(std::unique(out.missing_sets.begin(), out.missing_sets.end()),
                          out.missing_sets.end());
 
-  state.visiting.erase(std::string(name));
+  state.visiting.erase(name);
   const bool this_touched_gray = state.touched_gray;
   state.touched_gray = outer_touched_gray || this_touched_gray;
 
@@ -190,8 +212,8 @@ const FlattenedAsSet* Index::flatten_locked(std::string_view name, FlattenState&
   // non-root that touched a gray ancestor may be missing that ancestor's
   // contribution — memoize it for pointer stability but mark it tainted so
   // the next root query recomputes it.
-  if (this_touched_gray && !is_root) tainted_.insert(std::string(name));
-  auto [it, inserted] = flattened_.emplace(std::string(name), std::move(out));
+  if (this_touched_gray && !is_root) tainted_.insert(name);
+  auto [it, inserted] = flattened_.emplace(name, std::move(out));
   return &it->second;
 }
 
@@ -270,8 +292,8 @@ Lookup Index::route_set_matches(std::string_view name, const RangeOp& outer,
                                 const Prefix& p) const {
   const ir::RouteSet* set = route_set(name);
   if (set == nullptr) return Lookup::kUnknown;
-  std::unordered_set<std::string, util::IHash, util::IEqual> visiting;
-  visiting.insert(std::string(name));
+  std::unordered_set<ir::Symbol> visiting;
+  visiting.insert(canon(set->name));
   std::vector<RangeOp> chain;
   if (!outer.is_none()) chain.push_back(outer);
   return route_set_matches_rec(*set, chain, p, visiting);
@@ -279,7 +301,7 @@ Lookup Index::route_set_matches(std::string_view name, const RangeOp& outer,
 
 Lookup Index::route_set_matches_rec(
     const ir::RouteSet& set, const std::vector<RangeOp>& chain, const Prefix& p,
-    std::unordered_set<std::string, util::IHash, util::IEqual>& visiting) const {
+    std::unordered_set<ir::Symbol>& visiting) const {
   bool unknown_seen = false;
   const std::array<const std::vector<ir::RouteSetMember>*, 2> member_lists = {&set.members,
                                                                               &set.mp_members};
@@ -319,20 +341,21 @@ Lookup Index::route_set_matches_rec(
           break;
         }
         case ir::RouteSetMember::Kind::kRouteSet: {
-          if (visiting.contains(member.name)) break;  // cycle: nothing new
-          const ir::RouteSet* child = route_set(member.name);
+          const ir::Symbol member_key = canon(member.name);
+          if (visiting.contains(member_key)) break;  // cycle: nothing new
+          const ir::RouteSet* child = route_set(ir::sym_view(member.name));
           if (child == nullptr) {
             unknown_seen = true;
             break;
           }
-          visiting.insert(member.name);
+          visiting.insert(member_key);
           // The member's operator applies to the child set first, then the
           // current chain stacks on top (innermost first).
           std::vector<RangeOp> child_chain;
           if (!member.op.is_none()) child_chain.push_back(member.op);
           child_chain.insert(child_chain.end(), chain.begin(), chain.end());
           Lookup sub = route_set_matches_rec(*child, child_chain, p, visiting);
-          visiting.erase(member.name);
+          visiting.erase(member_key);
           if (sub == Lookup::kMatch) return Lookup::kMatch;
           if (sub == Lookup::kUnknown) unknown_seen = true;
           break;
@@ -344,7 +367,8 @@ Lookup Index::route_set_matches_rec(
   // Indirect members by reference: route objects naming this set in
   // member-of, admitted by the set's mbrs-by-ref maintainer list.
   if (!set.mbrs_by_ref.empty()) {
-    if (auto it = route_set_member_of_.find(set.name); it != route_set_member_of_.end()) {
+    if (auto it = route_set_member_of_.find(canon(set.name));
+        it != route_set_member_of_.end()) {
       for (std::size_t idx : it->second) {
         const ir::RouteObject& r = ir_.routes[idx];
         if (mbrs_by_ref_allows(set.mbrs_by_ref, r.mnt_by) &&

@@ -91,7 +91,13 @@ void parse_text_into(std::string_view text, std::string_view source,
                      std::size_t line_offset, ir::Ir& ir,
                      util::Diagnostics& lex_diagnostics,
                      util::Diagnostics& diagnostics, IrrCounts* counts) {
-  auto raw_objects = rpsl::lex_objects(text, source, lex_diagnostics, line_offset);
+  // Zero-copy hot path: raw attribute names/values are slices of `text`
+  // (plus arena spill for joins), valid exactly as long as this frame —
+  // parse_object materializes everything it keeps into interned symbols
+  // and IR values before the arena dies with the shard.
+  util::Arena arena;
+  auto raw_objects = rpsl::lex_objects_view(text, source, lex_diagnostics, arena,
+                                            line_offset);
   if (counts != nullptr) counts->objects += raw_objects.size();
   for (const auto& raw : raw_objects) {
     rpsl::ParsedObject parsed = rpsl::parse_object(raw, diagnostics);
@@ -106,19 +112,19 @@ void parse_text_into(std::string_view text, std::string_view source,
                    },
                    [&](ir::AsSet& s) {
                      if (counts != nullptr) ++counts->as_sets;
-                     ir.as_sets.emplace(s.name, std::move(s));
+                     ir.as_sets.emplace(ir::to_string(s.name), std::move(s));
                    },
                    [&](ir::RouteSet& s) {
                      if (counts != nullptr) ++counts->route_sets;
-                     ir.route_sets.emplace(s.name, std::move(s));
+                     ir.route_sets.emplace(ir::to_string(s.name), std::move(s));
                    },
                    [&](ir::PeeringSet& s) {
                      if (counts != nullptr) ++counts->peering_sets;
-                     ir.peering_sets.emplace(s.name, std::move(s));
+                     ir.peering_sets.emplace(ir::to_string(s.name), std::move(s));
                    },
                    [&](ir::FilterSet& s) {
                      if (counts != nullptr) ++counts->filter_sets;
-                     ir.filter_sets.emplace(s.name, std::move(s));
+                     ir.filter_sets.emplace(ir::to_string(s.name), std::move(s));
                    },
                    [&](ir::RouteObject& r) {
                      if (counts != nullptr) ++counts->routes;

@@ -226,9 +226,9 @@ class Linter {
               "member 'ANY' makes the set match every AS, which is almost never intended");
         }
         if (member.kind == ir::AsSetMember::Kind::kSet &&
-            index_.as_set(member.name) == nullptr) {
+            index_.as_set(ir::sym_view(member.name)) == nullptr) {
           add(LintCode::kAsSetMissingMember, LintSeverity::kError, object,
-              "member set " + member.name + " is not defined in any IRR");
+              "member set " + ir::to_string(member.name) + " is not defined in any IRR");
         }
       }
       const irr::FlattenedAsSet* flat = index_.flattened(name);

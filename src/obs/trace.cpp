@@ -8,6 +8,7 @@
 #include <map>
 
 #include "rpslyzer/json/json.hpp"
+#include "rpslyzer/util/rand.hpp"
 
 namespace rpslyzer::obs {
 
@@ -48,10 +49,8 @@ std::uint64_t next_trace_id() noexcept {
   // splitmix64 finalizer over a process-wide counter seeded from the clock:
   // unique per run, well mixed, and never 0 (0 means "no trace context").
   static std::atomic<std::uint64_t> counter{steady_now_ns() | 1};
-  std::uint64_t x = counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x ^= x >> 31;
+  const std::uint64_t x = util::mix64(
+      counter.fetch_add(util::kSplitMix64Gamma, std::memory_order_relaxed));
   return x == 0 ? 1 : x;
 }
 

@@ -53,6 +53,24 @@ std::vector<std::string> decode_string_vector(ByteReader& r) {
   return out;
 }
 
+// Interned symbols go over the wire as their exact spelling, so the
+// encoded bytes are identical to the std::string era and decode simply
+// re-interns (idempotent, process-wide table).
+void encode_symbol(ByteWriter& w, ir::Symbol s) { w.str(ir::sym_view(s)); }
+
+ir::Symbol decode_symbol(ByteReader& r) { return ir::sym(r.str()); }
+
+void encode_symbol_vector(ByteWriter& w, const std::vector<ir::Symbol>& v) {
+  encode_count(w, v.size());
+  for (const ir::Symbol s : v) encode_symbol(w, s);
+}
+
+std::vector<ir::Symbol> decode_symbol_vector(ByteReader& r) {
+  std::vector<ir::Symbol> out;
+  decode_elements_into(r, out, [&] { out.push_back(decode_symbol(r)); });
+  return out;
+}
+
 // --- net primitives --------------------------------------------------------
 
 void encode_prefix_range(ByteWriter& w, const net::PrefixRange& pr) {
@@ -536,148 +554,148 @@ ir::Rule decode_rule(ByteReader& r) {
 
 void encode_aut_num(ByteWriter& w, const ir::AutNum& an) {
   w.u32(an.asn);
-  w.str(an.as_name);
+  encode_symbol(w, an.as_name);
   encode_count(w, an.imports.size());
   for (const ir::Rule& rule : an.imports) encode_rule(w, rule);
   encode_count(w, an.exports.size());
   for (const ir::Rule& rule : an.exports) encode_rule(w, rule);
-  encode_string_vector(w, an.member_of);
-  encode_string_vector(w, an.mnt_by);
-  w.str(an.source);
+  encode_symbol_vector(w, an.member_of);
+  encode_symbol_vector(w, an.mnt_by);
+  encode_symbol(w, an.source);
 }
 
 ir::AutNum decode_aut_num(ByteReader& r) {
   ir::AutNum an;
   an.asn = r.u32();
-  an.as_name = r.str();
+  an.as_name = decode_symbol(r);
   decode_elements_into(r, an.imports, [&] { an.imports.push_back(decode_rule(r)); });
   decode_elements_into(r, an.exports, [&] { an.exports.push_back(decode_rule(r)); });
-  an.member_of = decode_string_vector(r);
-  an.mnt_by = decode_string_vector(r);
-  an.source = r.str();
+  an.member_of = decode_symbol_vector(r);
+  an.mnt_by = decode_symbol_vector(r);
+  an.source = decode_symbol(r);
   return an;
 }
 
 void encode_as_set(ByteWriter& w, const ir::AsSet& set) {
-  w.str(set.name);
+  encode_symbol(w, set.name);
   encode_count(w, set.members.size());
   for (const ir::AsSetMember& m : set.members) {
     w.u8(static_cast<std::uint8_t>(m.kind));
     w.u32(m.asn);
-    w.str(m.name);
+    encode_symbol(w, m.name);
   }
-  encode_string_vector(w, set.mbrs_by_ref);
-  encode_string_vector(w, set.mnt_by);
-  w.str(set.source);
+  encode_symbol_vector(w, set.mbrs_by_ref);
+  encode_symbol_vector(w, set.mnt_by);
+  encode_symbol(w, set.source);
 }
 
 ir::AsSet decode_as_set(ByteReader& r) {
   ir::AsSet set;
-  set.name = r.str();
+  set.name = decode_symbol(r);
   decode_elements_into(r, set.members, [&] {
     ir::AsSetMember m;
     m.kind = static_cast<ir::AsSetMember::Kind>(checked_tag(r, 2, "as-set member"));
     m.asn = r.u32();
-    m.name = r.str();
+    m.name = decode_symbol(r);
     set.members.push_back(std::move(m));
   });
-  set.mbrs_by_ref = decode_string_vector(r);
-  set.mnt_by = decode_string_vector(r);
-  set.source = r.str();
+  set.mbrs_by_ref = decode_symbol_vector(r);
+  set.mnt_by = decode_symbol_vector(r);
+  set.source = decode_symbol(r);
   return set;
 }
 
 void encode_route_set(ByteWriter& w, const ir::RouteSet& set) {
-  w.str(set.name);
+  encode_symbol(w, set.name);
   for (const auto* list : {&set.members, &set.mp_members}) {
     encode_count(w, list->size());
     for (const ir::RouteSetMember& m : *list) {
       w.u8(static_cast<std::uint8_t>(m.kind));
       encode_prefix_range(w, m.prefix);
-      w.str(m.name);
+      encode_symbol(w, m.name);
       w.u32(m.asn);
       encode_range_op(w, m.op);
     }
   }
-  encode_string_vector(w, set.mbrs_by_ref);
-  encode_string_vector(w, set.mnt_by);
-  w.str(set.source);
+  encode_symbol_vector(w, set.mbrs_by_ref);
+  encode_symbol_vector(w, set.mnt_by);
+  encode_symbol(w, set.source);
 }
 
 ir::RouteSet decode_route_set(ByteReader& r) {
   ir::RouteSet set;
-  set.name = r.str();
+  set.name = decode_symbol(r);
   for (auto* list : {&set.members, &set.mp_members}) {
     decode_elements_into(r, *list, [&] {
       ir::RouteSetMember m;
       m.kind = static_cast<ir::RouteSetMember::Kind>(checked_tag(r, 4, "route-set member"));
       m.prefix = decode_prefix_range(r);
-      m.name = r.str();
+      m.name = decode_symbol(r);
       m.asn = r.u32();
       m.op = decode_range_op(r);
       list->push_back(std::move(m));
     });
   }
-  set.mbrs_by_ref = decode_string_vector(r);
-  set.mnt_by = decode_string_vector(r);
-  set.source = r.str();
+  set.mbrs_by_ref = decode_symbol_vector(r);
+  set.mnt_by = decode_symbol_vector(r);
+  set.source = decode_symbol(r);
   return set;
 }
 
 void encode_peering_set(ByteWriter& w, const ir::PeeringSet& set) {
-  w.str(set.name);
+  encode_symbol(w, set.name);
   for (const auto* list : {&set.peerings, &set.mp_peerings}) {
     encode_count(w, list->size());
     for (const ir::Peering& p : *list) encode_peering(w, p);
   }
-  w.str(set.source);
+  encode_symbol(w, set.source);
 }
 
 ir::PeeringSet decode_peering_set(ByteReader& r) {
   ir::PeeringSet set;
-  set.name = r.str();
+  set.name = decode_symbol(r);
   for (auto* list : {&set.peerings, &set.mp_peerings}) {
     decode_elements_into(r, *list, [&] { list->push_back(decode_peering(r)); });
   }
-  set.source = r.str();
+  set.source = decode_symbol(r);
   return set;
 }
 
 void encode_filter_set(ByteWriter& w, const ir::FilterSet& set) {
-  w.str(set.name);
+  encode_symbol(w, set.name);
   w.u8(set.has_filter ? 1 : 0);
   encode_filter(w, set.filter);
   w.u8(set.has_mp_filter ? 1 : 0);
   encode_filter(w, set.mp_filter);
-  w.str(set.source);
+  encode_symbol(w, set.source);
 }
 
 ir::FilterSet decode_filter_set(ByteReader& r) {
   ir::FilterSet set;
-  set.name = r.str();
+  set.name = decode_symbol(r);
   set.has_filter = r.u8() != 0;
   set.filter = decode_filter(r);
   set.has_mp_filter = r.u8() != 0;
   set.mp_filter = decode_filter(r);
-  set.source = r.str();
+  set.source = decode_symbol(r);
   return set;
 }
 
 void encode_route_object(ByteWriter& w, const ir::RouteObject& route) {
   encode_prefix(w, route.prefix);
   w.u32(route.origin);
-  encode_string_vector(w, route.member_of);
-  encode_string_vector(w, route.mnt_by);
-  w.str(route.source);
+  encode_symbol_vector(w, route.member_of);
+  encode_symbol_vector(w, route.mnt_by);
+  encode_symbol(w, route.source);
 }
 
 ir::RouteObject decode_route_object(ByteReader& r) {
   ir::RouteObject route;
   route.prefix = decode_prefix(r);
   route.origin = r.u32();
-  route.member_of = decode_string_vector(r);
-  route.mnt_by = decode_string_vector(r);
-  route.source = r.str();
+  route.member_of = decode_symbol_vector(r);
+  route.mnt_by = decode_symbol_vector(r);
+  route.source = decode_symbol(r);
   return route;
 }
 
@@ -769,22 +787,22 @@ ir::Ir decode_ir(ByteReader& r) {
   });
   decode_vector_into(r, [&] {
     ir::AsSet set = decode_as_set(r);
-    std::string name = set.name;
+    std::string name = ir::to_string(set.name);
     out.as_sets.emplace_hint(out.as_sets.end(), std::move(name), std::move(set));
   });
   decode_vector_into(r, [&] {
     ir::RouteSet set = decode_route_set(r);
-    std::string name = set.name;
+    std::string name = ir::to_string(set.name);
     out.route_sets.emplace_hint(out.route_sets.end(), std::move(name), std::move(set));
   });
   decode_vector_into(r, [&] {
     ir::PeeringSet set = decode_peering_set(r);
-    std::string name = set.name;
+    std::string name = ir::to_string(set.name);
     out.peering_sets.emplace_hint(out.peering_sets.end(), std::move(name), std::move(set));
   });
   decode_vector_into(r, [&] {
     ir::FilterSet set = decode_filter_set(r);
-    std::string name = set.name;
+    std::string name = ir::to_string(set.name);
     out.filter_sets.emplace_hint(out.filter_sets.end(), std::move(name), std::move(set));
   });
   decode_elements_into(r, out.routes, [&] { out.routes.push_back(decode_route_object(r)); });

@@ -123,17 +123,21 @@ decltype(auto) with_section(const ArenaView& view, SectionId id, Fn&& fn) {
 void SnapshotCodec::write(const CompiledPolicySnapshot& snap, ArenaWriter& writer) {
   const ir::Ir& ir = snap.index_->ir();
 
-  // Interned symbols: offset table + blob, id = position.
+  // Interned symbols: offset table + blob, id = position (the fold-mode
+  // interner assigns ids dense from 0 in intern order, so iterating ids
+  // reproduces the old name-vector layout byte for byte).
   {
     ByteWriter w;
-    w.u32(static_cast<std::uint32_t>(snap.symbol_names_.size()));
+    const std::uint32_t symbol_count = snap.symbols_.size();
+    w.u32(symbol_count);
     std::uint32_t offset = 0;
-    for (const std::string& name : snap.symbol_names_) {
+    for (std::uint32_t id = 0; id < symbol_count; ++id) {
       w.u32(offset);
-      offset += static_cast<std::uint32_t>(name.size());
+      offset += static_cast<std::uint32_t>(snap.symbols_.view({id}).size());
     }
     w.u32(offset);
-    for (const std::string& name : snap.symbol_names_) {
+    for (std::uint32_t id = 0; id < symbol_count; ++id) {
+      const std::string_view name = snap.symbols_.view({id});
       w.bytes(std::as_bytes(std::span<const char>(name.data(), name.size())));
     }
     writer.add_section(SectionId::kSymbols, std::move(w));
@@ -191,7 +195,7 @@ void SnapshotCodec::write(const CompiledPolicySnapshot& snap, ArenaWriter& write
     ByteWriter pool;
     ByteWriter w;
     std::vector<std::pair<compile::SymbolId, const compile::CompiledAsSet*>> ordered;
-    for (compile::SymbolId id = 0; id < snap.symbol_names_.size(); ++id) {
+    for (compile::SymbolId id = 0; id < snap.symbols_.size(); ++id) {
       if (auto it = snap.as_sets_.find(id); it != snap.as_sets_.end()) {
         ordered.emplace_back(id, &it->second);
       }
@@ -237,7 +241,7 @@ void SnapshotCodec::write(const CompiledPolicySnapshot& snap, ArenaWriter& write
     ByteWriter pool;
     ByteWriter w;
     std::vector<std::pair<compile::SymbolId, const compile::CompiledRouteSet*>> ordered;
-    for (compile::SymbolId id = 0; id < snap.symbol_names_.size(); ++id) {
+    for (compile::SymbolId id = 0; id < snap.symbols_.size(); ++id) {
       if (auto it = snap.route_sets_.find(id); it != snap.route_sets_.end()) {
         ordered.emplace_back(id, &it->second);
       }
@@ -349,15 +353,18 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
     const std::uint32_t count = r.u32();
     std::vector<std::uint32_t> offsets(count + 1);
     for (std::uint32_t i = 0; i <= count; ++i) offsets[i] = r.u32();
-    snap->symbol_names_.reserve(count);
     snap->symbols_.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
       if (offsets[i] > offsets[i + 1] || offsets[i + 1] - offsets[i] > r.remaining()) {
         throw SnapshotError("snapshot symbol table offsets out of bounds");
       }
-      std::string name = r.chars(offsets[i + 1] - offsets[i]);
-      snap->symbols_.emplace(name, i);
-      snap->symbol_names_.push_back(std::move(name));
+      const std::string name = r.chars(offsets[i + 1] - offsets[i]);
+      // Fold-mode ids are dense in intern order; a well-formed file interns
+      // to exactly id = position. Two case-folded-equal names in one file
+      // would collapse to one id — corrupt, so reject.
+      if (snap->symbols_.intern(name).id != i) {
+        throw SnapshotError("snapshot symbol table has case-colliding names");
+      }
     }
   });
 
@@ -371,7 +378,7 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
       const std::uint32_t flags = r.u32();
       const std::uint64_t off = r.u64();
       const std::uint64_t n = r.u64();
-      if (id >= snap->symbol_names_.size() || off > pool.size() || n > pool.size() - off) {
+      if (id >= snap->symbols_.size() || off > pool.size() || n > pool.size() - off) {
         throw SnapshotError("snapshot as-set entry out of bounds");
       }
       compile::CompiledAsSet set;
@@ -407,7 +414,7 @@ std::shared_ptr<const CompiledPolicySnapshot> SnapshotCodec::restore(
       const compile::SymbolId id = r.u32();
       const std::uint32_t flags = r.u32();
       const std::uint64_t bases = r.u64();
-      if (id >= snap->symbol_names_.size()) {
+      if (id >= snap->symbols_.size()) {
         throw SnapshotError("snapshot route-set symbol out of bounds");
       }
       compile::CompiledRouteSet set;

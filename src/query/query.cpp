@@ -108,7 +108,7 @@ std::string QueryEngine::set_members(std::string_view arg) const {
           members.push_back("AS" + std::to_string(member.asn));
           break;
         case ir::AsSetMember::Kind::kSet:
-          members.push_back(member.name);
+          members.push_back(ir::to_string(member.name));
           break;
         case ir::AsSetMember::Kind::kAny:
           members.push_back("ANY");
@@ -131,7 +131,7 @@ std::string QueryEngine::set_members(std::string_view arg) const {
             break;
           case ir::RouteSetMember::Kind::kRouteSet:
           case ir::RouteSetMember::Kind::kAsSet:
-            members.push_back(member.name + member.op.to_string());
+            members.push_back(ir::to_string(member.name) + member.op.to_string());
             break;
           case ir::RouteSetMember::Kind::kAsn:
             members.push_back("AS" + std::to_string(member.asn) + member.op.to_string());
@@ -197,7 +197,7 @@ std::string QueryEngine::aut_num_summary(std::string_view arg) const {
   if (!asn) return error("expected an AS number");
   const ir::AutNum* an = index_.aut_num(*asn);
   if (an == nullptr) return not_found();
-  std::string payload = "aut-num AS" + std::to_string(*asn) + " source " + an->source +
+  std::string payload = "aut-num AS" + std::to_string(*asn) + " source " + ir::to_string(an->source) +
                         " imports " + std::to_string(an->imports.size()) + " exports " +
                         std::to_string(an->exports.size());
   return frame_response(payload);

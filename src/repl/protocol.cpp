@@ -4,19 +4,17 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "rpslyzer/util/rand.hpp"
+
 namespace rpslyzer::repl {
 
 namespace {
 
-// splitmix64 finalizer: one well-mixed word from (seed, counter). Shared by
-// both jitter streams below; each stream perturbs the counter with its own
-// constant so reconnect and heartbeat jitter are decorrelated even under
-// the same seed.
+// util::splitmix64_at gives one well-mixed word from (seed, counter); each
+// stream below perturbs the seed with its own constant so reconnect and
+// heartbeat jitter are decorrelated even under the same base seed.
 std::uint64_t mix(std::uint64_t seed, std::uint64_t counter) noexcept {
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (counter + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return util::splitmix64_at(seed, counter);
 }
 
 }  // namespace

@@ -10,24 +10,60 @@
 //  * '#' end-of-line comments;
 //  * '%' full-line server remarks (RIPE-style dumps interleave them);
 //  * line-number tracking for diagnostics.
+//
+// Two front ends share one core:
+//  * lex_objects_view — the zero-copy hot path. Attribute names and values
+//    are string_view slices into the caller's dump buffer; only the rare
+//    cases that cannot be sliced (uppercase attribute names, continuation
+//    joins) spill into the caller's Arena. Views are valid while (dump
+//    buffer, arena) both outlive them — the loader keeps both alive per
+//    shard until phase-B materialization is done.
+//  * lex_objects — the owning convenience wrapper (std::string fields) for
+//    callers that persist raw objects past the dump buffer (synth churn,
+//    delta journal rendering, tests).
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "rpslyzer/util/arena.hpp"
 #include "rpslyzer/util/diagnostics.hpp"
 
 namespace rpslyzer::rpsl {
 
-/// One attribute of a raw RPSL object. `value` has comments stripped and
-/// continuation lines joined with single spaces.
+/// One attribute of a raw RPSL object, as slices. `value` has comments
+/// stripped and continuation lines joined with single spaces.
+struct RawAttributeView {
+  std::string_view name;   // lowercased attribute name
+  std::string_view value;  // joined, comment-stripped, trimmed value
+  std::size_t line = 0;
+};
+
+/// One RPSL object as read from a dump, before interpretation; every view
+/// points into the dump buffer or the lexing arena.
+struct RawObjectView {
+  std::string_view class_name;  // lowercased first attribute name
+  std::string_view key;         // first attribute's value (the object's name)
+  std::span<const RawAttributeView> attributes;
+  std::string_view source;      // IRR name this object came from
+  std::size_t line = 0;         // line of the first attribute
+
+  /// First value of attribute `name` (lowercase), or empty view.
+  std::string_view first(std::string_view name) const noexcept;
+  /// All values of attribute `name` in order.
+  std::vector<std::string_view> all(std::string_view name) const;
+};
+
+/// One attribute of a raw RPSL object, owning storage.
 struct RawAttribute {
   std::string name;   // lowercased attribute name
   std::string value;  // joined, comment-stripped, trimmed value
   std::size_t line = 0;
 };
 
-/// One RPSL object as read from a dump, before interpretation.
+/// One RPSL object with owning storage, for callers that keep raw objects
+/// alive past the dump buffer.
 struct RawObject {
   std::string class_name;  // lowercased first attribute name
   std::string key;         // first attribute's value (the object's name)
@@ -41,12 +77,21 @@ struct RawObject {
   std::vector<std::string_view> all(std::string_view name) const;
 };
 
-/// Split a full dump into raw objects. `source` labels diagnostics and the
-/// resulting objects. Malformed lines (no colon before any attribute ends)
-/// raise diagnostics but do not abort the dump. `line_offset` is added to
-/// every reported line number — shard lexing passes the number of lines
-/// preceding the shard so diagnostics and object positions match a lex of
-/// the whole text.
+/// Split a full dump into raw objects without copying attribute bytes.
+/// `source` labels diagnostics and the resulting objects. Malformed lines
+/// (no colon before any attribute ends) raise diagnostics but do not abort
+/// the dump. `line_offset` is added to every reported line number — shard
+/// lexing passes the number of lines preceding the shard so diagnostics
+/// and object positions match a lex of the whole text. The returned views
+/// (and the objects' attribute spans) borrow `text` and `arena`.
+std::vector<RawObjectView> lex_objects_view(std::string_view text,
+                                            std::string_view source,
+                                            util::Diagnostics& diagnostics,
+                                            util::Arena& arena,
+                                            std::size_t line_offset = 0);
+
+/// Owning wrapper over lex_objects_view: identical object sequence and
+/// diagnostics, with each object copied into std::string storage.
 std::vector<RawObject> lex_objects(std::string_view text, std::string_view source,
                                    util::Diagnostics& diagnostics,
                                    std::size_t line_offset = 0);

@@ -19,6 +19,10 @@ using ParsedObject = std::variant<std::monostate, ir::AutNum, ir::AsSet, ir::Rou
 
 /// Interpret one raw object; diagnostics are recorded for recoverable
 /// problems (bad members, bad rules) and fatal ones (unparseable key).
+/// The view overload is the hot path (no owning copies on the way in);
+/// the RawObject overload adapts owning objects for callers that keep raw
+/// paragraphs alive (delta corpus store, synth churn, tests).
+ParsedObject parse_object(const RawObjectView& raw, util::Diagnostics& diagnostics);
 ParsedObject parse_object(const RawObject& raw, util::Diagnostics& diagnostics);
 
 /// Parse one import/export attribute value into a Rule. Exposed for tests

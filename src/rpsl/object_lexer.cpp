@@ -1,5 +1,7 @@
 #include "rpslyzer/rpsl/object_lexer.hpp"
 
+#include <cstring>
+
 #include "rpslyzer/util/strings.hpp"
 
 namespace rpslyzer::rpsl {
@@ -33,7 +35,49 @@ bool valid_attribute_name(std::string_view name) noexcept {
   return true;
 }
 
+/// Lowercase `name` without copying when it already is: dump attribute
+/// names are overwhelmingly lowercase, so the common case stays a slice of
+/// the dump buffer and only the exceptions spill into the arena.
+std::string_view lower_view(std::string_view name, util::Arena& arena) {
+  std::size_t i = 0;
+  while (i < name.size() && !(name[i] >= 'A' && name[i] <= 'Z')) ++i;
+  if (i == name.size()) return name;
+  char* buf = arena.alloc_chars(name.size());
+  std::memcpy(buf, name.data(), i);
+  for (std::size_t j = i; j < name.size(); ++j) buf[j] = util::to_lower(name[j]);
+  return {buf, name.size()};
+}
+
+/// Join `value` and a continuation fragment with one space, in the arena.
+/// Continuations are rare enough that re-copying the accumulated value per
+/// fragment beats reserving growth room for every attribute.
+std::string_view join_continuation(std::string_view value, std::string_view cont,
+                                   util::Arena& arena) {
+  if (cont.empty()) return value;
+  if (value.empty()) return cont;
+  char* buf = arena.alloc_chars(value.size() + 1 + cont.size());
+  std::memcpy(buf, value.data(), value.size());
+  buf[value.size()] = ' ';
+  std::memcpy(buf + value.size() + 1, cont.data(), cont.size());
+  return {buf, value.size() + 1 + cont.size()};
+}
+
 }  // namespace
+
+std::string_view RawObjectView::first(std::string_view name) const noexcept {
+  for (const auto& attr : attributes) {
+    if (attr.name == name) return attr.value;
+  }
+  return {};
+}
+
+std::vector<std::string_view> RawObjectView::all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& attr : attributes) {
+    if (attr.name == name) out.push_back(attr.value);
+  }
+  return out;
+}
 
 std::string_view RawObject::first(std::string_view name) const noexcept {
   for (const auto& attr : attributes) {
@@ -50,30 +94,39 @@ std::vector<std::string_view> RawObject::all(std::string_view name) const {
   return out;
 }
 
-std::vector<RawObject> lex_objects(std::string_view text, std::string_view source,
-                                   util::Diagnostics& diagnostics,
-                                   std::size_t line_offset) {
-  std::vector<RawObject> objects;
-  RawObject current;
+std::vector<RawObjectView> lex_objects_view(std::string_view text,
+                                            std::string_view source,
+                                            util::Diagnostics& diagnostics,
+                                            util::Arena& arena,
+                                            std::size_t line_offset) {
+  std::vector<RawObjectView> objects;
+  // Attributes of the object being lexed; copied into an arena span when
+  // the object closes, so the scratch vector's capacity is reused for the
+  // whole dump instead of allocated per object.
+  std::vector<RawAttributeView> scratch;
+  RawObjectView current;
+  current.source = source;
   bool in_object = false;
 
   auto finish_object = [&] {
-    if (in_object && !current.attributes.empty()) {
-      current.class_name = current.attributes.front().name;
-      current.key = current.attributes.front().value;
-      objects.push_back(std::move(current));
+    if (in_object && !scratch.empty()) {
+      auto* stored = arena.alloc_array<RawAttributeView>(scratch.size());
+      std::memcpy(stored, scratch.data(), scratch.size() * sizeof(RawAttributeView));
+      current.attributes = {stored, scratch.size()};
+      current.class_name = stored[0].name;
+      current.key = stored[0].value;
+      objects.push_back(current);
     }
-    current = RawObject{};
-    current.source = std::string(source);
+    current = RawObjectView{};
+    current.source = source;
+    scratch.clear();
     in_object = false;
   };
-  current.source = std::string(source);
 
   std::size_t line_no = line_offset;
   std::size_t pos = 0;
-  while (pos <= text.size()) {
+  while (pos < text.size()) {
     // Extract one line (the final line may lack a trailing newline).
-    if (pos == text.size()) break;
     std::size_t eol = text.find('\n', pos);
     if (eol == std::string_view::npos) eol = text.size();
     std::string_view line = text.substr(pos, eol - pos);
@@ -101,16 +154,15 @@ std::vector<RawObject> lex_objects(std::string_view text, std::string_view sourc
       std::string_view cont = content;
       if (first_char == '+') cont.remove_prefix(1);
       cont = trim(cont);
-      if (!in_object || current.attributes.empty()) {
+      if (!in_object || scratch.empty()) {
         diagnostics.error(util::DiagnosticKind::kSyntaxError,
                           "continuation line outside any attribute", {},
                           {std::string(source), line_no});
         continue;
       }
       if (!cont.empty()) {
-        auto& value = current.attributes.back().value;
-        if (!value.empty()) value.push_back(' ');
-        value.append(cont);
+        auto& value = scratch.back().value;
+        value = join_continuation(value, cont, arena);
       }
       continue;
     }
@@ -118,7 +170,8 @@ std::vector<RawObject> lex_objects(std::string_view text, std::string_view sourc
     if (!is_attribute_start(content)) {
       diagnostics.error(util::DiagnosticKind::kSyntaxError,
                         "line does not start an attribute: '" + std::string(trim(content)) + "'",
-                        in_object ? current.key : std::string{},
+                        std::string{},  // matches the owning lexer: the key is
+                        // only derived when the object closes
                         {std::string(source), line_no});
       continue;
     }
@@ -127,31 +180,51 @@ std::vector<RawObject> lex_objects(std::string_view text, std::string_view sourc
     if (colon == std::string_view::npos) {
       diagnostics.error(util::DiagnosticKind::kSyntaxError,
                         "attribute line missing ':': '" + std::string(trim(content)) + "'",
-                        in_object ? current.key : std::string{},
+                        std::string{},
                         {std::string(source), line_no});
       continue;
     }
 
-    std::string name = util::lower(trim(content.substr(0, colon)));
+    std::string_view name = lower_view(trim(content.substr(0, colon)), arena);
     if (!valid_attribute_name(name)) {
       diagnostics.error(util::DiagnosticKind::kSyntaxError,
-                        "invalid attribute name: '" + name + "'",
-                        in_object ? current.key : std::string{},
+                        "invalid attribute name: '" + std::string(name) + "'",
+                        std::string{},
                         {std::string(source), line_no});
       continue;
     }
 
-    RawAttribute attr;
-    attr.name = std::move(name);
-    attr.value = std::string(trim(content.substr(colon + 1)));
-    attr.line = line_no;
     if (!in_object) {
       in_object = true;
       current.line = line_no;
     }
-    current.attributes.push_back(std::move(attr));
+    scratch.push_back({name, trim(content.substr(colon + 1)), line_no});
   }
   finish_object();
+  return objects;
+}
+
+std::vector<RawObject> lex_objects(std::string_view text, std::string_view source,
+                                   util::Diagnostics& diagnostics,
+                                   std::size_t line_offset) {
+  util::Arena arena;
+  std::vector<RawObjectView> views =
+      lex_objects_view(text, source, diagnostics, arena, line_offset);
+  std::vector<RawObject> objects;
+  objects.reserve(views.size());
+  for (const RawObjectView& view : views) {
+    RawObject object;
+    object.class_name = std::string(view.class_name);
+    object.key = std::string(view.key);
+    object.source = std::string(view.source);
+    object.line = view.line;
+    object.attributes.reserve(view.attributes.size());
+    for (const RawAttributeView& attr : view.attributes) {
+      object.attributes.push_back(
+          {std::string(attr.name), std::string(attr.value), attr.line});
+    }
+    objects.push_back(std::move(object));
+  }
   return objects;
 }
 

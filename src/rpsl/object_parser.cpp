@@ -120,21 +120,24 @@ std::vector<std::string_view> split_member_list(std::string_view text, const Par
   return out;
 }
 
-std::vector<std::string> string_list(const RawObject& raw, std::string_view attr,
-                                     const ParseContext& ctx) {
-  std::vector<std::string> out;
+std::vector<ir::Symbol> symbol_list(const RawObjectView& raw, std::string_view attr,
+                                    const ParseContext& ctx) {
+  std::vector<ir::Symbol> out;
   for (auto value : raw.all(attr)) {
-    for (auto token : split_member_list(value, ctx)) out.emplace_back(token);
+    for (auto token : split_member_list(value, ctx)) out.push_back(ir::sym(token));
   }
   return out;
 }
 
-ParseContext context_for(const RawObject& raw, util::Diagnostics& diagnostics,
+ParseContext context_for(const RawObjectView& raw, util::Diagnostics& diagnostics,
                          std::size_t line = 0) {
   ParseContext ctx;
   ctx.diagnostics = &diagnostics;
-  ctx.object_key = raw.class_name + ":" + raw.key;
-  ctx.source = raw.source;
+  ctx.object_key.reserve(raw.class_name.size() + 1 + raw.key.size());
+  ctx.object_key.append(raw.class_name);
+  ctx.object_key.push_back(':');
+  ctx.object_key.append(raw.key);
+  ctx.source = std::string(raw.source);
   ctx.line = line == 0 ? raw.line : line;
   return ctx;
 }
@@ -143,19 +146,21 @@ ParseContext context_for(const RawObject& raw, util::Diagnostics& diagnostics,
 // Object classes
 // ---------------------------------------------------------------------------
 
-std::optional<ir::AutNum> parse_aut_num(const RawObject& raw, util::Diagnostics& diagnostics) {
+std::optional<ir::AutNum> parse_aut_num(const RawObjectView& raw,
+                                        util::Diagnostics& diagnostics) {
   ParseContext ctx = context_for(raw, diagnostics);
   auto asn = ir::parse_as_ref(raw.key);
   if (!asn) {
-    ctx.error(DiagnosticKind::kInvalidAttribute, "invalid aut-num key: '" + raw.key + "'");
+    ctx.error(DiagnosticKind::kInvalidAttribute,
+              "invalid aut-num key: '" + std::string(raw.key) + "'");
     return std::nullopt;
   }
   ir::AutNum an;
   an.asn = *asn;
-  an.as_name = std::string(raw.first("as-name"));
-  an.member_of = string_list(raw, "member-of", ctx);
-  an.mnt_by = string_list(raw, "mnt-by", ctx);
-  an.source = raw.source;
+  an.as_name = ir::sym(raw.first("as-name"));
+  an.member_of = symbol_list(raw, "member-of", ctx);
+  an.mnt_by = symbol_list(raw, "mnt-by", ctx);
+  an.source = ir::sym(raw.source);
 
   for (const auto& attr : raw.attributes) {
     ir::Rule::Direction direction;
@@ -180,12 +185,14 @@ std::optional<ir::AutNum> parse_aut_num(const RawObject& raw, util::Diagnostics&
   return an;
 }
 
-std::optional<ir::AsSet> parse_as_set(const RawObject& raw, util::Diagnostics& diagnostics) {
+std::optional<ir::AsSet> parse_as_set(const RawObjectView& raw,
+                                      util::Diagnostics& diagnostics) {
   ParseContext ctx = context_for(raw, diagnostics);
   ir::AsSet set;
-  set.name = raw.key;
+  set.name = ir::sym(raw.key);
   if (!ir::valid_as_set_name(raw.key)) {
-    ctx.error(DiagnosticKind::kInvalidSetName, "invalid as-set name: '" + raw.key + "'");
+    ctx.error(DiagnosticKind::kInvalidSetName,
+              "invalid as-set name: '" + std::string(raw.key) + "'");
     // Keep the object: analyses still want to census it (§4 reports an
     // as-set named after the keyword AS-ANY).
   }
@@ -196,15 +203,15 @@ std::optional<ir::AsSet> parse_as_set(const RawObject& raw, util::Diagnostics& d
       } else if (auto asn = ir::parse_as_ref(token)) {
         set.members.push_back(ir::AsSetMember::of_asn(*asn));
       } else if (ir::valid_as_set_name(token)) {
-        set.members.push_back(ir::AsSetMember::of_set(std::string(token)));
+        set.members.push_back(ir::AsSetMember::of_set(ir::sym(token)));
       } else {
         ctx.syntax_error("invalid as-set member: '" + std::string(token) + "'");
       }
     }
   }
-  set.mbrs_by_ref = string_list(raw, "mbrs-by-ref", ctx);
-  set.mnt_by = string_list(raw, "mnt-by", ctx);
-  set.source = raw.source;
+  set.mbrs_by_ref = symbol_list(raw, "mbrs-by-ref", ctx);
+  set.mnt_by = symbol_list(raw, "mnt-by", ctx);
+  set.source = ir::sym(raw.source);
   return set;
 }
 
@@ -239,13 +246,13 @@ std::optional<ir::RouteSetMember> parse_route_set_member(std::string_view token,
   }
   if (ir::valid_route_set_name(body)) {
     m.kind = ir::RouteSetMember::Kind::kRouteSet;
-    m.name = std::string(body);
+    m.name = ir::sym(body);
     m.op = op;
     return m;
   }
   if (ir::valid_as_set_name(body)) {
     m.kind = ir::RouteSetMember::Kind::kAsSet;
-    m.name = std::string(body);
+    m.name = ir::sym(body);
     m.op = op;
     return m;
   }
@@ -253,12 +260,14 @@ std::optional<ir::RouteSetMember> parse_route_set_member(std::string_view token,
   return std::nullopt;
 }
 
-std::optional<ir::RouteSet> parse_route_set(const RawObject& raw, util::Diagnostics& diagnostics) {
+std::optional<ir::RouteSet> parse_route_set(const RawObjectView& raw,
+                                            util::Diagnostics& diagnostics) {
   ParseContext ctx = context_for(raw, diagnostics);
   ir::RouteSet set;
-  set.name = raw.key;
+  set.name = ir::sym(raw.key);
   if (!ir::valid_route_set_name(raw.key)) {
-    ctx.error(DiagnosticKind::kInvalidSetName, "invalid route-set name: '" + raw.key + "'");
+    ctx.error(DiagnosticKind::kInvalidSetName,
+              "invalid route-set name: '" + std::string(raw.key) + "'");
   }
   for (auto value : raw.all("members")) {
     for (auto token : split_member_list(value, ctx)) {
@@ -270,19 +279,20 @@ std::optional<ir::RouteSet> parse_route_set(const RawObject& raw, util::Diagnost
       if (auto m = parse_route_set_member(token, ctx)) set.mp_members.push_back(std::move(*m));
     }
   }
-  set.mbrs_by_ref = string_list(raw, "mbrs-by-ref", ctx);
-  set.mnt_by = string_list(raw, "mnt-by", ctx);
-  set.source = raw.source;
+  set.mbrs_by_ref = symbol_list(raw, "mbrs-by-ref", ctx);
+  set.mnt_by = symbol_list(raw, "mnt-by", ctx);
+  set.source = ir::sym(raw.source);
   return set;
 }
 
-std::optional<ir::PeeringSet> parse_peering_set(const RawObject& raw,
+std::optional<ir::PeeringSet> parse_peering_set(const RawObjectView& raw,
                                                 util::Diagnostics& diagnostics) {
   ParseContext ctx = context_for(raw, diagnostics);
   ir::PeeringSet set;
-  set.name = raw.key;
+  set.name = ir::sym(raw.key);
   if (!ir::valid_peering_set_name(raw.key)) {
-    ctx.error(DiagnosticKind::kInvalidSetName, "invalid peering-set name: '" + raw.key + "'");
+    ctx.error(DiagnosticKind::kInvalidSetName,
+              "invalid peering-set name: '" + std::string(raw.key) + "'");
   }
   auto parse_one = [&](std::string_view value, std::vector<ir::Peering>& out) {
     Cursor cur(value);
@@ -295,17 +305,18 @@ std::optional<ir::PeeringSet> parse_peering_set(const RawObject& raw,
   };
   for (auto value : raw.all("peering")) parse_one(value, set.peerings);
   for (auto value : raw.all("mp-peering")) parse_one(value, set.mp_peerings);
-  set.source = raw.source;
+  set.source = ir::sym(raw.source);
   return set;
 }
 
-std::optional<ir::FilterSet> parse_filter_set(const RawObject& raw,
+std::optional<ir::FilterSet> parse_filter_set(const RawObjectView& raw,
                                               util::Diagnostics& diagnostics) {
   ParseContext ctx = context_for(raw, diagnostics);
   ir::FilterSet set;
-  set.name = raw.key;
+  set.name = ir::sym(raw.key);
   if (!ir::valid_filter_set_name(raw.key)) {
-    ctx.error(DiagnosticKind::kInvalidSetName, "invalid filter-set name: '" + raw.key + "'");
+    ctx.error(DiagnosticKind::kInvalidSetName,
+              "invalid filter-set name: '" + std::string(raw.key) + "'");
   }
   if (auto value = raw.first("filter"); !value.empty()) {
     set.filter = parse_filter(value, ctx);
@@ -315,36 +326,38 @@ std::optional<ir::FilterSet> parse_filter_set(const RawObject& raw,
     set.mp_filter = parse_filter(value, ctx);
     set.has_mp_filter = true;
   }
-  set.source = raw.source;
+  set.source = ir::sym(raw.source);
   return set;
 }
 
-std::optional<ir::RouteObject> parse_route(const RawObject& raw, util::Diagnostics& diagnostics,
-                                           bool v6) {
+std::optional<ir::RouteObject> parse_route(const RawObjectView& raw,
+                                           util::Diagnostics& diagnostics, bool v6) {
   ParseContext ctx = context_for(raw, diagnostics);
   auto prefix = net::Prefix::parse(raw.key);
   if (!prefix) {
-    ctx.error(DiagnosticKind::kInvalidAttribute, "invalid route prefix: '" + raw.key + "'");
+    ctx.error(DiagnosticKind::kInvalidAttribute,
+              "invalid route prefix: '" + std::string(raw.key) + "'");
     return std::nullopt;
   }
   if (prefix->is_v4() == v6) {
     ctx.error(DiagnosticKind::kInvalidAttribute,
-              "route prefix family does not match object class: '" + raw.key + "'");
+              "route prefix family does not match object class: '" +
+                  std::string(raw.key) + "'");
     return std::nullopt;
   }
   auto origin = ir::parse_as_ref(trim(raw.first("origin")));
   if (!origin) {
     ctx.error(DiagnosticKind::kInvalidAttribute,
-              "route " + raw.key + " has invalid origin: '" + std::string(raw.first("origin")) +
-                  "'");
+              "route " + std::string(raw.key) + " has invalid origin: '" +
+                  std::string(raw.first("origin")) + "'");
     return std::nullopt;
   }
   ir::RouteObject route;
   route.prefix = *prefix;
   route.origin = *origin;
-  route.member_of = string_list(raw, "member-of", ctx);
-  route.mnt_by = string_list(raw, "mnt-by", ctx);
-  route.source = raw.source;
+  route.member_of = symbol_list(raw, "member-of", ctx);
+  route.mnt_by = symbol_list(raw, "mnt-by", ctx);
+  route.source = ir::sym(raw.source);
   return route;
 }
 
@@ -375,7 +388,7 @@ ir::Rule parse_rule(std::string_view text, ir::Rule::Direction direction, bool m
   return rule;
 }
 
-ParsedObject parse_object(const RawObject& raw, util::Diagnostics& diagnostics) {
+ParsedObject parse_object(const RawObjectView& raw, util::Diagnostics& diagnostics) {
   if (raw.class_name == "aut-num") return wrap(parse_aut_num(raw, diagnostics));
   if (raw.class_name == "as-set") return wrap(parse_as_set(raw, diagnostics));
   if (raw.class_name == "route-set") return wrap(parse_route_set(raw, diagnostics));
@@ -384,6 +397,21 @@ ParsedObject parse_object(const RawObject& raw, util::Diagnostics& diagnostics) 
   if (raw.class_name == "route") return wrap(parse_route(raw, diagnostics, false));
   if (raw.class_name == "route6") return wrap(parse_route(raw, diagnostics, true));
   return std::monostate{};
+}
+
+ParsedObject parse_object(const RawObject& raw, util::Diagnostics& diagnostics) {
+  std::vector<RawAttributeView> attrs;
+  attrs.reserve(raw.attributes.size());
+  for (const RawAttribute& attr : raw.attributes) {
+    attrs.push_back({attr.name, attr.value, attr.line});
+  }
+  RawObjectView view;
+  view.class_name = raw.class_name;
+  view.key = raw.key;
+  view.attributes = attrs;
+  view.source = raw.source;
+  view.line = raw.line;
+  return parse_object(view, diagnostics);
 }
 
 }  // namespace rpslyzer::rpsl

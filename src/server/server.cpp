@@ -23,6 +23,7 @@
 #include "rpslyzer/obs/trace.hpp"
 #include "rpslyzer/query/query.hpp"
 #include "rpslyzer/util/failpoint.hpp"
+#include "rpslyzer/util/rand.hpp"
 #include "rpslyzer/util/strings.hpp"
 #include "rpslyzer/verify/verifier.hpp"
 
@@ -81,10 +82,8 @@ std::chrono::milliseconds reload_backoff(unsigned attempt,
   for (unsigned i = 0; i < attempt && base < cap; ++i) base *= 2;
   base = std::min(base, cap);
   // splitmix64 over (seed, attempt): deterministic jitter in [0.75, 1.25].
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(attempt) + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
+  const std::uint64_t z =
+      util::splitmix64_at(seed, static_cast<std::uint64_t>(attempt));
   const std::uint64_t jittered = base * (750 + z % 501) / 1000;
   return std::chrono::milliseconds(
       std::clamp<std::uint64_t>(jittered, 1, cap));

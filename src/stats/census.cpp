@@ -308,7 +308,7 @@ RouteObjectStats RouteObjectStats::compute(const ir::Ir& ir) {
     PerPrefix& entry = per_prefix[route.prefix];
     ++entry.objects;
     entry.origins.insert(route.origin);
-    for (const auto& mnt : route.mnt_by) entry.maintainers.insert(mnt);
+    for (const ir::Symbol mnt : route.mnt_by) entry.maintainers.insert(ir::to_string(mnt));
   }
   out.unique_prefixes = per_prefix.size();
   for (const auto& [prefix, entry] : per_prefix) {

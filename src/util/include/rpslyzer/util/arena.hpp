@@ -1,0 +1,158 @@
+#pragma once
+// Chunked bump allocator for parse-phase scratch. One Arena per ingestion
+// shard: the lexer spills continuation-joined values and lowercased
+// attribute names into it, so every RawAttributeView stays valid exactly as
+// long as (dump buffer, shard arena) both live. Freeing is wholesale —
+// destroy or reset() the arena — which is the point: parse IR has stack
+// discipline per shard, so per-node free bookkeeping is pure overhead.
+//
+// Ownership is movable (shard slots are moved through the phase-B
+// materialization queue) but not copyable. Never allocate from one arena on
+// two threads at once; hand the whole arena off instead.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rpslyzer::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes) noexcept
+      : next_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
+                                                 : first_chunk_bytes) {}
+
+  Arena(Arena&& other) noexcept
+      : chunks_(std::move(other.chunks_)),
+        cursor_(other.cursor_),
+        chunk_end_(other.chunk_end_),
+        next_chunk_bytes_(other.next_chunk_bytes_),
+        used_bytes_(other.used_bytes_),
+        reserved_bytes_(other.reserved_bytes_) {
+    other.cursor_ = nullptr;
+    other.chunk_end_ = nullptr;
+    other.used_bytes_ = 0;
+    other.reserved_bytes_ = 0;
+  }
+
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      chunks_ = std::move(other.chunks_);
+      cursor_ = other.cursor_;
+      chunk_end_ = other.chunk_end_;
+      next_chunk_bytes_ = other.next_chunk_bytes_;
+      used_bytes_ = other.used_bytes_;
+      reserved_bytes_ = other.reserved_bytes_;
+      other.cursor_ = nullptr;
+      other.chunk_end_ = nullptr;
+      other.used_bytes_ = 0;
+      other.reserved_bytes_ = 0;
+    }
+    return *this;
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` with the given power-of-two alignment. Never
+  /// returns nullptr (new[] throws on exhaustion).
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (addr + (align - 1)) & ~(align - 1);
+    const std::size_t padding = aligned - addr;
+    if (cursor_ == nullptr ||
+        bytes + padding > static_cast<std::size_t>(chunk_end_ - cursor_)) {
+      grow(bytes + align);
+      addr = reinterpret_cast<std::uintptr_t>(cursor_);
+      const std::uintptr_t realigned = (addr + (align - 1)) & ~(align - 1);
+      cursor_ = reinterpret_cast<char*>(realigned);
+    } else {
+      cursor_ = reinterpret_cast<char*>(aligned);
+    }
+    char* out = cursor_;
+    cursor_ += bytes;
+    used_bytes_ += bytes;
+    return out;
+  }
+
+  /// Copy `s` into the arena; the returned view lives until reset/destroy.
+  std::string_view copy(std::string_view s) {
+    if (s.empty()) return {};
+    char* dst = static_cast<char*>(allocate(s.size(), 1));
+    std::memcpy(dst, s.data(), s.size());
+    return {dst, s.size()};
+  }
+
+  /// Uninitialized array of `count` chars with byte alignment — the lexer's
+  /// continuation-join scratch writes into this directly.
+  char* alloc_chars(std::size_t count) {
+    return static_cast<char*>(allocate(count, 1));
+  }
+
+  /// Typed uninitialized array; caller placement-constructs trivial Ts.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Drop all allocations but keep the largest chunk for reuse — the shard
+  /// loop pattern (lex, materialize, reset, next file).
+  void reset() noexcept {
+    if (chunks_.size() > 1) {
+      // Keep only the most recent (largest, geometric growth) chunk.
+      Chunk keep = std::move(chunks_.back());
+      chunks_.clear();
+      reserved_bytes_ = keep.size;
+      chunks_.push_back(std::move(keep));
+    }
+    if (!chunks_.empty()) {
+      cursor_ = chunks_.back().data.get();
+      chunk_end_ = cursor_ + chunks_.back().size;
+    }
+    used_bytes_ = 0;
+  }
+
+  std::size_t used_bytes() const noexcept { return used_bytes_; }
+  std::size_t reserved_bytes() const noexcept { return reserved_bytes_; }
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t min_bytes) {
+    std::size_t size = next_chunk_bytes_;
+    while (size < min_bytes) size *= 2;
+    Chunk chunk;
+    chunk.data = std::make_unique<char[]>(size);
+    chunk.size = size;
+    cursor_ = chunk.data.get();
+    chunk_end_ = cursor_ + size;
+    reserved_bytes_ += size;
+    chunks_.push_back(std::move(chunk));
+    // Geometric growth, capped so a pathological shard cannot demand one
+    // giant allocation per doubling forever.
+    if (next_chunk_bytes_ < (std::size_t{1} << 24)) next_chunk_bytes_ = size * 2;
+  }
+
+  std::vector<Chunk> chunks_;
+  char* cursor_ = nullptr;
+  char* chunk_end_ = nullptr;
+  std::size_t next_chunk_bytes_;
+  std::size_t used_bytes_ = 0;
+  std::size_t reserved_bytes_ = 0;
+};
+
+}  // namespace rpslyzer::util

@@ -1,0 +1,163 @@
+#pragma once
+// Flat string interner: string_view → dense u32 Symbol with span-pooled
+// backing storage. Two indexes back each table — an open-addressing cell
+// array of (hash tag, id) packed into one atomic u64 per cell, and a
+// stable two-level entry block array (pointers into an arena-owned byte
+// pool), so `view()` and `canon()` never move memory and never lock.
+//
+// Two modes:
+//  * kExact — one id per distinct byte spelling, plus a second fold index
+//    that maps every case-insensitive class to its first-seen spelling's
+//    id (`canon`). This is the process-wide table behind ir::Symbol: exact
+//    ids preserve `operator==`-on-bytes and JSON/wire byte-identity, canon
+//    ids give O(1) case-insensitive comparison (RPSL names are
+//    case-insensitive per RFC 2622 §2).
+//  * kCaseFold — one id per case-insensitive class, first spelling stored,
+//    ids dense from 0 in intern order. This reproduces the compile-time
+//    snapshot interning semantics (and its persisted symbol section
+//    layout) exactly.
+//
+// Concurrency: intern() takes one mutex on the miss path only; find(),
+// view(), canon() and size() are lock-free reads (acquire loads pair with
+// the release publication of each cell). A lock-free find that races a
+// concurrent intern of the *same* string may miss and report nullopt —
+// callers that need an authoritative miss must not race writers. Entry
+// data reached through a published cell, or through a Symbol handed across
+// threads with ordinary synchronization (e.g. a thread join), is safe to
+// read forever: entries and pooled bytes are never moved or freed before
+// the table dies.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "rpslyzer/util/arena.hpp"
+
+namespace rpslyzer::util {
+
+/// Interned string handle: a dense table-assigned id. Equality is id
+/// equality, which for an exact-mode table is byte equality of spellings.
+/// Deliberately no operator< — id order is intern order, not string order.
+struct Symbol {
+  std::uint32_t id = 0;
+  friend constexpr bool operator==(Symbol, Symbol) noexcept = default;
+};
+
+/// Default byte hash (splitmix64-mixed 8-byte chunks). `fold` OR-s 0x20
+/// into every byte so case-insensitively-equal strings hash identically
+/// (non-letter aliasing under |0x20 only adds collisions, never misses).
+std::uint64_t symbol_hash_bytes(std::string_view s, bool fold) noexcept;
+
+class SymbolTable {
+ public:
+  enum class Mode : std::uint8_t { kExact, kCaseFold };
+
+  /// Tests inject a degenerate `hash` to force collision pile-ups;
+  /// production callers leave it null for symbol_hash_bytes.
+  using HashFn = std::uint64_t (*)(std::string_view, bool fold) noexcept;
+
+  explicit SymbolTable(Mode mode = Mode::kExact, HashFn hash = nullptr);
+  SymbolTable(const SymbolTable& other);
+  SymbolTable& operator=(const SymbolTable& other);
+  SymbolTable(SymbolTable&&) = delete;
+  ~SymbolTable();
+
+  /// Intern `s`, returning its stable Symbol. kExact: id per byte
+  /// spelling. kCaseFold: id per case-insensitive class (first spelling
+  /// kept). Thread-safe.
+  Symbol intern(std::string_view s);
+
+  /// Mode-native lookup without inserting: byte-exact in kExact,
+  /// case-insensitive in kCaseFold. Lock-free.
+  std::optional<Symbol> find(std::string_view s) const noexcept;
+
+  /// Case-insensitive lookup returning the canonical (first-seen) class
+  /// representative. In kCaseFold mode identical to find(). Lock-free.
+  std::optional<Symbol> find_canon(std::string_view s) const noexcept;
+
+  /// The interned spelling. Lock-free; out-of-range symbols view "".
+  std::string_view view(Symbol s) const noexcept;
+
+  /// Canonical representative of `s`'s case-insensitive class (kExact) or
+  /// `s` itself (kCaseFold). canon(a) == canon(b) ⇔ iequals(view(a),
+  /// view(b)). Lock-free.
+  Symbol canon(Symbol s) const noexcept;
+
+  std::uint32_t size() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Bytes held in the backing pool (spellings only, not index cells).
+  std::size_t pool_bytes() const noexcept;
+
+  /// Pre-size the cell arrays for `n` symbols so a rebuild that interns a
+  /// known-size generation never rehashes mid-build.
+  void reserve(std::size_t n);
+
+  Mode mode() const noexcept { return mode_; }
+
+ private:
+  // One atomic u64 per cell: (upper 32 bits of hash) << 32 | (id + 1).
+  // Zero means empty. Arrays are retired, never freed, until destruction,
+  // so a reader holding a stale array pointer stays safe.
+  struct CellArray {
+    explicit CellArray(std::size_t capacity);
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+    std::size_t mask = 0;  // capacity - 1 (capacity is a power of two)
+  };
+
+  struct Entry {
+    const char* data = nullptr;
+    std::uint32_t length = 0;
+    std::uint32_t canon = 0;
+  };
+
+  static constexpr std::size_t kBlockShift = 12;
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
+  static constexpr std::size_t kMaxBlocks = std::size_t{1} << 15;
+
+  const Entry* entry(std::uint32_t id) const noexcept;
+  std::uint64_t hash(std::string_view s, bool fold) const noexcept;
+  bool equal(std::string_view a, std::string_view b, bool fold) const noexcept;
+  std::optional<std::uint32_t> probe(const std::atomic<CellArray*>& index,
+                                     std::string_view s,
+                                     bool fold) const noexcept;
+  void insert_cell(std::atomic<CellArray*>& index, std::uint64_t h,
+                   std::uint32_t id);
+  void grow_locked(std::atomic<CellArray*>& index, bool fold,
+                   std::size_t min_capacity);
+  void copy_from(const SymbolTable& other);
+
+  Mode mode_;
+  HashFn hash_;
+  mutable std::mutex mutex_;
+  std::atomic<CellArray*> table_{nullptr};
+  std::atomic<CellArray*> fold_index_{nullptr};  // kExact only
+  std::vector<std::unique_ptr<CellArray>> retired_;
+  std::unique_ptr<std::atomic<Entry*>[]> blocks_;
+  std::vector<Entry*> owned_blocks_;
+  std::atomic<std::uint32_t> count_{0};
+  std::size_t table_used_ = 0;       // filled cells in table_
+  std::size_t fold_used_ = 0;        // filled cells in fold_index_
+  Arena pool_;
+  std::size_t pool_string_bytes_ = 0;
+};
+
+/// The process-wide exact-mode table behind ir::Symbol. Append-only for
+/// the process lifetime: a hostile infinite-churn feed grows it without
+/// bound, which is an accepted trade (see DESIGN.md "Memory
+/// architecture") — corpus vocabularies are finite in practice.
+SymbolTable& global_symbols();
+
+}  // namespace rpslyzer::util
+
+template <>
+struct std::hash<rpslyzer::util::Symbol> {
+  std::size_t operator()(rpslyzer::util::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.id);
+  }
+};

@@ -1,0 +1,57 @@
+#pragma once
+// splitmix64 — the one shared copy. Three sites used to carry their own
+// transcription of the same finalizer (server reload backoff, repl
+// reconnect backoff, obs/loadgen trace-id minting); copy-paste drift there
+// would silently re-correlate jitter streams that are supposed to be
+// decorrelated *by seed*. The finalizer is Sebastiano Vigna's splitmix64
+// (public domain), a bijection on 64-bit words, so distinct inputs can
+// never collide to the same output.
+//
+// Pure functions only: every caller owns its own state word (a plain
+// counter, an atomic, or a seed+attempt pair), which keeps the streams
+// reproducible and thread-ownership explicit. tests/rand_test.cpp pins the
+// exact output vectors so a future "cleanup" cannot drift the constants.
+
+#include <cstdint>
+
+namespace rpslyzer::util {
+
+/// splitmix64 golden-gamma increment (2^64 / phi, odd).
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9e3779b97f4a7c15ULL;
+
+/// The splitmix64 output finalizer: a 64-bit bijective mix. On its own
+/// this is a strong integer hash; fed a counter * gamma it is the
+/// splitmix64 PRNG.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless indexed stream: the `counter`-th sample of the stream seeded
+/// by `seed`. Counter 0 yields mix64(seed + gamma) — i.e. the stream skips
+/// the raw seed itself, matching the historical backoff call sites that
+/// hashed `seed + gamma * (attempt + 1)`.
+constexpr std::uint64_t splitmix64_at(std::uint64_t seed,
+                                      std::uint64_t counter) noexcept {
+  return mix64(seed + kSplitMix64Gamma * (counter + 1));
+}
+
+/// Minimal sequential splitmix64 stream for call sites that want a
+/// stateful generator (loadgen worker streams, trace-id minting). Not
+/// thread-safe: one instance per owning thread, or wrap the state word in
+/// an atomic and call mix64 on the post-increment value.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += kSplitMix64Gamma;
+    return mix64(state_);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rpslyzer::util

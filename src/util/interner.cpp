@@ -1,0 +1,290 @@
+#include "rpslyzer/util/interner.hpp"
+
+#include <cstring>
+
+#include "rpslyzer/util/rand.hpp"
+#include "rpslyzer/util/strings.hpp"
+
+namespace rpslyzer::util {
+
+namespace {
+
+constexpr std::size_t kInitialCapacity = 64;
+
+std::uint64_t load_word(const char* p, std::size_t n) noexcept {
+  std::uint64_t w = 0;
+  std::memcpy(&w, p, n);
+  return w;
+}
+
+}  // namespace
+
+std::uint64_t symbol_hash_bytes(std::string_view s, bool fold) noexcept {
+  // Folding ORs 0x20 into every byte: ASCII letters lowercase, everything
+  // else may alias onto a different byte — but aliasing only ever merges
+  // hash values, so case-insensitively equal strings still hash equal,
+  // which is the one property the fold index needs.
+  const std::uint64_t fold_mask = fold ? 0x2020202020202020ULL : 0;
+  std::uint64_t h = kSplitMix64Gamma ^ (static_cast<std::uint64_t>(s.size()) *
+                                        0xbf58476d1ce4e5b9ULL);
+  const char* p = s.data();
+  std::size_t n = s.size();
+  while (n >= 8) {
+    h = mix64(h ^ (load_word(p, 8) | fold_mask)) + kSplitMix64Gamma;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) h = mix64(h ^ (load_word(p, n) | fold_mask)) + kSplitMix64Gamma;
+  return mix64(h);
+}
+
+SymbolTable::CellArray::CellArray(std::size_t capacity)
+    : cells(new std::atomic<std::uint64_t>[capacity]), mask(capacity - 1) {
+  for (std::size_t i = 0; i < capacity; ++i) {
+    cells[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+SymbolTable::SymbolTable(Mode mode, HashFn hash)
+    : mode_(mode),
+      hash_(hash),
+      blocks_(new std::atomic<Entry*>[kMaxBlocks]) {
+  for (std::size_t i = 0; i < kMaxBlocks; ++i) {
+    blocks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  grow_locked(table_, mode_ == Mode::kCaseFold, kInitialCapacity);
+  if (mode_ == Mode::kExact) grow_locked(fold_index_, true, kInitialCapacity);
+  // Exact mode reserves id 0 for the empty spelling so a default Symbol{}
+  // views "" — mirroring a default std::string. Fold mode must keep ids
+  // dense from the first real intern (the persisted snapshot symbol
+  // section equates id with position), so it starts truly empty.
+  if (mode_ == Mode::kExact) {
+    Entry* block = new Entry[kBlockSize]();
+    owned_blocks_.push_back(block);
+    blocks_[0].store(block, std::memory_order_release);
+    block[0] = Entry{"", 0, 0};
+    insert_cell(table_, this->hash("", false), 0);
+    ++table_used_;
+    insert_cell(fold_index_, this->hash("", true), 0);
+    ++fold_used_;
+    count_.store(1, std::memory_order_release);
+  }
+}
+
+SymbolTable::SymbolTable(const SymbolTable& other)
+    : SymbolTable(other.mode_, other.hash_) {
+  copy_from(other);
+}
+
+SymbolTable& SymbolTable::operator=(const SymbolTable& other) {
+  if (this == &other) return *this;
+  SymbolTable fresh(other.mode_, other.hash_);
+  fresh.copy_from(other);
+  // Swap guts under our lock; `fresh` was never visible to other threads.
+  std::lock_guard<std::mutex> lock(mutex_);
+  mode_ = fresh.mode_;
+  hash_ = fresh.hash_;
+  retired_.swap(fresh.retired_);
+  table_.store(fresh.table_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  fold_index_.store(fresh.fold_index_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  blocks_.swap(fresh.blocks_);
+  owned_blocks_.swap(fresh.owned_blocks_);
+  count_.store(fresh.count_.load(std::memory_order_relaxed),
+               std::memory_order_release);
+  table_used_ = fresh.table_used_;
+  fold_used_ = fresh.fold_used_;
+  pool_ = std::move(fresh.pool_);
+  pool_string_bytes_ = fresh.pool_string_bytes_;
+  return *this;
+}
+
+SymbolTable::~SymbolTable() {
+  for (Entry* block : owned_blocks_) delete[] block;
+}
+
+void SymbolTable::copy_from(const SymbolTable& other) {
+  const std::uint32_t n = other.size();
+  reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    // Re-interning in id order reproduces ids and canon assignments
+    // verbatim (first case-insensitive spelling wins by order).
+    intern(other.view(Symbol{id}));
+  }
+}
+
+const SymbolTable::Entry* SymbolTable::entry(std::uint32_t id) const noexcept {
+  const std::size_t block = id >> kBlockShift;
+  if (block >= kMaxBlocks) return nullptr;
+  const Entry* base = blocks_[block].load(std::memory_order_acquire);
+  if (base == nullptr) return nullptr;
+  return base + (id & (kBlockSize - 1));
+}
+
+std::uint64_t SymbolTable::hash(std::string_view s, bool fold) const noexcept {
+  return hash_ != nullptr ? hash_(s, fold) : symbol_hash_bytes(s, fold);
+}
+
+bool SymbolTable::equal(std::string_view a, std::string_view b,
+                        bool fold) const noexcept {
+  if (fold) return iequals(a, b);
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+std::optional<std::uint32_t> SymbolTable::probe(
+    const std::atomic<CellArray*>& index, std::string_view s,
+    bool fold) const noexcept {
+  const CellArray* array = index.load(std::memory_order_acquire);
+  if (array == nullptr) return std::nullopt;
+  const std::uint64_t h = hash(s, fold);
+  const std::uint64_t tag = h >> 32;
+  std::size_t i = static_cast<std::size_t>(h) & array->mask;
+  while (true) {
+    const std::uint64_t cell = array->cells[i].load(std::memory_order_acquire);
+    if (cell == 0) return std::nullopt;
+    if ((cell >> 32) == tag) {
+      const std::uint32_t id = static_cast<std::uint32_t>(cell) - 1;
+      const Entry* e = entry(id);
+      if (e != nullptr && equal({e->data, e->length}, s, fold)) return id;
+    }
+    i = (i + 1) & array->mask;
+  }
+}
+
+void SymbolTable::insert_cell(std::atomic<CellArray*>& index, std::uint64_t h,
+                              std::uint32_t id) {
+  CellArray* array = index.load(std::memory_order_relaxed);
+  const std::uint64_t tag = h >> 32;
+  std::size_t i = static_cast<std::size_t>(h) & array->mask;
+  while (array->cells[i].load(std::memory_order_relaxed) != 0) {
+    i = (i + 1) & array->mask;
+  }
+  array->cells[i].store((tag << 32) | (id + 1), std::memory_order_release);
+}
+
+void SymbolTable::grow_locked(std::atomic<CellArray*>& index, bool fold,
+                              std::size_t min_capacity) {
+  std::size_t capacity = kInitialCapacity;
+  while (capacity < min_capacity) capacity *= 2;
+  const CellArray* old = index.load(std::memory_order_relaxed);
+  if (old != nullptr && old->mask + 1 >= capacity) return;
+  auto fresh = std::make_unique<CellArray>(capacity);
+  if (old != nullptr) {
+    for (std::size_t i = 0; i <= old->mask; ++i) {
+      const std::uint64_t cell = old->cells[i].load(std::memory_order_relaxed);
+      if (cell == 0) continue;
+      const std::uint32_t id = static_cast<std::uint32_t>(cell) - 1;
+      const Entry* e = entry(id);
+      const std::uint64_t h = hash({e->data, e->length}, fold);
+      std::size_t j = static_cast<std::size_t>(h) & fresh->mask;
+      while (fresh->cells[j].load(std::memory_order_relaxed) != 0) {
+        j = (j + 1) & fresh->mask;
+      }
+      fresh->cells[j].store(cell, std::memory_order_relaxed);
+    }
+  }
+  CellArray* published = fresh.get();
+  retired_.push_back(std::move(fresh));
+  index.store(published, std::memory_order_release);
+}
+
+Symbol SymbolTable::intern(std::string_view s) {
+  const bool fold_native = mode_ == Mode::kCaseFold;
+  if (auto hit = probe(table_, s, fold_native)) return Symbol{*hit};
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto hit = probe(table_, s, fold_native)) return Symbol{*hit};
+
+  const std::uint32_t id = count_.load(std::memory_order_relaxed);
+  const std::size_t block = id >> kBlockShift;
+  if (block >= kMaxBlocks) return Symbol{0};  // 2^27 symbols: table is full.
+  Entry* base = blocks_[block].load(std::memory_order_relaxed);
+  if (base == nullptr) {
+    base = new Entry[kBlockSize]();
+    owned_blocks_.push_back(base);
+    blocks_[block].store(base, std::memory_order_release);
+  }
+
+  const std::string_view stored = pool_.copy(s);
+  pool_string_bytes_ += stored.size();
+  Entry& e = base[id & (kBlockSize - 1)];
+  e.data = stored.empty() ? "" : stored.data();
+  e.length = static_cast<std::uint32_t>(stored.size());
+
+  if (mode_ == Mode::kExact) {
+    // Canon = first spelling of this case-insensitive class; the fold
+    // index maps the class to that representative.
+    if (auto klass = probe(fold_index_, s, true)) {
+      e.canon = *klass;
+    } else {
+      e.canon = id;
+      CellArray* fold_array = fold_index_.load(std::memory_order_relaxed);
+      if ((fold_used_ + 1) * 10 >= (fold_array->mask + 1) * 7) {
+        grow_locked(fold_index_, true, (fold_array->mask + 1) * 2);
+      }
+      insert_cell(fold_index_, hash(s, true), id);
+      ++fold_used_;
+    }
+  } else {
+    e.canon = id;
+  }
+
+  CellArray* array = table_.load(std::memory_order_relaxed);
+  if ((table_used_ + 1) * 10 >= (array->mask + 1) * 7) {
+    grow_locked(table_, fold_native, (array->mask + 1) * 2);
+  }
+  insert_cell(table_, hash(s, fold_native), id);
+  ++table_used_;
+  count_.store(id + 1, std::memory_order_release);
+  return Symbol{id};
+}
+
+std::optional<Symbol> SymbolTable::find(std::string_view s) const noexcept {
+  if (auto hit = probe(table_, s, mode_ == Mode::kCaseFold)) return Symbol{*hit};
+  return std::nullopt;
+}
+
+std::optional<Symbol> SymbolTable::find_canon(
+    std::string_view s) const noexcept {
+  if (mode_ == Mode::kCaseFold) return find(s);
+  if (auto hit = probe(fold_index_, s, true)) return Symbol{*hit};
+  return std::nullopt;
+}
+
+std::string_view SymbolTable::view(Symbol s) const noexcept {
+  if (s.id >= size()) return {};
+  const Entry* e = entry(s.id);
+  if (e == nullptr || e->data == nullptr) return {};
+  return {e->data, e->length};
+}
+
+Symbol SymbolTable::canon(Symbol s) const noexcept {
+  if (s.id >= size()) return s;
+  const Entry* e = entry(s.id);
+  return e == nullptr ? s : Symbol{e->canon};
+}
+
+std::size_t SymbolTable::pool_bytes() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_string_bytes_;
+}
+
+void SymbolTable::reserve(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Size for n entries at < 70% load.
+  const std::size_t want = (n * 10) / 7 + 1;
+  grow_locked(table_, mode_ == Mode::kCaseFold, want);
+  if (mode_ == Mode::kExact) grow_locked(fold_index_, true, want);
+}
+
+SymbolTable& global_symbols() {
+  // Leaked on purpose: ir::Symbol views escape into objects with static
+  // storage duration (tests, caches), so the table must outlive everything.
+  static SymbolTable* table = new SymbolTable(SymbolTable::Mode::kExact);
+  return *table;
+}
+
+}  // namespace rpslyzer::util

@@ -10,37 +10,69 @@ namespace rpslyzer::verify {
 
 namespace {
 
+/// One claimed batch of results, staged worker-locally: the verdicts for
+/// routes [begin_index, begin_index + checks.size()).
+struct ResultChunk {
+  std::size_t begin_index = 0;
+  std::vector<std::vector<HopCheck>> checks;
+};
+
+/// The shared claim counter on its own cache line: neighbouring hot data
+/// (the workers' chunk vectors live in an array indexed by thread) must not
+/// false-share with the one word every worker CASes.
+struct alignas(64) ClaimCounter {
+  std::atomic<std::size_t> next{0};
+  char pad[64 - sizeof(std::atomic<std::size_t>)];
+};
+
 /// Shard `routes` across `threads` workers with a bounded claim loop and
-/// write results through `verifier_for_thread(t)`.
+/// write results through `verifier_for_thread(t)`. Workers never touch the
+/// shared `results` vector: each stages its batches in worker-local chunks
+/// (no false sharing on adjacent vector headers while verifying) and the
+/// main thread splices them into place after the join — moves of already-
+/// built vectors, no verdict is copied.
 template <typename VerifierFor>
 void run_pool(const std::vector<bgp::Route>& routes,
               std::vector<std::vector<HopCheck>>& results, unsigned threads,
               const VerifierFor& verifier_for_thread) {
-  std::atomic<std::size_t> next{0};
+  ClaimCounter claim;
+  std::vector<std::vector<ResultChunk>> worker_chunks(threads);
   auto worker = [&](unsigned t) {
     const Verifier& verifier = verifier_for_thread(t);
+    std::vector<ResultChunk>& local = worker_chunks[t];
     constexpr std::size_t kBatch = 64;
     while (true) {
       // Claim [begin, end) with a CAS bounded at routes.size(): a bare
       // fetch_add would keep incrementing the counter past the end on
       // every spin of every thread (overflow risk on small inputs with
       // many threads).
-      std::size_t begin = next.load(std::memory_order_relaxed);
+      std::size_t begin = claim.next.load(std::memory_order_relaxed);
       std::size_t end = 0;
       do {
         if (begin >= routes.size()) return;
         end = std::min(begin + kBatch, routes.size());
-      } while (!next.compare_exchange_weak(begin, end, std::memory_order_relaxed));
+      } while (!claim.next.compare_exchange_weak(begin, end, std::memory_order_relaxed));
       obs::Span batch_span("verify.batch");
+      ResultChunk chunk;
+      chunk.begin_index = begin;
+      chunk.checks.reserve(end - begin);
       for (std::size_t i = begin; i < end; ++i) {
-        results[i] = verifier.verify_route(routes[i]);
+        chunk.checks.push_back(verifier.verify_route(routes[i]));
       }
+      local.push_back(std::move(chunk));
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (auto& thread : pool) thread.join();
+  for (std::vector<ResultChunk>& local : worker_chunks) {
+    for (ResultChunk& chunk : local) {
+      for (std::size_t i = 0; i < chunk.checks.size(); ++i) {
+        results[chunk.begin_index + i] = std::move(chunk.checks[i]);
+      }
+    }
+  }
 }
 
 std::vector<std::vector<HopCheck>> verify_interpreted(

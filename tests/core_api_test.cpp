@@ -12,7 +12,7 @@ TEST(CoreApi, FromTextsMergesInGivenPriorityOrder) {
           {"SECOND", "aut-num: AS1\nas-name: LOSER\n\nroute: 10.0.0.0/8\norigin: AS1\n"},
       },
       "1|2|-1\n");
-  EXPECT_EQ(lyzer.ir().aut_nums.at(1).as_name, "WINNER");
+  EXPECT_EQ(rpslyzer::ir::sym_view(lyzer.ir().aut_nums.at(1).as_name), "WINNER");
   EXPECT_EQ(lyzer.ir().routes.size(), 1u);
   EXPECT_EQ(lyzer.relations().between(1, 2), relations::Relationship::kProvider);
   ASSERT_EQ(lyzer.irr_counts().size(), 2u);

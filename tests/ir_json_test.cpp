@@ -19,10 +19,10 @@ Ir corpus(std::string_view text) {
     std::visit(util::overloaded{
                    [](std::monostate) {},
                    [&](AutNum& an) { ir.aut_nums.emplace(an.asn, std::move(an)); },
-                   [&](AsSet& s) { ir.as_sets.emplace(s.name, std::move(s)); },
-                   [&](RouteSet& s) { ir.route_sets.emplace(s.name, std::move(s)); },
-                   [&](PeeringSet& s) { ir.peering_sets.emplace(s.name, std::move(s)); },
-                   [&](FilterSet& s) { ir.filter_sets.emplace(s.name, std::move(s)); },
+                   [&](AsSet& s) { ir.as_sets.emplace(to_string(s.name), std::move(s)); },
+                   [&](RouteSet& s) { ir.route_sets.emplace(to_string(s.name), std::move(s)); },
+                   [&](PeeringSet& s) { ir.peering_sets.emplace(to_string(s.name), std::move(s)); },
+                   [&](FilterSet& s) { ir.filter_sets.emplace(to_string(s.name), std::move(s)); },
                    [&](RouteObject& r) { ir.routes.push_back(std::move(r)); },
                },
                parsed);

@@ -57,8 +57,8 @@ TEST(IrrLoader, MergePriorityFirstWins) {
       "aut-num: AS1\nas-name: FROM-LOW\n\naut-num: AS2\nas-name: ONLY-LOW\n", "LOW", diag);
   merge_into(high, std::move(low));
   ASSERT_EQ(high.aut_nums.size(), 2u);
-  EXPECT_EQ(high.aut_nums.at(1).as_name, "FROM-HIGH");  // priority kept
-  EXPECT_EQ(high.aut_nums.at(2).as_name, "ONLY-LOW");
+  EXPECT_EQ(ir::sym_view(high.aut_nums.at(1).as_name), "FROM-HIGH");  // priority kept
+  EXPECT_EQ(ir::sym_view(high.aut_nums.at(2).as_name), "ONLY-LOW");
 }
 
 TEST(IrrLoader, MergeDedupsRoutesByPrefixOrigin) {

@@ -42,9 +42,9 @@ TEST_F(LoaderFiles, LoadsInPriorityOrderFirstWins) {
 
   LoadResult result = load_irrs(table1_sources(dir_));
   ASSERT_EQ(result.ir.aut_nums.size(), 2u);
-  EXPECT_EQ(result.ir.aut_nums.at(1).as_name, "FROM-APNIC");
-  EXPECT_EQ(result.ir.aut_nums.at(1).source, "APNIC");
-  EXPECT_EQ(result.ir.aut_nums.at(2).as_name, "RIPE-ONLY");
+  EXPECT_EQ(ir::sym_view(result.ir.aut_nums.at(1).as_name), "FROM-APNIC");
+  EXPECT_EQ(ir::sym_view(result.ir.aut_nums.at(1).source), "APNIC");
+  EXPECT_EQ(ir::sym_view(result.ir.aut_nums.at(2).as_name), "RIPE-ONLY");
   EXPECT_EQ(result.ir.routes.size(), 1u);
 
   // Per-IRR counts keep raw (pre-merge) numbers.
@@ -79,7 +79,7 @@ TEST_F(LoaderFiles, RouteDedupAcrossIrrsKeepsFirst) {
   // The higher-priority (APNIC) registration survives.
   for (const auto& route : result.ir.routes) {
     if (route.origin == 1) {
-      EXPECT_EQ(route.source, "APNIC");
+      EXPECT_EQ(ir::sym_view(route.source), "APNIC");
     }
   }
 }
@@ -132,7 +132,7 @@ TEST_F(LoaderFiles, MergeIntoAndLoadIrrsAgreeOnRouteDedup) {
   // Both keep the higher-priority registration for the duplicated key.
   for (const auto& route : merged.routes) {
     if (route.origin == 1) {
-      EXPECT_EQ(route.source, "APNIC");
+      EXPECT_EQ(ir::sym_view(route.source), "APNIC");
     }
   }
 }

@@ -276,13 +276,13 @@ TEST(ObjectParser, AutNumFull) {
   const auto* an = std::get_if<AutNum>(&parsed);
   ASSERT_NE(an, nullptr);
   EXPECT_EQ(an->asn, 64500u);
-  EXPECT_EQ(an->as_name, "EXAMPLE-AS");
+  EXPECT_EQ(ir::sym_view(an->as_name), "EXAMPLE-AS");
   EXPECT_EQ(an->imports.size(), 2u);
   EXPECT_EQ(an->exports.size(), 2u);
   EXPECT_TRUE(an->exports[1].mp);
   ASSERT_EQ(an->member_of.size(), 1u);
-  EXPECT_EQ(an->member_of[0], "AS-UPSTREAM-CUSTOMERS");
-  EXPECT_EQ(an->source, "TEST");
+  EXPECT_EQ(ir::sym_view(an->member_of[0]), "AS-UPSTREAM-CUSTOMERS");
+  EXPECT_EQ(ir::sym_view(an->source), "TEST");
   EXPECT_TRUE(diag.empty());
 }
 
@@ -300,8 +300,8 @@ TEST(ObjectParser, AsSetMembers) {
   EXPECT_EQ(set->members[0].kind, AsSetMember::Kind::kAsn);
   EXPECT_EQ(set->members[0].asn, 64500u);
   EXPECT_EQ(set->members[2].kind, AsSetMember::Kind::kSet);
-  EXPECT_EQ(set->members[2].name, "AS-OTHER");
-  EXPECT_EQ(set->members[3].name, "AS64502:AS-CUSTOMERS");
+  EXPECT_EQ(ir::sym_view(set->members[2].name), "AS-OTHER");
+  EXPECT_EQ(ir::sym_view(set->members[3].name), "AS64502:AS-CUSTOMERS");
   EXPECT_EQ(set->mbrs_by_ref.size(), 2u);
   EXPECT_TRUE(diag.empty());
 }

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "rpslyzer/server/client.hpp"
+#include "rpslyzer/util/rand.hpp"
 
 namespace {
 
@@ -197,12 +198,8 @@ struct WorkerResult {
 
 /// Trace-id stream for --trace: splitmix64 per worker, never 0 (a zero id
 /// means "no trace context" to the daemon).
-std::uint64_t next_trace_id(std::uint64_t& state) {
-  state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
+std::uint64_t next_trace_id(rpslyzer::util::SplitMix64& stream) {
+  const std::uint64_t z = stream.next();
   return z == 0 ? 1 : z;
 }
 
@@ -245,7 +242,7 @@ void run_worker(const Options& options, Clock::time_point deadline,
   std::size_t cursor = 0;
   std::size_t read_cursor = 0;  // mix position of the next response to arrive
   std::uint64_t sent_total = 0;
-  std::uint64_t trace_state = seed;
+  rpslyzer::util::SplitMix64 trace_state(seed);
   std::vector<Clock::time_point> send_times(options.pipeline);
   const bool timed = options.duration_ms > 0;
   while (true) {
@@ -299,12 +296,8 @@ void run_worker(const Options& options, Clock::time_point deadline,
 void run_churn_worker(const Options& options, Clock::time_point deadline,
                       std::uint64_t seed, WorkerResult& result) {
   // splitmix64: each worker gets its own deterministic misbehaviour stream.
-  auto next_random = [state = seed]() mutable {
-    state += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = state;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+  auto next_random = [stream = rpslyzer::util::SplitMix64(seed)]() mutable {
+    return stream.next();
   };
   std::size_t cursor = 0;
   while (Clock::now() < deadline) {
